@@ -1,0 +1,36 @@
+// Figure 6: percentage of issue cycles in which every issued instruction
+// comes from one context (issue burstiness), BlackJack mode. Burstiness is
+// what makes leading-trailing interference rare.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace bj;
+  using namespace bj::bench;
+
+  std::cout << "=== Figure 6: issue cycles with all instructions from one "
+               "context (BlackJack) ===\n"
+            << "paper anchors: average 70%; high-IPC gzip/crafty/bzip lowest "
+               "at 54-63%.\n\n";
+
+  const std::vector<SimResult> results = run_all(Mode::kBlackjack);
+
+  Table t({"benchmark", "single-context issue cycles %", "leading IPC"});
+  std::vector<double> burst;
+  for (const SimResult& r : results) {
+    t.begin_row();
+    t.add(r.workload);
+    t.add_percent(r.burstiness);
+    t.add(r.ipc, 3);
+    burst.push_back(r.burstiness);
+  }
+  t.begin_row();
+  t.add("average");
+  t.add_percent(average(burst));
+  t.add("");
+
+  std::cout << t.to_text() << "\ncsv:fig6\n" << t.to_csv();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 7: performance of SRT, BlackJack-NS (no shuffle), and BlackJack,
+// normalized to non-fault-tolerant single-thread performance, benchmarks
+// ordered left-to-right by increasing single-thread IPC (as in the paper).
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace bj;
+  using namespace bj::bench;
+
+  std::cout << "=== Figure 7: normalized performance (single thread = 100%) "
+               "===\n"
+            << "paper anchors: SRT avg 79% (21% slowdown); BlackJack avg 67% "
+               "(33% slowdown, 15% beyond SRT); BlackJack-NS between them "
+               "(shuffle's packet splits cost ~5%); higher-IPC benchmarks "
+               "degrade more.\n\n";
+
+  const std::vector<SimResult> single = run_all(Mode::kSingle);
+  const std::vector<SimResult> srt = run_all(Mode::kSrt);
+  const std::vector<SimResult> bjns = run_all(Mode::kBlackjackNs);
+  const std::vector<SimResult> bj = run_all(Mode::kBlackjack);
+
+  std::vector<std::size_t> order(single.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return single[a].ipc < single[b].ipc;
+  });
+
+  Table t({"benchmark", "single IPC", "SRT %", "BlackJack-NS %",
+           "BlackJack %"});
+  std::vector<double> srt_norm, bjns_norm, bj_norm;
+  for (const std::size_t i : order) {
+    const double base = static_cast<double>(single[i].cycles);
+    const double n_srt = base / static_cast<double>(srt[i].cycles);
+    const double n_bjns = base / static_cast<double>(bjns[i].cycles);
+    const double n_bj = base / static_cast<double>(bj[i].cycles);
+    t.begin_row();
+    t.add(single[i].workload);
+    t.add(single[i].ipc, 3);
+    t.add_percent(n_srt);
+    t.add_percent(n_bjns);
+    t.add_percent(n_bj);
+    srt_norm.push_back(n_srt);
+    bjns_norm.push_back(n_bjns);
+    bj_norm.push_back(n_bj);
+  }
+  t.begin_row();
+  t.add("average");
+  t.add("");
+  t.add_percent(average(srt_norm));
+  t.add_percent(average(bjns_norm));
+  t.add_percent(average(bj_norm));
+
+  std::cout << t.to_text();
+  std::cout << "\nBlackJack slowdown beyond SRT: "
+            << 100.0 * (1.0 - average(bj_norm) / average(srt_norm))
+            << "% (paper: 15%)\n";
+  std::cout << "\ncsv:fig7\n" << t.to_csv();
+  return 0;
+}

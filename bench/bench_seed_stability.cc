@@ -1,0 +1,42 @@
+// Seed stability: how much of any reported number is workload-instance
+// noise? Re-generates representative kernels from perturbed seeds (same
+// profile, different instruction streams) and reports mean ± stddev of the
+// headline metrics. Narrow deviations mean the figures reflect the profile,
+// not one lucky instruction sequence.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace bj;
+  using namespace bj::bench;
+
+  const int seeds = static_cast<int>(env_int("BJ_SEEDS", 4));
+  std::cout << "=== Seed stability: " << seeds
+            << " kernel instances per profile (BlackJack mode) ===\n\n";
+
+  Table t({"workload", "IPC mean", "IPC sd", "coverage % mean",
+           "coverage % sd", "LT % mean", "LT % sd", "burstiness % mean"});
+  for (const char* name : {"equake", "gcc", "apsi", "vortex"}) {
+    SimRequest req = default_request(Mode::kBlackjack);
+    req.warmup_commits = std::min<std::uint64_t>(req.warmup_commits, 20000);
+    req.budget_commits = std::min<std::uint64_t>(req.budget_commits, 40000);
+    const AggregateResult agg =
+        run_workload_seeds(profile_by_name(name), req, seeds);
+    t.begin_row();
+    t.add(name);
+    t.add(agg.ipc.mean(), 3);
+    t.add(agg.ipc.stddev(), 3);
+    t.add(100.0 * agg.coverage_total.mean(), 1);
+    t.add(100.0 * agg.coverage_total.stddev(), 2);
+    t.add(100.0 * agg.lt_interference.mean(), 2);
+    t.add(100.0 * agg.lt_interference.stddev(), 2);
+    t.add(100.0 * agg.burstiness.mean(), 1);
+  }
+  std::cout << t.to_text()
+            << "\nCoverage standard deviations of a point or two mean the "
+               "Figure 4 comparisons are profile properties, not "
+               "instruction-sequence luck.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// google-benchmark microbenchmarks of the simulator itself: simulated
+// instructions per wall-clock second per mode, plus the safe-shuffle
+// algorithm's own throughput. Useful for sizing experiment budgets.
+#include <benchmark/benchmark.h>
+
+#include "blackjack/shuffle.h"
+#include "common/rng.h"
+#include "pipeline/core.h"
+#include "workload/profile.h"
+
+namespace {
+
+void BM_CoreSimulation(benchmark::State& state) {
+  const auto mode = static_cast<bj::Mode>(state.range(0));
+  const bj::Program program =
+      bj::generate_workload(bj::profile_by_name("gcc"));
+  for (auto _ : state) {
+    bj::Core core(program, mode);
+    core.set_oracle_check(false);
+    core.run(10000, 4000000);
+    benchmark::DoNotOptimize(core.cycle());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_CoreSimulation)
+    ->Arg(static_cast<int>(bj::Mode::kSingle))
+    ->Arg(static_cast<int>(bj::Mode::kSrt))
+    ->Arg(static_cast<int>(bj::Mode::kBlackjack))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SafeShuffle(benchmark::State& state) {
+  bj::Rng rng(99);
+  std::vector<std::vector<bj::ShuffleInst>> packets;
+  for (int i = 0; i < 1024; ++i) {
+    std::vector<bj::ShuffleInst> packet;
+    const int n = 1 + static_cast<int>(rng.next_below(4));
+    int used[bj::kNumFuClasses] = {};
+    for (int j = 0; j < n; ++j) {
+      const auto fu = static_cast<bj::FuClass>(rng.next_below(5));
+      const int ways = fu == bj::FuClass::kIntAlu ? 4 : 2;
+      if (used[static_cast<int>(fu)] >= ways) continue;
+      packet.push_back(bj::ShuffleInst{
+          fu, static_cast<int>(rng.next_below(4)),
+          used[static_cast<int>(fu)]++});
+    }
+    if (!packet.empty()) packets.push_back(std::move(packet));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bj::safe_shuffle(packets[i % packets.size()], 4));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SafeShuffle);
+
+void BM_Emulator(benchmark::State& state) {
+  const bj::Program program =
+      bj::generate_workload(bj::profile_by_name("gcc"));
+  for (auto _ : state) {
+    bj::Emulator emu(program);
+    emu.run(100000);
+    benchmark::DoNotOptimize(emu.retired());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_Emulator)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

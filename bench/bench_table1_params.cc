@@ -1,0 +1,56 @@
+// Table 1: processor parameters. Prints the configuration this reproduction
+// simulates next to the values the paper reports, as a sanity anchor for all
+// other benches.
+#include <iostream>
+
+#include "common/table.h"
+#include "pipeline/params.h"
+
+int main() {
+  using bj::CoreParams;
+  const CoreParams p;
+  bj::Table t({"Parameter", "Paper (Table 1)", "This reproduction"});
+
+  auto row = [&](const std::string& name, const std::string& paper,
+                 const std::string& ours) {
+    t.begin_row();
+    t.add(name);
+    t.add(paper);
+    t.add(ours);
+  };
+
+  row("Out-of-order issue", "4 instructions/cycle",
+      std::to_string(p.issue_width) + " instructions/cycle");
+  row("Active list", "512 entries (64-entry LSQ)",
+      std::to_string(p.active_list_entries) + " entries (" +
+          std::to_string(p.lsq_entries) + "-entry LSQ)");
+  row("Issue queue", "32 entries",
+      std::to_string(p.issue_queue_entries) + " entries");
+  row("L1 caches", "64KB 4-way 2-cycle (2 ports)",
+      std::to_string(p.memory.l1d.size_bytes / 1024) + "KB " +
+          std::to_string(p.memory.l1d.assoc) + "-way " +
+          std::to_string(p.memory.l1d.hit_latency) + "-cycle (" +
+          std::to_string(p.mem_ports) + " ports)");
+  row("L2 cache", "2M 8-way unified",
+      std::to_string(p.memory.l2.size_bytes / (1024 * 1024)) + "M " +
+          std::to_string(p.memory.l2.assoc) + "-way unified");
+  row("Memory", "350 cycles", std::to_string(p.memory.memory_latency) +
+                                  " cycles");
+  row("Int ALUs", "4 int ALUs, 2 int multipliers",
+      std::to_string(p.int_alu_units) + " int ALUs, " +
+          std::to_string(p.int_mul_units) + " int multipliers");
+  row("FP ALUs", "2 FP ALUs, 2 FP multipliers",
+      std::to_string(p.fp_alu_units) + " FP ALUs, " +
+          std::to_string(p.fp_mul_units) + " FP multipliers");
+  row("Store buffer", "64 entries",
+      std::to_string(p.store_buffer_entries) + " entries");
+  row("LVQ", "128 entries", std::to_string(p.lvq_entries) + " entries");
+  row("BOQ", "96 entries", std::to_string(p.boq_entries) + " entries");
+  row("Slack", "256 instructions",
+      std::to_string(p.slack) + " instructions");
+  row("DTQ", "1024 instructions",
+      std::to_string(p.dtq_entries) + " instructions");
+
+  std::cout << "=== Table 1: Processor Parameters ===\n" << t.to_text();
+  return 0;
+}

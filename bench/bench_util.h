@@ -1,0 +1,40 @@
+// Shared helpers for the figure/table reproduction benches: runs the 16
+// benchmark kernels in the requested modes with the environment-configured
+// instruction budget. Each bench prints the paper's reference values inline
+// next to the measured ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "harness/driver.h"
+#include "workload/profile.h"
+
+namespace bj::bench {
+
+inline SimRequest default_request(Mode mode) {
+  SimRequest req;
+  req.mode = mode;
+  req.warmup_commits = static_cast<std::uint64_t>(sim_warmup_budget());
+  req.budget_commits = static_cast<std::uint64_t>(sim_instruction_budget());
+  return req;
+}
+
+// Runs every benchmark in `mode`; returns results in profile order.
+inline std::vector<SimResult> run_all(Mode mode) {
+  std::vector<SimResult> results;
+  for (const WorkloadProfile& profile : spec2000_profiles()) {
+    results.push_back(run_workload(profile, default_request(mode)));
+  }
+  return results;
+}
+
+inline double average(const std::vector<double>& xs) {
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+}  // namespace bj::bench

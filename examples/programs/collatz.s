@@ -1,0 +1,22 @@
+; Collatz trajectory length of 27 (expected 111), stored to 0x1000.
+; Exercises data-dependent branches (hard to predict) and the multiplier.
+    li r1, 27           ; n
+    li r2, 0            ; steps
+loop:
+    li r3, 1
+    beq r1, r3, done
+    andi r4, r1, 1
+    bne r4, r0, odd
+    srli r1, r1, 1      ; n /= 2
+    jmp next
+odd:
+    li r5, 3
+    mul r1, r1, r5      ; n = 3n + 1
+    addi r1, r1, 1
+next:
+    addi r2, r2, 1
+    jmp loop
+done:
+    li r6, 0x1000
+    st r2, [r6]
+    halt

@@ -1,0 +1,15 @@
+; Euclid's algorithm: gcd(1071, 462) -> 21, stored to 0x1000.
+; Run with:  bjsim --program examples/programs/gcd.s --mode blackjack \
+;                  --instructions 1000 --warmup 0
+    li r1, 1071
+    li r2, 462
+loop:
+    beq r2, r0, done
+    rem r3, r1, r2      ; r3 = r1 mod r2
+    mov r1, r2
+    mov r2, r3
+    jmp loop
+done:
+    li r4, 0x1000
+    st r1, [r4]
+    halt

@@ -1,0 +1,60 @@
+#include "arch/emulator.h"
+
+namespace bj {
+
+Emulator::Emulator(const Program& program) : program_(program) {
+  state_.pc = program.entry;
+  for (const auto& [addr, value] : program.data) memory_.store(addr, value);
+}
+
+std::optional<RetireRecord> Emulator::step() {
+  if (state_.halted) return std::nullopt;
+
+  RetireRecord rec;
+  rec.pc = state_.pc;
+  rec.inst = program_.fetch(state_.pc);
+  const DecodedInst& inst = rec.inst;
+
+  if (inst.op == Opcode::kHalt) {
+    state_.halted = true;
+    rec.next_pc = state_.pc;
+    ++retired_;
+    return rec;
+  }
+
+  const std::uint64_t s1 = state_.read(inst.src1);
+  const std::uint64_t s2 = state_.read(inst.src2);
+  ExecOutcome out = eval(inst, s1, s2, state_.pc);
+
+  if (inst.is_load()) {
+    const std::uint64_t data = memory_.load(out.mem_addr);
+    rec.load = {out.mem_addr, data};
+    state_.write(inst.dst, data);
+    rec.dst_value = data;
+    rec.wrote_reg = inst.writes_reg();
+  } else if (inst.is_store()) {
+    memory_.store(out.mem_addr, out.store_value);
+    rec.store = {out.mem_addr, out.store_value};
+  } else if (inst.dst.valid()) {
+    state_.write(inst.dst, out.value);
+    rec.dst_value = out.value;
+    rec.wrote_reg = inst.writes_reg();
+  }
+
+  rec.branch_taken = out.taken;
+  rec.next_pc = out.target;
+  state_.pc = out.target;
+  ++retired_;
+  return rec;
+}
+
+std::uint64_t Emulator::run(std::uint64_t max_instructions) {
+  std::uint64_t n = 0;
+  while (n < max_instructions && !state_.halted) {
+    if (!step()) break;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace bj

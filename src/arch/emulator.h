@@ -1,0 +1,82 @@
+// In-order architectural emulator. Serves three roles:
+//   1. Oracle for pipeline verification: the pipeline's leading-thread commit
+//      stream is checked instruction-by-instruction against the emulator.
+//   2. Golden store-trace producer for classifying fault-injection outcomes
+//      (silent data corruption vs benign).
+//   3. A simple way for examples/tests to know what a program *should* do.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "arch/memory.h"
+#include "isa/exec.h"
+#include "isa/program.h"
+
+namespace bj {
+
+struct ArchState {
+  std::uint64_t int_regs[kNumIntRegs] = {};
+  std::uint64_t fp_regs[kNumFpRegs] = {};
+  std::uint64_t pc = 0;
+  bool halted = false;
+
+  std::uint64_t read(RegRef r) const {
+    if (!r.valid()) return 0;
+    if (r.cls == RegClass::kInt) {
+      return r.idx == kZeroReg ? 0 : int_regs[r.idx];
+    }
+    return fp_regs[r.idx];
+  }
+  void write(RegRef r, std::uint64_t value) {
+    if (!r.valid()) return;
+    if (r.cls == RegClass::kInt) {
+      if (r.idx != kZeroReg) int_regs[r.idx] = value;
+    } else {
+      fp_regs[r.idx] = value;
+    }
+  }
+};
+
+// What one retired instruction did — the emulator's unit of observable
+// behaviour, comparable against a pipeline commit record.
+struct RetireRecord {
+  std::uint64_t pc = 0;
+  DecodedInst inst;
+  std::uint64_t dst_value = 0;       // value written, if any
+  bool wrote_reg = false;
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> store;  // addr, data
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> load;   // addr, data
+  bool branch_taken = false;
+  std::uint64_t next_pc = 0;
+};
+
+class Emulator {
+ public:
+  explicit Emulator(const Program& program);
+
+  // Executes one instruction; returns what it did. Returns std::nullopt when
+  // already halted.
+  std::optional<RetireRecord> step();
+
+  // Runs up to `max_instructions`; returns the number actually retired.
+  std::uint64_t run(std::uint64_t max_instructions);
+
+  const ArchState& state() const { return state_; }
+  ArchState& state() { return state_; }
+  const SparseMemory& memory() const { return memory_; }
+  SparseMemory& memory() { return memory_; }
+  std::uint64_t retired() const { return retired_; }
+  bool halted() const { return state_.halted; }
+
+ private:
+  // Held by value so an Emulator may outlive the expression that built the
+  // program.
+  const Program program_;
+  ArchState state_;
+  SparseMemory memory_;
+  std::uint64_t retired_ = 0;
+};
+
+}  // namespace bj

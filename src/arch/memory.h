@@ -1,0 +1,41 @@
+// Flat sparse data memory shared by the emulator and the pipeline's memory
+// hierarchy. Backed by 4 KiB pages allocated on demand; unwritten locations
+// read as zero, so fault-corrupted wild addresses are well defined.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+namespace bj {
+
+class SparseMemory {
+ public:
+  static constexpr std::uint64_t kPageBytes = 4096;
+  static constexpr std::uint64_t kWordsPerPage = kPageBytes / 8;
+
+  // 8-byte aligned accesses; the low 3 address bits are ignored.
+  std::uint64_t load(std::uint64_t addr) const {
+    const auto it = pages_.find(page_of(addr));
+    if (it == pages_.end()) return 0;
+    return it->second[word_of(addr)];
+  }
+
+  void store(std::uint64_t addr, std::uint64_t value) {
+    pages_[page_of(addr)][word_of(addr)] = value;
+  }
+
+  std::size_t touched_pages() const { return pages_.size(); }
+  void clear() { pages_.clear(); }
+
+ private:
+  static std::uint64_t page_of(std::uint64_t addr) { return addr / kPageBytes; }
+  static std::uint64_t word_of(std::uint64_t addr) {
+    return (addr % kPageBytes) / 8;
+  }
+
+  std::unordered_map<std::uint64_t, std::array<std::uint64_t, kWordsPerPage>>
+      pages_;
+};
+
+}  // namespace bj

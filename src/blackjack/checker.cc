@@ -1,0 +1,58 @@
+#include "blackjack/checker.h"
+
+#include <cassert>
+
+namespace bj {
+
+SecondRenameTable::SecondRenameTable()
+    : int_map_(kNumIntRegs, -1), fp_map_(kNumFpRegs, -1) {}
+
+void SecondRenameTable::initialize(RegClass cls, int logical, int phys) {
+  table(cls)[static_cast<std::size_t>(logical)] = phys;
+}
+
+int SecondRenameTable::lookup(RegClass cls, int logical) const {
+  return table(cls)[static_cast<std::size_t>(logical)];
+}
+
+DependenceCheckResult SecondRenameTable::commit(const DecodedInst& inst,
+                                                int src1_phys, int src2_phys,
+                                                int dst_phys) {
+  DependenceCheckResult result;
+  ++checks_;
+
+  auto check_src = [&](const RegRef& src, int used_phys) {
+    if (!src.valid()) return;
+    // r0 is not renamed; it always reads as zero.
+    if (src.cls == RegClass::kInt && src.idx == kZeroReg) return;
+    const int expected = lookup(src.cls, src.idx);
+    if (expected != used_phys) result.ok = false;
+  };
+  check_src(inst.src1, src1_phys);
+  check_src(inst.src2, src2_phys);
+
+  if (inst.writes_reg()) {
+    assert(dst_phys >= 0);
+    const int prev = lookup(inst.dst.cls, inst.dst.idx);
+    table(inst.dst.cls)[inst.dst.idx] = dst_phys;
+    result.freed_phys = prev;
+    result.freed_cls = inst.dst.cls;
+  }
+  if (!result.ok) ++mismatches_;
+  return result;
+}
+
+bool PcChainChecker::commit(std::uint64_t pc, bool taken,
+                            std::uint64_t target) {
+  bool ok = true;
+  if (have_prev_) {
+    ++checks_;
+    ok = pc == expected_pc_;
+    if (!ok) ++mismatches_;
+  }
+  have_prev_ = true;
+  expected_pc_ = taken ? target : pc + 1;
+  return ok;
+}
+
+}  // namespace bj

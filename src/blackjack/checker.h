@@ -1,0 +1,77 @@
+// Commit-time verification of the dependence and program-order information
+// the trailing thread borrowed from the leading thread (Section 4.4).
+//
+// SecondRenameTable: at trailing commit (program order) the committed
+// instruction's *logical* source registers are looked up in a second rename
+// table; the resulting physical registers must equal the physical sources the
+// first (out-of-program-order) trailing rename produced and execution used.
+// The instruction then installs its physical destination as the new mapping
+// of its logical destination; the previous mapping is the register to free —
+// the second table is also how BlackJack frees trailing physical registers in
+// program order.
+//
+// PcChainChecker: committed pcs must chain — after a taken control transfer
+// the next committed pc must be the executed target; otherwise pc + 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace bj {
+
+struct DependenceCheckResult {
+  bool ok = true;
+  int freed_phys = -1;          // previous mapping of the destination, or -1
+  RegClass freed_cls = RegClass::kNone;
+};
+
+class SecondRenameTable {
+ public:
+  SecondRenameTable();
+
+  // Installs the initial logical->physical mapping (trailing thread start).
+  void initialize(RegClass cls, int logical, int phys);
+
+  // Verifies one committed trailing instruction. `src*_phys` are the
+  // physical sources the first trailing rename produced (-1 when the operand
+  // is absent); `dst_phys` the physical destination (-1 when none).
+  DependenceCheckResult commit(const DecodedInst& inst, int src1_phys,
+                               int src2_phys, int dst_phys);
+
+  int lookup(RegClass cls, int logical) const;
+  std::uint64_t checks() const { return checks_; }
+  std::uint64_t mismatches() const { return mismatches_; }
+
+ private:
+  std::vector<int>& table(RegClass cls) {
+    return cls == RegClass::kInt ? int_map_ : fp_map_;
+  }
+  const std::vector<int>& table(RegClass cls) const {
+    return cls == RegClass::kInt ? int_map_ : fp_map_;
+  }
+
+  std::vector<int> int_map_;
+  std::vector<int> fp_map_;
+  std::uint64_t checks_ = 0;
+  std::uint64_t mismatches_ = 0;
+};
+
+class PcChainChecker {
+ public:
+  // Verifies the committed pc chains from the previous instruction, then
+  // advances using the executed outcome. Returns false on a break.
+  bool commit(std::uint64_t pc, bool taken, std::uint64_t target);
+
+  std::uint64_t checks() const { return checks_; }
+  std::uint64_t mismatches() const { return mismatches_; }
+
+ private:
+  bool have_prev_ = false;
+  std::uint64_t expected_pc_ = 0;
+  std::uint64_t checks_ = 0;
+  std::uint64_t mismatches_ = 0;
+};
+
+}  // namespace bj

@@ -1,0 +1,125 @@
+// Dependence Trace Queue (BlackJack, Section 4.2.1). One entry per issued
+// leading instruction, allocated in leading *issue order*; instructions
+// co-issued in the same cycle form a packet. Entries carry everything the
+// trailing thread borrows from the leading thread:
+//   - the undecoded instruction word and its pc,
+//   - the frontend and backend way IDs the leading copy used,
+//   - the leading rename maps (physical source/destination registers),
+//   - virtual active-list and load/store-queue ordinals (leading program
+//     order), assigned at leading commit.
+// Entries are filled (marked committed) when the leading instruction
+// commits; squashed instructions' entries are removed. Safe-shuffle consumes
+// whole committed packets from the head.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "isa/opcode.h"
+
+namespace bj {
+
+struct DtqEntry {
+  // Identity.
+  std::uint64_t lead_seq = 0;     // leading fetch/program-order sequence
+  std::uint64_t issue_cycle = 0;  // packet grouping key
+  std::uint64_t pc = 0;
+  std::uint32_t raw = 0;          // undecoded instruction word
+
+  // Pipeline resource usage of the leading copy.
+  int lead_frontend_way = -1;
+  int lead_backend_way = -1;
+  FuClass fu = FuClass::kIntAlu;
+
+  // Leading rename maps (physical register indices; -1 when absent).
+  int lead_src1_phys = -1;
+  int lead_src2_phys = -1;
+  int lead_dst_phys = -1;
+
+  // Leading program order, assigned at commit (virtual indices).
+  std::uint64_t virt_al_index = 0;
+  std::uint64_t virt_lsq_index = 0;
+  bool has_lsq_slot = false;
+  std::uint64_t mem_ordinal = 0;  // n-th load or n-th store, per kind
+
+  bool committed = false;  // filled at leading commit
+};
+
+// The DTQ models a fixed-capacity hardware queue but is implemented on a
+// deque because squash must remove entries from the middle (issue order
+// interleaves ages).
+class DependenceTraceQueue {
+ public:
+  explicit DependenceTraceQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  bool full() const { return entries_.size() >= capacity_; }
+  bool empty() const { return entries_.empty(); }
+
+  // Leading issue: appends an entry (issue order). Caller checks full().
+  void allocate(const DtqEntry& entry) { entries_.push_back(entry); }
+
+  // Leading squash: drops all entries of instructions younger than
+  // `squash_after_seq` (exclusive) that have not committed.
+  void squash_younger_than(std::uint64_t squash_after_seq) {
+    std::erase_if(entries_, [squash_after_seq](const DtqEntry& e) {
+      return !e.committed && e.lead_seq > squash_after_seq;
+    });
+  }
+
+  // Leading commit: fills the entry for `lead_seq` with program-order info.
+  // Returns false if no such entry exists (instruction never issued — cannot
+  // happen in a correct pipeline).
+  bool fill_at_commit(std::uint64_t lead_seq, std::uint64_t virt_al_index,
+                      std::uint64_t virt_lsq_index, bool has_lsq_slot,
+                      std::uint64_t mem_ordinal) {
+    for (DtqEntry& e : entries_) {
+      if (e.lead_seq == lead_seq) {
+        e.virt_al_index = virt_al_index;
+        e.virt_lsq_index = virt_lsq_index;
+        e.has_lsq_slot = has_lsq_slot;
+        e.mem_ordinal = mem_ordinal;
+        e.committed = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Shuffle side: number of contiguous committed entries at the head that
+  // form the first whole packet (0 if the head packet is not fully committed
+  // yet). A packet ends where issue_cycle changes or the queue ends.
+  std::size_t head_packet_size() const { return packet_size_at(0); }
+
+  // Size of the committed packet starting at entry index `offset` (which
+  // must be a packet boundary), or 0 if that packet is absent or not yet
+  // fully committed. Used by the packet-combining extension to peek beyond
+  // the head packet.
+  std::size_t packet_size_at(std::size_t offset) const {
+    if (offset >= entries_.size() || !entries_[offset].committed) return 0;
+    const std::uint64_t cycle = entries_[offset].issue_cycle;
+    std::size_t n = 0;
+    for (std::size_t i = offset; i < entries_.size(); ++i) {
+      const DtqEntry& e = entries_[i];
+      if (e.issue_cycle != cycle) break;
+      if (!e.committed) return 0;  // packet not complete yet
+      ++n;
+    }
+    return n;
+  }
+
+  const DtqEntry& at(std::size_t i) const { return entries_[i]; }
+
+  // Removes the head `n` entries (a consumed packet).
+  void pop_front(std::size_t n) {
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<DtqEntry> entries_;
+};
+
+}  // namespace bj

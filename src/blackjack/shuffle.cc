@@ -1,0 +1,172 @@
+#include "blackjack/shuffle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+namespace bj {
+namespace {
+
+// State of one in-progress output packet. A slot may be empty, hold a typed
+// NOP, or hold a real instruction.
+struct OutputPacket {
+  explicit OutputPacket(int width)
+      : slots(static_cast<std::size_t>(width)),
+        occupied(static_cast<std::size_t>(width), false) {}
+  ShuffledPacket slots;
+  std::vector<bool> occupied;
+
+  bool has_instruction() const {
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (occupied[s] && !slots[s].is_nop) return true;
+    }
+    return false;
+  }
+
+  // Counts same-class occupants below `slot`.
+  int type_rank(std::size_t slot, FuClass cls) const {
+    int rank = 0;
+    for (std::size_t s = 0; s < slot; ++s) {
+      if (occupied[s] && slots[s].cls == cls) ++rank;
+    }
+    return rank;
+  }
+};
+
+// One run of the paper's greedy algorithm processing the packet's
+// instructions in the given order.
+ShuffleResult run_greedy(const std::vector<ShuffleInst>& packet, int width,
+                         const std::vector<std::size_t>& order) {
+  ShuffleResult result;
+  OutputPacket out(width);
+
+  auto flush_packet = [&]() {
+    if (!out.has_instruction()) {
+      out = OutputPacket(width);
+      return;
+    }
+    // Emit slots up to the last real instruction. NOPs below a real
+    // instruction were inserted by the greedy pass-over and are load-bearing
+    // (they advance backend-way ranks); slots above the last real
+    // instruction influence no rank and are trimmed — padding them out to
+    // the full width measurably *hurts* coverage because always-ready NOPs
+    // leak out of latency-stalled packets and perturb other packets' ranks.
+    std::size_t last_real = 0;
+    for (std::size_t s = 0; s < out.slots.size(); ++s) {
+      if (out.occupied[s] && !out.slots[s].is_nop) last_real = s;
+    }
+    ShuffledPacket trimmed;
+    for (std::size_t s = 0; s <= last_real; ++s) {
+      assert(out.occupied[s]);
+      trimmed.push_back(out.slots[s]);
+      if (trimmed.back().is_nop) ++result.nops_inserted;
+    }
+    result.packets.push_back(std::move(trimmed));
+    out = OutputPacket(width);
+  };
+
+  for (const std::size_t i : order) {
+    const ShuffleInst& inst = packet[i];
+    bool placed = false;
+    while (!placed) {
+      const bool fresh = !out.has_instruction();
+      for (std::size_t slot = 0; slot < out.slots.size() && !placed; ++slot) {
+        const int fe_way = static_cast<int>(slot);
+        if (out.occupied[slot]) {
+          // A same-class NOP may be replaced if the resulting ways are
+          // spatially diverse; replacement preserves every other rank.
+          const ShuffleSlot& occ = out.slots[slot];
+          if (!occ.is_nop || occ.cls != inst.fu) continue;
+          const int be_way = out.type_rank(slot, inst.fu);
+          if (fe_way == inst.lead_frontend_way ||
+              be_way == inst.lead_backend_way) {
+            continue;
+          }
+          out.slots[slot] = ShuffleSlot{false, inst.fu, static_cast<int>(i)};
+          placed = true;
+          break;
+        }
+        const int be_way = out.type_rank(slot, inst.fu);
+        if (fe_way == inst.lead_frontend_way ||
+            be_way == inst.lead_backend_way) {
+          // Pass over the slot, leaving a NOP marked with our class so the
+          // eventual placement's backend rank advances past the clash.
+          out.slots[slot] = ShuffleSlot{true, inst.fu, -1};
+          out.occupied[slot] = true;
+          continue;
+        }
+        out.slots[slot] = ShuffleSlot{false, inst.fu, static_cast<int>(i)};
+        out.occupied[slot] = true;
+        placed = true;
+      }
+      if (placed) break;
+      if (fresh) {
+        // Guaranteed unreachable for width >= 3: in a fresh packet slot s
+        // has backend rank s, so only s == lead_frontend_way and
+        // s == lead_backend_way are excluded — at most 2 of >= 3 slots.
+        // For degenerate widths (1 or 2) sacrifice diversity for progress.
+        out = OutputPacket(width);
+        out.slots[0] = ShuffleSlot{false, inst.fu, static_cast<int>(i)};
+        out.occupied[0] = true;
+        ++result.forced_places;
+        placed = true;
+        break;
+      }
+      // No usable slot: end this output packet and retry in a fresh one
+      // (the input packet splits).
+      flush_packet();
+    }
+  }
+  flush_packet();
+  result.splits = static_cast<int>(result.packets.size()) - 1;
+  return result;
+}
+
+// (splits, nops, forced) lexicographic quality.
+bool better(const ShuffleResult& a, const ShuffleResult& b) {
+  if (a.forced_places != b.forced_places)
+    return a.forced_places < b.forced_places;
+  if (a.splits != b.splits) return a.splits < b.splits;
+  return a.nops_inserted < b.nops_inserted;
+}
+
+}  // namespace
+
+int backend_way_in_packet(const ShuffledPacket& packet, std::size_t slot) {
+  assert(slot < packet.size());
+  int rank = 0;
+  for (std::size_t s = 0; s < slot; ++s) {
+    if (packet[s].cls == packet[slot].cls) ++rank;
+  }
+  return rank;
+}
+
+ShuffleResult safe_shuffle(const std::vector<ShuffleInst>& packet, int width) {
+  assert(width > 0);
+  if (packet.empty()) return ShuffleResult{};
+
+  // The paper's greedy processes the packet "in any arbitrary order". The
+  // order strongly affects how many NOPs get stranded and whether the packet
+  // splits, so try every processing order (packets are at most issue-width
+  // wide, so at most 4! = 24 greedy runs) and keep the best outcome by
+  // (no forced placements, fewest splits, fewest NOPs). Each individual run
+  // is exactly the paper's algorithm.
+  std::vector<std::size_t> order(packet.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  ShuffleResult best = run_greedy(packet, width, order);
+  if (packet.size() > 1) {
+    while (std::next_permutation(order.begin(), order.end())) {
+      ShuffleResult candidate = run_greedy(packet, width, order);
+      if (better(candidate, best)) best = std::move(candidate);
+      if (best.splits == 0 && best.nops_inserted == 0 &&
+          best.forced_places == 0) {
+        break;  // cannot improve further
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace bj

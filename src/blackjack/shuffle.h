@@ -1,0 +1,59 @@
+// Safe-shuffle (Section 4.2.2): the greedy algorithm that permutes a leading
+// packet into one or more trailing packets so that, when a trailing packet is
+// fetched and co-issued whole-and-alone, every instruction uses a different
+// frontend way and a different backend way than its leading copy.
+//
+// Implemented as a pure function so its invariants can be property-tested in
+// isolation from the pipeline:
+//   - every input instruction appears in exactly one output slot;
+//   - within each output packet, slot index != lead_frontend_way and the
+//     type-rank (same-class occupants in lower slots) != lead_backend_way,
+//     for every real instruction;
+//   - NOPs only occupy slots and carry the type class whose way they consume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/opcode.h"
+
+namespace bj {
+
+// What the shuffler needs to know about one leading instruction.
+struct ShuffleInst {
+  FuClass fu = FuClass::kIntAlu;
+  int lead_frontend_way = 0;
+  int lead_backend_way = 0;
+};
+
+// One slot of a shuffled output packet. Both real instructions and typed
+// NOPs carry the FU class whose backend way they occupy, making the packet
+// self-describing for way-rank computation.
+struct ShuffleSlot {
+  bool is_nop = true;
+  FuClass cls = FuClass::kIntAlu;
+  int input_index = -1;  // index into the input packet; -1 for NOPs
+};
+
+using ShuffledPacket = std::vector<ShuffleSlot>;
+
+struct ShuffleResult {
+  std::vector<ShuffledPacket> packets;
+  int nops_inserted = 0;
+  int splits = 0;         // packets.size() - 1 when input was non-empty
+  int forced_places = 0;  // diversity sacrificed to guarantee progress
+                          // (cannot occur when width >= 3; see shuffle.cc)
+};
+
+// Shuffles one input packet for a machine with `width` frontend ways.
+// Instructions are processed in input order (the order within a packet is
+// architecturally arbitrary). Always succeeds; worst case it splits the
+// packet down to singletons.
+ShuffleResult safe_shuffle(const std::vector<ShuffleInst>& packet, int width);
+
+// The backend way the occupant of `slot` receives under the oldest-first
+// mapping policy, assuming the packet issues whole and alone: the number of
+// same-class occupants (instructions and typed NOPs) in lower slots.
+int backend_way_in_packet(const ShuffledPacket& packet, std::size_t slot);
+
+}  // namespace bj

@@ -1,0 +1,111 @@
+#include "branch/predictor.h"
+
+#include <cassert>
+
+namespace bj {
+
+BranchPredictor::BranchPredictor(const BranchPredictorParams& params)
+    : params_(params),
+      counters_(std::size_t{1} << params.gshare_bits, 1),  // weakly not-taken
+      btb_(static_cast<std::size_t>(params.btb_entries)),
+      ras_(static_cast<std::size_t>(params.ras_entries), 0) {
+  assert(params.btb_entries % params.btb_assoc == 0);
+}
+
+std::uint32_t BranchPredictor::gshare_index(std::uint64_t pc) const {
+  const std::uint64_t mask = (1ull << params_.gshare_bits) - 1;
+  return static_cast<std::uint32_t>((pc ^ ghr_) & mask);
+}
+
+BranchPredictor::BtbEntry* BranchPredictor::btb_lookup(std::uint64_t pc) {
+  const int sets = params_.btb_entries / params_.btb_assoc;
+  const std::size_t set = static_cast<std::size_t>(pc % sets);
+  for (int w = 0; w < params_.btb_assoc; ++w) {
+    BtbEntry& e = btb_[set * params_.btb_assoc + w];
+    if (e.tag == pc) return &e;
+  }
+  return nullptr;
+}
+
+void BranchPredictor::btb_insert(std::uint64_t pc, std::uint64_t target) {
+  const int sets = params_.btb_entries / params_.btb_assoc;
+  const std::size_t set = static_cast<std::size_t>(pc % sets);
+  BtbEntry* victim = &btb_[set * params_.btb_assoc];
+  for (int w = 0; w < params_.btb_assoc; ++w) {
+    BtbEntry& e = btb_[set * params_.btb_assoc + w];
+    if (e.tag == pc) {
+      victim = &e;
+      break;
+    }
+    if (e.lru < victim->lru) victim = &e;
+  }
+  victim->tag = pc;
+  victim->target = target;
+  victim->lru = ++lru_clock_;
+}
+
+BranchPrediction BranchPredictor::predict(std::uint64_t pc,
+                                          const DecodedInst& inst) {
+  ++lookups_;
+  BranchPrediction p;
+  p.ghr_snapshot = ghr_;
+  p.gshare_index = gshare_index(pc);
+
+  if (inst.is_jump()) {
+    p.taken = true;
+    if (inst.op == Opcode::kJr) {
+      // Predict returns through the RAS; other indirect targets via BTB.
+      if (params_.ras_entries > 0 && ras_top_ > 0) {
+        p.target = ras_[(ras_top_ - 1) % ras_.size()];
+        --ras_top_;
+        p.btb_hit = true;
+      } else if (BtbEntry* e = btb_lookup(pc)) {
+        p.target = e->target;
+        e->lru = ++lru_clock_;
+        p.btb_hit = true;
+      } else {
+        p.target = pc + 1;  // no idea; will mispredict
+      }
+    } else {
+      // Direct jumps carry their target in the encoding.
+      p.target = static_cast<std::uint64_t>(inst.imm);
+      p.btb_hit = true;
+      if (inst.op == Opcode::kJal && params_.ras_entries > 0) {
+        ras_[ras_top_ % ras_.size()] = pc + 1;
+        ++ras_top_;
+      }
+    }
+    return p;
+  }
+
+  // Conditional branch: gshare direction, target from the encoding.
+  const std::uint8_t ctr = counters_[p.gshare_index];
+  p.taken = ctr >= 2;
+  p.target = pc + static_cast<std::uint64_t>(inst.imm);
+  p.btb_hit = true;
+  ghr_ = (ghr_ << 1) | (p.taken ? 1 : 0);
+  return p;
+}
+
+void BranchPredictor::resolve(std::uint64_t pc, const DecodedInst& inst,
+                              const BranchPrediction& made, bool taken,
+                              std::uint64_t target) {
+  if (inst.is_branch()) {
+    std::uint8_t& ctr = counters_[made.gshare_index];
+    if (taken) {
+      if (ctr < 3) ++ctr;
+    } else {
+      if (ctr > 0) --ctr;
+    }
+  }
+  if (inst.op == Opcode::kJr && taken) btb_insert(pc, target);
+  const bool mispredicted = taken != made.taken ||
+                            (taken && target != made.target);
+  if (mispredicted) ++mispredicts_;
+}
+
+void BranchPredictor::restore_history(std::uint64_t ghr, bool actual_taken) {
+  ghr_ = (ghr << 1) | (actual_taken ? 1 : 0);
+}
+
+}  // namespace bj

@@ -1,0 +1,70 @@
+// Branch prediction for the leading thread: gshare direction predictor,
+// a set-associative BTB for targets, and a return-address stack. The SRT and
+// BlackJack trailing threads never predict — SRT consumes leading outcomes
+// from the BOQ and BlackJack fetches a pre-resolved instruction stream — so
+// only the leading context owns one of these.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace bj {
+
+struct BranchPredictorParams {
+  int gshare_bits = 14;      // 16K 2-bit counters
+  int btb_entries = 2048;
+  int btb_assoc = 4;
+  int ras_entries = 16;
+};
+
+struct BranchPrediction {
+  bool taken = false;
+  std::uint64_t target = 0;     // meaningful when taken
+  bool btb_hit = false;
+  std::uint32_t gshare_index = 0;  // index used, for the resolve-time update
+  std::uint64_t ghr_snapshot = 0;  // history to restore on misprediction
+};
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BranchPredictorParams& params = {});
+
+  // Predicts one control instruction at fetch. Updates speculative state
+  // (global history, RAS). `inst` is the pre-decoded instruction.
+  BranchPrediction predict(std::uint64_t pc, const DecodedInst& inst);
+
+  // Resolve-time update with the true outcome.
+  void resolve(std::uint64_t pc, const DecodedInst& inst,
+               const BranchPrediction& made, bool taken, std::uint64_t target);
+
+  // Restores global history after a squash (to the mispredicted branch's
+  // snapshot plus its actual outcome).
+  void restore_history(std::uint64_t ghr, bool actual_taken);
+
+  std::uint64_t lookups() const { return lookups_; }
+  std::uint64_t mispredicts() const { return mispredicts_; }
+
+ private:
+  std::uint32_t gshare_index(std::uint64_t pc) const;
+  struct BtbEntry {
+    std::uint64_t tag = ~0ull;
+    std::uint64_t target = 0;
+    std::uint32_t lru = 0;
+  };
+  BtbEntry* btb_lookup(std::uint64_t pc);
+  void btb_insert(std::uint64_t pc, std::uint64_t target);
+
+  BranchPredictorParams params_;
+  std::vector<std::uint8_t> counters_;  // 2-bit saturating
+  std::vector<BtbEntry> btb_;
+  std::vector<std::uint64_t> ras_;
+  std::size_t ras_top_ = 0;
+  std::uint64_t ghr_ = 0;
+  std::uint32_t lru_clock_ = 0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t mispredicts_ = 0;
+};
+
+}  // namespace bj

@@ -1,0 +1,67 @@
+// Fixed-capacity FIFO used for the pipeline's hardware queues (fetch queues,
+// DTQ, LVQ, BOQ, store buffer). Capacity is set at construction to model a
+// hardware structure of a given size; push on a full queue is a programming
+// error (callers must check full() first, the way hardware stalls).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace bj {
+
+template <typename T>
+class CircularBuffer {
+ public:
+  explicit CircularBuffer(std::size_t capacity)
+      : slots_(capacity + 1) {}  // one spare slot distinguishes full/empty
+
+  std::size_t capacity() const { return slots_.size() - 1; }
+  std::size_t size() const {
+    return (tail_ + slots_.size() - head_) % slots_.size();
+  }
+  bool empty() const { return head_ == tail_; }
+  bool full() const { return size() == capacity(); }
+  std::size_t free_slots() const { return capacity() - size(); }
+
+  void push(T value) {
+    assert(!full() && "push on full CircularBuffer");
+    slots_[tail_] = std::move(value);
+    tail_ = (tail_ + 1) % slots_.size();
+  }
+
+  T pop() {
+    assert(!empty() && "pop on empty CircularBuffer");
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    return value;
+  }
+
+  T& front() {
+    assert(!empty());
+    return slots_[head_];
+  }
+  const T& front() const {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  // Random access from the head: at(0) == front().
+  T& at(std::size_t i) {
+    assert(i < size());
+    return slots_[(head_ + i) % slots_.size()];
+  }
+  const T& at(std::size_t i) const {
+    assert(i < size());
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  void clear() { head_ = tail_ = 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+}  // namespace bj

@@ -1,0 +1,27 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace bj {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) return fallback;
+  return parsed;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::string(value);
+}
+
+std::int64_t sim_instruction_budget() {
+  return env_int("BJ_SIM_INSTRUCTIONS", 150000);
+}
+
+std::int64_t sim_warmup_budget() { return env_int("BJ_SIM_WARMUP", 20000); }
+
+}  // namespace bj

@@ -1,0 +1,25 @@
+// Environment-variable knobs shared by tests, benches, and examples.
+// All knobs are read-once and deterministic defaults are used when unset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bj {
+
+// Reads an integer environment variable, returning `fallback` when the
+// variable is unset or unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+// Reads a string environment variable with a fallback.
+std::string env_string(const char* name, const std::string& fallback);
+
+// Number of committed leading-thread instructions simulated per benchmark
+// run (BJ_SIM_INSTRUCTIONS, default 150000).
+std::int64_t sim_instruction_budget();
+
+// Warm-up commits excluded from statistics (BJ_SIM_WARMUP, default 20000 —
+// enough to retire each generated kernel's cache-warming prologue).
+std::int64_t sim_warmup_budget();
+
+}  // namespace bj

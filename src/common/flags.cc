@@ -1,0 +1,77 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace bj {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  touched_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get(const std::string& name,
+                       const std::string& fallback) const {
+  touched_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  const std::string v = get(name);
+  if (v.empty()) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 0);
+  return end == v.c_str() ? fallback : parsed;
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const std::string v = get(name);
+  if (v.empty()) return fallback;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!touched_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+}  // namespace bj

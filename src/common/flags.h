@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for the tools: --key=value, --key value,
+// and bare --switch forms. Because "--key value" is supported, a bare switch
+// followed by a non-flag token consumes that token as its value — put
+// positional arguments before switches, or use the --switch=true form.
+// Unrecognized flags are collected so callers can report them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bj {
+
+class Flags {
+ public:
+  // Parses argv; non-flag arguments are collected as positional.
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Names that were consumed via get()/has(); anything else was unused.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+// Splits "a,b,c" / "a:b" style lists.
+std::vector<std::string> split(const std::string& s, char sep);
+
+}  // namespace bj

@@ -1,0 +1,91 @@
+// Small statistics accumulators used by the simulator to aggregate per-run
+// metrics (coverage, interference, IPC components).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bj {
+
+// Accumulates a stream of doubles; reports count/mean/min/max/stddev.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    sum_sq_ += x * x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  void add_n(double x, std::uint64_t times) {
+    n_ += times;
+    sum_ += x * static_cast<double>(times);
+    sum_sq_ += x * x * static_cast<double>(times);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const {
+    if (n_ < 2) return 0.0;
+    const double m = mean();
+    return std::max(0.0, sum_sq_ / static_cast<double>(n_) - m * m);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// A ratio counter: hits out of total, reported as a fraction or percent.
+class Ratio {
+ public:
+  void record(bool hit) {
+    ++total_;
+    if (hit) ++hits_;
+  }
+  void add(std::uint64_t hits, std::uint64_t total) {
+    hits_ += hits;
+    total_ += total;
+  }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t total() const { return total_; }
+  double fraction() const {
+    return total_ ? static_cast<double>(hits_) / static_cast<double>(total_)
+                  : 0.0;
+  }
+  double percent() const { return 100.0 * fraction(); }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+// Sparse named counters, handy for one-off event counts in the pipeline.
+class CounterSet {
+ public:
+  void bump(const std::string& name, std::uint64_t by = 1) {
+    counters_[name] += by;
+  }
+  std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace bj

@@ -1,0 +1,38 @@
+// Plain-text table formatting for bench binaries: each experiment prints the
+// same rows/series the paper reports, aligned for terminal reading, plus an
+// optional CSV form for downstream plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bj {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Starts a new row; values are appended with add()/add_percent().
+  void begin_row();
+  void add(const std::string& value);
+  void add(double value, int precision = 2);
+  void add_percent(double fraction, int precision = 1);
+  void add_int(long long value);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Renders an aligned text table.
+  std::string to_text() const;
+  // Renders RFC-4180-ish CSV (no quoting of embedded commas needed here).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bj

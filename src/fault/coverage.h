@@ -1,0 +1,61 @@
+// Hard-error instruction-coverage accounting (Section 5 methodology).
+//
+// Coverage is the fraction of leading/trailing instruction pairs that
+// executed on spatially diverse hardware, weighted by the core area the pair
+// exercised. Equal areas are assumed to have equal hard-error probability.
+// Following the paper, the issue queue is granted full coverage for both SRT
+// and BlackJack (SRT gets the benefit of the doubt; BlackJack covers it via
+// the dependence check); of the remaining core area, 34% is frontend and 66%
+// backend, so a pair contributes
+//     0.34 * [frontend ways differ] + 0.66 * [backend ways differ].
+#pragma once
+
+#include <cstdint>
+
+namespace bj {
+
+struct AreaModel {
+  double frontend_fraction = 0.34;
+  double backend_fraction = 0.66;
+};
+
+class CoverageAccounting {
+ public:
+  explicit CoverageAccounting(const AreaModel& area = {}) : area_(area) {}
+
+  void add_pair(bool frontend_diverse, bool backend_diverse) {
+    ++pairs_;
+    if (frontend_diverse) ++frontend_diverse_;
+    if (backend_diverse) ++backend_diverse_;
+  }
+
+  void reset() { pairs_ = frontend_diverse_ = backend_diverse_ = 0; }
+
+  std::uint64_t pairs() const { return pairs_; }
+
+  double frontend_coverage() const {
+    return pairs_ ? static_cast<double>(frontend_diverse_) /
+                        static_cast<double>(pairs_)
+                  : 0.0;
+  }
+  double backend_coverage() const {
+    return pairs_ ? static_cast<double>(backend_diverse_) /
+                        static_cast<double>(pairs_)
+                  : 0.0;
+  }
+  // Whole-pipeline coverage (Figure 4a).
+  double total_coverage() const {
+    return area_.frontend_fraction * frontend_coverage() +
+           area_.backend_fraction * backend_coverage();
+  }
+
+  const AreaModel& area() const { return area_; }
+
+ private:
+  AreaModel area_;
+  std::uint64_t pairs_ = 0;
+  std::uint64_t frontend_diverse_ = 0;
+  std::uint64_t backend_diverse_ = 0;
+};
+
+}  // namespace bj

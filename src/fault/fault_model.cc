@@ -1,0 +1,114 @@
+#include "fault/fault_model.h"
+
+#include <sstream>
+
+namespace bj {
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kFrontendDecoder: return "frontend-decoder";
+    case FaultSite::kBackendResult: return "backend-result";
+    case FaultSite::kIqPayload: return "iq-payload";
+  }
+  return "?";
+}
+
+std::string HardFault::describe() const {
+  std::ostringstream os;
+  os << fault_site_name(site);
+  switch (site) {
+    case FaultSite::kFrontendDecoder:
+      os << " way " << frontend_way;
+      break;
+    case FaultSite::kBackendResult:
+      os << ' ' << fu_class_name(fu) << " way " << backend_way;
+      break;
+    case FaultSite::kIqPayload:
+      os << " entry " << iq_entry;
+      break;
+  }
+  os << " bit " << bit << " stuck-at-" << (stuck_value ? 1 : 0);
+  return os.str();
+}
+
+std::uint64_t FaultInjector::force_bit(std::uint64_t value, int bit,
+                                       bool stuck) {
+  const std::uint64_t mask = 1ull << bit;
+  const std::uint64_t forced =
+      stuck ? (value | mask) : (value & ~mask);
+  if (forced != value) ++activations_;
+  return forced;
+}
+
+std::uint32_t FaultInjector::on_decode(std::uint32_t raw, int frontend_way) {
+  if (!fault_ || fault_->site != FaultSite::kFrontendDecoder) return raw;
+  if (fault_->frontend_way != frontend_way) return raw;
+  return static_cast<std::uint32_t>(
+      force_bit(raw, fault_->bit & 31, fault_->stuck_value));
+}
+
+std::string TransientFault::describe() const {
+  std::ostringstream os;
+  os << "transient bit-flip: execution #" << trigger_execution << " bit "
+     << bit;
+  return os.str();
+}
+
+void FaultInjector::apply_transient(ExecOutcome& out,
+                                    const DecodedInst& inst) {
+  const std::uint64_t n = executions_++;
+  if (n != transient_->trigger_execution || transient_fired_) return;
+  transient_fired_ = true;
+  const std::uint64_t mask = 1ull << (transient_->bit & 63);
+  if (inst.is_branch()) {
+    out.taken = !out.taken;
+  } else if (inst.is_mem()) {
+    out.mem_addr = (out.mem_addr ^ mask) & ~7ull;
+  } else {
+    out.value ^= mask;
+  }
+  ++activations_;
+}
+
+void FaultInjector::refund_execution() {
+  if (!transient_.has_value() || executions_ == 0) return;
+  --executions_;
+  if (transient_fired_ && executions_ == transient_->trigger_execution) {
+    transient_fired_ = false;
+    --activations_;
+  }
+}
+
+void FaultInjector::on_execute(ExecOutcome& out, const DecodedInst& inst,
+                               FuClass fu, int backend_way) {
+  if (transient_.has_value()) apply_transient(out, inst);
+  if (!fault_ || fault_->site != FaultSite::kBackendResult) return;
+  if (fault_->fu != fu || fault_->backend_way != backend_way) return;
+  const int bit = fault_->bit & 63;
+  if (inst.is_branch()) {
+    // Comparator output stuck: the branch direction flips when forced.
+    const bool forced = fault_->stuck_value;
+    if (out.taken != forced) {
+      out.taken = forced;
+      ++activations_;
+    }
+  } else if (inst.is_jump()) {
+    out.target = force_bit(out.target, bit, fault_->stuck_value);
+  } else if (inst.is_mem()) {
+    // Address-path fault: the shared cache data is not a per-way resource,
+    // but the per-port address path is.
+    out.mem_addr = force_bit(out.mem_addr, bit, fault_->stuck_value) & ~7ull;
+  } else {
+    out.value = force_bit(out.value, bit, fault_->stuck_value);
+  }
+}
+
+std::int64_t FaultInjector::on_payload(std::int64_t imm, int iq_entry) {
+  if (!fault_ || fault_->site != FaultSite::kIqPayload) return imm;
+  if (fault_->iq_entry != iq_entry) return imm;
+  return static_cast<std::int64_t>(
+      force_bit(static_cast<std::uint64_t>(imm), fault_->bit & 15,
+                fault_->stuck_value));
+}
+
+}  // namespace bj

@@ -1,0 +1,106 @@
+// Hard (permanent) fault model. A fault is a stuck-at bit tied to a specific
+// piece of pipeline hardware; it corrupts every instruction that exercises
+// that hardware, in either thread — exactly the error class BlackJack's
+// spatial diversity is designed to expose. Sites:
+//
+//   kFrontendDecoder — one decoder lane (frontend way): a bit of the 32-bit
+//       instruction word is forced while being decoded in that way.
+//   kBackendResult   — one function unit (backend way of a type class): a
+//       bit of the produced result is forced. For branches the forced bit
+//       is the comparator outcome; for memory ways it is a bit of the
+//       *address path* (the data returned by the cache is shared input and
+//       is not a per-way resource).
+//   kIqPayload       — one issue-queue payload-RAM entry: a bit of the
+//       instruction's immediate payload is forced while the instruction
+//       occupies that entry. The paper notes this RAM must be duplicated
+//       per thread to be coverable; the pipeline has a switch for that.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "isa/exec.h"
+#include "isa/opcode.h"
+
+namespace bj {
+
+enum class FaultSite : std::uint8_t {
+  kFrontendDecoder,
+  kBackendResult,
+  kIqPayload,
+};
+
+const char* fault_site_name(FaultSite site);
+
+struct HardFault {
+  FaultSite site = FaultSite::kBackendResult;
+  // kFrontendDecoder: which decoder lane.
+  int frontend_way = 0;
+  // kBackendResult: which unit.
+  FuClass fu = FuClass::kIntAlu;
+  int backend_way = 0;
+  // kIqPayload: which entry.
+  int iq_entry = 0;
+  // The stuck bit.
+  int bit = 0;
+  bool stuck_value = true;
+
+  std::string describe() const;
+};
+
+// A transient (soft) fault: a one-shot bit flip in the result of the Nth
+// instruction executed by the core (counting both threads' executions).
+// Unlike a hard fault it is not tied to a hardware resource — temporal
+// redundancy alone suffices to expose it, which is why SRT detects soft
+// errors without spatial diversity (Section 1).
+struct TransientFault {
+  std::uint64_t trigger_execution = 0;  // flip on the Nth executed instruction
+  int bit = 0;
+
+  std::string describe() const;
+};
+
+// Injection hooks called from the pipeline. Activation counts increment only
+// when forcing the bit actually changed a value (the fault was exercised
+// in a way that matters).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const HardFault& fault) : fault_(fault) {}
+  explicit FaultInjector(const TransientFault& fault) : transient_(fault) {}
+
+  bool armed() const { return fault_.has_value() || transient_.has_value(); }
+  const std::optional<HardFault>& fault() const { return fault_; }
+  const std::optional<TransientFault>& transient() const { return transient_; }
+  std::uint64_t activations() const { return activations_; }
+
+  // Decode-lane hook: returns the (possibly corrupted) instruction word.
+  std::uint32_t on_decode(std::uint32_t raw, int frontend_way);
+
+  // Execute hook: corrupts the execution outcome of an instruction that ran
+  // on (fu, backend_way).
+  void on_execute(ExecOutcome& out, const DecodedInst& inst, FuClass fu,
+                  int backend_way);
+
+  // Issue-queue payload hook: returns the (possibly corrupted) immediate for
+  // an instruction occupying `iq_entry`.
+  std::int64_t on_payload(std::int64_t imm, int iq_entry);
+
+  // The pipeline calls this when an execution attempt is discarded (an
+  // MSHR-rejected load that will retry): the attempt must not consume a
+  // transient trigger, and a flip applied to it evaporated, so re-arm.
+  void refund_execution();
+
+ private:
+  std::uint64_t force_bit(std::uint64_t value, int bit, bool stuck);
+  void apply_transient(ExecOutcome& out, const DecodedInst& inst);
+
+  std::optional<HardFault> fault_;
+  std::optional<TransientFault> transient_;
+  std::uint64_t executions_ = 0;
+  bool transient_fired_ = false;
+  std::uint64_t activations_ = 0;
+};
+
+}  // namespace bj

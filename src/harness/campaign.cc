@@ -1,0 +1,209 @@
+#include "harness/campaign.h"
+
+#include <algorithm>
+
+#include "arch/emulator.h"
+#include "common/rng.h"
+
+namespace bj {
+
+const char* fault_outcome_name(FaultOutcome outcome) {
+  switch (outcome) {
+    case FaultOutcome::kDetected: return "detected";
+    case FaultOutcome::kDetectedLate: return "detected-late";
+    case FaultOutcome::kWedged: return "wedged";
+    case FaultOutcome::kSdc: return "sdc";
+    case FaultOutcome::kBenign: return "benign";
+  }
+  return "?";
+}
+
+std::map<FaultOutcome, int> CampaignResult::totals() const {
+  std::map<FaultOutcome, int> t;
+  for (const FaultRun& run : runs) ++t[run.outcome];
+  return t;
+}
+
+int CampaignResult::count(FaultOutcome outcome) const {
+  int n = 0;
+  for (const FaultRun& run : runs) {
+    if (run.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+double CampaignResult::detection_rate_of_activated() const {
+  int activated = 0;
+  int detected = 0;
+  for (const FaultRun& run : runs) {
+    if (run.activations == 0) continue;
+    ++activated;
+    if (run.outcome == FaultOutcome::kDetected ||
+        run.outcome == FaultOutcome::kDetectedLate ||
+        run.outcome == FaultOutcome::kWedged) {
+      ++detected;
+    }
+  }
+  return activated ? static_cast<double>(detected) / activated : 0.0;
+}
+
+double CampaignResult::corruption_rate_of_activated() const {
+  int activated = 0;
+  int corrupted = 0;
+  for (const FaultRun& run : runs) {
+    if (run.activations == 0) continue;
+    ++activated;
+    if (run.corrupt_stores_released > 0) ++corrupted;
+  }
+  return activated ? static_cast<double>(corrupted) / activated : 0.0;
+}
+
+double CampaignResult::sdc_rate_of_activated() const {
+  int activated = 0;
+  int sdc = 0;
+  for (const FaultRun& run : runs) {
+    if (run.activations == 0) continue;
+    ++activated;
+    if (run.outcome == FaultOutcome::kSdc) ++sdc;
+  }
+  return activated ? static_cast<double>(sdc) / activated : 0.0;
+}
+
+std::vector<HardFault> generate_faults(const CoreParams& params,
+                                       int num_faults, std::uint64_t seed,
+                                       const std::vector<FaultSite>& sites) {
+  std::vector<FaultSite> pool = sites;
+  if (pool.empty()) {
+    pool = {FaultSite::kFrontendDecoder, FaultSite::kBackendResult,
+            FaultSite::kIqPayload};
+  }
+  Rng rng(seed);
+  std::vector<HardFault> faults;
+  faults.reserve(static_cast<std::size_t>(num_faults));
+  for (int i = 0; i < num_faults; ++i) {
+    HardFault f;
+    f.site = pool[rng.next_below(pool.size())];
+    f.stuck_value = rng.chance(0.5);
+    switch (f.site) {
+      case FaultSite::kFrontendDecoder:
+        f.frontend_way = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(params.fetch_width)));
+        f.bit = static_cast<int>(rng.next_below(32));
+        break;
+      case FaultSite::kBackendResult: {
+        f.fu = static_cast<FuClass>(rng.next_below(kNumFuClasses));
+        f.backend_way = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(params.fu_count(f.fu))));
+        // Bias toward low-order bits so more faults are architecturally
+        // visible within a short run.
+        f.bit = static_cast<int>(rng.next_below(rng.chance(0.5) ? 16 : 64));
+        break;
+      }
+      case FaultSite::kIqPayload:
+        f.iq_entry = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(params.issue_queue_entries)));
+        f.bit = static_cast<int>(rng.next_below(16));
+        break;
+    }
+    faults.push_back(f);
+  }
+  return faults;
+}
+
+namespace {
+
+// Golden store trace from the architectural emulator, long enough to cover
+// anything the faulty run may have released.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> golden_stores(
+    const Program& program, std::size_t min_count,
+    std::uint64_t max_instructions) {
+  Emulator emu(program);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> stores;
+  std::uint64_t steps = 0;
+  while (stores.size() < min_count && steps < max_instructions &&
+         !emu.halted()) {
+    const auto rec = emu.step();
+    if (!rec.has_value()) break;
+    ++steps;
+    if (rec->store.has_value()) stores.push_back(*rec->store);
+  }
+  return stores;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const Program& program,
+                            const CampaignConfig& config) {
+  CampaignResult result;
+  result.workload = program.name;
+  result.mode = config.mode;
+
+  std::vector<FaultInjector> injectors;
+  std::vector<HardFault> fault_labels;
+  if (config.soft_errors) {
+    Rng rng(config.seed);
+    for (int i = 0; i < config.num_faults; ++i) {
+      TransientFault t;
+      // Trigger somewhere inside the run, past typical kernel warm-up
+      // prologues (executions roughly track commits; redundant modes
+      // execute each instruction twice).
+      t.trigger_execution = 10000 + rng.next_below(config.budget_commits);
+      t.bit = 3 + static_cast<int>(rng.next_below(40));
+      injectors.emplace_back(t);
+      HardFault label;  // campaign bookkeeping reuses the HardFault slot
+      label.bit = t.bit;
+      fault_labels.push_back(label);
+    }
+  } else {
+    for (const HardFault& f : generate_faults(config.params, config.num_faults,
+                                              config.seed, config.sites)) {
+      injectors.emplace_back(f);
+      fault_labels.push_back(f);
+    }
+  }
+
+  for (std::size_t fi = 0; fi < injectors.size(); ++fi) {
+    FaultInjector injector = injectors[fi];
+    const HardFault& fault = fault_labels[fi];
+    Core core(program, config.mode, config.params, &injector);
+    core.set_oracle_check(false);
+    const std::uint64_t max_cycles =
+        config.budget_commits * 64 + config.params.watchdog_cycles * 4;
+    const RunOutcome outcome = core.run(config.budget_commits, max_cycles);
+
+    FaultRun run;
+    run.fault = fault;
+    run.activations = injector.activations();
+
+    // Corruption analysis: did any wrong store reach memory?
+    const auto& released = core.released_stores();
+    const auto golden = golden_stores(program, released.size(),
+                                      config.budget_commits * 4 + 1000000);
+    for (std::size_t i = 0; i < released.size(); ++i) {
+      const bool wrong = i >= golden.size() ||
+                         released[i].addr != golden[i].first ||
+                         released[i].data != golden[i].second;
+      if (wrong) ++run.corrupt_stores_released;
+    }
+
+    if (!outcome.detections.empty()) {
+      const DetectionEvent& first = outcome.detections.front();
+      run.detection_cycle = first.cycle;
+      run.detection_kind = first.kind;
+      if (first.kind == DetectionKind::kWatchdogTimeout) {
+        run.outcome = FaultOutcome::kWedged;
+      } else {
+        run.outcome = run.corrupt_stores_released == 0
+                          ? FaultOutcome::kDetected
+                          : FaultOutcome::kDetectedLate;
+      }
+    } else {
+      run.outcome = run.corrupt_stores_released > 0 ? FaultOutcome::kSdc
+                                                    : FaultOutcome::kBenign;
+    }
+    result.runs.push_back(run);
+  }
+  return result;
+}
+
+}  // namespace bj

@@ -1,0 +1,76 @@
+// Fault-injection campaign: inject randomly placed hard faults and classify
+// each run's outcome. This is the end-to-end validation of the coverage
+// numbers — a fault whose instruction pairs were spatially diverse must be
+// DETECTED by one of the checks, never silently corrupt data.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/fault_model.h"
+#include "harness/driver.h"
+
+namespace bj {
+
+enum class FaultOutcome : std::uint8_t {
+  kDetected,      // a check fired before any corrupt store reached memory
+  kDetectedLate,  // a check fired, but corrupted data had already been
+                  // released — the failure mode BlackJack exists to prevent
+  kWedged,        // watchdog timeout (detected by last resort)
+  kSdc,           // corrupt stores released and no check ever fired
+  kBenign,        // no architectural effect within the run window
+};
+
+const char* fault_outcome_name(FaultOutcome outcome);
+
+struct CampaignConfig {
+  Mode mode = Mode::kSrt;
+  CoreParams params;
+  int num_faults = 100;
+  std::uint64_t seed = 1234;
+  std::uint64_t budget_commits = 20000;
+  // Restrict injection to these sites (empty = all sites).
+  std::vector<FaultSite> sites;
+  // Inject one-shot transient bit flips (soft errors) instead of permanent
+  // stuck-at faults. SRT and BlackJack should both detect these — temporal
+  // redundancy suffices; spatial diversity is only needed for hard faults.
+  bool soft_errors = false;
+};
+
+struct FaultRun {
+  HardFault fault;
+  FaultOutcome outcome = FaultOutcome::kBenign;
+  std::uint64_t activations = 0;
+  std::uint64_t detection_cycle = 0;
+  DetectionKind detection_kind = DetectionKind::kWatchdogTimeout;
+  std::uint64_t corrupt_stores_released = 0;
+};
+
+struct CampaignResult {
+  std::string workload;
+  Mode mode = Mode::kSingle;
+  std::vector<FaultRun> runs;
+
+  std::map<FaultOutcome, int> totals() const;
+  int count(FaultOutcome outcome) const;
+  // Of the runs in which the fault was actually exercised (activations > 0),
+  // the fraction that were detected (checks or watchdog).
+  double detection_rate_of_activated() const;
+  // Fraction of activated runs in which corrupted data reached memory —
+  // whether or not a check eventually fired (kDetectedLate + kSdc).
+  double corruption_rate_of_activated() const;
+  double sdc_rate_of_activated() const;
+};
+
+// Generates a deterministic set of fault sites (shared across modes so SRT
+// and BlackJack face the *same* faults) and runs the campaign.
+std::vector<HardFault> generate_faults(const CoreParams& params,
+                                       int num_faults, std::uint64_t seed,
+                                       const std::vector<FaultSite>& sites);
+
+CampaignResult run_campaign(const Program& program,
+                            const CampaignConfig& config);
+
+}  // namespace bj

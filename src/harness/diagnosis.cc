@@ -1,0 +1,117 @@
+#include "harness/diagnosis.h"
+
+#include "arch/emulator.h"
+
+namespace bj {
+namespace {
+
+enum class TrialOutcome {
+  kDetected,        // checks still fire: the faulty unit is still in use
+  kSilentCorrupt,   // no check fires but output is wrong — deconfiguring a
+                    // *healthy* way can do this in a 2-way class: both copies
+                    // then share the faulty unit and agree on the corruption
+  kClean,           // no detection and correct output: the fault is fenced
+};
+
+// The known-answer reference. In the field this corresponds to a stored
+// self-test with precomputed answers (testers are not available, but test
+// vectors are); in the simulator the architectural emulator supplies it.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> golden_stores(
+    const Program& program, std::size_t count, std::uint64_t max_steps) {
+  Emulator emu(program);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> stores;
+  std::uint64_t steps = 0;
+  while (stores.size() < count && steps < max_steps && !emu.halted()) {
+    const auto rec = emu.step();
+    if (!rec.has_value()) break;
+    ++steps;
+    if (rec->store.has_value()) stores.push_back(*rec->store);
+  }
+  return stores;
+}
+
+TrialOutcome run_trial(const Program& program, Mode mode,
+                       const CoreParams& params, const HardFault& fault,
+                       std::uint64_t budget) {
+  FaultInjector injector(fault);
+  Core core(program, mode, params, &injector);
+  core.set_oracle_check(false);
+  const std::uint64_t max_cycles = budget * 64 + params.watchdog_cycles * 4;
+  const RunOutcome outcome = core.run(budget, max_cycles);
+  if (outcome.detected) return TrialOutcome::kDetected;
+
+  const auto& released = core.released_stores();
+  const auto golden =
+      golden_stores(program, released.size(), budget * 4 + 1000000);
+  for (std::size_t i = 0; i < released.size(); ++i) {
+    if (i >= golden.size() || released[i].addr != golden[i].first ||
+        released[i].data != golden[i].second) {
+      return TrialOutcome::kSilentCorrupt;
+    }
+  }
+  return TrialOutcome::kClean;
+}
+
+std::uint64_t run_cycles(const Program& program, Mode mode,
+                         const CoreParams& params, std::uint64_t budget) {
+  Core core(program, mode, params);
+  core.set_oracle_check(false);
+  const std::uint64_t max_cycles = budget * 64 + params.watchdog_cycles * 4;
+  core.run(budget, max_cycles);
+  return core.cycle();
+}
+
+}  // namespace
+
+DiagnosisResult diagnose_backend_fault(const Program& program, Mode mode,
+                                       const CoreParams& params,
+                                       const HardFault& fault,
+                                       std::uint64_t budget_commits) {
+  DiagnosisResult result;
+  result.baseline_detected =
+      run_trial(program, mode, params, fault, budget_commits) !=
+      TrialOutcome::kClean;
+  if (!result.baseline_detected) return result;  // nothing to localize
+
+  std::vector<std::pair<FuClass, int>> fixed;
+  for (int c = 0; c < kNumFuClasses; ++c) {
+    const auto cls = static_cast<FuClass>(c);
+    const int ways = params.fu_count(cls);
+    // A class with a single enabled way cannot be deconfigured (the machine
+    // could no longer execute that class at all); with the paper's Table 1
+    // every class has at least two ways.
+    if (ways < 2) continue;
+    for (int w = 0; w < ways; ++w) {
+      CoreParams trial_params = params;
+      trial_params.disabled_backend_ways[static_cast<std::size_t>(c)] |=
+          1u << static_cast<unsigned>(w);
+      DiagnosisTrial trial;
+      trial.fu = cls;
+      trial.way = w;
+      const TrialOutcome outcome =
+          run_trial(program, mode, trial_params, fault, budget_commits);
+      trial.detected = outcome != TrialOutcome::kClean;
+      if (outcome == TrialOutcome::kClean) fixed.emplace_back(cls, w);
+      result.trials.push_back(trial);
+    }
+  }
+
+  if (fixed.size() == 1) {
+    result.suspect = fixed.front();
+    // Quantify degraded-mode cost: healthy vs fenced-off performance on the
+    // same (fault-free) machine.
+    CoreParams degraded = params;
+    degraded.disabled_backend_ways[static_cast<std::size_t>(
+        fixed.front().first)] |= 1u << static_cast<unsigned>(fixed.front().second);
+    const std::uint64_t healthy =
+        run_cycles(program, mode, params, budget_commits);
+    const std::uint64_t fenced =
+        run_cycles(program, mode, degraded, budget_commits);
+    result.degraded_performance =
+        fenced ? static_cast<double>(healthy) / static_cast<double>(fenced)
+               : 0.0;
+  }
+  return result;
+}
+
+}  // namespace bj

@@ -1,0 +1,50 @@
+// Hard-fault diagnosis by deconfiguration (extension; cf. the paper's
+// related work: Bower et al.'s online diagnosis, Rescue's isolate-and-avoid,
+// and Srinivasan et al.'s structural duplication).
+//
+// Once BlackJack has *detected* a hard error, the natural next question is
+// "which unit?". Backend ways are redundant (4 int ALUs, 2 of everything
+// else), so a diagnosis pass can rerun the detecting workload with one way
+// disabled at a time: the configuration in which detections disappear names
+// the faulty unit, and the chip can keep running in degraded mode with that
+// way fenced off.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fault/fault_model.h"
+#include "isa/program.h"
+#include "pipeline/core.h"
+
+namespace bj {
+
+struct DiagnosisTrial {
+  FuClass fu = FuClass::kIntAlu;
+  int way = 0;
+  bool detected = false;  // did the redundancy checks still fire?
+};
+
+struct DiagnosisResult {
+  // The localized faulty unit, if exactly one deconfiguration silenced the
+  // detections. nullopt: the fault is not in a (deconfigurable) backend way
+  // — e.g., a decoder-lane fault.
+  std::optional<std::pair<FuClass, int>> suspect;
+  bool baseline_detected = false;  // sanity: fault visible at all?
+  std::vector<DiagnosisTrial> trials;
+
+  // Degraded-mode performance with the suspect fenced off, relative to the
+  // healthy machine (1.0 = no loss). Only meaningful when suspect is set.
+  double degraded_performance = 0.0;
+};
+
+// Runs the diagnosis sweep: a baseline run (expects a detection), then one
+// run per backend way with that way disabled. `budget_commits` bounds each
+// trial. The injector's fault is the ground truth being localized; the
+// diagnosis itself never looks at it.
+DiagnosisResult diagnose_backend_fault(const Program& program, Mode mode,
+                                       const CoreParams& params,
+                                       const HardFault& fault,
+                                       std::uint64_t budget_commits);
+
+}  // namespace bj

@@ -1,0 +1,91 @@
+#include "harness/driver.h"
+
+#include "common/rng.h"
+
+namespace bj {
+
+SimResult run_simulation(const Program& program, const SimRequest& request) {
+  FaultInjector injector =
+      request.fault.has_value() ? FaultInjector(*request.fault)
+                                : FaultInjector();
+  Core core(program, request.mode, request.params, &injector);
+  core.set_oracle_check(request.oracle_check);
+
+  const std::uint64_t max_cycles =
+      request.max_cycles != 0
+          ? request.max_cycles
+          : (request.warmup_commits + request.budget_commits) * 64 +
+                request.params.watchdog_cycles * 4;
+
+  // Warm-up window: run, then zero the statistics.
+  core.run(request.warmup_commits, max_cycles);
+  core.reset_stats();
+  const std::uint64_t cycles_before = core.cycle();
+  const RunOutcome outcome = core.run(request.budget_commits, max_cycles);
+
+  SimResult r;
+  r.workload = program.name;
+  r.mode = request.mode;
+  r.cycles = outcome.cycles - cycles_before;
+  r.commits = core.stats().leading_commits;
+  r.ipc = r.cycles ? static_cast<double>(r.commits) /
+                         static_cast<double>(r.cycles)
+                   : 0.0;
+
+  const CoreStats& s = core.stats();
+  r.coverage_total = s.coverage.total_coverage();
+  r.coverage_frontend = s.coverage.frontend_coverage();
+  r.coverage_backend = s.coverage.backend_coverage();
+  r.coverage_pairs = s.coverage.pairs();
+  r.lt_interference = s.lt_interference_fraction();
+  r.tt_interference = s.tt_interference_fraction();
+  r.other_diversity_loss =
+      s.issue_cycles ? static_cast<double>(s.other_diversity_loss_cycles) /
+                           static_cast<double>(s.issue_cycles)
+                     : 0.0;
+  r.burstiness = s.burstiness();
+  r.shuffle_nops = s.shuffle_nops;
+  r.packet_splits = s.packet_splits;
+  r.packets = s.packets_shuffled;
+  r.branch_mispredicts = s.branch_mispredicts;
+
+  r.finished = outcome.program_finished;
+  r.wedged = outcome.wedged;
+  r.detected = outcome.detected;
+  r.detections = outcome.detections;
+  r.oracle_violated = core.oracle_violated();
+  r.oracle_detail = core.oracle_violation_detail();
+  return r;
+}
+
+SimResult run_workload(const WorkloadProfile& profile,
+                       const SimRequest& request) {
+  const Program program = generate_workload(profile);
+  SimResult result = run_simulation(program, request);
+  result.workload = profile.name;
+  return result;
+}
+
+AggregateResult run_workload_seeds(const WorkloadProfile& profile,
+                                   const SimRequest& request, int seeds) {
+  AggregateResult agg;
+  agg.workload = profile.name;
+  agg.mode = request.mode;
+  agg.seeds = seeds;
+  for (int i = 0; i < seeds; ++i) {
+    WorkloadProfile variant = profile;
+    // Seed 0 means "derive from the name"; keep the canonical instance as
+    // the first sample and perturb deterministically afterwards.
+    if (i > 0) variant.seed = hash_name(profile.name) + static_cast<std::uint64_t>(i);
+    const SimResult r = run_workload(variant, request);
+    agg.ipc.add(r.ipc);
+    agg.coverage_total.add(r.coverage_total);
+    agg.coverage_backend.add(r.coverage_backend);
+    agg.lt_interference.add(r.lt_interference);
+    agg.tt_interference.add(r.tt_interference);
+    agg.burstiness.add(r.burstiness);
+  }
+  return agg;
+}
+
+}  // namespace bj

@@ -1,0 +1,91 @@
+// Experiment driver: builds a core in the requested mode, runs warm-up and a
+// measured window, and returns the aggregate statistics the benches print.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "fault/fault_model.h"
+#include "isa/program.h"
+#include "pipeline/core.h"
+#include "workload/profile.h"
+
+namespace bj {
+
+struct SimRequest {
+  Mode mode = Mode::kSingle;
+  CoreParams params;
+  std::uint64_t warmup_commits = 10000;
+  std::uint64_t budget_commits = 150000;
+  std::uint64_t max_cycles = 0;  // 0 = derived from the budget
+  bool oracle_check = true;
+  std::optional<HardFault> fault;
+};
+
+struct SimResult {
+  std::string workload;
+  Mode mode = Mode::kSingle;
+
+  // Measured window.
+  std::uint64_t cycles = 0;
+  std::uint64_t commits = 0;
+  double ipc = 0.0;
+
+  // Coverage (Figure 4).
+  double coverage_total = 0.0;
+  double coverage_frontend = 0.0;
+  double coverage_backend = 0.0;
+  std::uint64_t coverage_pairs = 0;
+
+  // Interference / burstiness (Figures 5, 6).
+  double lt_interference = 0.0;      // fraction of issue cycles
+  double tt_interference = 0.0;
+  double other_diversity_loss = 0.0;
+  double burstiness = 0.0;
+
+  // Shuffle behaviour.
+  std::uint64_t shuffle_nops = 0;
+  std::uint64_t packet_splits = 0;
+  std::uint64_t packets = 0;
+
+  // Branch prediction.
+  std::uint64_t branch_mispredicts = 0;
+
+  // Outcome flags.
+  bool finished = false;
+  bool wedged = false;
+  bool detected = false;
+  std::vector<DetectionEvent> detections;
+  bool oracle_violated = false;
+  std::string oracle_detail;
+};
+
+// Runs one simulation of `program` under `request`.
+SimResult run_simulation(const Program& program, const SimRequest& request);
+
+// Convenience: generates the named profile's kernel and runs it.
+SimResult run_workload(const WorkloadProfile& profile,
+                       const SimRequest& request);
+
+// Statistical variant: runs `seeds` kernel instantiations of the same
+// profile (seed-perturbed instruction streams) and aggregates the metrics.
+// Quantifies how much of a reported number is workload-instance noise.
+struct AggregateResult {
+  std::string workload;
+  Mode mode = Mode::kSingle;
+  int seeds = 0;
+  RunningStat ipc;
+  RunningStat coverage_total;
+  RunningStat coverage_backend;
+  RunningStat lt_interference;
+  RunningStat tt_interference;
+  RunningStat burstiness;
+};
+
+AggregateResult run_workload_seeds(const WorkloadProfile& profile,
+                                   const SimRequest& request, int seeds);
+
+}  // namespace bj

@@ -1,0 +1,382 @@
+#include "isa/assembler.h"
+
+#include <bit>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "isa/builder.h"
+
+namespace bj {
+namespace {
+
+// One token of an instruction line.
+struct Token {
+  std::string text;
+};
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string strip_comment(const std::string& line) {
+  std::size_t cut = line.size();
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == ';' || line[i] == '#') {
+      cut = i;
+      break;
+    }
+  }
+  return line.substr(0, cut);
+}
+
+// Splits "addi r1, r0, 42" into mnemonic + operand strings.
+struct ParsedLine {
+  std::string mnemonic;
+  std::vector<std::string> operands;
+};
+
+ParsedLine split_line(const std::string& line) {
+  ParsedLine out;
+  std::size_t i = 0;
+  while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i])))
+    ++i;
+  out.mnemonic = line.substr(0, i);
+  std::string rest = strip(line.substr(i));
+  std::string current;
+  int bracket_depth = 0;
+  for (char c : rest) {
+    if (c == '[') ++bracket_depth;
+    if (c == ']') --bracket_depth;
+    if (c == ',' && bracket_depth == 0) {
+      out.operands.push_back(strip(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!strip(current).empty()) out.operands.push_back(strip(current));
+  return out;
+}
+
+std::optional<int> parse_reg(const std::string& s, char prefix) {
+  if (s.size() < 2 || s[0] != prefix) return std::nullopt;
+  int idx = 0;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return std::nullopt;
+    idx = idx * 10 + (s[i] - '0');
+  }
+  if (idx >= 32) return std::nullopt;
+  return idx;
+}
+
+std::optional<std::int64_t> parse_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(s, &pos, 0);  // handles 0x..., decimal
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+// Parses "[rN + imm]" or "[rN - imm]" or "[rN]".
+struct MemOperand {
+  int base;
+  std::int64_t offset;
+};
+
+std::optional<MemOperand> parse_mem(const std::string& s) {
+  if (s.size() < 4 || s.front() != '[' || s.back() != ']') return std::nullopt;
+  const std::string inner = strip(s.substr(1, s.size() - 2));
+  std::size_t split = inner.find_first_of("+-");
+  std::string base_str = strip(split == std::string::npos
+                                   ? inner
+                                   : inner.substr(0, split));
+  const auto base = parse_reg(base_str, 'r');
+  if (!base.has_value()) return std::nullopt;
+  std::int64_t offset = 0;
+  if (split != std::string::npos) {
+    const char sign = inner[split];
+    const auto value = parse_int(strip(inner.substr(split + 1)));
+    if (!value.has_value()) return std::nullopt;
+    offset = sign == '-' ? -*value : *value;
+  }
+  return MemOperand{*base, offset};
+}
+
+// Maps mnemonics to opcodes.
+const std::map<std::string, Opcode>& mnemonic_table() {
+  static const std::map<std::string, Opcode> table = [] {
+    std::map<std::string, Opcode> t;
+    for (int o = 0; o < kNumOpcodes; ++o) {
+      const auto op = static_cast<Opcode>(o);
+      t[traits(op).mnemonic] = op;
+    }
+    return t;
+  }();
+  return table;
+}
+
+class Assembler {
+ public:
+  explicit Assembler(std::string name) : builder_(std::move(name)) {}
+
+  Program run(const std::string& source) {
+    std::istringstream stream(source);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(stream, raw)) {
+      ++line_no;
+      std::string line = strip(strip_comment(raw));
+      if (line.empty()) continue;
+      // Labels (possibly followed by an instruction on the same line).
+      while (true) {
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos) break;
+        const std::string label = strip(line.substr(0, colon));
+        if (label.empty() || label.find(' ') != std::string::npos) break;
+        try {
+          builder_.label(label);
+        } catch (const std::runtime_error& e) {
+          throw AssemblerError(line_no, e.what());
+        }
+        line = strip(line.substr(colon + 1));
+      }
+      if (line.empty()) continue;
+      if (line[0] == '.') {
+        directive(line, line_no);
+      } else {
+        instruction(line, line_no);
+      }
+    }
+    try {
+      return builder_.build();
+    } catch (const std::runtime_error& e) {
+      throw AssemblerError(line_no, e.what());
+    }
+  }
+
+ private:
+  void directive(const std::string& line, int line_no) {
+    const ParsedLine p = split_line(line);
+    if (p.mnemonic == ".data" || p.mnemonic == ".word") {
+      // ".data addr value" — value may be an integer or (for .word) a
+      // floating-point literal stored as its double bit pattern.
+      std::istringstream os(line.substr(p.mnemonic.size()));
+      std::string addr_str, value_str;
+      os >> addr_str >> value_str;
+      const auto addr = parse_int(addr_str);
+      if (!addr.has_value()) {
+        throw AssemblerError(line_no, "bad address in " + p.mnemonic);
+      }
+      if (const auto value = parse_int(value_str)) {
+        builder_.data_word(static_cast<std::uint64_t>(*addr),
+                           static_cast<std::uint64_t>(*value));
+        return;
+      }
+      try {
+        const double d = std::stod(value_str);
+        builder_.data_word(static_cast<std::uint64_t>(*addr),
+                           std::bit_cast<std::uint64_t>(d));
+        return;
+      } catch (...) {
+        throw AssemblerError(line_no, "bad value in " + p.mnemonic);
+      }
+    }
+    throw AssemblerError(line_no, "unknown directive " + p.mnemonic);
+  }
+
+  int want_reg(const ParsedLine& p, std::size_t i, char prefix, int line_no) {
+    if (i >= p.operands.size()) {
+      throw AssemblerError(line_no, p.mnemonic + ": missing operand");
+    }
+    const auto reg = parse_reg(p.operands[i], prefix);
+    if (!reg.has_value()) {
+      throw AssemblerError(line_no, p.mnemonic + ": expected register '" +
+                                        std::string(1, prefix) +
+                                        "N', got '" + p.operands[i] + "'");
+    }
+    return *reg;
+  }
+
+  std::int64_t want_imm(const ParsedLine& p, std::size_t i, int line_no) {
+    if (i >= p.operands.size()) {
+      throw AssemblerError(line_no, p.mnemonic + ": missing immediate");
+    }
+    const auto value = parse_int(p.operands[i]);
+    if (!value.has_value()) {
+      throw AssemblerError(line_no, p.mnemonic + ": bad immediate '" +
+                                        p.operands[i] + "'");
+    }
+    if (*value < -32768 || *value > 65535) {
+      throw AssemblerError(line_no,
+                           p.mnemonic + ": immediate out of 16-bit range");
+    }
+    return *value;
+  }
+
+  MemOperand want_mem(const ParsedLine& p, std::size_t i, int line_no) {
+    if (i >= p.operands.size()) {
+      throw AssemblerError(line_no, p.mnemonic + ": missing memory operand");
+    }
+    const auto mem = parse_mem(p.operands[i]);
+    if (!mem.has_value()) {
+      throw AssemblerError(line_no, p.mnemonic +
+                                        ": expected '[rN + imm]', got '" +
+                                        p.operands[i] + "'");
+    }
+    return *mem;
+  }
+
+  std::string want_label(const ParsedLine& p, std::size_t i, int line_no) {
+    if (i >= p.operands.size()) {
+      throw AssemblerError(line_no, p.mnemonic + ": missing label");
+    }
+    return p.operands[i];
+  }
+
+  void instruction(const std::string& line, int line_no) {
+    const ParsedLine p = split_line(line);
+
+    // Pseudo-instruction: li rd, imm64 (any width).
+    if (p.mnemonic == "li") {
+      const int rd = want_reg(p, 0, 'r', line_no);
+      if (p.operands.size() < 2) {
+        throw AssemblerError(line_no, "li: missing immediate");
+      }
+      const auto value = parse_int(p.operands[1]);
+      if (!value.has_value()) {
+        throw AssemblerError(line_no, "li: bad immediate");
+      }
+      builder_.li(rd, static_cast<std::uint64_t>(*value));
+      return;
+    }
+    // Pseudo-instruction: lfi fd, double, rscratch.
+    if (p.mnemonic == "lfi") {
+      const int fd = want_reg(p, 0, 'f', line_no);
+      if (p.operands.size() < 3) {
+        throw AssemblerError(line_no, "lfi: need fd, value, scratch");
+      }
+      double d = 0;
+      try {
+        d = std::stod(p.operands[1]);
+      } catch (...) {
+        throw AssemblerError(line_no, "lfi: bad fp literal");
+      }
+      builder_.lfi(fd, d, want_reg(p, 2, 'r', line_no));
+      return;
+    }
+    // Pseudo-instruction: mov rd, rs (= add rd, rs, r0).
+    if (p.mnemonic == "mov") {
+      builder_.add(want_reg(p, 0, 'r', line_no), want_reg(p, 1, 'r', line_no),
+                   0);
+      return;
+    }
+
+    const auto it = mnemonic_table().find(p.mnemonic);
+    if (it == mnemonic_table().end()) {
+      throw AssemblerError(line_no, "unknown mnemonic '" + p.mnemonic + "'");
+    }
+    const Opcode op = it->second;
+    const OpTraits& t = traits(op);
+    DecodedInst inst;
+    inst.op = op;
+
+    const char dst_prefix = t.dst_cls == RegClass::kFp ? 'f' : 'r';
+    const char s1_prefix = t.src1_cls == RegClass::kFp ? 'f' : 'r';
+    const char s2_prefix = t.src2_cls == RegClass::kFp ? 'f' : 'r';
+
+    switch (t.format) {
+      case Format::kNone:
+        break;
+      case Format::kR: {
+        std::size_t i = 0;
+        if (t.dst_cls != RegClass::kNone) {
+          inst.dst = {t.dst_cls, static_cast<std::uint8_t>(
+                                     want_reg(p, i++, dst_prefix, line_no))};
+        }
+        if (t.src1_cls != RegClass::kNone) {
+          inst.src1 = {t.src1_cls, static_cast<std::uint8_t>(
+                                       want_reg(p, i++, s1_prefix, line_no))};
+        }
+        if (t.src2_cls != RegClass::kNone) {
+          inst.src2 = {t.src2_cls, static_cast<std::uint8_t>(
+                                       want_reg(p, i++, s2_prefix, line_no))};
+        }
+        break;
+      }
+      case Format::kI: {
+        inst.dst = {t.dst_cls,
+                    static_cast<std::uint8_t>(want_reg(p, 0, dst_prefix,
+                                                       line_no))};
+        if (t.is_load) {
+          const MemOperand mem = want_mem(p, 1, line_no);
+          inst.src1 = {RegClass::kInt, static_cast<std::uint8_t>(mem.base)};
+          inst.imm = mem.offset & 0xffff;
+        } else if (t.src1_cls != RegClass::kNone) {
+          inst.src1 = {t.src1_cls, static_cast<std::uint8_t>(
+                                       want_reg(p, 1, s1_prefix, line_no))};
+          inst.imm = want_imm(p, 2, line_no) & 0xffff;
+        } else {
+          inst.imm = want_imm(p, 1, line_no) & 0xffff;  // lui
+        }
+        break;
+      }
+      case Format::kStore: {
+        inst.src2 = {t.src2_cls, static_cast<std::uint8_t>(
+                                     want_reg(p, 0, s2_prefix, line_no))};
+        const MemOperand mem = want_mem(p, 1, line_no);
+        inst.src1 = {RegClass::kInt, static_cast<std::uint8_t>(mem.base)};
+        inst.imm = mem.offset & 0xffff;
+        break;
+      }
+      case Format::kBranch: {
+        const int a = want_reg(p, 0, 'r', line_no);
+        const int b = want_reg(p, 1, 'r', line_no);
+        const std::string target = want_label(p, 2, line_no);
+        switch (op) {
+          case Opcode::kBeq: builder_.beq(a, b, target); return;
+          case Opcode::kBne: builder_.bne(a, b, target); return;
+          case Opcode::kBlt: builder_.blt(a, b, target); return;
+          case Opcode::kBge: builder_.bge(a, b, target); return;
+          case Opcode::kBltu: builder_.bltu(a, b, target); return;
+          case Opcode::kBgeu: builder_.bgeu(a, b, target); return;
+          default: break;
+        }
+        throw AssemblerError(line_no, "unhandled branch");
+      }
+      case Format::kJ: {
+        const std::string target = want_label(p, 0, line_no);
+        if (op == Opcode::kJal) {
+          builder_.jal(target);
+        } else {
+          builder_.jmp(target);
+        }
+        return;
+      }
+      case Format::kJr:
+        builder_.jr(want_reg(p, 0, 'r', line_no));
+        return;
+    }
+    builder_.emit(inst);
+  }
+
+  ProgramBuilder builder_;
+};
+
+}  // namespace
+
+Program assemble(const std::string& source, const std::string& name) {
+  return Assembler(name).run(source);
+}
+
+}  // namespace bj

@@ -1,0 +1,43 @@
+// Text assembler: parses human-readable assembly into a Program. Accepts the
+// same mnemonics disassemble() emits, so the pair round-trips. Used by the
+// CLI driver (`bjsim --program file.s`), the examples, and tests.
+//
+// Syntax:
+//   ; comment                      # comment
+//   label:
+//       addi r1, r0, 42
+//       ld   r2, [r1 + 8]          ; loads use [base + offset]
+//       st   r2, [r1 + 16]
+//       fadd f1, f2, f3
+//       beq  r1, r2, label         ; branch targets are labels
+//       jmp  label
+//       jr   r31
+//       halt
+//   .data 0x1000 0xdeadbeef        ; initial memory word (addr value)
+//   .word 0x1000 3.14159           ; FP initializer (double bits)
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "isa/program.h"
+
+namespace bj {
+
+// Thrown on any parse error; what() carries "line N: message".
+class AssemblerError : public std::runtime_error {
+ public:
+  AssemblerError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+// Assembles `source` into a Program named `name`.
+Program assemble(const std::string& source, const std::string& name = "asm");
+
+}  // namespace bj

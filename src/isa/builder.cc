@@ -1,0 +1,287 @@
+#include "isa/builder.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace bj {
+namespace {
+
+constexpr RegClass kI = RegClass::kInt;
+constexpr RegClass kF = RegClass::kFp;
+
+RegRef reg(RegClass cls, int idx) {
+  assert(idx >= 0 && idx < 32);
+  return RegRef{cls, static_cast<std::uint8_t>(idx)};
+}
+
+}  // namespace
+
+ProgramBuilder::ProgramBuilder(std::string name) : name_(std::move(name)) {}
+
+ProgramBuilder& ProgramBuilder::emit(const DecodedInst& inst) {
+  code_.push_back(encode(inst));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::emit_raw(std::uint32_t word) {
+  code_.push_back(word);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::rrr(Opcode op, int rd, int rs1, int rs2,
+                                    RegClass d, RegClass s1c, RegClass s2c) {
+  DecodedInst inst;
+  inst.op = op;
+  if (d != RegClass::kNone) inst.dst = reg(d, rd);
+  if (s1c != RegClass::kNone) inst.src1 = reg(s1c, rs1);
+  if (s2c != RegClass::kNone) inst.src2 = reg(s2c, rs2);
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::imm_op(Opcode op, int rd, int rs1,
+                                       std::int64_t imm) {
+  DecodedInst inst;
+  inst.op = op;
+  const OpTraits& t = traits(op);
+  if (t.dst_cls != RegClass::kNone) inst.dst = reg(t.dst_cls, rd);
+  if (t.src1_cls != RegClass::kNone) inst.src1 = reg(t.src1_cls, rs1);
+  inst.imm = imm & 0xffff;
+  return emit(inst);
+}
+
+#define BJ_RRR_INT(fn, op) \
+  ProgramBuilder& ProgramBuilder::fn(int rd, int rs1, int rs2) { \
+    return rrr(Opcode::op, rd, rs1, rs2, kI, kI, kI); \
+  }
+BJ_RRR_INT(add, kAdd)
+BJ_RRR_INT(sub, kSub)
+BJ_RRR_INT(and_, kAnd)
+BJ_RRR_INT(or_, kOr)
+BJ_RRR_INT(xor_, kXor)
+BJ_RRR_INT(sll, kSll)
+BJ_RRR_INT(srl, kSrl)
+BJ_RRR_INT(sra, kSra)
+BJ_RRR_INT(slt, kSlt)
+BJ_RRR_INT(sltu, kSltu)
+BJ_RRR_INT(mul, kMul)
+BJ_RRR_INT(div, kDiv)
+BJ_RRR_INT(rem, kRem)
+#undef BJ_RRR_INT
+
+ProgramBuilder& ProgramBuilder::addi(int rd, int rs1, std::int64_t imm) {
+  return imm_op(Opcode::kAddi, rd, rs1, imm);
+}
+ProgramBuilder& ProgramBuilder::andi(int rd, int rs1, std::uint64_t imm) {
+  return imm_op(Opcode::kAndi, rd, rs1, static_cast<std::int64_t>(imm));
+}
+ProgramBuilder& ProgramBuilder::ori(int rd, int rs1, std::uint64_t imm) {
+  return imm_op(Opcode::kOri, rd, rs1, static_cast<std::int64_t>(imm));
+}
+ProgramBuilder& ProgramBuilder::xori(int rd, int rs1, std::uint64_t imm) {
+  return imm_op(Opcode::kXori, rd, rs1, static_cast<std::int64_t>(imm));
+}
+ProgramBuilder& ProgramBuilder::slli(int rd, int rs1, int amount) {
+  return imm_op(Opcode::kSlli, rd, rs1, amount);
+}
+ProgramBuilder& ProgramBuilder::srli(int rd, int rs1, int amount) {
+  return imm_op(Opcode::kSrli, rd, rs1, amount);
+}
+ProgramBuilder& ProgramBuilder::slti(int rd, int rs1, std::int64_t imm) {
+  return imm_op(Opcode::kSlti, rd, rs1, imm);
+}
+ProgramBuilder& ProgramBuilder::lui(int rd, std::int64_t imm) {
+  return imm_op(Opcode::kLui, rd, 0, imm);
+}
+
+#define BJ_RRR_FP3(fn, op) \
+  ProgramBuilder& ProgramBuilder::fn(int fd, int fs1, int fs2) { \
+    return rrr(Opcode::op, fd, fs1, fs2, kF, kF, kF); \
+  }
+BJ_RRR_FP3(fadd, kFadd)
+BJ_RRR_FP3(fsub, kFsub)
+BJ_RRR_FP3(fmul, kFmul)
+BJ_RRR_FP3(fdiv, kFdiv)
+BJ_RRR_FP3(fmin, kFmin)
+BJ_RRR_FP3(fmax, kFmax)
+#undef BJ_RRR_FP3
+
+ProgramBuilder& ProgramBuilder::fsqrt(int fd, int fs1) {
+  return rrr(Opcode::kFsqrt, fd, fs1, 0, kF, kF, RegClass::kNone);
+}
+ProgramBuilder& ProgramBuilder::fneg(int fd, int fs1) {
+  return rrr(Opcode::kFneg, fd, fs1, 0, kF, kF, RegClass::kNone);
+}
+ProgramBuilder& ProgramBuilder::flt(int rd, int fs1, int fs2) {
+  return rrr(Opcode::kFlt, rd, fs1, fs2, kI, kF, kF);
+}
+ProgramBuilder& ProgramBuilder::fle(int rd, int fs1, int fs2) {
+  return rrr(Opcode::kFle, rd, fs1, fs2, kI, kF, kF);
+}
+ProgramBuilder& ProgramBuilder::feq(int rd, int fs1, int fs2) {
+  return rrr(Opcode::kFeq, rd, fs1, fs2, kI, kF, kF);
+}
+ProgramBuilder& ProgramBuilder::itof(int fd, int rs1) {
+  return rrr(Opcode::kItof, fd, rs1, 0, kF, kI, RegClass::kNone);
+}
+ProgramBuilder& ProgramBuilder::ftoi(int rd, int fs1) {
+  return rrr(Opcode::kFtoi, rd, fs1, 0, kI, kF, RegClass::kNone);
+}
+ProgramBuilder& ProgramBuilder::fmvif(int fd, int rs1) {
+  return rrr(Opcode::kFmvif, fd, rs1, 0, kF, kI, RegClass::kNone);
+}
+ProgramBuilder& ProgramBuilder::fmvfi(int rd, int fs1) {
+  return rrr(Opcode::kFmvfi, rd, fs1, 0, kI, kF, RegClass::kNone);
+}
+
+ProgramBuilder& ProgramBuilder::ld(int rd, int base, std::int64_t offset) {
+  DecodedInst inst;
+  inst.op = Opcode::kLd;
+  inst.dst = reg(kI, rd);
+  inst.src1 = reg(kI, base);
+  inst.imm = offset & 0xffff;
+  return emit(inst);
+}
+ProgramBuilder& ProgramBuilder::fld(int fd, int base, std::int64_t offset) {
+  DecodedInst inst;
+  inst.op = Opcode::kFld;
+  inst.dst = reg(kF, fd);
+  inst.src1 = reg(kI, base);
+  inst.imm = offset & 0xffff;
+  return emit(inst);
+}
+ProgramBuilder& ProgramBuilder::st(int data, int base, std::int64_t offset) {
+  DecodedInst inst;
+  inst.op = Opcode::kSt;
+  inst.src1 = reg(kI, base);
+  inst.src2 = reg(kI, data);
+  inst.imm = offset & 0xffff;
+  return emit(inst);
+}
+ProgramBuilder& ProgramBuilder::fst(int fdata, int base, std::int64_t offset) {
+  DecodedInst inst;
+  inst.op = Opcode::kFst;
+  inst.src1 = reg(kI, base);
+  inst.src2 = reg(kF, fdata);
+  inst.imm = offset & 0xffff;
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::label(const std::string& name) {
+  if (!labels_.emplace(name, here()).second) {
+    throw std::runtime_error("duplicate label: " + name);
+  }
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::branch(Opcode op, int rs1, int rs2,
+                                       const std::string& target) {
+  DecodedInst inst;
+  inst.op = op;
+  inst.src1 = reg(kI, rs1);
+  inst.src2 = reg(kI, rs2);
+  fixups_.push_back({here(), target, /*absolute=*/false});
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::beq(int a, int b, const std::string& t) {
+  return branch(Opcode::kBeq, a, b, t);
+}
+ProgramBuilder& ProgramBuilder::bne(int a, int b, const std::string& t) {
+  return branch(Opcode::kBne, a, b, t);
+}
+ProgramBuilder& ProgramBuilder::blt(int a, int b, const std::string& t) {
+  return branch(Opcode::kBlt, a, b, t);
+}
+ProgramBuilder& ProgramBuilder::bge(int a, int b, const std::string& t) {
+  return branch(Opcode::kBge, a, b, t);
+}
+ProgramBuilder& ProgramBuilder::bltu(int a, int b, const std::string& t) {
+  return branch(Opcode::kBltu, a, b, t);
+}
+ProgramBuilder& ProgramBuilder::bgeu(int a, int b, const std::string& t) {
+  return branch(Opcode::kBgeu, a, b, t);
+}
+
+ProgramBuilder& ProgramBuilder::jmp(const std::string& target) {
+  DecodedInst inst;
+  inst.op = Opcode::kJmp;
+  fixups_.push_back({here(), target, /*absolute=*/true});
+  return emit(inst);
+}
+ProgramBuilder& ProgramBuilder::jal(const std::string& target) {
+  DecodedInst inst;
+  inst.op = Opcode::kJal;
+  inst.dst = reg(kI, kLinkReg);
+  fixups_.push_back({here(), target, /*absolute=*/true});
+  return emit(inst);
+}
+ProgramBuilder& ProgramBuilder::jr(int rs1) {
+  DecodedInst inst;
+  inst.op = Opcode::kJr;
+  inst.src1 = reg(kI, rs1);
+  return emit(inst);
+}
+
+ProgramBuilder& ProgramBuilder::nop() {
+  return emit(DecodedInst{.op = Opcode::kNop});
+}
+ProgramBuilder& ProgramBuilder::halt() {
+  return emit(DecodedInst{.op = Opcode::kHalt});
+}
+
+ProgramBuilder& ProgramBuilder::li(int rd, std::uint64_t value) {
+  // Emit 16-bit chunks from the top, skipping leading zero chunks.
+  bool started = false;
+  for (int shift = 48; shift >= 0; shift -= 16) {
+    const std::uint64_t chunk = (value >> shift) & 0xffff;
+    if (!started) {
+      if (chunk == 0 && shift != 0) continue;
+      ori(rd, kZeroReg, chunk);
+      started = true;
+    } else {
+      slli(rd, rd, 16);
+      if (chunk != 0) ori(rd, rd, chunk);
+    }
+  }
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::lfi(int fd, double value, int scratch) {
+  li(scratch, std::bit_cast<std::uint64_t>(value));
+  return fmvif(fd, scratch);
+}
+
+ProgramBuilder& ProgramBuilder::data_word(std::uint64_t address,
+                                          std::uint64_t value) {
+  data_.emplace_back(address, value);
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  for (const Fixup& fx : fixups_) {
+    auto it = labels_.find(fx.target);
+    if (it == labels_.end()) {
+      throw std::runtime_error("unresolved label: " + fx.target);
+    }
+    DecodedInst inst = decode(code_[fx.at]);
+    if (fx.absolute) {
+      inst.imm = static_cast<std::int64_t>(it->second) & 0x3ffffff;
+    } else {
+      const std::int64_t rel = static_cast<std::int64_t>(it->second) -
+                               static_cast<std::int64_t>(fx.at);
+      if (rel < -32768 || rel > 32767) {
+        throw std::runtime_error("branch out of range to " + fx.target);
+      }
+      inst.imm = rel & 0xffff;
+    }
+    code_[fx.at] = encode(inst);
+  }
+  Program p;
+  p.name = name_;
+  p.code = std::move(code_);
+  p.data = std::move(data_);
+  return p;
+}
+
+}  // namespace bj

@@ -1,0 +1,120 @@
+// Assembler-style program construction with labels and pseudo-instructions.
+// Used by the workload generator, the examples, and the tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace bj {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name = "program");
+
+  // --- raw emission -------------------------------------------------------
+  ProgramBuilder& emit(const DecodedInst& inst);
+  ProgramBuilder& emit_raw(std::uint32_t word);
+
+  // --- integer ALU --------------------------------------------------------
+  ProgramBuilder& add(int rd, int rs1, int rs2);
+  ProgramBuilder& sub(int rd, int rs1, int rs2);
+  ProgramBuilder& and_(int rd, int rs1, int rs2);
+  ProgramBuilder& or_(int rd, int rs1, int rs2);
+  ProgramBuilder& xor_(int rd, int rs1, int rs2);
+  ProgramBuilder& sll(int rd, int rs1, int rs2);
+  ProgramBuilder& srl(int rd, int rs1, int rs2);
+  ProgramBuilder& sra(int rd, int rs1, int rs2);
+  ProgramBuilder& slt(int rd, int rs1, int rs2);
+  ProgramBuilder& sltu(int rd, int rs1, int rs2);
+  ProgramBuilder& addi(int rd, int rs1, std::int64_t imm);
+  ProgramBuilder& andi(int rd, int rs1, std::uint64_t imm);
+  ProgramBuilder& ori(int rd, int rs1, std::uint64_t imm);
+  ProgramBuilder& xori(int rd, int rs1, std::uint64_t imm);
+  ProgramBuilder& slli(int rd, int rs1, int amount);
+  ProgramBuilder& srli(int rd, int rs1, int amount);
+  ProgramBuilder& slti(int rd, int rs1, std::int64_t imm);
+  ProgramBuilder& lui(int rd, std::int64_t imm);
+
+  // --- integer multiply/divide -------------------------------------------
+  ProgramBuilder& mul(int rd, int rs1, int rs2);
+  ProgramBuilder& div(int rd, int rs1, int rs2);
+  ProgramBuilder& rem(int rd, int rs1, int rs2);
+
+  // --- floating point -----------------------------------------------------
+  ProgramBuilder& fadd(int fd, int fs1, int fs2);
+  ProgramBuilder& fsub(int fd, int fs1, int fs2);
+  ProgramBuilder& fmul(int fd, int fs1, int fs2);
+  ProgramBuilder& fdiv(int fd, int fs1, int fs2);
+  ProgramBuilder& fsqrt(int fd, int fs1);
+  ProgramBuilder& fmin(int fd, int fs1, int fs2);
+  ProgramBuilder& fmax(int fd, int fs1, int fs2);
+  ProgramBuilder& fneg(int fd, int fs1);
+  ProgramBuilder& flt(int rd, int fs1, int fs2);
+  ProgramBuilder& fle(int rd, int fs1, int fs2);
+  ProgramBuilder& feq(int rd, int fs1, int fs2);
+  ProgramBuilder& itof(int fd, int rs1);
+  ProgramBuilder& ftoi(int rd, int fs1);
+  ProgramBuilder& fmvif(int fd, int rs1);
+  ProgramBuilder& fmvfi(int rd, int fs1);
+
+  // --- memory -------------------------------------------------------------
+  ProgramBuilder& ld(int rd, int base, std::int64_t offset);
+  ProgramBuilder& st(int data, int base, std::int64_t offset);
+  ProgramBuilder& fld(int fd, int base, std::int64_t offset);
+  ProgramBuilder& fst(int fdata, int base, std::int64_t offset);
+
+  // --- control flow (label-based) ----------------------------------------
+  ProgramBuilder& label(const std::string& name);
+  ProgramBuilder& beq(int rs1, int rs2, const std::string& target);
+  ProgramBuilder& bne(int rs1, int rs2, const std::string& target);
+  ProgramBuilder& blt(int rs1, int rs2, const std::string& target);
+  ProgramBuilder& bge(int rs1, int rs2, const std::string& target);
+  ProgramBuilder& bltu(int rs1, int rs2, const std::string& target);
+  ProgramBuilder& bgeu(int rs1, int rs2, const std::string& target);
+  ProgramBuilder& jmp(const std::string& target);
+  ProgramBuilder& jal(const std::string& target);
+  ProgramBuilder& jr(int rs1);
+
+  // --- misc ---------------------------------------------------------------
+  ProgramBuilder& nop();
+  ProgramBuilder& halt();
+
+  // Loads an arbitrary 64-bit constant (pseudo-instruction; expands to a
+  // short sequence of ori/slli).
+  ProgramBuilder& li(int rd, std::uint64_t value);
+  // Loads an FP constant through an integer temporary register.
+  ProgramBuilder& lfi(int fd, double value, int scratch_int_reg);
+
+  // Declares initial data memory contents.
+  ProgramBuilder& data_word(std::uint64_t address, std::uint64_t value);
+
+  std::uint64_t here() const { return code_.size(); }
+
+  // Resolves all label references and returns the finished program.
+  // Throws std::runtime_error on unresolved labels.
+  Program build();
+
+ private:
+  ProgramBuilder& rrr(Opcode op, int rd, int rs1, int rs2, RegClass d,
+                      RegClass s1c, RegClass s2c);
+  ProgramBuilder& imm_op(Opcode op, int rd, int rs1, std::int64_t imm);
+  ProgramBuilder& branch(Opcode op, int rs1, int rs2,
+                         const std::string& target);
+
+  std::string name_;
+  std::vector<std::uint32_t> code_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> data_;
+  std::map<std::string, std::uint64_t> labels_;
+  struct Fixup {
+    std::uint64_t at;       // instruction index needing patching
+    std::string target;
+    bool absolute;          // jumps use absolute targets; branches relative
+  };
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace bj

@@ -1,0 +1,152 @@
+#include "isa/exec.h"
+
+#include <bit>
+#include <cmath>
+
+namespace bj {
+namespace {
+
+double as_f(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+std::uint64_t as_u(double value) { return std::bit_cast<std::uint64_t>(value); }
+std::int64_t as_s(std::uint64_t bits) {
+  return static_cast<std::int64_t>(bits);
+}
+
+}  // namespace
+
+ExecOutcome eval(const DecodedInst& inst, std::uint64_t s1, std::uint64_t s2,
+                 std::uint64_t pc) {
+  ExecOutcome out;
+  if (!inst.valid) {
+    // An undecodable word behaves as a NOP and falls through.
+    out.target = pc + 1;
+    return out;
+  }
+  const auto imm = static_cast<std::uint64_t>(inst.imm);
+  switch (inst.op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      break;
+
+    case Opcode::kAdd: out.value = s1 + s2; break;
+    case Opcode::kSub: out.value = s1 - s2; break;
+    case Opcode::kAnd: out.value = s1 & s2; break;
+    case Opcode::kOr: out.value = s1 | s2; break;
+    case Opcode::kXor: out.value = s1 ^ s2; break;
+    case Opcode::kSll: out.value = s1 << (s2 & 63); break;
+    case Opcode::kSrl: out.value = s1 >> (s2 & 63); break;
+    case Opcode::kSra:
+      out.value = static_cast<std::uint64_t>(as_s(s1) >> (s2 & 63));
+      break;
+    case Opcode::kSlt: out.value = as_s(s1) < as_s(s2) ? 1 : 0; break;
+    case Opcode::kSltu: out.value = s1 < s2 ? 1 : 0; break;
+
+    case Opcode::kAddi: out.value = s1 + imm; break;
+    case Opcode::kAndi: out.value = s1 & imm; break;
+    case Opcode::kOri: out.value = s1 | imm; break;
+    case Opcode::kXori: out.value = s1 ^ imm; break;
+    case Opcode::kSlli: out.value = s1 << (imm & 63); break;
+    case Opcode::kSrli: out.value = s1 >> (imm & 63); break;
+    case Opcode::kSlti: out.value = as_s(s1) < inst.imm ? 1 : 0; break;
+    case Opcode::kLui:
+      out.value = static_cast<std::uint64_t>(inst.imm << 16);
+      break;
+
+    case Opcode::kMul: out.value = s1 * s2; break;
+    case Opcode::kDiv:
+      // RISC-V style: divide by zero yields all ones; INT_MIN/-1 wraps.
+      if (s2 == 0) {
+        out.value = ~0ull;
+      } else if (as_s(s1) == INT64_MIN && as_s(s2) == -1) {
+        out.value = s1;
+      } else {
+        out.value = static_cast<std::uint64_t>(as_s(s1) / as_s(s2));
+      }
+      break;
+    case Opcode::kRem:
+      if (s2 == 0) {
+        out.value = s1;
+      } else if (as_s(s1) == INT64_MIN && as_s(s2) == -1) {
+        out.value = 0;
+      } else {
+        out.value = static_cast<std::uint64_t>(as_s(s1) % as_s(s2));
+      }
+      break;
+
+    case Opcode::kFadd: out.value = as_u(as_f(s1) + as_f(s2)); break;
+    case Opcode::kFsub: out.value = as_u(as_f(s1) - as_f(s2)); break;
+    case Opcode::kFmin: out.value = as_u(std::fmin(as_f(s1), as_f(s2))); break;
+    case Opcode::kFmax: out.value = as_u(std::fmax(as_f(s1), as_f(s2))); break;
+    case Opcode::kFneg: out.value = s1 ^ 0x8000000000000000ull; break;
+    case Opcode::kFmul: out.value = as_u(as_f(s1) * as_f(s2)); break;
+    case Opcode::kFdiv: out.value = as_u(as_f(s1) / as_f(s2)); break;
+    case Opcode::kFsqrt: out.value = as_u(std::sqrt(as_f(s1))); break;
+    case Opcode::kFlt: out.value = as_f(s1) < as_f(s2) ? 1 : 0; break;
+    case Opcode::kFle: out.value = as_f(s1) <= as_f(s2) ? 1 : 0; break;
+    case Opcode::kFeq: out.value = as_f(s1) == as_f(s2) ? 1 : 0; break;
+    case Opcode::kItof:
+      out.value = as_u(static_cast<double>(as_s(s1)));
+      break;
+    case Opcode::kFtoi: {
+      const double f = as_f(s1);
+      // Saturating conversion keeps fault-corrupted NaN/inf well defined.
+      if (std::isnan(f)) {
+        out.value = 0;
+      } else if (f >= 9.2233720368547758e18) {
+        out.value = static_cast<std::uint64_t>(INT64_MAX);
+      } else if (f <= -9.2233720368547758e18) {
+        out.value = static_cast<std::uint64_t>(INT64_MIN);
+      } else {
+        out.value = static_cast<std::uint64_t>(static_cast<std::int64_t>(f));
+      }
+      break;
+    }
+    case Opcode::kFmvif: out.value = s1; break;
+    case Opcode::kFmvfi: out.value = s1; break;
+
+    case Opcode::kLd:
+    case Opcode::kFld:
+      out.mem_addr = (s1 + imm) & ~7ull;
+      break;
+    case Opcode::kSt:
+    case Opcode::kFst:
+      out.mem_addr = (s1 + imm) & ~7ull;
+      out.store_value = s2;
+      break;
+
+    case Opcode::kBeq: out.taken = s1 == s2; break;
+    case Opcode::kBne: out.taken = s1 != s2; break;
+    case Opcode::kBlt: out.taken = as_s(s1) < as_s(s2); break;
+    case Opcode::kBge: out.taken = as_s(s1) >= as_s(s2); break;
+    case Opcode::kBltu: out.taken = s1 < s2; break;
+    case Opcode::kBgeu: out.taken = s1 >= s2; break;
+
+    case Opcode::kJmp:
+      out.taken = true;
+      out.target = imm;
+      break;
+    case Opcode::kJal:
+      out.taken = true;
+      out.target = imm;
+      out.value = pc + 1;
+      break;
+    case Opcode::kJr:
+      out.taken = true;
+      out.target = s1;
+      break;
+
+    case Opcode::kCount:
+      break;
+  }
+  if (inst.is_branch()) {
+    out.target = out.taken ? pc + static_cast<std::uint64_t>(inst.imm)
+                           : pc + 1;
+  } else if (!inst.is_jump()) {
+    out.target = pc + 1;
+  } else if (!out.taken) {
+    out.target = pc + 1;
+  }
+  return out;
+}
+
+}  // namespace bj

@@ -1,0 +1,30 @@
+// Single source of truth for instruction semantics. Both the in-order
+// architectural emulator (the oracle) and the out-of-order pipeline call
+// eval(), so any divergence between them in tests indicates a pipeline bug,
+// and any divergence at run time indicates an injected fault.
+//
+// All register values travel as 64-bit bit patterns; FP operands are the
+// IEEE-754 double bit patterns held in FP registers.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.h"
+
+namespace bj {
+
+struct ExecOutcome {
+  std::uint64_t value = 0;   // destination value (for ops with a dst)
+  bool taken = false;        // branch/jump outcome
+  std::uint64_t target = 0;  // control-transfer target (instruction index)
+  std::uint64_t mem_addr = 0;  // effective address for loads/stores
+  std::uint64_t store_value = 0;  // data for stores
+};
+
+// Evaluates one instruction given its source values (bit patterns) and pc
+// (instruction index). For loads, computes only mem_addr — the memory system
+// supplies the value. For stores, computes mem_addr and store_value.
+ExecOutcome eval(const DecodedInst& inst, std::uint64_t s1, std::uint64_t s2,
+                 std::uint64_t pc);
+
+}  // namespace bj

@@ -1,0 +1,157 @@
+#include "isa/instruction.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace bj {
+namespace {
+
+constexpr std::uint32_t kOpShift = 26;
+constexpr std::uint32_t kRdShift = 21;
+constexpr std::uint32_t kRs1Shift = 16;
+constexpr std::uint32_t kRs2Shift = 11;
+constexpr std::uint32_t kRegMask = 0x1f;
+constexpr std::uint32_t kImm16Mask = 0xffff;
+constexpr std::uint32_t kImm26Mask = 0x3ffffff;
+
+std::int64_t extend_imm16(std::uint32_t raw, bool sign) {
+  if (sign) return static_cast<std::int16_t>(raw & kImm16Mask);
+  return static_cast<std::int64_t>(raw & kImm16Mask);
+}
+
+std::string reg_name(RegRef r) {
+  std::string prefix = r.cls == RegClass::kFp ? "f" : "r";
+  return prefix + std::to_string(static_cast<int>(r.idx));
+}
+
+}  // namespace
+
+std::uint32_t encode(const DecodedInst& inst) {
+  const OpTraits& t = traits(inst.op);
+  std::uint32_t w = static_cast<std::uint32_t>(inst.op) << kOpShift;
+  switch (t.format) {
+    case Format::kNone:
+      break;
+    case Format::kR:
+      w |= (inst.dst.idx & kRegMask) << kRdShift;
+      w |= (inst.src1.idx & kRegMask) << kRs1Shift;
+      w |= (inst.src2.idx & kRegMask) << kRs2Shift;
+      break;
+    case Format::kI:
+      w |= (inst.dst.idx & kRegMask) << kRdShift;
+      w |= (inst.src1.idx & kRegMask) << kRs1Shift;
+      w |= static_cast<std::uint32_t>(inst.imm) & kImm16Mask;
+      break;
+    case Format::kStore:
+      // Data register reuses the rd slot; base is rs1.
+      w |= (inst.src2.idx & kRegMask) << kRdShift;
+      w |= (inst.src1.idx & kRegMask) << kRs1Shift;
+      w |= static_cast<std::uint32_t>(inst.imm) & kImm16Mask;
+      break;
+    case Format::kBranch:
+      w |= (inst.src1.idx & kRegMask) << kRdShift;
+      w |= (inst.src2.idx & kRegMask) << kRs1Shift;
+      w |= static_cast<std::uint32_t>(inst.imm) & kImm16Mask;
+      break;
+    case Format::kJ:
+      w |= static_cast<std::uint32_t>(inst.imm) & kImm26Mask;
+      break;
+    case Format::kJr:
+      w |= (inst.src1.idx & kRegMask) << kRdShift;
+      break;
+  }
+  return w;
+}
+
+DecodedInst decode(std::uint32_t word) {
+  DecodedInst inst;
+  const std::uint32_t opbits = word >> kOpShift;
+  if (opbits >= static_cast<std::uint32_t>(kNumOpcodes)) {
+    inst.op = Opcode::kNop;
+    inst.valid = false;
+    return inst;
+  }
+  inst.op = static_cast<Opcode>(opbits);
+  const OpTraits& t = traits(inst.op);
+  auto rd = static_cast<std::uint8_t>((word >> kRdShift) & kRegMask);
+  auto rs1 = static_cast<std::uint8_t>((word >> kRs1Shift) & kRegMask);
+  auto rs2 = static_cast<std::uint8_t>((word >> kRs2Shift) & kRegMask);
+  switch (t.format) {
+    case Format::kNone:
+      break;
+    case Format::kR:
+      if (t.dst_cls != RegClass::kNone) inst.dst = {t.dst_cls, rd};
+      if (t.src1_cls != RegClass::kNone) inst.src1 = {t.src1_cls, rs1};
+      if (t.src2_cls != RegClass::kNone) inst.src2 = {t.src2_cls, rs2};
+      break;
+    case Format::kI:
+      if (t.dst_cls != RegClass::kNone) inst.dst = {t.dst_cls, rd};
+      if (t.src1_cls != RegClass::kNone) inst.src1 = {t.src1_cls, rs1};
+      inst.imm = extend_imm16(word, t.imm_signed);
+      break;
+    case Format::kStore:
+      inst.src2 = {t.src2_cls, rd};   // data
+      inst.src1 = {t.src1_cls, rs1};  // base
+      inst.imm = extend_imm16(word, /*sign=*/true);
+      break;
+    case Format::kBranch:
+      inst.src1 = {RegClass::kInt, rd};
+      inst.src2 = {RegClass::kInt, rs1};
+      inst.imm = extend_imm16(word, /*sign=*/true);
+      break;
+    case Format::kJ:
+      if (t.dst_cls != RegClass::kNone)
+        inst.dst = {RegClass::kInt, kLinkReg};
+      inst.imm = static_cast<std::int64_t>(word & kImm26Mask);
+      break;
+    case Format::kJr:
+      inst.src1 = {RegClass::kInt, rd};
+      break;
+  }
+  return inst;
+}
+
+std::string disassemble(const DecodedInst& inst) {
+  const OpTraits& t = traits(inst.op);
+  std::ostringstream os;
+  if (!inst.valid) return "<invalid>";
+  os << t.mnemonic;
+  switch (t.format) {
+    case Format::kNone:
+      break;
+    case Format::kR:
+      os << ' ';
+      if (inst.dst.valid()) os << reg_name(inst.dst);
+      if (inst.src1.valid()) os << ", " << reg_name(inst.src1);
+      if (inst.src2.valid()) os << ", " << reg_name(inst.src2);
+      break;
+    case Format::kI:
+      os << ' ' << reg_name(inst.dst);
+      if (t.is_load) {
+        os << ", [" << reg_name(inst.src1) << " + " << inst.imm << ']';
+      } else {
+        if (inst.src1.valid()) os << ", " << reg_name(inst.src1);
+        os << ", " << inst.imm;
+      }
+      break;
+    case Format::kStore:
+      os << ' ' << reg_name(inst.src2) << ", [" << reg_name(inst.src1)
+         << " + " << inst.imm << ']';
+      break;
+    case Format::kBranch:
+      os << ' ' << reg_name(inst.src1) << ", " << reg_name(inst.src2) << ", "
+         << (inst.imm >= 0 ? "+" : "") << inst.imm;
+      break;
+    case Format::kJ:
+      os << ' ' << inst.imm;
+      break;
+    case Format::kJr:
+      os << ' ' << reg_name(inst.src1);
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble(std::uint32_t word) { return disassemble(decode(word)); }
+
+}  // namespace bj

@@ -1,0 +1,50 @@
+// Decoded instruction form plus the 32-bit binary encoding. The pipeline
+// stores raw encodings in instruction memory and in the DTQ (the paper's
+// trailing thread re-decodes the *undecoded* leading instruction on a
+// different frontend way), so encode/decode are real bit-level operations
+// that hard faults can corrupt.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.h"
+
+namespace bj {
+
+struct DecodedInst {
+  Opcode op = Opcode::kNop;
+  RegRef dst;
+  RegRef src1;
+  RegRef src2;
+  std::int64_t imm = 0;
+  // False when the raw word did not decode to a known opcode (possible only
+  // under fault injection); such instructions behave as NOPs.
+  bool valid = true;
+
+  const OpTraits& traits() const { return bj::traits(op); }
+  bool is_load() const { return traits().is_load; }
+  bool is_store() const { return traits().is_store; }
+  bool is_branch() const { return traits().is_branch; }
+  bool is_jump() const { return traits().is_jump; }
+  bool is_mem() const { return is_load() || is_store(); }
+  bool is_control() const { return is_branch() || is_jump(); }
+  bool writes_reg() const { return dst.valid() && !(dst.cls == RegClass::kInt &&
+                                                    dst.idx == kZeroReg); }
+  FuClass fu() const { return traits().fu; }
+
+  bool operator==(const DecodedInst&) const = default;
+};
+
+// Encodes a decoded instruction into its 32-bit binary form.
+std::uint32_t encode(const DecodedInst& inst);
+
+// Decodes a 32-bit word. Unknown opcodes yield a DecodedInst with
+// valid == false and op == kNop.
+DecodedInst decode(std::uint32_t word);
+
+// Human-readable disassembly ("add r3, r1, r2").
+std::string disassemble(const DecodedInst& inst);
+std::string disassemble(std::uint32_t word);
+
+}  // namespace bj

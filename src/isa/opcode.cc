@@ -1,0 +1,121 @@
+#include "isa/opcode.h"
+
+#include <array>
+#include <cassert>
+
+namespace bj {
+namespace {
+
+constexpr RegClass kN = RegClass::kNone;
+constexpr RegClass kI = RegClass::kInt;
+constexpr RegClass kF = RegClass::kFp;
+
+constexpr OpTraits make(const char* mn, Format fmt, FuClass fu, RegClass dst,
+                        RegClass s1, RegClass s2, bool br = false,
+                        bool jmp = false, bool ld = false, bool st = false,
+                        bool imm_signed = true) {
+  return OpTraits{mn, fmt, fu, dst, s1, s2, br, jmp, ld, st, imm_signed};
+}
+
+const std::array<OpTraits, kNumOpcodes> kTraits = [] {
+  std::array<OpTraits, kNumOpcodes> t{};
+  auto set = [&](Opcode op, OpTraits tr) { t[static_cast<int>(op)] = tr; };
+  const FuClass alu = FuClass::kIntAlu;
+  const FuClass mul = FuClass::kIntMul;
+  const FuClass fpa = FuClass::kFpAlu;
+  const FuClass fpm = FuClass::kFpMul;
+  const FuClass mem = FuClass::kMem;
+
+  set(Opcode::kNop, make("nop", Format::kNone, alu, kN, kN, kN));
+  set(Opcode::kHalt, make("halt", Format::kNone, alu, kN, kN, kN));
+
+  set(Opcode::kAdd, make("add", Format::kR, alu, kI, kI, kI));
+  set(Opcode::kSub, make("sub", Format::kR, alu, kI, kI, kI));
+  set(Opcode::kAnd, make("and", Format::kR, alu, kI, kI, kI));
+  set(Opcode::kOr, make("or", Format::kR, alu, kI, kI, kI));
+  set(Opcode::kXor, make("xor", Format::kR, alu, kI, kI, kI));
+  set(Opcode::kSll, make("sll", Format::kR, alu, kI, kI, kI));
+  set(Opcode::kSrl, make("srl", Format::kR, alu, kI, kI, kI));
+  set(Opcode::kSra, make("sra", Format::kR, alu, kI, kI, kI));
+  set(Opcode::kSlt, make("slt", Format::kR, alu, kI, kI, kI));
+  set(Opcode::kSltu, make("sltu", Format::kR, alu, kI, kI, kI));
+
+  set(Opcode::kAddi, make("addi", Format::kI, alu, kI, kI, kN));
+  set(Opcode::kAndi, make("andi", Format::kI, alu, kI, kI, kN, false, false,
+                          false, false, /*imm_signed=*/false));
+  set(Opcode::kOri, make("ori", Format::kI, alu, kI, kI, kN, false, false,
+                         false, false, /*imm_signed=*/false));
+  set(Opcode::kXori, make("xori", Format::kI, alu, kI, kI, kN, false, false,
+                          false, false, /*imm_signed=*/false));
+  set(Opcode::kSlli, make("slli", Format::kI, alu, kI, kI, kN));
+  set(Opcode::kSrli, make("srli", Format::kI, alu, kI, kI, kN));
+  set(Opcode::kSlti, make("slti", Format::kI, alu, kI, kI, kN));
+  set(Opcode::kLui, make("lui", Format::kI, alu, kI, kN, kN));
+
+  set(Opcode::kMul, make("mul", Format::kR, mul, kI, kI, kI));
+  set(Opcode::kDiv, make("div", Format::kR, mul, kI, kI, kI));
+  set(Opcode::kRem, make("rem", Format::kR, mul, kI, kI, kI));
+
+  set(Opcode::kFadd, make("fadd", Format::kR, fpa, kF, kF, kF));
+  set(Opcode::kFsub, make("fsub", Format::kR, fpa, kF, kF, kF));
+  set(Opcode::kFmin, make("fmin", Format::kR, fpa, kF, kF, kF));
+  set(Opcode::kFmax, make("fmax", Format::kR, fpa, kF, kF, kF));
+  set(Opcode::kFneg, make("fneg", Format::kR, fpa, kF, kF, kN));
+  set(Opcode::kFmul, make("fmul", Format::kR, fpm, kF, kF, kF));
+  set(Opcode::kFdiv, make("fdiv", Format::kR, fpm, kF, kF, kF));
+  set(Opcode::kFsqrt, make("fsqrt", Format::kR, fpm, kF, kF, kN));
+  set(Opcode::kFlt, make("flt", Format::kR, fpa, kI, kF, kF));
+  set(Opcode::kFle, make("fle", Format::kR, fpa, kI, kF, kF));
+  set(Opcode::kFeq, make("feq", Format::kR, fpa, kI, kF, kF));
+  set(Opcode::kItof, make("itof", Format::kR, fpa, kF, kI, kN));
+  set(Opcode::kFtoi, make("ftoi", Format::kR, fpa, kI, kF, kN));
+  set(Opcode::kFmvif, make("fmvif", Format::kR, fpa, kF, kI, kN));
+  set(Opcode::kFmvfi, make("fmvfi", Format::kR, fpa, kI, kF, kN));
+
+  set(Opcode::kLd, make("ld", Format::kI, mem, kI, kI, kN, false, false,
+                        /*ld=*/true));
+  set(Opcode::kSt, make("st", Format::kStore, mem, kN, kI, kI, false, false,
+                        false, /*st=*/true));
+  set(Opcode::kFld, make("fld", Format::kI, mem, kF, kI, kN, false, false,
+                         /*ld=*/true));
+  set(Opcode::kFst, make("fst", Format::kStore, mem, kN, kI, kF, false, false,
+                         false, /*st=*/true));
+
+  set(Opcode::kBeq, make("beq", Format::kBranch, alu, kN, kI, kI, /*br=*/true));
+  set(Opcode::kBne, make("bne", Format::kBranch, alu, kN, kI, kI, /*br=*/true));
+  set(Opcode::kBlt, make("blt", Format::kBranch, alu, kN, kI, kI, /*br=*/true));
+  set(Opcode::kBge, make("bge", Format::kBranch, alu, kN, kI, kI, /*br=*/true));
+  set(Opcode::kBltu,
+      make("bltu", Format::kBranch, alu, kN, kI, kI, /*br=*/true));
+  set(Opcode::kBgeu,
+      make("bgeu", Format::kBranch, alu, kN, kI, kI, /*br=*/true));
+
+  set(Opcode::kJmp,
+      make("jmp", Format::kJ, alu, kN, kN, kN, false, /*jmp=*/true));
+  set(Opcode::kJal,
+      make("jal", Format::kJ, alu, kI, kN, kN, false, /*jmp=*/true));
+  set(Opcode::kJr,
+      make("jr", Format::kJr, alu, kN, kI, kN, false, /*jmp=*/true));
+  return t;
+}();
+
+}  // namespace
+
+const OpTraits& traits(Opcode op) {
+  assert(static_cast<int>(op) < kNumOpcodes);
+  return kTraits[static_cast<int>(op)];
+}
+
+const char* fu_class_name(FuClass cls) {
+  switch (cls) {
+    case FuClass::kIntAlu: return "int-alu";
+    case FuClass::kIntMul: return "int-mul";
+    case FuClass::kFpAlu: return "fp-alu";
+    case FuClass::kFpMul: return "fp-mul";
+    case FuClass::kMem: return "mem-port";
+    case FuClass::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace bj

@@ -1,0 +1,104 @@
+// The mini RISC ISA the simulated core executes. The ISA is deliberately
+// small but spans every backend-way type class the paper's core has (int ALU,
+// int multiplier/divider, FP ALU, FP multiplier/divider, memory port), so the
+// safe-shuffle spatial-diversity machinery is exercised exactly as in the
+// paper's SimpleScalar/Alpha setup.
+#pragma once
+
+#include <cstdint>
+
+namespace bj {
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  kHalt,
+  // Integer ALU, register-register.
+  kAdd, kSub, kAnd, kOr, kXor, kSll, kSrl, kSra, kSlt, kSltu,
+  // Integer ALU, register-immediate.
+  kAddi, kAndi, kOri, kXori, kSlli, kSrli, kSlti, kLui,
+  // Integer multiply/divide unit.
+  kMul, kDiv, kRem,
+  // Floating point (doubles held in FP registers).
+  kFadd, kFsub, kFmin, kFmax, kFneg,
+  kFmul, kFdiv, kFsqrt,
+  kFlt, kFle, kFeq,    // FP compares write an integer register
+  kItof, kFtoi,        // value conversions
+  kFmvif, kFmvfi,      // raw bit moves int<->fp
+  // Memory (8-byte accesses).
+  kLd, kSt, kFld, kFst,
+  // Control.
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kJmp, kJal, kJr,
+  kCount
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kCount);
+
+// Backend-way type classes (Table 1: 4 int ALUs, 2 int multipliers,
+// 2 FP ALUs, 2 FP multipliers, plus the two L1D ports as memory ways).
+enum class FuClass : std::uint8_t {
+  kIntAlu = 0,
+  kIntMul,
+  kFpAlu,
+  kFpMul,
+  kMem,
+  kCount
+};
+
+inline constexpr int kNumFuClasses = static_cast<int>(FuClass::kCount);
+
+const char* fu_class_name(FuClass cls);
+
+enum class RegClass : std::uint8_t { kNone = 0, kInt, kFp };
+
+// A reference to an architectural register.
+struct RegRef {
+  RegClass cls = RegClass::kNone;
+  std::uint8_t idx = 0;
+
+  bool valid() const { return cls != RegClass::kNone; }
+  bool operator==(const RegRef&) const = default;
+};
+
+inline constexpr int kNumIntRegs = 32;
+inline constexpr int kNumFpRegs = 32;
+// r0 is hardwired to zero; writes to it are discarded.
+inline constexpr int kZeroReg = 0;
+// kJal writes the return address to r31.
+inline constexpr int kLinkReg = 31;
+
+// Instruction encoding formats (selects how the 32-bit word is carved up).
+enum class Format : std::uint8_t {
+  kNone,    // kNop, kHalt
+  kR,       // op rd, rs1, rs2
+  kI,       // op rd, rs1, imm16 (also loads: rd, base, offset)
+  kStore,   // op data(rs2 slot in [25:21]), base, offset
+  kBranch,  // op rs1, rs2, pc-relative imm16
+  kJ,       // op imm26 (absolute instruction index)
+  kJr,      // op rs1
+};
+
+// Static per-opcode properties. Operand register classes describe the
+// *architectural* source/destination classes used by decode and rename.
+struct OpTraits {
+  const char* mnemonic;
+  Format format;
+  FuClass fu;
+  RegClass dst_cls;   // kNone when the opcode writes nothing
+  RegClass src1_cls;
+  RegClass src2_cls;
+  bool is_branch;     // conditional branch
+  bool is_jump;       // unconditional control transfer
+  bool is_load;
+  bool is_store;
+  bool imm_signed;    // sign- vs zero-extend the 16-bit immediate
+};
+
+const OpTraits& traits(Opcode op);
+
+inline bool is_control(Opcode op) {
+  const OpTraits& t = traits(op);
+  return t.is_branch || t.is_jump;
+}
+
+}  // namespace bj

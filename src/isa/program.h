@@ -1,0 +1,29 @@
+// A program is a read-only image of encoded instructions plus an initial
+// data image. The pc is an instruction index; byte addresses used by the
+// I-cache model are pc * 4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace bj {
+
+struct Program {
+  std::string name;
+  std::vector<std::uint32_t> code;
+  // Initial data memory contents: (byte address, 8-byte value) pairs.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> data;
+  std::uint64_t entry = 0;
+
+  std::uint64_t size() const { return code.size(); }
+  bool in_range(std::uint64_t pc) const { return pc < code.size(); }
+  std::uint32_t fetch_raw(std::uint64_t pc) const {
+    return in_range(pc) ? code[pc] : encode(DecodedInst{.op = Opcode::kHalt});
+  }
+  DecodedInst fetch(std::uint64_t pc) const { return decode(fetch_raw(pc)); }
+};
+
+}  // namespace bj

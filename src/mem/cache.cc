@@ -1,0 +1,112 @@
+#include "mem/cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bj {
+
+Cache::Cache(const CacheParams& params)
+    : params_(params),
+      sets_(params.size_bytes /
+            (static_cast<std::uint64_t>(params.line_bytes) *
+             static_cast<std::uint64_t>(params.assoc))),
+      lines_(sets_ * static_cast<std::uint64_t>(params.assoc)) {
+  assert(sets_ > 0 && (sets_ & (sets_ - 1)) == 0 && "sets must be power of 2");
+}
+
+std::uint64_t Cache::set_of(std::uint64_t addr) const {
+  return (addr / static_cast<std::uint64_t>(params_.line_bytes)) & (sets_ - 1);
+}
+
+std::uint64_t Cache::tag_of(std::uint64_t addr) const {
+  return addr / (static_cast<std::uint64_t>(params_.line_bytes) * sets_);
+}
+
+bool Cache::access(std::uint64_t addr) {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[set * static_cast<std::uint64_t>(params_.assoc)];
+  Line* victim = base;
+  for (int w = 0; w < params_.assoc; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = ++lru_clock_;
+      ++hits_;
+      return true;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+  ++misses_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = ++lru_clock_;
+  return false;
+}
+
+bool Cache::probe(std::uint64_t addr) const {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Line* base = &lines_[set * static_cast<std::uint64_t>(params_.assoc)];
+  for (int w = 0; w < params_.assoc; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::flush() {
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  lru_clock_ = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyParams& params)
+    : params_(params), l1i_(params.l1i), l1d_(params.l1d), l2_(params.l2) {}
+
+int MemoryHierarchy::access_latency(Cache& l1, std::uint64_t addr) {
+  if (l1.access(addr)) return l1.params().hit_latency;
+  if (l2_.access(addr)) return l1.params().hit_latency + l2_.params().hit_latency;
+  return l1.params().hit_latency + l2_.params().hit_latency +
+         params_.memory_latency;
+}
+
+bool MemoryHierarchy::mshr_available(std::uint64_t cycle) {
+  std::erase_if(mshr_done_, [cycle](std::uint64_t done) { return done <= cycle; });
+  return static_cast<int>(mshr_done_.size()) < params_.mshrs;
+}
+
+void MemoryHierarchy::mshr_allocate(std::uint64_t done_cycle) {
+  mshr_done_.push_back(done_cycle);
+}
+
+std::uint64_t MemoryHierarchy::load(std::uint64_t addr, std::uint64_t cycle) {
+  // Check MSHR availability for the would-be miss before touching tags so a
+  // rejected access does not perturb the LRU state.
+  const bool is_l1_hit = l1d_.probe(addr);
+  if (!is_l1_hit && !mshr_available(cycle)) return 0;
+  const int latency = access_latency(l1d_, addr);
+  const std::uint64_t done = cycle + static_cast<std::uint64_t>(latency);
+  if (!is_l1_hit) mshr_allocate(done);
+  return done;
+}
+
+void MemoryHierarchy::store(std::uint64_t addr) {
+  (void)access_latency(l1d_, addr);  // write-allocate; latency not charged
+}
+
+std::uint64_t MemoryHierarchy::fetch(std::uint64_t pc_addr,
+                                     std::uint64_t cycle) {
+  if (l1i_.probe(pc_addr)) {
+    l1i_.access(pc_addr);
+    return cycle;  // hit latency is part of the pipelined fetch stage
+  }
+  if (!mshr_available(cycle)) return cycle + 1;  // retry shortly
+  const int latency = access_latency(l1i_, pc_addr);
+  const std::uint64_t done = cycle + static_cast<std::uint64_t>(latency);
+  mshr_allocate(done);
+  return done;
+}
+
+}  // namespace bj

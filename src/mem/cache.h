@@ -1,0 +1,104 @@
+// Timing model of one set-associative cache level. The cache stores tags
+// only; data correctness lives in SparseMemory (loads are value-checked at a
+// higher level). LRU replacement, write-allocate, write-back (eviction
+// traffic is not charged — the paper's SimpleScalar configuration likewise
+// dominates on read-miss latency).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bj {
+
+struct CacheParams {
+  std::uint64_t size_bytes = 64 * 1024;
+  int assoc = 4;
+  int line_bytes = 64;
+  int hit_latency = 2;
+  const char* name = "cache";
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheParams& params);
+
+  // Looks up `addr`; on miss, fills the line (evicting LRU). Returns true on
+  // hit. This is the timing-model access used by the pipeline.
+  bool access(std::uint64_t addr);
+
+  // Lookup without side effects.
+  bool probe(std::uint64_t addr) const;
+
+  // Invalidate everything (used between benchmark phases in tests).
+  void flush();
+
+  const CacheParams& params() const { return params_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t sets() const { return sets_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = ~0ull;
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  std::uint64_t set_of(std::uint64_t addr) const;
+  std::uint64_t tag_of(std::uint64_t addr) const;
+
+  CacheParams params_;
+  std::uint64_t sets_;
+  std::vector<Line> lines_;
+  std::uint64_t lru_clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// Table-1 hierarchy: split 2-cycle L1s (2 D-ports), unified L2, 350-cycle
+// memory, with a bounded number of outstanding misses (MSHRs).
+struct HierarchyParams {
+  CacheParams l1i{64 * 1024, 4, 64, 2, "l1i"};
+  CacheParams l1d{64 * 1024, 4, 64, 2, "l1d"};
+  CacheParams l2{2 * 1024 * 1024, 8, 64, 12, "l2"};
+  int memory_latency = 350;
+  int mshrs = 8;
+};
+
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const HierarchyParams& params = {});
+
+  // Data-side load issued at `cycle`. Returns the cycle at which the value is
+  // available, or 0 if no MSHR is free (the caller retries next cycle).
+  std::uint64_t load(std::uint64_t addr, std::uint64_t cycle);
+
+  // Data-side store performed at commit. Fills the line (write-allocate);
+  // commit-side stores are not charged latency in this model.
+  void store(std::uint64_t addr);
+
+  // Instruction fetch of the block containing `pc_addr` at `cycle`.
+  // Returns the cycle at which the block is available (== cycle for a hit
+  // pipeline-wise; fetch charges no extra hit latency since the L1I hit is
+  // part of the fetch stage).
+  std::uint64_t fetch(std::uint64_t pc_addr, std::uint64_t cycle);
+
+  const Cache& l1i() const { return l1i_; }
+  const Cache& l1d() const { return l1d_; }
+  const Cache& l2() const { return l2_; }
+  int line_bytes() const { return params_.l1d.line_bytes; }
+
+ private:
+  // Returns latency of a data/instruction access through the hierarchy.
+  int access_latency(Cache& l1, std::uint64_t addr);
+  bool mshr_available(std::uint64_t cycle);
+  void mshr_allocate(std::uint64_t done_cycle);
+
+  HierarchyParams params_;
+  Cache l1i_;
+  Cache l1d_;
+  Cache l2_;
+  std::vector<std::uint64_t> mshr_done_;  // completion cycles of outstanding misses
+};
+
+}  // namespace bj

@@ -1,0 +1,753 @@
+// Core construction, the per-cycle tick loop, and the frontend stages
+// (fetch and dispatch/rename). The backend stages live in core_issue.cc and
+// the commit/checking logic in core_commit.cc.
+#include "pipeline/core.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace bj {
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kSingle: return "single";
+    case Mode::kSrt: return "srt";
+    case Mode::kBlackjackNs: return "blackjack-ns";
+    case Mode::kBlackjack: return "blackjack";
+  }
+  return "?";
+}
+
+bool mode_is_redundant(Mode mode) { return mode != Mode::kSingle; }
+
+bool mode_uses_dtq(Mode mode) {
+  return mode == Mode::kBlackjack || mode == Mode::kBlackjackNs;
+}
+
+const char* detection_kind_name(DetectionKind kind) {
+  switch (kind) {
+    case DetectionKind::kStoreAddressMismatch: return "store-address-mismatch";
+    case DetectionKind::kStoreDataMismatch: return "store-data-mismatch";
+    case DetectionKind::kStoreOrdinalMismatch: return "store-ordinal-mismatch";
+    case DetectionKind::kLoadAddressMismatch: return "load-address-mismatch";
+    case DetectionKind::kBranchOutcomeMismatch:
+      return "branch-outcome-mismatch";
+    case DetectionKind::kDependenceCheckMismatch:
+      return "dependence-check-mismatch";
+    case DetectionKind::kPcChainMismatch: return "pc-chain-mismatch";
+    case DetectionKind::kWatchdogTimeout: return "watchdog-timeout";
+  }
+  return "?";
+}
+
+Core::Core(const Program& program, Mode mode, const CoreParams& params,
+           FaultInjector* injector)
+    : program_(program),
+      mode_(mode),
+      params_(params),
+      injector_(injector != nullptr ? injector : &null_injector_),
+      hierarchy_(params.memory),
+      predictor_(params.branch),
+      oracle_(program),
+      int_prf_(params.phys_int_regs),
+      fp_prf_(params.phys_fp_regs),
+      int_free_(0, params.phys_int_regs),
+      fp_free_(0, params.phys_fp_regs),
+      iq_(static_cast<std::size_t>(params.issue_queue_entries)),
+      boq_(static_cast<std::size_t>(params.boq_entries)),
+      lvq_(static_cast<std::size_t>(params.lvq_entries)),
+      store_buffer_(static_cast<std::size_t>(params.store_buffer_entries)),
+      dtq_(static_cast<std::size_t>(params.dtq_entries)) {
+  for (int cls = 0; cls < kNumFuClasses; ++cls) {
+    fu_busy_until_[cls].assign(
+        static_cast<std::size_t>(params_.fu_count(static_cast<FuClass>(cls))),
+        0);
+  }
+  for (const auto& [addr, value] : program.data) data_mem_.store(addr, value);
+
+  // Leading context: allocate architectural physical registers.
+  Context& lead = ctxs_[0];
+  lead.tid = ThreadId::kLeading;
+  lead.fetch_pc = program.entry;
+  for (int r = 0; r < kNumIntRegs; ++r) {
+    const int p = int_free_.allocate();
+    int_prf_.set_value(p, 0);
+    lead.map.at(RegClass::kInt, r) = p;
+  }
+  for (int r = 0; r < kNumFpRegs; ++r) {
+    const int p = fp_free_.allocate();
+    fp_prf_.set_value(p, 0);
+    lead.map.at(RegClass::kFp, r) = p;
+  }
+
+  Context& trail = ctxs_[1];
+  trail.tid = ThreadId::kTrailing;
+  trail.fetch_pc = program.entry;
+  if (redundant()) {
+    if (uses_dtq()) {
+      // BlackJack trailing: the first trailing rename maps *leading physical*
+      // registers. Seed the map so leading architectural registers resolve to
+      // trailing physical registers holding the same (initial) values, and
+      // initialize the commit-time second rename table identically.
+      trail.lead_phys_map = std::make_unique<LeadPhysMap>(
+          params_.phys_int_regs, params_.phys_fp_regs);
+      for (int r = 0; r < kNumIntRegs; ++r) {
+        const int t = int_free_.allocate();
+        int_prf_.set_value(t, 0);
+        trail.lead_phys_map->at(RegClass::kInt,
+                                lead.map.get(RegClass::kInt, r)) = t;
+        second_rename_.initialize(RegClass::kInt, r, t);
+      }
+      for (int r = 0; r < kNumFpRegs; ++r) {
+        const int t = fp_free_.allocate();
+        fp_prf_.set_value(t, 0);
+        trail.lead_phys_map->at(RegClass::kFp,
+                                lead.map.get(RegClass::kFp, r)) = t;
+        second_rename_.initialize(RegClass::kFp, r, t);
+      }
+      trail.al_window.assign(
+          static_cast<std::size_t>(params_.active_list_entries), nullptr);
+      trail.lsq_window.assign(static_cast<std::size_t>(params_.lsq_entries),
+                              nullptr);
+    } else {
+      // SRT trailing: an ordinary context with its own rename map.
+      for (int r = 0; r < kNumIntRegs; ++r) {
+        const int p = int_free_.allocate();
+        int_prf_.set_value(p, 0);
+        trail.map.at(RegClass::kInt, r) = p;
+      }
+      for (int r = 0; r < kNumFpRegs; ++r) {
+        const int p = fp_free_.allocate();
+        fp_prf_.set_value(p, 0);
+        trail.map.at(RegClass::kFp, r) = p;
+      }
+    }
+  }
+}
+
+Core::~Core() = default;
+
+bool Core::finished() const {
+  if (!ctxs_[0].halted) return false;
+  if (!redundant()) return true;
+  return ctxs_[1].halted;
+}
+
+bool Core::tick() {
+  if (finished() || wedged_ || detection_halt_) return false;
+
+  writeback();
+  commit();
+  if (uses_dtq()) shuffle_stage();
+  issue();
+  dispatch();
+  fetch();
+
+  ++cycle_;
+  ++stats_.cycles;
+
+  if (cycle_ - last_commit_cycle_ > params_.watchdog_cycles && !finished()) {
+    wedged_ = true;
+    record_detection(DetectionKind::kWatchdogTimeout, 0, 0);
+  }
+  return !(finished() || wedged_ || detection_halt_);
+}
+
+RunOutcome Core::run(std::uint64_t target_commits, std::uint64_t max_cycles) {
+  const std::uint64_t goal = total_commits_[0] + target_commits;
+  const std::uint64_t cycle_limit =
+      max_cycles == ~0ull ? ~0ull : cycle_ + max_cycles;
+  while (total_commits_[0] < goal && cycle_ < cycle_limit) {
+    if (!tick()) break;
+  }
+  RunOutcome out;
+  out.cycles = cycle_;
+  out.leading_commits = total_commits_[0];
+  out.trailing_commits = total_commits_[1];
+  out.program_finished = finished();
+  out.wedged = wedged_;
+  out.detected = !detections_.empty();
+  out.detections = detections_;
+  return out;
+}
+
+void Core::reset_stats() { stats_ = CoreStats{}; }
+
+void Core::record_detection(DetectionKind kind, std::uint64_t pc,
+                            std::uint64_t seq) {
+  detections_.push_back(DetectionEvent{kind, cycle_, pc, seq});
+  if (halt_on_detection_) detection_halt_ = true;
+}
+
+InstPtr Core::make_inst(ThreadId tid) {
+  auto inst = std::make_shared<DynInst>();
+  inst->tid = tid;
+  inst->fetch_cycle = cycle_;
+  return inst;
+}
+
+// ---------------------------------------------------------------------------
+// Shuffle stage: move committed packets from the DTQ into the trailing fetch
+// queue. Full BlackJack applies safe-shuffle; BlackJack-NS forwards packets
+// unshuffled. Bandwidth: one input packet per cycle (ample, since the
+// trailing thread consumes at most one packet per cycle).
+// ---------------------------------------------------------------------------
+void Core::shuffle_stage() {
+  const std::size_t width = static_cast<std::size_t>(params_.fetch_width);
+  if (trail_fetch_q_insts_ + 3 * width >
+      static_cast<std::size_t>(params_.trailing_fetch_queue_entries)) {
+    return;
+  }
+  std::size_t n = dtq_.head_packet_size();
+  if (n == 0) return;
+
+  // Packet-combining extension: append subsequent committed packets while
+  // the combined group stays within the issue width and the DTQ's borrowed
+  // rename maps prove register independence (a later instruction reading a
+  // physical register some earlier combined instruction writes would
+  // reintroduce an intra-packet dependence, which shuffle must never
+  // create).
+  if (params_.combine_packets) {
+    auto independent = [&](std::size_t upto, std::size_t from,
+                           std::size_t count) {
+      for (std::size_t j = from; j < from + count; ++j) {
+        const DtqEntry& later = dtq_.at(j);
+        for (std::size_t i = 0; i < upto; ++i) {
+          const DtqEntry& earlier = dtq_.at(i);
+          // True dependence (RAW) through the leading physical registers.
+          if (earlier.lead_dst_phys != kNoPhysReg &&
+              (later.lead_src1_phys == earlier.lead_dst_phys ||
+               later.lead_src2_phys == earlier.lead_dst_phys ||
+               later.lead_dst_phys == earlier.lead_dst_phys)) {
+            return false;
+          }
+          // Anti dependence through register recycling: the later packet may
+          // have been allocated a leading physical register the earlier
+          // packet still *reads* (freed and reused between their renames).
+          // Shuffle may place the later instruction in a lower slot, so its
+          // trailing map update would shadow the earlier reader's lookup.
+          if (later.lead_dst_phys != kNoPhysReg &&
+              (later.lead_dst_phys == earlier.lead_src1_phys ||
+               later.lead_dst_phys == earlier.lead_src2_phys)) {
+            return false;
+          }
+        }
+      }
+      return true;
+    };
+    auto class_counts_fit = [&](std::size_t count) {
+      int per_class[kNumFuClasses] = {};
+      for (std::size_t i = 0; i < count; ++i) {
+        const int cls = static_cast<int>(dtq_.at(i).fu);
+        if (++per_class[cls] > params_.fu_count(dtq_.at(i).fu)) return false;
+      }
+      return true;
+    };
+    while (n < static_cast<std::size_t>(params_.fetch_width)) {
+      const std::size_t next = dtq_.packet_size_at(n);
+      if (next == 0 ||
+          n + next > static_cast<std::size_t>(params_.fetch_width) ||
+          !independent(n, n, next) || !class_counts_fit(n + next)) {
+        break;
+      }
+      n += next;
+      ++stats_.packets_combined;
+    }
+  }
+
+  std::vector<DtqEntry> entries;
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) entries.push_back(dtq_.at(i));
+  dtq_.pop_front(n);
+  ++stats_.packets_shuffled;
+
+  const std::uint64_t origin = next_origin_id_++;
+  if (mode_ == Mode::kBlackjackNs) {
+    TrailPacket pkt;
+    pkt.packet_id = next_packet_id_++;
+    pkt.origin_id = origin;
+    for (const DtqEntry& e : entries) {
+      TrailSlot slot;
+      slot.is_nop = false;
+      slot.entry = e;
+      pkt.slots.push_back(std::move(slot));
+    }
+    trail_fetch_q_insts_ += pkt.slots.size();
+    trail_fetch_q_.push_back(std::move(pkt));
+    return;
+  }
+
+  std::vector<ShuffleInst> input;
+  input.reserve(n);
+  for (const DtqEntry& e : entries) {
+    input.push_back(ShuffleInst{e.fu, e.lead_frontend_way,
+                                e.lead_backend_way});
+  }
+  ShuffleResult shuffled = safe_shuffle(input, params_.fetch_width);
+  stats_.shuffle_nops += static_cast<std::uint64_t>(shuffled.nops_inserted);
+  stats_.packet_splits += static_cast<std::uint64_t>(shuffled.splits);
+  stats_.shuffle_forced_places +=
+      static_cast<std::uint64_t>(shuffled.forced_places);
+
+  for (const ShuffledPacket& out : shuffled.packets) {
+    TrailPacket pkt;
+    pkt.packet_id = next_packet_id_++;
+    pkt.origin_id = origin;
+    for (const ShuffleSlot& s : out) {
+      TrailSlot slot;
+      if (s.is_nop) {
+        slot.is_nop = true;
+        slot.nop_cls = s.cls;
+      } else {
+        slot.is_nop = false;
+        slot.entry = entries[static_cast<std::size_t>(s.input_index)];
+      }
+      pkt.slots.push_back(std::move(slot));
+    }
+    trail_fetch_q_insts_ += pkt.slots.size();
+    trail_fetch_q_.push_back(std::move(pkt));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fetch: one thread fetches per cycle. The trailing thread is preferred once
+// its backlog of committed-but-unfetched leading instructions reaches the
+// slack target; otherwise the leading thread fetches. Whichever is chosen,
+// if it cannot fetch this cycle the other gets the slot.
+// ---------------------------------------------------------------------------
+void Core::fetch() {
+  Context& lead = ctxs_[0];
+  Context& trail = ctxs_[1];
+
+  const bool lead_can =
+      !lead.fetch_done && lead.icache_ready <= cycle_ &&
+      lead.frontend_q.size() <
+          static_cast<std::size_t>(params_.fetch_buffer_entries);
+
+  bool trail_can = false;
+  if (redundant()) {
+    if (uses_dtq()) {
+      trail_can = !trail_fetch_q_.empty() &&
+                  trail.frontend_q.size() +
+                          trail_fetch_q_.front().slots.size() <=
+                      static_cast<std::size_t>(params_.fetch_buffer_entries);
+    } else {
+      trail_can = !trail.fetch_done && trail.icache_ready <= cycle_ &&
+                  trail.fetch_seq < lead.committed &&
+                  trail.frontend_q.size() <
+                      static_cast<std::size_t>(params_.fetch_buffer_entries);
+    }
+  }
+
+  const std::uint64_t backlog =
+      lead.committed > trail.fetch_seq ? lead.committed - trail.fetch_seq : 0;
+  // The trailing thread competes for fetch only once its backlog reaches the
+  // slack target (Section 3), with hysteresis: once it starts draining it
+  // keeps the fetch slot until the backlog falls a band below the slack, and
+  // vice versa. Phased fetch keeps each thread's instructions clustered in
+  // the issue queue, which is what makes issue bursty (Figure 6) and
+  // leading-trailing interference rare.
+  bool prefer_trailing = false;
+  if (trail_can) {
+    const auto slack = static_cast<std::uint64_t>(params_.slack);
+    const std::uint64_t band = slack / 4 + 1;
+    if (trailing_fetch_phase_) {
+      prefer_trailing = backlog + band > slack;
+    } else {
+      prefer_trailing = backlog >= slack + band;
+    }
+    trailing_fetch_phase_ = prefer_trailing;
+  }
+
+  if ((prefer_trailing && trail_can) || (!lead_can && trail_can)) {
+    if (uses_dtq()) {
+      fetch_trailing_blackjack(trail);
+    } else {
+      fetch_trailing_srt(trail);
+    }
+  } else if (lead_can) {
+    fetch_leading(lead);
+  }
+}
+
+void Core::fetch_leading(Context& ctx) {
+  const std::uint64_t block_insts =
+      static_cast<std::uint64_t>(params_.memory.l1i.line_bytes) / 4;
+  const std::uint64_t done = hierarchy_.fetch(ctx.fetch_pc * 4, cycle_);
+  if (done > cycle_) {
+    ctx.icache_ready = done;
+    return;
+  }
+  const std::uint64_t first_block = ctx.fetch_pc / block_insts;
+  for (int i = 0; i < params_.fetch_width; ++i) {
+    if (ctx.fetch_done) break;
+    if (ctx.frontend_q.size() >=
+        static_cast<std::size_t>(params_.fetch_buffer_entries)) {
+      stats_.events.bump("fetch.lead.buffer_full");
+      break;
+    }
+    if (ctx.fetch_pc / block_insts != first_block) {
+      stats_.events.bump("fetch.lead.block_boundary");
+      break;
+    }
+    stats_.events.bump("fetch.lead.instructions");
+
+    InstPtr inst = make_inst(ThreadId::kLeading);
+    inst->pc = ctx.fetch_pc;
+    inst->seq = ctx.fetch_seq++;
+    inst->raw = program_.fetch_raw(ctx.fetch_pc);
+    inst->predecode = decode(inst->raw);
+    inst->frontend_way =
+        static_cast<int>(ctx.fetch_pc % static_cast<std::uint64_t>(
+                                            params_.fetch_width));
+
+    bool redirect = false;
+    std::uint64_t next_pc = ctx.fetch_pc + 1;
+    if (inst->predecode.valid && inst->predecode.is_control()) {
+      inst->prediction = predictor_.predict(ctx.fetch_pc, inst->predecode);
+      inst->pred_taken = inst->prediction.taken;
+      inst->pred_target = inst->prediction.target;
+      ++stats_.branch_lookups;
+      if (inst->pred_taken) {
+        next_pc = inst->pred_target;
+        redirect = true;
+      }
+    }
+    if (inst->predecode.op == Opcode::kHalt) {
+      ctx.fetch_done = true;
+    }
+    ctx.frontend_q.push_back(std::move(inst));
+    ctx.fetch_pc = next_pc;
+    if (redirect) break;
+  }
+}
+
+void Core::fetch_trailing_srt(Context& ctx) {
+  Context& lead = ctxs_[0];
+  const std::uint64_t block_insts =
+      static_cast<std::uint64_t>(params_.memory.l1i.line_bytes) / 4;
+  const std::uint64_t done = hierarchy_.fetch(ctx.fetch_pc * 4, cycle_);
+  if (done > cycle_) {
+    ctx.icache_ready = done;
+    return;
+  }
+  const std::uint64_t first_block = ctx.fetch_pc / block_insts;
+  for (int i = 0; i < params_.fetch_width; ++i) {
+    if (ctx.fetch_done) break;
+    if (ctx.fetch_seq >= lead.committed) break;  // only committed instructions
+    if (ctx.frontend_q.size() >=
+        static_cast<std::size_t>(params_.fetch_buffer_entries)) {
+      break;
+    }
+    if (ctx.fetch_pc / block_insts != first_block) break;
+
+    InstPtr inst = make_inst(ThreadId::kTrailing);
+    inst->pc = ctx.fetch_pc;
+    inst->seq = ctx.fetch_seq;
+    inst->raw = program_.fetch_raw(ctx.fetch_pc);
+    inst->predecode = decode(inst->raw);
+    inst->frontend_way =
+        static_cast<int>(ctx.fetch_pc % static_cast<std::uint64_t>(
+                                            params_.fetch_width));
+
+    bool redirect = false;
+    std::uint64_t next_pc = ctx.fetch_pc + 1;
+    if (inst->predecode.valid && inst->predecode.is_control()) {
+      // Consume the leading thread's outcome as a perfect prediction.
+      const std::size_t offset =
+          static_cast<std::size_t>(ctx.fetched_ctrl - ctx.committed_ctrl);
+      const std::optional<BranchOutcome> outcome = boq_.peek(offset);
+      if (!outcome.has_value()) break;  // outcome not yet available
+      inst->pred_taken = outcome->taken;
+      inst->pred_target = outcome->target;
+      inst->ctrl_ordinal = ctx.fetched_ctrl;
+      ++ctx.fetched_ctrl;
+      if (inst->pred_taken) {
+        next_pc = inst->pred_target;
+        redirect = true;
+      }
+    }
+    if (inst->predecode.is_load()) inst->mem_ordinal = ctx.fetched_loads++;
+    if (inst->predecode.is_store()) inst->mem_ordinal = ctx.fetched_stores++;
+    if (inst->predecode.op == Opcode::kHalt) ctx.fetch_done = true;
+
+    ++ctx.fetch_seq;
+    ctx.frontend_q.push_back(std::move(inst));
+    ctx.fetch_pc = next_pc;
+    if (redirect) break;
+  }
+}
+
+void Core::fetch_trailing_blackjack(Context& ctx) {
+  if (trail_fetch_q_.empty()) return;
+  int packets_this_cycle = 0;
+  const int max_packets =
+      params_.one_packet_per_cycle ? 1 : params_.fetch_width;
+  int insts_fetched = 0;
+  while (packets_this_cycle < max_packets && !trail_fetch_q_.empty() &&
+         insts_fetched < params_.fetch_width) {
+    const TrailPacket& pkt = trail_fetch_q_.front();
+    if (ctx.frontend_q.size() + pkt.slots.size() >
+        static_cast<std::size_t>(params_.fetch_buffer_entries)) {
+      break;
+    }
+    for (std::size_t slot = 0; slot < pkt.slots.size(); ++slot) {
+      const TrailSlot& ts = pkt.slots[slot];
+      InstPtr inst = make_inst(ThreadId::kTrailing);
+      inst->packet_id = pkt.packet_id;
+      inst->origin_packet_id = pkt.origin_id;
+      inst->slot_in_packet = static_cast<int>(slot);
+      inst->frontend_way = static_cast<int>(slot);
+      if (ts.is_nop) {
+        inst->is_shuffle_nop = true;
+        inst->fu = ts.nop_cls;
+        inst->inst = DecodedInst{.op = Opcode::kNop};
+        inst->predecode = inst->inst;
+      } else {
+        const DtqEntry& e = ts.entry;
+        inst->pc = e.pc;
+        inst->raw = e.raw;
+        inst->predecode = decode(e.raw);
+        inst->seq = e.virt_al_index;
+        inst->lead_seq = e.lead_seq;
+        inst->lead_frontend_way = e.lead_frontend_way;
+        inst->lead_backend_way = e.lead_backend_way;
+        inst->lead_src1_phys = e.lead_src1_phys;
+        inst->lead_src2_phys = e.lead_src2_phys;
+        inst->lead_dst_phys = e.lead_dst_phys;
+        inst->virt_al_index = e.virt_al_index;
+        inst->virt_lsq_index = e.virt_lsq_index;
+        inst->has_lsq_slot = e.has_lsq_slot;
+        inst->mem_ordinal = e.mem_ordinal;
+        ctx.fetch_seq = e.virt_al_index + 1;  // backlog tracking
+        ++insts_fetched;
+      }
+      ctx.frontend_q.push_back(std::move(inst));
+    }
+    trail_fetch_q_insts_ -= pkt.slots.size();
+    trail_fetch_q_.pop_front();
+    ++packets_this_cycle;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch: decode (with the decode-lane fault hook), rename, and insert
+// into the issue queue + active list + LSQ. In-order per context; contexts
+// alternate priority each cycle and share the dispatch bandwidth.
+// ---------------------------------------------------------------------------
+void Core::dispatch() {
+  int budget = params_.issue_width;
+  const int start = static_cast<int>(cycle_ % 2);
+  for (int k = 0; k < kNumThreads && budget > 0; ++k) {
+    Context& ctx = ctxs_[(start + k) % kNumThreads];
+    if (ctx.tid == ThreadId::kTrailing && !redundant()) continue;
+    while (budget > 0 && !ctx.frontend_q.empty()) {
+      InstPtr inst = ctx.frontend_q.front();
+      if (inst->fetch_cycle + static_cast<std::uint64_t>(
+                                  params_.frontend_stages) > cycle_) {
+        stats_.events.bump("dispatch.pipe_delay");
+        break;
+      }
+      if (!rename_and_dispatch(ctx, inst)) {
+        stats_.events.bump("dispatch.structural_stall");
+        break;
+      }
+      ctx.frontend_q.pop_front();
+      --budget;
+      stats_.events.bump("dispatch.instructions");
+    }
+  }
+}
+
+int Core::find_free_iq_slot() const {
+  for (std::size_t i = 0; i < iq_.size(); ++i) {
+    if (!iq_[i].inst) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Core::rename_and_dispatch(Context& ctx, const InstPtr& inst) {
+  const int iq_slot = find_free_iq_slot();
+  if (iq_slot < 0) {
+    stats_.events.bump("dispatch.iq_full");
+    return false;
+  }
+
+  const bool trailing_packet_member = uses_dtq() && inst->is_trailing();
+  if (trailing_packet_member && params_.packet_serial_dispatch &&
+      iq_trailing_unissued_ > 0 &&
+      inst->packet_id != iq_trailing_packet_id_) {
+    stats_.events.bump("dispatch.packet_serial_stall");
+    return false;
+  }
+
+  auto install_iq = [&]() {
+    inst->iq_entry = iq_slot;
+    iq_[static_cast<std::size_t>(iq_slot)].inst = inst;
+    ++iq_occupancy_;
+    inst->age = dispatch_age_++;
+    inst->dispatched = true;
+    inst->dispatch_cycle = cycle_;
+    if (trailing_packet_member) {
+      ++iq_trailing_unissued_;
+      iq_trailing_packet_id_ = inst->packet_id;
+    }
+  };
+
+  if (inst->is_shuffle_nop) {
+    install_iq();
+    return true;
+  }
+
+  // Decode stage: this is where the frontend-way decoder fault bites. The
+  // decoded (possibly corrupted) form drives rename and execution.
+  const std::uint32_t raw = injector_->on_decode(inst->raw, inst->frontend_way);
+  inst->inst = decode(raw);
+  inst->fu = inst->inst.fu();
+  const bool is_mem = inst->inst.is_mem();
+  const bool writes = inst->inst.writes_reg();
+
+  const bool bj_trailing = uses_dtq() && inst->is_trailing();
+  if (bj_trailing) {
+    // Virtual -> physical window translation (Section 4.3.1): the virtual
+    // index must fit within the window relative to the current head.
+    if (inst->virt_al_index >=
+        ctx.al_head_virt + static_cast<std::uint64_t>(
+                               params_.active_list_entries)) {
+      return false;
+    }
+    if (inst->has_lsq_slot &&
+        inst->virt_lsq_index >=
+            ctx.lsq_head_virt + static_cast<std::uint64_t>(
+                                    params_.lsq_entries)) {
+      return false;
+    }
+  } else {
+    if (ctx.active_list.size() >=
+        static_cast<std::size_t>(params_.active_list_entries)) {
+      stats_.events.bump("dispatch.al_full");
+      return false;
+    }
+    if (is_mem &&
+        ctx.lsq.size() >= static_cast<std::size_t>(params_.lsq_entries)) {
+      stats_.events.bump("dispatch.lsq_full");
+      return false;
+    }
+  }
+  if (writes && free_list(inst->inst.dst.cls).empty()) return false;
+
+  // Rename.
+  if (bj_trailing) {
+    // Double rename: inputs are the leading thread's physical registers.
+    auto map_src = [&](const RegRef& src, int lead_phys) -> int {
+      if (!src.valid()) return kNoPhysReg;
+      if (src.cls == RegClass::kInt && src.idx == kZeroReg) return kNoPhysReg;
+      if (lead_phys == kNoPhysReg) return kNoPhysReg;
+      return ctx.lead_phys_map->get(src.cls, lead_phys);
+    };
+    inst->src1_phys = map_src(inst->inst.src1, inst->lead_src1_phys);
+    inst->src2_phys = map_src(inst->inst.src2, inst->lead_src2_phys);
+    if (writes) {
+      inst->dst_phys = free_list(inst->inst.dst.cls).allocate();
+      // Not ready until the producer issues (clears any stale readiness from
+      // the register's previous lifetime).
+      prf(inst->inst.dst.cls).set_ready_at(inst->dst_phys, ~0ull);
+      // The previous trailing mapping is NOT freed here: freeing happens in
+      // program order through the second rename table at trailing commit.
+      if (inst->lead_dst_phys != kNoPhysReg) {
+        ctx.lead_phys_map->at(inst->inst.dst.cls, inst->lead_dst_phys) =
+            inst->dst_phys;
+      }
+    }
+  } else {
+    auto map_src = [&](const RegRef& src) -> int {
+      if (!src.valid()) return kNoPhysReg;
+      if (src.cls == RegClass::kInt && src.idx == kZeroReg) return kNoPhysReg;
+      return ctx.map.get(src.cls, src.idx);
+    };
+    inst->src1_phys = map_src(inst->inst.src1);
+    inst->src2_phys = map_src(inst->inst.src2);
+    if (writes) {
+      inst->prev_dst_phys = ctx.map.get(inst->inst.dst.cls, inst->inst.dst.idx);
+      inst->dst_phys = free_list(inst->inst.dst.cls).allocate();
+      prf(inst->inst.dst.cls).set_ready_at(inst->dst_phys, ~0ull);
+      ctx.map.at(inst->inst.dst.cls, inst->inst.dst.idx) = inst->dst_phys;
+    }
+  }
+
+  // Window insertion.
+  if (bj_trailing) {
+    const std::size_t al_size = ctx.al_window.size();
+    ctx.al_window[static_cast<std::size_t>(inst->virt_al_index) % al_size] =
+        inst;
+    ++ctx.al_window_count;
+    if (inst->has_lsq_slot) {
+      const std::size_t lsq_size = ctx.lsq_window.size();
+      ctx.lsq_window[static_cast<std::size_t>(inst->virt_lsq_index) %
+                     lsq_size] = inst;
+      ++ctx.lsq_window_count;
+    }
+  } else {
+    ctx.active_list.push_back(inst);
+    if (is_mem) ctx.lsq.push_back(inst);
+  }
+
+  install_iq();
+  return true;
+}
+
+}  // namespace bj
+
+namespace bj {
+
+void Core::dump_state(std::ostream& os) const {
+  os << "=== core state @ cycle " << cycle_ << " mode=" << mode_name(mode_)
+     << " ===\n";
+  for (const Context& ctx : ctxs_) {
+    os << (ctx.tid == ThreadId::kLeading ? "leading" : "trailing")
+       << ": committed=" << ctx.committed << " fetch_seq=" << ctx.fetch_seq
+       << " frontend_q=" << ctx.frontend_q.size()
+       << " al=" << ctx.active_list.size()
+       << " al_window=" << ctx.al_window_count
+       << " lsq=" << ctx.lsq.size() << " lsq_window=" << ctx.lsq_window_count
+       << " halted=" << ctx.halted << " fetch_done=" << ctx.fetch_done
+       << " icache_ready=" << ctx.icache_ready << "\n";
+    if (!ctx.frontend_q.empty()) {
+      const InstPtr& h = ctx.frontend_q.front();
+      os << "  frontend head: seq=" << h->seq << " pc=" << h->pc << " "
+         << disassemble(h->predecode) << (h->is_shuffle_nop ? " [nop]" : "")
+         << " packet=" << h->packet_id << "\n";
+    }
+    const InstPtr* head = nullptr;
+    if (!ctx.active_list.empty()) {
+      head = &ctx.active_list.front();
+    } else if (ctx.al_window_count > 0) {
+      head = &ctx.al_window[static_cast<std::size_t>(ctx.al_head_virt) %
+                            ctx.al_window.size()];
+    }
+    if (head != nullptr && *head) {
+      const InstPtr& h = *head;
+      os << "  al head: seq=" << h->seq << " pc=" << h->pc << " "
+         << disassemble(h->inst) << " issued=" << h->issued
+         << " completed=" << h->completed << " iq=" << h->iq_entry << "\n";
+    }
+  }
+  os << "iq occupancy=" << iq_occupancy_
+     << " trailing_unissued=" << iq_trailing_unissued_
+     << " gate_packet=" << iq_trailing_packet_id_ << "\n";
+  for (std::size_t i = 0; i < iq_.size(); ++i) {
+    if (!iq_[i].inst) continue;
+    const InstPtr& in = iq_[i].inst;
+    os << "  iq[" << i << "] tid=" << tid_index(in->tid) << " seq=" << in->seq
+       << " pc=" << in->pc << " " << disassemble(in->inst)
+       << (in->is_shuffle_nop ? " [nop]" : "") << " packet=" << in->packet_id
+       << " src1=" << in->src1_phys << " src2=" << in->src2_phys
+       << " issued=" << in->issued << "\n";
+  }
+  os << "dtq=" << dtq_.size() << " fetchq_pkts=" << trail_fetch_q_.size()
+     << " fetchq_insts=" << trail_fetch_q_insts_ << " lvq=" << lvq_.size()
+     << " sb=" << store_buffer_.size() << " boq=" << boq_.size() << "\n";
+}
+
+}  // namespace bj

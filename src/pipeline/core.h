@@ -1,0 +1,352 @@
+// The cycle-level out-of-order SMT core. One Core simulates a program in one
+// of four modes: single-threaded, SRT redundant threading, BlackJack without
+// shuffle (BlackJack-NS), or full BlackJack with safe-shuffle.
+//
+// Pipeline organization (Figure 1/3 of the paper): instructions flow through
+// `fetch_width` frontend ways (fetch/decode/rename lanes), meet in a unified
+// issue queue with oldest-first select, and cross to typed backend ways
+// (function units) where they execute through writeback. The leading thread
+// is a normal speculative OOO thread; the trailing thread consumes the
+// leading thread's outcomes (BOQ/LVQ in SRT, DTQ + safe-shuffle in
+// BlackJack) and verifies the pair's agreement at commit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "arch/emulator.h"
+#include "blackjack/checker.h"
+#include "blackjack/dtq.h"
+#include "blackjack/shuffle.h"
+#include "branch/predictor.h"
+#include "common/stats.h"
+#include "fault/coverage.h"
+#include "fault/fault_model.h"
+#include "mem/cache.h"
+#include "pipeline/params.h"
+#include "pipeline/regfile.h"
+#include "pipeline/types.h"
+#include "srt/boq.h"
+#include "srt/lvq.h"
+#include "srt/store_buffer.h"
+
+namespace bj {
+
+// Aggregate statistics, resettable at the warm-up boundary.
+struct CoreStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t leading_commits = 0;
+  std::uint64_t trailing_commits = 0;
+
+  // Issue-cycle accounting (Figures 5 and 6).
+  std::uint64_t issue_cycles = 0;                 // cycles with >=1 issue
+  std::uint64_t single_context_issue_cycles = 0;  // burstiness numerator
+  std::uint64_t lt_interference_cycles = 0;       // leading-trailing w/ loss
+  std::uint64_t tt_interference_cycles = 0;       // trailing-trailing w/ loss
+  std::uint64_t tt_sibling_cycles = 0;            // TT between split siblings
+  std::uint64_t other_diversity_loss_cycles = 0;  // partial packet / FU busy
+  std::uint64_t instructions_issued = 0;
+
+  // Safe-shuffle behaviour.
+  std::uint64_t packets_shuffled = 0;
+  std::uint64_t shuffle_nops = 0;
+  std::uint64_t packet_splits = 0;
+  std::uint64_t shuffle_forced_places = 0;
+  std::uint64_t packets_combined = 0;  // extension: merged input packets
+
+  // Payload-RAM fault exposure: dynamic instructions whose payload was
+  // corrupted in the leading copy / in both copies identically. The latter
+  // is the Section 4.5 vulnerability — a corruption no check can see.
+  std::uint64_t payload_corrupted_leading = 0;
+  std::uint64_t payload_corrupted_both = 0;
+
+  // Branch prediction (leading).
+  std::uint64_t branch_lookups = 0;
+  std::uint64_t branch_mispredicts = 0;
+
+  // Coverage (Figure 4).
+  CoverageAccounting coverage;
+
+  // Diagnostic event counters (fetch/dispatch/issue bottleneck attribution).
+  CounterSet events;
+
+  double ipc() const {
+    return cycles ? static_cast<double>(leading_commits) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+  double burstiness() const {
+    return issue_cycles ? static_cast<double>(single_context_issue_cycles) /
+                              static_cast<double>(issue_cycles)
+                        : 0.0;
+  }
+  double lt_interference_fraction() const {
+    return issue_cycles ? static_cast<double>(lt_interference_cycles) /
+                              static_cast<double>(issue_cycles)
+                        : 0.0;
+  }
+  double tt_interference_fraction() const {
+    return issue_cycles ? static_cast<double>(tt_interference_cycles) /
+                              static_cast<double>(issue_cycles)
+                        : 0.0;
+  }
+};
+
+struct RunOutcome {
+  std::uint64_t cycles = 0;
+  std::uint64_t leading_commits = 0;
+  std::uint64_t trailing_commits = 0;
+  bool program_finished = false;  // halt committed by every thread
+  bool wedged = false;            // watchdog fired
+  bool detected = false;          // redundancy check fired
+  std::vector<DetectionEvent> detections;
+};
+
+class Core {
+ public:
+  Core(const Program& program, Mode mode, const CoreParams& params = {},
+       FaultInjector* injector = nullptr);
+  ~Core();
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  // Advances one cycle. Returns false when the machine has nothing left to
+  // do (program finished, wedged, or halted on a detection).
+  bool tick();
+
+  // Runs until the leading thread has committed `target_commits` additional
+  // instructions (or the program finishes / a detection fires / the watchdog
+  // trips / `max_cycles` elapses).
+  RunOutcome run(std::uint64_t target_commits,
+                 std::uint64_t max_cycles = ~0ull);
+
+  // Clears statistics (not machine state); call at the warm-up boundary.
+  void reset_stats();
+
+  // Oracle checking: verify every leading commit against the architectural
+  // emulator. On by default; disable for fault-injection campaigns where the
+  // leading thread is expected to diverge.
+  void set_oracle_check(bool enabled) { oracle_check_ = enabled; }
+  bool oracle_violated() const { return oracle_violation_; }
+  const std::string& oracle_violation_detail() const {
+    return oracle_violation_detail_;
+  }
+
+  // Stop simulating as soon as any redundancy check fires (default true).
+  void set_halt_on_detection(bool enabled) { halt_on_detection_ = enabled; }
+
+  const CoreStats& stats() const { return stats_; }
+  const CoreParams& params() const { return params_; }
+  Mode mode() const { return mode_; }
+  std::uint64_t cycle() const { return cycle_; }
+  std::uint64_t leading_commits() const { return total_commits_[0]; }
+  std::uint64_t trailing_commits() const { return total_commits_[1]; }
+  bool finished() const;
+  bool wedged() const { return wedged_; }
+  const std::vector<DetectionEvent>& detections() const { return detections_; }
+
+  // Stores released to the memory system (post-check), for SDC analysis.
+  const std::vector<StoreBufferEntry>& released_stores() const {
+    return released_stores_;
+  }
+  void set_store_trace_limit(std::size_t limit) { store_trace_limit_ = limit; }
+
+  const MemoryHierarchy& memory_hierarchy() const { return hierarchy_; }
+  const BranchPredictor& predictor() const { return predictor_; }
+
+  // Debug aid: dumps queue occupancies, issue-queue contents, and window
+  // heads — what you want to see when a run wedges.
+  void dump_state(std::ostream& os) const;
+
+  // Per-commit pipeline trace: one line per retired instruction of either
+  // thread, with stage timestamps and the frontend/backend ways it used.
+  // Pass nullptr to disable (the default).
+  void set_trace(std::ostream* os) { trace_ = os; }
+
+ private:
+  struct Context;
+
+  // --- pipeline stages (called back-to-front each tick) -------------------
+  void writeback();
+  void commit();
+  void commit_leading(Context& ctx);
+  void commit_trailing_srt(Context& ctx);
+  void commit_trailing_blackjack(Context& ctx);
+  void shuffle_stage();
+  void issue();
+  void dispatch();
+  void fetch();
+  void fetch_leading(Context& ctx);
+  void fetch_trailing_srt(Context& ctx);
+  void fetch_trailing_blackjack(Context& ctx);
+
+  // --- helpers -------------------------------------------------------------
+  bool redundant() const { return mode_ != Mode::kSingle; }
+  bool uses_dtq() const {
+    return mode_ == Mode::kBlackjack || mode_ == Mode::kBlackjackNs;
+  }
+  PhysRegFile& prf(RegClass cls) {
+    return cls == RegClass::kInt ? int_prf_ : fp_prf_;
+  }
+  FreeList& free_list(RegClass cls) {
+    return cls == RegClass::kInt ? int_free_ : fp_free_;
+  }
+  bool operand_ready(RegClass cls, int phys) const;
+  std::uint64_t operand_value(RegClass cls, int phys) const;
+  bool ready_to_issue(const InstPtr& inst);
+  void execute_inst(const InstPtr& inst);
+  void schedule_completion(const InstPtr& inst, std::uint64_t cycle);
+  void resolve_leading_branch(const InstPtr& inst);
+  void squash_leading_after(std::uint64_t branch_seq, std::uint64_t new_pc);
+  bool rename_and_dispatch(Context& ctx, const InstPtr& inst);
+  int find_free_iq_slot() const;
+  void record_detection(DetectionKind kind, std::uint64_t pc,
+                        std::uint64_t seq);
+  void trace_commit(const InstPtr& inst, char tag);
+  void note_commit_progress() { last_commit_cycle_ = cycle_; }
+  InstPtr make_inst(ThreadId tid);
+  void check_against_oracle(const InstPtr& inst);
+  void release_store(std::uint64_t ordinal, std::uint64_t addr,
+                     std::uint64_t data);
+  std::optional<std::uint64_t> leading_load_value(const InstPtr& inst);
+  bool lsq_older_stores_ready(const Context& ctx, const InstPtr& load) const;
+
+  // --- configuration -------------------------------------------------------
+  // Held by value: a Core must stay valid even when constructed from a
+  // temporary Program (a cheap copy — code plus data image).
+  const Program program_;
+  Mode mode_;
+  CoreParams params_;
+  FaultInjector* injector_;
+  FaultInjector null_injector_;
+
+  // --- substrate -----------------------------------------------------------
+  SparseMemory data_mem_;
+  MemoryHierarchy hierarchy_;
+  BranchPredictor predictor_;
+  Emulator oracle_;
+  bool oracle_check_ = true;
+  bool oracle_violation_ = false;
+  std::string oracle_violation_detail_;
+
+  // --- shared machine state ------------------------------------------------
+  std::uint64_t cycle_ = 0;
+  std::uint64_t dispatch_age_ = 0;
+  PhysRegFile int_prf_;
+  PhysRegFile fp_prf_;
+  FreeList int_free_;
+  FreeList fp_free_;
+
+  struct IqSlot {
+    InstPtr inst;  // null when free
+  };
+  std::vector<IqSlot> iq_;
+  int iq_occupancy_ = 0;
+
+  // Unpipelined-unit busy tracking: busy_until_[cls][way].
+  std::array<std::vector<std::uint64_t>, kNumFuClasses> fu_busy_until_;
+
+  // Completion events.
+  std::map<std::uint64_t, std::vector<InstPtr>> completions_;
+
+  // --- redundancy structures ------------------------------------------------
+  BranchOutcomeQueue boq_;
+  LoadValueQueue lvq_;
+  CheckingStoreBuffer store_buffer_;
+  DependenceTraceQueue dtq_;
+  SecondRenameTable second_rename_;
+  PcChainChecker pc_checker_;
+
+  // Shuffled packets awaiting trailing fetch.
+  struct TrailSlot {
+    bool is_nop = false;
+    FuClass nop_cls = FuClass::kIntAlu;
+    DtqEntry entry;  // valid when !is_nop
+  };
+  struct TrailPacket {
+    std::vector<TrailSlot> slots;
+    std::uint64_t packet_id = 0;
+    std::uint64_t origin_id = 0;  // original leading packet (split siblings
+                                  // share an origin)
+  };
+  std::deque<TrailPacket> trail_fetch_q_;
+  std::size_t trail_fetch_q_insts_ = 0;
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t next_origin_id_ = 1;
+  // Packet-serial dispatch tracking: unissued trailing instructions in the
+  // issue queue and the packet they belong to.
+  std::uint64_t iq_trailing_unissued_ = 0;
+  std::uint64_t iq_trailing_packet_id_ = 0;
+
+  // Measurement-only channel pairing leading ways with trailing commits in
+  // SRT mode (BlackJack carries them through the DTQ).
+  std::deque<std::pair<int, int>> srt_lead_ways_;
+
+  // --- per-context state -----------------------------------------------------
+  struct Context {
+    ThreadId tid = ThreadId::kLeading;
+
+    // Fetch.
+    std::uint64_t fetch_pc = 0;
+    std::uint64_t fetch_seq = 0;      // next program-order sequence number
+    std::uint64_t icache_ready = 0;   // fetch blocked until this cycle
+    bool fetch_done = false;          // halt fetched
+    std::deque<InstPtr> frontend_q;   // fetched, awaiting dispatch
+
+    // Fetch-side ordinals (trailing SRT: BOQ consumption at fetch).
+    std::uint64_t fetched_ctrl = 0;
+    std::uint64_t fetched_loads = 0;
+    std::uint64_t fetched_stores = 0;
+
+    // Rename.
+    RenameMap map;
+    std::unique_ptr<LeadPhysMap> lead_phys_map;  // BlackJack trailing only
+
+    // Windows. The leading/SRT active list and LSQ are program-order deques;
+    // the BlackJack trailing thread uses virtual-index windows.
+    std::deque<InstPtr> active_list;
+    std::deque<InstPtr> lsq;
+    std::vector<InstPtr> al_window;
+    std::uint64_t al_head_virt = 0;
+    std::size_t al_window_count = 0;
+    std::vector<InstPtr> lsq_window;
+    std::uint64_t lsq_head_virt = 0;
+    std::size_t lsq_window_count = 0;
+
+    // Commit-side ordinals.
+    std::uint64_t committed = 0;
+    std::uint64_t committed_ctrl = 0;
+    std::uint64_t committed_loads = 0;
+    std::uint64_t committed_stores = 0;
+    std::uint64_t committed_mem = 0;
+    bool halted = false;
+  };
+  std::array<Context, kNumThreads> ctxs_;
+
+  // --- status / accounting ----------------------------------------------------
+  CoreStats stats_;
+  std::array<std::uint64_t, kNumThreads> total_commits_ = {0, 0};
+  std::uint64_t last_commit_cycle_ = 0;
+  bool wedged_ = false;
+  bool halt_on_detection_ = true;
+  bool detection_halt_ = false;
+  std::vector<DetectionEvent> detections_;
+  std::vector<StoreBufferEntry> released_stores_;
+  std::size_t store_trace_limit_ = 1u << 20;
+  int fetch_priority_rr_ = 0;
+  bool trailing_fetch_phase_ = false;
+  std::ostream* trace_ = nullptr;
+  // Leading sequence numbers whose payload was corrupted by an IQ payload
+  // fault (measurement for the shared-payload-RAM vulnerability).
+  std::set<std::uint64_t> payload_corrupted_lead_seqs_;
+};
+
+}  // namespace bj

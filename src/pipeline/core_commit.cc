@@ -1,0 +1,355 @@
+// Commit stages: leading-thread commit (architectural effects, oracle check,
+// DTQ fill, LVQ/BOQ/store-buffer production) and trailing-thread commit with
+// the paper's full check suite (store compare, load-address compare, branch
+// outcome compare, second-rename dependence check, pc-chain check) plus the
+// coverage accounting of Section 5.
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+#include "pipeline/core.h"
+
+namespace bj {
+
+void Core::trace_commit(const InstPtr& inst, char tag) {
+  if (trace_ == nullptr) return;
+  *trace_ << tag << " seq=" << inst->seq << " pc=" << inst->pc
+          << " fe=" << inst->frontend_way << " be=" << inst->backend_way
+          << " fetch=" << inst->fetch_cycle
+          << " dispatch=" << inst->dispatch_cycle
+          << " issue=" << inst->issue_cycle
+          << " done=" << inst->complete_cycle << " commit=" << cycle_ << "  "
+          << disassemble(inst->inst) << '\n';
+}
+
+void Core::commit() {
+  commit_leading(ctxs_[0]);
+  if (!redundant()) return;
+  if (uses_dtq()) {
+    commit_trailing_blackjack(ctxs_[1]);
+  } else {
+    commit_trailing_srt(ctxs_[1]);
+  }
+}
+
+void Core::release_store(std::uint64_t ordinal, std::uint64_t addr,
+                         std::uint64_t data) {
+  data_mem_.store(addr, data);
+  hierarchy_.store(addr);
+  if (released_stores_.size() < store_trace_limit_) {
+    released_stores_.push_back(StoreBufferEntry{ordinal, addr, data});
+  }
+}
+
+void Core::check_against_oracle(const InstPtr& inst) {
+  const std::optional<RetireRecord> rec = oracle_.step();
+  std::ostringstream detail;
+  if (!rec.has_value()) {
+    detail << "oracle already halted at leading commit pc=" << inst->pc;
+    oracle_violation_ = true;
+    oracle_violation_detail_ = detail.str();
+    return;
+  }
+  bool ok = rec->pc == inst->pc;
+  if (ok && rec->store.has_value()) {
+    ok = inst->inst.is_store() && rec->store->first == inst->mem_addr &&
+         rec->store->second == inst->result;
+  }
+  if (ok && rec->load.has_value()) {
+    ok = inst->inst.is_load() && rec->load->first == inst->mem_addr &&
+         rec->load->second == inst->load_value;
+  }
+  if (ok && rec->wrote_reg && !rec->inst.is_load()) {
+    ok = inst->result == rec->dst_value;
+  }
+  if (ok && rec->inst.is_control()) {
+    const std::uint64_t next =
+        (inst->inst.valid && inst->inst.is_control() && inst->taken)
+            ? inst->target
+            : inst->pc + 1;
+    ok = next == rec->next_pc;
+  }
+  if (!ok) {
+    detail << "oracle mismatch at pc=" << inst->pc << " ("
+           << disassemble(rec->inst) << "): pipeline result=" << inst->result
+           << " addr=" << inst->mem_addr << " vs oracle value="
+           << rec->dst_value;
+    oracle_violation_ = true;
+    oracle_violation_detail_ = detail.str();
+  }
+}
+
+void Core::commit_leading(Context& ctx) {
+  for (int n = 0; n < params_.commit_width; ++n) {
+    if (ctx.halted || ctx.active_list.empty()) break;
+    InstPtr head = ctx.active_list.front();
+    if (!head->completed) {
+      if (n == 0) {
+        stats_.events.bump(head->issued ? "commit.head_executing"
+                                        : "commit.head_not_issued");
+        if (!head->issued) {
+          stats_.events.bump(std::string("commit.head_not_issued.") +
+                             traits(head->inst.op).mnemonic);
+        }
+      }
+      break;
+    }
+
+    const DecodedInst& d = head->inst;
+    if (redundant()) {
+      if (d.is_store() && store_buffer_.full()) break;
+      if (d.is_load() && lvq_.full()) break;
+      if (mode_ == Mode::kSrt && head->predecode.valid &&
+          head->predecode.is_control() && boq_.full()) {
+        break;
+      }
+    }
+
+    if (oracle_check_) check_against_oracle(head);
+
+    if (d.is_store()) {
+      if (redundant()) {
+        store_buffer_.push(StoreBufferEntry{ctx.committed_stores,
+                                            head->mem_addr, head->result});
+      } else {
+        release_store(ctx.committed_stores, head->mem_addr, head->result);
+      }
+    }
+    if (d.is_load() && redundant()) {
+      lvq_.push(
+          LvqEntry{ctx.committed_loads, head->mem_addr, head->load_value});
+    }
+    if (mode_ == Mode::kSrt && head->predecode.valid &&
+        head->predecode.is_control()) {
+      const bool taken = d.valid && d.is_control() && head->taken;
+      boq_.push(BranchOutcome{head->pc, ctx.committed_ctrl, taken,
+                              taken ? head->target : head->pc + 1});
+    }
+    if (uses_dtq()) {
+      const bool is_mem = d.is_mem();
+      const std::uint64_t mem_ordinal =
+          d.is_load() ? ctx.committed_loads : ctx.committed_stores;
+      const bool filled = dtq_.fill_at_commit(
+          head->seq, ctx.committed, ctx.committed_mem, is_mem, mem_ordinal);
+      assert(filled && "committed leading instruction missing from DTQ");
+      (void)filled;
+    }
+    if (mode_ == Mode::kSrt) {
+      srt_lead_ways_.emplace_back(head->frontend_way, head->backend_way);
+    }
+
+    // Free the previous mapping of the destination register.
+    if (head->dst_phys != kNoPhysReg && head->prev_dst_phys != kNoPhysReg) {
+      free_list(d.dst.cls).release(head->prev_dst_phys);
+    }
+
+    ++ctx.committed;
+    if (head->predecode.valid && head->predecode.is_control()) {
+      ++ctx.committed_ctrl;
+    }
+    if (d.is_load()) ++ctx.committed_loads;
+    if (d.is_store()) ++ctx.committed_stores;
+    if (d.is_mem()) {
+      ++ctx.committed_mem;
+      assert(!ctx.lsq.empty() && ctx.lsq.front() == head);
+      ctx.lsq.pop_front();
+    }
+    if (d.op == Opcode::kHalt) ctx.halted = true;
+
+    ctx.active_list.pop_front();
+    trace_commit(head, 'L');
+    ++total_commits_[0];
+    ++stats_.leading_commits;
+    note_commit_progress();
+  }
+}
+
+void Core::commit_trailing_srt(Context& ctx) {
+  for (int n = 0; n < params_.commit_width; ++n) {
+    if (ctx.halted || ctx.active_list.empty()) break;
+    InstPtr head = ctx.active_list.front();
+    if (!head->completed) break;
+
+    const DecodedInst& d = head->inst;
+
+    if (d.is_store()) {
+      StoreBufferEntry released;
+      const StoreCheck chk = store_buffer_.check_and_release(
+          ctx.committed_stores, head->mem_addr, head->result, &released);
+      switch (chk) {
+        case StoreCheck::kMatch:
+          release_store(released.ordinal, released.addr, released.data);
+          break;
+        case StoreCheck::kAddressMismatch:
+          record_detection(DetectionKind::kStoreAddressMismatch, head->pc,
+                           head->seq);
+          return;
+        case StoreCheck::kDataMismatch:
+          record_detection(DetectionKind::kStoreDataMismatch, head->pc,
+                           head->seq);
+          return;
+        case StoreCheck::kOrdinalMismatch:
+        case StoreCheck::kEmpty:
+          record_detection(DetectionKind::kStoreOrdinalMismatch, head->pc,
+                           head->seq);
+          return;
+      }
+    }
+    if (d.is_load()) {
+      if (lvq_.empty() || lvq_.front().ordinal != ctx.committed_loads) {
+        record_detection(DetectionKind::kLoadAddressMismatch, head->pc,
+                         head->seq);
+        return;
+      }
+      const LvqEntry entry = lvq_.pop();
+      if (entry.addr != head->mem_addr) {
+        record_detection(DetectionKind::kLoadAddressMismatch, head->pc,
+                         head->seq);
+        return;
+      }
+    }
+    if (head->predecode.valid && head->predecode.is_control()) {
+      if (boq_.empty()) {
+        record_detection(DetectionKind::kBranchOutcomeMismatch, head->pc,
+                         head->seq);
+        return;
+      }
+      const BranchOutcome outcome = boq_.pop();
+      const bool taken = d.valid && d.is_control() && head->taken;
+      const std::uint64_t target = taken ? head->target : head->pc + 1;
+      const bool ok = outcome.pc == head->pc && outcome.taken == taken &&
+                      (!taken || outcome.target == target);
+      if (!ok) {
+        record_detection(DetectionKind::kBranchOutcomeMismatch, head->pc,
+                         head->seq);
+        return;
+      }
+    }
+
+    // Coverage accounting: pair the trailing instruction with the leading
+    // ways recorded at leading commit (measurement-only side channel).
+    if (!srt_lead_ways_.empty()) {
+      const auto [lead_fe, lead_be] = srt_lead_ways_.front();
+      srt_lead_ways_.pop_front();
+      stats_.coverage.add_pair(head->frontend_way != lead_fe,
+                               head->backend_way != lead_be);
+    }
+
+    if (head->dst_phys != kNoPhysReg && head->prev_dst_phys != kNoPhysReg) {
+      free_list(d.dst.cls).release(head->prev_dst_phys);
+    }
+
+    ++ctx.committed;
+    if (head->predecode.valid && head->predecode.is_control()) {
+      ++ctx.committed_ctrl;
+    }
+    if (d.is_load()) ++ctx.committed_loads;
+    if (d.is_store()) ++ctx.committed_stores;
+    if (d.is_mem()) {
+      ++ctx.committed_mem;
+      assert(!ctx.lsq.empty() && ctx.lsq.front() == head);
+      ctx.lsq.pop_front();
+    }
+    if (d.op == Opcode::kHalt) ctx.halted = true;
+
+    ctx.active_list.pop_front();
+    trace_commit(head, 'T');
+    ++total_commits_[1];
+    ++stats_.trailing_commits;
+    note_commit_progress();
+  }
+}
+
+void Core::commit_trailing_blackjack(Context& ctx) {
+  for (int n = 0; n < params_.commit_width; ++n) {
+    if (ctx.halted || ctx.al_window_count == 0) break;
+    const std::size_t al_size = ctx.al_window.size();
+    InstPtr head =
+        ctx.al_window[static_cast<std::size_t>(ctx.al_head_virt) % al_size];
+    if (!head || !head->completed) break;
+
+    const DecodedInst& d = head->inst;
+
+    // Dependence check through the second rename table (Section 4.4).
+    const DependenceCheckResult dep = second_rename_.commit(
+        d, head->src1_phys, head->src2_phys, head->dst_phys);
+    if (!dep.ok) {
+      record_detection(DetectionKind::kDependenceCheckMismatch, head->pc,
+                       head->seq);
+      return;
+    }
+    if (dep.freed_phys != kNoPhysReg) {
+      free_list(dep.freed_cls).release(dep.freed_phys);
+    }
+
+    // Program-order check: committed pcs must chain.
+    const bool taken = d.valid && d.is_control() && head->taken;
+    if (!pc_checker_.commit(head->pc, taken, head->target)) {
+      record_detection(DetectionKind::kPcChainMismatch, head->pc, head->seq);
+      return;
+    }
+
+    if (d.is_store()) {
+      StoreBufferEntry released;
+      const StoreCheck chk = store_buffer_.check_and_release(
+          ctx.committed_stores, head->mem_addr, head->result, &released);
+      switch (chk) {
+        case StoreCheck::kMatch:
+          release_store(released.ordinal, released.addr, released.data);
+          break;
+        case StoreCheck::kAddressMismatch:
+          record_detection(DetectionKind::kStoreAddressMismatch, head->pc,
+                           head->seq);
+          return;
+        case StoreCheck::kDataMismatch:
+          record_detection(DetectionKind::kStoreDataMismatch, head->pc,
+                           head->seq);
+          return;
+        case StoreCheck::kOrdinalMismatch:
+        case StoreCheck::kEmpty:
+          record_detection(DetectionKind::kStoreOrdinalMismatch, head->pc,
+                           head->seq);
+          return;
+      }
+    }
+    if (d.is_load()) {
+      if (lvq_.empty() || lvq_.front().ordinal != ctx.committed_loads) {
+        record_detection(DetectionKind::kLoadAddressMismatch, head->pc,
+                         head->seq);
+        return;
+      }
+      lvq_.pop();  // address already compared at execute
+    }
+
+    // Coverage accounting (Figure 4): the DTQ carried the leading ways.
+    stats_.coverage.add_pair(head->frontend_way != head->lead_frontend_way,
+                             head->backend_way != head->lead_backend_way);
+
+    ++ctx.committed;
+    if (d.is_load()) ++ctx.committed_loads;
+    if (d.is_store()) ++ctx.committed_stores;
+    if (d.is_mem()) ++ctx.committed_mem;
+    if (d.op == Opcode::kHalt) ctx.halted = true;
+
+    ctx.al_window[static_cast<std::size_t>(ctx.al_head_virt) % al_size] =
+        nullptr;
+    ++ctx.al_head_virt;
+    --ctx.al_window_count;
+    if (head->has_lsq_slot) {
+      const std::size_t lsq_size = ctx.lsq_window.size();
+      assert(ctx.lsq_window[static_cast<std::size_t>(ctx.lsq_head_virt) %
+                            lsq_size] == head);
+      ctx.lsq_window[static_cast<std::size_t>(ctx.lsq_head_virt) % lsq_size] =
+          nullptr;
+      ++ctx.lsq_head_virt;
+      --ctx.lsq_window_count;
+    }
+
+    trace_commit(head, 'T');
+    ++total_commits_[1];
+    ++stats_.trailing_commits;
+    note_commit_progress();
+  }
+}
+
+}  // namespace bj

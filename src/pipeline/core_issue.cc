@@ -1,0 +1,461 @@
+// Backend stages: wakeup/select/issue with the oldest-first backend-way
+// mapping, execution (with fault hooks), writeback, leading-branch
+// resolution and squash.
+#include <algorithm>
+#include <cassert>
+
+#include "pipeline/core.h"
+
+namespace bj {
+namespace {
+
+bool is_unpipelined(Opcode op) {
+  return op == Opcode::kDiv || op == Opcode::kRem || op == Opcode::kFdiv ||
+         op == Opcode::kFsqrt;
+}
+
+}  // namespace
+
+bool Core::operand_ready(RegClass cls, int phys) const {
+  if (phys == kNoPhysReg) return true;
+  const PhysRegFile& file = cls == RegClass::kInt ? int_prf_ : fp_prf_;
+  return file.ready_at(phys) <= cycle_;
+}
+
+std::uint64_t Core::operand_value(RegClass cls, int phys) const {
+  if (phys == kNoPhysReg) return 0;
+  const PhysRegFile& file = cls == RegClass::kInt ? int_prf_ : fp_prf_;
+  return file.value(phys);
+}
+
+bool Core::lsq_older_stores_ready(const Context& ctx,
+                                  const InstPtr& load) const {
+  for (const InstPtr& mem : ctx.lsq) {
+    if (mem == load) break;
+    if (mem->seq >= load->seq) break;
+    if (mem->inst.is_store() && !mem->addr_ready) return false;
+  }
+  return true;
+}
+
+bool Core::ready_to_issue(const InstPtr& inst) {
+  if (inst->issued || inst->squashed) return false;
+  if (inst->is_shuffle_nop) return true;
+
+  if (!operand_ready(inst->inst.src1.cls, inst->src1_phys)) return false;
+  if (inst->inst.is_store()) {
+    // Stores issue for address generation as soon as the base register is
+    // ready; the data operand only needs its producer to have *issued*
+    // (value captured at completion, which waits for the data's ready time).
+    // This keeps younger loads from serializing behind store dataflow.
+    if (inst->src2_phys != kNoPhysReg &&
+        prf(inst->inst.src2.cls).ready_at(inst->src2_phys) == ~0ull) {
+      return false;
+    }
+  } else if (!operand_ready(inst->inst.src2.cls, inst->src2_phys)) {
+    return false;
+  }
+
+  if (inst->inst.is_load()) {
+    if (redundant() && inst->is_trailing()) {
+      // Trailing loads read the LVQ; the entry must exist (it does once the
+      // leading copy committed, which gates trailing fetch — but a faulty
+      // leading thread can break that, so check).
+      if (!lvq_.lookup(inst->mem_ordinal).has_value()) return false;
+    } else {
+      // Conservative disambiguation: wait until every older store in the
+      // context has computed its address.
+      const Context& ctx = ctxs_[tid_index(inst->tid)];
+      if (!lsq_older_stores_ready(ctx, inst)) return false;
+    }
+  }
+
+  // Leading instructions in DTQ modes need a free trace entry at issue.
+  if (uses_dtq() && !inst->is_trailing() && dtq_.full()) return false;
+
+  return true;
+}
+
+void Core::schedule_completion(const InstPtr& inst, std::uint64_t at_cycle) {
+  completions_[at_cycle].push_back(inst);
+}
+
+// Executes one selected instruction: reads operands, applies the payload and
+// backend fault hooks, evaluates, updates the PRF and schedules completion.
+// Returns false only for leading loads that could not get an MSHR.
+void Core::execute_inst(const InstPtr& inst) {
+  inst->issued = true;
+  inst->issue_cycle = cycle_;
+  ++stats_.instructions_issued;
+
+  if (inst->is_shuffle_nop) return;  // occupies the way; nothing else
+
+  // Issue-queue payload RAM fault: the immediate payload is read out of the
+  // entry the instruction occupied. With separate per-thread payload RAMs
+  // (the paper's fix) the injected fault lives in the leading thread's RAM.
+  if (injector_->armed() &&
+      (!params_.separate_payload_rams || !inst->is_trailing())) {
+    const std::int64_t before = inst->inst.imm;
+    inst->inst.imm = injector_->on_payload(inst->inst.imm, inst->iq_entry);
+    if (inst->inst.imm != before) {
+      // Track whether both copies of the same dynamic instruction read the
+      // corrupted entry — the Section 4.5 vulnerability that makes the
+      // corruption invisible to every check.
+      if (!inst->is_trailing()) {
+        ++stats_.payload_corrupted_leading;
+        payload_corrupted_lead_seqs_.insert(inst->seq);
+      } else if (uses_dtq() &&
+                 payload_corrupted_lead_seqs_.count(inst->lead_seq) > 0) {
+        ++stats_.payload_corrupted_both;
+      }
+    }
+  }
+
+  inst->src1_val = operand_value(inst->inst.src1.cls, inst->src1_phys);
+  inst->src2_val = operand_value(inst->inst.src2.cls, inst->src2_phys);
+
+  ExecOutcome out = eval(inst->inst, inst->src1_val, inst->src2_val, inst->pc);
+  injector_->on_execute(out, inst->inst, inst->fu, inst->backend_way);
+
+  const DecodedInst& d = inst->inst;
+  auto write_dst = [&](std::uint64_t value, std::uint64_t ready_at) {
+    if (inst->dst_phys == kNoPhysReg) return;
+    PhysRegFile& file = prf(d.dst.cls);
+    file.set_value(inst->dst_phys, value);
+    file.set_ready_at(inst->dst_phys, ready_at);
+  };
+
+  if (d.is_load()) {
+    inst->mem_addr = out.mem_addr;
+    inst->addr_ready = true;
+    std::uint64_t latency = 0;
+    if (redundant() && inst->is_trailing()) {
+      const std::optional<LvqEntry> entry = lvq_.lookup(inst->mem_ordinal);
+      assert(entry.has_value());
+      if (entry->addr != inst->mem_addr) {
+        record_detection(DetectionKind::kLoadAddressMismatch, inst->pc,
+                         inst->seq);
+      }
+      inst->load_value = entry->value;
+      // The LVQ is a small dedicated RAM, not the cache hierarchy: single-
+      // cycle access. This is what lets the trailing thread drain packets as
+      // fast as they arrive instead of backing up in the issue queue.
+      latency = 1;
+    } else {
+      const std::optional<std::uint64_t> value = leading_load_value(inst);
+      if (value.has_value()) {
+        inst->load_value = *value;
+        inst->load_forwarded = true;
+        latency = 1;
+      } else {
+        const std::uint64_t done = hierarchy_.load(inst->mem_addr, cycle_);
+        if (done == 0) {
+          // No MSHR: stay in the issue queue and retry. The memory port was
+          // consumed this cycle (structural hazard on replay). The discarded
+          // attempt must not swallow a transient-fault trigger.
+          injector_->refund_execution();
+          inst->issued = false;
+          --stats_.instructions_issued;
+          return;
+        }
+        inst->load_value = data_mem_.load(inst->mem_addr);
+        latency = done - cycle_;
+      }
+    }
+    inst->result = inst->load_value;
+    write_dst(inst->load_value, cycle_ + latency);
+    schedule_completion(inst, cycle_ + latency);
+    return;
+  }
+
+  if (d.is_store()) {
+    inst->mem_addr = out.mem_addr;
+    inst->addr_ready = true;
+    inst->result = out.store_value;  // producer already issued, value final
+    // Completion (data capture) waits for the data operand's ready time.
+    const std::uint64_t data_ready =
+        inst->src2_phys == kNoPhysReg
+            ? cycle_
+            : prf(d.src2.cls).ready_at(inst->src2_phys);
+    schedule_completion(inst, std::max(cycle_ + 1, data_ready));
+    return;
+  }
+
+  if (d.is_control()) {
+    inst->taken = out.taken;
+    inst->target = out.target;
+    inst->result = out.value;  // kJal link value
+    write_dst(out.value, cycle_ + 1);
+    schedule_completion(inst, cycle_ + 1);
+    return;
+  }
+
+  // ALU / FP op.
+  std::uint64_t latency = 1;
+  switch (inst->fu) {
+    case FuClass::kIntAlu:
+      latency = static_cast<std::uint64_t>(params_.latency_int_alu);
+      break;
+    case FuClass::kIntMul:
+      latency = static_cast<std::uint64_t>(
+          d.op == Opcode::kMul ? params_.latency_int_mul
+                               : params_.latency_int_div);
+      break;
+    case FuClass::kFpAlu:
+      latency = static_cast<std::uint64_t>(params_.latency_fp_alu);
+      break;
+    case FuClass::kFpMul:
+      latency = static_cast<std::uint64_t>(
+          d.op == Opcode::kFmul
+              ? params_.latency_fp_mul
+              : (d.op == Opcode::kFsqrt ? params_.latency_fp_sqrt
+                                        : params_.latency_fp_div));
+      break;
+    case FuClass::kMem:
+    case FuClass::kCount:
+      break;
+  }
+  if (is_unpipelined(d.op)) {
+    fu_busy_until_[static_cast<int>(inst->fu)]
+                  [static_cast<std::size_t>(inst->backend_way)] =
+                      cycle_ + latency;
+  }
+  inst->result = out.value;
+  write_dst(out.value, cycle_ + latency);
+  schedule_completion(inst, cycle_ + latency);
+}
+
+std::optional<std::uint64_t> Core::leading_load_value(const InstPtr& inst) {
+  // Youngest older store in the context's LSQ with a matching address.
+  const Context& ctx = ctxs_[tid_index(inst->tid)];
+  const InstPtr* best = nullptr;
+  for (const InstPtr& mem : ctx.lsq) {
+    if (mem->seq >= inst->seq) break;
+    if (mem->inst.is_store() && mem->addr_ready &&
+        mem->mem_addr == inst->mem_addr) {
+      best = &mem;
+    }
+  }
+  if (best != nullptr) return (*best)->result;
+  // Committed-but-unreleased stores waiting in the checking store buffer.
+  if (redundant()) {
+    if (auto fwd = store_buffer_.forward(inst->mem_addr)) return fwd;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Issue: oldest-first select over the unified issue queue, mapping each
+// selected instruction to the lowest-numbered free backend way of its type.
+// ---------------------------------------------------------------------------
+void Core::issue() {
+  std::vector<InstPtr> candidates;
+  candidates.reserve(static_cast<std::size_t>(iq_occupancy_));
+  for (IqSlot& slot : iq_) {
+    if (slot.inst && ready_to_issue(slot.inst)) candidates.push_back(slot.inst);
+  }
+  if (candidates.empty()) return;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const InstPtr& a, const InstPtr& b) { return a->age < b->age; });
+
+  std::array<std::uint32_t, kNumFuClasses> ways_taken{};
+  std::vector<InstPtr> issued;
+  int dtq_pending = 0;
+
+  for (const InstPtr& cand : candidates) {
+    if (static_cast<int>(issued.size()) >= params_.issue_width) break;
+    const int cls = static_cast<int>(cand->fu);
+    const int n_ways = params_.fu_count(cand->fu);
+    int way = -1;
+    for (int w = 0; w < n_ways; ++w) {
+      if (ways_taken[static_cast<std::size_t>(cls)] &
+          (1u << static_cast<unsigned>(w))) {
+        continue;
+      }
+      if (fu_busy_until_[cls][static_cast<std::size_t>(w)] > cycle_) continue;
+      if (params_.way_disabled(cand->fu, w)) continue;
+      way = w;
+      break;
+    }
+    if (way < 0) continue;
+
+    if (uses_dtq() && !cand->is_trailing()) {
+      if (dtq_.size() + static_cast<std::size_t>(dtq_pending) >=
+          dtq_.capacity()) {
+        continue;
+      }
+      ++dtq_pending;
+    }
+
+    cand->backend_way = way;
+    execute_inst(cand);
+    if (!cand->issued) {
+      // MSHR-rejected load: the way stays consumed (replay port hazard) but
+      // the instruction remains in the queue.
+      ways_taken[static_cast<std::size_t>(cls)] |=
+          1u << static_cast<unsigned>(way);
+      if (uses_dtq() && !cand->is_trailing()) --dtq_pending;
+      continue;
+    }
+    ways_taken[static_cast<std::size_t>(cls)] |=
+        1u << static_cast<unsigned>(way);
+    issued.push_back(cand);
+    if (uses_dtq() && cand->is_trailing()) {
+      assert(iq_trailing_unissued_ > 0);
+      --iq_trailing_unissued_;
+    }
+
+    // Free the issue-queue slot.
+    assert(cand->iq_entry >= 0 &&
+           iq_[static_cast<std::size_t>(cand->iq_entry)].inst == cand);
+    iq_[static_cast<std::size_t>(cand->iq_entry)].inst.reset();
+    --iq_occupancy_;
+  }
+
+  if (issued.empty()) return;
+
+  // DTQ allocation: one entry per issued leading instruction, in issue
+  // order; co-issued leading instructions share an issue_cycle and thus form
+  // a packet.
+  if (uses_dtq()) {
+    for (const InstPtr& inst : issued) {
+      if (inst->is_trailing()) continue;
+      DtqEntry entry;
+      entry.lead_seq = inst->seq;
+      entry.issue_cycle = cycle_;
+      entry.pc = inst->pc;
+      entry.raw = inst->raw;
+      entry.lead_frontend_way = inst->frontend_way;
+      entry.lead_backend_way = inst->backend_way;
+      entry.fu = inst->fu;
+      entry.lead_src1_phys = inst->src1_phys;
+      entry.lead_src2_phys = inst->src2_phys;
+      entry.lead_dst_phys = inst->dst_phys;
+      dtq_.allocate(entry);
+    }
+  }
+
+  // --- issue-cycle statistics (Figures 5 and 6) ---------------------------
+  ++stats_.issue_cycles;
+  bool any_leading = false;
+  bool any_trailing = false;
+  bool diversity_violation = false;
+  std::uint64_t first_packet = 0;
+  std::uint64_t first_origin = 0;
+  bool multiple_packets = false;
+  bool multiple_origins = false;
+  for (const InstPtr& inst : issued) {
+    if (inst->is_trailing()) {
+      any_trailing = true;
+      if (inst->packet_id != 0) {
+        if (first_packet == 0) {
+          first_packet = inst->packet_id;
+          first_origin = inst->origin_packet_id;
+        } else if (inst->packet_id != first_packet) {
+          multiple_packets = true;
+          if (inst->origin_packet_id != first_origin) multiple_origins = true;
+        }
+      }
+      if (!inst->is_shuffle_nop && inst->lead_backend_way >= 0 &&
+          inst->backend_way == inst->lead_backend_way) {
+        diversity_violation = true;
+      }
+    } else {
+      any_leading = true;
+    }
+  }
+  if (!(any_leading && any_trailing)) ++stats_.single_context_issue_cycles;
+  if (diversity_violation) {
+    if (any_leading && any_trailing) {
+      ++stats_.lt_interference_cycles;
+    } else if (multiple_packets) {
+      ++stats_.tt_interference_cycles;
+      if (!multiple_origins) ++stats_.tt_sibling_cycles;
+    } else {
+      ++stats_.other_diversity_loss_cycles;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Writeback: completion events, leading branch resolution, squash.
+// ---------------------------------------------------------------------------
+void Core::writeback() {
+  auto it = completions_.find(cycle_);
+  if (it == completions_.end()) return;
+  std::vector<InstPtr> done = std::move(it->second);
+  completions_.erase(it);
+  // Resolve in (thread, age) order so the oldest mispredicted branch squashes
+  // first; its squash marks younger completions squashed and they are skipped.
+  std::sort(done.begin(), done.end(),
+            [](const InstPtr& a, const InstPtr& b) { return a->age < b->age; });
+  for (const InstPtr& inst : done) {
+    if (inst->squashed) continue;
+    inst->completed = true;
+    inst->complete_cycle = cycle_;
+    if (!inst->is_trailing() && inst->predecode.valid &&
+        inst->predecode.is_control()) {
+      resolve_leading_branch(inst);
+    }
+  }
+}
+
+void Core::resolve_leading_branch(const InstPtr& inst) {
+  // Effective behaviour: the executed (possibly fault-corrupted) decode
+  // decides direction and target; a corrupted non-control decode falls
+  // through.
+  const bool is_ctrl = inst->inst.valid && inst->inst.is_control();
+  const bool taken = is_ctrl && inst->taken;
+  const std::uint64_t target = taken ? inst->target : inst->pc + 1;
+
+  predictor_.resolve(inst->pc, inst->predecode, inst->prediction, taken,
+                     target);
+
+  const bool mispredicted =
+      taken != inst->pred_taken || (taken && target != inst->pred_target);
+  if (!mispredicted) return;
+
+  inst->mispredicted = true;
+  ++stats_.branch_mispredicts;
+  if (inst->predecode.is_branch()) {
+    predictor_.restore_history(inst->prediction.ghr_snapshot, taken);
+  }
+  squash_leading_after(inst->seq, target);
+}
+
+void Core::squash_leading_after(std::uint64_t branch_seq,
+                                std::uint64_t new_pc) {
+  Context& ctx = ctxs_[0];
+
+  for (const InstPtr& inst : ctx.frontend_q) inst->squashed = true;
+  ctx.frontend_q.clear();
+
+  while (!ctx.active_list.empty() &&
+         ctx.active_list.back()->seq > branch_seq) {
+    InstPtr inst = ctx.active_list.back();
+    ctx.active_list.pop_back();
+    inst->squashed = true;
+    // Undo rename in reverse program order.
+    if (inst->dst_phys != kNoPhysReg) {
+      ctx.map.at(inst->inst.dst.cls, inst->inst.dst.idx) = inst->prev_dst_phys;
+      free_list(inst->inst.dst.cls).release(inst->dst_phys);
+    }
+    if (inst->iq_entry >= 0 &&
+        iq_[static_cast<std::size_t>(inst->iq_entry)].inst == inst) {
+      iq_[static_cast<std::size_t>(inst->iq_entry)].inst.reset();
+      --iq_occupancy_;
+    }
+  }
+  while (!ctx.lsq.empty() && ctx.lsq.back()->seq > branch_seq) {
+    ctx.lsq.pop_back();
+  }
+  if (uses_dtq()) dtq_.squash_younger_than(branch_seq);
+
+  ctx.fetch_pc = new_pc;
+  ctx.fetch_seq = branch_seq + 1;
+  ctx.fetch_done = false;
+  ctx.icache_ready =
+      cycle_ + 1 + static_cast<std::uint64_t>(params_.mispredict_redirect_penalty);
+}
+
+}  // namespace bj

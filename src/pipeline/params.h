@@ -1,0 +1,140 @@
+// Core configuration. Defaults reproduce Table 1 of the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "branch/predictor.h"
+#include "isa/opcode.h"
+#include "mem/cache.h"
+
+namespace bj {
+
+// Redundancy mode of the core.
+enum class Mode : std::uint8_t {
+  kSingle,       // non-fault-tolerant single thread (normalization baseline)
+  kSrt,          // SRT: trailing thread in program order, no shuffling
+  kBlackjackNs,  // BlackJack no-shuffle: DTQ fetch in leading issue order,
+                 // one packet per cycle, but packets unshuffled
+  kBlackjack,    // full BlackJack with safe-shuffle
+};
+
+const char* mode_name(Mode mode);
+bool mode_is_redundant(Mode mode);
+bool mode_uses_dtq(Mode mode);
+
+struct CoreParams {
+  // Widths (Table 1: out-of-order issue 4 instructions/cycle).
+  int fetch_width = 4;
+  int issue_width = 4;
+  int commit_width = 4;  // per context per cycle
+
+  // Windows (Table 1).
+  int active_list_entries = 512;  // per context
+  int lsq_entries = 64;           // per context
+  int issue_queue_entries = 32;   // shared
+  int fetch_buffer_entries = 16;  // per context
+
+  // Function units / backend ways (Table 1; the two L1D ports are the two
+  // memory ways; two units of every non-ALU type exist because spatial
+  // diversity is impossible otherwise).
+  int int_alu_units = 4;
+  int int_mul_units = 2;
+  int fp_alu_units = 2;
+  int fp_mul_units = 2;
+  int mem_ports = 2;
+
+  // Execution latencies (cycles). Divide/sqrt are unpipelined.
+  int latency_int_alu = 1;
+  int latency_int_mul = 4;
+  int latency_int_div = 20;
+  int latency_fp_alu = 4;
+  int latency_fp_mul = 6;
+  int latency_fp_div = 24;
+  int latency_fp_sqrt = 30;
+
+  // Frontend pipeline depth between fetch and dispatch (decode+rename).
+  int frontend_stages = 3;
+  // Extra cycles charged on a branch misprediction redirect.
+  int mispredict_redirect_penalty = 2;
+
+  // Physical register file (shared by both contexts, per class). Sized so
+  // that two full 512-entry active lists plus architectural state never
+  // exhaust it — the paper does not model physical-register pressure.
+  int phys_int_regs = 1280;
+  int phys_fp_regs = 1280;
+
+  // SRT/BlackJack structures (Table 1).
+  int store_buffer_entries = 64;
+  int lvq_entries = 128;
+  int boq_entries = 96;
+  int slack = 256;
+  int dtq_entries = 1024;
+  // Post-shuffle staging for the trailing thread's fetch. Sized above the
+  // committed backlog the LVQ/store-buffer allow, so it can always absorb
+  // the DTQ: otherwise DTQ-full (stalling leading issue) and fetch-queue-
+  // full (stalling shuffle) can deadlock the machine against a full issue
+  // queue of unissuable leading instructions.
+  int trailing_fetch_queue_entries = 4096;
+
+  // The paper's fix for the issue-queue payload RAM vulnerability: separate
+  // payload RAMs per thread. When false, both threads share entries and an
+  // injected payload fault can escape detection (ablation).
+  bool separate_payload_rams = true;
+
+  // One-packet-per-cycle trailing fetch (Section 4.3.1). Disabling it is an
+  // ablation that shows trailing-trailing interference growing.
+  bool one_packet_per_cycle = true;
+
+  // Packet-serial trailing dispatch: a shuffled packet enters the issue
+  // queue only after the previous trailing packet has fully issued. This is
+  // the frontend policy that realizes the paper's observation that "most
+  // often only one trailing packet resides in the issue queue at any given
+  // time" (Section 4.3.2) even when latency compression stalls a packet.
+  // Costs no throughput in the unstalled case (dispatch happens the cycle
+  // the previous packet issues); disabling it is an ablation that shows
+  // trailing-trailing interference growing.
+  bool packet_serial_dispatch = true;
+
+  // Extension (the paper's future work, Section 6): combine adjacent
+  // committed packets into one trailing packet when the DTQ's borrowed
+  // rename maps prove them register-independent. Wider trailing packets
+  // need fewer one-per-cycle fetch slots, closing part of the BlackJack-
+  // over-SRT performance gap. Off by default (the paper's machine does not
+  // do this); exercised by bench_ablations.
+  bool combine_packets = false;
+
+  // Extension (cf. Rescue [11] and Srinivasan et al. [16]): backend ways the
+  // issue stage must never use, as bitmasks per FU class. Set after a
+  // diagnosis pass localizes a hard fault to let the chip run in degraded
+  // mode instead of being returned. All-zero = everything enabled.
+  std::array<std::uint32_t, kNumFuClasses> disabled_backend_ways{};
+
+  bool way_disabled(FuClass cls, int way) const {
+    return (disabled_backend_ways[static_cast<std::size_t>(cls)] >>
+            static_cast<unsigned>(way)) &
+           1u;
+  }
+
+  // Substrate models.
+  BranchPredictorParams branch;
+  HierarchyParams memory;
+
+  // Watchdog: a run is declared wedged (detection event of last resort in a
+  // faulty machine) when no instruction commits for this many cycles.
+  std::uint64_t watchdog_cycles = 50000;
+
+  int fu_count(FuClass cls) const {
+    switch (cls) {
+      case FuClass::kIntAlu: return int_alu_units;
+      case FuClass::kIntMul: return int_mul_units;
+      case FuClass::kFpAlu: return fp_alu_units;
+      case FuClass::kFpMul: return fp_mul_units;
+      case FuClass::kMem: return mem_ports;
+      case FuClass::kCount: break;
+    }
+    return 0;
+  }
+};
+
+}  // namespace bj

@@ -1,0 +1,115 @@
+// Physical register file, free list, and rename maps. One PhysRegFile per
+// register class (int, fp) is shared by both SMT contexts; each context owns
+// its rename map. The BlackJack trailing thread additionally owns a map
+// indexed by *leading physical* register (the double rename of Section
+// 4.3.1), which therefore has as many rows as there are physical registers.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "isa/opcode.h"
+
+namespace bj {
+
+// Sentinel physical register meaning "constant zero / operand absent":
+// always ready, reads as 0.
+inline constexpr int kNoPhysReg = -1;
+
+class PhysRegFile {
+ public:
+  explicit PhysRegFile(int count)
+      : value_(static_cast<std::size_t>(count), 0),
+        ready_at_(static_cast<std::size_t>(count), 0) {}
+
+  int size() const { return static_cast<int>(value_.size()); }
+
+  std::uint64_t value(int reg) const {
+    if (reg == kNoPhysReg) return 0;
+    return value_[static_cast<std::size_t>(reg)];
+  }
+  void set_value(int reg, std::uint64_t v) {
+    assert(reg != kNoPhysReg);
+    value_[static_cast<std::size_t>(reg)] = v;
+  }
+
+  // A consumer may issue at any cycle >= ready_at(reg).
+  std::uint64_t ready_at(int reg) const {
+    if (reg == kNoPhysReg) return 0;
+    return ready_at_[static_cast<std::size_t>(reg)];
+  }
+  void set_ready_at(int reg, std::uint64_t cycle) {
+    assert(reg != kNoPhysReg);
+    ready_at_[static_cast<std::size_t>(reg)] = cycle;
+  }
+
+ private:
+  std::vector<std::uint64_t> value_;
+  std::vector<std::uint64_t> ready_at_;
+};
+
+class FreeList {
+ public:
+  // Registers [first, count) start free; [0, first) are pre-allocated to
+  // architectural state by the caller.
+  FreeList(int first, int count) {
+    for (int r = count - 1; r >= first; --r) free_.push_back(r);
+  }
+
+  bool empty() const { return free_.empty(); }
+  std::size_t available() const { return free_.size(); }
+
+  int allocate() {
+    assert(!free_.empty());
+    const int reg = free_.back();
+    free_.pop_back();
+    return reg;
+  }
+  void release(int reg) {
+    assert(reg != kNoPhysReg);
+    free_.push_back(reg);
+  }
+
+ private:
+  std::vector<int> free_;
+};
+
+// Per-context logical -> physical map.
+struct RenameMap {
+  RenameMap() : int_map(kNumIntRegs, kNoPhysReg), fp_map(kNumFpRegs, kNoPhysReg) {}
+
+  int& at(RegClass cls, int logical) {
+    return cls == RegClass::kInt ? int_map[static_cast<std::size_t>(logical)]
+                                 : fp_map[static_cast<std::size_t>(logical)];
+  }
+  int get(RegClass cls, int logical) const {
+    return cls == RegClass::kInt ? int_map[static_cast<std::size_t>(logical)]
+                                 : fp_map[static_cast<std::size_t>(logical)];
+  }
+
+  std::vector<int> int_map;
+  std::vector<int> fp_map;
+};
+
+// BlackJack trailing rename: leading physical -> trailing physical, one
+// table per register class, sized by the physical register count.
+struct LeadPhysMap {
+  LeadPhysMap(int phys_int, int phys_fp)
+      : int_map(static_cast<std::size_t>(phys_int), kNoPhysReg),
+        fp_map(static_cast<std::size_t>(phys_fp), kNoPhysReg) {}
+
+  int& at(RegClass cls, int lead_phys) {
+    return cls == RegClass::kInt ? int_map[static_cast<std::size_t>(lead_phys)]
+                                 : fp_map[static_cast<std::size_t>(lead_phys)];
+  }
+  int get(RegClass cls, int lead_phys) const {
+    return cls == RegClass::kInt ? int_map[static_cast<std::size_t>(lead_phys)]
+                                 : fp_map[static_cast<std::size_t>(lead_phys)];
+  }
+
+  std::vector<int> int_map;
+  std::vector<int> fp_map;
+};
+
+}  // namespace bj

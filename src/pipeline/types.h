@@ -1,0 +1,122 @@
+// In-flight instruction record and supporting pipeline types.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "branch/predictor.h"
+#include "isa/instruction.h"
+
+namespace bj {
+
+// Context 0 is the leading (or only) thread; context 1 the trailing thread.
+enum class ThreadId : std::uint8_t { kLeading = 0, kTrailing = 1 };
+inline constexpr int kNumThreads = 2;
+inline int tid_index(ThreadId tid) { return static_cast<int>(tid); }
+
+// Detection events — the observable output of the whole redundancy scheme.
+enum class DetectionKind : std::uint8_t {
+  kStoreAddressMismatch,
+  kStoreDataMismatch,
+  kStoreOrdinalMismatch,
+  kLoadAddressMismatch,
+  kBranchOutcomeMismatch,
+  kDependenceCheckMismatch,
+  kPcChainMismatch,
+  kWatchdogTimeout,
+};
+
+const char* detection_kind_name(DetectionKind kind);
+
+struct DetectionEvent {
+  DetectionKind kind;
+  std::uint64_t cycle = 0;
+  std::uint64_t pc = 0;
+  std::uint64_t seq = 0;
+};
+
+// One in-flight dynamic instruction. Held by shared_ptr because it is
+// referenced simultaneously from the active list, issue queue, LSQ, and
+// function-unit pipelines.
+struct DynInst {
+  // Identity / ordering.
+  ThreadId tid = ThreadId::kLeading;
+  std::uint64_t seq = 0;         // per-context program-order sequence
+  std::uint64_t age = 0;         // global dispatch order (issue priority)
+  std::uint64_t pc = 0;
+  std::uint32_t raw = 0;         // undecoded word
+  DecodedInst inst;              // post-decode (fault hooks applied)
+  DecodedInst predecode;         // fault-free decode used by fetch steering
+
+  // Pipeline resource usage.
+  int frontend_way = -1;
+  int backend_way = -1;          // way index within the FU class; -1 pre-issue
+  FuClass fu = FuClass::kIntAlu;
+  int iq_entry = -1;
+
+  // Shuffle-NOPs are trailing micro-ops that occupy ways but have no
+  // architectural effect and never commit.
+  bool is_shuffle_nop = false;
+
+  // Rename.
+  int src1_phys = -1;
+  int src2_phys = -1;
+  int dst_phys = -1;
+  int prev_dst_phys = -1;        // leading/SRT: previous mapping, freed at commit
+
+  // Values (bit patterns).
+  std::uint64_t src1_val = 0;
+  std::uint64_t src2_val = 0;
+  std::uint64_t result = 0;
+
+  // Status.
+  bool dispatched = false;
+  bool issued = false;
+  bool completed = false;
+  bool squashed = false;
+
+  // Timing.
+  std::uint64_t fetch_cycle = 0;
+  std::uint64_t dispatch_cycle = 0;
+  std::uint64_t issue_cycle = 0;
+  std::uint64_t complete_cycle = 0;
+
+  // Memory.
+  std::uint64_t mem_addr = 0;
+  bool addr_ready = false;
+  std::uint64_t mem_ordinal = 0;   // n-th load or n-th store of the thread
+  std::uint64_t load_value = 0;
+  bool load_forwarded = false;
+
+  // Control.
+  bool pred_taken = false;
+  std::uint64_t pred_target = 0;
+  BranchPrediction prediction;     // leading only
+  bool taken = false;
+  std::uint64_t target = 0;
+  bool mispredicted = false;
+  std::uint64_t ctrl_ordinal = 0;  // n-th control instruction (BOQ pairing)
+
+  // Trailing bookkeeping: packet identity and the leading copy's resources.
+  std::uint64_t packet_id = 0;
+  std::uint64_t origin_packet_id = 0;
+  std::uint64_t lead_seq = 0;  // the leading copy's sequence number
+  int slot_in_packet = -1;
+  int lead_frontend_way = -1;
+  int lead_backend_way = -1;
+  // BlackJack double rename inputs (leading physical registers).
+  int lead_src1_phys = -1;
+  int lead_src2_phys = -1;
+  int lead_dst_phys = -1;
+  // Leading program order borrowed through the DTQ.
+  std::uint64_t virt_al_index = 0;
+  std::uint64_t virt_lsq_index = 0;
+  bool has_lsq_slot = false;
+
+  bool is_trailing() const { return tid == ThreadId::kTrailing; }
+};
+
+using InstPtr = std::shared_ptr<DynInst>;
+
+}  // namespace bj

@@ -1,0 +1,46 @@
+// Branch Outcome Queue (SRT). The leading thread pushes resolved branch
+// outcomes at commit; the trailing thread consumes them in program order as
+// perfect predictions at fetch, and verifies them when the trailing branch
+// executes — the verification is what lets a corrupted outcome be detected.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/circular_buffer.h"
+
+namespace bj {
+
+struct BranchOutcome {
+  std::uint64_t pc = 0;       // leading branch pc (sanity/pairing check)
+  std::uint64_t ordinal = 0;  // n-th control instruction in the program run
+  bool taken = false;
+  std::uint64_t target = 0;
+};
+
+class BranchOutcomeQueue {
+ public:
+  explicit BranchOutcomeQueue(std::size_t capacity)
+      : queue_(capacity) {}
+
+  bool full() const { return queue_.full(); }
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  // Leading side: called at leading branch commit. Caller must check full().
+  void push(const BranchOutcome& outcome) { queue_.push(outcome); }
+
+  // Trailing side: peeks the next outcome at fetch (not yet freed).
+  std::optional<BranchOutcome> peek(std::size_t offset = 0) const {
+    if (offset >= queue_.size()) return std::nullopt;
+    return queue_.at(offset);
+  }
+
+  // Trailing side: frees the head entry at trailing branch commit.
+  BranchOutcome pop() { return queue_.pop(); }
+
+ private:
+  CircularBuffer<BranchOutcome> queue_;
+};
+
+}  // namespace bj

@@ -1,0 +1,56 @@
+// Load Value Queue (SRT / BlackJack). Leading loads deposit (address, value)
+// pairs at commit; trailing loads read their entry instead of accessing the
+// cache — this both avoids input incoherence (another agent modifying memory
+// between the two loads) and lets the trailing thread's independently
+// computed address be *checked* against the leading address, covering hard
+// faults in the address path.
+//
+// In BlackJack the trailing thread executes loads out of program order, so
+// entries are looked up by load ordinal (the n-th load in program order)
+// rather than popped strictly FIFO; entries are still freed in program order
+// at trailing commit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/circular_buffer.h"
+
+namespace bj {
+
+struct LvqEntry {
+  std::uint64_t ordinal = 0;  // n-th committed load in program order
+  std::uint64_t addr = 0;
+  std::uint64_t value = 0;
+};
+
+class LoadValueQueue {
+ public:
+  explicit LoadValueQueue(std::size_t capacity) : queue_(capacity) {}
+
+  bool full() const { return queue_.full(); }
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  // Leading side, at leading load commit. Ordinals must arrive in order.
+  void push(const LvqEntry& entry) { queue_.push(entry); }
+
+  // Trailing side, at trailing load execute: random access by ordinal.
+  std::optional<LvqEntry> lookup(std::uint64_t ordinal) const {
+    if (queue_.empty()) return std::nullopt;
+    const std::uint64_t head = queue_.front().ordinal;
+    if (ordinal < head) return std::nullopt;
+    const std::uint64_t offset = ordinal - head;
+    if (offset >= queue_.size()) return std::nullopt;
+    return queue_.at(offset);
+  }
+
+  // Trailing side, at trailing load commit (program order): frees the head.
+  LvqEntry pop() { return queue_.pop(); }
+  const LvqEntry& front() const { return queue_.front(); }
+
+ private:
+  CircularBuffer<LvqEntry> queue_;
+};
+
+}  // namespace bj

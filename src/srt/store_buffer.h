@@ -1,0 +1,69 @@
+// Checking store buffer (SRT / BlackJack). Leading stores wait here at
+// commit; when the corresponding trailing store commits, address and data are
+// compared. On agreement the store is released to the memory hierarchy; any
+// disagreement is the detection event the whole scheme exists for. Leading
+// loads must snoop the buffer so the leading thread sees its own committed-
+// but-unreleased stores.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/circular_buffer.h"
+
+namespace bj {
+
+struct StoreBufferEntry {
+  std::uint64_t ordinal = 0;  // n-th committed store in program order
+  std::uint64_t addr = 0;
+  std::uint64_t data = 0;
+};
+
+enum class StoreCheck {
+  kMatch,            // released to memory
+  kAddressMismatch,  // hard/soft error detected via address disagreement
+  kDataMismatch,     // detected via data disagreement
+  kOrdinalMismatch,  // store streams diverged (instruction dropped/added)
+  kEmpty,            // trailing store arrived with no waiting leading store
+};
+
+class CheckingStoreBuffer {
+ public:
+  explicit CheckingStoreBuffer(std::size_t capacity) : queue_(capacity) {}
+
+  bool full() const { return queue_.full(); }
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  // Leading side, at leading store commit. Caller must check full().
+  void push(const StoreBufferEntry& entry) { queue_.push(entry); }
+
+  // Trailing side, at trailing store commit: checks the head entry against
+  // the trailing store. On kMatch the head is popped and returned so the
+  // caller can perform the actual memory write.
+  StoreCheck check_and_release(std::uint64_t ordinal, std::uint64_t addr,
+                               std::uint64_t data,
+                               StoreBufferEntry* released) {
+    if (queue_.empty()) return StoreCheck::kEmpty;
+    const StoreBufferEntry& head = queue_.front();
+    if (head.ordinal != ordinal) return StoreCheck::kOrdinalMismatch;
+    if (head.addr != addr) return StoreCheck::kAddressMismatch;
+    if (head.data != data) return StoreCheck::kDataMismatch;
+    *released = queue_.pop();
+    return StoreCheck::kMatch;
+  }
+
+  // Leading-load forwarding: youngest matching entry, if any.
+  std::optional<std::uint64_t> forward(std::uint64_t addr) const {
+    for (std::size_t i = queue_.size(); i-- > 0;) {
+      const StoreBufferEntry& e = queue_.at(i);
+      if (e.addr == addr) return e.data;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  CircularBuffer<StoreBufferEntry> queue_;
+};
+
+}  // namespace bj

@@ -1,0 +1,322 @@
+// Profile-driven kernel generator. Produces a deterministic endless (or
+// bounded) loop whose instruction mix, dependence structure, memory
+// footprint, and branch behaviour follow the profile. Both the emulator and
+// the pipeline execute the same eval() semantics, so generated values (even
+// FP inf/NaN excursions) are bit-reproducible.
+#include "workload/profile.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "isa/builder.h"
+
+namespace bj {
+namespace {
+
+constexpr std::uint64_t kHeapBase = 1ull << 20;
+
+// Register conventions used by generated kernels (see generator design in
+// DESIGN.md): r1 base, r2 ws-mask, r3 iteration counter, r4 offset, r5
+// effective base, r6/r7 scratch, r8.. value pools, r30 iteration limit.
+constexpr int kBase = 1;
+constexpr int kMask = 2;
+constexpr int kIter = 3;
+constexpr int kOffset = 4;
+constexpr int kEffBase = 5;
+constexpr int kScratch = 6;
+constexpr int kTest = 7;
+constexpr int kPoolFirst = 8;
+constexpr int kPoolCount = 16;  // r8..r23 and f8..f23
+constexpr int kLimit = 30;
+
+class KernelEmitter {
+ public:
+  explicit KernelEmitter(const WorkloadProfile& profile)
+      : p_(profile),
+        rng_(profile.seed != 0 ? profile.seed : hash_name(profile.name)),
+        b_(profile.name) {}
+
+  Program generate() {
+    emit_data_image();
+    emit_init();
+    b_.label("loop_top");
+    emit_body();
+    emit_loop_tail();
+    return b_.build();
+  }
+
+ private:
+  int pool_reg(int i) const { return kPoolFirst + (i % kPoolCount); }
+  int num_chains() const { return std::min(p_.dep_chains, kPoolCount - 2); }
+  int chain_reg(int chain) const { return kPoolFirst + (chain % num_chains()); }
+  // A pool register that is not a chain head: written only at init, so using
+  // it as a second source adds no serialization. This keeps the dependence
+  // chains independent — dep_chains is then a faithful ILP knob.
+  int random_operand_reg() {
+    const int non_chain = kPoolCount - num_chains();
+    return kPoolFirst + num_chains() +
+           static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(
+               non_chain)));
+  }
+
+  void emit_data_image() {
+    // Seed the first pages of the working set so early loads return varied
+    // values (unwritten memory reads as zero).
+    const std::uint64_t words =
+        std::min<std::uint64_t>(p_.working_set_bytes / 8, 4096);
+    for (std::uint64_t w = 0; w < words; ++w) {
+      b_.data_word(kHeapBase + w * 8, rng_.next_u64());
+    }
+  }
+
+  void emit_init() {
+    assert((p_.working_set_bytes & (p_.working_set_bytes - 1)) == 0 &&
+           "working set must be a power of two");
+    b_.li(kBase, kHeapBase);
+    b_.li(kMask, p_.working_set_bytes - 8);  // keeps offsets 8-aligned
+    b_.li(kIter, 0);
+    b_.li(kOffset, 0);
+    b_.add(kEffBase, kBase, kOffset);
+    if (p_.iterations != 0) b_.li(kLimit, p_.iterations);
+    // Warm the cacheable prefix of the working set so steady-state locality
+    // behaviour starts immediately for cache-resident profiles. Streaming
+    // profiles set warm_prefix_bytes = 0: their steady state is the cold
+    // miss stream itself.
+    const std::uint64_t touch_bytes =
+        p_.warm_prefix_bytes == ~0ull
+            ? std::min<std::uint64_t>(p_.working_set_bytes, 256 * 1024)
+            : std::min(p_.warm_prefix_bytes, p_.working_set_bytes);
+    if (touch_bytes > 0) {
+      b_.li(27, kHeapBase);
+      b_.li(28, kHeapBase + touch_bytes);
+      b_.label("warm_loop");
+      b_.ld(kScratch, 27, 0);
+      b_.addi(27, 27, 64);
+      b_.blt(27, 28, "warm_loop");
+    }
+    // r29 is a per-iteration LCG whose bits drive the data-dependent
+    // branches: genuine 50/50 directions that gshare cannot learn.
+    b_.li(29, rng_.next_u64() | 1);
+    for (int i = 0; i < kPoolCount; ++i) {
+      b_.li(pool_reg(i), rng_.next_below(1 << 16) | 1);
+    }
+    for (int i = 0; i < kPoolCount; ++i) {
+      // FP pool values derived from the int pool (bounded magnitudes).
+      b_.itof(pool_reg(i), pool_reg(i));
+    }
+  }
+
+  void emit_body() {
+    // Advance the branch-entropy LCG once per iteration.
+    b_.li(kScratch, 6364136223846793005ull);
+    b_.mul(29, 29, kScratch);
+    b_.addi(29, 29, 12345);
+    for (int op = 0; op < p_.body_ops; ++op) {
+      const double r = rng_.next_double();
+      if (r < p_.load_fraction) {
+        emit_load(op);
+      } else if (r < p_.load_fraction + p_.store_fraction) {
+        emit_store();
+      } else if (r <
+                 p_.load_fraction + p_.store_fraction + p_.branch_fraction) {
+        emit_branch(op);
+      } else if (rng_.chance(p_.fp_fraction)) {
+        emit_fp_compute(op);
+      } else {
+        emit_int_compute(op);
+      }
+    }
+  }
+
+  // Loads deposit into a small ring of temporary registers (r24..r26 /
+  // f24..f26) that compute ops later consume; stores and data-dependent
+  // branches read chain registers. This wiring matters twice over: memory
+  // latency enters the dependence chains only through a consuming op (so
+  // dep_chains stays a faithful ILP knob), and every computed value
+  // eventually reaches a store, so an injected hard error propagates to the
+  // architectural check surface.
+  int temp_reg() { return 24 + static_cast<int>(rng_.next_below(3)); }
+  int random_chain_reg() {
+    return chain_reg(static_cast<int>(rng_.next_below(
+        static_cast<std::uint64_t>(num_chains()))));
+  }
+
+  void emit_load(int op) {
+    (void)op;
+    const int offset = static_cast<int>(rng_.next_below(16)) * 8;
+    if (rng_.chance(p_.fp_fraction)) {
+      b_.fld(temp_reg(), kEffBase, offset);
+    } else {
+      b_.ld(temp_reg(), kEffBase, offset);
+    }
+  }
+
+  void emit_store() {
+    const int offset = static_cast<int>(rng_.next_below(16)) * 8;
+    if (rng_.chance(p_.fp_fraction)) {
+      b_.fst(random_chain_reg(), kEffBase, offset);
+    } else {
+      b_.st(random_chain_reg(), kEffBase, offset);
+    }
+  }
+
+  void emit_branch(int op) {
+    const std::string skip = "skip" + std::to_string(label_counter_++);
+    if (rng_.chance(p_.branch_regularity)) {
+      // Counter-pattern branch: taken once every 2^k iterations — mostly
+      // fall-through (keeps fetch groups whole) and learnable by gshare.
+      const std::uint64_t period_mask = (2ull << rng_.next_below(3)) - 1;
+      b_.andi(kTest, kIter, period_mask);
+      b_.beq(kTest, 0, skip);
+    } else if (rng_.chance(0.5)) {
+      // Data-dependent branch on the LCG: a genuine 50/50 direction no
+      // predictor can learn (the mispredict source for low-regularity
+      // profiles).
+      b_.srli(kTest, 29, 1 + static_cast<int>(rng_.next_below(48)));
+      b_.andi(kTest, kTest, 1);
+      b_.beq(kTest, 0, skip);
+    } else {
+      // Data-dependent branch on a chain value: sensitive to corrupted
+      // computation (control-flow fault propagation).
+      b_.andi(kTest, random_chain_reg(), 1);
+      b_.beq(kTest, 0, skip);
+    }
+    // Fall-through filler the branch jumps over.
+    b_.addi(chain_reg(op), chain_reg(op), 1);
+    b_.label(skip);
+  }
+
+  // Second source: half the time a load temp (consumes memory values), half
+  // the time an init-constant pool register (no added serialization).
+  int second_source() {
+    return rng_.chance(0.5) ? temp_reg() : random_operand_reg();
+  }
+
+  void emit_int_compute(int op) {
+    const int dst = chain_reg(op);
+    const int other = second_source();
+    if (rng_.chance(p_.int_mul_fraction)) {
+      if (rng_.chance(p_.int_div_fraction)) {
+        b_.ori(kScratch, other, 1);  // never divide by zero
+        b_.div(dst, dst, kScratch);
+        b_.ori(dst, dst, 1);         // keep chain values non-degenerate
+      } else {
+        b_.mul(dst, dst, other);
+      }
+      return;
+    }
+    // add/sub/xor keep chain values varying (or/and would saturate bits and
+    // make data-dependent branches degenerate to constants).
+    switch (rng_.next_below(5)) {
+      case 0: b_.add(dst, dst, other); break;
+      case 1: b_.sub(dst, dst, other); break;
+      case 2: b_.xor_(dst, dst, other); break;
+      case 3: b_.add(dst, dst, other); b_.xori(dst, dst, 0x5555); break;
+      default: b_.addi(dst, dst, static_cast<std::int64_t>(
+                            rng_.next_below(255)) - 127);
+    }
+  }
+
+  void emit_fp_compute(int op) {
+    const int dst = chain_reg(op);
+    const int other = second_source();
+    if (rng_.chance(p_.fp_mul_fraction)) {
+      if (rng_.chance(p_.fp_div_fraction)) {
+        b_.fdiv(dst, dst, other);
+      } else {
+        b_.fmul(dst, dst, other);
+      }
+      return;
+    }
+    switch (rng_.next_below(4)) {
+      case 0: b_.fadd(dst, dst, other); break;
+      case 1: b_.fsub(dst, dst, other); break;
+      case 2: b_.fmin(dst, dst, other); break;
+      default: b_.fmax(dst, dst, other);
+    }
+  }
+
+  void emit_loop_tail() {
+    b_.addi(kIter, kIter, 1);
+    b_.addi(kOffset, kOffset, static_cast<std::int64_t>(p_.stride_bytes));
+    b_.and_(kOffset, kOffset, kMask);
+    b_.add(kEffBase, kBase, kOffset);
+    if (p_.iterations != 0) {
+      b_.blt(kIter, kLimit, "loop_top");
+      b_.halt();
+    } else {
+      b_.jmp("loop_top");
+    }
+  }
+
+  const WorkloadProfile& p_;
+  Rng rng_;
+  ProgramBuilder b_;
+  int label_counter_ = 0;
+};
+
+WorkloadProfile make_profile(
+    const std::string& name, double fp, int dep_chains, std::uint64_t ws_kb,
+    double loads, double stores, double branches, double regularity,
+    double int_mul = 0.0, double int_div = 0.0, double fp_mul = 0.3,
+    double fp_div = 0.0, std::uint64_t stride = 64,
+    std::uint64_t warm = ~0ull) {
+  WorkloadProfile p;
+  p.name = name;
+  p.fp_fraction = fp;
+  p.dep_chains = dep_chains;
+  p.working_set_bytes = ws_kb * 1024;
+  p.load_fraction = loads;
+  p.store_fraction = stores;
+  p.branch_fraction = branches;
+  p.branch_regularity = regularity;
+  p.int_mul_fraction = int_mul;
+  p.int_div_fraction = int_div;
+  p.fp_mul_fraction = fp_mul;
+  p.fp_div_fraction = fp_div;
+  p.stride_bytes = stride;
+  p.warm_prefix_bytes = warm;
+  return p;
+}
+
+}  // namespace
+
+Program generate_workload(const WorkloadProfile& profile) {
+  return KernelEmitter(profile).generate();
+}
+
+const std::vector<WorkloadProfile>& spec2000_profiles() {
+  // Figure 7 order (increasing IPC). Low-IPC FP codes have serial chains and
+  // big working sets; high-IPC integer codes have wide chains, small working
+  // sets, and more (mostly regular) branches.
+  static const std::vector<WorkloadProfile> kProfiles = {
+      // name       fp   dep ws_kb  ld    st    br    reg   imul idiv fpmul fpdiv stride
+      make_profile("equake", 0.70, 2, 8192, 0.30, 0.08, 0.08, 0.75, 0.0, 0.0, 0.40, 0.03, 24, 0),
+      make_profile("swim",   0.75, 2, 16384, 0.35, 0.12, 0.04, 0.95, 0.0, 0.0, 0.35, 0.02, 16, 0),
+      make_profile("art",    0.60, 2, 4096, 0.35, 0.08, 0.08, 0.85, 0.0, 0.0, 0.40, 0.00, 12, 0),
+      make_profile("mgrid",  0.80, 2, 256,  0.40, 0.10, 0.03, 0.95, 0.0, 0.0, 0.45, 0.00, 192),
+      make_profile("applu",  0.75, 2, 256,  0.30, 0.10, 0.05, 0.90, 0.0, 0.0, 0.40, 0.08, 320),
+      make_profile("fma3d",  0.65, 2, 256,  0.28, 0.10, 0.07, 0.85, 0.0, 0.0, 0.45, 0.02, 192),
+      make_profile("gcc",    0.00, 3, 256,  0.28, 0.12, 0.18, 0.70, 0.02, 0.2, 0.30, 0.0, 32),
+      make_profile("facerec",0.60, 3, 512,  0.30, 0.08, 0.06, 0.90, 0.0, 0.0, 0.40, 0.00, 192),
+      make_profile("wupwise",0.65, 2, 256,  0.25, 0.10, 0.05, 0.92, 0.0, 0.0, 0.45, 0.02, 128),
+      make_profile("bzip",   0.00, 4, 256,  0.26, 0.12, 0.15, 0.80, 0.03, 0.1, 0.30, 0.0, 64),
+      make_profile("apsi",   0.55, 4, 128,  0.25, 0.10, 0.06, 0.90, 0.0, 0.0, 0.40, 0.02, 32),
+      make_profile("crafty", 0.00, 4, 64,   0.25, 0.10, 0.18, 0.85, 0.04, 0.1, 0.30, 0.0, 16),
+      make_profile("eon",    0.30, 3, 64,   0.25, 0.10, 0.10, 0.88, 0.02, 0.0, 0.35, 0.02, 16),
+      make_profile("gzip",   0.00, 5, 128,  0.25, 0.12, 0.15, 0.80, 0.02, 0.0, 0.30, 0.0, 32),
+      make_profile("vortex", 0.00, 4, 64,   0.26, 0.12, 0.14, 0.92, 0.01, 0.0, 0.30, 0.0, 16),
+      make_profile("sixtrack",0.50, 6, 32,  0.22, 0.08, 0.06, 0.95, 0.0, 0.0, 0.50, 0.00, 8),
+  };
+  return kProfiles;
+}
+
+const WorkloadProfile& profile_by_name(const std::string& name) {
+  for (const WorkloadProfile& p : spec2000_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("unknown workload profile: " + name);
+}
+
+}  // namespace bj

@@ -1,0 +1,305 @@
+#include "workload/microkernels.h"
+
+#include <bit>
+#include <vector>
+
+#include "common/rng.h"
+#include "isa/builder.h"
+
+namespace bj {
+namespace kernels {
+
+Program sum_to_n(std::uint64_t n, std::uint64_t result_addr) {
+  ProgramBuilder b("sum_to_n");
+  b.li(1, 0);            // r1 = sum
+  b.li(2, 1);            // r2 = i
+  b.li(3, n);            // r3 = n
+  b.li(4, result_addr);  // r4 = &result
+  b.label("loop");
+  b.add(1, 1, 2);
+  b.addi(2, 2, 1);
+  b.bge(3, 2, "loop");
+  b.st(1, 4, 0);
+  b.halt();
+  return b.build();
+}
+
+Program fibonacci(std::uint64_t n, std::uint64_t result_addr) {
+  ProgramBuilder b("fibonacci");
+  b.li(1, 0);  // fib(0)
+  b.li(2, 1);  // fib(1)
+  b.li(3, 0);  // i
+  b.li(4, n);
+  b.li(5, result_addr);
+  b.label("loop");
+  b.bge(3, 4, "done");
+  b.add(6, 1, 2);  // next
+  b.add(1, 2, 0);  // shift (add rX, rY, r0 is a move)
+  b.add(2, 6, 0);
+  b.addi(3, 3, 1);
+  b.jmp("loop");
+  b.label("done");
+  b.st(1, 5, 0);
+  b.halt();
+  return b.build();
+}
+
+Program matmul(std::uint64_t dim) {
+  constexpr std::uint64_t kA = 0x10000;
+  constexpr std::uint64_t kB = 0x30000;
+  constexpr std::uint64_t kC = 0x50000;
+  ProgramBuilder b("matmul");
+  // Data image: deterministic small doubles.
+  Rng rng(42);
+  for (std::uint64_t i = 0; i < dim * dim; ++i) {
+    const double va = 1.0 + static_cast<double>(rng.next_below(8));
+    const double vb = 0.5 * static_cast<double>(1 + rng.next_below(8));
+    b.data_word(kA + i * 8, std::bit_cast<std::uint64_t>(va));
+    b.data_word(kB + i * 8, std::bit_cast<std::uint64_t>(vb));
+  }
+  // r1=i, r2=j, r3=k, r4=dim, r10/r11/r12 = row/element addresses.
+  b.li(4, dim);
+  b.li(1, 0);
+  b.label("i_loop");
+  b.li(2, 0);
+  b.label("j_loop");
+  b.lfi(1, 0.0, 6);  // f1 = acc
+  b.li(3, 0);
+  b.label("k_loop");
+  // f2 = A[i*dim + k]
+  b.mul(10, 1, 4);
+  b.add(10, 10, 3);
+  b.slli(10, 10, 3);
+  b.li(6, kA);
+  b.add(10, 10, 6);
+  b.fld(2, 10, 0);
+  // f3 = B[k*dim + j]
+  b.mul(11, 3, 4);
+  b.add(11, 11, 2);
+  b.slli(11, 11, 3);
+  b.li(6, kB);
+  b.add(11, 11, 6);
+  b.fld(3, 11, 0);
+  b.fmul(4, 2, 3);
+  b.fadd(1, 1, 4);
+  b.addi(3, 3, 1);
+  b.blt(3, 4, "k_loop");
+  // C[i*dim + j] = acc
+  b.mul(12, 1, 4);
+  b.add(12, 12, 2);
+  b.slli(12, 12, 3);
+  b.li(6, kC);
+  b.add(12, 12, 6);
+  b.fst(1, 12, 0);
+  b.addi(2, 2, 1);
+  b.blt(2, 4, "j_loop");
+  b.addi(1, 1, 1);
+  b.blt(1, 4, "i_loop");
+  b.halt();
+  return b.build();
+}
+
+Program pointer_chase(std::uint64_t nodes, std::uint64_t hops) {
+  constexpr std::uint64_t kBase = 0x100000;
+  ProgramBuilder b("pointer_chase");
+  // Build a random cycle through all nodes (Sattolo's algorithm) in the data
+  // image: node i's next pointer lives at kBase + i*64.
+  std::vector<std::uint64_t> perm(nodes);
+  for (std::uint64_t i = 0; i < nodes; ++i) perm[i] = i;
+  Rng rng(7);
+  for (std::uint64_t i = nodes - 1; i > 0; --i) {
+    const std::uint64_t j = rng.next_below(i);
+    std::swap(perm[i], perm[j]);
+  }
+  for (std::uint64_t i = 0; i < nodes; ++i) {
+    b.data_word(kBase + perm[i] * 64,
+                kBase + perm[(i + 1) % nodes] * 64);
+  }
+  b.li(1, kBase + perm[0] * 64);  // current pointer
+  b.li(2, 0);                     // hop counter
+  b.li(3, hops);
+  b.label("loop");
+  b.ld(1, 1, 0);  // chase
+  b.addi(2, 2, 1);
+  b.blt(2, 3, "loop");
+  b.li(4, 0x1000);
+  b.st(1, 4, 0);
+  b.halt();
+  return b.build();
+}
+
+Program memcopy(std::uint64_t words) {
+  ProgramBuilder b("memcopy");
+  Rng rng(9);
+  for (std::uint64_t i = 0; i < words; ++i) {
+    b.data_word(0x100000 + i * 8, rng.next_u64());
+  }
+  b.li(1, 0x100000);  // src
+  b.li(2, 0x200000);  // dst
+  b.li(3, 0);         // i
+  b.li(4, words);
+  b.label("loop");
+  b.ld(5, 1, 0);
+  b.st(5, 2, 0);
+  b.addi(1, 1, 8);
+  b.addi(2, 2, 8);
+  b.addi(3, 3, 1);
+  b.blt(3, 4, "loop");
+  b.halt();
+  return b.build();
+}
+
+Program branchy(std::uint64_t n) {
+  ProgramBuilder b("branchy");
+  b.li(1, 0x9e3779b97f4a7c15ull);  // xorshift-ish state
+  b.li(2, 0);                      // even counter
+  b.li(3, 0);                      // odd counter
+  b.li(4, 0);                      // i
+  b.li(5, n);
+  b.label("loop");
+  // state = state * 6364136223846793005 + 1442695040888963407 (LCG)
+  b.li(6, 6364136223846793005ull);
+  b.mul(1, 1, 6);
+  b.li(6, 1442695040888963407ull);
+  b.add(1, 1, 6);
+  b.srli(7, 1, 33);
+  b.andi(7, 7, 1);
+  b.bne(7, 0, "odd");
+  b.addi(2, 2, 1);
+  b.jmp("next");
+  b.label("odd");
+  b.addi(3, 3, 1);
+  b.label("next");
+  b.addi(4, 4, 1);
+  b.blt(4, 5, "loop");
+  b.li(6, 0x1000);
+  b.st(2, 6, 0);
+  b.st(3, 6, 8);
+  b.halt();
+  return b.build();
+}
+
+Program fp_mix(std::uint64_t len) {
+  constexpr std::uint64_t kX = 0x10000;
+  constexpr std::uint64_t kY = 0x20000;
+  ProgramBuilder b("fp_mix");
+  Rng rng(13);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    b.data_word(kX + i * 8, std::bit_cast<std::uint64_t>(
+                                1.0 + 0.25 * rng.next_below(16)));
+    b.data_word(kY + i * 8, std::bit_cast<std::uint64_t>(
+                                0.5 + 0.125 * rng.next_below(16)));
+  }
+  b.li(1, kX);
+  b.li(2, kY);
+  b.li(3, 0);
+  b.li(4, len);
+  b.lfi(1, 0.0, 6);  // f1 = dot
+  b.lfi(2, 1.0, 6);  // f2 = product-of-ratios (divide pressure)
+  b.lfi(7, 2.0, 6);  // f7 = bound constant
+  b.label("loop");
+  b.fld(3, 1, 0);
+  b.fld(4, 2, 0);
+  b.fmul(5, 3, 4);
+  b.fadd(1, 1, 5);
+  b.fdiv(6, 3, 4);
+  b.fmin(6, 6, 7);  // keep bounded
+  b.fmul(2, 2, 6);
+  b.fsqrt(2, 2);
+  b.addi(1, 1, 8);
+  b.addi(2, 2, 8);
+  b.addi(3, 3, 1);
+  b.blt(3, 4, "loop");
+  b.fadd(1, 1, 2);
+  b.li(6, 0x1000);
+  b.fst(1, 6, 0);
+  b.halt();
+  return b.build();
+}
+
+Program quicksort(std::uint64_t n) {
+  constexpr std::uint64_t kArray = 0x100000;
+  constexpr std::uint64_t kStackTop = 0x80000;
+  ProgramBuilder b("quicksort");
+  Rng rng(21);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    b.data_word(kArray + i * 8, rng.next_below(1u << 30));
+  }
+  const std::int64_t hi_addr =
+      static_cast<std::int64_t>(kArray + (n - 1) * 8);
+
+  // Register conventions: r2 stack pointer, r10 lo, r11 hi (byte addresses,
+  // inclusive), r12..r17 scratch within partition, r31 link.
+  b.li(2, kStackTop);
+  b.li(10, kArray);
+  b.li(11, static_cast<std::uint64_t>(hi_addr));
+  b.jal("qsort");
+
+  // Verify sortedness into r22.
+  b.li(20, kArray);
+  b.li(21, static_cast<std::uint64_t>(hi_addr));
+  b.li(22, 1);
+  b.label("check");
+  b.bgeu(20, 21, "check_done");
+  b.ld(23, 20, 0);
+  b.ld(24, 20, 8);
+  b.slt(25, 24, 23);  // next < current -> unsorted
+  b.beq(25, 0, "check_ok");
+  b.li(22, 0);
+  b.label("check_ok");
+  b.addi(20, 20, 8);
+  b.jmp("check");
+  b.label("check_done");
+  b.li(26, 0x1000);
+  b.st(22, 26, 0);
+  b.halt();
+
+  // --- void qsort(lo=r10, hi=r11) — Lomuto partition, pivot = A[hi] -------
+  b.label("qsort");
+  b.bgeu(10, 11, "qsort_leaf");  // lo >= hi: nothing to sort
+  b.addi(2, 2, -32);             // frame: ra, lo, hi, pivot index
+  b.st(31, 2, 0);
+  b.st(10, 2, 8);
+  b.st(11, 2, 16);
+
+  b.ld(12, 11, 0);    // pivot value
+  b.addi(13, 10, -8);  // i = lo - 8
+  b.add(14, 10, 0);    // j = lo
+  b.label("part_loop");
+  b.bgeu(14, 11, "part_done");  // j >= hi
+  b.ld(15, 14, 0);              // A[j]
+  b.slt(17, 12, 15);            // pivot < A[j]?
+  b.bne(17, 0, "no_swap");
+  b.addi(13, 13, 8);  // ++i
+  b.ld(16, 13, 0);    // swap A[i], A[j]
+  b.st(15, 13, 0);
+  b.st(16, 14, 0);
+  b.label("no_swap");
+  b.addi(14, 14, 8);  // ++j
+  b.jmp("part_loop");
+  b.label("part_done");
+  b.addi(13, 13, 8);  // pivot position p = i + 1
+  b.ld(16, 13, 0);    // swap A[p], A[hi]
+  b.st(12, 13, 0);
+  b.st(16, 11, 0);
+
+  b.st(13, 2, 24);      // save p
+  b.addi(11, 13, -8);   // qsort(lo, p - 8)
+  b.jal("qsort");
+  b.ld(13, 2, 24);      // qsort(p + 8, hi)
+  b.ld(11, 2, 16);
+  b.addi(10, 13, 8);
+  b.jal("qsort");
+
+  b.ld(31, 2, 0);  // epilogue
+  b.ld(10, 2, 8);
+  b.ld(11, 2, 16);
+  b.addi(2, 2, 32);
+  b.jr(31);
+  b.label("qsort_leaf");
+  b.jr(31);
+  return b.build();
+}
+
+}  // namespace kernels
+}  // namespace bj

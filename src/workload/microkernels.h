@@ -1,0 +1,48 @@
+// Hand-written kernels with known-by-construction results. Used by tests
+// (ground truth for pipeline-vs-emulator equivalence and for end-to-end
+// value checks) and by the examples.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.h"
+
+namespace bj {
+namespace kernels {
+
+// Sums the integers 1..n into memory[result_addr]; halts.
+Program sum_to_n(std::uint64_t n, std::uint64_t result_addr = 0x1000);
+
+// Iterative Fibonacci: writes fib(n) to memory[result_addr]; halts.
+Program fibonacci(std::uint64_t n, std::uint64_t result_addr = 0x1000);
+
+// Dense matrix multiply C = A * B for square matrices of dimension `dim`
+// (doubles); A and B are filled with deterministic values in the data image.
+// A at 0x10000, B at 0x30000, C at 0x50000. Halts when done.
+Program matmul(std::uint64_t dim);
+
+// Pointer chase over a pseudo-random cycle of `nodes` 64-byte nodes starting
+// at 0x100000, `hops` dereferences; writes the final pointer to
+// memory[0x1000]. Low-IPC, memory-latency-bound.
+Program pointer_chase(std::uint64_t nodes, std::uint64_t hops);
+
+// Copies `words` 8-byte words from 0x100000 to 0x200000; halts. Exercises
+// the store path heavily (store-buffer pressure in redundant modes).
+Program memcopy(std::uint64_t words);
+
+// A branch-heavy kernel: computes the parity histogram of n pseudo-random
+// values with data-dependent branches; writes two counters to 0x1000/0x1008.
+Program branchy(std::uint64_t n);
+
+// Mixed FP kernel: dot product of two `len`-element double vectors plus a
+// divide-heavy normalization; writes the result bits to 0x1000.
+Program fp_mix(std::uint64_t len);
+
+// Recursive quicksort over `n` pseudo-random 64-bit keys at 0x100000, using
+// a real call stack (jal/jr through r31, stack pointer in r2 at 0x80000).
+// Exercises the return-address stack and deep speculative call chains.
+// Writes 1 to 0x1000 if the final array is sorted, 0 otherwise; halts.
+Program quicksort(std::uint64_t n);
+
+}  // namespace kernels
+}  // namespace bj

@@ -1,0 +1,67 @@
+// Synthetic workload profiles standing in for the paper's 16 SPEC2000
+// benchmarks (run at SimPoints in the original). Each profile drives a
+// deterministic kernel generator; the knobs are chosen so each named kernel
+// mimics the qualitative behaviour the paper attributes to its namesake:
+// IPC level (dependence-chain depth + working set), FP vs integer mix
+// (which backend-way types are contended), multiplier/divider pressure, and
+// branch predictability.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace bj {
+
+struct WorkloadProfile {
+  std::string name;
+
+  // Instruction mix of the loop body (fractions of body operations).
+  double fp_fraction = 0.0;      // of compute ops, how many are FP
+  double int_mul_fraction = 0.0; // of int compute ops, on the mul/div unit
+  double int_div_fraction = 0.0; // of mul-unit ops, unpipelined divides
+  double fp_mul_fraction = 0.3;  // of FP ops, on the FP mul/div unit
+  double fp_div_fraction = 0.0;  // of FP mul-unit ops, unpipelined divides
+  double load_fraction = 0.25;
+  double store_fraction = 0.1;
+  double branch_fraction = 0.1;  // in-body conditional branches
+
+  // Branch behaviour: probability an in-body branch tests a regular counter
+  // pattern (learnable by gshare) rather than data bits (unpredictable).
+  double branch_regularity = 0.9;
+
+  // Parallelism: number of independent dependence chains interleaved in the
+  // body. 1 = fully serial (low IPC), 6+ = wide ILP.
+  int dep_chains = 3;
+
+  // Data memory footprint (power of two); larger working sets miss in L1/L2.
+  std::uint64_t working_set_bytes = 64 * 1024;
+  // Stride between consecutive data touches (bytes).
+  std::uint64_t stride_bytes = 64;
+  // Bytes of the working set touched by the kernel's warm-up prologue
+  // (~0 = min(working set, 256 KiB); 0 = none, for streaming kernels whose
+  // steady state *is* the cold-miss stream).
+  std::uint64_t warm_prefix_bytes = ~0ull;
+
+  // Static size of the generated loop body, in operations.
+  int body_ops = 48;
+
+  // 0 = endless loop (for fixed-commit-budget simulation); otherwise the
+  // kernel halts after this many iterations.
+  std::uint64_t iterations = 0;
+
+  std::uint64_t seed = 0;  // 0 derives the seed from the name
+};
+
+// Generates the deterministic kernel for a profile.
+Program generate_workload(const WorkloadProfile& profile);
+
+// The 16 named profiles, in the paper's Figure 7 order (increasing IPC).
+const std::vector<WorkloadProfile>& spec2000_profiles();
+
+// Lookup by name; throws std::out_of_range for unknown names.
+const WorkloadProfile& profile_by_name(const std::string& name);
+
+}  // namespace bj

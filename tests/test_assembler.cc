@@ -1,0 +1,227 @@
+// Tests for the text assembler: round trips with the disassembler, label
+// resolution, memory operands, pseudo-instructions, directives, and error
+// reporting — and end-to-end execution of assembled programs on the
+// emulator and the BlackJack core.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "arch/emulator.h"
+#include "isa/assembler.h"
+#include "pipeline/core.h"
+
+namespace bj {
+namespace {
+
+TEST(Assembler, BasicArithmetic) {
+  const Program p = assemble(R"(
+      addi r1, r0, 40
+      addi r2, r0, 2
+      add  r3, r1, r2
+      li   r4, 0x1000
+      st   r3, [r4]
+      halt
+  )");
+  Emulator emu(p);
+  emu.run(100);
+  EXPECT_TRUE(emu.halted());
+  EXPECT_EQ(emu.memory().load(0x1000), 42u);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  const Program p = assemble(R"(
+      li r1, 0          ; sum
+      li r2, 1          ; i
+      li r3, 10
+  loop:
+      add  r1, r1, r2
+      addi r2, r2, 1
+      bge  r3, r2, loop
+      li   r4, 0x2000
+      st   r1, [r4 + 8]
+      halt
+  )");
+  Emulator emu(p);
+  emu.run(1000);
+  EXPECT_EQ(emu.memory().load(0x2008), 55u);
+}
+
+TEST(Assembler, MemoryOperandForms) {
+  const Program p = assemble(R"(
+      li r1, 0x1000
+      li r2, 7
+      st r2, [r1]
+      st r2, [r1 + 8]
+      ld r3, [r1+8]
+      st r3, [r1 - 8]      ; negative offsets wrap via two's complement
+      halt
+  )");
+  Emulator emu(p);
+  emu.run(100);
+  EXPECT_EQ(emu.memory().load(0x1000), 7u);
+  EXPECT_EQ(emu.memory().load(0x1008), 7u);
+  EXPECT_EQ(emu.memory().load(0xff8), 7u);
+}
+
+TEST(Assembler, FloatingPoint) {
+  const Program p = assemble(R"(
+      lfi f1, 1.5, r6
+      lfi f2, 2.5, r6
+      fadd f3, f1, f2
+      fmul f4, f3, f3
+      li r1, 0x1000
+      fst f4, [r1]
+      halt
+  )");
+  Emulator emu(p);
+  emu.run(200);
+  EXPECT_DOUBLE_EQ(std::bit_cast<double>(emu.memory().load(0x1000)), 16.0);
+}
+
+TEST(Assembler, CallsAndReturns) {
+  const Program p = assemble(R"(
+      li  r1, 5
+      jal double_it
+      jal double_it
+      li  r4, 0x1000
+      st  r1, [r4]
+      halt
+  double_it:
+      add r1, r1, r1
+      jr  r31
+  )");
+  Emulator emu(p);
+  emu.run(200);
+  EXPECT_EQ(emu.memory().load(0x1000), 20u);
+}
+
+TEST(Assembler, DataDirectives) {
+  const Program p = assemble(R"(
+      .data 0x1000 0x1234
+      .word 0x1008 2.5
+      li r1, 0x1000
+      ld r2, [r1]
+      fld f1, [r1 + 8]
+      halt
+  )");
+  Emulator emu(p);
+  emu.run(100);
+  EXPECT_EQ(emu.state().int_regs[2], 0x1234u);
+  EXPECT_DOUBLE_EQ(std::bit_cast<double>(emu.state().fp_regs[1]), 2.5);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const Program p = assemble(R"(
+      # hash comment
+      ; semicolon comment
+
+      li r1, 1    ; trailing comment
+      halt        # another
+  )");
+  EXPECT_GT(p.size(), 1u);
+}
+
+TEST(Assembler, MovPseudo) {
+  const Program p = assemble(R"(
+      li  r1, 99
+      mov r2, r1
+      li  r3, 0x1000
+      st  r2, [r3]
+      halt
+  )");
+  Emulator emu(p);
+  emu.run(100);
+  EXPECT_EQ(emu.memory().load(0x1000), 99u);
+}
+
+TEST(Assembler, RoundTripsDisassembly) {
+  // Disassemble a few instructions and re-assemble them.
+  const Program p = assemble(R"(
+      add r3, r1, r2
+      sub r4, r3, r1
+      fmul f2, f1, f1
+      mul r5, r4, r4
+      halt
+  )");
+  std::string source;
+  for (std::uint64_t pc = 0; pc < p.size(); ++pc) {
+    source += disassemble(p.fetch(pc)) + "\n";
+  }
+  const Program q = assemble(source);
+  EXPECT_EQ(p.code, q.code);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("addi r1, r0, 1\nbogus r1, r2\n");
+    FAIL() << "expected AssemblerError";
+  } catch (const AssemblerError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(Assembler, RejectsBadOperands) {
+  EXPECT_THROW(assemble("add r1, r2\n"), AssemblerError);       // missing
+  EXPECT_THROW(assemble("add r1, r2, f3\n"), AssemblerError);   // wrong class
+  EXPECT_THROW(assemble("addi r1, r0, 99999999\n"), AssemblerError);  // range
+  EXPECT_THROW(assemble("ld r1, r2\n"), AssemblerError);        // not [mem]
+  EXPECT_THROW(assemble("jmp\n"), AssemblerError);              // no label
+  EXPECT_THROW(assemble("add r1, r2, r99\n"), AssemblerError);  // bad reg
+  EXPECT_THROW(assemble(".bogus 1 2\n"), AssemblerError);
+}
+
+TEST(Assembler, RejectsUnresolvedAndDuplicateLabels) {
+  EXPECT_THROW(assemble("jmp nowhere\nhalt\n"), AssemblerError);
+  EXPECT_THROW(assemble("x:\nx:\nhalt\n"), AssemblerError);
+}
+
+TEST(Assembler, AssembledProgramRunsOnBlackjackCore) {
+  const Program p = assemble(R"(
+      li r1, 0
+      li r2, 1
+      li r3, 100
+  loop:
+      add  r1, r1, r2
+      addi r2, r2, 1
+      bge  r3, r2, loop
+      li   r4, 0x1000
+      st   r1, [r4]
+      halt
+  )");
+  Core core(p, Mode::kBlackjack);
+  const RunOutcome outcome = core.run(~0ull / 2, 1000000);
+  ASSERT_TRUE(outcome.program_finished);
+  EXPECT_FALSE(outcome.detected);
+  EXPECT_FALSE(core.oracle_violated()) << core.oracle_violation_detail();
+  std::uint64_t result = 0;
+  for (const auto& s : core.released_stores()) {
+    if (s.addr == 0x1000) result = s.data;
+  }
+  EXPECT_EQ(result, 5050u);
+}
+
+
+TEST(Assembler, ShippedExamplePrograms) {
+  // The .s files under examples/programs must assemble and compute their
+  // documented answers.
+  for (const auto& [path, addr, expected] :
+       std::vector<std::tuple<const char*, std::uint64_t, std::uint64_t>>{
+           {"examples/programs/gcd.s", 0x1000, 21},
+           {"examples/programs/collatz.s", 0x1000, 111}}) {
+    std::ifstream in(std::string(BJ_SOURCE_DIR) + "/" + path);
+    ASSERT_TRUE(in.good()) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const Program p = assemble(buffer.str(), path);
+    Emulator emu(p);
+    emu.run(100000);
+    ASSERT_TRUE(emu.halted()) << path;
+    EXPECT_EQ(emu.memory().load(addr), expected) << path;
+  }
+}
+
+}  // namespace
+}  // namespace bj

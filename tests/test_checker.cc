@@ -1,0 +1,122 @@
+// Unit tests for BlackJack's commit-time checkers: the second rename table
+// (dependence verification + program-order register freeing) and the pc
+// chain checker.
+#include <gtest/gtest.h>
+
+#include "blackjack/checker.h"
+
+namespace bj {
+namespace {
+
+DecodedInst int_op(int rd, int rs1, int rs2) {
+  DecodedInst inst;
+  inst.op = Opcode::kAdd;
+  inst.dst = {RegClass::kInt, static_cast<std::uint8_t>(rd)};
+  inst.src1 = {RegClass::kInt, static_cast<std::uint8_t>(rs1)};
+  inst.src2 = {RegClass::kInt, static_cast<std::uint8_t>(rs2)};
+  return inst;
+}
+
+TEST(SecondRenameTable, AcceptsConsistentStream) {
+  SecondRenameTable table;
+  table.initialize(RegClass::kInt, 1, 100);
+  table.initialize(RegClass::kInt, 2, 101);
+  table.initialize(RegClass::kInt, 3, 102);
+
+  // r3 = r1 + r2 with trailing physical dst 200.
+  DependenceCheckResult r =
+      table.commit(int_op(3, 1, 2), /*src1=*/100, /*src2=*/101, /*dst=*/200);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.freed_phys, 102) << "previous mapping of r3 is freed";
+  EXPECT_EQ(r.freed_cls, RegClass::kInt);
+
+  // r1 = r3 + r3: r3 must now resolve to 200.
+  r = table.commit(int_op(1, 3, 3), 200, 200, 201);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.freed_phys, 100);
+  EXPECT_EQ(table.mismatches(), 0u);
+}
+
+TEST(SecondRenameTable, FlagsWrongSourceMapping) {
+  SecondRenameTable table;
+  table.initialize(RegClass::kInt, 1, 100);
+  table.initialize(RegClass::kInt, 2, 101);
+  table.initialize(RegClass::kInt, 3, 102);
+  // The instruction executed with physical source 999 — a corrupted
+  // dependence borrowed from the leading thread.
+  const DependenceCheckResult r = table.commit(int_op(3, 1, 2), 999, 101, 200);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(table.mismatches(), 1u);
+}
+
+TEST(SecondRenameTable, ZeroRegisterIsExempt) {
+  SecondRenameTable table;
+  table.initialize(RegClass::kInt, 5, 100);
+  // add r5, r0, r0: r0 is not renamed; sources carry the sentinel.
+  const DependenceCheckResult r = table.commit(int_op(5, 0, 0), -1, -1, 200);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.freed_phys, 100);
+}
+
+TEST(SecondRenameTable, TracksFpClassIndependently) {
+  SecondRenameTable table;
+  table.initialize(RegClass::kInt, 4, 50);
+  table.initialize(RegClass::kFp, 4, 60);
+  DecodedInst fadd;
+  fadd.op = Opcode::kFadd;
+  fadd.dst = {RegClass::kFp, 4};
+  fadd.src1 = {RegClass::kFp, 4};
+  fadd.src2 = {RegClass::kFp, 4};
+  const DependenceCheckResult r = table.commit(fadd, 60, 60, 61);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.freed_phys, 60);
+  EXPECT_EQ(table.lookup(RegClass::kInt, 4), 50) << "int map untouched";
+  EXPECT_EQ(table.lookup(RegClass::kFp, 4), 61);
+}
+
+TEST(SecondRenameTable, StoresAndBranchesFreeNothing) {
+  SecondRenameTable table;
+  table.initialize(RegClass::kInt, 1, 100);
+  table.initialize(RegClass::kInt, 2, 101);
+  DecodedInst st;
+  st.op = Opcode::kSt;
+  st.src1 = {RegClass::kInt, 1};
+  st.src2 = {RegClass::kInt, 2};
+  const DependenceCheckResult r = table.commit(st, 100, 101, -1);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.freed_phys, -1);
+}
+
+TEST(PcChainChecker, AcceptsStraightLineAndBranches) {
+  PcChainChecker checker;
+  EXPECT_TRUE(checker.commit(10, false, 0));  // first commit: no prior pc
+  EXPECT_TRUE(checker.commit(11, false, 0));
+  EXPECT_TRUE(checker.commit(12, true, 40));  // taken branch to 40
+  EXPECT_TRUE(checker.commit(40, false, 0));
+  EXPECT_TRUE(checker.commit(41, true, 10));  // back edge
+  EXPECT_TRUE(checker.commit(10, false, 0));
+  EXPECT_EQ(checker.mismatches(), 0u);
+}
+
+TEST(PcChainChecker, FlagsDroppedInstruction) {
+  PcChainChecker checker;
+  EXPECT_TRUE(checker.commit(10, false, 0));
+  EXPECT_FALSE(checker.commit(12, false, 0)) << "pc 11 was dropped";
+  EXPECT_EQ(checker.mismatches(), 1u);
+}
+
+TEST(PcChainChecker, FlagsWrongBranchTarget) {
+  PcChainChecker checker;
+  EXPECT_TRUE(checker.commit(10, true, 50));
+  EXPECT_FALSE(checker.commit(51, false, 0));
+}
+
+TEST(PcChainChecker, FlagsSuppressedBranch) {
+  PcChainChecker checker;
+  // The branch executed taken, so fall-through is a program-order error.
+  EXPECT_TRUE(checker.commit(10, true, 50));
+  EXPECT_FALSE(checker.commit(11, false, 0));
+}
+
+}  // namespace
+}  // namespace bj

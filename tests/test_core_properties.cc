@@ -1,0 +1,223 @@
+// Cross-module properties of the core, parameterized over modes and
+// parameter corners: the released-store stream (what actually reaches
+// memory after all checking) must equal the architectural oracle's store
+// stream exactly, for every workload, mode, and structure size.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "arch/emulator.h"
+#include "pipeline/core.h"
+#include "workload/microkernels.h"
+#include "workload/profile.h"
+
+namespace bj {
+namespace {
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> oracle_stores(
+    const Program& p, std::uint64_t max_instructions = 4000000) {
+  Emulator emu(p);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> stores;
+  while (!emu.halted()) {
+    const auto rec = emu.step();
+    if (!rec.has_value() || emu.retired() > max_instructions) break;
+    if (rec->store.has_value()) stores.push_back(*rec->store);
+  }
+  return stores;
+}
+
+void expect_store_stream_matches(const Program& p, Mode mode,
+                                 const CoreParams& params = {}) {
+  Core core(p, mode, params);
+  const RunOutcome outcome = core.run(~0ull / 2, 30000000);
+  ASSERT_TRUE(outcome.program_finished)
+      << p.name << '/' << mode_name(mode) << " did not finish";
+  ASSERT_FALSE(outcome.detected) << p.name << '/' << mode_name(mode);
+  ASSERT_FALSE(core.oracle_violated()) << core.oracle_violation_detail();
+
+  const auto golden = oracle_stores(p);
+  const auto& released = core.released_stores();
+  ASSERT_EQ(released.size(), golden.size())
+      << p.name << '/' << mode_name(mode);
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(released[i].addr, golden[i].first) << p.name << " store " << i;
+    EXPECT_EQ(released[i].data, golden[i].second) << p.name << " store " << i;
+    EXPECT_EQ(released[i].ordinal, i) << p.name << " store " << i;
+  }
+}
+
+class StoreStreamEquivalence
+    : public ::testing::TestWithParam<std::tuple<const char*, Mode>> {};
+
+TEST_P(StoreStreamEquivalence, ReleasedStoresEqualOracle) {
+  WorkloadProfile profile = profile_by_name(std::get<0>(GetParam()));
+  profile.iterations = 60;
+  const Program p = generate_workload(profile);
+  expect_store_stream_matches(p, std::get<1>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StoreStreamEquivalence,
+    ::testing::Combine(::testing::Values("equake", "gcc", "bzip", "sixtrack",
+                                         "swim", "vortex"),
+                       ::testing::Values(Mode::kSingle, Mode::kSrt,
+                                         Mode::kBlackjackNs,
+                                         Mode::kBlackjack)),
+    [](const auto& info) {
+      const char* mode = "";
+      switch (std::get<1>(info.param)) {
+        case Mode::kSingle: mode = "single"; break;
+        case Mode::kSrt: mode = "srt"; break;
+        case Mode::kBlackjackNs: mode = "bjns"; break;
+        case Mode::kBlackjack: mode = "bj"; break;
+      }
+      return std::string(std::get<0>(info.param)) + "_" + mode;
+    });
+
+TEST(CoreProperties, MicrokernelsMatchInAllModes) {
+  for (Mode mode : {Mode::kSingle, Mode::kSrt, Mode::kBlackjackNs,
+                    Mode::kBlackjack}) {
+    expect_store_stream_matches(kernels::memcopy(48), mode);
+    expect_store_stream_matches(kernels::branchy(400), mode);
+    expect_store_stream_matches(kernels::matmul(3), mode);
+  }
+}
+
+TEST(CoreProperties, TinyStructuresPreserveStoreStream) {
+  CoreParams params;
+  params.issue_queue_entries = 12;
+  params.active_list_entries = 24;
+  params.lsq_entries = 6;
+  params.store_buffer_entries = 4;
+  params.lvq_entries = 8;
+  params.boq_entries = 6;
+  params.dtq_entries = 48;
+  params.trailing_fetch_queue_entries = 96;
+  params.slack = 8;
+  params.fetch_buffer_entries = 6;
+  for (Mode mode : {Mode::kSrt, Mode::kBlackjack}) {
+    expect_store_stream_matches(kernels::memcopy(40), mode, params);
+    WorkloadProfile profile = profile_by_name("crafty");
+    profile.iterations = 40;
+    expect_store_stream_matches(generate_workload(profile), mode, params);
+  }
+}
+
+TEST(CoreProperties, GatingAblationsPreserveStoreStream) {
+  WorkloadProfile profile = profile_by_name("fma3d");
+  profile.iterations = 50;
+  const Program p = generate_workload(profile);
+  for (const bool one_packet : {true, false}) {
+    for (const bool serial : {true, false}) {
+      CoreParams params;
+      params.one_packet_per_cycle = one_packet;
+      params.packet_serial_dispatch = serial;
+      expect_store_stream_matches(p, Mode::kBlackjack, params);
+    }
+  }
+}
+
+TEST(CoreProperties, WideCommitNarrowFetchCorners) {
+  CoreParams narrow;
+  narrow.fetch_width = 4;
+  narrow.commit_width = 1;
+  expect_store_stream_matches(kernels::branchy(200), Mode::kBlackjack,
+                              narrow);
+
+  CoreParams wide;
+  wide.commit_width = 8;
+  expect_store_stream_matches(kernels::branchy(200), Mode::kBlackjack, wide);
+}
+
+TEST(CoreProperties, TrailingNeverOvertakesLeading) {
+  WorkloadProfile profile = profile_by_name("gzip");
+  const Program p = generate_workload(profile);
+  Core core(p, Mode::kBlackjack);
+  for (int i = 0; i < 20000 && core.tick(); ++i) {
+    ASSERT_GE(core.leading_commits(), core.trailing_commits());
+  }
+}
+
+
+TEST(CoreProperties, PacketCombiningPreservesStoreStream) {
+  // The future-work extension merges register-independent adjacent packets;
+  // it must not change architectural behaviour, and coverage must stay high.
+  CoreParams params;
+  params.combine_packets = true;
+  for (const char* name : {"gzip", "equake", "sixtrack"}) {
+    WorkloadProfile profile = profile_by_name(name);
+    profile.iterations = 60;
+    expect_store_stream_matches(generate_workload(profile), Mode::kBlackjack,
+                                params);
+  }
+}
+
+TEST(CoreProperties, PacketCombiningActuallyCombines) {
+  const Program p = generate_workload(profile_by_name("gzip"));
+  CoreParams params;
+  params.combine_packets = true;
+  Core core(p, Mode::kBlackjack, params);
+  core.run(20000, 4000000);
+  EXPECT_GT(core.stats().packets_combined, 100u);
+  EXPECT_FALSE(core.oracle_violated()) << core.oracle_violation_detail();
+  EXPECT_TRUE(core.detections().empty());
+}
+
+
+TEST(CoreProperties, QuicksortRecursionInAllModes) {
+  // Deep speculative call chains through jal/jr stress the return-address
+  // stack and mispredict recovery; the sorted-flag store is the end-to-end
+  // check.
+  const Program p = kernels::quicksort(48);
+  for (Mode mode : {Mode::kSingle, Mode::kSrt, Mode::kBlackjack}) {
+    Core core(p, mode);
+    const RunOutcome outcome = core.run(~0ull / 2, 30000000);
+    ASSERT_TRUE(outcome.program_finished) << mode_name(mode);
+    ASSERT_FALSE(outcome.detected) << mode_name(mode);
+    ASSERT_FALSE(core.oracle_violated())
+        << mode_name(mode) << ": " << core.oracle_violation_detail();
+    std::uint64_t sorted_flag = 0;
+    for (const auto& s : core.released_stores()) {
+      if (s.addr == 0x1000) sorted_flag = s.data;
+    }
+    EXPECT_EQ(sorted_flag, 1u) << mode_name(mode);
+  }
+}
+
+
+TEST(CoreProperties, CoresAreIsolatedObjects) {
+  // Two cores stepped in lockstep must not influence each other (no hidden
+  // global state) and must agree cycle-for-cycle on identical inputs.
+  const Program p = generate_workload(profile_by_name("crafty"));
+  Core a(p, Mode::kBlackjack);
+  Core b(p, Mode::kBlackjack);
+  Core other(p, Mode::kSrt);  // a bystander stepping in between
+  for (int i = 0; i < 30000; ++i) {
+    const bool ra = a.tick();
+    other.tick();
+    const bool rb = b.tick();
+    ASSERT_EQ(ra, rb);
+    ASSERT_EQ(a.leading_commits(), b.leading_commits()) << "cycle " << i;
+    ASSERT_EQ(a.trailing_commits(), b.trailing_commits()) << "cycle " << i;
+  }
+  EXPECT_EQ(a.stats().coverage.pairs(), b.stats().coverage.pairs());
+  EXPECT_EQ(a.stats().shuffle_nops, b.stats().shuffle_nops);
+}
+
+TEST(CoreProperties, ShuffleBeatsNoShuffleOnCoverageEverywhere) {
+  for (const char* name : {"equake", "gcc", "vortex", "sixtrack"}) {
+    const Program p = generate_workload(profile_by_name(name));
+    Core ns(p, Mode::kBlackjackNs);
+    ns.run(12000, 4000000);
+    Core bj(p, Mode::kBlackjack);
+    bj.run(12000, 4000000);
+    EXPECT_GT(bj.stats().coverage.total_coverage(),
+              ns.stats().coverage.total_coverage() + 0.3)
+        << name << ": safe-shuffle is the whole point";
+    EXPECT_EQ(ns.stats().coverage.frontend_coverage() == 1.0, false)
+        << name << ": no-shuffle packets keep accidental frontend overlap";
+  }
+}
+
+}  // namespace
+}  // namespace bj

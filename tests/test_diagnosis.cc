@@ -1,0 +1,116 @@
+// Tests for the diagnosis-by-deconfiguration extension: localizing a
+// detected hard fault to a backend way and running degraded.
+#include <gtest/gtest.h>
+
+#include "harness/diagnosis.h"
+#include "workload/microkernels.h"
+#include "pipeline/core.h"
+#include "workload/profile.h"
+
+namespace bj {
+namespace {
+
+Program workload() {
+  WorkloadProfile p = profile_by_name("eon");
+  return generate_workload(p);
+}
+
+HardFault backend_fault(FuClass fu, int way, int bit = 3) {
+  HardFault f;
+  f.site = FaultSite::kBackendResult;
+  f.fu = fu;
+  f.backend_way = way;
+  f.bit = bit;
+  f.stuck_value = true;
+  return f;
+}
+
+TEST(WayDisabling, IssueNeverUsesDisabledWay) {
+  CoreParams params;
+  params.disabled_backend_ways[static_cast<int>(FuClass::kIntAlu)] = 1u << 2;
+  // A fault on the disabled way can never activate.
+  FaultInjector injector(backend_fault(FuClass::kIntAlu, 2));
+  Core core(workload(), Mode::kBlackjack, params, &injector);
+  core.set_oracle_check(true);
+  const RunOutcome outcome = core.run(15000, 4000000);
+  EXPECT_EQ(injector.activations(), 0u);
+  EXPECT_FALSE(outcome.detected);
+  EXPECT_FALSE(core.oracle_violated()) << core.oracle_violation_detail();
+}
+
+TEST(WayDisabling, MachineStaysCorrectWithOneWayPerClassDisabled) {
+  CoreParams params;
+  params.disabled_backend_ways[static_cast<int>(FuClass::kIntAlu)] = 1u << 0;
+  params.disabled_backend_ways[static_cast<int>(FuClass::kFpMul)] = 1u << 1;
+  params.disabled_backend_ways[static_cast<int>(FuClass::kMem)] = 1u << 0;
+  WorkloadProfile p = profile_by_name("sixtrack");
+  p.iterations = 60;
+  Core core(generate_workload(p), Mode::kBlackjack, params);
+  const RunOutcome outcome = core.run(~0ull / 2, 30000000);
+  EXPECT_TRUE(outcome.program_finished);
+  EXPECT_FALSE(outcome.detected);
+  EXPECT_FALSE(core.oracle_violated()) << core.oracle_violation_detail();
+}
+
+TEST(WayDisabling, DegradedModeIsSlower) {
+  // vortex is cache-resident with ~1.3 memory ops per cycle at its natural
+  // IPC: losing one of the two memory ports binds.
+  const Program p = generate_workload(profile_by_name("vortex"));
+  Core healthy(p, Mode::kSingle);
+  healthy.run(20000, 4000000);
+  CoreParams degraded_params;
+  degraded_params.disabled_backend_ways[static_cast<int>(FuClass::kMem)] =
+      1u << 0;
+  Core degraded(p, Mode::kSingle, degraded_params);
+  degraded.run(20000, 4000000);
+  EXPECT_GT(degraded.cycle(), healthy.cycle());
+}
+
+TEST(Diagnosis, LocalizesIntAluFault) {
+  const DiagnosisResult r = diagnose_backend_fault(
+      workload(), Mode::kBlackjack, CoreParams{},
+      backend_fault(FuClass::kIntAlu, 2), 12000);
+  ASSERT_TRUE(r.baseline_detected);
+  ASSERT_TRUE(r.suspect.has_value());
+  EXPECT_EQ(r.suspect->first, FuClass::kIntAlu);
+  EXPECT_EQ(r.suspect->second, 2);
+  EXPECT_GT(r.degraded_performance, 0.5);
+  EXPECT_LE(r.degraded_performance, 1.001);
+}
+
+TEST(Diagnosis, LocalizesMemPortFault) {
+  const DiagnosisResult r = diagnose_backend_fault(
+      workload(), Mode::kBlackjack, CoreParams{},
+      backend_fault(FuClass::kMem, 1, /*bit=*/4), 12000);
+  ASSERT_TRUE(r.baseline_detected);
+  ASSERT_TRUE(r.suspect.has_value());
+  EXPECT_EQ(r.suspect->first, FuClass::kMem);
+  EXPECT_EQ(r.suspect->second, 1);
+}
+
+TEST(Diagnosis, FrontendFaultIsNotMisattributed) {
+  HardFault f;
+  f.site = FaultSite::kFrontendDecoder;
+  f.frontend_way = 1;
+  f.bit = 16;
+  f.stuck_value = true;
+  const DiagnosisResult r = diagnose_backend_fault(
+      workload(), Mode::kBlackjack, CoreParams{}, f, 12000);
+  ASSERT_TRUE(r.baseline_detected);
+  EXPECT_FALSE(r.suspect.has_value())
+      << "a decoder-lane fault must not be pinned on a backend way";
+}
+
+TEST(Diagnosis, CleanMachineReportsNothing) {
+  HardFault f = backend_fault(FuClass::kFpMul, 1);
+  // Integer-only microkernel never exercises the FP multiplier.
+  WorkloadProfile p = profile_by_name("gzip");
+  const DiagnosisResult r = diagnose_backend_fault(
+      generate_workload(p), Mode::kBlackjack, CoreParams{}, f, 8000);
+  EXPECT_FALSE(r.baseline_detected);
+  EXPECT_FALSE(r.suspect.has_value());
+  EXPECT_TRUE(r.trials.empty());
+}
+
+}  // namespace
+}  // namespace bj

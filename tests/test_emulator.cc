@@ -1,0 +1,159 @@
+// Tests for the architectural emulator using microkernels with
+// known-by-construction results.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "arch/emulator.h"
+#include "isa/builder.h"
+#include "workload/microkernels.h"
+#include "workload/profile.h"
+
+namespace bj {
+namespace {
+
+TEST(Emulator, SumToN) {
+  const Program p = kernels::sum_to_n(100);
+  Emulator emu(p);
+  emu.run(100000);
+  EXPECT_TRUE(emu.halted());
+  EXPECT_EQ(emu.memory().load(0x1000), 5050u);
+}
+
+TEST(Emulator, Fibonacci) {
+  const Program p = kernels::fibonacci(30);
+  Emulator emu(p);
+  emu.run(1000000);
+  EXPECT_TRUE(emu.halted());
+  EXPECT_EQ(emu.memory().load(0x1000), 832040u);
+}
+
+TEST(Emulator, Memcopy) {
+  const Program p = kernels::memcopy(64);
+  Emulator emu(p);
+  emu.run(100000);
+  EXPECT_TRUE(emu.halted());
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(emu.memory().load(0x200000 + i * 8),
+              emu.memory().load(0x100000 + i * 8));
+  }
+}
+
+TEST(Emulator, PointerChaseStaysInCycle) {
+  const Program p = kernels::pointer_chase(32, 500);
+  Emulator emu(p);
+  emu.run(100000);
+  EXPECT_TRUE(emu.halted());
+  const std::uint64_t final_ptr = emu.memory().load(0x1000);
+  EXPECT_GE(final_ptr, 0x100000u);
+  EXPECT_LT(final_ptr, 0x100000u + 32 * 64);
+  EXPECT_EQ(final_ptr % 64, 0u);
+}
+
+TEST(Emulator, MatmulMatchesReference) {
+  constexpr std::uint64_t kDim = 4;
+  const Program p = kernels::matmul(kDim);
+  Emulator emu(p);
+  emu.run(1000000);
+  ASSERT_TRUE(emu.halted());
+  // Compute the reference product from the program's own data image.
+  double a[kDim][kDim], bm[kDim][kDim];
+  for (const auto& [addr, bits] : p.data) {
+    if (addr >= 0x10000 && addr < 0x10000 + kDim * kDim * 8) {
+      const std::uint64_t i = (addr - 0x10000) / 8;
+      a[i / kDim][i % kDim] = std::bit_cast<double>(bits);
+    } else if (addr >= 0x30000 && addr < 0x30000 + kDim * kDim * 8) {
+      const std::uint64_t i = (addr - 0x30000) / 8;
+      bm[i / kDim][i % kDim] = std::bit_cast<double>(bits);
+    }
+  }
+  for (std::uint64_t i = 0; i < kDim; ++i) {
+    for (std::uint64_t j = 0; j < kDim; ++j) {
+      double acc = 0.0;
+      for (std::uint64_t k = 0; k < kDim; ++k) acc += a[i][k] * bm[k][j];
+      const double got = std::bit_cast<double>(
+          emu.memory().load(0x50000 + (i * kDim + j) * 8));
+      EXPECT_DOUBLE_EQ(got, acc) << "C[" << i << "][" << j << "]";
+    }
+  }
+}
+
+TEST(Emulator, BranchyCountsParities) {
+  const Program p = kernels::branchy(1000);
+  Emulator emu(p);
+  emu.run(1000000);
+  ASSERT_TRUE(emu.halted());
+  const std::uint64_t even = emu.memory().load(0x1000);
+  const std::uint64_t odd = emu.memory().load(0x1008);
+  EXPECT_EQ(even + odd, 1000u);
+  EXPECT_GT(even, 300u);  // roughly balanced
+  EXPECT_GT(odd, 300u);
+}
+
+TEST(Emulator, FpMixProducesFiniteResult) {
+  const Program p = kernels::fp_mix(64);
+  Emulator emu(p);
+  emu.run(1000000);
+  ASSERT_TRUE(emu.halted());
+  const double result = std::bit_cast<double>(emu.memory().load(0x1000));
+  EXPECT_TRUE(std::isfinite(result));
+  EXPECT_GT(result, 0.0);
+}
+
+TEST(Emulator, GeneratedWorkloadsRunBounded) {
+  for (const WorkloadProfile& base : spec2000_profiles()) {
+    WorkloadProfile p = base;
+    p.iterations = 50;  // bounded variant
+    const Program prog = generate_workload(p);
+    Emulator emu(prog);
+    const std::uint64_t executed = emu.run(2000000);
+    EXPECT_TRUE(emu.halted()) << p.name << " did not halt";
+    EXPECT_GT(executed, 50u * static_cast<std::uint64_t>(p.body_ops) / 2)
+        << p.name;
+  }
+}
+
+TEST(Emulator, GeneratedWorkloadsAreDeterministic) {
+  WorkloadProfile p = profile_by_name("gcc");
+  p.iterations = 20;
+  const Program a = generate_workload(p);
+  const Program b = generate_workload(p);
+  EXPECT_EQ(a.code, b.code);
+  Emulator ea(a), eb(b);
+  ea.run(1000000);
+  eb.run(1000000);
+  EXPECT_EQ(ea.retired(), eb.retired());
+  for (int r = 1; r < kNumIntRegs; ++r) {
+    EXPECT_EQ(ea.state().int_regs[r], eb.state().int_regs[r]);
+  }
+}
+
+TEST(Emulator, ZeroRegisterStaysZero) {
+  ProgramBuilder b("r0");
+  b.addi(0, 0, 42);
+  b.li(1, 0x1000);
+  b.st(0, 1, 0);
+  b.halt();
+  Emulator emu(b.build());
+  emu.run(100);
+  EXPECT_EQ(emu.memory().load(0x1000), 0u);
+}
+
+
+TEST(Emulator, QuicksortSortsAndVerifies) {
+  const Program p = kernels::quicksort(64);
+  Emulator emu(p);
+  emu.run(4000000);
+  ASSERT_TRUE(emu.halted());
+  EXPECT_EQ(emu.memory().load(0x1000), 1u) << "array must end up sorted";
+  std::uint64_t prev = emu.memory().load(0x100000);
+  for (std::uint64_t i = 1; i < 64; ++i) {
+    const std::uint64_t cur = emu.memory().load(0x100000 + i * 8);
+    EXPECT_LE(prev, cur) << "element " << i;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace bj

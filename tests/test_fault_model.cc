@@ -1,0 +1,139 @@
+// Unit tests for the fault model hooks and coverage accounting.
+#include <gtest/gtest.h>
+
+#include "fault/coverage.h"
+#include "fault/fault_model.h"
+
+namespace bj {
+namespace {
+
+TEST(FaultModel, DecodeHookForcesOnlyItsLane) {
+  HardFault f;
+  f.site = FaultSite::kFrontendDecoder;
+  f.frontend_way = 2;
+  f.bit = 5;
+  f.stuck_value = true;
+  FaultInjector inj(f);
+  const std::uint32_t raw = 0;
+  EXPECT_EQ(inj.on_decode(raw, 0), raw);
+  EXPECT_EQ(inj.on_decode(raw, 1), raw);
+  EXPECT_EQ(inj.on_decode(raw, 2), raw | (1u << 5));
+  EXPECT_EQ(inj.activations(), 1u);
+  // Stuck-at does not activate when the bit already has the stuck value.
+  EXPECT_EQ(inj.on_decode(1u << 5, 2), 1u << 5);
+  EXPECT_EQ(inj.activations(), 1u);
+}
+
+TEST(FaultModel, ExecuteHookTargetsUnitAndWay) {
+  HardFault f;
+  f.site = FaultSite::kBackendResult;
+  f.fu = FuClass::kIntAlu;
+  f.backend_way = 1;
+  f.bit = 0;
+  f.stuck_value = true;
+  FaultInjector inj(f);
+
+  DecodedInst add;
+  add.op = Opcode::kAdd;
+  add.dst = {RegClass::kInt, 1};
+  ExecOutcome out;
+  out.value = 2;  // bit 0 clear
+  inj.on_execute(out, add, FuClass::kIntAlu, 0);
+  EXPECT_EQ(out.value, 2u) << "wrong way";
+  inj.on_execute(out, add, FuClass::kFpAlu, 1);
+  EXPECT_EQ(out.value, 2u) << "wrong unit class";
+  inj.on_execute(out, add, FuClass::kIntAlu, 1);
+  EXPECT_EQ(out.value, 3u);
+}
+
+TEST(FaultModel, BranchComparatorFault) {
+  HardFault f;
+  f.site = FaultSite::kBackendResult;
+  f.fu = FuClass::kIntAlu;
+  f.backend_way = 0;
+  f.stuck_value = false;  // stuck not-taken
+  FaultInjector inj(f);
+  DecodedInst beq;
+  beq.op = Opcode::kBeq;
+  beq.src1 = {RegClass::kInt, 1};
+  beq.src2 = {RegClass::kInt, 1};
+  ExecOutcome out;
+  out.taken = true;
+  inj.on_execute(out, beq, FuClass::kIntAlu, 0);
+  EXPECT_FALSE(out.taken);
+  EXPECT_EQ(inj.activations(), 1u);
+}
+
+TEST(FaultModel, MemPortFaultHitsAddressPath) {
+  HardFault f;
+  f.site = FaultSite::kBackendResult;
+  f.fu = FuClass::kMem;
+  f.backend_way = 0;
+  f.bit = 8;
+  f.stuck_value = true;
+  FaultInjector inj(f);
+  DecodedInst ld;
+  ld.op = Opcode::kLd;
+  ld.dst = {RegClass::kInt, 1};
+  ld.src1 = {RegClass::kInt, 2};
+  ExecOutcome out;
+  out.mem_addr = 0x1000;
+  inj.on_execute(out, ld, FuClass::kMem, 0);
+  EXPECT_EQ(out.mem_addr, 0x1100u);
+  EXPECT_EQ(out.mem_addr % 8, 0u) << "addresses stay aligned";
+}
+
+TEST(FaultModel, UnarmedInjectorIsTransparent) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.armed());
+  EXPECT_EQ(inj.on_decode(0xdead, 1), 0xdeadu);
+  EXPECT_EQ(inj.on_payload(42, 3), 42);
+  EXPECT_EQ(inj.activations(), 0u);
+}
+
+TEST(FaultModel, DescribeNamesTheSite) {
+  HardFault f;
+  f.site = FaultSite::kBackendResult;
+  f.fu = FuClass::kFpMul;
+  f.backend_way = 1;
+  f.bit = 17;
+  f.stuck_value = false;
+  EXPECT_EQ(f.describe(), "backend-result fp-mul way 1 bit 17 stuck-at-0");
+}
+
+TEST(Coverage, WeighsFrontendAndBackendByArea) {
+  CoverageAccounting cov;
+  cov.add_pair(true, true);
+  cov.add_pair(true, false);
+  cov.add_pair(false, false);
+  cov.add_pair(false, true);
+  EXPECT_DOUBLE_EQ(cov.frontend_coverage(), 0.5);
+  EXPECT_DOUBLE_EQ(cov.backend_coverage(), 0.5);
+  EXPECT_DOUBLE_EQ(cov.total_coverage(), 0.34 * 0.5 + 0.66 * 0.5);
+  EXPECT_EQ(cov.pairs(), 4u);
+}
+
+TEST(Coverage, SrtSignature) {
+  // SRT: zero frontend diversity, ~50% backend -> ~33% total.
+  CoverageAccounting cov;
+  for (int i = 0; i < 100; ++i) cov.add_pair(false, i % 2 == 0);
+  EXPECT_DOUBLE_EQ(cov.frontend_coverage(), 0.0);
+  EXPECT_NEAR(cov.total_coverage(), 0.33, 0.01);
+}
+
+TEST(Coverage, BlackjackSignature) {
+  // BlackJack: full frontend diversity, high backend -> ~0.97 total.
+  CoverageAccounting cov;
+  for (int i = 0; i < 100; ++i) cov.add_pair(true, i % 20 != 0);
+  EXPECT_DOUBLE_EQ(cov.frontend_coverage(), 1.0);
+  EXPECT_NEAR(cov.total_coverage(), 0.34 + 0.66 * 0.95, 0.01);
+}
+
+TEST(Coverage, CustomAreaModel) {
+  CoverageAccounting cov(AreaModel{0.5, 0.5});
+  cov.add_pair(true, false);
+  EXPECT_DOUBLE_EQ(cov.total_coverage(), 0.5);
+}
+
+}  // namespace
+}  // namespace bj

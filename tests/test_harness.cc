@@ -1,0 +1,206 @@
+// Tests for the harness layer (driver, determinism), the rename/regfile
+// helpers, and the common utilities (table formatting, env knobs).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/env.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "harness/driver.h"
+#include "pipeline/regfile.h"
+#include "workload/profile.h"
+
+namespace bj {
+namespace {
+
+TEST(Driver, SimulationIsDeterministic) {
+  const WorkloadProfile& profile = profile_by_name("crafty");
+  SimRequest req;
+  req.mode = Mode::kBlackjack;
+  req.warmup_commits = 5000;
+  req.budget_commits = 15000;
+  const SimResult a = run_workload(profile, req);
+  const SimResult b = run_workload(profile, req);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_DOUBLE_EQ(a.coverage_total, b.coverage_total);
+  EXPECT_EQ(a.shuffle_nops, b.shuffle_nops);
+  EXPECT_EQ(a.packet_splits, b.packet_splits);
+}
+
+TEST(Driver, WarmupIsExcludedFromStats) {
+  const WorkloadProfile& profile = profile_by_name("gzip");
+  SimRequest req;
+  req.mode = Mode::kSingle;
+  req.warmup_commits = 5000;
+  req.budget_commits = 10000;
+  const SimResult r = run_workload(profile, req);
+  // Commit width is 4, so the run can overshoot the target by up to 3.
+  EXPECT_GE(r.commits, 10000u);
+  EXPECT_LE(r.commits, 10003u);
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_FALSE(r.oracle_violated) << r.oracle_detail;
+}
+
+TEST(Driver, AllModesCleanOnAllWorkloads) {
+  // Smoke sweep at a small budget: every (workload, mode) pair must run
+  // clean — no oracle violation, no detection, no wedge.
+  for (const WorkloadProfile& profile : spec2000_profiles()) {
+    for (Mode mode : {Mode::kSingle, Mode::kSrt, Mode::kBlackjackNs,
+                      Mode::kBlackjack}) {
+      SimRequest req;
+      req.mode = mode;
+      req.warmup_commits = 2000;
+      req.budget_commits = 4000;
+      const SimResult r = run_workload(profile, req);
+      EXPECT_FALSE(r.oracle_violated)
+          << profile.name << '/' << mode_name(mode) << ": " << r.oracle_detail;
+      EXPECT_FALSE(r.detected) << profile.name << '/' << mode_name(mode);
+      EXPECT_FALSE(r.wedged) << profile.name << '/' << mode_name(mode);
+      EXPECT_GE(r.commits, 4000u) << profile.name << '/' << mode_name(mode);
+      EXPECT_LE(r.commits, 4003u) << profile.name << '/' << mode_name(mode);
+    }
+  }
+}
+
+TEST(Driver, CoveragePairsTrackTrailingCommits) {
+  SimRequest req;
+  req.mode = Mode::kBlackjack;
+  req.warmup_commits = 3000;
+  req.budget_commits = 9000;
+  const SimResult r = run_workload(profile_by_name("eon"), req);
+  // Every trailing commit contributes one pair; trailing lags by the slack.
+  EXPECT_GT(r.coverage_pairs, 8000u);
+  EXPECT_LE(r.coverage_pairs, 10000u);
+}
+
+TEST(Regfile, FreeListLifo) {
+  FreeList fl(2, 6);  // 2..5 free
+  EXPECT_EQ(fl.available(), 4u);
+  const int a = fl.allocate();
+  const int b = fl.allocate();
+  EXPECT_NE(a, b);
+  fl.release(a);
+  EXPECT_EQ(fl.allocate(), a);
+  EXPECT_EQ(fl.available(), 2u);
+}
+
+TEST(Regfile, SentinelReadsZeroAndIsAlwaysReady) {
+  PhysRegFile prf(8);
+  EXPECT_EQ(prf.value(kNoPhysReg), 0u);
+  EXPECT_EQ(prf.ready_at(kNoPhysReg), 0u);
+  prf.set_value(3, 42);
+  prf.set_ready_at(3, 100);
+  EXPECT_EQ(prf.value(3), 42u);
+  EXPECT_EQ(prf.ready_at(3), 100u);
+}
+
+TEST(Regfile, RenameMapPerClass) {
+  RenameMap map;
+  map.at(RegClass::kInt, 5) = 77;
+  map.at(RegClass::kFp, 5) = 88;
+  EXPECT_EQ(map.get(RegClass::kInt, 5), 77);
+  EXPECT_EQ(map.get(RegClass::kFp, 5), 88);
+}
+
+TEST(Regfile, LeadPhysMapIsPhysIndexed) {
+  LeadPhysMap map(16, 16);
+  map.at(RegClass::kInt, 12) = 3;
+  EXPECT_EQ(map.get(RegClass::kInt, 12), 3);
+  EXPECT_EQ(map.get(RegClass::kInt, 11), kNoPhysReg);
+}
+
+TEST(Table, AlignsAndEmitsCsv) {
+  Table t({"name", "value"});
+  t.begin_row();
+  t.add("alpha");
+  t.add(1.5, 1);
+  t.begin_row();
+  t.add("b");
+  t.add_percent(0.25);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("25.0"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "name,value\nalpha,1.5\nb,25.0\n");
+}
+
+TEST(Env, FallbacksAndParsing) {
+  ::unsetenv("BJ_TEST_KNOB");
+  EXPECT_EQ(env_int("BJ_TEST_KNOB", 7), 7);
+  ::setenv("BJ_TEST_KNOB", "123", 1);
+  EXPECT_EQ(env_int("BJ_TEST_KNOB", 7), 123);
+  ::setenv("BJ_TEST_KNOB", "bogus", 1);
+  EXPECT_EQ(env_int("BJ_TEST_KNOB", 7), 7);
+  ::unsetenv("BJ_TEST_KNOB");
+  EXPECT_EQ(env_string("BJ_TEST_KNOB", "dflt"), "dflt");
+}
+
+TEST(Core, DumpStateIsReadable) {
+  const Program p = generate_workload(profile_by_name("gcc"));
+  Core core(p, Mode::kBlackjack);
+  core.run(2000, 400000);
+  std::ostringstream os;
+  core.dump_state(os);
+  const std::string dump = os.str();
+  EXPECT_NE(dump.find("leading:"), std::string::npos);
+  EXPECT_NE(dump.find("trailing:"), std::string::npos);
+  EXPECT_NE(dump.find("iq occupancy"), std::string::npos);
+}
+
+
+TEST(Flags, ParsesAllForms) {
+  // Note: a bare switch followed by a non-flag token would consume it as a
+  // value (the documented --key value form), so positionals come first.
+  const char* argv[] = {"prog",   "positional", "--mode=blackjack",
+                        "--slack", "128",       "--n=-5",
+                        "--dump-state"};
+  Flags flags(7, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get("mode"), "blackjack");
+  EXPECT_EQ(flags.get_int("slack", 0), 128);
+  EXPECT_TRUE(flags.get_bool("dump-state"));
+  EXPECT_EQ(flags.get_int("n", 0), -5);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+  EXPECT_EQ(flags.get_int("absent", 42), 42);
+}
+
+TEST(Flags, TracksUnusedFlags) {
+  const char* argv[] = {"prog", "--used=1", "--unused=2"};
+  Flags flags(3, const_cast<char**>(argv));
+  (void)flags.get("used");
+  const auto unused = flags.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "unused");
+}
+
+TEST(Flags, SplitHelper) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+
+TEST(Driver, MultiSeedAggregationIsStable) {
+  // Seed-perturbed instances of a profile must agree on the qualitative
+  // metrics: coverage varies by at most a few points, and the mean matches
+  // the canonical instance's ballpark.
+  SimRequest req;
+  req.mode = Mode::kBlackjack;
+  req.warmup_commits = 5000;
+  req.budget_commits = 12000;
+  const AggregateResult agg =
+      run_workload_seeds(profile_by_name("crafty"), req, 4);
+  EXPECT_EQ(agg.seeds, 4);
+  EXPECT_EQ(agg.coverage_total.count(), 4u);
+  EXPECT_GT(agg.coverage_total.mean(), 0.75);
+  EXPECT_LT(agg.coverage_total.stddev(), 0.05)
+      << "workload-instance noise should be small";
+  EXPECT_GT(agg.ipc.mean(), 0.3);
+}
+
+}  // namespace
+}  // namespace bj

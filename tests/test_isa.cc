@@ -1,0 +1,304 @@
+// Unit tests for the ISA layer: encode/decode round trips, operand classes,
+// immediates, disassembly, and the shared eval() semantics.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "isa/builder.h"
+#include "isa/exec.h"
+#include "isa/instruction.h"
+
+namespace bj {
+namespace {
+
+DecodedInst rrr(Opcode op, int rd, int rs1, int rs2) {
+  DecodedInst inst;
+  inst.op = op;
+  const OpTraits& t = traits(op);
+  if (t.dst_cls != RegClass::kNone)
+    inst.dst = {t.dst_cls, static_cast<std::uint8_t>(rd)};
+  if (t.src1_cls != RegClass::kNone)
+    inst.src1 = {t.src1_cls, static_cast<std::uint8_t>(rs1)};
+  if (t.src2_cls != RegClass::kNone)
+    inst.src2 = {t.src2_cls, static_cast<std::uint8_t>(rs2)};
+  return inst;
+}
+
+TEST(IsaEncoding, RoundTripsRegisterRegister) {
+  for (Opcode op : {Opcode::kAdd, Opcode::kSub, Opcode::kMul, Opcode::kFadd,
+                    Opcode::kFmul, Opcode::kSlt}) {
+    const DecodedInst inst = rrr(op, 3, 7, 21);
+    const DecodedInst back = decode(encode(inst));
+    EXPECT_EQ(inst, back) << disassemble(inst);
+  }
+}
+
+TEST(IsaEncoding, RoundTripsImmediates) {
+  for (std::int64_t imm : {0ll, 1ll, -1ll, 32767ll, -32768ll, 1234ll}) {
+    DecodedInst inst;
+    inst.op = Opcode::kAddi;
+    inst.dst = {RegClass::kInt, 5};
+    inst.src1 = {RegClass::kInt, 6};
+    inst.imm = imm & 0xffff;
+    const DecodedInst back = decode(encode(inst));
+    EXPECT_EQ(back.imm, static_cast<std::int16_t>(imm))
+        << "imm " << imm << " should sign-extend";
+  }
+}
+
+TEST(IsaEncoding, ZeroExtendsLogicalImmediates) {
+  DecodedInst inst;
+  inst.op = Opcode::kOri;
+  inst.dst = {RegClass::kInt, 1};
+  inst.src1 = {RegClass::kInt, 0};
+  inst.imm = 0xffff;
+  const DecodedInst back = decode(encode(inst));
+  EXPECT_EQ(back.imm, 0xffff);
+}
+
+TEST(IsaEncoding, StoreCarriesDataInRdSlot) {
+  DecodedInst inst;
+  inst.op = Opcode::kSt;
+  inst.src1 = {RegClass::kInt, 4};   // base
+  inst.src2 = {RegClass::kInt, 17};  // data
+  inst.imm = 8;
+  const DecodedInst back = decode(encode(inst));
+  EXPECT_EQ(back.src1.idx, 4);
+  EXPECT_EQ(back.src2.idx, 17);
+  EXPECT_EQ(back.imm, 8);
+}
+
+TEST(IsaEncoding, UnknownOpcodeDecodesInvalid) {
+  const std::uint32_t bogus = 0x3fu << 26;
+  const DecodedInst inst = decode(bogus);
+  EXPECT_FALSE(inst.valid);
+  EXPECT_EQ(inst.op, Opcode::kNop);
+}
+
+TEST(IsaEncoding, EveryOpcodeRoundTrips) {
+  for (int o = 0; o < kNumOpcodes; ++o) {
+    const auto op = static_cast<Opcode>(o);
+    DecodedInst inst = rrr(op, 2, 3, 4);
+    const OpTraits& t = traits(op);
+    if (t.format == Format::kI || t.format == Format::kStore ||
+        t.format == Format::kBranch) {
+      inst.imm = 12;
+    }
+    if (t.format == Format::kBranch) {
+      inst.src1 = {RegClass::kInt, 2};
+      inst.src2 = {RegClass::kInt, 3};
+    }
+    if (t.format == Format::kStore) {
+      inst.src1 = {t.src1_cls, 3};
+      inst.src2 = {t.src2_cls, 2};
+    }
+    if (t.format == Format::kJ) {
+      inst.imm = 1000;
+      if (op == Opcode::kJal) inst.dst = {RegClass::kInt, kLinkReg};
+    }
+    if (t.format == Format::kJr) inst.src1 = {RegClass::kInt, 2};
+    const DecodedInst back = decode(encode(inst));
+    EXPECT_EQ(inst.op, back.op);
+    EXPECT_EQ(inst.dst, back.dst) << disassemble(inst);
+    EXPECT_EQ(inst.src1, back.src1) << disassemble(inst);
+    EXPECT_EQ(inst.src2, back.src2) << disassemble(inst);
+  }
+}
+
+TEST(IsaEval, IntegerArithmetic) {
+  auto run = [](Opcode op, std::uint64_t a, std::uint64_t b) {
+    return eval(rrr(op, 1, 2, 3), a, b, 0).value;
+  };
+  EXPECT_EQ(run(Opcode::kAdd, 2, 3), 5u);
+  EXPECT_EQ(run(Opcode::kSub, 2, 3), static_cast<std::uint64_t>(-1));
+  EXPECT_EQ(run(Opcode::kMul, 7, 6), 42u);
+  EXPECT_EQ(run(Opcode::kDiv, 42, 6), 7u);
+  EXPECT_EQ(run(Opcode::kDiv, 42, 0), ~0ull) << "div by zero is all ones";
+  EXPECT_EQ(run(Opcode::kRem, 42, 0), 42u);
+  EXPECT_EQ(run(Opcode::kSlt, static_cast<std::uint64_t>(-5), 3), 1u);
+  EXPECT_EQ(run(Opcode::kSltu, static_cast<std::uint64_t>(-5), 3), 0u);
+  EXPECT_EQ(run(Opcode::kSra, static_cast<std::uint64_t>(-8), 1),
+            static_cast<std::uint64_t>(-4));
+}
+
+TEST(IsaEval, FloatingPoint) {
+  auto f = [](double d) { return std::bit_cast<std::uint64_t>(d); };
+  auto d = [](std::uint64_t u) { return std::bit_cast<double>(u); };
+  EXPECT_DOUBLE_EQ(d(eval(rrr(Opcode::kFadd, 1, 2, 3), f(1.5), f(2.5), 0).value),
+                   4.0);
+  EXPECT_DOUBLE_EQ(d(eval(rrr(Opcode::kFmul, 1, 2, 3), f(3.0), f(4.0), 0).value),
+                   12.0);
+  EXPECT_DOUBLE_EQ(d(eval(rrr(Opcode::kFdiv, 1, 2, 3), f(1.0), f(4.0), 0).value),
+                   0.25);
+  EXPECT_DOUBLE_EQ(d(eval(rrr(Opcode::kFsqrt, 1, 2, 0), f(9.0), 0, 0).value),
+                   3.0);
+  EXPECT_EQ(eval(rrr(Opcode::kFlt, 1, 2, 3), f(1.0), f(2.0), 0).value, 1u);
+  EXPECT_EQ(eval(rrr(Opcode::kFeq, 1, 2, 3), f(2.0), f(2.0), 0).value, 1u);
+  EXPECT_DOUBLE_EQ(d(eval(rrr(Opcode::kItof, 1, 2, 0), 7, 0, 0).value), 7.0);
+  EXPECT_EQ(eval(rrr(Opcode::kFtoi, 1, 2, 0), f(7.9), 0, 0).value, 7u);
+}
+
+TEST(IsaEval, BranchesAndTargets) {
+  DecodedInst beq;
+  beq.op = Opcode::kBeq;
+  beq.src1 = {RegClass::kInt, 1};
+  beq.src2 = {RegClass::kInt, 2};
+  beq.imm = -3;
+  ExecOutcome taken = eval(beq, 5, 5, 100);
+  EXPECT_TRUE(taken.taken);
+  EXPECT_EQ(taken.target, 97u);
+  ExecOutcome not_taken = eval(beq, 5, 6, 100);
+  EXPECT_FALSE(not_taken.taken);
+  EXPECT_EQ(not_taken.target, 101u);
+}
+
+TEST(IsaEval, JumpsAndLink) {
+  DecodedInst jal;
+  jal.op = Opcode::kJal;
+  jal.dst = {RegClass::kInt, kLinkReg};
+  jal.imm = 42;
+  const ExecOutcome out = eval(jal, 0, 0, 10);
+  EXPECT_TRUE(out.taken);
+  EXPECT_EQ(out.target, 42u);
+  EXPECT_EQ(out.value, 11u);
+
+  DecodedInst jr;
+  jr.op = Opcode::kJr;
+  jr.src1 = {RegClass::kInt, 5};
+  const ExecOutcome out2 = eval(jr, 77, 0, 10);
+  EXPECT_EQ(out2.target, 77u);
+}
+
+TEST(IsaEval, MemoryAddressing) {
+  DecodedInst ld;
+  ld.op = Opcode::kLd;
+  ld.dst = {RegClass::kInt, 1};
+  ld.src1 = {RegClass::kInt, 2};
+  ld.imm = 16;
+  EXPECT_EQ(eval(ld, 1000, 0, 0).mem_addr, 1016u);
+  // Addresses are aligned down to 8 bytes.
+  ld.imm = 3;
+  EXPECT_EQ(eval(ld, 1000, 0, 0).mem_addr, 1000u);
+}
+
+TEST(IsaEval, InvalidActsAsNop) {
+  DecodedInst inst = decode(0x3fu << 26);
+  const ExecOutcome out = eval(inst, 1, 2, 5);
+  EXPECT_FALSE(out.taken);
+  EXPECT_EQ(out.target, 6u);
+  EXPECT_EQ(out.value, 0u);
+}
+
+TEST(IsaBuilder, ResolvesLabelsForwardAndBackward) {
+  ProgramBuilder b("labels");
+  b.li(1, 0);
+  b.label("top");
+  b.addi(1, 1, 1);
+  b.slti(2, 1, 3);
+  b.bne(2, 0, "top");
+  b.jmp("end");
+  b.addi(1, 1, 100);  // skipped
+  b.label("end");
+  b.halt();
+  const Program p = b.build();
+  EXPECT_GT(p.size(), 5u);
+}
+
+TEST(IsaBuilder, ThrowsOnUnresolvedLabel) {
+  ProgramBuilder b("bad");
+  b.jmp("nowhere");
+  EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(IsaBuilder, ThrowsOnDuplicateLabel) {
+  ProgramBuilder b("dup");
+  b.label("x");
+  EXPECT_THROW(b.label("x"), std::runtime_error);
+}
+
+TEST(IsaBuilder, LoadsLargeConstants) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 0xffffull, 0x12345678ull, 0xdeadbeefcafebabeull,
+        ~0ull}) {
+    ProgramBuilder b("li");
+    b.li(1, v);
+    b.li(2, 0x1000);
+    b.st(1, 2, 0);
+    b.halt();
+    // The emulator test validates values; here we just check it encodes.
+    EXPECT_NO_THROW(b.build());
+  }
+}
+
+TEST(IsaDisasm, ProducesReadableText) {
+  DecodedInst add = rrr(Opcode::kAdd, 3, 1, 2);
+  EXPECT_EQ(disassemble(add), "add r3, r1, r2");
+  DecodedInst fmul = rrr(Opcode::kFmul, 4, 5, 6);
+  EXPECT_EQ(disassemble(fmul), "fmul f4, f5, f6");
+}
+
+
+TEST(IsaRoundTrip, FuzzedInstructionsSurviveDisasmAssemble) {
+  // Random well-formed instructions must round-trip through
+  // disassemble() -> assemble() bit-exactly (J-format targets are labels in
+  // text form, so jumps/branches are exercised separately by the builder
+  // tests).
+  Rng rng(31415);
+  ProgramBuilder builder("fuzz");
+  std::vector<Opcode> ops;
+  for (int o = 0; o < kNumOpcodes; ++o) {
+    const auto op = static_cast<Opcode>(o);
+    const OpTraits& t = traits(op);
+    if (t.format == Format::kR || t.format == Format::kI ||
+        t.format == Format::kStore || t.format == Format::kNone) {
+      ops.push_back(op);
+    }
+  }
+  std::string text;
+  std::vector<std::uint32_t> expected;
+  for (int trial = 0; trial < 500; ++trial) {
+    const Opcode op = ops[rng.next_below(ops.size())];
+    const OpTraits& t = traits(op);
+    DecodedInst inst;
+    inst.op = op;
+    auto reg = [&](RegClass cls) {
+      return RegRef{cls, static_cast<std::uint8_t>(rng.next_below(32))};
+    };
+    switch (t.format) {
+      case Format::kNone:
+        break;
+      case Format::kR:
+        if (t.dst_cls != RegClass::kNone) inst.dst = reg(t.dst_cls);
+        if (t.src1_cls != RegClass::kNone) inst.src1 = reg(t.src1_cls);
+        if (t.src2_cls != RegClass::kNone) inst.src2 = reg(t.src2_cls);
+        break;
+      case Format::kI:
+        inst.dst = reg(t.dst_cls);
+        if (t.src1_cls != RegClass::kNone) inst.src1 = reg(t.src1_cls);
+        inst.imm = static_cast<std::int64_t>(rng.next_below(1 << 16));
+        break;
+      case Format::kStore:
+        inst.src1 = reg(t.src1_cls);
+        inst.src2 = reg(t.src2_cls);
+        inst.imm = static_cast<std::int64_t>(rng.next_below(1 << 15));
+        break;
+      default:
+        continue;
+    }
+    // Normalize through one encode/decode so sign extension matches what
+    // the disassembler will print.
+    inst = decode(encode(inst));
+    text += disassemble(inst) + "\n";
+    expected.push_back(encode(inst));
+  }
+  const Program p = assemble(text);
+  ASSERT_EQ(p.code.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(p.code[i], expected[i]) << disassemble(expected[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bj

@@ -1,0 +1,174 @@
+// Unit tests for the memory hierarchy timing model and the branch predictor.
+#include <gtest/gtest.h>
+
+#include "branch/predictor.h"
+#include "common/rng.h"
+#include "mem/cache.h"
+
+namespace bj {
+namespace {
+
+TEST(Cache, HitsAfterFill) {
+  Cache cache(CacheParams{1024, 2, 64, 2, "t"});
+  EXPECT_FALSE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1038)) << "same 64-byte line";
+  EXPECT_FALSE(cache.access(0x1040)) << "next line";
+}
+
+TEST(Cache, LruEvictsOldest) {
+  // 1 KiB, 2-way, 64B lines -> 8 sets. Three lines mapping to one set.
+  Cache cache(CacheParams{1024, 2, 64, 2, "t"});
+  const std::uint64_t a = 0x0000, b = 0x2000, c = 0x4000;  // same set
+  cache.access(a);
+  cache.access(b);
+  cache.access(a);        // a is now MRU
+  cache.access(c);        // evicts b
+  EXPECT_TRUE(cache.probe(a));
+  EXPECT_FALSE(cache.probe(b));
+  EXPECT_TRUE(cache.probe(c));
+}
+
+TEST(Cache, ProbeHasNoSideEffects) {
+  Cache cache(CacheParams{1024, 2, 64, 2, "t"});
+  EXPECT_FALSE(cache.probe(0x1000));
+  EXPECT_FALSE(cache.probe(0x1000));
+  EXPECT_EQ(cache.hits() + cache.misses(), 0u);
+}
+
+TEST(Cache, AssociativityKeepsWaysResident) {
+  Cache cache(CacheParams{4096, 4, 64, 2, "t"});
+  // Four lines in one set of a 4-way cache all stay resident.
+  for (std::uint64_t i = 0; i < 4; ++i) cache.access(i * 1024);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(cache.probe(i * 1024));
+}
+
+TEST(Hierarchy, LatenciesStack) {
+  HierarchyParams params;
+  MemoryHierarchy mem(params);
+  // Cold: L1 miss + L2 miss + memory.
+  const std::uint64_t cold = mem.load(0x10000, 1000);
+  EXPECT_EQ(cold, 1000u + 2 + 12 + 350);
+  // Warm: L1 hit.
+  const std::uint64_t warm = mem.load(0x10000, 2000);
+  EXPECT_EQ(warm, 2000u + 2);
+}
+
+TEST(Hierarchy, L2CatchesL1Evictions) {
+  HierarchyParams params;
+  params.l1d = CacheParams{1024, 2, 64, 2, "small-l1"};
+  MemoryHierarchy mem(params);
+  mem.load(0x0000, 0);
+  // Evict from the tiny L1 by filling its set, then reload: L2 hit.
+  mem.load(0x2000, 400);
+  mem.load(0x4000, 800);
+  const std::uint64_t reload = mem.load(0x0000, 1200);
+  EXPECT_EQ(reload, 1200u + 2 + 12) << "should hit in L2, not memory";
+}
+
+TEST(Hierarchy, MshrsBoundOutstandingMisses) {
+  HierarchyParams params;
+  params.mshrs = 2;
+  MemoryHierarchy mem(params);
+  EXPECT_NE(mem.load(0x100000, 10), 0u);
+  EXPECT_NE(mem.load(0x200000, 10), 0u);
+  EXPECT_EQ(mem.load(0x300000, 10), 0u) << "third concurrent miss rejected";
+  // After the misses complete, capacity returns.
+  EXPECT_NE(mem.load(0x300000, 10 + 400), 0u);
+}
+
+TEST(Predictor, LearnsAlwaysTakenBranch) {
+  BranchPredictor pred;
+  DecodedInst beq;
+  beq.op = Opcode::kBeq;
+  beq.src1 = {RegClass::kInt, 1};
+  beq.src2 = {RegClass::kInt, 2};
+  beq.imm = -5;
+  int correct = 0;
+  for (int i = 0; i < 100; ++i) {
+    const BranchPrediction p = pred.predict(100, beq);
+    if (p.taken) ++correct;
+    pred.resolve(100, beq, p, /*taken=*/true, /*target=*/95);
+    if (!p.taken) pred.restore_history(p.ghr_snapshot, true);
+  }
+  EXPECT_GT(correct, 80) << "an always-taken branch must be learned";
+}
+
+TEST(Predictor, LearnsShortPeriodicPattern) {
+  BranchPredictor pred;
+  DecodedInst bne;
+  bne.op = Opcode::kBne;
+  bne.src1 = {RegClass::kInt, 1};
+  bne.src2 = {RegClass::kInt, 2};
+  bne.imm = 3;
+  int correct = 0;
+  for (int i = 0; i < 400; ++i) {
+    const bool actual = (i % 4) != 0;  // TTTN repeating
+    const BranchPrediction p = pred.predict(200, bne);
+    if (p.taken == actual) ++correct;
+    pred.resolve(200, bne, p, actual, actual ? 203 : 201);
+    if (p.taken != actual) {
+      pred.restore_history(p.ghr_snapshot, actual);
+    }
+  }
+  EXPECT_GT(correct, 300) << "gshare should learn a period-4 pattern";
+}
+
+TEST(Predictor, DirectJumpsAlwaysHitTarget) {
+  BranchPredictor pred;
+  DecodedInst jmp;
+  jmp.op = Opcode::kJmp;
+  jmp.imm = 777;
+  const BranchPrediction p = pred.predict(10, jmp);
+  EXPECT_TRUE(p.taken);
+  EXPECT_EQ(p.target, 777u);
+}
+
+TEST(Predictor, RasPairsCallsAndReturns) {
+  BranchPredictor pred;
+  DecodedInst jal;
+  jal.op = Opcode::kJal;
+  jal.dst = {RegClass::kInt, kLinkReg};
+  jal.imm = 500;
+  DecodedInst jr;
+  jr.op = Opcode::kJr;
+  jr.src1 = {RegClass::kInt, kLinkReg};
+
+  pred.predict(10, jal);  // pushes 11
+  pred.predict(20, jal);  // pushes 21
+  EXPECT_EQ(pred.predict(600, jr).target, 21u);
+  EXPECT_EQ(pred.predict(601, jr).target, 11u);
+}
+
+TEST(Predictor, IndirectJumpLearnsThroughBtb) {
+  BranchPredictor btb_pred(BranchPredictorParams{14, 2048, 4, 0});  // no RAS
+  DecodedInst jr;
+  jr.op = Opcode::kJr;
+  jr.src1 = {RegClass::kInt, 9};
+  const BranchPrediction miss = btb_pred.predict(30, jr);
+  btb_pred.resolve(30, jr, miss, true, 1234);
+  const BranchPrediction hit = btb_pred.predict(30, jr);
+  EXPECT_EQ(hit.target, 1234u);
+}
+
+TEST(Rng, DeterministicAndBounded) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  Rng c(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(c.next_below(17), 17u);
+    const double d = c.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NameHashingIsStable) {
+  EXPECT_EQ(hash_name("equake"), hash_name("equake"));
+  EXPECT_NE(hash_name("equake"), hash_name("swim"));
+}
+
+}  // namespace
+}  // namespace bj

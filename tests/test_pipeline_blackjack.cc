@@ -1,0 +1,211 @@
+// BlackJack-mode pipeline tests (full shuffle and no-shuffle variants):
+// fault-free runs must be silent on every checker (dependence check, pc
+// chain, store compare, load-address compare), both threads must retire the
+// same stream, and the coverage signature must match the paper's claims —
+// 100% frontend diversity and high backend diversity for full BlackJack.
+#include <gtest/gtest.h>
+
+#include "pipeline/core.h"
+#include "workload/microkernels.h"
+#include "workload/profile.h"
+
+namespace bj {
+namespace {
+
+RunOutcome run_to_halt(const Program& p, Mode mode,
+                       const CoreParams& params = {},
+                       std::uint64_t max_cycles = 30000000) {
+  Core core(p, mode, params);
+  const RunOutcome outcome = core.run(~0ull / 2, max_cycles);
+  EXPECT_TRUE(outcome.program_finished)
+      << p.name << " did not finish under " << mode_name(mode);
+  EXPECT_FALSE(outcome.wedged) << p.name << " wedged";
+  EXPECT_FALSE(outcome.detected)
+      << p.name << ": spurious detection "
+      << (outcome.detections.empty()
+              ? "?"
+              : detection_kind_name(outcome.detections.front().kind));
+  EXPECT_FALSE(core.oracle_violated()) << core.oracle_violation_detail();
+  EXPECT_EQ(outcome.leading_commits, outcome.trailing_commits) << p.name;
+  return outcome;
+}
+
+std::uint64_t final_store_value(const std::vector<StoreBufferEntry>& stores,
+                                std::uint64_t addr) {
+  std::uint64_t value = 0;
+  for (const auto& s : stores) {
+    if (s.addr == addr) value = s.data;
+  }
+  return value;
+}
+
+TEST(PipelineBlackjack, SumToN) {
+  const Program p = kernels::sum_to_n(100);
+  Core core(p, Mode::kBlackjack);
+  const RunOutcome outcome = core.run(~0ull / 2, 2000000);
+  ASSERT_TRUE(outcome.program_finished);
+  EXPECT_FALSE(outcome.detected)
+      << detection_kind_name(outcome.detections.front().kind);
+  EXPECT_EQ(final_store_value(core.released_stores(), 0x1000), 5050u);
+}
+
+TEST(PipelineBlackjack, Fibonacci) {
+  const Program p = kernels::fibonacci(30);
+  Core core(p, Mode::kBlackjack);
+  const RunOutcome outcome = core.run(~0ull / 2, 2000000);
+  ASSERT_TRUE(outcome.program_finished);
+  EXPECT_FALSE(outcome.detected);
+  EXPECT_EQ(final_store_value(core.released_stores(), 0x1000), 832040u);
+}
+
+TEST(PipelineBlackjack, MemcopyStoresInOrder) {
+  const Program p = kernels::memcopy(64);
+  Core core(p, Mode::kBlackjack);
+  const RunOutcome outcome = core.run(~0ull / 2, 4000000);
+  ASSERT_TRUE(outcome.program_finished);
+  EXPECT_FALSE(outcome.detected);
+  ASSERT_EQ(core.released_stores().size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(core.released_stores()[i].ordinal, i);
+  }
+}
+
+TEST(PipelineBlackjack, BranchyWithMispredictions) {
+  run_to_halt(kernels::branchy(1000), Mode::kBlackjack);
+}
+
+TEST(PipelineBlackjack, MatmulFpMixPointerChase) {
+  run_to_halt(kernels::matmul(4), Mode::kBlackjack);
+  run_to_halt(kernels::fp_mix(32), Mode::kBlackjack);
+  run_to_halt(kernels::pointer_chase(64, 200), Mode::kBlackjack);
+}
+
+struct BjCase {
+  const char* workload;
+  Mode mode;
+};
+
+class BlackjackWorkloads
+    : public ::testing::TestWithParam<std::tuple<const char*, Mode>> {};
+
+TEST_P(BlackjackWorkloads, FaultFreeRunIsClean) {
+  WorkloadProfile profile = profile_by_name(std::get<0>(GetParam()));
+  profile.iterations = 80;
+  const Program p = generate_workload(profile);
+  run_to_halt(p, std::get<1>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, BlackjackWorkloads,
+    ::testing::Combine(
+        ::testing::Values("equake", "swim", "art", "mgrid", "applu", "fma3d",
+                          "gcc", "facerec", "wupwise", "bzip", "apsi",
+                          "crafty", "eon", "gzip", "vortex", "sixtrack"),
+        ::testing::Values(Mode::kBlackjack, Mode::kBlackjackNs)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             (std::get<1>(info.param) == Mode::kBlackjack ? "bj" : "bjns");
+    });
+
+TEST(PipelineBlackjack, FrontendCoverageIsFull) {
+  WorkloadProfile profile = profile_by_name("vortex");
+  const Program p = generate_workload(profile);
+  Core core(p, Mode::kBlackjack);
+  core.run(20000, 8000000);
+  ASSERT_FALSE(core.oracle_violated()) << core.oracle_violation_detail();
+  ASSERT_TRUE(core.detections().empty());
+  ASSERT_GT(core.stats().coverage.pairs(), 1000u);
+  EXPECT_EQ(core.stats().coverage.frontend_coverage(), 1.0)
+      << "safe-shuffle guarantees a different frontend way for every pair";
+}
+
+TEST(PipelineBlackjack, BackendCoverageIsHigh) {
+  WorkloadProfile profile = profile_by_name("vortex");
+  const Program p = generate_workload(profile);
+  Core core(p, Mode::kBlackjack);
+  core.run(20000, 8000000);
+  ASSERT_GT(core.stats().coverage.pairs(), 1000u);
+  EXPECT_GT(core.stats().coverage.backend_coverage(), 0.85)
+      << "interference should be rare";
+}
+
+TEST(PipelineBlackjack, CoverageBeatsSrtEverywhere) {
+  for (const char* name : {"equake", "gcc", "gzip", "sixtrack"}) {
+    WorkloadProfile profile = profile_by_name(name);
+    const Program p = generate_workload(profile);
+    Core srt(p, Mode::kSrt);
+    srt.run(15000, 8000000);
+    Core bj(p, Mode::kBlackjack);
+    bj.run(15000, 8000000);
+    EXPECT_GT(bj.stats().coverage.total_coverage(),
+              srt.stats().coverage.total_coverage() + 0.2)
+        << name;
+  }
+}
+
+TEST(PipelineBlackjack, ShuffleInsertsNopsAndSplitsPackets) {
+  WorkloadProfile profile = profile_by_name("gcc");
+  const Program p = generate_workload(profile);
+  Core core(p, Mode::kBlackjack);
+  core.run(20000, 8000000);
+  EXPECT_GT(core.stats().packets_shuffled, 1000u);
+  EXPECT_GT(core.stats().shuffle_nops, 0u);
+}
+
+TEST(PipelineBlackjackNs, NoNopsNoSplits) {
+  WorkloadProfile profile = profile_by_name("gcc");
+  const Program p = generate_workload(profile);
+  Core core(p, Mode::kBlackjackNs);
+  core.run(20000, 8000000);
+  EXPECT_GT(core.stats().packets_shuffled, 1000u);
+  EXPECT_EQ(core.stats().shuffle_nops, 0u);
+  EXPECT_EQ(core.stats().packet_splits, 0u);
+}
+
+TEST(PipelineBlackjack, SlowerThanSrtFasterThanThreeX) {
+  WorkloadProfile profile = profile_by_name("gzip");
+  const Program p = generate_workload(profile);
+  Core single(p, Mode::kSingle);
+  single.run(20000, 8000000);
+  Core bj(p, Mode::kBlackjack);
+  bj.run(20000, 8000000);
+  EXPECT_FALSE(bj.oracle_violated());
+  EXPECT_GT(bj.cycle(), single.cycle());
+  EXPECT_LT(bj.cycle(), single.cycle() * 3);
+}
+
+TEST(PipelineBlackjack, DependenceAndPcCheckersActuallyRan) {
+  const Program p = kernels::fibonacci(50);
+  Core core(p, Mode::kBlackjack);
+  const RunOutcome outcome = core.run(~0ull / 2, 2000000);
+  ASSERT_TRUE(outcome.program_finished);
+  // Every trailing commit goes through both checkers; pairs ~= commits.
+  EXPECT_GT(core.stats().coverage.pairs(), 100u);
+  EXPECT_FALSE(outcome.detected);
+}
+
+TEST(PipelineBlackjack, TinyWindowsStillCorrect) {
+  CoreParams params;
+  params.active_list_entries = 32;
+  params.lsq_entries = 8;
+  params.issue_queue_entries = 16;
+  params.store_buffer_entries = 8;
+  params.lvq_entries = 16;
+  params.dtq_entries = 64;
+  params.trailing_fetch_queue_entries = 32;
+  params.slack = 16;
+  run_to_halt(kernels::memcopy(48), Mode::kBlackjack, params, 8000000);
+  run_to_halt(kernels::branchy(300), Mode::kBlackjack, params, 8000000);
+}
+
+TEST(PipelineBlackjack, MultiPacketFetchAblationStillCorrect) {
+  CoreParams params;
+  params.one_packet_per_cycle = false;  // ablation: more TT interference
+  WorkloadProfile profile = profile_by_name("equake");
+  profile.iterations = 60;
+  const Program p = generate_workload(profile);
+  run_to_halt(p, Mode::kBlackjack, params);
+}
+
+}  // namespace
+}  // namespace bj

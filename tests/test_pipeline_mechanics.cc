@@ -1,0 +1,206 @@
+// White-box checks of pipeline mechanics through the per-commit trace: way
+// assignment policies (the two policies safe-shuffle depends on), trace
+// well-formedness, and stage-timestamp sanity.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "pipeline/core.h"
+#include "workload/profile.h"
+
+namespace bj {
+namespace {
+
+struct TraceLine {
+  char tag = '?';
+  std::map<std::string, std::int64_t> fields;
+  std::string disasm;
+};
+
+std::vector<TraceLine> parse_trace(const std::string& text) {
+  std::vector<TraceLine> lines;
+  std::istringstream stream(text);
+  std::string raw;
+  while (std::getline(stream, raw)) {
+    if (raw.empty()) continue;
+    TraceLine line;
+    line.tag = raw[0];
+    std::istringstream fields(raw.substr(1));
+    std::string token;
+    while (fields >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        line.disasm += (line.disasm.empty() ? "" : " ") + token;
+      } else {
+        line.fields[token.substr(0, eq)] =
+            std::stoll(token.substr(eq + 1));
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+std::vector<TraceLine> run_traced(const Program& p, Mode mode,
+                                  std::uint64_t commits) {
+  Core core(p, mode);
+  std::ostringstream trace;
+  core.set_trace(&trace);
+  core.run(commits, 4000000);
+  EXPECT_FALSE(core.oracle_violated()) << core.oracle_violation_detail();
+  EXPECT_TRUE(core.detections().empty());
+  return parse_trace(trace.str());
+}
+
+TEST(Mechanics, LeadingFrontendWayIsPcAlignment) {
+  // The paper: "execution in which frontend way is determined solely on the
+  // instruction's cache block location" — way == pc mod fetch width.
+  const Program p = assemble(R"(
+      li r1, 0
+  top:
+      addi r1, r1, 1
+      addi r1, r1, 2
+      addi r1, r1, 3
+      jmp top
+  )");
+  const auto trace = run_traced(p, Mode::kSingle, 2000);
+  int checked = 0;
+  for (const TraceLine& line : trace) {
+    if (line.tag != 'L') continue;
+    EXPECT_EQ(line.fields.at("fe"), line.fields.at("pc") % 4)
+        << "pc " << line.fields.at("pc");
+    ++checked;
+  }
+  EXPECT_GT(checked, 1000);
+}
+
+TEST(Mechanics, OldestFirstMappingFillsWaysInOrder) {
+  // Four independent adds co-issue: int-alu ways 0..3 in age order.
+  const Program p = assemble(R"(
+      li r1, 1
+      li r2, 2
+      li r3, 3
+      li r4, 4
+  top:
+      addi r10, r1, 1
+      addi r11, r2, 1
+      addi r12, r3, 1
+      addi r13, r4, 1
+      jmp top
+  )");
+  const auto trace = run_traced(p, Mode::kSingle, 4000);
+  // Collect backend ways of the four adds per loop iteration (they are the
+  // only int-alu ops apart from the jmp).
+  std::map<std::int64_t, std::int64_t> ways_by_pc;
+  int full_width_iterations = 0;
+  for (std::size_t i = 0; i + 3 < trace.size(); ++i) {
+    if (trace[i].disasm.rfind("addi r10", 0) != 0) continue;
+    // Did all four issue in the same cycle?
+    bool same_cycle = true;
+    for (int k = 1; k < 4; ++k) {
+      same_cycle &= trace[i + k].fields.at("issue") ==
+                    trace[i].fields.at("issue");
+    }
+    if (!same_cycle) continue;
+    ++full_width_iterations;
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_EQ(trace[i + k].fields.at("be"), k)
+          << "oldest-first mapping must hand out ways in age order";
+    }
+  }
+  EXPECT_GT(full_width_iterations, 100);
+}
+
+TEST(Mechanics, TraceStageTimestampsAreOrdered) {
+  const Program p = generate_workload(profile_by_name("crafty"));
+  const auto trace = run_traced(p, Mode::kBlackjack, 5000);
+  ASSERT_GT(trace.size(), 5000u);
+  std::int64_t last_commit_l = -1, last_commit_t = -1;
+  for (const TraceLine& line : trace) {
+    EXPECT_LE(line.fields.at("fetch"), line.fields.at("dispatch"));
+    EXPECT_LT(line.fields.at("dispatch"), line.fields.at("issue"));
+    EXPECT_LE(line.fields.at("issue"), line.fields.at("done"));
+    EXPECT_LE(line.fields.at("done"), line.fields.at("commit"));
+    if (line.tag == 'L') {
+      EXPECT_GE(line.fields.at("commit"), last_commit_l);
+      last_commit_l = line.fields.at("commit");
+    } else if (line.tag == 'T') {
+      EXPECT_GE(line.fields.at("commit"), last_commit_t);
+      last_commit_t = line.fields.at("commit");
+    }
+  }
+}
+
+TEST(Mechanics, TrailingPairsMirrorLeadingStream) {
+  // In BlackJack, every leading commit is eventually matched by a trailing
+  // commit of the same pc, in the same program order.
+  const Program p = generate_workload(profile_by_name("eon"));
+  const auto trace = run_traced(p, Mode::kBlackjack, 4000);
+  std::vector<std::int64_t> lead_pcs, trail_pcs;
+  for (const TraceLine& line : trace) {
+    (line.tag == 'L' ? lead_pcs : trail_pcs).push_back(line.fields.at("pc"));
+  }
+  ASSERT_GT(trail_pcs.size(), 3000u);
+  for (std::size_t i = 0; i < trail_pcs.size(); ++i) {
+    ASSERT_LT(i, lead_pcs.size());
+    EXPECT_EQ(trail_pcs[i], lead_pcs[i]) << "pair " << i;
+  }
+}
+
+TEST(Mechanics, BlackjackTrailingFrontendWaysDiffer) {
+  // The headline invariant end-to-end: pair trailing commits with leading
+  // commits; their frontend ways must never match (fe diversity is 100%).
+  const Program p = generate_workload(profile_by_name("gzip"));
+  const auto trace = run_traced(p, Mode::kBlackjack, 4000);
+  std::vector<const TraceLine*> lead, trail;
+  for (const TraceLine& line : trace) {
+    (line.tag == 'L' ? lead : trail).push_back(&line);
+  }
+  ASSERT_GT(trail.size(), 3000u);
+  for (std::size_t i = 0; i < trail.size() && i < lead.size(); ++i) {
+    EXPECT_NE(trail[i]->fields.at("fe"), lead[i]->fields.at("fe"))
+        << "pair " << i << " pc " << trail[i]->fields.at("pc");
+  }
+}
+
+
+TEST(Mechanics, SrtTrailingSharesFrontendWays) {
+  // SRT's frontend ways are pc-alignment-determined for BOTH threads: the
+  // trace must show identical fe for every pair — the zero-frontend-coverage
+  // signature of Figure 4a.
+  const Program p = generate_workload(profile_by_name("gzip"));
+  const auto trace = run_traced(p, Mode::kSrt, 4000);
+  std::vector<const TraceLine*> lead, trail;
+  for (const TraceLine& line : trace) {
+    (line.tag == 'L' ? lead : trail).push_back(&line);
+  }
+  ASSERT_GT(trail.size(), 3000u);
+  for (std::size_t i = 0; i < trail.size() && i < lead.size(); ++i) {
+    EXPECT_EQ(trail[i]->fields.at("pc"), lead[i]->fields.at("pc"));
+    EXPECT_EQ(trail[i]->fields.at("fe"), lead[i]->fields.at("fe"))
+        << "pair " << i;
+  }
+}
+
+TEST(Mechanics, TrailingCommitLagsLeadingBySlackish) {
+  // The trailing copy of an instruction commits after its leading copy, and
+  // the lag reflects the slack plus pipeline depth.
+  const Program p = generate_workload(profile_by_name("crafty"));
+  const auto trace = run_traced(p, Mode::kBlackjack, 6000);
+  std::vector<std::int64_t> lead_commit, trail_commit;
+  for (const TraceLine& line : trace) {
+    (line.tag == 'L' ? lead_commit : trail_commit)
+        .push_back(line.fields.at("commit"));
+  }
+  ASSERT_GT(trail_commit.size(), 4000u);
+  for (std::size_t i = 0; i < trail_commit.size() && i < lead_commit.size();
+       ++i) {
+    EXPECT_GT(trail_commit[i], lead_commit[i]) << "pair " << i;
+  }
+}
+
+}  // namespace
+}  // namespace bj

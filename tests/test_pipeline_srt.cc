@@ -1,0 +1,158 @@
+// SRT-mode pipeline tests: both threads must finish, the leading thread must
+// match the oracle, no redundancy check may fire on a fault-free machine,
+// stores must be released only after the trailing thread agrees, and the
+// coverage accounting must show SRT's signature (zero frontend diversity).
+#include <gtest/gtest.h>
+
+#include "pipeline/core.h"
+#include "workload/microkernels.h"
+#include "workload/profile.h"
+
+namespace bj {
+namespace {
+
+RunOutcome run_to_halt(const Program& p, const CoreParams& params = {},
+                       std::uint64_t max_cycles = 20000000) {
+  Core core(p, Mode::kSrt, params);
+  const RunOutcome outcome = core.run(~0ull / 2, max_cycles);
+  EXPECT_TRUE(outcome.program_finished) << p.name << " did not finish";
+  EXPECT_FALSE(outcome.wedged) << p.name << " wedged";
+  EXPECT_FALSE(outcome.detected) << p.name << ": spurious detection "
+      << detection_kind_name(outcome.detections.empty()
+                                 ? DetectionKind::kWatchdogTimeout
+                                 : outcome.detections.front().kind);
+  EXPECT_FALSE(core.oracle_violated()) << core.oracle_violation_detail();
+  EXPECT_EQ(outcome.leading_commits, outcome.trailing_commits)
+      << p.name << ": threads retired different instruction counts";
+  return outcome;
+}
+
+std::uint64_t final_store_value(const std::vector<StoreBufferEntry>& stores,
+                                std::uint64_t addr) {
+  std::uint64_t value = 0;
+  for (const auto& s : stores) {
+    if (s.addr == addr) value = s.data;
+  }
+  return value;
+}
+
+TEST(PipelineSrt, SumToN) {
+  const Program p = kernels::sum_to_n(100);
+  Core core(p, Mode::kSrt);
+  const RunOutcome outcome = core.run(~0ull / 2, 2000000);
+  ASSERT_TRUE(outcome.program_finished);
+  EXPECT_FALSE(outcome.detected);
+  EXPECT_EQ(final_store_value(core.released_stores(), 0x1000), 5050u);
+}
+
+TEST(PipelineSrt, Fibonacci) {
+  const Program p = kernels::fibonacci(30);
+  Core core(p, Mode::kSrt);
+  const RunOutcome outcome = core.run(~0ull / 2, 2000000);
+  ASSERT_TRUE(outcome.program_finished);
+  EXPECT_FALSE(outcome.detected);
+  EXPECT_EQ(final_store_value(core.released_stores(), 0x1000), 832040u);
+}
+
+TEST(PipelineSrt, StoresReleasedExactlyOncePerProgramStore) {
+  const Program p = kernels::memcopy(64);
+  Core core(p, Mode::kSrt);
+  const RunOutcome outcome = core.run(~0ull / 2, 4000000);
+  ASSERT_TRUE(outcome.program_finished);
+  EXPECT_FALSE(outcome.detected);
+  EXPECT_EQ(core.released_stores().size(), 64u);
+  // Released in program order with consecutive ordinals.
+  for (std::size_t i = 0; i < core.released_stores().size(); ++i) {
+    EXPECT_EQ(core.released_stores()[i].ordinal, i);
+  }
+}
+
+TEST(PipelineSrt, BranchyWithMispredictions) {
+  const Program p = kernels::branchy(1000);
+  const RunOutcome outcome = run_to_halt(p);
+  EXPECT_GT(outcome.cycles, 0u);
+}
+
+TEST(PipelineSrt, MatmulAndFpMix) {
+  run_to_halt(kernels::matmul(4));
+  run_to_halt(kernels::fp_mix(32));
+}
+
+TEST(PipelineSrt, PointerChase) {
+  run_to_halt(kernels::pointer_chase(64, 200));
+}
+
+class SrtWorkloadEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SrtWorkloadEquivalence, FaultFreeRunIsClean) {
+  WorkloadProfile profile = profile_by_name(GetParam());
+  profile.iterations = 80;
+  const Program p = generate_workload(profile);
+  run_to_halt(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SrtWorkloadEquivalence,
+    ::testing::Values("equake", "swim", "art", "mgrid", "applu", "fma3d",
+                      "gcc", "facerec", "wupwise", "bzip", "apsi", "crafty",
+                      "eon", "gzip", "vortex", "sixtrack"));
+
+TEST(PipelineSrt, FrontendCoverageIsZero) {
+  // SRT's frontend way is determined solely by the instruction's cache-block
+  // alignment, identical for both threads -> zero frontend diversity.
+  WorkloadProfile profile = profile_by_name("vortex");
+  const Program p = generate_workload(profile);
+  Core core(p, Mode::kSrt);
+  core.run(20000, 8000000);
+  ASSERT_GT(core.stats().coverage.pairs(), 1000u);
+  EXPECT_EQ(core.stats().coverage.frontend_coverage(), 0.0);
+}
+
+TEST(PipelineSrt, BackendCoverageIsPartial) {
+  WorkloadProfile profile = profile_by_name("gcc");
+  const Program p = generate_workload(profile);
+  Core core(p, Mode::kSrt);
+  core.run(20000, 8000000);
+  ASSERT_GT(core.stats().coverage.pairs(), 1000u);
+  const double be = core.stats().coverage.backend_coverage();
+  EXPECT_GT(be, 0.05) << "some accidental backend diversity expected";
+  EXPECT_LT(be, 0.95) << "SRT should not achieve near-full backend coverage";
+}
+
+TEST(PipelineSrt, SlowerThanSingleThread) {
+  WorkloadProfile profile = profile_by_name("gzip");
+  const Program p = generate_workload(profile);
+  Core single(p, Mode::kSingle);
+  single.run(20000, 8000000);
+  Core srt(p, Mode::kSrt);
+  srt.run(20000, 8000000);
+  EXPECT_FALSE(srt.oracle_violated());
+  EXPECT_GT(srt.cycle(), single.cycle())
+      << "running two copies cannot be free";
+  EXPECT_LT(srt.cycle(), single.cycle() * 3) << "but should be well under 3x";
+}
+
+TEST(PipelineSrt, TrailingLagsByRoughlySlack) {
+  WorkloadProfile profile = profile_by_name("crafty");
+  const Program p = generate_workload(profile);
+  Core core(p, Mode::kSrt);
+  core.run(30000, 8000000);
+  const std::uint64_t lead = core.leading_commits();
+  const std::uint64_t trail = core.trailing_commits();
+  EXPECT_GT(trail, 0u);
+  EXPECT_GE(lead, trail);
+  EXPECT_LT(lead - trail, 2000u) << "trailing thread fell too far behind";
+}
+
+TEST(PipelineSrt, HaltsCleanlyWithTinyQueues) {
+  CoreParams params;
+  params.store_buffer_entries = 4;
+  params.lvq_entries = 8;
+  params.boq_entries = 4;
+  params.slack = 16;
+  const Program p = kernels::memcopy(32);
+  run_to_halt(p, params, 4000000);
+}
+
+}  // namespace
+}  // namespace bj

@@ -1,0 +1,202 @@
+// Property tests for safe-shuffle. The invariants here are the heart of
+// BlackJack's frontend+backend coverage guarantee:
+//   P1 every input instruction appears in exactly one output slot;
+//   P2 for every real instruction, slot index != lead frontend way;
+//   P3 for every real instruction, its backend rank within its output packet
+//      != lead backend way;
+//   P4 backend ranks never exceed the number of ways of the class;
+//   P5 the result is deterministic.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "blackjack/shuffle.h"
+#include "common/rng.h"
+#include "pipeline/params.h"
+
+namespace bj {
+namespace {
+
+constexpr int kWidth = 4;
+
+void check_invariants(const std::vector<ShuffleInst>& packet,
+                      const ShuffleResult& result, int width,
+                      const std::string& context) {
+  std::map<int, int> seen;  // input index -> count
+  for (const ShuffledPacket& out : result.packets) {
+    EXPECT_LE(out.size(), static_cast<std::size_t>(width)) << context;
+    for (std::size_t slot = 0; slot < out.size(); ++slot) {
+      const ShuffleSlot& s = out[slot];
+      if (s.is_nop) continue;
+      ASSERT_GE(s.input_index, 0) << context;
+      ASSERT_LT(s.input_index, static_cast<int>(packet.size())) << context;
+      ++seen[s.input_index];
+      const ShuffleInst& inst = packet[static_cast<std::size_t>(s.input_index)];
+      EXPECT_EQ(s.cls, inst.fu) << context;
+      if (result.forced_places == 0) {
+        // P2: frontend diversity.
+        EXPECT_NE(static_cast<int>(slot), inst.lead_frontend_way)
+            << context << " slot " << slot;
+        // P3: backend diversity under whole-and-alone issue.
+        EXPECT_NE(backend_way_in_packet(out, slot), inst.lead_backend_way)
+            << context << " slot " << slot;
+      }
+    }
+  }
+  // P1: permutation.
+  EXPECT_EQ(seen.size(), packet.size()) << context;
+  for (const auto& [idx, count] : seen) {
+    EXPECT_EQ(count, 1) << context << " input " << idx;
+  }
+}
+
+ShuffleInst make(FuClass fu, int fe, int be) { return ShuffleInst{fu, fe, be}; }
+
+TEST(Shuffle, EmptyPacket) {
+  const ShuffleResult r = safe_shuffle({}, kWidth);
+  EXPECT_TRUE(r.packets.empty());
+}
+
+TEST(Shuffle, SingleInstructionAvoidsBothWays) {
+  for (int fe = 0; fe < kWidth; ++fe) {
+    for (int be = 0; be < 4; ++be) {
+      const std::vector<ShuffleInst> packet = {make(FuClass::kIntAlu, fe, be)};
+      const ShuffleResult r = safe_shuffle(packet, kWidth);
+      check_invariants(packet, r, kWidth,
+                       "single fe=" + std::to_string(fe) +
+                           " be=" + std::to_string(be));
+      EXPECT_EQ(r.forced_places, 0);
+    }
+  }
+}
+
+TEST(Shuffle, PaperFigure2Swap) {
+  // Two like instructions swap backend ways via NOP replacement: A(fe0,be0)
+  // and B(fe1,be1) both int-alu.
+  const std::vector<ShuffleInst> packet = {make(FuClass::kIntAlu, 0, 0),
+                                           make(FuClass::kIntAlu, 1, 1)};
+  const ShuffleResult r = safe_shuffle(packet, kWidth);
+  check_invariants(packet, r, kWidth, "figure2");
+  EXPECT_EQ(r.splits, 0) << "two like instructions must fit one packet";
+}
+
+TEST(Shuffle, FullIntPacketPermutes) {
+  // A full-width int packet with distinct frontend ways has a clean
+  // derangement-style solution.
+  const std::vector<ShuffleInst> packet = {
+      make(FuClass::kIntAlu, 0, 0), make(FuClass::kIntAlu, 1, 1),
+      make(FuClass::kIntAlu, 2, 2), make(FuClass::kIntAlu, 3, 3)};
+  const ShuffleResult r = safe_shuffle(packet, kWidth);
+  check_invariants(packet, r, kWidth, "full int");
+  EXPECT_EQ(r.splits, 0);
+  EXPECT_EQ(r.nops_inserted, 0);
+}
+
+TEST(Shuffle, TwoWayClassesSwap) {
+  // Two memory ops must swap their two ports.
+  const std::vector<ShuffleInst> packet = {make(FuClass::kMem, 0, 0),
+                                           make(FuClass::kMem, 1, 1)};
+  const ShuffleResult r = safe_shuffle(packet, kWidth);
+  check_invariants(packet, r, kWidth, "mem swap");
+  EXPECT_EQ(r.splits, 0);
+}
+
+TEST(Shuffle, DuplicateFrontendWaysStillDiverse) {
+  // Co-issued instructions fetched from the same block offset share a
+  // frontend way; shuffle must still find diverse placements (possibly
+  // splitting).
+  const std::vector<ShuffleInst> packet = {
+      make(FuClass::kIntAlu, 1, 0), make(FuClass::kIntAlu, 1, 1),
+      make(FuClass::kIntAlu, 1, 2), make(FuClass::kIntAlu, 1, 3)};
+  const ShuffleResult r = safe_shuffle(packet, kWidth);
+  check_invariants(packet, r, kWidth, "dup fe");
+}
+
+TEST(Shuffle, MixedClassesRespectTypedNops) {
+  const std::vector<ShuffleInst> packet = {
+      make(FuClass::kMem, 0, 0), make(FuClass::kIntAlu, 1, 0),
+      make(FuClass::kFpMul, 2, 1), make(FuClass::kIntAlu, 3, 1)};
+  const ShuffleResult r = safe_shuffle(packet, kWidth);
+  check_invariants(packet, r, kWidth, "mixed");
+}
+
+TEST(Shuffle, PropertySweepRandomPackets) {
+  // Randomized sweep over realistic packets: class mix weighted like a
+  // leading thread's issue stream; way assignments consistent with the
+  // oldest-first mapping (same-class leading ways are distinct and dense).
+  Rng rng(0xb1ac4acc);
+  const CoreParams params;
+  for (int trial = 0; trial < 5000; ++trial) {
+    const int n = 1 + static_cast<int>(rng.next_below(4));
+    std::vector<ShuffleInst> packet;
+    int used[kNumFuClasses] = {};
+    for (int i = 0; i < n; ++i) {
+      FuClass fu;
+      const double pick = rng.next_double();
+      if (pick < 0.45) {
+        fu = FuClass::kIntAlu;
+      } else if (pick < 0.70) {
+        fu = FuClass::kMem;
+      } else if (pick < 0.85) {
+        fu = FuClass::kFpAlu;
+      } else if (pick < 0.95) {
+        fu = FuClass::kFpMul;
+      } else {
+        fu = FuClass::kIntMul;
+      }
+      const int ways = params.fu_count(fu);
+      if (used[static_cast<int>(fu)] >= ways) {
+        fu = FuClass::kIntAlu;  // class exhausted in this packet
+        if (used[static_cast<int>(FuClass::kIntAlu)] >= 4) break;
+      }
+      const int be = used[static_cast<int>(fu)]++;
+      const int fe = static_cast<int>(rng.next_below(kWidth));
+      packet.push_back(make(fu, fe, be));
+    }
+    if (packet.empty()) continue;
+    const ShuffleResult r = safe_shuffle(packet, kWidth);
+    check_invariants(packet, r, kWidth, "trial " + std::to_string(trial));
+    EXPECT_EQ(r.forced_places, 0) << "trial " << trial;
+  }
+}
+
+TEST(Shuffle, Deterministic) {
+  const std::vector<ShuffleInst> packet = {
+      make(FuClass::kMem, 3, 1), make(FuClass::kIntAlu, 3, 0),
+      make(FuClass::kFpAlu, 0, 0), make(FuClass::kIntAlu, 2, 1)};
+  const ShuffleResult a = safe_shuffle(packet, kWidth);
+  const ShuffleResult b = safe_shuffle(packet, kWidth);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t p = 0; p < a.packets.size(); ++p) {
+    ASSERT_EQ(a.packets[p].size(), b.packets[p].size());
+    for (std::size_t s = 0; s < a.packets[p].size(); ++s) {
+      EXPECT_EQ(a.packets[p][s].is_nop, b.packets[p][s].is_nop);
+      EXPECT_EQ(a.packets[p][s].input_index, b.packets[p][s].input_index);
+      EXPECT_EQ(a.packets[p][s].cls, b.packets[p][s].cls);
+    }
+  }
+}
+
+TEST(Shuffle, DegenerateWidthOneForcesPlacement) {
+  // Width 1 cannot be spatially diverse; the algorithm must still terminate.
+  const std::vector<ShuffleInst> packet = {make(FuClass::kIntAlu, 0, 0)};
+  const ShuffleResult r = safe_shuffle(packet, 1);
+  EXPECT_EQ(r.forced_places, 1);
+  ASSERT_EQ(r.packets.size(), 1u);
+}
+
+TEST(Shuffle, BackendRankHelperCountsSameClassOnly) {
+  ShuffledPacket packet = {
+      ShuffleSlot{false, FuClass::kIntAlu, 0},
+      ShuffleSlot{true, FuClass::kMem, -1},
+      ShuffleSlot{false, FuClass::kIntAlu, 1},
+      ShuffleSlot{false, FuClass::kMem, 2},
+  };
+  EXPECT_EQ(backend_way_in_packet(packet, 0), 0);
+  EXPECT_EQ(backend_way_in_packet(packet, 1), 0);  // first mem occupant
+  EXPECT_EQ(backend_way_in_packet(packet, 2), 1);  // second int
+  EXPECT_EQ(backend_way_in_packet(packet, 3), 1);  // second mem
+}
+
+}  // namespace
+}  // namespace bj

@@ -1,0 +1,162 @@
+// Unit tests for the hardware queue structures: CircularBuffer, BOQ, LVQ,
+// checking store buffer, and the DTQ.
+#include <gtest/gtest.h>
+
+#include "blackjack/dtq.h"
+#include "common/circular_buffer.h"
+#include "srt/boq.h"
+#include "srt/lvq.h"
+#include "srt/store_buffer.h"
+
+namespace bj {
+namespace {
+
+TEST(CircularBuffer, FifoOrderAndCapacity) {
+  CircularBuffer<int> q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) q.push(i);
+  EXPECT_TRUE(q.full());
+  EXPECT_EQ(q.free_slots(), 0u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(q.pop(), i);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CircularBuffer, WrapsAround) {
+  CircularBuffer<int> q(3);
+  for (int round = 0; round < 10; ++round) {
+    q.push(round * 2);
+    q.push(round * 2 + 1);
+    EXPECT_EQ(q.pop(), round * 2);
+    EXPECT_EQ(q.pop(), round * 2 + 1);
+  }
+}
+
+TEST(CircularBuffer, RandomAccessFromHead) {
+  CircularBuffer<int> q(8);
+  for (int i = 0; i < 5; ++i) q.push(100 + i);
+  q.pop();
+  q.pop();
+  EXPECT_EQ(q.at(0), 102);
+  EXPECT_EQ(q.at(2), 104);
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(Boq, PeekAheadWithoutFreeing) {
+  BranchOutcomeQueue boq(8);
+  boq.push({10, 0, true, 42});
+  boq.push({20, 1, false, 21});
+  ASSERT_TRUE(boq.peek(0).has_value());
+  ASSERT_TRUE(boq.peek(1).has_value());
+  EXPECT_FALSE(boq.peek(2).has_value());
+  EXPECT_EQ(boq.peek(0)->pc, 10u);
+  EXPECT_EQ(boq.peek(1)->pc, 20u);
+  EXPECT_EQ(boq.size(), 2u);  // peek does not free
+  EXPECT_EQ(boq.pop().pc, 10u);
+  EXPECT_EQ(boq.peek(0)->pc, 20u);
+}
+
+TEST(Lvq, LookupByOrdinalOutOfOrder) {
+  LoadValueQueue lvq(8);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    lvq.push({i, 0x1000 + i * 8, 100 + i});
+  }
+  // The BlackJack trailing thread executes loads out of program order.
+  EXPECT_EQ(lvq.lookup(3)->value, 103u);
+  EXPECT_EQ(lvq.lookup(0)->value, 100u);
+  EXPECT_EQ(lvq.lookup(4)->addr, 0x1020u);
+  EXPECT_FALSE(lvq.lookup(5).has_value());
+  // Commits free in program order.
+  EXPECT_EQ(lvq.pop().ordinal, 0u);
+  EXPECT_FALSE(lvq.lookup(0).has_value()) << "popped entries are gone";
+  EXPECT_EQ(lvq.lookup(1)->value, 101u);
+}
+
+TEST(StoreBuffer, MatchReleasesInOrder) {
+  CheckingStoreBuffer sb(4);
+  sb.push({0, 0x100, 7});
+  sb.push({1, 0x108, 9});
+  StoreBufferEntry released;
+  EXPECT_EQ(sb.check_and_release(0, 0x100, 7, &released), StoreCheck::kMatch);
+  EXPECT_EQ(released.data, 7u);
+  EXPECT_EQ(sb.check_and_release(1, 0x108, 9, &released), StoreCheck::kMatch);
+  EXPECT_TRUE(sb.empty());
+}
+
+TEST(StoreBuffer, DetectsEveryMismatchKind) {
+  CheckingStoreBuffer sb(4);
+  sb.push({0, 0x100, 7});
+  StoreBufferEntry released;
+  EXPECT_EQ(sb.check_and_release(0, 0x108, 7, &released),
+            StoreCheck::kAddressMismatch);
+  EXPECT_EQ(sb.check_and_release(0, 0x100, 8, &released),
+            StoreCheck::kDataMismatch);
+  EXPECT_EQ(sb.check_and_release(1, 0x100, 7, &released),
+            StoreCheck::kOrdinalMismatch);
+  EXPECT_EQ(sb.size(), 1u) << "mismatches must not release";
+  EXPECT_EQ(sb.check_and_release(0, 0x100, 7, &released), StoreCheck::kMatch);
+  EXPECT_EQ(sb.check_and_release(1, 0x100, 7, &released), StoreCheck::kEmpty);
+}
+
+TEST(StoreBuffer, ForwardsYoungestMatch) {
+  CheckingStoreBuffer sb(4);
+  sb.push({0, 0x100, 1});
+  sb.push({1, 0x200, 2});
+  sb.push({2, 0x100, 3});  // younger store to the same address
+  EXPECT_EQ(sb.forward(0x100).value(), 3u);
+  EXPECT_EQ(sb.forward(0x200).value(), 2u);
+  EXPECT_FALSE(sb.forward(0x300).has_value());
+}
+
+DtqEntry entry(std::uint64_t seq, std::uint64_t cycle) {
+  DtqEntry e;
+  e.lead_seq = seq;
+  e.issue_cycle = cycle;
+  return e;
+}
+
+TEST(Dtq, PacketsGroupByIssueCycle) {
+  DependenceTraceQueue dtq(16);
+  dtq.allocate(entry(0, 100));
+  dtq.allocate(entry(1, 100));
+  dtq.allocate(entry(2, 101));
+  EXPECT_EQ(dtq.head_packet_size(), 0u) << "uncommitted packets are not ready";
+  EXPECT_TRUE(dtq.fill_at_commit(0, 0, 0, false, 0));
+  EXPECT_EQ(dtq.head_packet_size(), 0u) << "partially committed";
+  EXPECT_TRUE(dtq.fill_at_commit(1, 1, 0, false, 0));
+  EXPECT_EQ(dtq.head_packet_size(), 2u);
+  dtq.pop_front(2);
+  EXPECT_EQ(dtq.head_packet_size(), 0u);
+  EXPECT_TRUE(dtq.fill_at_commit(2, 2, 0, false, 0));
+  EXPECT_EQ(dtq.head_packet_size(), 1u);
+}
+
+TEST(Dtq, SquashRemovesUncommittedYoung) {
+  DependenceTraceQueue dtq(16);
+  dtq.allocate(entry(5, 100));
+  dtq.allocate(entry(9, 100));  // younger, issued same cycle
+  dtq.allocate(entry(7, 101));
+  dtq.squash_younger_than(6);  // squash everything after seq 6
+  EXPECT_EQ(dtq.size(), 1u);
+  EXPECT_TRUE(dtq.fill_at_commit(5, 0, 0, false, 0));
+  EXPECT_EQ(dtq.head_packet_size(), 1u);
+  EXPECT_FALSE(dtq.fill_at_commit(9, 1, 0, false, 0)) << "squashed entry gone";
+}
+
+TEST(Dtq, CommittedEntriesSurviveSquash) {
+  DependenceTraceQueue dtq(16);
+  dtq.allocate(entry(3, 50));
+  ASSERT_TRUE(dtq.fill_at_commit(3, 0, 0, false, 0));
+  dtq.squash_younger_than(0);
+  EXPECT_EQ(dtq.size(), 1u);
+}
+
+TEST(Dtq, CapacityIsEnforcedBySize) {
+  DependenceTraceQueue dtq(2);
+  dtq.allocate(entry(0, 1));
+  dtq.allocate(entry(1, 1));
+  EXPECT_TRUE(dtq.full());
+}
+
+}  // namespace
+}  // namespace bj

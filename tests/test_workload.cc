@@ -1,0 +1,162 @@
+// Tests for the workload generator: profile knobs must actually control the
+// generated kernels' instruction mix and behaviour (these are the levers the
+// whole evaluation stands on).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "arch/emulator.h"
+#include "pipeline/core.h"
+#include "workload/profile.h"
+
+namespace bj {
+namespace {
+
+// Executes `instructions` dynamic instructions and histograms opcode classes.
+struct MixHistogram {
+  std::uint64_t total = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t int_muldiv = 0;
+  std::uint64_t fp_muldiv = 0;
+};
+
+MixHistogram run_mix(const WorkloadProfile& profile,
+                     std::uint64_t instructions = 60000) {
+  const Program p = generate_workload(profile);
+  Emulator emu(p);
+  MixHistogram h;
+  // Skip the init/warm prologue: run until the loop body dominates.
+  emu.run(20000);
+  for (std::uint64_t i = 0; i < instructions && !emu.halted(); ++i) {
+    const auto rec = emu.step();
+    if (!rec.has_value()) break;
+    const DecodedInst& inst = rec->inst;
+    ++h.total;
+    if (inst.is_load()) ++h.loads;
+    if (inst.is_store()) ++h.stores;
+    if (inst.is_branch()) ++h.branches;
+    if (inst.fu() == FuClass::kFpAlu || inst.fu() == FuClass::kFpMul) ++h.fp;
+    if (inst.fu() == FuClass::kIntMul) ++h.int_muldiv;
+    if (inst.fu() == FuClass::kFpMul) ++h.fp_muldiv;
+  }
+  return h;
+}
+
+double frac(std::uint64_t part, std::uint64_t total) {
+  return total ? static_cast<double>(part) / static_cast<double>(total) : 0.0;
+}
+
+TEST(Workload, LoadFractionTracksProfile) {
+  WorkloadProfile lo = profile_by_name("sixtrack");  // loads 0.22
+  WorkloadProfile hi = profile_by_name("mgrid");     // loads 0.40
+  const MixHistogram a = run_mix(lo);
+  const MixHistogram b = run_mix(hi);
+  EXPECT_LT(frac(a.loads, a.total), frac(b.loads, b.total));
+  EXPECT_GT(frac(b.loads, b.total), 0.2);
+}
+
+TEST(Workload, FpFractionTracksProfile) {
+  const MixHistogram int_only = run_mix(profile_by_name("gzip"));   // fp 0
+  const MixHistogram fp_heavy = run_mix(profile_by_name("mgrid"));  // fp .8
+  EXPECT_EQ(int_only.fp, 0u);
+  EXPECT_GT(frac(fp_heavy.fp, fp_heavy.total), 0.2);
+}
+
+TEST(Workload, IntMulKnobEngagesUnpipelinedUnit) {
+  // Every kernel carries one LCG multiply per iteration as a baseline; a
+  // heavy int_mul knob must clearly raise the mul/div-unit share above it.
+  WorkloadProfile base = profile_by_name("gzip");
+  base.name = "knob-base";
+  base.int_mul_fraction = 0.0;
+  WorkloadProfile heavy = base;
+  heavy.name = "knob-heavy";
+  heavy.int_mul_fraction = 0.4;
+  heavy.int_div_fraction = 0.3;
+  const MixHistogram a = run_mix(base);
+  const MixHistogram b = run_mix(heavy);
+  EXPECT_GT(frac(b.int_muldiv, b.total),
+            2.0 * frac(a.int_muldiv, a.total) + 0.02);
+}
+
+TEST(Workload, EveryProfileTouchesStores) {
+  // Detection lives on the store stream; every profile must produce stores
+  // whose data comes from computed chains.
+  for (const WorkloadProfile& profile : spec2000_profiles()) {
+    const MixHistogram h = run_mix(profile, 30000);
+    EXPECT_GT(frac(h.stores, h.total), 0.01) << profile.name;
+  }
+}
+
+TEST(Workload, BranchRegularityControlsMispredictability) {
+  // Same branch fraction, different regularity: the regular variant's
+  // counter-pattern branches are gshare-learnable, the irregular one's
+  // LCG-driven branches are not. Measured where it matters — pipeline
+  // misprediction rates.
+  WorkloadProfile regular = profile_by_name("vortex");
+  regular.branch_regularity = 1.0;
+  WorkloadProfile irregular = regular;
+  irregular.name = "vortex-irregular";
+  irregular.branch_regularity = 0.0;
+
+  auto mispredicts_per_1k = [](const WorkloadProfile& profile) {
+    Core core(generate_workload(profile), Mode::kSingle);
+    core.run(10000, 2000000);
+    core.reset_stats();
+    core.run(20000, 4000000);
+    return 1000.0 * static_cast<double>(core.stats().branch_mispredicts) /
+           static_cast<double>(core.stats().leading_commits);
+  };
+  EXPECT_GT(mispredicts_per_1k(irregular), 3.0 * mispredicts_per_1k(regular));
+}
+
+TEST(Workload, WorkingSetIsRespected) {
+  // All data addresses must stay inside [heap, heap + working set).
+  WorkloadProfile p = profile_by_name("crafty");  // 64 KiB
+  p.iterations = 200;
+  const Program prog = generate_workload(p);
+  Emulator emu(prog);
+  while (!emu.halted()) {
+    const auto rec = emu.step();
+    if (!rec.has_value()) break;
+    const std::uint64_t heap = 1ull << 20;
+    if (rec->load.has_value()) {
+      EXPECT_GE(rec->load->first, heap);
+      EXPECT_LT(rec->load->first, heap + p.working_set_bytes + 256);
+    }
+    if (rec->store.has_value()) {
+      EXPECT_GE(rec->store->first, heap);
+      EXPECT_LT(rec->store->first, heap + p.working_set_bytes + 256);
+    }
+  }
+}
+
+TEST(Workload, SeedOverrideChangesCodeDeterministically) {
+  WorkloadProfile p = profile_by_name("eon");
+  p.iterations = 10;
+  const Program base = generate_workload(p);
+  p.seed = 999;
+  const Program seeded_a = generate_workload(p);
+  const Program seeded_b = generate_workload(p);
+  EXPECT_NE(base.code, seeded_a.code);
+  EXPECT_EQ(seeded_a.code, seeded_b.code);
+}
+
+TEST(Workload, ProfilesAreSixteenAndNamed) {
+  const auto& profiles = spec2000_profiles();
+  EXPECT_EQ(profiles.size(), 16u);
+  EXPECT_EQ(profiles.front().name, "equake");
+  EXPECT_EQ(profiles.back().name, "sixtrack");
+  EXPECT_THROW(profile_by_name("nonexistent"), std::out_of_range);
+}
+
+TEST(Workload, StreamingProfilesSkipWarmPrologue) {
+  EXPECT_EQ(profile_by_name("swim").warm_prefix_bytes, 0u);
+  EXPECT_EQ(profile_by_name("equake").warm_prefix_bytes, 0u);
+  EXPECT_NE(profile_by_name("vortex").warm_prefix_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace bj

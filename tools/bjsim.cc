@@ -1,0 +1,295 @@
+// bjsim — command-line driver for the BlackJack simulator.
+//
+// Run a named benchmark kernel, a built-in microkernel, or an assembly file
+// on any core mode, optionally injecting a hard or transient fault, and
+// print a full statistics report.
+//
+// Examples:
+//   bjsim --workload gcc --mode blackjack --instructions 50000
+//   bjsim --program my.s --mode srt --trace trace.txt
+//   bjsim --workload gzip --mode blackjack \
+//         --fault backend:fu=int-alu,way=2,bit=3
+//   bjsim --kernel fib --mode blackjack --fault decoder:way=1,bit=16
+//   bjsim --list
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "common/env.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "harness/diagnosis.h"
+#include "isa/assembler.h"
+#include "pipeline/core.h"
+#include "workload/microkernels.h"
+#include "workload/profile.h"
+
+using namespace bj;
+
+namespace {
+
+int usage() {
+  std::cout << R"(bjsim — BlackJack SMT hard-error-detection simulator
+
+  --workload NAME       one of the 16 SPEC2000 stand-in kernels
+  --kernel NAME         microkernel: sum | fib | matmul | chase | memcopy |
+                        branchy | fpmix | quicksort
+  --program FILE.s      assemble and run FILE.s (must halt)
+  --mode M              single | srt | blackjack-ns | blackjack  [blackjack]
+  --instructions N      measured committed instructions          [150000]
+  --warmup N            warm-up commits excluded from stats      [20000]
+  --fault SPEC          decoder:way=W,bit=B[,stuck=0|1]
+                        backend:fu=F,way=W,bit=B[,stuck=0|1]
+                          (F: int-alu int-mul fp-alu fp-mul mem-port)
+                        payload:entry=E,bit=B[,stuck=0|1]
+                        transient:at=N,bit=B
+  --trace FILE          per-commit pipeline trace to FILE
+  --dump-state          dump machine state at the end of the run
+  --diagnose            after a backend fault is detected, localize it by
+                        deconfiguration and report the degraded-mode cost
+  --combine-packets     enable the packet-combining extension
+  --no-serial-dispatch  disable the packet-serial trailing dispatch gate
+  --multi-packet-fetch  disable one-packet-per-cycle trailing fetch
+  --slack N             trailing slack target                    [256]
+  --csv                 emit the report as CSV
+  --list                list workloads and kernels
+)";
+  return 2;
+}
+
+std::map<std::string, std::string> parse_kv(const std::string& spec) {
+  std::map<std::string, std::string> out;
+  for (const std::string& item : split(spec, ',')) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) continue;
+    out[item.substr(0, eq)] = item.substr(eq + 1);
+  }
+  return out;
+}
+
+FuClass parse_fu(const std::string& name) {
+  for (int c = 0; c < kNumFuClasses; ++c) {
+    if (name == fu_class_name(static_cast<FuClass>(c))) {
+      return static_cast<FuClass>(c);
+    }
+  }
+  throw std::runtime_error("unknown fu class: " + name +
+                           " (try int-alu/int-mul/fp-alu/fp-mul/mem-port)");
+}
+
+FaultInjector parse_fault(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const auto kv = parse_kv(colon == std::string::npos ? "" : spec.substr(colon + 1));
+  auto kv_int = [&](const std::string& key, long long fallback) {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::stoll(it->second, nullptr, 0);
+  };
+  if (kind == "transient") {
+    TransientFault t;
+    t.trigger_execution = static_cast<std::uint64_t>(kv_int("at", 30000));
+    t.bit = static_cast<int>(kv_int("bit", 4));
+    return FaultInjector(t);
+  }
+  HardFault f;
+  f.bit = static_cast<int>(kv_int("bit", 3));
+  f.stuck_value = kv_int("stuck", 1) != 0;
+  if (kind == "decoder") {
+    f.site = FaultSite::kFrontendDecoder;
+    f.frontend_way = static_cast<int>(kv_int("way", 0));
+  } else if (kind == "backend") {
+    f.site = FaultSite::kBackendResult;
+    f.fu = parse_fu(kv.count("fu") ? kv.at("fu") : "int-alu");
+    f.backend_way = static_cast<int>(kv_int("way", 0));
+  } else if (kind == "payload") {
+    f.site = FaultSite::kIqPayload;
+    f.iq_entry = static_cast<int>(kv_int("entry", 0));
+  } else {
+    throw std::runtime_error("unknown fault kind: " + kind);
+  }
+  return FaultInjector(f);
+}
+
+Program select_program(const Flags& flags) {
+  if (flags.has("program")) {
+    const std::string path = flags.get("program");
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return assemble(buffer.str(), path);
+  }
+  if (flags.has("kernel")) {
+    const std::string k = flags.get("kernel");
+    if (k == "sum") return kernels::sum_to_n(100000);
+    if (k == "fib") return kernels::fibonacci(80);
+    if (k == "matmul") return kernels::matmul(12);
+    if (k == "chase") return kernels::pointer_chase(4096, 200000);
+    if (k == "memcopy") return kernels::memcopy(20000);
+    if (k == "branchy") return kernels::branchy(50000);
+    if (k == "fpmix") return kernels::fp_mix(20000);
+    if (k == "quicksort") return kernels::quicksort(2048);
+    throw std::runtime_error("unknown kernel: " + k);
+  }
+  return generate_workload(profile_by_name(flags.get("workload", "gcc")));
+}
+
+Mode parse_mode(const std::string& name) {
+  if (name == "single") return Mode::kSingle;
+  if (name == "srt") return Mode::kSrt;
+  if (name == "blackjack-ns") return Mode::kBlackjackNs;
+  if (name == "blackjack") return Mode::kBlackjack;
+  throw std::runtime_error("unknown mode: " + name);
+}
+
+void report(const Core& core, std::uint64_t measured_cycles, bool csv) {
+  const CoreStats& s = core.stats();
+  Table t({"metric", "value"});
+  auto row = [&](const std::string& k, const std::string& v) {
+    t.begin_row();
+    t.add(k);
+    t.add(v);
+  };
+  auto row_d = [&](const std::string& k, double v, int prec = 3) {
+    t.begin_row();
+    t.add(k);
+    t.add(v, prec);
+  };
+  row("mode", mode_name(core.mode()));
+  row("cycles (measured)", std::to_string(measured_cycles));
+  row("leading commits", std::to_string(s.leading_commits));
+  row("trailing commits", std::to_string(s.trailing_commits));
+  row_d("IPC (leading)", s.ipc());
+  row_d("branch mispredicts / 1k instr",
+        s.leading_commits ? 1000.0 * static_cast<double>(s.branch_mispredicts) /
+                                static_cast<double>(s.leading_commits)
+                          : 0.0,
+        2);
+  if (mode_is_redundant(core.mode())) {
+    row_d("coverage: total %", 100.0 * s.coverage.total_coverage(), 1);
+    row_d("coverage: frontend %", 100.0 * s.coverage.frontend_coverage(), 1);
+    row_d("coverage: backend %", 100.0 * s.coverage.backend_coverage(), 1);
+    row("instruction pairs", std::to_string(s.coverage.pairs()));
+    row_d("burstiness %", 100.0 * s.burstiness(), 1);
+    row_d("LT interference %", 100.0 * s.lt_interference_fraction(), 2);
+    row_d("TT interference %", 100.0 * s.tt_interference_fraction(), 2);
+  }
+  if (mode_uses_dtq(core.mode())) {
+    row("packets shuffled", std::to_string(s.packets_shuffled));
+    row("packet splits", std::to_string(s.packet_splits));
+    row("shuffle NOPs", std::to_string(s.shuffle_nops));
+    row("packets combined", std::to_string(s.packets_combined));
+  }
+  row("L1D hits", std::to_string(core.memory_hierarchy().l1d().hits()));
+  row("L1D misses", std::to_string(core.memory_hierarchy().l1d().misses()));
+  row("L2 misses", std::to_string(core.memory_hierarchy().l2().misses()));
+  row("detections", std::to_string(core.detections().size()));
+  std::cout << (csv ? t.to_csv() : t.to_text());
+
+  for (const DetectionEvent& d : core.detections()) {
+    std::cout << "DETECTED: " << detection_kind_name(d.kind) << " at cycle "
+              << d.cycle << " (pc " << d.pc << ", seq " << d.seq << ")\n";
+  }
+  if (core.oracle_violated()) {
+    std::cout << "ORACLE VIOLATION: " << core.oracle_violation_detail()
+              << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.has("help") || flags.has("h")) return usage();
+
+  if (flags.has("list")) {
+    std::cout << "workloads:";
+    for (const WorkloadProfile& p : spec2000_profiles()) {
+      std::cout << ' ' << p.name;
+    }
+    std::cout << "\nkernels: sum fib matmul chase memcopy branchy fpmix quicksort\n";
+    return 0;
+  }
+
+  try {
+    const Program program = select_program(flags);
+    const Mode mode = parse_mode(flags.get("mode", "blackjack"));
+
+    CoreParams params;
+    params.slack = static_cast<int>(flags.get_int("slack", params.slack));
+    if (flags.get_bool("combine-packets")) params.combine_packets = true;
+    if (flags.get_bool("no-serial-dispatch")) {
+      params.packet_serial_dispatch = false;
+    }
+    if (flags.get_bool("multi-packet-fetch")) {
+      params.one_packet_per_cycle = false;
+    }
+
+    FaultInjector injector;
+    if (flags.has("fault")) injector = parse_fault(flags.get("fault"));
+
+    if (flags.get_bool("diagnose")) {
+      if (!injector.fault().has_value()) {
+        throw std::runtime_error("--diagnose needs a hard --fault to localize");
+      }
+      const auto budget = static_cast<std::uint64_t>(
+          flags.get_int("instructions", 12000));
+      std::cout << "diagnosing: " << injector.fault()->describe() << "\n";
+      const DiagnosisResult r = diagnose_backend_fault(
+          program, mode, params, *injector.fault(), budget);
+      if (!r.baseline_detected) {
+        std::cout << "fault never detected on this workload — nothing to "
+                     "localize\n";
+        return 0;
+      }
+      for (const DiagnosisTrial& trial : r.trials) {
+        std::cout << "  disable " << fu_class_name(trial.fu) << " way "
+                  << trial.way << ": "
+                  << (trial.detected ? "still faulty" : "CLEAN") << '\n';
+      }
+      if (r.suspect.has_value()) {
+        std::cout << "SUSPECT: " << fu_class_name(r.suspect->first) << " way "
+                  << r.suspect->second << "\ndegraded-mode performance: "
+                  << 100.0 * r.degraded_performance << "% of healthy\n";
+      } else {
+        std::cout << "no unique backend suspect (frontend fault, or "
+                     "ambiguous within this budget)\n";
+      }
+      return 0;
+    }
+
+    Core core(program, mode, params, &injector);
+    if (flags.has("fault")) core.set_oracle_check(false);
+
+    std::ofstream trace_file;
+    if (flags.has("trace")) {
+      trace_file.open(flags.get("trace"));
+      if (!trace_file) {
+        throw std::runtime_error("cannot open trace file");
+      }
+      core.set_trace(&trace_file);
+    }
+
+    const auto warmup = static_cast<std::uint64_t>(
+        flags.get_int("warmup", sim_warmup_budget()));
+    const auto budget = static_cast<std::uint64_t>(
+        flags.get_int("instructions", sim_instruction_budget()));
+    for (const std::string& flag : flags.unused()) {
+      std::cerr << "warning: unused flag --" << flag << '\n';
+    }
+    const std::uint64_t max_cycles = (warmup + budget) * 64 + 400000;
+
+    core.run(warmup, max_cycles);
+    core.reset_stats();
+    const std::uint64_t before = core.cycle();
+    core.run(budget, max_cycles);
+
+    report(core, core.cycle() - before, flags.get_bool("csv"));
+    if (flags.get_bool("dump-state")) core.dump_state(std::cout);
+    return core.oracle_violated() ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return usage();
+  }
+}
