@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fault_injection"
+  "../bench/bench_fault_injection.pdb"
+  "CMakeFiles/bench_fault_injection.dir/bench_fault_injection.cc.o"
+  "CMakeFiles/bench_fault_injection.dir/bench_fault_injection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

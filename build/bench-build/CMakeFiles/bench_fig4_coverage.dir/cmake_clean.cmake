@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_coverage"
+  "../bench/bench_fig4_coverage.pdb"
+  "CMakeFiles/bench_fig4_coverage.dir/bench_fig4_coverage.cc.o"
+  "CMakeFiles/bench_fig4_coverage.dir/bench_fig4_coverage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_interference"
+  "../bench/bench_fig5_interference.pdb"
+  "CMakeFiles/bench_fig5_interference.dir/bench_fig5_interference.cc.o"
+  "CMakeFiles/bench_fig5_interference.dir/bench_fig5_interference.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

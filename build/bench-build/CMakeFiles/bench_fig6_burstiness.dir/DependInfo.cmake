@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_burstiness.cc" "bench-build/CMakeFiles/bench_fig6_burstiness.dir/bench_fig6_burstiness.cc.o" "gcc" "bench-build/CMakeFiles/bench_fig6_burstiness.dir/bench_fig6_burstiness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bj_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/bj_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bj_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/blackjack/CMakeFiles/bj_blackjack.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/bj_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/bj_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bj_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/bj_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/bj_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bj_arch.dir/emulator.cc.o"
+  "CMakeFiles/bj_arch.dir/emulator.cc.o.d"
+  "libbj_arch.a"
+  "libbj_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bj_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

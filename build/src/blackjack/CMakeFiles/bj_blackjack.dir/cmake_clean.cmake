@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bj_blackjack.dir/checker.cc.o"
+  "CMakeFiles/bj_blackjack.dir/checker.cc.o.d"
+  "CMakeFiles/bj_blackjack.dir/shuffle.cc.o"
+  "CMakeFiles/bj_blackjack.dir/shuffle.cc.o.d"
+  "libbj_blackjack.a"
+  "libbj_blackjack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bj_blackjack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

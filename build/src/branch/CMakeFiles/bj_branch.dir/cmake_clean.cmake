@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bj_branch.dir/predictor.cc.o"
+  "CMakeFiles/bj_branch.dir/predictor.cc.o.d"
+  "libbj_branch.a"
+  "libbj_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bj_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

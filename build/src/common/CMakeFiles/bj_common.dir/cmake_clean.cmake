@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bj_common.dir/env.cc.o"
+  "CMakeFiles/bj_common.dir/env.cc.o.d"
+  "CMakeFiles/bj_common.dir/flags.cc.o"
+  "CMakeFiles/bj_common.dir/flags.cc.o.d"
+  "CMakeFiles/bj_common.dir/table.cc.o"
+  "CMakeFiles/bj_common.dir/table.cc.o.d"
+  "libbj_common.a"
+  "libbj_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bj_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bj_common.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bj_fault.dir/fault_model.cc.o"
+  "CMakeFiles/bj_fault.dir/fault_model.cc.o.d"
+  "libbj_fault.a"
+  "libbj_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bj_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

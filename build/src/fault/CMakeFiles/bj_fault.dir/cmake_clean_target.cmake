@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbj_fault.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bj_harness.dir/campaign.cc.o"
+  "CMakeFiles/bj_harness.dir/campaign.cc.o.d"
+  "CMakeFiles/bj_harness.dir/diagnosis.cc.o"
+  "CMakeFiles/bj_harness.dir/diagnosis.cc.o.d"
+  "CMakeFiles/bj_harness.dir/driver.cc.o"
+  "CMakeFiles/bj_harness.dir/driver.cc.o.d"
+  "libbj_harness.a"
+  "libbj_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bj_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

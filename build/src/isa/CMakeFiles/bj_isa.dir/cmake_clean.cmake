@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bj_isa.dir/assembler.cc.o"
+  "CMakeFiles/bj_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/bj_isa.dir/builder.cc.o"
+  "CMakeFiles/bj_isa.dir/builder.cc.o.d"
+  "CMakeFiles/bj_isa.dir/exec.cc.o"
+  "CMakeFiles/bj_isa.dir/exec.cc.o.d"
+  "CMakeFiles/bj_isa.dir/instruction.cc.o"
+  "CMakeFiles/bj_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/bj_isa.dir/opcode.cc.o"
+  "CMakeFiles/bj_isa.dir/opcode.cc.o.d"
+  "libbj_isa.a"
+  "libbj_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bj_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

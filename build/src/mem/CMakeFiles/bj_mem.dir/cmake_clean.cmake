@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bj_mem.dir/cache.cc.o"
+  "CMakeFiles/bj_mem.dir/cache.cc.o.d"
+  "libbj_mem.a"
+  "libbj_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bj_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

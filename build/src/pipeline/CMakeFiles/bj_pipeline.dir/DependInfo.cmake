@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/core.cc" "src/pipeline/CMakeFiles/bj_pipeline.dir/core.cc.o" "gcc" "src/pipeline/CMakeFiles/bj_pipeline.dir/core.cc.o.d"
+  "/root/repo/src/pipeline/core_commit.cc" "src/pipeline/CMakeFiles/bj_pipeline.dir/core_commit.cc.o" "gcc" "src/pipeline/CMakeFiles/bj_pipeline.dir/core_commit.cc.o.d"
+  "/root/repo/src/pipeline/core_issue.cc" "src/pipeline/CMakeFiles/bj_pipeline.dir/core_issue.cc.o" "gcc" "src/pipeline/CMakeFiles/bj_pipeline.dir/core_issue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/bj_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/blackjack/CMakeFiles/bj_blackjack.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/bj_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/bj_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/bj_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bj_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bj_pipeline.dir/core.cc.o"
+  "CMakeFiles/bj_pipeline.dir/core.cc.o.d"
+  "CMakeFiles/bj_pipeline.dir/core_commit.cc.o"
+  "CMakeFiles/bj_pipeline.dir/core_commit.cc.o.d"
+  "CMakeFiles/bj_pipeline.dir/core_issue.cc.o"
+  "CMakeFiles/bj_pipeline.dir/core_issue.cc.o.d"
+  "libbj_pipeline.a"
+  "libbj_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bj_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

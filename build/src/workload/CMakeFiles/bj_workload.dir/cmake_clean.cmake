@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bj_workload.dir/generator.cc.o"
+  "CMakeFiles/bj_workload.dir/generator.cc.o.d"
+  "CMakeFiles/bj_workload.dir/microkernels.cc.o"
+  "CMakeFiles/bj_workload.dir/microkernels.cc.o.d"
+  "libbj_workload.a"
+  "libbj_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bj_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

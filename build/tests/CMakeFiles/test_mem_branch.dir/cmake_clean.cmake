@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_branch.dir/test_mem_branch.cc.o"
+  "CMakeFiles/test_mem_branch.dir/test_mem_branch.cc.o.d"
+  "test_mem_branch"
+  "test_mem_branch.pdb"
+  "test_mem_branch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_blackjack.dir/test_pipeline_blackjack.cc.o"
+  "CMakeFiles/test_pipeline_blackjack.dir/test_pipeline_blackjack.cc.o.d"
+  "test_pipeline_blackjack"
+  "test_pipeline_blackjack.pdb"
+  "test_pipeline_blackjack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_blackjack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_mechanics.dir/test_pipeline_mechanics.cc.o"
+  "CMakeFiles/test_pipeline_mechanics.dir/test_pipeline_mechanics.cc.o.d"
+  "test_pipeline_mechanics"
+  "test_pipeline_mechanics.pdb"
+  "test_pipeline_mechanics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_mechanics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

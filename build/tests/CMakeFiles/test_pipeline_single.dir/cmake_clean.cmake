@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_single.dir/test_pipeline_single.cc.o"
+  "CMakeFiles/test_pipeline_single.dir/test_pipeline_single.cc.o.d"
+  "test_pipeline_single"
+  "test_pipeline_single.pdb"
+  "test_pipeline_single[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_srt.dir/test_pipeline_srt.cc.o"
+  "CMakeFiles/test_pipeline_srt.dir/test_pipeline_srt.cc.o.d"
+  "test_pipeline_srt"
+  "test_pipeline_srt.pdb"
+  "test_pipeline_srt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_srt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_emulator[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_single[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_srt[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_blackjack[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_shuffle[1]_include.cmake")
+include("/root/repo/build/tests/test_structures[1]_include.cmake")
+include("/root/repo/build/tests/test_checker[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_branch[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_model[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_core_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_diagnosis[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_mechanics[1]_include.cmake")

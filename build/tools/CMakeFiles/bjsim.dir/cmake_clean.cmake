@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bjsim.dir/bjsim.cc.o"
+  "CMakeFiles/bjsim.dir/bjsim.cc.o.d"
+  "bjsim"
+  "bjsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bjsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
