@@ -4,11 +4,42 @@
 // cashes out here as: BlackJack detects activated faults before corrupted
 // data reaches memory; SRT misses or detects late far more often; the
 // single-threaded machine silently corrupts.
+//
+// Campaigns run on the parallel engine (worker pool + shared golden-trace
+// cache); BJ_JOBS selects the worker count (0 = one per hardware thread).
+// The final section re-runs one campaign with the legacy reference runner
+// (serial, one emulator replay per run) and reports the measured speedup.
+#include <chrono>
 #include <iostream>
 
 #include "bench_util.h"
 #include "common/table.h"
 #include "harness/campaign.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool identical_runs(const bj::CampaignResult& a, const bj::CampaignResult& b) {
+  if (a.runs.size() != b.runs.size()) return false;
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    const bj::FaultRun& x = a.runs[i];
+    const bj::FaultRun& y = b.runs[i];
+    if (x.outcome != y.outcome || x.activations != y.activations ||
+        x.detection_cycle != y.detection_cycle ||
+        x.detection_kind != y.detection_kind ||
+        x.corrupt_stores_released != y.corrupt_stores_released) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main() {
   using namespace bj;
@@ -17,15 +48,19 @@ int main() {
   const int faults = static_cast<int>(env_int("BJ_CAMPAIGN_FAULTS", 60));
   const auto budget =
       static_cast<std::uint64_t>(env_int("BJ_CAMPAIGN_COMMITS", 12000));
+  const int jobs = bench_jobs();
 
   std::cout << "=== Fault-injection campaign (extra experiment) ===\n"
             << faults << " stuck-at hard faults per workload, identical "
             << "fault sets across modes, " << budget
-            << " committed instructions per run.\n\n";
+            << " committed instructions per run, "
+            << resolve_jobs(jobs) << " jobs.\n\n";
 
   Table t({"workload", "mode", "activated", "detected", "detected-late",
            "sdc", "wedged", "benign", "mean detect cycle"});
 
+  double wall_total = 0.0;
+  double serial_total = 0.0;
   for (const char* name : {"gcc", "sixtrack"}) {
     WorkloadProfile profile = profile_by_name(name);
     const Program program = generate_workload(profile);
@@ -35,7 +70,13 @@ int main() {
       config.num_faults = faults;
       config.seed = 20070625;  // DSN 2007
       config.budget_commits = budget;
-      const CampaignResult result = run_campaign(program, config);
+      ParallelCampaignOptions options;
+      options.jobs = jobs;
+      CampaignStats stats;
+      const CampaignResult result =
+          run_campaign_parallel(program, config, options, &stats);
+      wall_total += stats.wall_seconds;
+      serial_total += stats.serial_estimate_seconds;
 
       int activated = 0;
       double latency_sum = 0;
@@ -67,6 +108,9 @@ int main() {
                "already reached memory; 'sdc' = silent data corruption. The "
                "single-threaded machine has no checks, so every activated "
                "architectural fault is an sdc.\n";
+  std::cout << "engine: wall " << wall_total << " s, est. serial "
+            << serial_total << " s, pool speedup "
+            << (wall_total > 0 ? serial_total / wall_total : 0.0) << "x\n";
   std::cout << "\ncsv:fault_injection\n" << t.to_csv();
 
   // --- soft errors: temporal redundancy suffices -----------------------------
@@ -84,7 +128,10 @@ int main() {
       config.seed = 20000512;  // ISCA 2000, the SRT paper
       config.budget_commits = budget;
       config.soft_errors = true;
-      const CampaignResult result = run_campaign(program, config);
+      ParallelCampaignOptions options;
+      options.jobs = jobs;
+      const CampaignResult result =
+          run_campaign_parallel(program, config, options);
       int activated = 0;
       for (const FaultRun& run : result.runs) activated += run.activations > 0;
       s.begin_row();
@@ -98,5 +145,39 @@ int main() {
     }
   }
   std::cout << s.to_text() << "\ncsv:soft_errors\n" << s.to_csv();
+
+  // --- engine vs legacy reference: correctness and speedup -------------------
+  std::cout << "\n=== Campaign engine vs serial reference ===\n"
+            << "Same gcc/blackjack campaign via the legacy serial runner "
+               "(one emulator replay per run) and via the worker pool with "
+               "the shared golden-trace cache.\n";
+  {
+    const Program program = generate_workload(profile_by_name("gcc"));
+    CampaignConfig config;
+    config.mode = Mode::kBlackjack;
+    config.num_faults = faults;
+    config.seed = 20070625;
+    config.budget_commits = budget;
+
+    const auto ref_start = Clock::now();
+    const CampaignResult reference = run_campaign_reference(program, config);
+    const double ref_seconds = seconds_since(ref_start);
+
+    ParallelCampaignOptions options;
+    options.jobs = jobs;
+    CampaignStats stats;
+    const auto par_start = Clock::now();
+    const CampaignResult parallel =
+        run_campaign_parallel(program, config, options, &stats);
+    const double par_seconds = seconds_since(par_start);
+
+    std::cout << "reference: " << ref_seconds << " s, engine: " << par_seconds
+              << " s with " << stats.jobs << " jobs ("
+              << stats.runs_per_second << " runs/s)\n"
+              << "bit-identical results: "
+              << (identical_runs(reference, parallel) ? "yes" : "NO")
+              << "\nspeedup: "
+              << (par_seconds > 0 ? ref_seconds / par_seconds : 0.0) << "x\n";
+  }
   return 0;
 }

@@ -18,8 +18,10 @@ int main() {
             << "SRT frontend coverage is 0% by construction, BlackJack's is "
                "100% by construction.\n\n";
 
-  const std::vector<SimResult> srt = run_all(Mode::kSrt);
-  const std::vector<SimResult> blackjack = run_all(Mode::kBlackjack);
+  SweepStats srt_stats, bj_stats;
+  const std::vector<SimResult> srt = run_all(Mode::kSrt, &srt_stats);
+  const std::vector<SimResult> blackjack =
+      run_all(Mode::kBlackjack, &bj_stats);
 
   Table a({"benchmark", "SRT total %", "BJ total %", "SRT fe %", "BJ fe %"});
   Table b({"benchmark", "SRT backend %", "BJ backend %"});
@@ -54,5 +56,12 @@ int main() {
   std::cout << "--- Figure 4a: entire pipeline ---\n" << a.to_text() << '\n';
   std::cout << "--- Figure 4b: backend only ---\n" << b.to_text() << '\n';
   std::cout << "csv:fig4a\n" << a.to_csv() << "csv:fig4b\n" << b.to_csv();
+
+  const double wall = srt_stats.wall_seconds + bj_stats.wall_seconds;
+  const double serial =
+      srt_stats.serial_estimate_seconds + bj_stats.serial_estimate_seconds;
+  std::cout << "\nharness parallelism: " << srt_stats.jobs << " jobs, wall "
+            << wall << " s, est. serial " << serial << " s, speedup "
+            << (wall > 0 ? serial / wall : 0.0) << "x\n";
   return 0;
 }

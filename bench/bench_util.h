@@ -4,12 +4,15 @@
 // next to the measured ones.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/env.h"
 #include "harness/driver.h"
+#include "harness/worker_pool.h"
 #include "workload/profile.h"
 
 namespace bj::bench {
@@ -22,11 +25,44 @@ inline SimRequest default_request(Mode mode) {
   return req;
 }
 
-// Runs every benchmark in `mode`; returns results in profile order.
-inline std::vector<SimResult> run_all(Mode mode) {
-  std::vector<SimResult> results;
-  for (const WorkloadProfile& profile : spec2000_profiles()) {
-    results.push_back(run_workload(profile, default_request(mode)));
+// Worker threads for the sweep helpers: BJ_JOBS, default one per hardware
+// thread.
+inline int bench_jobs() { return static_cast<int>(env_int("BJ_JOBS", 0)); }
+
+// Wall-clock accounting for a parallel sweep. serial_estimate_seconds is the
+// sum of the individual simulations' own durations — what the sweep would
+// have cost end-to-end on one worker.
+struct SweepStats {
+  int jobs = 1;
+  double wall_seconds = 0.0;
+  double serial_estimate_seconds = 0.0;
+  double speedup() const {
+    return wall_seconds > 0.0 ? serial_estimate_seconds / wall_seconds : 0.0;
+  }
+};
+
+// Runs every benchmark in `mode` across the harness worker pool; results are
+// keyed by profile index, so the output is identical to a serial sweep.
+inline std::vector<SimResult> run_all(Mode mode, SweepStats* stats = nullptr) {
+  using Clock = std::chrono::steady_clock;
+  const std::vector<WorkloadProfile>& profiles = spec2000_profiles();
+  std::vector<SimResult> results(profiles.size());
+  std::mutex mu;
+  double serial_estimate = 0.0;
+  const auto sweep_start = Clock::now();
+  parallel_for(bench_jobs(), profiles.size(), [&](std::size_t i) {
+    const auto run_start = Clock::now();
+    results[i] = run_workload(profiles[i], default_request(mode));
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - run_start).count();
+    std::lock_guard<std::mutex> lock(mu);
+    serial_estimate += seconds;
+  });
+  if (stats) {
+    stats->jobs = resolve_jobs(bench_jobs());
+    stats->wall_seconds =
+        std::chrono::duration<double>(Clock::now() - sweep_start).count();
+    stats->serial_estimate_seconds = serial_estimate;
   }
   return results;
 }

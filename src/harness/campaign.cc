@@ -1,9 +1,16 @@
 #include "harness/campaign.h"
 
 #include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
 
 #include "arch/emulator.h"
 #include "common/rng.h"
+#include "harness/golden_trace.h"
+#include "harness/worker_pool.h"
 
 namespace bj {
 
@@ -25,48 +32,56 @@ std::map<FaultOutcome, int> CampaignResult::totals() const {
 }
 
 int CampaignResult::count(FaultOutcome outcome) const {
-  int n = 0;
-  for (const FaultRun& run : runs) {
-    if (run.outcome == outcome) ++n;
-  }
-  return n;
+  const auto t = totals();
+  const auto it = t.find(outcome);
+  return it == t.end() ? 0 : it->second;
 }
 
-double CampaignResult::detection_rate_of_activated() const {
+namespace {
+
+// One pass over the activated runs, shared by every rate helper.
+struct ActivatedTally {
   int activated = 0;
   int detected = 0;
+  int corrupted = 0;
+  int sdc = 0;
+};
+
+ActivatedTally tally_activated(const std::vector<FaultRun>& runs) {
+  ActivatedTally t;
   for (const FaultRun& run : runs) {
     if (run.activations == 0) continue;
-    ++activated;
+    ++t.activated;
     if (run.outcome == FaultOutcome::kDetected ||
         run.outcome == FaultOutcome::kDetectedLate ||
         run.outcome == FaultOutcome::kWedged) {
-      ++detected;
+      ++t.detected;
     }
+    if (run.corrupt_stores_released > 0) ++t.corrupted;
+    if (run.outcome == FaultOutcome::kSdc) ++t.sdc;
   }
-  return activated ? static_cast<double>(detected) / activated : 0.0;
+  return t;
+}
+
+double rate(int numerator, int denominator) {
+  return denominator ? static_cast<double>(numerator) / denominator : 0.0;
+}
+
+}  // namespace
+
+double CampaignResult::detection_rate_of_activated() const {
+  const ActivatedTally t = tally_activated(runs);
+  return rate(t.detected, t.activated);
 }
 
 double CampaignResult::corruption_rate_of_activated() const {
-  int activated = 0;
-  int corrupted = 0;
-  for (const FaultRun& run : runs) {
-    if (run.activations == 0) continue;
-    ++activated;
-    if (run.corrupt_stores_released > 0) ++corrupted;
-  }
-  return activated ? static_cast<double>(corrupted) / activated : 0.0;
+  const ActivatedTally t = tally_activated(runs);
+  return rate(t.corrupted, t.activated);
 }
 
 double CampaignResult::sdc_rate_of_activated() const {
-  int activated = 0;
-  int sdc = 0;
-  for (const FaultRun& run : runs) {
-    if (run.activations == 0) continue;
-    ++activated;
-    if (run.outcome == FaultOutcome::kSdc) ++sdc;
-  }
-  return activated ? static_cast<double>(sdc) / activated : 0.0;
+  const ActivatedTally t = tally_activated(runs);
+  return rate(t.sdc, t.activated);
 }
 
 std::vector<HardFault> generate_faults(const CoreParams& params,
@@ -113,7 +128,8 @@ std::vector<HardFault> generate_faults(const CoreParams& params,
 namespace {
 
 // Golden store trace from the architectural emulator, long enough to cover
-// anything the faulty run may have released.
+// anything the faulty run may have released. Used only by the reference
+// implementation; the engine goes through GoldenTraceCache.
 std::vector<std::pair<std::uint64_t, std::uint64_t>> golden_stores(
     const Program& program, std::size_t min_count,
     std::uint64_t max_instructions) {
@@ -130,80 +146,226 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> golden_stores(
   return stores;
 }
 
+// The campaign's fault list, as (injector, bookkeeping label) pairs.
+void build_injectors(const CampaignConfig& config,
+                     std::vector<FaultInjector>* injectors,
+                     std::vector<HardFault>* labels) {
+  if (config.soft_errors) {
+    Rng rng(config.seed);
+    // Executions roughly track commits, and redundant modes execute every
+    // instruction twice — size the trigger window to the run's actual
+    // execution budget, not a fixed constant, or small-budget campaigns
+    // would place every trigger past the end of the run and misreport the
+    // whole campaign as benign.
+    const std::uint64_t exec_budget =
+        config.budget_commits * (mode_is_redundant(config.mode) ? 2 : 1);
+    // Skip the kernel's warm-up prologue (whose values are mostly dead) but
+    // stay clamped inside the run even when the budget is small.
+    const std::uint64_t warmup = std::min<std::uint64_t>(10000, exec_budget / 4);
+    for (int i = 0; i < config.num_faults; ++i) {
+      TransientFault t;
+      t.trigger_execution = warmup + rng.next_below(exec_budget - warmup);
+      t.bit = 3 + static_cast<int>(rng.next_below(40));
+      injectors->emplace_back(t);
+      HardFault label;  // campaign bookkeeping reuses the HardFault slot
+      label.bit = t.bit;
+      labels->push_back(label);
+    }
+  } else {
+    for (const HardFault& f : generate_faults(config.params, config.num_faults,
+                                              config.seed, config.sites)) {
+      injectors->emplace_back(f);
+      labels->push_back(f);
+    }
+  }
+}
+
+// Classification step caps, shared by every run of a campaign (the cache
+// relies on all callers passing the same cap).
+std::uint64_t golden_step_cap(const CampaignConfig& config) {
+  return config.budget_commits * 4 + 1000000;
+}
+
+// Runs one fault simulation and classifies its outcome against the golden
+// trace supplied by `golden_prefix` (a function so the serial reference and
+// the cached engine share this code verbatim).
+FaultRun execute_fault_run(
+    const Program& program, const CampaignConfig& config,
+    FaultInjector injector, const HardFault& label,
+    const std::function<std::vector<std::pair<std::uint64_t, std::uint64_t>>(
+        std::size_t)>& golden_prefix) {
+  Core core(program, config.mode, config.params, &injector);
+  core.set_oracle_check(false);
+  const std::uint64_t max_cycles =
+      config.budget_commits * 64 + config.params.watchdog_cycles * 4;
+  const RunOutcome outcome = core.run(config.budget_commits, max_cycles);
+
+  FaultRun run;
+  run.fault = label;
+  run.activations = injector.activations();
+
+  // Corruption analysis: did any wrong store reach memory?
+  const auto& released = core.released_stores();
+  const auto golden = golden_prefix(released.size());
+  for (std::size_t i = 0; i < released.size(); ++i) {
+    const bool wrong = i >= golden.size() ||
+                       released[i].addr != golden[i].first ||
+                       released[i].data != golden[i].second;
+    if (wrong) ++run.corrupt_stores_released;
+  }
+
+  if (!outcome.detections.empty()) {
+    const DetectionEvent& first = outcome.detections.front();
+    run.detection_cycle = first.cycle;
+    run.detection_kind = first.kind;
+    if (first.kind == DetectionKind::kWatchdogTimeout) {
+      run.outcome = FaultOutcome::kWedged;
+    } else {
+      run.outcome = run.corrupt_stores_released == 0
+                        ? FaultOutcome::kDetected
+                        : FaultOutcome::kDetectedLate;
+    }
+  } else {
+    run.outcome = run.corrupt_stores_released > 0 ? FaultOutcome::kSdc
+                                                  : FaultOutcome::kBenign;
+  }
+  return run;
+}
+
+void write_jsonl_record(std::ostream& os, const CampaignResult& result,
+                        std::size_t index, const FaultRun& run,
+                        const CampaignConfig& config, double run_seconds) {
+  os << "{\"index\":" << index << ",\"workload\":\"" << result.workload
+     << "\",\"mode\":\"" << mode_name(result.mode) << "\",\"fault\":\""
+     << (config.soft_errors ? "transient bit " + std::to_string(run.fault.bit)
+                            : run.fault.describe())
+     << "\",\"outcome\":\"" << fault_outcome_name(run.outcome)
+     << "\",\"activations\":" << run.activations
+     << ",\"corrupt_stores\":" << run.corrupt_stores_released;
+  if (run.outcome == FaultOutcome::kDetected ||
+      run.outcome == FaultOutcome::kDetectedLate ||
+      run.outcome == FaultOutcome::kWedged) {
+    os << ",\"detection_kind\":\"" << detection_kind_name(run.detection_kind)
+       << "\",\"detection_cycle\":" << run.detection_cycle;
+  }
+  os << ",\"seconds\":" << run_seconds << "}\n";
+}
+
 }  // namespace
 
-CampaignResult run_campaign(const Program& program,
-                            const CampaignConfig& config) {
+CampaignResult run_campaign_parallel(const Program& program,
+                                     const CampaignConfig& config,
+                                     const ParallelCampaignOptions& options,
+                                     CampaignStats* stats) {
+  using Clock = std::chrono::steady_clock;
+
   CampaignResult result;
   result.workload = program.name;
   result.mode = config.mode;
 
   std::vector<FaultInjector> injectors;
-  std::vector<HardFault> fault_labels;
-  if (config.soft_errors) {
-    Rng rng(config.seed);
-    for (int i = 0; i < config.num_faults; ++i) {
-      TransientFault t;
-      // Trigger somewhere inside the run, past typical kernel warm-up
-      // prologues (executions roughly track commits; redundant modes
-      // execute each instruction twice).
-      t.trigger_execution = 10000 + rng.next_below(config.budget_commits);
-      t.bit = 3 + static_cast<int>(rng.next_below(40));
-      injectors.emplace_back(t);
-      HardFault label;  // campaign bookkeeping reuses the HardFault slot
-      label.bit = t.bit;
-      fault_labels.push_back(label);
-    }
-  } else {
-    for (const HardFault& f : generate_faults(config.params, config.num_faults,
-                                              config.seed, config.sites)) {
-      injectors.emplace_back(f);
-      fault_labels.push_back(f);
-    }
-  }
+  std::vector<HardFault> labels;
+  build_injectors(config, &injectors, &labels);
+  result.runs.resize(injectors.size());
 
-  for (std::size_t fi = 0; fi < injectors.size(); ++fi) {
-    FaultInjector injector = injectors[fi];
-    const HardFault& fault = fault_labels[fi];
-    Core core(program, config.mode, config.params, &injector);
-    core.set_oracle_check(false);
-    const std::uint64_t max_cycles =
-        config.budget_commits * 64 + config.params.watchdog_cycles * 4;
-    const RunOutcome outcome = core.run(config.budget_commits, max_cycles);
+  GoldenTraceCache cache(program);
+  const std::uint64_t step_cap = golden_step_cap(config);
 
-    FaultRun run;
-    run.fault = fault;
-    run.activations = injector.activations();
+  // Serializes everything that is not a worker-private simulation: the
+  // completed-run counter, histogram, JSONL sink, and progress callback.
+  std::mutex report_mu;
+  CampaignProgress progress;
+  progress.total = static_cast<int>(injectors.size());
+  double serial_estimate = 0.0;
+  const auto campaign_start = Clock::now();
 
-    // Corruption analysis: did any wrong store reach memory?
-    const auto& released = core.released_stores();
-    const auto golden = golden_stores(program, released.size(),
-                                      config.budget_commits * 4 + 1000000);
-    for (std::size_t i = 0; i < released.size(); ++i) {
-      const bool wrong = i >= golden.size() ||
-                         released[i].addr != golden[i].first ||
-                         released[i].data != golden[i].second;
-      if (wrong) ++run.corrupt_stores_released;
-    }
+  parallel_for(
+      options.jobs, injectors.size(), [&](std::size_t i) {
+        const auto run_start = Clock::now();
+        // Each worker owns its injector copy and Core; the golden cache is
+        // the only cross-run state and synchronizes internally.
+        const FaultRun run = execute_fault_run(
+            program, config, injectors[i], labels[i],
+            [&](std::size_t min_count) {
+              return cache.prefix(min_count, step_cap);
+            });
+        const double run_seconds =
+            std::chrono::duration<double>(Clock::now() - run_start).count();
+        result.runs[i] = run;
 
-    if (!outcome.detections.empty()) {
-      const DetectionEvent& first = outcome.detections.front();
-      run.detection_cycle = first.cycle;
-      run.detection_kind = first.kind;
-      if (first.kind == DetectionKind::kWatchdogTimeout) {
-        run.outcome = FaultOutcome::kWedged;
-      } else {
-        run.outcome = run.corrupt_stores_released == 0
-                          ? FaultOutcome::kDetected
-                          : FaultOutcome::kDetectedLate;
-      }
-    } else {
-      run.outcome = run.corrupt_stores_released > 0 ? FaultOutcome::kSdc
-                                                    : FaultOutcome::kBenign;
-    }
-    result.runs.push_back(run);
+        std::lock_guard<std::mutex> lock(report_mu);
+        serial_estimate += run_seconds;
+        ++progress.completed;
+        ++progress.histogram[run.outcome];
+        progress.elapsed_seconds =
+            std::chrono::duration<double>(Clock::now() - campaign_start)
+                .count();
+        progress.eta_seconds =
+            progress.completed > 0
+                ? progress.elapsed_seconds / progress.completed *
+                      (progress.total - progress.completed)
+                : 0.0;
+        if (options.jsonl) {
+          write_jsonl_record(*options.jsonl, result, i, run, config,
+                             run_seconds);
+        }
+        if (options.progress) options.progress(progress);
+      });
+
+  if (stats) {
+    stats->jobs = resolve_jobs(options.jobs);
+    stats->wall_seconds =
+        std::chrono::duration<double>(Clock::now() - campaign_start).count();
+    stats->serial_estimate_seconds = serial_estimate;
+    stats->runs_per_second =
+        stats->wall_seconds > 0.0
+            ? static_cast<double>(result.runs.size()) / stats->wall_seconds
+            : 0.0;
   }
   return result;
+}
+
+CampaignResult run_campaign(const Program& program,
+                            const CampaignConfig& config) {
+  ParallelCampaignOptions serial;
+  serial.jobs = 1;
+  return run_campaign_parallel(program, config, serial);
+}
+
+CampaignResult run_campaign_reference(const Program& program,
+                                      const CampaignConfig& config) {
+  CampaignResult result;
+  result.workload = program.name;
+  result.mode = config.mode;
+
+  std::vector<FaultInjector> injectors;
+  std::vector<HardFault> labels;
+  build_injectors(config, &injectors, &labels);
+
+  for (std::size_t fi = 0; fi < injectors.size(); ++fi) {
+    result.runs.push_back(execute_fault_run(
+        program, config, injectors[fi], labels[fi], [&](std::size_t n) {
+          return golden_stores(program, n, golden_step_cap(config));
+        }));
+  }
+  return result;
+}
+
+std::function<void(const CampaignProgress&)> stderr_campaign_progress(
+    const std::string& label) {
+  return [label](const CampaignProgress& p) {
+    // Redraw a single status line; finish it with a newline on the last run.
+    std::cerr << '\r' << label << ": " << p.completed << '/' << p.total;
+    if (p.completed < p.total && p.eta_seconds > 0.0) {
+      std::cerr << " (eta " << static_cast<int>(p.eta_seconds + 0.5) << "s)";
+    }
+    for (const auto& [outcome, n] : p.histogram) {
+      std::cerr << ' ' << fault_outcome_name(outcome) << '=' << n;
+    }
+    std::cerr << "   ";
+    if (p.completed == p.total) std::cerr << '\n';
+    std::cerr.flush();
+  };
 }
 
 }  // namespace bj

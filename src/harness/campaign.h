@@ -2,9 +2,21 @@
 // each run's outcome. This is the end-to-end validation of the coverage
 // numbers — a fault whose instruction pairs were spatially diverse must be
 // DETECTED by one of the checks, never silently corrupt data.
+//
+// Campaigns come in three flavours sharing one per-run classifier:
+//   run_campaign_parallel — the engine: a fixed-size worker pool executes
+//       independent fault runs concurrently, classifies them against a
+//       shared golden store-trace cache, and streams observability records.
+//   run_campaign           — the serial entry point (parallel engine pinned
+//       to one job); bit-identical to any jobs count.
+//   run_campaign_reference — the original single-threaded implementation
+//       that replays the emulator for every run; kept as ground truth for
+//       determinism tests and as the speedup baseline.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -64,13 +76,65 @@ struct CampaignResult {
   double sdc_rate_of_activated() const;
 };
 
+// Snapshot handed to the progress callback after each completed run.
+struct CampaignProgress {
+  int completed = 0;
+  int total = 0;
+  double elapsed_seconds = 0.0;
+  double eta_seconds = 0.0;  // 0 when no estimate yet
+  std::map<FaultOutcome, int> histogram;
+};
+
+// Wall-clock / throughput accounting for one campaign invocation.
+struct CampaignStats {
+  int jobs = 1;
+  double wall_seconds = 0.0;
+  // Sum of the individual runs' execution times — what the same work would
+  // have cost end-to-end on one worker.
+  double serial_estimate_seconds = 0.0;
+  double runs_per_second = 0.0;
+  double speedup() const {
+    return wall_seconds > 0.0 ? serial_estimate_seconds / wall_seconds : 0.0;
+  }
+};
+
+struct ParallelCampaignOptions {
+  int jobs = 0;  // worker threads; 0 = one per hardware thread
+  // When set, one JSON record per completed run is appended (JSONL). Writes
+  // are serialized by the engine; completion order is scheduling-dependent,
+  // so records carry their fault index.
+  std::ostream* jsonl = nullptr;
+  // Called (serialized) after every completed run.
+  std::function<void(const CampaignProgress&)> progress;
+};
+
 // Generates a deterministic set of fault sites (shared across modes so SRT
 // and BlackJack face the *same* faults) and runs the campaign.
 std::vector<HardFault> generate_faults(const CoreParams& params,
                                        int num_faults, std::uint64_t seed,
                                        const std::vector<FaultSite>& sites);
 
+// The parallel campaign engine. Results are written into a pre-sized vector
+// keyed by fault index, so `CampaignResult` is bit-identical for every jobs
+// count (including the serial wrappers below) regardless of scheduling.
+CampaignResult run_campaign_parallel(const Program& program,
+                                     const CampaignConfig& config,
+                                     const ParallelCampaignOptions& options = {},
+                                     CampaignStats* stats = nullptr);
+
+// Serial convenience wrapper: the engine pinned to one worker, run inline.
 CampaignResult run_campaign(const Program& program,
                             const CampaignConfig& config);
+
+// Reference implementation predating the worker pool and the golden-trace
+// cache: one thread, one emulator replay per run. Ground truth for the
+// determinism tests and the honest baseline for speedup measurements.
+CampaignResult run_campaign_reference(const Program& program,
+                                      const CampaignConfig& config);
+
+// A ready-made progress callback: single-line n/total + ETA + outcome
+// histogram on stderr, prefixed with `label`.
+std::function<void(const CampaignProgress&)> stderr_campaign_progress(
+    const std::string& label);
 
 }  // namespace bj

@@ -1,6 +1,7 @@
 #include "harness/diagnosis.h"
 
-#include "arch/emulator.h"
+#include "harness/golden_trace.h"
+#include "harness/worker_pool.h"
 
 namespace bj {
 namespace {
@@ -15,24 +16,11 @@ enum class TrialOutcome {
 
 // The known-answer reference. In the field this corresponds to a stored
 // self-test with precomputed answers (testers are not available, but test
-// vectors are); in the simulator the architectural emulator supplies it.
-std::vector<std::pair<std::uint64_t, std::uint64_t>> golden_stores(
-    const Program& program, std::size_t count, std::uint64_t max_steps) {
-  Emulator emu(program);
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> stores;
-  std::uint64_t steps = 0;
-  while (stores.size() < count && steps < max_steps && !emu.halted()) {
-    const auto rec = emu.step();
-    if (!rec.has_value()) break;
-    ++steps;
-    if (rec->store.has_value()) stores.push_back(*rec->store);
-  }
-  return stores;
-}
-
+// vectors are); in the simulator the architectural emulator supplies it,
+// computed once per diagnosis and shared by every trial through the cache.
 TrialOutcome run_trial(const Program& program, Mode mode,
                        const CoreParams& params, const HardFault& fault,
-                       std::uint64_t budget) {
+                       std::uint64_t budget, GoldenTraceCache& golden_cache) {
   FaultInjector injector(fault);
   Core core(program, mode, params, &injector);
   core.set_oracle_check(false);
@@ -42,7 +30,7 @@ TrialOutcome run_trial(const Program& program, Mode mode,
 
   const auto& released = core.released_stores();
   const auto golden =
-      golden_stores(program, released.size(), budget * 4 + 1000000);
+      golden_cache.prefix(released.size(), budget * 4 + 1000000);
   for (std::size_t i = 0; i < released.size(); ++i) {
     if (i >= golden.size() || released[i].addr != golden[i].first ||
         released[i].data != golden[i].second) {
@@ -66,14 +54,17 @@ std::uint64_t run_cycles(const Program& program, Mode mode,
 DiagnosisResult diagnose_backend_fault(const Program& program, Mode mode,
                                        const CoreParams& params,
                                        const HardFault& fault,
-                                       std::uint64_t budget_commits) {
+                                       std::uint64_t budget_commits,
+                                       int jobs) {
   DiagnosisResult result;
+  GoldenTraceCache golden_cache(program);
   result.baseline_detected =
-      run_trial(program, mode, params, fault, budget_commits) !=
+      run_trial(program, mode, params, fault, budget_commits, golden_cache) !=
       TrialOutcome::kClean;
   if (!result.baseline_detected) return result;  // nothing to localize
 
-  std::vector<std::pair<FuClass, int>> fixed;
+  // Enumerate the deconfigurable ways up front so the trials can fan out
+  // over the worker pool; each trial writes its slot by index.
   for (int c = 0; c < kNumFuClasses; ++c) {
     const auto cls = static_cast<FuClass>(c);
     const int ways = params.fu_count(cls);
@@ -82,18 +73,26 @@ DiagnosisResult diagnose_backend_fault(const Program& program, Mode mode,
     // every class has at least two ways.
     if (ways < 2) continue;
     for (int w = 0; w < ways; ++w) {
-      CoreParams trial_params = params;
-      trial_params.disabled_backend_ways[static_cast<std::size_t>(c)] |=
-          1u << static_cast<unsigned>(w);
       DiagnosisTrial trial;
       trial.fu = cls;
       trial.way = w;
-      const TrialOutcome outcome =
-          run_trial(program, mode, trial_params, fault, budget_commits);
-      trial.detected = outcome != TrialOutcome::kClean;
-      if (outcome == TrialOutcome::kClean) fixed.emplace_back(cls, w);
       result.trials.push_back(trial);
     }
+  }
+
+  parallel_for(jobs, result.trials.size(), [&](std::size_t i) {
+    DiagnosisTrial& trial = result.trials[i];
+    CoreParams trial_params = params;
+    trial_params.disabled_backend_ways[static_cast<std::size_t>(trial.fu)] |=
+        1u << static_cast<unsigned>(trial.way);
+    const TrialOutcome outcome = run_trial(program, mode, trial_params, fault,
+                                           budget_commits, golden_cache);
+    trial.detected = outcome != TrialOutcome::kClean;
+  });
+
+  std::vector<std::pair<FuClass, int>> fixed;
+  for (const DiagnosisTrial& trial : result.trials) {
+    if (!trial.detected) fixed.emplace_back(trial.fu, trial.way);
   }
 
   if (fixed.size() == 1) {

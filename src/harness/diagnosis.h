@@ -42,9 +42,16 @@ struct DiagnosisResult {
 // run per backend way with that way disabled. `budget_commits` bounds each
 // trial. The injector's fault is the ground truth being localized; the
 // diagnosis itself never looks at it.
+//
+// Deconfiguration trials are independent simulations, so they fan out over
+// the harness worker pool: `jobs` threads (0 = one per hardware thread,
+// 1 = serial). The known-answer store trace is shared through one
+// GoldenTraceCache, and trials land in `DiagnosisResult::trials` by index,
+// so the result is identical for every jobs count.
 DiagnosisResult diagnose_backend_fault(const Program& program, Mode mode,
                                        const CoreParams& params,
                                        const HardFault& fault,
-                                       std::uint64_t budget_commits);
+                                       std::uint64_t budget_commits,
+                                       int jobs = 1);
 
 }  // namespace bj

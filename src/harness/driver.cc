@@ -72,11 +72,16 @@ AggregateResult run_workload_seeds(const WorkloadProfile& profile,
   agg.workload = profile.name;
   agg.mode = request.mode;
   agg.seeds = seeds;
+  // Seed 0 means "derive from the name"; an explicit nonzero seed is the
+  // profile's effective seed and must anchor the perturbation, not be
+  // silently replaced by the name hash.
+  const std::uint64_t base_seed =
+      profile.seed != 0 ? profile.seed : hash_name(profile.name);
   for (int i = 0; i < seeds; ++i) {
     WorkloadProfile variant = profile;
-    // Seed 0 means "derive from the name"; keep the canonical instance as
-    // the first sample and perturb deterministically afterwards.
-    if (i > 0) variant.seed = hash_name(profile.name) + static_cast<std::uint64_t>(i);
+    // Keep the canonical instance as the first sample and perturb
+    // deterministically afterwards.
+    if (i > 0) variant.seed = base_seed + static_cast<std::uint64_t>(i);
     const SimResult r = run_workload(variant, request);
     agg.ipc.add(r.ipc);
     agg.coverage_total.add(r.coverage_total);

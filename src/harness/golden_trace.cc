@@ -1,0 +1,24 @@
+#include "harness/golden_trace.h"
+
+namespace bj {
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> GoldenTraceCache::prefix(
+    std::size_t min_count, std::uint64_t max_instructions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (stores_.size() < min_count && steps_ < max_instructions &&
+         !emu_.halted()) {
+    const auto rec = emu_.step();
+    if (!rec.has_value()) break;
+    ++steps_;
+    if (rec->store.has_value()) stores_.push_back(*rec->store);
+  }
+  const std::size_t n = std::min(min_count, stores_.size());
+  return {stores_.begin(), stores_.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+std::uint64_t GoldenTraceCache::steps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return steps_;
+}
+
+}  // namespace bj

@@ -1,0 +1,52 @@
+// Shared golden store-trace cache. Classifying a fault run as corrupt vs
+// benign requires the fault-free store trace of the same program; computing
+// it used to mean replaying the architectural emulator once per fault run.
+// Every run in a campaign replays the *same prefix* of the same program, so
+// one cache per Program suffices: a single emulator instance is advanced
+// lazily, under a lock, exactly as far as the longest prefix any run has
+// asked for, and never re-executes an instruction.
+//
+// Thread safety: all state (emulator, store vector, step count) is guarded
+// by one mutex; `prefix()` returns a copy taken under the lock so callers
+// never observe the vector mid-growth. Growth is monotonic and the emulator
+// is deterministic, so the first k stores handed to any caller are identical
+// regardless of which run triggered the growth — this is what makes the
+// parallel campaign bit-identical to the serial one.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "arch/emulator.h"
+#include "isa/program.h"
+
+namespace bj {
+
+class GoldenTraceCache {
+ public:
+  explicit GoldenTraceCache(const Program& program) : emu_(program) {}
+
+  GoldenTraceCache(const GoldenTraceCache&) = delete;
+  GoldenTraceCache& operator=(const GoldenTraceCache&) = delete;
+
+  // Returns the first `min_count` golden (addr, data) store pairs — fewer if
+  // the program halts or the cumulative step cap `max_instructions` is
+  // reached first. The cap bounds total emulator work for endless programs;
+  // callers within one campaign must pass the same cap so every run sees the
+  // same trace a fresh capped emulator would have produced.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> prefix(
+      std::size_t min_count, std::uint64_t max_instructions);
+
+  // Emulator instructions retired so far (for throughput reporting).
+  std::uint64_t steps() const;
+
+ private:
+  mutable std::mutex mu_;
+  Emulator emu_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> stores_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace bj

@@ -1,0 +1,57 @@
+#include "harness/worker_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bj {
+
+int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallel_for(int jobs, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const int workers = resolve_jobs(jobs);
+  if (workers <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::mutex queue_mu;
+  std::size_t next = 0;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i;
+      {
+        std::lock_guard<std::mutex> lock(queue_mu);
+        if (next >= count || first_error) return;
+        i = next++;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(queue_mu);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const std::size_t spawned =
+      std::min(static_cast<std::size_t>(workers), count);
+  pool.reserve(spawned);
+  for (std::size_t t = 0; t < spawned; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace bj

@@ -1,0 +1,30 @@
+// Fixed-size worker pool for the harness layer. Campaigns, deconfiguration
+// sweeps, and workload sweeps all consist of fully independent simulations
+// (each worker builds its own Core and FaultInjector), so the only shared
+// state is the work queue itself — a mutex-guarded index counter — plus
+// whatever the caller synchronizes in its own callback.
+//
+// Determinism contract: `parallel_for` partitions work dynamically, so the
+// *order* in which items execute depends on scheduling; callers that need
+// reproducible output must key results by item index (pre-sized vectors),
+// never by completion order. With jobs <= 1 everything runs inline on the
+// calling thread with no threads spawned.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace bj {
+
+// Resolves a jobs request: 0 means "one per hardware thread", anything else
+// is clamped to at least 1.
+int resolve_jobs(int jobs);
+
+// Runs fn(i) for every i in [0, count), distributing indices across
+// `resolve_jobs(jobs)` worker threads pulling from a shared queue. Blocks
+// until every item has run. If any fn throws, the first exception is
+// rethrown on the calling thread after all workers have drained.
+void parallel_for(int jobs, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace bj

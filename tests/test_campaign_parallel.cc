@@ -1,0 +1,225 @@
+// Tests for the parallel campaign engine: the worker pool, the golden
+// store-trace cache, and the observability layer. The engine's contract is
+// that a campaign's result is a pure function of (program, config) — the
+// jobs count and scheduling order must never show through. These tests are
+// also the payload of the tier-2 ThreadSanitizer run (see tests/CMakeLists).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "harness/campaign.h"
+#include "harness/diagnosis.h"
+#include "harness/worker_pool.h"
+#include "workload/profile.h"
+
+namespace bj {
+namespace {
+
+Program campaign_program() {
+  WorkloadProfile p = profile_by_name("eon");
+  p.iterations = 0;  // endless; the commit budget bounds each run
+  return generate_workload(p);
+}
+
+void expect_same_runs(const CampaignResult& a, const CampaignResult& b,
+                      const char* what) {
+  ASSERT_EQ(a.runs.size(), b.runs.size()) << what;
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    const FaultRun& x = a.runs[i];
+    const FaultRun& y = b.runs[i];
+    EXPECT_EQ(x.fault.describe(), y.fault.describe()) << what << " run " << i;
+    EXPECT_EQ(x.outcome, y.outcome) << what << " run " << i;
+    EXPECT_EQ(x.activations, y.activations) << what << " run " << i;
+    EXPECT_EQ(x.detection_cycle, y.detection_cycle) << what << " run " << i;
+    EXPECT_EQ(x.detection_kind, y.detection_kind) << what << " run " << i;
+    EXPECT_EQ(x.corrupt_stores_released, y.corrupt_stores_released)
+        << what << " run " << i;
+  }
+}
+
+CampaignConfig hard_config() {
+  CampaignConfig config;
+  config.mode = Mode::kBlackjack;
+  config.num_faults = 12;
+  config.seed = 90125;
+  config.budget_commits = 3000;
+  config.sites = {FaultSite::kFrontendDecoder, FaultSite::kBackendResult};
+  return config;
+}
+
+CampaignConfig soft_config() {
+  CampaignConfig config;
+  config.mode = Mode::kSrt;
+  config.num_faults = 10;
+  config.seed = 555;
+  config.budget_commits = 3000;
+  config.soft_errors = true;
+  return config;
+}
+
+TEST(CampaignParallel, HardFaultRunsAreIdenticalAcrossJobCounts) {
+  const Program p = campaign_program();
+  const CampaignConfig config = hard_config();
+
+  const CampaignResult reference = run_campaign_reference(p, config);
+  const CampaignResult serial = run_campaign(p, config);
+  ParallelCampaignOptions four;
+  four.jobs = 4;
+  const CampaignResult parallel = run_campaign_parallel(p, config, four);
+
+  // The cache must not change classification relative to the per-run
+  // emulator replay, and the jobs count must not change anything at all.
+  expect_same_runs(reference, serial, "reference vs serial");
+  expect_same_runs(serial, parallel, "jobs=1 vs jobs=4");
+
+  // The comparison is only meaningful if the campaign exercised faults.
+  int activated = 0;
+  for (const FaultRun& run : parallel.runs) activated += run.activations > 0;
+  EXPECT_GT(activated, 3);
+}
+
+TEST(CampaignParallel, SoftErrorRunsAreIdenticalAcrossJobCounts) {
+  const Program p = campaign_program();
+  const CampaignConfig config = soft_config();
+
+  const CampaignResult reference = run_campaign_reference(p, config);
+  const CampaignResult serial = run_campaign(p, config);
+  ParallelCampaignOptions four;
+  four.jobs = 4;
+  const CampaignResult parallel = run_campaign_parallel(p, config, four);
+
+  expect_same_runs(reference, serial, "reference vs serial (soft)");
+  expect_same_runs(serial, parallel, "jobs=1 vs jobs=4 (soft)");
+}
+
+TEST(CampaignParallel, SmallBudgetSoftCampaignStillActivates) {
+  // Regression: the transient trigger used to be drawn from
+  // 10000 + [0, budget_commits), so with a small budget every trigger fell
+  // past the end of the run and the campaign reported nothing but benign
+  // runs. The trigger window now scales with the mode's execution budget
+  // and is clamped inside the run.
+  const Program p = campaign_program();
+  CampaignConfig config;
+  config.num_faults = 8;
+  config.seed = 20070625;
+  config.budget_commits = 4000;  // well below the old fixed 10000 offset
+  config.soft_errors = true;
+
+  for (Mode mode : {Mode::kSingle, Mode::kSrt, Mode::kBlackjack}) {
+    config.mode = mode;
+    const CampaignResult result = run_campaign(p, config);
+    std::uint64_t activations = 0;
+    for (const FaultRun& run : result.runs) activations += run.activations;
+    EXPECT_GT(activations, 0u)
+        << mode_name(mode)
+        << ": every trigger should land inside the run window";
+  }
+}
+
+TEST(CampaignParallel, CountAgreesWithTotals) {
+  const Program p = campaign_program();
+  const CampaignResult result = run_campaign(p, hard_config());
+  const auto totals = result.totals();
+  int sum = 0;
+  for (FaultOutcome outcome :
+       {FaultOutcome::kDetected, FaultOutcome::kDetectedLate,
+        FaultOutcome::kWedged, FaultOutcome::kSdc, FaultOutcome::kBenign}) {
+    const auto it = totals.find(outcome);
+    EXPECT_EQ(result.count(outcome), it == totals.end() ? 0 : it->second);
+    sum += result.count(outcome);
+  }
+  EXPECT_EQ(sum, static_cast<int>(result.runs.size()));
+}
+
+TEST(CampaignParallel, ObservabilityStreamsRecordsAndProgress) {
+  const Program p = campaign_program();
+  const CampaignConfig config = soft_config();
+
+  std::ostringstream jsonl;
+  std::atomic<int> calls{0};
+  int last_completed = 0;
+  ParallelCampaignOptions options;
+  options.jobs = 2;
+  options.jsonl = &jsonl;
+  options.progress = [&](const CampaignProgress& progress) {
+    ++calls;
+    last_completed = progress.completed;  // serialized by the engine
+    EXPECT_EQ(progress.total, config.num_faults);
+    EXPECT_GE(progress.elapsed_seconds, 0.0);
+  };
+  CampaignStats stats;
+  const CampaignResult result =
+      run_campaign_parallel(p, config, options, &stats);
+
+  EXPECT_EQ(calls.load(), config.num_faults);
+  EXPECT_EQ(last_completed, config.num_faults);
+  EXPECT_EQ(result.runs.size(), static_cast<std::size_t>(config.num_faults));
+
+  // One JSON record per run, each with the core fields.
+  int lines = 0;
+  std::string line;
+  std::istringstream in(jsonl.str());
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"outcome\":"), std::string::npos);
+    EXPECT_NE(line.find("\"index\":"), std::string::npos);
+    EXPECT_NE(line.find("\"workload\":\"eon\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, config.num_faults);
+
+  EXPECT_EQ(stats.jobs, 2);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.serial_estimate_seconds, 0.0);
+  EXPECT_GT(stats.runs_per_second, 0.0);
+}
+
+TEST(CampaignParallel, DiagnosisIsIdenticalAcrossJobCounts) {
+  const Program p = campaign_program();
+  HardFault fault;
+  fault.site = FaultSite::kBackendResult;
+  fault.fu = FuClass::kIntAlu;
+  fault.backend_way = 2;
+  fault.bit = 3;
+
+  const DiagnosisResult serial =
+      diagnose_backend_fault(p, Mode::kBlackjack, CoreParams{}, fault, 4000, 1);
+  const DiagnosisResult parallel =
+      diagnose_backend_fault(p, Mode::kBlackjack, CoreParams{}, fault, 4000, 4);
+
+  EXPECT_EQ(serial.baseline_detected, parallel.baseline_detected);
+  ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+  for (std::size_t i = 0; i < serial.trials.size(); ++i) {
+    EXPECT_EQ(serial.trials[i].fu, parallel.trials[i].fu);
+    EXPECT_EQ(serial.trials[i].way, parallel.trials[i].way);
+    EXPECT_EQ(serial.trials[i].detected, parallel.trials[i].detected);
+  }
+  EXPECT_EQ(serial.suspect.has_value(), parallel.suspect.has_value());
+  if (serial.suspect && parallel.suspect) {
+    EXPECT_EQ(*serial.suspect, *parallel.suspect);
+  }
+}
+
+TEST(WorkerPool, CoversEveryIndexExactlyOnceAndPropagatesErrors) {
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  parallel_for(4, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+
+  EXPECT_EQ(resolve_jobs(3), 3);
+  EXPECT_GE(resolve_jobs(0), 1);
+
+  EXPECT_THROW(
+      parallel_for(4, 64,
+                   [&](std::size_t i) {
+                     if (i == 40) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bj

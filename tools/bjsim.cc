@@ -10,6 +10,8 @@
 //   bjsim --workload gzip --mode blackjack \
 //         --fault backend:fu=int-alu,way=2,bit=3
 //   bjsim --kernel fib --mode blackjack --fault decoder:way=1,bit=16
+//   bjsim --workload gcc --mode blackjack --campaign 200 --jobs 8
+//         --json runs.jsonl
 //   bjsim --list
 #include <fstream>
 #include <iostream>
@@ -19,6 +21,7 @@
 #include "common/env.h"
 #include "common/flags.h"
 #include "common/table.h"
+#include "harness/campaign.h"
 #include "harness/diagnosis.h"
 #include "isa/assembler.h"
 #include "pipeline/core.h"
@@ -48,6 +51,16 @@ int usage() {
   --dump-state          dump machine state at the end of the run
   --diagnose            after a backend fault is detected, localize it by
                         deconfiguration and report the degraded-mode cost
+  --campaign N          run an N-fault injection campaign on the selected
+                        program/mode (uses --instructions as the per-run
+                        commit budget, default 12000) and print the outcome
+                        summary with wall-clock/throughput stats
+  --soft-errors         campaign injects transient bit flips instead of
+                        stuck-at hard faults
+  --seed S              campaign fault-set seed                  [1234]
+  --jobs J              worker threads for --campaign / --diagnose
+                        (0 = one per hardware thread)            [0]
+  --json FILE           stream one JSONL record per campaign run to FILE
   --combine-packets     enable the packet-combining extension
   --no-serial-dispatch  disable the packet-serial trailing dispatch gate
   --multi-packet-fetch  disable one-packet-per-cycle trailing fetch
@@ -229,6 +242,57 @@ int main(int argc, char** argv) {
     FaultInjector injector;
     if (flags.has("fault")) injector = parse_fault(flags.get("fault"));
 
+    if (flags.has("campaign")) {
+      CampaignConfig config;
+      config.mode = mode;
+      config.params = params;
+      config.num_faults =
+          static_cast<int>(flags.get_int("campaign", 100));
+      config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1234));
+      config.budget_commits =
+          static_cast<std::uint64_t>(flags.get_int("instructions", 12000));
+      config.soft_errors = flags.get_bool("soft-errors");
+
+      ParallelCampaignOptions options;
+      options.jobs = static_cast<int>(flags.get_int("jobs", 0));
+      std::ofstream jsonl;
+      if (flags.has("json")) {
+        jsonl.open(flags.get("json"));
+        if (!jsonl) throw std::runtime_error("cannot open JSONL output file");
+        options.jsonl = &jsonl;
+      }
+      options.progress = stderr_campaign_progress(program.name);
+
+      CampaignStats stats;
+      const CampaignResult result =
+          run_campaign_parallel(program, config, options, &stats);
+
+      Table t({"outcome", "runs"});
+      const auto totals = result.totals();
+      for (FaultOutcome outcome :
+           {FaultOutcome::kDetected, FaultOutcome::kDetectedLate,
+            FaultOutcome::kWedged, FaultOutcome::kSdc, FaultOutcome::kBenign}) {
+        t.begin_row();
+        t.add(fault_outcome_name(outcome));
+        const auto it = totals.find(outcome);
+        t.add_int(it == totals.end() ? 0 : it->second);
+      }
+      std::cout << "campaign: " << config.num_faults
+                << (config.soft_errors ? " transient" : " stuck-at")
+                << " faults on " << program.name << " / " << mode_name(mode)
+                << ", " << config.budget_commits << " commits per run\n"
+                << (flags.get_bool("csv") ? t.to_csv() : t.to_text());
+      std::cout << "detection rate (activated): "
+                << 100.0 * result.detection_rate_of_activated() << "%\n"
+                << "sdc rate (activated): "
+                << 100.0 * result.sdc_rate_of_activated() << "%\n"
+                << "wall clock: " << stats.wall_seconds << " s with "
+                << stats.jobs << " jobs (" << stats.runs_per_second
+                << " runs/s, est. serial " << stats.serial_estimate_seconds
+                << " s, speedup " << stats.speedup() << "x)\n";
+      return 0;
+    }
+
     if (flags.get_bool("diagnose")) {
       if (!injector.fault().has_value()) {
         throw std::runtime_error("--diagnose needs a hard --fault to localize");
@@ -237,7 +301,8 @@ int main(int argc, char** argv) {
           flags.get_int("instructions", 12000));
       std::cout << "diagnosing: " << injector.fault()->describe() << "\n";
       const DiagnosisResult r = diagnose_backend_fault(
-          program, mode, params, *injector.fault(), budget);
+          program, mode, params, *injector.fault(), budget,
+          static_cast<int>(flags.get_int("jobs", 0)));
       if (!r.baseline_detected) {
         std::cout << "fault never detected on this workload — nothing to "
                      "localize\n";
