@@ -169,4 +169,52 @@ ShuffleResult safe_shuffle(const std::vector<ShuffleInst>& packet, int width) {
   return best;
 }
 
+bool ShuffleCache::make_key(const std::vector<ShuffleInst>& packet, int width,
+                            Key* key) {
+  // 11 bits per instruction (fu:3, frontend way:4, backend way:4), up to 8
+  // instructions across lo/hi, plus width:5 and count:4 in hi's top bits.
+  if (packet.size() > 8 || width <= 0 || width > 16) return false;
+  std::uint64_t words[2] = {0, 0};
+  for (std::size_t i = 0; i < packet.size(); ++i) {
+    const ShuffleInst& inst = packet[i];
+    if (inst.lead_frontend_way < 0 || inst.lead_frontend_way > 15 ||
+        inst.lead_backend_way < 0 || inst.lead_backend_way > 15) {
+      return false;
+    }
+    const std::uint64_t packed =
+        static_cast<std::uint64_t>(inst.fu) |
+        (static_cast<std::uint64_t>(inst.lead_frontend_way) << 3) |
+        (static_cast<std::uint64_t>(inst.lead_backend_way) << 7);
+    words[i / 4] |= packed << (11 * (i % 4));
+  }
+  key->lo = words[0];
+  key->hi = words[1] | (static_cast<std::uint64_t>(width) << 50) |
+            (static_cast<std::uint64_t>(packet.size()) << 55);
+  return true;
+}
+
+const ShuffleResult& ShuffleCache::shuffle(
+    const std::vector<ShuffleInst>& packet, int width, bool* hit) {
+  Key key;
+  if (!make_key(packet, width, &key)) {
+    *hit = false;
+    uncached_ = safe_shuffle(packet, width);
+    return uncached_;
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    *hit = true;
+    return it->second;
+  }
+  *hit = false;
+  if (entries_.size() >= max_entries_) {
+    // Bounded footprint: past the cap, compute without inserting. Real
+    // workloads plateau far below the default cap, so this path is a
+    // safety valve rather than an eviction policy.
+    uncached_ = safe_shuffle(packet, width);
+    return uncached_;
+  }
+  return entries_.emplace(key, safe_shuffle(packet, width)).first->second;
+}
+
 }  // namespace bj

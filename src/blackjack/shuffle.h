@@ -12,7 +12,9 @@
 //   - NOPs only occupy slots and carry the type class whose way they consume.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "isa/opcode.h"
@@ -55,5 +57,53 @@ ShuffleResult safe_shuffle(const std::vector<ShuffleInst>& packet, int width);
 // mapping policy, assuming the packet issues whole and alone: the number of
 // same-class occupants (instructions and typed NOPs) in lower slots.
 int backend_way_in_packet(const ShuffledPacket& packet, std::size_t slot);
+
+// Memoization cache for safe_shuffle. The shuffle is a pure function of the
+// packet's (fu, lead_frontend_way, lead_backend_way) signature and the
+// machine width, and real workloads repeat a small set of packet shapes
+// millions of times while the all-permutations search costs ~microseconds
+// per distinct shape. Signatures pack into a 128-bit key (11 bits per
+// instruction, up to 8 instructions); packets that exceed the packable
+// ranges fall back to a direct safe_shuffle and always count as misses.
+class ShuffleCache {
+ public:
+  explicit ShuffleCache(std::size_t max_entries = 1 << 16)
+      : max_entries_(max_entries) {}
+
+  // Returns a reference valid until the next call to shuffle() or clear().
+  // `*hit` reports whether the result came from the cache.
+  const ShuffleResult& shuffle(const std::vector<ShuffleInst>& packet,
+                               int width, bool* hit);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t max_entries() const { return max_entries_; }
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Key {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // splitmix64-style mix of both halves.
+      std::uint64_t x = k.lo + 0x9e3779b97f4a7c15ull * (k.hi + 1);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebull;
+      x ^= x >> 31;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  static bool make_key(const std::vector<ShuffleInst>& packet, int width,
+                       Key* key);
+
+  std::unordered_map<Key, ShuffleResult, KeyHash> entries_;
+  ShuffleResult uncached_;  // holds results that bypass the cache
+  std::size_t max_entries_;
+};
 
 }  // namespace bj

@@ -1,0 +1,33 @@
+// Always-on invariant checks for the simulator's modeled hardware structures.
+//
+// assert() compiles out under NDEBUG (both the Release and RelWithDebInfo
+// CMake configurations define it), which previously let a push on a full
+// queue silently wrap and corrupt in-flight state instead of stopping the
+// run. BJ_CHECK stays live in every build type: a violated structural
+// invariant aborts immediately with the queue name and location, which is
+// always cheaper than debugging a corrupted campaign result.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bj::detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* what,
+                                      const char* file, int line) {
+  std::fprintf(stderr, "BJ_CHECK failed: %s [%s] at %s:%d\n", cond, what, file,
+               line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace bj::detail
+
+// `what` names the structure or invariant (e.g. the queue's name) so the
+// abort message identifies which modeled resource overflowed.
+#define BJ_CHECK(cond, what)                                          \
+  do {                                                                \
+    if (!(cond)) [[unlikely]] {                                       \
+      ::bj::detail::check_failed(#cond, (what), __FILE__, __LINE__);  \
+    }                                                                 \
+  } while (0)

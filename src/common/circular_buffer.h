@@ -2,64 +2,80 @@
 // DTQ, LVQ, BOQ, store buffer). Capacity is set at construction to model a
 // hardware structure of a given size; push on a full queue is a programming
 // error (callers must check full() first, the way hardware stalls).
+//
+// The guards are BJ_CHECK, not assert: they survive NDEBUG builds, so a
+// missing full()/empty() check aborts with the queue's name instead of
+// silently wrapping and corrupting in-flight state.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
+#include <utility>
 #include <vector>
+
+#include "common/check.h"
 
 namespace bj {
 
 template <typename T>
 class CircularBuffer {
  public:
-  explicit CircularBuffer(std::size_t capacity)
-      : slots_(capacity + 1) {}  // one spare slot distinguishes full/empty
+  explicit CircularBuffer(std::size_t capacity,
+                          const char* name = "circular-buffer")
+      : slots_(capacity + 1),  // one spare slot distinguishes full/empty
+        name_(name) {}
 
+  const char* name() const { return name_; }
   std::size_t capacity() const { return slots_.size() - 1; }
   std::size_t size() const {
-    return (tail_ + slots_.size() - head_) % slots_.size();
+    return tail_ >= head_ ? tail_ - head_ : tail_ + slots_.size() - head_;
   }
   bool empty() const { return head_ == tail_; }
   bool full() const { return size() == capacity(); }
   std::size_t free_slots() const { return capacity() - size(); }
 
   void push(T value) {
-    assert(!full() && "push on full CircularBuffer");
+    BJ_CHECK(!full(), name_);
     slots_[tail_] = std::move(value);
-    tail_ = (tail_ + 1) % slots_.size();
+    tail_ = wrap(tail_ + 1);
   }
 
   T pop() {
-    assert(!empty() && "pop on empty CircularBuffer");
+    BJ_CHECK(!empty(), name_);
     T value = std::move(slots_[head_]);
-    head_ = (head_ + 1) % slots_.size();
+    head_ = wrap(head_ + 1);
     return value;
   }
 
   T& front() {
-    assert(!empty());
+    BJ_CHECK(!empty(), name_);
     return slots_[head_];
   }
   const T& front() const {
-    assert(!empty());
+    BJ_CHECK(!empty(), name_);
     return slots_[head_];
   }
 
   // Random access from the head: at(0) == front().
   T& at(std::size_t i) {
-    assert(i < size());
-    return slots_[(head_ + i) % slots_.size()];
+    BJ_CHECK(i < size(), name_);
+    return slots_[wrap(head_ + i)];
   }
   const T& at(std::size_t i) const {
-    assert(i < size());
-    return slots_[(head_ + i) % slots_.size()];
+    BJ_CHECK(i < size(), name_);
+    return slots_[wrap(head_ + i)];
   }
 
   void clear() { head_ = tail_ = 0; }
 
  private:
+  // Indices advance by at most one slot (or a size()-bounded offset in at()),
+  // so a conditional subtract replaces the modulo of the original version.
+  std::size_t wrap(std::size_t i) const {
+    return i >= slots_.size() ? i - slots_.size() : i;
+  }
+
   std::vector<T> slots_;
+  const char* name_;
   std::size_t head_ = 0;
   std::size_t tail_ = 0;
 };

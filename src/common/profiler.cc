@@ -1,0 +1,62 @@
+#include "common/profiler.h"
+
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace bj {
+
+const char* sim_stage_name(SimStage stage) {
+  switch (stage) {
+    case SimStage::kWriteback: return "writeback";
+    case SimStage::kCommit: return "commit";
+    case SimStage::kShuffle: return "shuffle";
+    case SimStage::kIssue: return "issue";
+    case SimStage::kDispatch: return "dispatch";
+    case SimStage::kFetch: return "fetch";
+    case SimStage::kCount: break;
+  }
+  return "?";
+}
+
+std::uint64_t StageProfiler::total_ns() const {
+  return std::accumulate(ns_.begin(), ns_.end(), std::uint64_t{0});
+}
+
+void StageProfiler::reset() {
+  ns_.fill(0);
+  cycles_ = 0;
+}
+
+std::string StageProfiler::report() const {
+  Table table({"stage", "ms", "share", "ns/cycle"});
+  const std::uint64_t total = total_ns();
+  for (int i = 0; i < kNumSimStages; ++i) {
+    table.begin_row();
+    table.add(sim_stage_name(static_cast<SimStage>(i)));
+    table.add(static_cast<double>(ns_[i]) / 1e6, 3);
+    table.add_percent(total ? static_cast<double>(ns_[i]) /
+                                  static_cast<double>(total)
+                            : 0.0);
+    table.add(cycles_ ? static_cast<double>(ns_[i]) /
+                            static_cast<double>(cycles_)
+                      : 0.0,
+              1);
+  }
+  table.begin_row();
+  table.add("total");
+  table.add(static_cast<double>(total) / 1e6, 3);
+  table.add_percent(total ? 1.0 : 0.0);
+  table.add(cycles_ ? static_cast<double>(total) / static_cast<double>(cycles_)
+                    : 0.0,
+            1);
+  std::ostringstream os;
+  os << table.to_text();
+  return os.str();
+}
+
+void StageProfiler::print(std::ostream& os) const { os << report(); }
+
+}  // namespace bj

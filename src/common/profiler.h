@@ -1,0 +1,81 @@
+// Per-stage wall-clock attribution for the simulator's tick loop.
+//
+// The Core ticks six pipeline stages in a fixed order; when a StageProfiler
+// is attached it accumulates the host-side nanoseconds each stage consumes so
+// speedups can be measured per stage instead of guessed from aggregate
+// numbers. When no profiler is attached the Core takes a branch-free path and
+// pays nothing, so attaching one is strictly opt-in (`bjsim --profile`).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace bj {
+
+// One enumerator per Core stage, in tick order.
+enum class SimStage : std::uint8_t {
+  kWriteback = 0,
+  kCommit,
+  kShuffle,
+  kIssue,
+  kDispatch,
+  kFetch,
+  kCount
+};
+
+inline constexpr int kNumSimStages = static_cast<int>(SimStage::kCount);
+
+const char* sim_stage_name(SimStage stage);
+
+class StageProfiler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  void add(SimStage stage, std::uint64_t ns) {
+    ns_[static_cast<int>(stage)] += ns;
+  }
+  // Called once per profiled tick so the report can show ns/cycle.
+  void note_cycle() { ++cycles_; }
+
+  std::uint64_t ns(SimStage stage) const {
+    return ns_[static_cast<int>(stage)];
+  }
+  std::uint64_t total_ns() const;
+  std::uint64_t cycles() const { return cycles_; }
+
+  void reset();
+
+  // Aligned text table: stage, total ms, share of profiled time, ns/cycle.
+  std::string report() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::array<std::uint64_t, kNumSimStages> ns_{};
+  std::uint64_t cycles_ = 0;
+};
+
+// RAII helper: times a scope and charges it to one stage.
+class StageTimer {
+ public:
+  StageTimer(StageProfiler& profiler, SimStage stage)
+      : profiler_(profiler), stage_(stage), start_(StageProfiler::Clock::now()) {}
+  ~StageTimer() {
+    const auto end = StageProfiler::Clock::now();
+    profiler_.add(stage_, static_cast<std::uint64_t>(
+                              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  end - start_)
+                                  .count()));
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  StageProfiler& profiler_;
+  SimStage stage_;
+  StageProfiler::Clock::time_point start_;
+};
+
+}  // namespace bj

@@ -1,0 +1,108 @@
+// Fixed-capacity double-ended queue backed by one flat allocation.
+//
+// std::deque allocates/frees chunk blocks as it grows and shrinks and
+// touches scattered memory; the pipeline's bookkeeping queues (fetch buffer,
+// active list, LSQ, trailing fetch queue) all have capacities fixed by
+// SimParams, so a ring over a single vector gives the same FIFO/LIFO API
+// with no steady-state allocation and contiguous storage.
+//
+// Capacity is set via the constructor or reset_capacity(); exceeding it is a
+// simulator bug and aborts via BJ_CHECK in every build type.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace bj {
+
+template <typename T>
+class RingDeque {
+ public:
+  explicit RingDeque(std::size_t capacity = 0, const char* name = "ring-deque")
+      : slots_(capacity), name_(name) {}
+
+  // Re-sizes the backing store (used once the owning Core knows its
+  // SimParams); discards any contents.
+  void reset_capacity(std::size_t capacity) {
+    slots_.assign(capacity, T{});
+    head_ = 0;
+    count_ = 0;
+  }
+  void set_name(const char* name) { name_ = name; }
+
+  const char* name() const { return name_; }
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == slots_.size(); }
+
+  void push_back(T value) {
+    BJ_CHECK(!full(), name_);
+    slots_[wrap(head_ + count_)] = std::move(value);
+    ++count_;
+  }
+
+  void pop_front() {
+    BJ_CHECK(!empty(), name_);
+    slots_[head_] = T{};  // release held resources (e.g. shared_ptrs) eagerly
+    head_ = wrap(head_ + 1);
+    --count_;
+  }
+
+  void pop_back() {
+    BJ_CHECK(!empty(), name_);
+    slots_[wrap(head_ + count_ - 1)] = T{};
+    --count_;
+  }
+
+  T& front() {
+    BJ_CHECK(!empty(), name_);
+    return slots_[head_];
+  }
+  const T& front() const {
+    BJ_CHECK(!empty(), name_);
+    return slots_[head_];
+  }
+
+  T& back() {
+    BJ_CHECK(!empty(), name_);
+    return slots_[wrap(head_ + count_ - 1)];
+  }
+  const T& back() const {
+    BJ_CHECK(!empty(), name_);
+    return slots_[wrap(head_ + count_ - 1)];
+  }
+
+  // Random access from the head: at(0) == front().
+  T& at(std::size_t i) {
+    BJ_CHECK(i < count_, name_);
+    return slots_[wrap(head_ + i)];
+  }
+  const T& at(std::size_t i) const {
+    BJ_CHECK(i < count_, name_);
+    return slots_[wrap(head_ + i)];
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < count_; ++i) slots_[wrap(head_ + i)] = T{};
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  // Offsets are bounded by count_ <= capacity, so one conditional subtract
+  // wraps without a modulo.
+  std::size_t wrap(std::size_t i) const {
+    return i >= slots_.size() ? i - slots_.size() : i;
+  }
+
+  std::vector<T> slots_;
+  const char* name_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace bj

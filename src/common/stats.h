@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace bj {
 
@@ -73,19 +74,29 @@ class Ratio {
 };
 
 // Sparse named counters, handy for one-off event counts in the pipeline.
+// The map uses a transparent comparator so hot bump() calls with string
+// literals compare as string_views; a std::string is only materialized the
+// first time a name is seen.
 class CounterSet {
  public:
-  void bump(const std::string& name, std::uint64_t by = 1) {
-    counters_[name] += by;
+  using Map = std::map<std::string, std::uint64_t, std::less<>>;
+
+  void bump(std::string_view name, std::uint64_t by = 1) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      counters_.emplace(std::string(name), by);
+    } else {
+      it->second += by;
+    }
   }
-  std::uint64_t get(const std::string& name) const {
+  std::uint64_t get(std::string_view name) const {
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
-  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+  const Map& all() const { return counters_; }
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  Map counters_;
 };
 
 }  // namespace bj

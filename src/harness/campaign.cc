@@ -21,6 +21,7 @@ const char* fault_outcome_name(FaultOutcome outcome) {
     case FaultOutcome::kWedged: return "wedged";
     case FaultOutcome::kSdc: return "sdc";
     case FaultOutcome::kBenign: return "benign";
+    case FaultOutcome::kOracleDivergence: return "oracle-divergence";
   }
   return "?";
 }
@@ -195,7 +196,7 @@ FaultRun execute_fault_run(
     const std::function<std::vector<std::pair<std::uint64_t, std::uint64_t>>(
         std::size_t)>& golden_prefix) {
   Core core(program, config.mode, config.params, &injector);
-  core.set_oracle_check(false);
+  core.set_oracle_check(config.oracle_check);
   const std::uint64_t max_cycles =
       config.budget_commits * 64 + config.params.watchdog_cycles * 4;
   const RunOutcome outcome = core.run(config.budget_commits, max_cycles);
@@ -203,6 +204,7 @@ FaultRun execute_fault_run(
   FaultRun run;
   run.fault = label;
   run.activations = injector.activations();
+  run.oracle_violated = core.oracle_violated();
 
   // Corruption analysis: did any wrong store reach memory?
   const auto& released = core.released_stores();
@@ -225,9 +227,16 @@ FaultRun execute_fault_run(
                         ? FaultOutcome::kDetected
                         : FaultOutcome::kDetectedLate;
     }
+  } else if (run.corrupt_stores_released > 0) {
+    run.outcome = FaultOutcome::kSdc;
+  } else if (run.oracle_violated) {
+    // No check fired and no corrupt store escaped, but the architectural
+    // oracle saw the core diverge: latent corruption the store-trace
+    // comparison alone cannot see. Kept distinct from both SDC (nothing
+    // reached memory) and benign (the run was not actually clean).
+    run.outcome = FaultOutcome::kOracleDivergence;
   } else {
-    run.outcome = run.corrupt_stores_released > 0 ? FaultOutcome::kSdc
-                                                  : FaultOutcome::kBenign;
+    run.outcome = FaultOutcome::kBenign;
   }
   return run;
 }
@@ -242,6 +251,9 @@ void write_jsonl_record(std::ostream& os, const CampaignResult& result,
      << "\",\"outcome\":\"" << fault_outcome_name(run.outcome)
      << "\",\"activations\":" << run.activations
      << ",\"corrupt_stores\":" << run.corrupt_stores_released;
+  if (config.oracle_check) {
+    os << ",\"oracle_violated\":" << (run.oracle_violated ? "true" : "false");
+  }
   if (run.outcome == FaultOutcome::kDetected ||
       run.outcome == FaultOutcome::kDetectedLate ||
       run.outcome == FaultOutcome::kWedged) {

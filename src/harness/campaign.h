@@ -33,6 +33,10 @@ enum class FaultOutcome : std::uint8_t {
   kWedged,        // watchdog timeout (detected by last resort)
   kSdc,           // corrupt stores released and no check ever fired
   kBenign,        // no architectural effect within the run window
+  kOracleDivergence,  // no check fired, but the per-commit oracle emulator
+                      // disagreed with the core — latent state corruption
+                      // that never reached memory as a store. Only produced
+                      // when CampaignConfig::oracle_check is set.
 };
 
 const char* fault_outcome_name(FaultOutcome outcome);
@@ -49,6 +53,12 @@ struct CampaignConfig {
   // stuck-at faults. SRT and BlackJack should both detect these — temporal
   // redundancy suffices; spatial diversity is only needed for hard faults.
   bool soft_errors = false;
+  // Run the architectural oracle emulator alongside each faulty core and
+  // surface silent divergences as a distinct outcome (kOracleDivergence)
+  // instead of folding them into benign/SDC. Off by default: the oracle
+  // costs an emulator step per leading commit, and classifications without
+  // it stay bit-identical to historical campaigns.
+  bool oracle_check = false;
 };
 
 struct FaultRun {
@@ -58,6 +68,11 @@ struct FaultRun {
   std::uint64_t detection_cycle = 0;
   DetectionKind detection_kind = DetectionKind::kWatchdogTimeout;
   std::uint64_t corrupt_stores_released = 0;
+  // Whether the architectural oracle observed a divergence at some leading
+  // commit (only ever true when CampaignConfig::oracle_check was set). Kept
+  // separately from `outcome` because a detected run may *also* have
+  // diverged before the check fired.
+  bool oracle_violated = false;
 };
 
 struct CampaignResult {

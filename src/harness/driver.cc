@@ -10,6 +10,7 @@ SimResult run_simulation(const Program& program, const SimRequest& request) {
                                 : FaultInjector();
   Core core(program, request.mode, request.params, &injector);
   core.set_oracle_check(request.oracle_check);
+  core.set_profiler(request.profiler);
 
   const std::uint64_t max_cycles =
       request.max_cycles != 0

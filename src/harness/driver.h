@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/profiler.h"
 #include "common/stats.h"
 #include "fault/fault_model.h"
 #include "isa/program.h"
@@ -23,6 +24,9 @@ struct SimRequest {
   std::uint64_t max_cycles = 0;  // 0 = derived from the budget
   bool oracle_check = true;
   std::optional<HardFault> fault;
+  // When set, the core charges each pipeline stage's wall time to this
+  // profiler (warm-up included). Null keeps the timer-free fast path.
+  StageProfiler* profiler = nullptr;
 };
 
 struct SimResult {

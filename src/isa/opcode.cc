@@ -17,7 +17,7 @@ constexpr OpTraits make(const char* mn, Format fmt, FuClass fu, RegClass dst,
   return OpTraits{mn, fmt, fu, dst, s1, s2, br, jmp, ld, st, imm_signed};
 }
 
-const std::array<OpTraits, kNumOpcodes> kTraits = [] {
+std::array<OpTraits, kNumOpcodes> build_traits_table() {
   std::array<OpTraits, kNumOpcodes> t{};
   auto set = [&](Opcode op, OpTraits tr) { t[static_cast<int>(op)] = tr; };
   const FuClass alu = FuClass::kIntAlu;
@@ -97,14 +97,13 @@ const std::array<OpTraits, kNumOpcodes> kTraits = [] {
   set(Opcode::kJr,
       make("jr", Format::kJr, alu, kN, kI, kN, false, /*jmp=*/true));
   return t;
-}();
+}
 
 }  // namespace
 
-const OpTraits& traits(Opcode op) {
-  assert(static_cast<int>(op) < kNumOpcodes);
-  return kTraits[static_cast<int>(op)];
-}
+namespace detail {
+const std::array<OpTraits, kNumOpcodes> kOpTraitsTable = build_traits_table();
+}  // namespace detail
 
 const char* fu_class_name(FuClass cls) {
   switch (cls) {

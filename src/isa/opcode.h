@@ -5,6 +5,8 @@
 // paper's SimpleScalar/Alpha setup.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace bj {
@@ -94,7 +96,16 @@ struct OpTraits {
   bool imm_signed;    // sign- vs zero-extend the 16-bit immediate
 };
 
-const OpTraits& traits(Opcode op);
+namespace detail {
+// Built once in opcode.cc; exposed so traits() inlines to an array index.
+// The pipeline queries opcode traits hundreds of times per simulated cycle
+// (scheduling, LSQ scans, rename), so the lookup must not be a call.
+extern const std::array<OpTraits, kNumOpcodes> kOpTraitsTable;
+}  // namespace detail
+
+inline const OpTraits& traits(Opcode op) {
+  return detail::kOpTraitsTable[static_cast<std::size_t>(op)];
+}
 
 inline bool is_control(Opcode op) {
   const OpTraits& t = traits(op);

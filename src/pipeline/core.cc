@@ -66,6 +66,48 @@ Core::Core(const Program& program, Mode mode, const CoreParams& params,
   }
   for (const auto& [addr, value] : program.data) data_mem_.store(addr, value);
 
+  // Size the completion wheel past the longest schedulable delay: a full
+  // miss-to-memory access plus the slowest FU latency (store completion can
+  // chain a producer's ready time onto the current cycle).
+  {
+    const std::uint64_t max_mem =
+        static_cast<std::uint64_t>(params_.memory.l1d.hit_latency) +
+        static_cast<std::uint64_t>(params_.memory.l2.hit_latency) +
+        static_cast<std::uint64_t>(params_.memory.memory_latency);
+    const std::uint64_t max_fu = static_cast<std::uint64_t>(std::max(
+        {params_.latency_int_alu, params_.latency_int_mul,
+         params_.latency_int_div, params_.latency_fp_alu,
+         params_.latency_fp_mul, params_.latency_fp_div,
+         params_.latency_fp_sqrt}));
+    std::uint64_t span = 1;
+    while (span < max_mem + max_fu + 8) span <<= 1;
+    completion_wheel_.assign(span, {});
+    completion_wheel_mask_ = span - 1;
+  }
+
+  // Fixed-capacity bookkeeping rings, sized by params.
+  const auto cap = [](int n) { return static_cast<std::size_t>(n); };
+  for (Context& ctx : ctxs_) {
+    const bool leading = ctx.tid == ThreadId::kLeading;
+    ctx.frontend_q.reset_capacity(cap(params_.fetch_buffer_entries));
+    ctx.frontend_q.set_name(leading ? "lead.frontend_q" : "trail.frontend_q");
+    ctx.active_list.reset_capacity(cap(params_.active_list_entries));
+    ctx.active_list.set_name(leading ? "lead.active_list"
+                                     : "trail.active_list");
+    ctx.lsq.reset_capacity(cap(params_.lsq_entries));
+    ctx.lsq.set_name(leading ? "lead.lsq" : "trail.lsq");
+    // One slot of slack: a lazily drained entry can briefly outlive its
+    // store's LSQ residency (see lsq_stores_ready_prefix).
+    ctx.lsq_stores.reset_capacity(cap(params_.lsq_entries) + 1);
+    ctx.lsq_stores.set_name(leading ? "lead.lsq_stores" : "trail.lsq_stores");
+  }
+  // Worst case beyond the 3*width admission gate: one combined input packet
+  // can expand to fetch_width packets of fetch_width slots each.
+  trail_fetch_q_.reset_capacity(
+      cap(params_.trailing_fetch_queue_entries) +
+      cap(params_.fetch_width) * cap(params_.fetch_width));
+  trail_fetch_q_.set_name("trail_fetch_q");
+
   // Leading context: allocate architectural physical registers.
   Context& lead = ctxs_[0];
   lead.tid = ThreadId::kLeading;
@@ -134,15 +176,36 @@ bool Core::finished() const {
   return ctxs_[1].halted;
 }
 
-bool Core::tick() {
-  if (finished() || wedged_ || detection_halt_) return false;
-
+void Core::run_stages() {
   writeback();
   commit();
   if (uses_dtq()) shuffle_stage();
   issue();
   dispatch();
   fetch();
+}
+
+void Core::run_stages_profiled() {
+  { StageTimer t(*profiler_, SimStage::kWriteback); writeback(); }
+  { StageTimer t(*profiler_, SimStage::kCommit); commit(); }
+  if (uses_dtq()) {
+    StageTimer t(*profiler_, SimStage::kShuffle);
+    shuffle_stage();
+  }
+  { StageTimer t(*profiler_, SimStage::kIssue); issue(); }
+  { StageTimer t(*profiler_, SimStage::kDispatch); dispatch(); }
+  { StageTimer t(*profiler_, SimStage::kFetch); fetch(); }
+  profiler_->note_cycle();
+}
+
+bool Core::tick() {
+  if (finished() || wedged_ || detection_halt_) return false;
+
+  if (profiler_ == nullptr) {
+    run_stages();
+  } else {
+    run_stages_profiled();
+  }
 
   ++cycle_;
   ++stats_.cycles;
@@ -284,7 +347,10 @@ void Core::shuffle_stage() {
     input.push_back(ShuffleInst{e.fu, e.lead_frontend_way,
                                 e.lead_backend_way});
   }
-  ShuffleResult shuffled = safe_shuffle(input, params_.fetch_width);
+  bool cache_hit = false;
+  const ShuffleResult& shuffled =
+      shuffle_cache_.shuffle(input, params_.fetch_width, &cache_hit);
+  ++(cache_hit ? stats_.shuffle_cache_hits : stats_.shuffle_cache_misses);
   stats_.shuffle_nops += static_cast<std::uint64_t>(shuffled.nops_inserted);
   stats_.packet_splits += static_cast<std::uint64_t>(shuffled.splits);
   stats_.shuffle_forced_places +=
@@ -380,6 +446,7 @@ void Core::fetch_leading(Context& ctx) {
     return;
   }
   const std::uint64_t first_block = ctx.fetch_pc / block_insts;
+  std::uint64_t fetched = 0;
   for (int i = 0; i < params_.fetch_width; ++i) {
     if (ctx.fetch_done) break;
     if (ctx.frontend_q.size() >=
@@ -391,7 +458,7 @@ void Core::fetch_leading(Context& ctx) {
       stats_.events.bump("fetch.lead.block_boundary");
       break;
     }
-    stats_.events.bump("fetch.lead.instructions");
+    ++fetched;
 
     InstPtr inst = make_inst(ThreadId::kLeading);
     inst->pc = ctx.fetch_pc;
@@ -421,6 +488,8 @@ void Core::fetch_leading(Context& ctx) {
     ctx.fetch_pc = next_pc;
     if (redirect) break;
   }
+  // Hoisted per-instruction bump: counts are identical, one map probe.
+  if (fetched > 0) stats_.events.bump("fetch.lead.instructions", fetched);
 }
 
 void Core::fetch_trailing_srt(Context& ctx) {
@@ -539,11 +608,12 @@ void Core::fetch_trailing_blackjack(Context& ctx) {
 void Core::dispatch() {
   int budget = params_.issue_width;
   const int start = static_cast<int>(cycle_ % 2);
+  std::uint64_t dispatched = 0;
   for (int k = 0; k < kNumThreads && budget > 0; ++k) {
     Context& ctx = ctxs_[(start + k) % kNumThreads];
     if (ctx.tid == ThreadId::kTrailing && !redundant()) continue;
     while (budget > 0 && !ctx.frontend_q.empty()) {
-      InstPtr inst = ctx.frontend_q.front();
+      const InstPtr& inst = ctx.frontend_q.front();
       if (inst->fetch_cycle + static_cast<std::uint64_t>(
                                   params_.frontend_stages) > cycle_) {
         stats_.events.bump("dispatch.pipe_delay");
@@ -555,9 +625,11 @@ void Core::dispatch() {
       }
       ctx.frontend_q.pop_front();
       --budget;
-      stats_.events.bump("dispatch.instructions");
+      ++dispatched;
     }
   }
+  // Hoisted per-instruction bump: counts are identical, one map probe.
+  if (dispatched > 0) stats_.events.bump("dispatch.instructions", dispatched);
 }
 
 int Core::find_free_iq_slot() const {
@@ -690,7 +762,11 @@ bool Core::rename_and_dispatch(Context& ctx, const InstPtr& inst) {
     }
   } else {
     ctx.active_list.push_back(inst);
-    if (is_mem) ctx.lsq.push_back(inst);
+    if (is_mem) {
+      ctx.lsq.push_back(inst);
+      // Mirror stores into the store-only ring the load paths scan.
+      if (inst->inst.is_store()) ctx.lsq_stores.push_back(inst);
+    }
   }
 
   install_iq();

@@ -17,8 +17,8 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "arch/emulator.h"
@@ -26,6 +26,8 @@
 #include "blackjack/dtq.h"
 #include "blackjack/shuffle.h"
 #include "branch/predictor.h"
+#include "common/profiler.h"
+#include "common/ring_deque.h"
 #include "common/stats.h"
 #include "fault/coverage.h"
 #include "fault/fault_model.h"
@@ -60,6 +62,10 @@ struct CoreStats {
   std::uint64_t packet_splits = 0;
   std::uint64_t shuffle_forced_places = 0;
   std::uint64_t packets_combined = 0;  // extension: merged input packets
+  // Shuffle memoization cache (ShuffleCache): lookups served from the cache
+  // vs. computed by running the shuffle search.
+  std::uint64_t shuffle_cache_hits = 0;
+  std::uint64_t shuffle_cache_misses = 0;
 
   // Payload-RAM fault exposure: dynamic instructions whose payload was
   // corrupted in the leading copy / in both copies identically. The latter
@@ -171,10 +177,16 @@ class Core {
   // Pass nullptr to disable (the default).
   void set_trace(std::ostream* os) { trace_ = os; }
 
+  // Per-stage host-time attribution. Pass nullptr to disable (the default);
+  // the unprofiled tick path pays nothing for the feature.
+  void set_profiler(StageProfiler* profiler) { profiler_ = profiler; }
+
  private:
   struct Context;
 
   // --- pipeline stages (called back-to-front each tick) -------------------
+  void run_stages();
+  void run_stages_profiled();
   void writeback();
   void commit();
   void commit_leading(Context& ctx);
@@ -201,7 +213,7 @@ class Core {
   }
   bool operand_ready(RegClass cls, int phys) const;
   std::uint64_t operand_value(RegClass cls, int phys) const;
-  bool ready_to_issue(const InstPtr& inst);
+  bool ready_to_issue(DynInst* inst);
   void execute_inst(const InstPtr& inst);
   void schedule_completion(const InstPtr& inst, std::uint64_t cycle);
   void resolve_leading_branch(const InstPtr& inst);
@@ -216,8 +228,8 @@ class Core {
   void check_against_oracle(const InstPtr& inst);
   void release_store(std::uint64_t ordinal, std::uint64_t addr,
                      std::uint64_t data);
-  std::optional<std::uint64_t> leading_load_value(const InstPtr& inst);
-  bool lsq_older_stores_ready(const Context& ctx, const InstPtr& load) const;
+  std::optional<std::uint64_t> leading_load_value(const DynInst* inst);
+  bool lsq_older_stores_ready(Context& ctx, const DynInst* load);
 
   // --- configuration -------------------------------------------------------
   // Held by value: a Core must stay valid even when constructed from a
@@ -254,8 +266,19 @@ class Core {
   // Unpipelined-unit busy tracking: busy_until_[cls][way].
   std::array<std::vector<std::uint64_t>, kNumFuClasses> fu_busy_until_;
 
-  // Completion events.
-  std::map<std::uint64_t, std::vector<InstPtr>> completions_;
+  // Completion events: a power-of-two timing wheel indexed by target cycle.
+  // The wheel spans the longest schedulable delay (miss-to-memory plus the
+  // slowest FU, computed from params in the constructor); anything beyond
+  // that horizon — only possible with exotic parameterizations — falls back
+  // to the ordered map.
+  std::vector<std::vector<InstPtr>> completion_wheel_;
+  std::uint64_t completion_wheel_mask_ = 0;
+  std::map<std::uint64_t, std::vector<InstPtr>> completion_overflow_;
+  std::vector<InstPtr> writeback_scratch_;
+
+  // Issue-stage scratch (reused across cycles to avoid per-cycle allocation).
+  std::vector<DynInst*> issue_candidates_;
+  std::vector<InstPtr> issue_issued_;
 
   // --- redundancy structures ------------------------------------------------
   BranchOutcomeQueue boq_;
@@ -277,7 +300,7 @@ class Core {
     std::uint64_t origin_id = 0;  // original leading packet (split siblings
                                   // share an origin)
   };
-  std::deque<TrailPacket> trail_fetch_q_;
+  RingDeque<TrailPacket> trail_fetch_q_;
   std::size_t trail_fetch_q_insts_ = 0;
   std::uint64_t next_packet_id_ = 1;
   std::uint64_t next_origin_id_ = 1;
@@ -299,7 +322,7 @@ class Core {
     std::uint64_t fetch_seq = 0;      // next program-order sequence number
     std::uint64_t icache_ready = 0;   // fetch blocked until this cycle
     bool fetch_done = false;          // halt fetched
-    std::deque<InstPtr> frontend_q;   // fetched, awaiting dispatch
+    RingDeque<InstPtr> frontend_q;    // fetched, awaiting dispatch
 
     // Fetch-side ordinals (trailing SRT: BOQ consumption at fetch).
     std::uint64_t fetched_ctrl = 0;
@@ -310,10 +333,19 @@ class Core {
     RenameMap map;
     std::unique_ptr<LeadPhysMap> lead_phys_map;  // BlackJack trailing only
 
-    // Windows. The leading/SRT active list and LSQ are program-order deques;
-    // the BlackJack trailing thread uses virtual-index windows.
-    std::deque<InstPtr> active_list;
-    std::deque<InstPtr> lsq;
+    // Windows. The leading/SRT active list and LSQ are program-order rings
+    // sized by params; the BlackJack trailing thread uses virtual-index
+    // windows.
+    RingDeque<InstPtr> active_list;
+    RingDeque<InstPtr> lsq;
+    // Stores currently in `lsq`, in program order (push at dispatch, pop at
+    // commit/squash alongside lsq). Lets the load paths scan stores only:
+    // lsq_older_stores_ready() reads the first pending store through
+    // lsq_stores_ready_prefix (stores become address-ready monotonically,
+    // so the prefix only shrinks on squash/commit), and leading_load_value()
+    // walks this ring backward instead of the whole LSQ.
+    RingDeque<InstPtr> lsq_stores;
+    std::size_t lsq_stores_ready_prefix = 0;
     std::vector<InstPtr> al_window;
     std::uint64_t al_head_virt = 0;
     std::size_t al_window_count = 0;
@@ -344,9 +376,13 @@ class Core {
   int fetch_priority_rr_ = 0;
   bool trailing_fetch_phase_ = false;
   std::ostream* trace_ = nullptr;
+  StageProfiler* profiler_ = nullptr;
+  // Memoizes safe_shuffle across repeated packet signatures (kBlackjack only).
+  ShuffleCache shuffle_cache_;
   // Leading sequence numbers whose payload was corrupted by an IQ payload
-  // fault (measurement for the shared-payload-RAM vulnerability).
-  std::set<std::uint64_t> payload_corrupted_lead_seqs_;
+  // fault (measurement for the shared-payload-RAM vulnerability). Only
+  // touched while an injector is armed.
+  std::unordered_set<std::uint64_t> payload_corrupted_lead_seqs_;
 };
 
 }  // namespace bj

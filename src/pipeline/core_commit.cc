@@ -4,8 +4,10 @@
 // outcome compare, second-rename dependence check, pc-chain check) plus the
 // coverage accounting of Section 5.
 #include <cassert>
+#include <cstdio>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 #include "pipeline/core.h"
 
@@ -88,8 +90,13 @@ void Core::commit_leading(Context& ctx) {
         stats_.events.bump(head->issued ? "commit.head_executing"
                                         : "commit.head_not_issued");
         if (!head->issued) {
-          stats_.events.bump(std::string("commit.head_not_issued.") +
-                             traits(head->inst.op).mnemonic);
+          // Stack-built key: avoids a heap std::string per stall cycle.
+          char key[48];
+          const int len =
+              std::snprintf(key, sizeof key, "commit.head_not_issued.%s",
+                            traits(head->inst.op).mnemonic);
+          stats_.events.bump(
+              std::string_view(key, static_cast<std::size_t>(len)));
         }
       }
       break;
@@ -153,6 +160,11 @@ void Core::commit_leading(Context& ctx) {
       ++ctx.committed_mem;
       assert(!ctx.lsq.empty() && ctx.lsq.front() == head);
       ctx.lsq.pop_front();
+      if (d.is_store()) {
+        assert(!ctx.lsq_stores.empty() && ctx.lsq_stores.front() == head);
+        ctx.lsq_stores.pop_front();
+        if (ctx.lsq_stores_ready_prefix > 0) --ctx.lsq_stores_ready_prefix;
+      }
     }
     if (d.op == Opcode::kHalt) ctx.halted = true;
 
@@ -249,6 +261,11 @@ void Core::commit_trailing_srt(Context& ctx) {
       ++ctx.committed_mem;
       assert(!ctx.lsq.empty() && ctx.lsq.front() == head);
       ctx.lsq.pop_front();
+      if (d.is_store()) {
+        assert(!ctx.lsq_stores.empty() && ctx.lsq_stores.front() == head);
+        ctx.lsq_stores.pop_front();
+        if (ctx.lsq_stores_ready_prefix > 0) --ctx.lsq_stores_ready_prefix;
+      }
     }
     if (d.op == Opcode::kHalt) ctx.halted = true;
 

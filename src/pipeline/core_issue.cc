@@ -28,17 +28,20 @@ std::uint64_t Core::operand_value(RegClass cls, int phys) const {
   return file.value(phys);
 }
 
-bool Core::lsq_older_stores_ready(const Context& ctx,
-                                  const InstPtr& load) const {
-  for (const InstPtr& mem : ctx.lsq) {
-    if (mem == load) break;
-    if (mem->seq >= load->seq) break;
-    if (mem->inst.is_store() && !mem->addr_ready) return false;
-  }
-  return true;
+bool Core::lsq_older_stores_ready(Context& ctx, const DynInst* load) {
+  // The oldest store whose address is still pending bounds every load in the
+  // context. Stores become address-ready monotonically (only a squash
+  // removes entries, and it clamps the prefix), so the ready prefix of
+  // lsq_stores only ever advances here.
+  const RingDeque<InstPtr>& stores = ctx.lsq_stores;
+  std::size_t& prefix = ctx.lsq_stores_ready_prefix;
+  const std::size_t n = stores.size();
+  while (prefix < n && stores.at(prefix)->addr_ready) ++prefix;
+  if (prefix >= n) return true;
+  return stores.at(prefix)->seq >= load->seq;
 }
 
-bool Core::ready_to_issue(const InstPtr& inst) {
+bool Core::ready_to_issue(DynInst* inst) {
   if (inst->issued || inst->squashed) return false;
   if (inst->is_shuffle_nop) return true;
 
@@ -65,7 +68,7 @@ bool Core::ready_to_issue(const InstPtr& inst) {
     } else {
       // Conservative disambiguation: wait until every older store in the
       // context has computed its address.
-      const Context& ctx = ctxs_[tid_index(inst->tid)];
+      Context& ctx = ctxs_[tid_index(inst->tid)];
       if (!lsq_older_stores_ready(ctx, inst)) return false;
     }
   }
@@ -77,7 +80,14 @@ bool Core::ready_to_issue(const InstPtr& inst) {
 }
 
 void Core::schedule_completion(const InstPtr& inst, std::uint64_t at_cycle) {
-  completions_[at_cycle].push_back(inst);
+  const std::uint64_t delay = at_cycle - cycle_;
+  if (delay >= 1 && delay <= completion_wheel_mask_) {
+    completion_wheel_[at_cycle & completion_wheel_mask_].push_back(inst);
+  } else {
+    // Beyond the wheel horizon (or a degenerate zero-latency schedule):
+    // fall back to the ordered map. Unreachable with sane parameters.
+    completion_overflow_[at_cycle].push_back(inst);
+  }
 }
 
 // Executes one selected instruction: reads operands, applies the payload and
@@ -142,7 +152,7 @@ void Core::execute_inst(const InstPtr& inst) {
       // fast as they arrive instead of backing up in the issue queue.
       latency = 1;
     } else {
-      const std::optional<std::uint64_t> value = leading_load_value(inst);
+      const std::optional<std::uint64_t> value = leading_load_value(inst.get());
       if (value.has_value()) {
         inst->load_value = *value;
         inst->load_forwarded = true;
@@ -225,18 +235,21 @@ void Core::execute_inst(const InstPtr& inst) {
   schedule_completion(inst, cycle_ + latency);
 }
 
-std::optional<std::uint64_t> Core::leading_load_value(const InstPtr& inst) {
-  // Youngest older store in the context's LSQ with a matching address.
+std::optional<std::uint64_t> Core::leading_load_value(const DynInst* inst) {
+  // Youngest older store in the context's LSQ with a matching address. The
+  // per-context store ring holds exactly the stores resident in the LSQ in
+  // program order, so scan it backward (youngest first) and stop at the
+  // first address-ready match — equivalent to the forward scan over the
+  // whole LSQ that kept the last match, minus the loads.
   const Context& ctx = ctxs_[tid_index(inst->tid)];
-  const InstPtr* best = nullptr;
-  for (const InstPtr& mem : ctx.lsq) {
-    if (mem->seq >= inst->seq) break;
-    if (mem->inst.is_store() && mem->addr_ready &&
-        mem->mem_addr == inst->mem_addr) {
-      best = &mem;
+  const RingDeque<InstPtr>& stores = ctx.lsq_stores;
+  for (std::size_t i = stores.size(); i-- > 0;) {
+    const DynInst* mem = stores.at(i).get();
+    if (mem->seq >= inst->seq) continue;  // younger than the load
+    if (mem->addr_ready && mem->mem_addr == inst->mem_addr) {
+      return mem->result;
     }
   }
-  if (best != nullptr) return (*best)->result;
   // Committed-but-unreleased stores waiting in the checking store buffer.
   if (redundant()) {
     if (auto fwd = store_buffer_.forward(inst->mem_addr)) return fwd;
@@ -249,20 +262,26 @@ std::optional<std::uint64_t> Core::leading_load_value(const InstPtr& inst) {
 // selected instruction to the lowest-numbered free backend way of its type.
 // ---------------------------------------------------------------------------
 void Core::issue() {
-  std::vector<InstPtr> candidates;
-  candidates.reserve(static_cast<std::size_t>(iq_occupancy_));
+  // Scratch vectors are members: no per-cycle allocation, and candidates are
+  // raw pointers (the IQ slot keeps each instruction alive until selection;
+  // a selected instruction's shared reference is captured before its slot is
+  // freed — shuffle NOPs live only in the IQ).
+  issue_candidates_.clear();
   for (IqSlot& slot : iq_) {
-    if (slot.inst && ready_to_issue(slot.inst)) candidates.push_back(slot.inst);
+    if (slot.inst && ready_to_issue(slot.inst.get())) {
+      issue_candidates_.push_back(slot.inst.get());
+    }
   }
-  if (candidates.empty()) return;
-  std::sort(candidates.begin(), candidates.end(),
-            [](const InstPtr& a, const InstPtr& b) { return a->age < b->age; });
+  if (issue_candidates_.empty()) return;
+  std::sort(issue_candidates_.begin(), issue_candidates_.end(),
+            [](const DynInst* a, const DynInst* b) { return a->age < b->age; });
 
   std::array<std::uint32_t, kNumFuClasses> ways_taken{};
-  std::vector<InstPtr> issued;
+  std::vector<InstPtr>& issued = issue_issued_;
+  issued.clear();
   int dtq_pending = 0;
 
-  for (const InstPtr& cand : candidates) {
+  for (DynInst* cand : issue_candidates_) {
     if (static_cast<int>(issued.size()) >= params_.issue_width) break;
     const int cls = static_cast<int>(cand->fu);
     const int n_ways = params_.fu_count(cand->fu);
@@ -288,7 +307,10 @@ void Core::issue() {
     }
 
     cand->backend_way = way;
-    execute_inst(cand);
+    assert(cand->iq_entry >= 0 &&
+           iq_[static_cast<std::size_t>(cand->iq_entry)].inst.get() == cand);
+    const InstPtr& slot_ref = iq_[static_cast<std::size_t>(cand->iq_entry)].inst;
+    execute_inst(slot_ref);
     if (!cand->issued) {
       // MSHR-rejected load: the way stays consumed (replay port hazard) but
       // the instruction remains in the queue.
@@ -299,15 +321,13 @@ void Core::issue() {
     }
     ways_taken[static_cast<std::size_t>(cls)] |=
         1u << static_cast<unsigned>(way);
-    issued.push_back(cand);
+    issued.push_back(slot_ref);
     if (uses_dtq() && cand->is_trailing()) {
       assert(iq_trailing_unissued_ > 0);
       --iq_trailing_unissued_;
     }
 
-    // Free the issue-queue slot.
-    assert(cand->iq_entry >= 0 &&
-           iq_[static_cast<std::size_t>(cand->iq_entry)].inst == cand);
+    // Free the issue-queue slot (issued holds the surviving reference).
     iq_[static_cast<std::size_t>(cand->iq_entry)].inst.reset();
     --iq_occupancy_;
   }
@@ -375,18 +395,29 @@ void Core::issue() {
       ++stats_.other_diversity_loss_cycles;
     }
   }
+  issued.clear();  // drop the references promptly (NOPs die here)
 }
 
 // ---------------------------------------------------------------------------
 // Writeback: completion events, leading branch resolution, squash.
 // ---------------------------------------------------------------------------
 void Core::writeback() {
-  auto it = completions_.find(cycle_);
-  if (it == completions_.end()) return;
-  std::vector<InstPtr> done = std::move(it->second);
-  completions_.erase(it);
+  std::vector<InstPtr>& bucket =
+      completion_wheel_[cycle_ & completion_wheel_mask_];
+  std::vector<InstPtr>& done = writeback_scratch_;
+  done.clear();
+  done.swap(bucket);  // bucket keeps its capacity via the swapped-in vector
+  if (!completion_overflow_.empty()) {
+    auto it = completion_overflow_.find(cycle_);
+    if (it != completion_overflow_.end()) {
+      for (InstPtr& inst : it->second) done.push_back(std::move(inst));
+      completion_overflow_.erase(it);
+    }
+  }
+  if (done.empty()) return;
   // Resolve in (thread, age) order so the oldest mispredicted branch squashes
   // first; its squash marks younger completions squashed and they are skipped.
+  // Ages are unique, so the order matches the previous map-based scheduling.
   std::sort(done.begin(), done.end(),
             [](const InstPtr& a, const InstPtr& b) { return a->age < b->age; });
   for (const InstPtr& inst : done) {
@@ -398,6 +429,7 @@ void Core::writeback() {
       resolve_leading_branch(inst);
     }
   }
+  done.clear();
 }
 
 void Core::resolve_leading_branch(const InstPtr& inst) {
@@ -427,7 +459,9 @@ void Core::squash_leading_after(std::uint64_t branch_seq,
                                 std::uint64_t new_pc) {
   Context& ctx = ctxs_[0];
 
-  for (const InstPtr& inst : ctx.frontend_q) inst->squashed = true;
+  for (std::size_t i = 0; i < ctx.frontend_q.size(); ++i) {
+    ctx.frontend_q.at(i)->squashed = true;
+  }
   ctx.frontend_q.clear();
 
   while (!ctx.active_list.empty() &&
@@ -448,6 +482,12 @@ void Core::squash_leading_after(std::uint64_t branch_seq,
   }
   while (!ctx.lsq.empty() && ctx.lsq.back()->seq > branch_seq) {
     ctx.lsq.pop_back();
+  }
+  while (!ctx.lsq_stores.empty() && ctx.lsq_stores.back()->seq > branch_seq) {
+    ctx.lsq_stores.pop_back();
+  }
+  if (ctx.lsq_stores_ready_prefix > ctx.lsq_stores.size()) {
+    ctx.lsq_stores_ready_prefix = ctx.lsq_stores.size();
   }
   if (uses_dtq()) dtq_.squash_younger_than(branch_seq);
 

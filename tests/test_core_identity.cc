@@ -1,0 +1,310 @@
+// Bit-identicality regression tests for the hot-path data-structure rewrite.
+//
+// The flat-array/ring/wheel core and the shuffle memoization cache are pure
+// performance changes: every CoreStats counter (including the event-counter
+// map) and every campaign outcome must match the pre-rewrite implementation
+// exactly. The golden FNV-1a fingerprints below were captured from the seed
+// std::map/std::set/std::deque implementation on this exact run recipe; any
+// divergence — one cycle, one counter, one event-map entry — changes the
+// hash. If a deliberate timing-model change invalidates them, recapture with
+// the recipe in stats_fingerprint() and say so in the commit message.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "blackjack/shuffle.h"
+#include "harness/campaign.h"
+#include "pipeline/core.h"
+#include "workload/profile.h"
+
+namespace bj {
+namespace {
+
+// FNV-1a over uint64 values, each hashed as 8 little-endian bytes.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void add(std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+// 5000 warm-up commits, stats reset, 20000 measured commits, then a hash of
+// every scalar CoreStats field plus the full event-counter map (names and
+// counts). Must stay in lockstep with the goldens below.
+std::uint64_t stats_fingerprint(const char* workload, Mode mode) {
+  const Program program = generate_workload(profile_by_name(workload));
+  Core core(program, mode);
+  core.set_oracle_check(true);
+  core.run(5000, 4000000);
+  core.reset_stats();
+  core.run(20000, 8000000);
+  const CoreStats& s = core.stats();
+  Fnv f;
+  f.add(s.cycles);
+  f.add(s.leading_commits);
+  f.add(s.trailing_commits);
+  f.add(s.issue_cycles);
+  f.add(s.single_context_issue_cycles);
+  f.add(s.lt_interference_cycles);
+  f.add(s.tt_interference_cycles);
+  f.add(s.tt_sibling_cycles);
+  f.add(s.other_diversity_loss_cycles);
+  f.add(s.instructions_issued);
+  f.add(s.packets_shuffled);
+  f.add(s.shuffle_nops);
+  f.add(s.packet_splits);
+  f.add(s.shuffle_forced_places);
+  f.add(s.packets_combined);
+  f.add(s.payload_corrupted_leading);
+  f.add(s.payload_corrupted_both);
+  f.add(s.branch_lookups);
+  f.add(s.branch_mispredicts);
+  f.add(s.coverage.pairs());
+  f.add(static_cast<std::uint64_t>(1e9 * s.coverage.frontend_coverage()));
+  f.add(static_cast<std::uint64_t>(1e9 * s.coverage.backend_coverage()));
+  for (const auto& [name, count] : s.events.all()) {
+    Fnv fe;
+    for (char c : name) fe.add(static_cast<std::uint64_t>(c));
+    f.add(fe.h);
+    f.add(count);
+  }
+  return f.h;
+}
+
+struct Golden {
+  Mode mode;
+  std::uint64_t fingerprint;
+};
+
+void expect_goldens(const char* workload, const std::vector<Golden>& goldens) {
+  for (const Golden& g : goldens) {
+    EXPECT_EQ(stats_fingerprint(workload, g.mode), g.fingerprint)
+        << workload << " / " << mode_name(g.mode);
+  }
+}
+
+TEST(CoreIdentity, StatsFingerprintGcc) {
+  expect_goldens("gcc", {{Mode::kSingle, 0x891b08e2335fb743ull},
+                         {Mode::kSrt, 0x05ac1c5f7f79a7e6ull},
+                         {Mode::kBlackjackNs, 0x6bd25b101af00a4eull},
+                         {Mode::kBlackjack, 0x285a1a3f92abbee0ull}});
+}
+
+TEST(CoreIdentity, StatsFingerprintGzip) {
+  expect_goldens("gzip", {{Mode::kSingle, 0x4aef996dfe7376f5ull},
+                          {Mode::kSrt, 0xab6b5dca57305e1aull},
+                          {Mode::kBlackjackNs, 0xac2e5fff8b53626full},
+                          {Mode::kBlackjack, 0xf9cd167fff1e6cf2ull}});
+}
+
+TEST(CoreIdentity, StatsFingerprintArt) {
+  expect_goldens("art", {{Mode::kSingle, 0x1fa15e4c587be018ull},
+                         {Mode::kSrt, 0x3a823cdbfa6e3ef3ull},
+                         {Mode::kBlackjackNs, 0x94c41d1ac5f72487ull},
+                         {Mode::kBlackjack, 0x0362e0717e7f1a24ull}});
+}
+
+TEST(CoreIdentity, StatsFingerprintCrafty) {
+  expect_goldens("crafty", {{Mode::kSingle, 0xba575ba16a62cee5ull},
+                            {Mode::kSrt, 0xbda4df22ee27ceb1ull},
+                            {Mode::kBlackjackNs, 0xc36d96c9498a4226ull},
+                            {Mode::kBlackjack, 0x5118d729f2471700ull}});
+}
+
+// Campaign outcomes (classification, activation counts, detection cycles and
+// kinds, corruption counts) across SRT and BlackJack on the seed classifier
+// defaults — oracle_check off, so this also pins that the new oracle outcome
+// is opt-in and does not disturb historical classifications.
+TEST(CoreIdentity, CampaignOutcomeFingerprint) {
+  Fnv f;
+  for (Mode mode : {Mode::kSrt, Mode::kBlackjack}) {
+    CampaignConfig config;
+    config.mode = mode;
+    config.num_faults = 40;
+    config.seed = 99;
+    config.budget_commits = 6000;
+    const Program program = generate_workload(profile_by_name("gcc"));
+    const CampaignResult r = run_campaign(program, config);
+    for (const FaultRun& run : r.runs) {
+      EXPECT_NE(run.outcome, FaultOutcome::kOracleDivergence);
+      EXPECT_FALSE(run.oracle_violated);
+      f.add(static_cast<std::uint64_t>(run.outcome));
+      f.add(run.activations);
+      f.add(run.detection_cycle);
+      f.add(static_cast<std::uint64_t>(run.detection_kind));
+      f.add(run.corrupt_stores_released);
+    }
+  }
+  EXPECT_EQ(f.h, 0x17be1bee321ad996ull);
+}
+
+// --- shuffle memoization ---------------------------------------------------
+
+void expect_same_result(const ShuffleResult& a, const ShuffleResult& b) {
+  EXPECT_EQ(a.nops_inserted, b.nops_inserted);
+  EXPECT_EQ(a.splits, b.splits);
+  EXPECT_EQ(a.forced_places, b.forced_places);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t p = 0; p < a.packets.size(); ++p) {
+    ASSERT_EQ(a.packets[p].size(), b.packets[p].size());
+    for (std::size_t s = 0; s < a.packets[p].size(); ++s) {
+      EXPECT_EQ(a.packets[p][s].is_nop, b.packets[p][s].is_nop);
+      EXPECT_EQ(a.packets[p][s].cls, b.packets[p][s].cls);
+      EXPECT_EQ(a.packets[p][s].input_index, b.packets[p][s].input_index);
+    }
+  }
+}
+
+// Property: for any packet, the cached shuffle is byte-identical to a direct
+// safe_shuffle — on the miss that populates the entry AND on every later hit
+// of the same shape. Randomized over the full signature space the pipeline
+// can produce (deterministic LCG, so failures reproduce).
+TEST(ShuffleCache, MatchesDirectShuffle) {
+  ShuffleCache cache;
+  std::uint64_t x = 0x243f6a8885a308d3ull;
+  auto next = [&](std::uint64_t bound) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    return (x >> 33) % bound;
+  };
+  int hits = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int width = 2 + static_cast<int>(next(3));  // 2..4
+    const std::size_t count = 1 + next(static_cast<std::uint64_t>(width));
+    std::vector<ShuffleInst> packet(count);
+    for (ShuffleInst& inst : packet) {
+      inst.fu = static_cast<FuClass>(next(kNumFuClasses));
+      inst.lead_frontend_way = static_cast<int>(next(
+          static_cast<std::uint64_t>(width)));
+      inst.lead_backend_way = static_cast<int>(next(4));
+    }
+    bool hit = false;
+    const ShuffleResult& cached = cache.shuffle(packet, width, &hit);
+    if (hit) ++hits;
+    expect_same_result(cached, safe_shuffle(packet, width));
+  }
+  // The signature space above is small enough that repeats must occur;
+  // a zero hit count would mean the cache never actually memoizes.
+  EXPECT_GT(hits, 0);
+  EXPECT_GT(cache.size(), 0u);
+}
+
+// Past the entry cap the cache must keep answering correctly (compute
+// without inserting) rather than evict or grow without bound.
+TEST(ShuffleCache, CapComputesWithoutInserting) {
+  ShuffleCache cache(4);
+  for (int i = 0; i < 16; ++i) {
+    std::vector<ShuffleInst> packet(1);
+    packet[0].fu = FuClass::kIntAlu;
+    packet[0].lead_frontend_way = i % 4;
+    packet[0].lead_backend_way = i / 4;
+    bool hit = false;
+    const ShuffleResult& cached = cache.shuffle(packet, 4, &hit);
+    expect_same_result(cached, safe_shuffle(packet, 4));
+    EXPECT_LE(cache.size(), 4u);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+// Packets outside the packable signature range (here: width > 16) bypass the
+// cache entirely and still return the exact direct result.
+TEST(ShuffleCache, UnpackableInputFallsBackToDirect) {
+  ShuffleCache cache;
+  std::vector<ShuffleInst> packet(2);
+  packet[0] = {FuClass::kIntAlu, 0, 0};
+  packet[1] = {FuClass::kFpAlu, 1, 0};
+  bool hit = true;
+  const ShuffleResult& cached = cache.shuffle(packet, 17, &hit);
+  EXPECT_FALSE(hit);
+  expect_same_result(cached, safe_shuffle(packet, 17));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- stats reset -----------------------------------------------------------
+
+// reset_stats() must zero every counter family together: the warm-up /
+// measured-window split in every driver depends on it. The shuffle-cache
+// hit/miss counters ride in CoreStats precisely so this holds by
+// construction — this test keeps them (and the interference and shuffle
+// counters) from drifting out of the reset path.
+TEST(CoreIdentity, ResetStatsCoversAllCounterFamilies) {
+  const Program program = generate_workload(profile_by_name("gzip"));
+  Core core(program, Mode::kBlackjack);
+  core.run(4000, 1000000);
+  const CoreStats& s = core.stats();
+  EXPECT_GT(s.cycles, 0u);
+  EXPECT_GT(s.packets_shuffled, 0u);
+  EXPECT_GT(s.shuffle_cache_hits + s.shuffle_cache_misses, 0u);
+  EXPECT_GT(s.instructions_issued, 0u);
+  EXPECT_FALSE(s.events.all().empty());
+
+  core.reset_stats();
+  EXPECT_EQ(s.cycles, 0u);
+  EXPECT_EQ(s.leading_commits, 0u);
+  EXPECT_EQ(s.trailing_commits, 0u);
+  EXPECT_EQ(s.issue_cycles, 0u);
+  EXPECT_EQ(s.lt_interference_cycles, 0u);
+  EXPECT_EQ(s.tt_interference_cycles, 0u);
+  EXPECT_EQ(s.other_diversity_loss_cycles, 0u);
+  EXPECT_EQ(s.instructions_issued, 0u);
+  EXPECT_EQ(s.packets_shuffled, 0u);
+  EXPECT_EQ(s.shuffle_nops, 0u);
+  EXPECT_EQ(s.packet_splits, 0u);
+  EXPECT_EQ(s.shuffle_cache_hits, 0u);
+  EXPECT_EQ(s.shuffle_cache_misses, 0u);
+  EXPECT_EQ(s.coverage.pairs(), 0u);
+  EXPECT_TRUE(s.events.all().empty());
+
+  // The core keeps running and re-accumulating after a reset.
+  core.run(2000, 2000000);
+  EXPECT_GT(s.cycles, 0u);
+  EXPECT_GT(s.shuffle_cache_hits + s.shuffle_cache_misses, 0u);
+}
+
+// --- oracle campaign outcome -----------------------------------------------
+
+// Enabling the oracle may only RECLASSIFY benign runs as oracle-divergence;
+// the simulation itself is unperturbed (the oracle is a read-only side-car),
+// so every other outcome, activation count, and corruption count must be
+// unchanged run-for-run.
+TEST(CampaignOracle, ReclassifiesOnlySilentDivergences) {
+  const Program program = generate_workload(profile_by_name("gzip"));
+  CampaignConfig config;
+  config.mode = Mode::kSrt;
+  config.num_faults = 25;
+  config.seed = 7;
+  config.budget_commits = 3000;
+
+  const CampaignResult off = run_campaign(program, config);
+  config.oracle_check = true;
+  const CampaignResult on = run_campaign(program, config);
+
+  ASSERT_EQ(off.runs.size(), on.runs.size());
+  int reclassified = 0;
+  for (std::size_t i = 0; i < off.runs.size(); ++i) {
+    EXPECT_EQ(off.runs[i].activations, on.runs[i].activations);
+    EXPECT_EQ(off.runs[i].corrupt_stores_released,
+              on.runs[i].corrupt_stores_released);
+    EXPECT_FALSE(off.runs[i].oracle_violated);
+    EXPECT_NE(off.runs[i].outcome, FaultOutcome::kOracleDivergence);
+    if (on.runs[i].outcome != off.runs[i].outcome) {
+      EXPECT_EQ(off.runs[i].outcome, FaultOutcome::kBenign);
+      EXPECT_EQ(on.runs[i].outcome, FaultOutcome::kOracleDivergence);
+      EXPECT_TRUE(on.runs[i].oracle_violated);
+      ++reclassified;
+    }
+    if (on.runs[i].outcome == FaultOutcome::kOracleDivergence) {
+      // Divergence without activation would mean the oracle itself drifted.
+      EXPECT_GT(on.runs[i].activations, 0u);
+    }
+  }
+  EXPECT_EQ(on.count(FaultOutcome::kOracleDivergence), reclassified);
+  EXPECT_EQ(std::string(fault_outcome_name(FaultOutcome::kOracleDivergence)),
+            "oracle-divergence");
+}
+
+}  // namespace
+}  // namespace bj

@@ -1,0 +1,88 @@
+// Release-mode regression tests for the hardware-queue guard rails.
+//
+// The simulator's queues historically guarded overflow/underflow with
+// `assert`, which NDEBUG compiles away — exactly the configuration
+// (RelWithDebInfo / Release) every benchmark and campaign runs in. A wedged
+// scheduler that overfilled a queue would then silently corrupt neighbouring
+// slots instead of stopping. The guards are now BJ_CHECK, which stays armed
+// in every build type and aborts naming the offending queue. These tests
+// pin that behaviour: they deliberately overflow/underflow the structures
+// and expect an abort whose message carries the queue's name, in this very
+// build configuration (the suite runs under the default RelWithDebInfo,
+// where NDEBUG is defined and a plain assert would pass straight through).
+#include <gtest/gtest.h>
+
+#include "common/circular_buffer.h"
+#include "common/ring_deque.h"
+
+namespace bj {
+namespace {
+
+TEST(ReleaseGuardsDeathTest, CircularBufferOverflowAbortsWithName) {
+  CircularBuffer<int> q(2, "dtq-test");
+  q.push(1);
+  q.push(2);
+  EXPECT_DEATH(q.push(3), "BJ_CHECK failed.*dtq-test");
+}
+
+TEST(ReleaseGuardsDeathTest, CircularBufferUnderflowAbortsWithName) {
+  CircularBuffer<int> q(2, "lvq-test");
+  EXPECT_DEATH(q.pop(), "BJ_CHECK failed.*lvq-test");
+}
+
+TEST(ReleaseGuardsDeathTest, CircularBufferOutOfRangeAtAborts) {
+  CircularBuffer<int> q(4, "boq-test");
+  q.push(7);
+  EXPECT_DEATH(q.at(1), "BJ_CHECK failed.*boq-test");
+}
+
+TEST(ReleaseGuardsDeathTest, RingDequeOverflowAbortsWithName) {
+  RingDeque<int> q(2, "lead.frontend-q");
+  q.push_back(1);
+  q.push_back(2);
+  EXPECT_DEATH(q.push_back(3), "BJ_CHECK failed.*lead.frontend-q");
+}
+
+TEST(ReleaseGuardsDeathTest, RingDequeUnderflowAbortsWithName) {
+  RingDeque<int> q(2, "trail.lsq");
+  EXPECT_DEATH(q.pop_front(), "BJ_CHECK failed.*trail.lsq");
+  q.push_back(1);
+  q.pop_back();
+  EXPECT_DEATH(q.pop_back(), "BJ_CHECK failed.*trail.lsq");
+}
+
+TEST(ReleaseGuardsDeathTest, RingDequeOutOfRangeAtAborts) {
+  RingDeque<int> q(4, "active-list");
+  q.push_back(1);
+  q.push_back(2);
+  EXPECT_DEATH(q.at(2), "BJ_CHECK failed.*active-list");
+}
+
+// The guards must be armed even when NDEBUG compiled `assert` away — that
+// is the entire point of BJ_CHECK. If this build has asserts enabled too,
+// the death tests above already cover the debug flavour.
+#ifdef NDEBUG
+TEST(ReleaseGuards, PlainAssertIsDisarmedInThisBuild) {
+  // Documents the build precondition that makes this file a regression
+  // test: NDEBUG is defined, so only BJ_CHECK stands between an overflow
+  // and silent corruption.
+  SUCCEED();
+}
+#endif
+
+TEST(ReleaseGuards, NormalOperationUnaffected) {
+  RingDeque<int> q(3, "scratch");
+  for (int round = 0; round < 7; ++round) {
+    q.push_back(round);
+    q.push_back(round + 100);
+    EXPECT_EQ(q.front(), round);
+    EXPECT_EQ(q.back(), round + 100);
+    EXPECT_EQ(q.size(), 2u);
+    q.pop_front();
+    q.pop_back();
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+}  // namespace
+}  // namespace bj

@@ -57,6 +57,12 @@ int usage() {
                         summary with wall-clock/throughput stats
   --soft-errors         campaign injects transient bit flips instead of
                         stuck-at hard faults
+  --oracle              campaign runs the architectural oracle per leading
+                        commit and reports silent divergences that never
+                        reached memory as a distinct "oracle-divergence"
+                        outcome (slower; off by default)
+  --profile             single runs only: time each pipeline stage and print
+                        a cycle-attribution table after the report
   --seed S              campaign fault-set seed                  [1234]
   --jobs J              worker threads for --campaign / --diagnose
                         (0 = one per hardware thread)            [0]
@@ -193,6 +199,8 @@ void report(const Core& core, std::uint64_t measured_cycles, bool csv) {
     row("packet splits", std::to_string(s.packet_splits));
     row("shuffle NOPs", std::to_string(s.shuffle_nops));
     row("packets combined", std::to_string(s.packets_combined));
+    row("shuffle cache hits", std::to_string(s.shuffle_cache_hits));
+    row("shuffle cache misses", std::to_string(s.shuffle_cache_misses));
   }
   row("L1D hits", std::to_string(core.memory_hierarchy().l1d().hits()));
   row("L1D misses", std::to_string(core.memory_hierarchy().l1d().misses()));
@@ -252,6 +260,7 @@ int main(int argc, char** argv) {
       config.budget_commits =
           static_cast<std::uint64_t>(flags.get_int("instructions", 12000));
       config.soft_errors = flags.get_bool("soft-errors");
+      config.oracle_check = flags.get_bool("oracle");
 
       ParallelCampaignOptions options;
       options.jobs = static_cast<int>(flags.get_int("jobs", 0));
@@ -271,7 +280,8 @@ int main(int argc, char** argv) {
       const auto totals = result.totals();
       for (FaultOutcome outcome :
            {FaultOutcome::kDetected, FaultOutcome::kDetectedLate,
-            FaultOutcome::kWedged, FaultOutcome::kSdc, FaultOutcome::kBenign}) {
+            FaultOutcome::kWedged, FaultOutcome::kSdc,
+            FaultOutcome::kOracleDivergence, FaultOutcome::kBenign}) {
         t.begin_row();
         t.add(fault_outcome_name(outcome));
         const auto it = totals.find(outcome);
@@ -327,6 +337,9 @@ int main(int argc, char** argv) {
     Core core(program, mode, params, &injector);
     if (flags.has("fault")) core.set_oracle_check(false);
 
+    StageProfiler profiler;
+    if (flags.get_bool("profile")) core.set_profiler(&profiler);
+
     std::ofstream trace_file;
     if (flags.has("trace")) {
       trace_file.open(flags.get("trace"));
@@ -351,6 +364,7 @@ int main(int argc, char** argv) {
     core.run(budget, max_cycles);
 
     report(core, core.cycle() - before, flags.get_bool("csv"));
+    if (flags.get_bool("profile")) profiler.print(std::cout);
     if (flags.get_bool("dump-state")) core.dump_state(std::cout);
     return core.oracle_violated() ? 1 : 0;
   } catch (const std::exception& e) {
