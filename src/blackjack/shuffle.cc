@@ -194,12 +194,22 @@ bool ShuffleCache::make_key(const std::vector<ShuffleInst>& packet, int width,
 }
 
 const ShuffleResult& ShuffleCache::shuffle(
-    const std::vector<ShuffleInst>& packet, int width, bool* hit) {
+    const std::vector<ShuffleInst>& packet, int width, bool* hit,
+    bool* warm_hit) {
+  if (warm_hit != nullptr) *warm_hit = false;
   Key key;
   if (!make_key(packet, width, &key)) {
     *hit = false;
     uncached_ = safe_shuffle(packet, width);
     return uncached_;
+  }
+  if (warm_ != nullptr) {
+    auto wit = warm_->find(key);
+    if (wit != warm_->end()) {
+      *hit = true;
+      if (warm_hit != nullptr) *warm_hit = true;
+      return wit->second;
+    }
   }
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -215,6 +225,24 @@ const ShuffleResult& ShuffleCache::shuffle(
     return uncached_;
   }
   return entries_.emplace(key, safe_shuffle(packet, width)).first->second;
+}
+
+void SharedShuffleTable::merge(const ShuffleCache::Map& local) {
+  if (local.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Copy-on-write: snapshots handed out earlier stay valid (and readers stay
+  // lock-free) because the published map is never mutated in place.
+  bool any_new = false;
+  for (const auto& [key, result] : local) {
+    if (table_->find(key) == table_->end()) {
+      any_new = true;
+      break;
+    }
+  }
+  if (!any_new) return;
+  auto next = std::make_shared<ShuffleCache::Map>(*table_);
+  for (const auto& [key, result] : local) next->emplace(key, result);
+  table_ = std::move(next);
 }
 
 }  // namespace bj

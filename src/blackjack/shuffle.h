@@ -14,6 +14,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -67,19 +69,8 @@ int backend_way_in_packet(const ShuffledPacket& packet, std::size_t slot);
 // ranges fall back to a direct safe_shuffle and always count as misses.
 class ShuffleCache {
  public:
-  explicit ShuffleCache(std::size_t max_entries = 1 << 16)
-      : max_entries_(max_entries) {}
-
-  // Returns a reference valid until the next call to shuffle() or clear().
-  // `*hit` reports whether the result came from the cache.
-  const ShuffleResult& shuffle(const std::vector<ShuffleInst>& packet,
-                               int width, bool* hit);
-
-  std::size_t size() const { return entries_.size(); }
-  std::size_t max_entries() const { return max_entries_; }
-  void clear() { entries_.clear(); }
-
- private:
+  // Key/Map are public so campaign workers can share computed results
+  // through a SharedShuffleTable (see below).
   struct Key {
     std::uint64_t lo = 0;
     std::uint64_t hi = 0;
@@ -97,13 +88,64 @@ class ShuffleCache {
       return static_cast<std::size_t>(x);
     }
   };
+  using Map = std::unordered_map<Key, ShuffleResult, KeyHash>;
 
+  explicit ShuffleCache(std::size_t max_entries = 1 << 16)
+      : max_entries_(max_entries) {}
+
+  // Returns a reference valid until the next call to shuffle() or clear()
+  // (warm-table hits stay valid for the snapshot's lifetime — it is
+  // immutable). `*hit` reports whether the result came from the cache;
+  // `*warm_hit` (optional) whether it came from the shared warm table.
+  const ShuffleResult& shuffle(const std::vector<ShuffleInst>& packet,
+                               int width, bool* hit,
+                               bool* warm_hit = nullptr);
+
+  // Adopt an immutable snapshot of shuffle results computed elsewhere.
+  // Lookup order is warm table first, then local entries; the local cap
+  // applies only to locally computed entries.
+  void warm_start(std::shared_ptr<const Map> warm) { warm_ = std::move(warm); }
+  const Map& local_entries() const { return entries_; }
+  bool has_warm_table() const { return warm_ != nullptr; }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t max_entries() const { return max_entries_; }
+  void clear() { entries_.clear(); }
+
+ private:
   static bool make_key(const std::vector<ShuffleInst>& packet, int width,
                        Key* key);
 
-  std::unordered_map<Key, ShuffleResult, KeyHash> entries_;
+  std::shared_ptr<const Map> warm_;  // read-mostly shared snapshot
+  Map entries_;
   ShuffleResult uncached_;  // holds results that bypass the cache
   std::size_t max_entries_;
+};
+
+// Read-mostly shuffle table shared by campaign workers: each worker
+// warm-starts its Core's ShuffleCache from snapshot() and merges its locally
+// computed entries back after the run (merge-on-retire). Snapshots are
+// immutable shared_ptrs, so readers never race the copy-on-write merge.
+class SharedShuffleTable {
+ public:
+  SharedShuffleTable()
+      : table_(std::make_shared<const ShuffleCache::Map>()) {}
+
+  std::shared_ptr<const ShuffleCache::Map> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_;
+  }
+
+  void merge(const ShuffleCache::Map& local);
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_->size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ShuffleCache::Map> table_;
 };
 
 }  // namespace bj

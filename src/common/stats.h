@@ -89,6 +89,16 @@ class CounterSet {
       it->second += by;
     }
   }
+  // Stable address of a counter's storage (map nodes never move), so a hot
+  // caller can pay the string lookup once and bump through the pointer
+  // afterwards. Creates the entry exactly as a first bump() would.
+  std::uint64_t& slot(std::string_view name) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(std::string(name), 0u).first;
+    }
+    return it->second;
+  }
   std::uint64_t get(std::string_view name) const {
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <sstream>
 
 #include "arch/emulator.h"
+#include "blackjack/shuffle.h"
 #include "common/rng.h"
 #include "harness/golden_trace.h"
 #include "harness/worker_pool.h"
@@ -194,12 +196,24 @@ FaultRun execute_fault_run(
     const Program& program, const CampaignConfig& config,
     FaultInjector injector, const HardFault& label,
     const std::function<std::vector<std::pair<std::uint64_t, std::uint64_t>>(
-        std::size_t)>& golden_prefix) {
+        std::size_t)>& golden_prefix,
+    SharedShuffleTable* shuffle_table = nullptr) {
   Core core(program, config.mode, config.params, &injector);
   core.set_oracle_check(config.oracle_check);
+  if (shuffle_table != nullptr) {
+    // Warm-start the worker's shuffle cache from results computed by earlier
+    // runs. Pure memoization: safe_shuffle is a pure function, so warm hits
+    // return bit-identical results and the simulation is unaffected.
+    core.warm_start_shuffle(shuffle_table->snapshot());
+  }
   const std::uint64_t max_cycles =
       config.budget_commits * 64 + config.params.watchdog_cycles * 4;
   const RunOutcome outcome = core.run(config.budget_commits, max_cycles);
+  if (shuffle_table != nullptr) {
+    // Merge-on-retire: publish whatever this run computed that the shared
+    // table did not already have, so later runs start warmer.
+    shuffle_table->merge(core.shuffle_cache().local_entries());
+  }
 
   FaultRun run;
   run.fault = label;
@@ -263,6 +277,25 @@ void write_jsonl_record(std::ostream& os, const CampaignResult& result,
   os << ",\"seconds\":" << run_seconds << "}\n";
 }
 
+// Report records a worker has completed but not yet pushed to the shared
+// sinks. Workers accumulate into their private buffer and flush under the
+// report mutex every `report_batch` runs, so the lock is taken O(count /
+// batch) times instead of once per run.
+struct WorkerReportBuffer {
+  std::ostringstream jsonl;
+  int pending = 0;
+  double seconds = 0.0;
+  std::map<FaultOutcome, int> histogram;
+};
+
+int resolve_report_batch(const ParallelCampaignOptions& options) {
+  if (options.report_batch > 0) return options.report_batch;
+  // Auto: per-run streaming when serial (the historical behaviour, and the
+  // contract run_campaign's callers rely on); modest batches when parallel,
+  // where per-run locking measurably serializes short runs.
+  return resolve_jobs(options.jobs) <= 1 ? 1 : 16;
+}
+
 }  // namespace
 
 CampaignResult run_campaign_parallel(const Program& program,
@@ -283,6 +316,15 @@ CampaignResult run_campaign_parallel(const Program& program,
   GoldenTraceCache cache(program);
   const std::uint64_t step_cap = golden_step_cap(config);
 
+  // Safe-shuffle results are a pure function of packet shape, and every run
+  // of a campaign simulates the same workload — so workers share one
+  // read-mostly table instead of each recomputing the same shapes. Only the
+  // shuffling mode benefits; the other modes never call the shuffler.
+  std::unique_ptr<SharedShuffleTable> shuffle_table;
+  if (config.mode == Mode::kBlackjack) {
+    shuffle_table = std::make_unique<SharedShuffleTable>();
+  }
+
   // Serializes everything that is not a worker-private simulation: the
   // completed-run counter, histogram, JSONL sink, and progress callback.
   std::mutex report_mu;
@@ -291,38 +333,68 @@ CampaignResult run_campaign_parallel(const Program& program,
   double serial_estimate = 0.0;
   const auto campaign_start = Clock::now();
 
-  parallel_for(
-      options.jobs, injectors.size(), [&](std::size_t i) {
+  const int report_batch = resolve_report_batch(options);
+  std::vector<WorkerReportBuffer> buffers(
+      std::min<std::size_t>(static_cast<std::size_t>(
+                                std::max(1, resolve_jobs(options.jobs))),
+                            std::max<std::size_t>(1, injectors.size())));
+
+  // Pushes one worker's buffered records to the shared sinks. Caller must
+  // hold report_mu.
+  auto flush_locked = [&](WorkerReportBuffer& buf) {
+    if (buf.pending == 0) return;
+    serial_estimate += buf.seconds;
+    progress.completed += buf.pending;
+    for (const auto& [outcome, n] : buf.histogram) {
+      progress.histogram[outcome] += n;
+    }
+    progress.elapsed_seconds =
+        std::chrono::duration<double>(Clock::now() - campaign_start).count();
+    progress.eta_seconds =
+        progress.completed > 0
+            ? progress.elapsed_seconds / progress.completed *
+                  (progress.total - progress.completed)
+            : 0.0;
+    if (options.jsonl) *options.jsonl << buf.jsonl.str();
+    buf = WorkerReportBuffer{};
+    if (options.progress) options.progress(progress);
+  };
+
+  parallel_for_workers(
+      options.jobs, injectors.size(), [&](std::size_t worker, std::size_t i) {
         const auto run_start = Clock::now();
-        // Each worker owns its injector copy and Core; the golden cache is
-        // the only cross-run state and synchronizes internally.
+        // Each worker owns its injector copy and Core; the golden cache and
+        // shuffle table are the only cross-run state and synchronize
+        // internally.
         const FaultRun run = execute_fault_run(
             program, config, injectors[i], labels[i],
             [&](std::size_t min_count) {
               return cache.prefix(min_count, step_cap);
-            });
+            },
+            shuffle_table.get());
         const double run_seconds =
             std::chrono::duration<double>(Clock::now() - run_start).count();
         result.runs[i] = run;
 
-        std::lock_guard<std::mutex> lock(report_mu);
-        serial_estimate += run_seconds;
-        ++progress.completed;
-        ++progress.histogram[run.outcome];
-        progress.elapsed_seconds =
-            std::chrono::duration<double>(Clock::now() - campaign_start)
-                .count();
-        progress.eta_seconds =
-            progress.completed > 0
-                ? progress.elapsed_seconds / progress.completed *
-                      (progress.total - progress.completed)
-                : 0.0;
+        WorkerReportBuffer& buf = buffers[worker];
         if (options.jsonl) {
-          write_jsonl_record(*options.jsonl, result, i, run, config,
-                             run_seconds);
+          write_jsonl_record(buf.jsonl, result, i, run, config, run_seconds);
         }
-        if (options.progress) options.progress(progress);
+        buf.seconds += run_seconds;
+        ++buf.pending;
+        ++buf.histogram[run.outcome];
+        if (buf.pending >= report_batch) {
+          std::lock_guard<std::mutex> lock(report_mu);
+          flush_locked(buf);
+        }
       });
+
+  // Workers have joined; drain whatever partial batches remain, in worker
+  // order, so the last progress snapshot reports completed == total.
+  {
+    std::lock_guard<std::mutex> lock(report_mu);
+    for (WorkerReportBuffer& buf : buffers) flush_locked(buf);
+  }
 
   if (stats) {
     stats->jobs = resolve_jobs(options.jobs);

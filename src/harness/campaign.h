@@ -119,8 +119,17 @@ struct ParallelCampaignOptions {
   // are serialized by the engine; completion order is scheduling-dependent,
   // so records carry their fault index.
   std::ostream* jsonl = nullptr;
-  // Called (serialized) after every completed run.
+  // Called (serialized) after a flush of completed runs — every run when
+  // `report_batch` is 1, otherwise once per batch.
   std::function<void(const CampaignProgress&)> progress;
+  // How many completed runs a worker accumulates before taking the report
+  // lock to flush its JSONL records and progress update. 0 = auto: 1 when
+  // the campaign runs on a single worker (per-run streaming, the historical
+  // behaviour), 16 otherwise. Batching only affects *when* records reach
+  // the sinks, never their content or count: every run still produces
+  // exactly one JSONL record carrying its fault index, and the final
+  // progress snapshot always reports completed == total.
+  int report_batch = 0;
 };
 
 // Generates a deterministic set of fault sites (shared across modes so SRT

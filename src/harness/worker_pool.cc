@@ -16,18 +16,25 @@ int resolve_jobs(int jobs) {
 
 void parallel_for(int jobs, std::size_t count,
                   const std::function<void(std::size_t)>& fn) {
-  if (count == 0) return;
+  parallel_for_workers(jobs, count,
+                       [&fn](std::size_t, std::size_t i) { fn(i); });
+}
+
+std::size_t parallel_for_workers(
+    int jobs, std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return 0;
   const int workers = resolve_jobs(jobs);
   if (workers <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
+    return 1;
   }
 
   std::mutex queue_mu;
   std::size_t next = 0;
   std::exception_ptr first_error;
 
-  auto worker = [&] {
+  auto worker = [&](std::size_t w) {
     for (;;) {
       std::size_t i;
       {
@@ -36,7 +43,7 @@ void parallel_for(int jobs, std::size_t count,
         i = next++;
       }
       try {
-        fn(i);
+        fn(w, i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(queue_mu);
         if (!first_error) first_error = std::current_exception();
@@ -49,9 +56,10 @@ void parallel_for(int jobs, std::size_t count,
   const std::size_t spawned =
       std::min(static_cast<std::size_t>(workers), count);
   pool.reserve(spawned);
-  for (std::size_t t = 0; t < spawned; ++t) pool.emplace_back(worker);
+  for (std::size_t t = 0; t < spawned; ++t) pool.emplace_back(worker, t);
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
+  return spawned;
 }
 
 }  // namespace bj

@@ -27,4 +27,14 @@ int resolve_jobs(int jobs);
 void parallel_for(int jobs, std::size_t count,
                   const std::function<void(std::size_t)>& fn);
 
+// Like parallel_for, but fn also receives the calling worker's index in
+// [0, min(resolve_jobs(jobs), count)), letting callers keep worker-private
+// accumulators (batched report buffers, scratch state) in a pre-sized
+// vector instead of thread_local storage. A given worker index is only ever
+// used by one thread, but the set of items a worker sees is
+// scheduling-dependent. Returns the number of workers actually used.
+std::size_t parallel_for_workers(
+    int jobs, std::size_t count,
+    const std::function<void(std::size_t worker, std::size_t item)>& fn);
+
 }  // namespace bj

@@ -50,8 +50,7 @@ Core::Core(const Program& program, Mode mode, const CoreParams& params,
       hierarchy_(params.memory),
       predictor_(params.branch),
       oracle_(program),
-      int_prf_(params.phys_int_regs),
-      fp_prf_(params.phys_fp_regs),
+      regfile_(params.phys_int_regs, params.phys_fp_regs),
       int_free_(0, params.phys_int_regs),
       fp_free_(0, params.phys_fp_regs),
       iq_(static_cast<std::size_t>(params.issue_queue_entries)),
@@ -114,12 +113,12 @@ Core::Core(const Program& program, Mode mode, const CoreParams& params,
   lead.fetch_pc = program.entry;
   for (int r = 0; r < kNumIntRegs; ++r) {
     const int p = int_free_.allocate();
-    int_prf_.set_value(p, 0);
+    regfile_.set_value(RegClass::kInt, p, 0);
     lead.map.at(RegClass::kInt, r) = p;
   }
   for (int r = 0; r < kNumFpRegs; ++r) {
     const int p = fp_free_.allocate();
-    fp_prf_.set_value(p, 0);
+    regfile_.set_value(RegClass::kFp, p, 0);
     lead.map.at(RegClass::kFp, r) = p;
   }
 
@@ -136,32 +135,40 @@ Core::Core(const Program& program, Mode mode, const CoreParams& params,
           params_.phys_int_regs, params_.phys_fp_regs);
       for (int r = 0; r < kNumIntRegs; ++r) {
         const int t = int_free_.allocate();
-        int_prf_.set_value(t, 0);
+        regfile_.set_value(RegClass::kInt, t, 0);
         trail.lead_phys_map->at(RegClass::kInt,
                                 lead.map.get(RegClass::kInt, r)) = t;
         second_rename_.initialize(RegClass::kInt, r, t);
       }
       for (int r = 0; r < kNumFpRegs; ++r) {
         const int t = fp_free_.allocate();
-        fp_prf_.set_value(t, 0);
+        regfile_.set_value(RegClass::kFp, t, 0);
         trail.lead_phys_map->at(RegClass::kFp,
                                 lead.map.get(RegClass::kFp, r)) = t;
         second_rename_.initialize(RegClass::kFp, r, t);
       }
+      const auto pow2 = [](std::size_t n) {
+        std::size_t p = 1;
+        while (p < n) p <<= 1;
+        return p;
+      };
       trail.al_window.assign(
-          static_cast<std::size_t>(params_.active_list_entries), nullptr);
-      trail.lsq_window.assign(static_cast<std::size_t>(params_.lsq_entries),
-                              nullptr);
+          pow2(static_cast<std::size_t>(params_.active_list_entries)),
+          InstRef{});
+      trail.al_window_mask = trail.al_window.size() - 1;
+      trail.lsq_window.assign(
+          pow2(static_cast<std::size_t>(params_.lsq_entries)), InstRef{});
+      trail.lsq_window_mask = trail.lsq_window.size() - 1;
     } else {
       // SRT trailing: an ordinary context with its own rename map.
       for (int r = 0; r < kNumIntRegs; ++r) {
         const int p = int_free_.allocate();
-        int_prf_.set_value(p, 0);
+        regfile_.set_value(RegClass::kInt, p, 0);
         trail.map.at(RegClass::kInt, r) = p;
       }
       for (int r = 0; r < kNumFpRegs; ++r) {
         const int p = fp_free_.allocate();
-        fp_prf_.set_value(p, 0);
+        regfile_.set_value(RegClass::kFp, p, 0);
         trail.map.at(RegClass::kFp, r) = p;
       }
     }
@@ -235,7 +242,26 @@ RunOutcome Core::run(std::uint64_t target_commits, std::uint64_t max_cycles) {
   return out;
 }
 
-void Core::reset_stats() { stats_ = CoreStats{}; }
+void Core::reset_stats() {
+  stats_ = CoreStats{};
+  reset_event_cache();  // the map the cached slots point into was destroyed
+}
+
+void Core::reset_event_cache() {
+  ev_fetch_buffer_full_ = nullptr;
+  ev_fetch_block_boundary_ = nullptr;
+  ev_fetch_instructions_ = nullptr;
+  ev_dispatch_pipe_delay_ = nullptr;
+  ev_dispatch_structural_ = nullptr;
+  ev_dispatch_instructions_ = nullptr;
+  ev_dispatch_iq_full_ = nullptr;
+  ev_dispatch_packet_serial_ = nullptr;
+  ev_dispatch_al_full_ = nullptr;
+  ev_dispatch_lsq_full_ = nullptr;
+  ev_commit_head_executing_ = nullptr;
+  ev_commit_head_not_issued_ = nullptr;
+  ev_commit_stall_op_.fill(nullptr);
+}
 
 void Core::record_detection(DetectionKind kind, std::uint64_t pc,
                             std::uint64_t seq) {
@@ -243,10 +269,13 @@ void Core::record_detection(DetectionKind kind, std::uint64_t pc,
   if (halt_on_detection_) detection_halt_ = true;
 }
 
-InstPtr Core::make_inst(ThreadId tid) {
-  auto inst = std::make_shared<DynInst>();
+DynInst* Core::make_inst(ThreadId tid) {
+  DynInst* inst = pool_.allocate();
   inst->tid = tid;
   inst->fetch_cycle = cycle_;
+  if (pool_.in_use() > stats_.pool_high_water) {
+    stats_.pool_high_water = pool_.in_use();
+  }
   return inst;
 }
 
@@ -319,7 +348,8 @@ void Core::shuffle_stage() {
     }
   }
 
-  std::vector<DtqEntry> entries;
+  std::vector<DtqEntry>& entries = shuffle_entries_;  // member scratch
+  entries.clear();
   entries.reserve(n);
   for (std::size_t i = 0; i < n; ++i) entries.push_back(dtq_.at(i));
   dtq_.pop_front(n);
@@ -330,6 +360,7 @@ void Core::shuffle_stage() {
     TrailPacket pkt;
     pkt.packet_id = next_packet_id_++;
     pkt.origin_id = origin;
+    pkt.slots.reserve(entries.size());
     for (const DtqEntry& e : entries) {
       TrailSlot slot;
       slot.is_nop = false;
@@ -341,16 +372,19 @@ void Core::shuffle_stage() {
     return;
   }
 
-  std::vector<ShuffleInst> input;
+  std::vector<ShuffleInst>& input = shuffle_input_;  // member scratch
+  input.clear();
   input.reserve(n);
   for (const DtqEntry& e : entries) {
     input.push_back(ShuffleInst{e.fu, e.lead_frontend_way,
                                 e.lead_backend_way});
   }
   bool cache_hit = false;
+  bool warm_hit = false;
   const ShuffleResult& shuffled =
-      shuffle_cache_.shuffle(input, params_.fetch_width, &cache_hit);
+      shuffle_cache_.shuffle(input, params_.fetch_width, &cache_hit, &warm_hit);
   ++(cache_hit ? stats_.shuffle_cache_hits : stats_.shuffle_cache_misses);
+  if (warm_hit) ++stats_.shuffle_cache_warm_hits;
   stats_.shuffle_nops += static_cast<std::uint64_t>(shuffled.nops_inserted);
   stats_.packet_splits += static_cast<std::uint64_t>(shuffled.splits);
   stats_.shuffle_forced_places +=
@@ -360,6 +394,7 @@ void Core::shuffle_stage() {
     TrailPacket pkt;
     pkt.packet_id = next_packet_id_++;
     pkt.origin_id = origin;
+    pkt.slots.reserve(out.size());
     for (const ShuffleSlot& s : out) {
       TrailSlot slot;
       if (s.is_nop) {
@@ -451,16 +486,16 @@ void Core::fetch_leading(Context& ctx) {
     if (ctx.fetch_done) break;
     if (ctx.frontend_q.size() >=
         static_cast<std::size_t>(params_.fetch_buffer_entries)) {
-      stats_.events.bump("fetch.lead.buffer_full");
+      bump_event(ev_fetch_buffer_full_, "fetch.lead.buffer_full");
       break;
     }
     if (ctx.fetch_pc / block_insts != first_block) {
-      stats_.events.bump("fetch.lead.block_boundary");
+      bump_event(ev_fetch_block_boundary_, "fetch.lead.block_boundary");
       break;
     }
     ++fetched;
 
-    InstPtr inst = make_inst(ThreadId::kLeading);
+    DynInst* inst = make_inst(ThreadId::kLeading);
     inst->pc = ctx.fetch_pc;
     inst->seq = ctx.fetch_seq++;
     inst->raw = program_.fetch_raw(ctx.fetch_pc);
@@ -484,12 +519,14 @@ void Core::fetch_leading(Context& ctx) {
     if (inst->predecode.op == Opcode::kHalt) {
       ctx.fetch_done = true;
     }
-    ctx.frontend_q.push_back(std::move(inst));
+    ctx.frontend_q.push_back(inst->self);
     ctx.fetch_pc = next_pc;
     if (redirect) break;
   }
   // Hoisted per-instruction bump: counts are identical, one map probe.
-  if (fetched > 0) stats_.events.bump("fetch.lead.instructions", fetched);
+  if (fetched > 0) {
+    bump_event(ev_fetch_instructions_, "fetch.lead.instructions", fetched);
+  }
 }
 
 void Core::fetch_trailing_srt(Context& ctx) {
@@ -511,7 +548,7 @@ void Core::fetch_trailing_srt(Context& ctx) {
     }
     if (ctx.fetch_pc / block_insts != first_block) break;
 
-    InstPtr inst = make_inst(ThreadId::kTrailing);
+    DynInst* inst = make_inst(ThreadId::kTrailing);
     inst->pc = ctx.fetch_pc;
     inst->seq = ctx.fetch_seq;
     inst->raw = program_.fetch_raw(ctx.fetch_pc);
@@ -527,7 +564,10 @@ void Core::fetch_trailing_srt(Context& ctx) {
       const std::size_t offset =
           static_cast<std::size_t>(ctx.fetched_ctrl - ctx.committed_ctrl);
       const std::optional<BranchOutcome> outcome = boq_.peek(offset);
-      if (!outcome.has_value()) break;  // outcome not yet available
+      if (!outcome.has_value()) {
+        pool_.release(inst->self);  // fetch abandoned before enqueue
+        break;                      // outcome not yet available
+      }
       inst->pred_taken = outcome->taken;
       inst->pred_target = outcome->target;
       inst->ctrl_ordinal = ctx.fetched_ctrl;
@@ -542,7 +582,7 @@ void Core::fetch_trailing_srt(Context& ctx) {
     if (inst->predecode.op == Opcode::kHalt) ctx.fetch_done = true;
 
     ++ctx.fetch_seq;
-    ctx.frontend_q.push_back(std::move(inst));
+    ctx.frontend_q.push_back(inst->self);
     ctx.fetch_pc = next_pc;
     if (redirect) break;
   }
@@ -563,7 +603,7 @@ void Core::fetch_trailing_blackjack(Context& ctx) {
     }
     for (std::size_t slot = 0; slot < pkt.slots.size(); ++slot) {
       const TrailSlot& ts = pkt.slots[slot];
-      InstPtr inst = make_inst(ThreadId::kTrailing);
+      DynInst* inst = make_inst(ThreadId::kTrailing);
       inst->packet_id = pkt.packet_id;
       inst->origin_packet_id = pkt.origin_id;
       inst->slot_in_packet = static_cast<int>(slot);
@@ -592,7 +632,7 @@ void Core::fetch_trailing_blackjack(Context& ctx) {
         ctx.fetch_seq = e.virt_al_index + 1;  // backlog tracking
         ++insts_fetched;
       }
-      ctx.frontend_q.push_back(std::move(inst));
+      ctx.frontend_q.push_back(inst->self);
     }
     trail_fetch_q_insts_ -= pkt.slots.size();
     trail_fetch_q_.pop_front();
@@ -613,14 +653,14 @@ void Core::dispatch() {
     Context& ctx = ctxs_[(start + k) % kNumThreads];
     if (ctx.tid == ThreadId::kTrailing && !redundant()) continue;
     while (budget > 0 && !ctx.frontend_q.empty()) {
-      const InstPtr& inst = ctx.frontend_q.front();
+      DynInst* inst = &pool_.get(ctx.frontend_q.front());
       if (inst->fetch_cycle + static_cast<std::uint64_t>(
                                   params_.frontend_stages) > cycle_) {
-        stats_.events.bump("dispatch.pipe_delay");
+        bump_event(ev_dispatch_pipe_delay_, "dispatch.pipe_delay");
         break;
       }
       if (!rename_and_dispatch(ctx, inst)) {
-        stats_.events.bump("dispatch.structural_stall");
+        bump_event(ev_dispatch_structural_, "dispatch.structural_stall");
         break;
       }
       ctx.frontend_q.pop_front();
@@ -629,7 +669,9 @@ void Core::dispatch() {
     }
   }
   // Hoisted per-instruction bump: counts are identical, one map probe.
-  if (dispatched > 0) stats_.events.bump("dispatch.instructions", dispatched);
+  if (dispatched > 0) {
+    bump_event(ev_dispatch_instructions_, "dispatch.instructions", dispatched);
+  }
 }
 
 int Core::find_free_iq_slot() const {
@@ -639,10 +681,10 @@ int Core::find_free_iq_slot() const {
   return -1;
 }
 
-bool Core::rename_and_dispatch(Context& ctx, const InstPtr& inst) {
+bool Core::rename_and_dispatch(Context& ctx, DynInst* inst) {
   const int iq_slot = find_free_iq_slot();
   if (iq_slot < 0) {
-    stats_.events.bump("dispatch.iq_full");
+    bump_event(ev_dispatch_iq_full_, "dispatch.iq_full");
     return false;
   }
 
@@ -650,13 +692,14 @@ bool Core::rename_and_dispatch(Context& ctx, const InstPtr& inst) {
   if (trailing_packet_member && params_.packet_serial_dispatch &&
       iq_trailing_unissued_ > 0 &&
       inst->packet_id != iq_trailing_packet_id_) {
-    stats_.events.bump("dispatch.packet_serial_stall");
+    bump_event(ev_dispatch_packet_serial_, "dispatch.packet_serial_stall");
     return false;
   }
 
   auto install_iq = [&]() {
     inst->iq_entry = iq_slot;
-    iq_[static_cast<std::size_t>(iq_slot)].inst = inst;
+    iq_[static_cast<std::size_t>(iq_slot)].inst = inst->self;
+    iq_[static_cast<std::size_t>(iq_slot)].ptr = inst;
     ++iq_occupancy_;
     inst->age = dispatch_age_++;
     inst->dispatched = true;
@@ -673,9 +716,11 @@ bool Core::rename_and_dispatch(Context& ctx, const InstPtr& inst) {
   }
 
   // Decode stage: this is where the frontend-way decoder fault bites. The
-  // decoded (possibly corrupted) form drives rename and execution.
+  // decoded (possibly corrupted) form drives rename and execution. A clean
+  // decode lane reproduces the fetch-time predecode bit-for-bit, so the
+  // decoder only re-runs when the fault hook actually flipped something.
   const std::uint32_t raw = injector_->on_decode(inst->raw, inst->frontend_way);
-  inst->inst = decode(raw);
+  inst->inst = raw == inst->raw ? inst->predecode : decode(raw);
   inst->fu = inst->inst.fu();
   const bool is_mem = inst->inst.is_mem();
   const bool writes = inst->inst.writes_reg();
@@ -698,12 +743,12 @@ bool Core::rename_and_dispatch(Context& ctx, const InstPtr& inst) {
   } else {
     if (ctx.active_list.size() >=
         static_cast<std::size_t>(params_.active_list_entries)) {
-      stats_.events.bump("dispatch.al_full");
+      bump_event(ev_dispatch_al_full_, "dispatch.al_full");
       return false;
     }
     if (is_mem &&
         ctx.lsq.size() >= static_cast<std::size_t>(params_.lsq_entries)) {
-      stats_.events.bump("dispatch.lsq_full");
+      bump_event(ev_dispatch_lsq_full_, "dispatch.lsq_full");
       return false;
     }
   }
@@ -724,7 +769,7 @@ bool Core::rename_and_dispatch(Context& ctx, const InstPtr& inst) {
       inst->dst_phys = free_list(inst->inst.dst.cls).allocate();
       // Not ready until the producer issues (clears any stale readiness from
       // the register's previous lifetime).
-      prf(inst->inst.dst.cls).set_ready_at(inst->dst_phys, ~0ull);
+      regfile_.mark_busy(inst->inst.dst.cls, inst->dst_phys);
       // The previous trailing mapping is NOT freed here: freeing happens in
       // program order through the second rename table at trailing commit.
       if (inst->lead_dst_phys != kNoPhysReg) {
@@ -743,29 +788,27 @@ bool Core::rename_and_dispatch(Context& ctx, const InstPtr& inst) {
     if (writes) {
       inst->prev_dst_phys = ctx.map.get(inst->inst.dst.cls, inst->inst.dst.idx);
       inst->dst_phys = free_list(inst->inst.dst.cls).allocate();
-      prf(inst->inst.dst.cls).set_ready_at(inst->dst_phys, ~0ull);
+      regfile_.mark_busy(inst->inst.dst.cls, inst->dst_phys);
       ctx.map.at(inst->inst.dst.cls, inst->inst.dst.idx) = inst->dst_phys;
     }
   }
 
   // Window insertion.
   if (bj_trailing) {
-    const std::size_t al_size = ctx.al_window.size();
-    ctx.al_window[static_cast<std::size_t>(inst->virt_al_index) % al_size] =
-        inst;
+    ctx.al_window[static_cast<std::size_t>(inst->virt_al_index) &
+                  ctx.al_window_mask] = inst->self;
     ++ctx.al_window_count;
     if (inst->has_lsq_slot) {
-      const std::size_t lsq_size = ctx.lsq_window.size();
-      ctx.lsq_window[static_cast<std::size_t>(inst->virt_lsq_index) %
-                     lsq_size] = inst;
+      ctx.lsq_window[static_cast<std::size_t>(inst->virt_lsq_index) &
+                     ctx.lsq_window_mask] = inst->self;
       ++ctx.lsq_window_count;
     }
   } else {
-    ctx.active_list.push_back(inst);
+    ctx.active_list.push_back(inst->self);
     if (is_mem) {
-      ctx.lsq.push_back(inst);
+      ctx.lsq.push_back(inst->self);
       // Mirror stores into the store-only ring the load paths scan.
-      if (inst->inst.is_store()) ctx.lsq_stores.push_back(inst);
+      if (inst->inst.is_store()) ctx.lsq_stores.push_back(inst->self);
     }
   }
 
@@ -790,20 +833,20 @@ void Core::dump_state(std::ostream& os) const {
        << " halted=" << ctx.halted << " fetch_done=" << ctx.fetch_done
        << " icache_ready=" << ctx.icache_ready << "\n";
     if (!ctx.frontend_q.empty()) {
-      const InstPtr& h = ctx.frontend_q.front();
+      const DynInst* h = &pool_.get(ctx.frontend_q.front());
       os << "  frontend head: seq=" << h->seq << " pc=" << h->pc << " "
          << disassemble(h->predecode) << (h->is_shuffle_nop ? " [nop]" : "")
          << " packet=" << h->packet_id << "\n";
     }
-    const InstPtr* head = nullptr;
+    InstRef head;
     if (!ctx.active_list.empty()) {
-      head = &ctx.active_list.front();
+      head = ctx.active_list.front();
     } else if (ctx.al_window_count > 0) {
-      head = &ctx.al_window[static_cast<std::size_t>(ctx.al_head_virt) %
-                            ctx.al_window.size()];
+      head = ctx.al_window[static_cast<std::size_t>(ctx.al_head_virt) &
+                           ctx.al_window_mask];
     }
-    if (head != nullptr && *head) {
-      const InstPtr& h = *head;
+    if (head) {
+      const DynInst* h = &pool_.get(head);
       os << "  al head: seq=" << h->seq << " pc=" << h->pc << " "
          << disassemble(h->inst) << " issued=" << h->issued
          << " completed=" << h->completed << " iq=" << h->iq_entry << "\n";
@@ -814,7 +857,7 @@ void Core::dump_state(std::ostream& os) const {
      << " gate_packet=" << iq_trailing_packet_id_ << "\n";
   for (std::size_t i = 0; i < iq_.size(); ++i) {
     if (!iq_[i].inst) continue;
-    const InstPtr& in = iq_[i].inst;
+    const DynInst* in = &pool_.get(iq_[i].inst);
     os << "  iq[" << i << "] tid=" << tid_index(in->tid) << " seq=" << in->seq
        << " pc=" << in->pc << " " << disassemble(in->inst)
        << (in->is_shuffle_nop ? " [nop]" : "") << " packet=" << in->packet_id

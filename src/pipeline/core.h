@@ -32,6 +32,7 @@
 #include "fault/coverage.h"
 #include "fault/fault_model.h"
 #include "mem/cache.h"
+#include "pipeline/inst_pool.h"
 #include "pipeline/params.h"
 #include "pipeline/regfile.h"
 #include "pipeline/types.h"
@@ -63,9 +64,15 @@ struct CoreStats {
   std::uint64_t shuffle_forced_places = 0;
   std::uint64_t packets_combined = 0;  // extension: merged input packets
   // Shuffle memoization cache (ShuffleCache): lookups served from the cache
-  // vs. computed by running the shuffle search.
+  // vs. computed by running the shuffle search. warm_hits counts the subset
+  // of hits served by a shared warm-start snapshot (campaign workers).
   std::uint64_t shuffle_cache_hits = 0;
   std::uint64_t shuffle_cache_misses = 0;
+  std::uint64_t shuffle_cache_warm_hits = 0;
+
+  // Peak number of simultaneously live DynInsts in the instruction arena
+  // (InstPool) — the working-set size the slab allocator actually needs.
+  std::uint64_t pool_high_water = 0;
 
   // Payload-RAM fault exposure: dynamic instructions whose payload was
   // corrupted in the leading copy / in both copies identically. The latter
@@ -181,6 +188,18 @@ class Core {
   // the unprofiled tick path pays nothing for the feature.
   void set_profiler(StageProfiler* profiler) { profiler_ = profiler; }
 
+  // Shared shuffle-cache warm start (campaign workers): adopt an immutable
+  // snapshot of previously computed shuffle results. Purely a memoization
+  // hint — simulated behaviour is identical with or without it.
+  void warm_start_shuffle(std::shared_ptr<const ShuffleCache::Map> warm) {
+    shuffle_cache_.warm_start(std::move(warm));
+  }
+  const ShuffleCache& shuffle_cache() const { return shuffle_cache_; }
+
+  // Instruction-arena introspection (tests and capacity studies).
+  std::size_t inst_pool_live() const { return pool_.in_use(); }
+  std::size_t inst_pool_high_water() const { return pool_.high_water(); }
+
  private:
   struct Context;
 
@@ -205,27 +224,24 @@ class Core {
   bool uses_dtq() const {
     return mode_ == Mode::kBlackjack || mode_ == Mode::kBlackjackNs;
   }
-  PhysRegFile& prf(RegClass cls) {
-    return cls == RegClass::kInt ? int_prf_ : fp_prf_;
-  }
   FreeList& free_list(RegClass cls) {
     return cls == RegClass::kInt ? int_free_ : fp_free_;
   }
   bool operand_ready(RegClass cls, int phys) const;
   std::uint64_t operand_value(RegClass cls, int phys) const;
   bool ready_to_issue(DynInst* inst);
-  void execute_inst(const InstPtr& inst);
-  void schedule_completion(const InstPtr& inst, std::uint64_t cycle);
-  void resolve_leading_branch(const InstPtr& inst);
+  void execute_inst(DynInst* inst);
+  void schedule_completion(DynInst* inst, std::uint64_t cycle);
+  void resolve_leading_branch(DynInst* inst);
   void squash_leading_after(std::uint64_t branch_seq, std::uint64_t new_pc);
-  bool rename_and_dispatch(Context& ctx, const InstPtr& inst);
+  bool rename_and_dispatch(Context& ctx, DynInst* inst);
   int find_free_iq_slot() const;
   void record_detection(DetectionKind kind, std::uint64_t pc,
                         std::uint64_t seq);
-  void trace_commit(const InstPtr& inst, char tag);
+  void trace_commit(const DynInst* inst, char tag);
   void note_commit_progress() { last_commit_cycle_ = cycle_; }
-  InstPtr make_inst(ThreadId tid);
-  void check_against_oracle(const InstPtr& inst);
+  DynInst* make_inst(ThreadId tid);
+  void check_against_oracle(const DynInst* inst);
   void release_store(std::uint64_t ordinal, std::uint64_t addr,
                      std::uint64_t data);
   std::optional<std::uint64_t> leading_load_value(const DynInst* inst);
@@ -252,13 +268,20 @@ class Core {
   // --- shared machine state ------------------------------------------------
   std::uint64_t cycle_ = 0;
   std::uint64_t dispatch_age_ = 0;
-  PhysRegFile int_prf_;
-  PhysRegFile fp_prf_;
+  // Instruction arena: every in-flight DynInst lives here; queues hold
+  // InstRefs. Declared before the queues so it outlives them on teardown.
+  InstPool pool_;
+  // Single SoA register file spanning both classes (int rows, then fp).
+  PhysRegFile regfile_;
   FreeList int_free_;
   FreeList fp_free_;
 
   struct IqSlot {
-    InstPtr inst;  // null when free
+    InstRef inst;           // invalid when free
+    DynInst* ptr = nullptr; // arena slot for `inst`; cached at install so the
+                            // per-cycle wakeup scan skips the handle check
+                            // (IQ residents are live by construction: issue
+                            // and squash clear the slot before releasing)
   };
   std::vector<IqSlot> iq_;
   int iq_occupancy_ = 0;
@@ -271,14 +294,20 @@ class Core {
   // slowest FU, computed from params in the constructor); anything beyond
   // that horizon — only possible with exotic parameterizations — falls back
   // to the ordered map.
-  std::vector<std::vector<InstPtr>> completion_wheel_;
+  // Entries carry the instruction's dispatch age alongside the handle so the
+  // writeback drain can sort without resolving every handle per comparison.
+  using Completion = std::pair<std::uint64_t, InstRef>;  // {age, inst}
+  std::vector<std::vector<Completion>> completion_wheel_;
   std::uint64_t completion_wheel_mask_ = 0;
-  std::map<std::uint64_t, std::vector<InstPtr>> completion_overflow_;
-  std::vector<InstPtr> writeback_scratch_;
+  std::map<std::uint64_t, std::vector<Completion>> completion_overflow_;
+  std::vector<Completion> writeback_scratch_;
 
   // Issue-stage scratch (reused across cycles to avoid per-cycle allocation).
   std::vector<DynInst*> issue_candidates_;
-  std::vector<InstPtr> issue_issued_;
+  std::vector<DynInst*> issue_issued_;
+  // Shuffle-stage scratch (one popped DTQ window + its shuffle signature).
+  std::vector<DtqEntry> shuffle_entries_;
+  std::vector<ShuffleInst> shuffle_input_;
 
   // --- redundancy structures ------------------------------------------------
   BranchOutcomeQueue boq_;
@@ -322,7 +351,7 @@ class Core {
     std::uint64_t fetch_seq = 0;      // next program-order sequence number
     std::uint64_t icache_ready = 0;   // fetch blocked until this cycle
     bool fetch_done = false;          // halt fetched
-    RingDeque<InstPtr> frontend_q;    // fetched, awaiting dispatch
+    RingDeque<InstRef> frontend_q;    // fetched, awaiting dispatch
 
     // Fetch-side ordinals (trailing SRT: BOQ consumption at fetch).
     std::uint64_t fetched_ctrl = 0;
@@ -336,20 +365,26 @@ class Core {
     // Windows. The leading/SRT active list and LSQ are program-order rings
     // sized by params; the BlackJack trailing thread uses virtual-index
     // windows.
-    RingDeque<InstPtr> active_list;
-    RingDeque<InstPtr> lsq;
+    RingDeque<InstRef> active_list;
+    RingDeque<InstRef> lsq;
     // Stores currently in `lsq`, in program order (push at dispatch, pop at
     // commit/squash alongside lsq). Lets the load paths scan stores only:
     // lsq_older_stores_ready() reads the first pending store through
     // lsq_stores_ready_prefix (stores become address-ready monotonically,
     // so the prefix only shrinks on squash/commit), and leading_load_value()
     // walks this ring backward instead of the whole LSQ.
-    RingDeque<InstPtr> lsq_stores;
+    RingDeque<InstRef> lsq_stores;
     std::size_t lsq_stores_ready_prefix = 0;
-    std::vector<InstPtr> al_window;
+    // Window storage is rounded up to a power of two so the virtual-index
+    // mapping is a mask, not a division (two divisions per trailing commit
+    // showed up in the flat profile). Any `entries` consecutive virtual
+    // indices still map to distinct slots, since entries <= storage size.
+    std::vector<InstRef> al_window;
+    std::size_t al_window_mask = 0;
     std::uint64_t al_head_virt = 0;
     std::size_t al_window_count = 0;
-    std::vector<InstPtr> lsq_window;
+    std::vector<InstRef> lsq_window;
+    std::size_t lsq_window_mask = 0;
     std::uint64_t lsq_head_virt = 0;
     std::size_t lsq_window_count = 0;
 
@@ -365,6 +400,31 @@ class Core {
 
   // --- status / accounting ----------------------------------------------------
   CoreStats stats_;
+  // Cached event-counter slots (CounterSet::slot): stall accounting otherwise
+  // pays a string-keyed map lookup on every bump, which shows up at the top
+  // of the flat profile. Pointers fill lazily on the first bump, so the set
+  // of entries in the event map — which the golden fingerprints hash — is
+  // exactly what bump() would have produced. reset_stats() must null these
+  // (the map they point into is rebuilt).
+  void bump_event(std::uint64_t*& cached, std::string_view name,
+                  std::uint64_t by = 1) {
+    if (cached == nullptr) cached = &stats_.events.slot(name);
+    *cached += by;
+  }
+  void reset_event_cache();
+  std::uint64_t* ev_fetch_buffer_full_ = nullptr;
+  std::uint64_t* ev_fetch_block_boundary_ = nullptr;
+  std::uint64_t* ev_fetch_instructions_ = nullptr;
+  std::uint64_t* ev_dispatch_pipe_delay_ = nullptr;
+  std::uint64_t* ev_dispatch_structural_ = nullptr;
+  std::uint64_t* ev_dispatch_instructions_ = nullptr;
+  std::uint64_t* ev_dispatch_iq_full_ = nullptr;
+  std::uint64_t* ev_dispatch_packet_serial_ = nullptr;
+  std::uint64_t* ev_dispatch_al_full_ = nullptr;
+  std::uint64_t* ev_dispatch_lsq_full_ = nullptr;
+  std::uint64_t* ev_commit_head_executing_ = nullptr;
+  std::uint64_t* ev_commit_head_not_issued_ = nullptr;
+  std::array<std::uint64_t*, kNumOpcodes> ev_commit_stall_op_{};
   std::array<std::uint64_t, kNumThreads> total_commits_ = {0, 0};
   std::uint64_t last_commit_cycle_ = 0;
   bool wedged_ = false;

@@ -13,7 +13,7 @@
 
 namespace bj {
 
-void Core::trace_commit(const InstPtr& inst, char tag) {
+void Core::trace_commit(const DynInst* inst, char tag) {
   if (trace_ == nullptr) return;
   *trace_ << tag << " seq=" << inst->seq << " pc=" << inst->pc
           << " fe=" << inst->frontend_way << " be=" << inst->backend_way
@@ -43,7 +43,7 @@ void Core::release_store(std::uint64_t ordinal, std::uint64_t addr,
   }
 }
 
-void Core::check_against_oracle(const InstPtr& inst) {
+void Core::check_against_oracle(const DynInst* inst) {
   const std::optional<RetireRecord> rec = oracle_.step();
   std::ostringstream detail;
   if (!rec.has_value()) {
@@ -84,19 +84,27 @@ void Core::check_against_oracle(const InstPtr& inst) {
 void Core::commit_leading(Context& ctx) {
   for (int n = 0; n < params_.commit_width; ++n) {
     if (ctx.halted || ctx.active_list.empty()) break;
-    InstPtr head = ctx.active_list.front();
+    const InstRef head_ref = ctx.active_list.front();
+    DynInst* head = &pool_.get(head_ref);
     if (!head->completed) {
       if (n == 0) {
-        stats_.events.bump(head->issued ? "commit.head_executing"
-                                        : "commit.head_not_issued");
-        if (!head->issued) {
-          // Stack-built key: avoids a heap std::string per stall cycle.
-          char key[48];
-          const int len =
-              std::snprintf(key, sizeof key, "commit.head_not_issued.%s",
-                            traits(head->inst.op).mnemonic);
-          stats_.events.bump(
-              std::string_view(key, static_cast<std::size_t>(len)));
+        if (head->issued) {
+          bump_event(ev_commit_head_executing_, "commit.head_executing");
+        } else {
+          bump_event(ev_commit_head_not_issued_, "commit.head_not_issued");
+          // Per-mnemonic stall attribution: the key is built (and looked up)
+          // once per opcode; later stall cycles bump through the cached slot.
+          std::uint64_t*& op_slot =
+              ev_commit_stall_op_[static_cast<std::size_t>(head->inst.op)];
+          if (op_slot == nullptr) {
+            char key[48];
+            const int len =
+                std::snprintf(key, sizeof key, "commit.head_not_issued.%s",
+                              traits(head->inst.op).mnemonic);
+            op_slot = &stats_.events.slot(
+                std::string_view(key, static_cast<std::size_t>(len)));
+          }
+          ++*op_slot;
         }
       }
       break;
@@ -158,10 +166,10 @@ void Core::commit_leading(Context& ctx) {
     if (d.is_store()) ++ctx.committed_stores;
     if (d.is_mem()) {
       ++ctx.committed_mem;
-      assert(!ctx.lsq.empty() && ctx.lsq.front() == head);
+      assert(!ctx.lsq.empty() && ctx.lsq.front() == head_ref);
       ctx.lsq.pop_front();
       if (d.is_store()) {
-        assert(!ctx.lsq_stores.empty() && ctx.lsq_stores.front() == head);
+        assert(!ctx.lsq_stores.empty() && ctx.lsq_stores.front() == head_ref);
         ctx.lsq_stores.pop_front();
         if (ctx.lsq_stores_ready_prefix > 0) --ctx.lsq_stores_ready_prefix;
       }
@@ -173,13 +181,15 @@ void Core::commit_leading(Context& ctx) {
     ++total_commits_[0];
     ++stats_.leading_commits;
     note_commit_progress();
+    pool_.release(head_ref);  // retired: last reference leaves the pipeline
   }
 }
 
 void Core::commit_trailing_srt(Context& ctx) {
   for (int n = 0; n < params_.commit_width; ++n) {
     if (ctx.halted || ctx.active_list.empty()) break;
-    InstPtr head = ctx.active_list.front();
+    const InstRef head_ref = ctx.active_list.front();
+    DynInst* head = &pool_.get(head_ref);
     if (!head->completed) break;
 
     const DecodedInst& d = head->inst;
@@ -259,10 +269,10 @@ void Core::commit_trailing_srt(Context& ctx) {
     if (d.is_store()) ++ctx.committed_stores;
     if (d.is_mem()) {
       ++ctx.committed_mem;
-      assert(!ctx.lsq.empty() && ctx.lsq.front() == head);
+      assert(!ctx.lsq.empty() && ctx.lsq.front() == head_ref);
       ctx.lsq.pop_front();
       if (d.is_store()) {
-        assert(!ctx.lsq_stores.empty() && ctx.lsq_stores.front() == head);
+        assert(!ctx.lsq_stores.empty() && ctx.lsq_stores.front() == head_ref);
         ctx.lsq_stores.pop_front();
         if (ctx.lsq_stores_ready_prefix > 0) --ctx.lsq_stores_ready_prefix;
       }
@@ -274,16 +284,19 @@ void Core::commit_trailing_srt(Context& ctx) {
     ++total_commits_[1];
     ++stats_.trailing_commits;
     note_commit_progress();
+    pool_.release(head_ref);  // retired: last reference leaves the pipeline
   }
 }
 
 void Core::commit_trailing_blackjack(Context& ctx) {
   for (int n = 0; n < params_.commit_width; ++n) {
     if (ctx.halted || ctx.al_window_count == 0) break;
-    const std::size_t al_size = ctx.al_window.size();
-    InstPtr head =
-        ctx.al_window[static_cast<std::size_t>(ctx.al_head_virt) % al_size];
-    if (!head || !head->completed) break;
+    const InstRef head_ref =
+        ctx.al_window[static_cast<std::size_t>(ctx.al_head_virt) &
+                      ctx.al_window_mask];
+    if (!head_ref) break;
+    DynInst* head = &pool_.get(head_ref);
+    if (!head->completed) break;
 
     const DecodedInst& d = head->inst;
 
@@ -348,16 +361,15 @@ void Core::commit_trailing_blackjack(Context& ctx) {
     if (d.is_mem()) ++ctx.committed_mem;
     if (d.op == Opcode::kHalt) ctx.halted = true;
 
-    ctx.al_window[static_cast<std::size_t>(ctx.al_head_virt) % al_size] =
-        nullptr;
+    ctx.al_window[static_cast<std::size_t>(ctx.al_head_virt) &
+                  ctx.al_window_mask] = InstRef{};
     ++ctx.al_head_virt;
     --ctx.al_window_count;
     if (head->has_lsq_slot) {
-      const std::size_t lsq_size = ctx.lsq_window.size();
-      assert(ctx.lsq_window[static_cast<std::size_t>(ctx.lsq_head_virt) %
-                            lsq_size] == head);
-      ctx.lsq_window[static_cast<std::size_t>(ctx.lsq_head_virt) % lsq_size] =
-          nullptr;
+      assert(ctx.lsq_window[static_cast<std::size_t>(ctx.lsq_head_virt) &
+                            ctx.lsq_window_mask] == head_ref);
+      ctx.lsq_window[static_cast<std::size_t>(ctx.lsq_head_virt) &
+                     ctx.lsq_window_mask] = InstRef{};
       ++ctx.lsq_head_virt;
       --ctx.lsq_window_count;
     }
@@ -366,6 +378,7 @@ void Core::commit_trailing_blackjack(Context& ctx) {
     ++total_commits_[1];
     ++stats_.trailing_commits;
     note_commit_progress();
+    pool_.release(head_ref);  // retired: last reference leaves the pipeline
   }
 }
 

@@ -17,15 +17,14 @@ bool is_unpipelined(Opcode op) {
 }  // namespace
 
 bool Core::operand_ready(RegClass cls, int phys) const {
-  if (phys == kNoPhysReg) return true;
-  const PhysRegFile& file = cls == RegClass::kInt ? int_prf_ : fp_prf_;
-  return file.ready_at(phys) <= cycle_;
+  // Packed-bitmap wakeup: the bit mirrors ready_at <= cycle_ (set at
+  // writeback, cleared at rename), so the scan touches one cache line per
+  // 64 registers instead of a strided 64-bit cycle compare.
+  return regfile_.ready_now(cls, phys);
 }
 
 std::uint64_t Core::operand_value(RegClass cls, int phys) const {
-  if (phys == kNoPhysReg) return 0;
-  const PhysRegFile& file = cls == RegClass::kInt ? int_prf_ : fp_prf_;
-  return file.value(phys);
+  return regfile_.value(cls, phys);
 }
 
 bool Core::lsq_older_stores_ready(Context& ctx, const DynInst* load) {
@@ -33,12 +32,12 @@ bool Core::lsq_older_stores_ready(Context& ctx, const DynInst* load) {
   // context. Stores become address-ready monotonically (only a squash
   // removes entries, and it clamps the prefix), so the ready prefix of
   // lsq_stores only ever advances here.
-  const RingDeque<InstPtr>& stores = ctx.lsq_stores;
+  const RingDeque<InstRef>& stores = ctx.lsq_stores;
   std::size_t& prefix = ctx.lsq_stores_ready_prefix;
   const std::size_t n = stores.size();
-  while (prefix < n && stores.at(prefix)->addr_ready) ++prefix;
+  while (prefix < n && pool_.get(stores.at(prefix)).addr_ready) ++prefix;
   if (prefix >= n) return true;
-  return stores.at(prefix)->seq >= load->seq;
+  return pool_.get(stores.at(prefix)).seq >= load->seq;
 }
 
 bool Core::ready_to_issue(DynInst* inst) {
@@ -52,7 +51,7 @@ bool Core::ready_to_issue(DynInst* inst) {
     // (value captured at completion, which waits for the data's ready time).
     // This keeps younger loads from serializing behind store dataflow.
     if (inst->src2_phys != kNoPhysReg &&
-        prf(inst->inst.src2.cls).ready_at(inst->src2_phys) == ~0ull) {
+        regfile_.ready_at(inst->inst.src2.cls, inst->src2_phys) == ~0ull) {
       return false;
     }
   } else if (!operand_ready(inst->inst.src2.cls, inst->src2_phys)) {
@@ -79,21 +78,22 @@ bool Core::ready_to_issue(DynInst* inst) {
   return true;
 }
 
-void Core::schedule_completion(const InstPtr& inst, std::uint64_t at_cycle) {
+void Core::schedule_completion(DynInst* inst, std::uint64_t at_cycle) {
   const std::uint64_t delay = at_cycle - cycle_;
   if (delay >= 1 && delay <= completion_wheel_mask_) {
-    completion_wheel_[at_cycle & completion_wheel_mask_].push_back(inst);
+    completion_wheel_[at_cycle & completion_wheel_mask_].push_back(
+        Completion{inst->age, inst->self});
   } else {
     // Beyond the wheel horizon (or a degenerate zero-latency schedule):
     // fall back to the ordered map. Unreachable with sane parameters.
-    completion_overflow_[at_cycle].push_back(inst);
+    completion_overflow_[at_cycle].push_back(Completion{inst->age, inst->self});
   }
 }
 
 // Executes one selected instruction: reads operands, applies the payload and
 // backend fault hooks, evaluates, updates the PRF and schedules completion.
 // Returns false only for leading loads that could not get an MSHR.
-void Core::execute_inst(const InstPtr& inst) {
+void Core::execute_inst(DynInst* inst) {
   inst->issued = true;
   inst->issue_cycle = cycle_;
   ++stats_.instructions_issued;
@@ -130,9 +130,10 @@ void Core::execute_inst(const InstPtr& inst) {
   const DecodedInst& d = inst->inst;
   auto write_dst = [&](std::uint64_t value, std::uint64_t ready_at) {
     if (inst->dst_phys == kNoPhysReg) return;
-    PhysRegFile& file = prf(d.dst.cls);
-    file.set_value(inst->dst_phys, value);
-    file.set_ready_at(inst->dst_phys, ready_at);
+    regfile_.set_value(d.dst.cls, inst->dst_phys, value);
+    // The ready *bit* stays clear until writeback drains the completion at
+    // `ready_at` — consumers wake exactly when they used to.
+    regfile_.set_ready_at(d.dst.cls, inst->dst_phys, ready_at);
   };
 
   if (d.is_load()) {
@@ -152,7 +153,7 @@ void Core::execute_inst(const InstPtr& inst) {
       // fast as they arrive instead of backing up in the issue queue.
       latency = 1;
     } else {
-      const std::optional<std::uint64_t> value = leading_load_value(inst.get());
+      const std::optional<std::uint64_t> value = leading_load_value(inst);
       if (value.has_value()) {
         inst->load_value = *value;
         inst->load_forwarded = true;
@@ -186,7 +187,7 @@ void Core::execute_inst(const InstPtr& inst) {
     const std::uint64_t data_ready =
         inst->src2_phys == kNoPhysReg
             ? cycle_
-            : prf(d.src2.cls).ready_at(inst->src2_phys);
+            : regfile_.ready_at(d.src2.cls, inst->src2_phys);
     schedule_completion(inst, std::max(cycle_ + 1, data_ready));
     return;
   }
@@ -242,9 +243,9 @@ std::optional<std::uint64_t> Core::leading_load_value(const DynInst* inst) {
   // first address-ready match — equivalent to the forward scan over the
   // whole LSQ that kept the last match, minus the loads.
   const Context& ctx = ctxs_[tid_index(inst->tid)];
-  const RingDeque<InstPtr>& stores = ctx.lsq_stores;
+  const RingDeque<InstRef>& stores = ctx.lsq_stores;
   for (std::size_t i = stores.size(); i-- > 0;) {
-    const DynInst* mem = stores.at(i).get();
+    const DynInst* mem = &pool_.get(stores.at(i));
     if (mem->seq >= inst->seq) continue;  // younger than the load
     if (mem->addr_ready && mem->mem_addr == inst->mem_addr) {
       return mem->result;
@@ -262,14 +263,16 @@ std::optional<std::uint64_t> Core::leading_load_value(const DynInst* inst) {
 // selected instruction to the lowest-numbered free backend way of its type.
 // ---------------------------------------------------------------------------
 void Core::issue() {
-  // Scratch vectors are members: no per-cycle allocation, and candidates are
-  // raw pointers (the IQ slot keeps each instruction alive until selection;
-  // a selected instruction's shared reference is captured before its slot is
-  // freed — shuffle NOPs live only in the IQ).
+  // Scratch vectors are members: no per-cycle allocation. Candidates are raw
+  // pool pointers — slots stay live through selection (nothing releases an
+  // in-flight instruction mid-issue); shuffle NOPs live only in the IQ and
+  // are released at the end of this stage.
   issue_candidates_.clear();
   for (IqSlot& slot : iq_) {
-    if (slot.inst && ready_to_issue(slot.inst.get())) {
-      issue_candidates_.push_back(slot.inst.get());
+    // slot.ptr is the resolved arena slot, cached at install (IQ residents
+    // are live by construction, so no handle check per slot per cycle).
+    if (slot.ptr != nullptr && ready_to_issue(slot.ptr)) {
+      issue_candidates_.push_back(slot.ptr);
     }
   }
   if (issue_candidates_.empty()) return;
@@ -277,7 +280,7 @@ void Core::issue() {
             [](const DynInst* a, const DynInst* b) { return a->age < b->age; });
 
   std::array<std::uint32_t, kNumFuClasses> ways_taken{};
-  std::vector<InstPtr>& issued = issue_issued_;
+  std::vector<DynInst*>& issued = issue_issued_;
   issued.clear();
   int dtq_pending = 0;
 
@@ -308,9 +311,8 @@ void Core::issue() {
 
     cand->backend_way = way;
     assert(cand->iq_entry >= 0 &&
-           iq_[static_cast<std::size_t>(cand->iq_entry)].inst.get() == cand);
-    const InstPtr& slot_ref = iq_[static_cast<std::size_t>(cand->iq_entry)].inst;
-    execute_inst(slot_ref);
+           iq_[static_cast<std::size_t>(cand->iq_entry)].inst == cand->self);
+    execute_inst(cand);
     if (!cand->issued) {
       // MSHR-rejected load: the way stays consumed (replay port hazard) but
       // the instruction remains in the queue.
@@ -321,14 +323,15 @@ void Core::issue() {
     }
     ways_taken[static_cast<std::size_t>(cls)] |=
         1u << static_cast<unsigned>(way);
-    issued.push_back(slot_ref);
+    issued.push_back(cand);
     if (uses_dtq() && cand->is_trailing()) {
       assert(iq_trailing_unissued_ > 0);
       --iq_trailing_unissued_;
     }
 
-    // Free the issue-queue slot (issued holds the surviving reference).
-    iq_[static_cast<std::size_t>(cand->iq_entry)].inst.reset();
+    // Free the issue-queue slot (the instruction stays live in the pool:
+    // the active list / window / completion wheel still reference it).
+    iq_[static_cast<std::size_t>(cand->iq_entry)] = IqSlot{};
     --iq_occupancy_;
   }
 
@@ -338,7 +341,7 @@ void Core::issue() {
   // order; co-issued leading instructions share an issue_cycle and thus form
   // a packet.
   if (uses_dtq()) {
-    for (const InstPtr& inst : issued) {
+    for (const DynInst* inst : issued) {
       if (inst->is_trailing()) continue;
       DtqEntry entry;
       entry.lead_seq = inst->seq;
@@ -364,7 +367,7 @@ void Core::issue() {
   std::uint64_t first_origin = 0;
   bool multiple_packets = false;
   bool multiple_origins = false;
-  for (const InstPtr& inst : issued) {
+  for (const DynInst* inst : issued) {
     if (inst->is_trailing()) {
       any_trailing = true;
       if (inst->packet_id != 0) {
@@ -395,35 +398,59 @@ void Core::issue() {
       ++stats_.other_diversity_loss_cycles;
     }
   }
-  issued.clear();  // drop the references promptly (NOPs die here)
+  // Shuffle NOPs are referenced only by their (now freed) IQ slot: their
+  // lifetime ends with issue, so their arena slots are recycled here.
+  for (DynInst* inst : issued) {
+    if (inst->is_shuffle_nop) pool_.release(inst->self);
+  }
+  issued.clear();
 }
 
 // ---------------------------------------------------------------------------
 // Writeback: completion events, leading branch resolution, squash.
 // ---------------------------------------------------------------------------
 void Core::writeback() {
-  std::vector<InstPtr>& bucket =
+  std::vector<Completion>& bucket =
       completion_wheel_[cycle_ & completion_wheel_mask_];
-  std::vector<InstPtr>& done = writeback_scratch_;
+  std::vector<Completion>& done = writeback_scratch_;
   done.clear();
   done.swap(bucket);  // bucket keeps its capacity via the swapped-in vector
   if (!completion_overflow_.empty()) {
     auto it = completion_overflow_.find(cycle_);
     if (it != completion_overflow_.end()) {
-      for (InstPtr& inst : it->second) done.push_back(std::move(inst));
+      for (const Completion& inst : it->second) done.push_back(inst);
       completion_overflow_.erase(it);
     }
   }
   if (done.empty()) return;
+  // Squashed work was released back to the arena when the squash happened,
+  // so its wheel entries are now stale refs — drop them before sorting (the
+  // old code skipped them via the squashed flag).
+  done.erase(std::remove_if(done.begin(), done.end(),
+                            [this](const Completion& c) {
+                              return pool_.try_get(c.second) == nullptr;
+                            }),
+             done.end());
   // Resolve in (thread, age) order so the oldest mispredicted branch squashes
-  // first; its squash marks younger completions squashed and they are skipped.
-  // Ages are unique, so the order matches the previous map-based scheduling.
+  // first; its squash releases younger completions and they are skipped.
+  // Ages are unique (carried in the entry, so the sort needs no arena
+  // lookups), and the order matches the previous map-based scheduling.
   std::sort(done.begin(), done.end(),
-            [](const InstPtr& a, const InstPtr& b) { return a->age < b->age; });
-  for (const InstPtr& inst : done) {
-    if (inst->squashed) continue;
+            [](const Completion& a, const Completion& b) {
+              return a.first < b.first;
+            });
+  for (const auto& [age, ref] : done) {
+    // Re-resolve per element: a branch processed earlier in this loop may
+    // have squashed (released) a younger entry sorted after it.
+    DynInst* inst = pool_.try_get(ref);
+    if (inst == nullptr || inst->squashed) continue;
     inst->completed = true;
     inst->complete_cycle = cycle_;
+    if (inst->dst_phys != kNoPhysReg) {
+      // The producer's result is architecturally visible from this cycle on:
+      // publish the wakeup bit the issue stage scans.
+      regfile_.mark_ready(inst->inst.dst.cls, inst->dst_phys);
+    }
     if (!inst->is_trailing() && inst->predecode.valid &&
         inst->predecode.is_control()) {
       resolve_leading_branch(inst);
@@ -432,7 +459,7 @@ void Core::writeback() {
   done.clear();
 }
 
-void Core::resolve_leading_branch(const InstPtr& inst) {
+void Core::resolve_leading_branch(DynInst* inst) {
   // Effective behaviour: the executed (possibly fault-corrupted) decode
   // decides direction and target; a corrupted non-control decode falls
   // through.
@@ -459,35 +486,46 @@ void Core::squash_leading_after(std::uint64_t branch_seq,
                                 std::uint64_t new_pc) {
   Context& ctx = ctxs_[0];
 
+  // Fetched-but-undispatched work is referenced only by the frontend queue:
+  // release it straight back to the arena.
   for (std::size_t i = 0; i < ctx.frontend_q.size(); ++i) {
-    ctx.frontend_q.at(i)->squashed = true;
+    DynInst& inst = pool_.get(ctx.frontend_q.at(i));
+    inst.squashed = true;
+    pool_.release(inst.self);
   }
   ctx.frontend_q.clear();
 
-  while (!ctx.active_list.empty() &&
-         ctx.active_list.back()->seq > branch_seq) {
-    InstPtr inst = ctx.active_list.back();
-    ctx.active_list.pop_back();
-    inst->squashed = true;
-    // Undo rename in reverse program order.
-    if (inst->dst_phys != kNoPhysReg) {
-      ctx.map.at(inst->inst.dst.cls, inst->inst.dst.idx) = inst->prev_dst_phys;
-      free_list(inst->inst.dst.cls).release(inst->dst_phys);
-    }
-    if (inst->iq_entry >= 0 &&
-        iq_[static_cast<std::size_t>(inst->iq_entry)].inst == inst) {
-      iq_[static_cast<std::size_t>(inst->iq_entry)].inst.reset();
-      --iq_occupancy_;
-    }
-  }
-  while (!ctx.lsq.empty() && ctx.lsq.back()->seq > branch_seq) {
+  // Pop the LSQ mirrors before the active-list walk releases their
+  // instructions — the seq comparisons need live refs.
+  while (!ctx.lsq.empty() && pool_.get(ctx.lsq.back()).seq > branch_seq) {
     ctx.lsq.pop_back();
   }
-  while (!ctx.lsq_stores.empty() && ctx.lsq_stores.back()->seq > branch_seq) {
+  while (!ctx.lsq_stores.empty() &&
+         pool_.get(ctx.lsq_stores.back()).seq > branch_seq) {
     ctx.lsq_stores.pop_back();
   }
   if (ctx.lsq_stores_ready_prefix > ctx.lsq_stores.size()) {
     ctx.lsq_stores_ready_prefix = ctx.lsq_stores.size();
+  }
+
+  while (!ctx.active_list.empty() &&
+         pool_.get(ctx.active_list.back()).seq > branch_seq) {
+    const InstRef ref = ctx.active_list.back();
+    DynInst& inst = pool_.get(ref);
+    ctx.active_list.pop_back();
+    inst.squashed = true;
+    // Undo rename in reverse program order.
+    if (inst.dst_phys != kNoPhysReg) {
+      ctx.map.at(inst.inst.dst.cls, inst.inst.dst.idx) = inst.prev_dst_phys;
+      free_list(inst.inst.dst.cls).release(inst.dst_phys);
+    }
+    if (inst.iq_entry >= 0 &&
+        iq_[static_cast<std::size_t>(inst.iq_entry)].inst == ref) {
+      iq_[static_cast<std::size_t>(inst.iq_entry)] = IqSlot{};
+      --iq_occupancy_;
+    }
+    // Last reference gone (any completion-wheel entry goes stale with this).
+    pool_.release(ref);
   }
   if (uses_dtq()) dtq_.squash_younger_than(branch_seq);
 

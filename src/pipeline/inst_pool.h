@@ -1,0 +1,120 @@
+// Per-Core slab arena for in-flight DynInsts. Replaces the per-instruction
+// make_shared churn that topped the bjsim --profile breakdown: slots are
+// recycled LIFO (the hottest slot is reused first) and handles are plain
+// 8-byte index+generation pairs, so queue pushes/pops stop touching atomic
+// refcounts entirely.
+//
+// Lifetime rules (see ARCHITECTURE.md "Instruction arena"):
+//   * allocate() hands out a slot reset to a default-constructed DynInst with
+//     `self` pointing back at it; the Core releases it at exactly one place —
+//     commit (after trace_commit), squash, or end-of-issue for shuffle NOPs.
+//   * release() bumps the slot generation, so any InstRef captured earlier
+//     (completion wheel entries for squashed work) goes stale instead of
+//     aliasing the recycled slot. get() BJ_CHECKs liveness; try_get() returns
+//     nullptr for stale refs so the writeback drain can skip them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "pipeline/types.h"
+
+namespace bj {
+
+class InstPool {
+ public:
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+
+  InstPool() = default;
+  InstPool(const InstPool&) = delete;
+  InstPool& operator=(const InstPool&) = delete;
+
+  // Returns a slot reset to a fresh DynInst (plus a valid `self`). Odd
+  // generations are live, even generations free, so a default InstRef{}
+  // (gen 0) never passes the liveness check.
+  DynInst* allocate() {
+    if (free_.empty()) grow();
+    const std::uint32_t index = free_.back();
+    free_.pop_back();
+    DynInst* slot = slot_ptr(index);
+    const std::uint32_t gen = slot->self.gen + 1;
+    *slot = DynInst{};
+    slot->self = InstRef{index, gen};
+    ++in_use_;
+    if (in_use_ > high_water_) high_water_ = in_use_;
+    return slot;
+  }
+
+  void release(InstRef ref) {
+    DynInst* slot = checked_slot(ref);
+    slot->self.gen += 1;  // even: slot is free, all outstanding refs stale
+    free_.push_back(ref.index);
+    BJ_CHECK(in_use_ > 0, "inst-pool: release with no live instructions");
+    --in_use_;
+  }
+
+  DynInst& get(InstRef ref) { return *checked_slot(ref); }
+  const DynInst& get(InstRef ref) const {
+    return *const_cast<InstPool*>(this)->checked_slot(ref);
+  }
+
+  // nullptr for stale/never-valid refs (squashed work drained later from the
+  // completion wheel resolves through here).
+  DynInst* try_get(InstRef ref) {
+    if (ref.index >= size_) return nullptr;
+    DynInst* slot = slot_ptr(ref.index);
+    return slot->self.gen == ref.gen ? slot : nullptr;
+  }
+
+  bool live(InstRef ref) const {
+    return ref.index < size_ &&
+           const_cast<InstPool*>(this)->slot_ptr(ref.index)->self.gen ==
+               ref.gen;
+  }
+
+  std::size_t in_use() const { return in_use_; }
+  std::size_t high_water() const { return high_water_; }
+  std::size_t capacity() const { return size_; }
+
+ private:
+  DynInst* slot_ptr(std::uint32_t index) {
+    return chunk_base_[index >> kChunkShift] + (index & kChunkMask);
+  }
+
+  DynInst* checked_slot(InstRef ref) {
+    BJ_CHECK(ref.index < size_, "inst-pool: ref index out of range");
+    DynInst* slot = slot_ptr(ref.index);
+    BJ_CHECK(slot->self.gen == ref.gen && (ref.gen & 1u) != 0,
+             "inst-pool: stale InstRef (slot was recycled)");
+    return slot;
+  }
+
+  void grow() {
+    chunks_.push_back(std::make_unique<DynInst[]>(kChunkSize));
+    DynInst* base = chunks_.back().get();
+    chunk_base_.push_back(base);
+    const std::uint32_t first = size_;
+    size_ += kChunkSize;
+    // Push in reverse so the lowest index comes off the LIFO free list first.
+    for (std::uint32_t i = kChunkSize; i-- > 0;) {
+      base[i].self = InstRef{first + i, 0};
+      free_.push_back(first + i);
+    }
+  }
+
+  // Chunked slabs keep slot addresses stable across growth; chunk_base_
+  // keeps the hot deref to one small-vector load plus an offset add.
+  std::vector<std::unique_ptr<DynInst[]>> chunks_;
+  std::vector<DynInst*> chunk_base_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t size_ = 0;
+  std::size_t in_use_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace bj

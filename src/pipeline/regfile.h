@@ -1,8 +1,12 @@
-// Physical register file, free list, and rename maps. One PhysRegFile per
-// register class (int, fp) is shared by both SMT contexts; each context owns
-// its rename map. The BlackJack trailing thread additionally owns a map
-// indexed by *leading physical* register (the double rename of Section
-// 4.3.1), which therefore has as many rows as there are physical registers.
+// Physical register file, free list, and rename maps. A single flat
+// structure-of-arrays PhysRegFile holds both register classes (int rows
+// first, then fp rows) and is shared by both SMT contexts; each context owns
+// its rename map. Per-class *indices* are preserved everywhere outside this
+// file — DTQ entries, the double-rename tables, and the golden fingerprints
+// all still speak (class, per-class phys) pairs; only the backing storage is
+// fused. The BlackJack trailing thread additionally owns a map indexed by
+// *leading physical* register (the double rename of Section 4.3.1), which
+// therefore has as many rows as there are physical registers.
 #pragma once
 
 #include <cassert>
@@ -17,36 +21,79 @@ namespace bj {
 // always ready, reads as 0.
 inline constexpr int kNoPhysReg = -1;
 
+// SoA register file: value_, ready_at_, and a packed ready bitmap as
+// separate flat arrays. The bitmap lets the wakeup scan in core_issue.cc
+// answer "is this operand ready right now?" with one bit test (one cache
+// line covers 64 registers) instead of a 64-bit cycle comparison against a
+// strided ready_at_ load. Invariant maintained by the Core: a register's
+// bit is set iff its ready_at_ cycle has been reached — mark_busy() clears
+// it at rename, writeback sets it when the producer completes.
 class PhysRegFile {
  public:
-  explicit PhysRegFile(int count)
-      : value_(static_cast<std::size_t>(count), 0),
-        ready_at_(static_cast<std::size_t>(count), 0) {}
+  PhysRegFile(int int_count, int fp_count)
+      : fp_base_(int_count),
+        value_(static_cast<std::size_t>(int_count + fp_count), 0),
+        ready_at_(static_cast<std::size_t>(int_count + fp_count), 0),
+        ready_bits_((value_.size() + 63) / 64, ~0ull) {}
 
-  int size() const { return static_cast<int>(value_.size()); }
+  int size(RegClass cls) const {
+    return cls == RegClass::kInt ? fp_base_
+                                 : static_cast<int>(value_.size()) - fp_base_;
+  }
 
-  std::uint64_t value(int reg) const {
+  std::uint64_t value(RegClass cls, int reg) const {
     if (reg == kNoPhysReg) return 0;
-    return value_[static_cast<std::size_t>(reg)];
+    return value_[row(cls, reg)];
   }
-  void set_value(int reg, std::uint64_t v) {
+  void set_value(RegClass cls, int reg, std::uint64_t v) {
     assert(reg != kNoPhysReg);
-    value_[static_cast<std::size_t>(reg)] = v;
+    value_[row(cls, reg)] = v;
   }
 
-  // A consumer may issue at any cycle >= ready_at(reg).
-  std::uint64_t ready_at(int reg) const {
+  // A consumer may issue at any cycle >= ready_at(reg). ~0ull means the
+  // producer has not executed yet (store-data scheduling keys off this).
+  std::uint64_t ready_at(RegClass cls, int reg) const {
     if (reg == kNoPhysReg) return 0;
-    return ready_at_[static_cast<std::size_t>(reg)];
+    return ready_at_[row(cls, reg)];
   }
-  void set_ready_at(int reg, std::uint64_t cycle) {
+  void set_ready_at(RegClass cls, int reg, std::uint64_t cycle) {
     assert(reg != kNoPhysReg);
-    ready_at_[static_cast<std::size_t>(reg)] = cycle;
+    ready_at_[row(cls, reg)] = cycle;
+  }
+
+  // Fast wakeup predicate: the packed bit mirrors ready_at_ <= now.
+  bool ready_now(RegClass cls, int reg) const {
+    if (reg == kNoPhysReg) return true;
+    const std::size_t r = row(cls, reg);
+    return (ready_bits_[r >> 6] >> (r & 63)) & 1u;
+  }
+
+  // Rename allocated `reg` to a new producer: busy until writeback.
+  void mark_busy(RegClass cls, int reg) {
+    assert(reg != kNoPhysReg);
+    const std::size_t r = row(cls, reg);
+    ready_at_[r] = ~0ull;
+    ready_bits_[r >> 6] &= ~(1ull << (r & 63));
+  }
+
+  // The producer's completion reached writeback: consumers may issue.
+  void mark_ready(RegClass cls, int reg) {
+    assert(reg != kNoPhysReg);
+    const std::size_t r = row(cls, reg);
+    ready_bits_[r >> 6] |= 1ull << (r & 63);
   }
 
  private:
+  std::size_t row(RegClass cls, int reg) const {
+    assert(reg >= 0 && reg < size(cls));
+    return static_cast<std::size_t>(reg) +
+           (cls == RegClass::kFp ? static_cast<std::size_t>(fp_base_) : 0);
+  }
+
+  int fp_base_;
   std::vector<std::uint64_t> value_;
   std::vector<std::uint64_t> ready_at_;
+  std::vector<std::uint64_t> ready_bits_;
 };
 
 class FreeList {

@@ -2,7 +2,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 
 #include "branch/predictor.h"
@@ -36,10 +35,27 @@ struct DetectionEvent {
   std::uint64_t seq = 0;
 };
 
-// One in-flight dynamic instruction. Held by shared_ptr because it is
-// referenced simultaneously from the active list, issue queue, LSQ, and
-// function-unit pipelines.
+// Generation-tagged handle into the per-Core InstPool arena. The active
+// list, issue queue, LSQs, and completion wheel all hold InstRefs; the
+// generation goes stale the moment the slot is released, so a recycled slot
+// can never be confused with the instruction an old handle referred to. A
+// default-constructed InstRef (gen 0, even) is the "empty slot" sentinel.
+struct InstRef {
+  std::uint32_t index = 0;
+  std::uint32_t gen = 0;  // odd while live; see InstPool
+
+  bool valid() const { return (gen & 1u) != 0; }
+  explicit operator bool() const { return valid(); }
+  bool operator==(const InstRef&) const = default;
+};
+
+// One in-flight dynamic instruction. Lives in the per-Core InstPool slab and
+// is referenced simultaneously from the active list, issue queue, LSQ, and
+// function-unit pipelines via its `self` handle.
 struct DynInst {
+  // Arena identity — set by InstPool::allocate(), never by pipeline code.
+  InstRef self;
+
   // Identity / ordering.
   ThreadId tid = ThreadId::kLeading;
   std::uint64_t seq = 0;         // per-context program-order sequence
@@ -116,7 +132,5 @@ struct DynInst {
 
   bool is_trailing() const { return tid == ThreadId::kTrailing; }
 };
-
-using InstPtr = std::shared_ptr<DynInst>;
 
 }  // namespace bj

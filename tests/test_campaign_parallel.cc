@@ -5,12 +5,18 @@
 // also the payload of the tier-2 ThreadSanitizer run (see tests/CMakeLists).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "blackjack/shuffle.h"
 #include "harness/campaign.h"
 #include "harness/diagnosis.h"
 #include "harness/worker_pool.h"
+#include "pipeline/core.h"
 #include "workload/profile.h"
 
 namespace bj {
@@ -141,6 +147,7 @@ TEST(CampaignParallel, ObservabilityStreamsRecordsAndProgress) {
   int last_completed = 0;
   ParallelCampaignOptions options;
   options.jobs = 2;
+  options.report_batch = 1;  // per-run streaming: one progress call per run
   options.jsonl = &jsonl;
   options.progress = [&](const CampaignProgress& progress) {
     ++calls;
@@ -174,6 +181,106 @@ TEST(CampaignParallel, ObservabilityStreamsRecordsAndProgress) {
   EXPECT_GT(stats.wall_seconds, 0.0);
   EXPECT_GT(stats.serial_estimate_seconds, 0.0);
   EXPECT_GT(stats.runs_per_second, 0.0);
+}
+
+// JSONL lines with the wall-clock-dependent "seconds" field removed, sorted
+// by their embedded fault index — the canonical form in which batched and
+// unbatched output must agree exactly.
+std::vector<std::string> canonical_jsonl(const std::string& raw) {
+  std::vector<std::pair<long, std::string>> keyed;
+  std::istringstream in(raw);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto sec = line.find(",\"seconds\":");
+    if (sec != std::string::npos) {
+      line.erase(sec, line.find('}', sec) - sec);
+    }
+    const auto idx = line.find("\"index\":");
+    EXPECT_NE(idx, std::string::npos) << line;
+    keyed.emplace_back(std::stol(line.substr(idx + 8)), line);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<std::string> lines;
+  for (auto& [index, text] : keyed) lines.push_back(std::move(text));
+  return lines;
+}
+
+TEST(CampaignParallel, BatchedReportingPreservesRecordsAndOrder) {
+  const Program p = campaign_program();
+  const CampaignConfig config = hard_config();
+
+  std::ostringstream unbatched_jsonl;
+  ParallelCampaignOptions unbatched;
+  unbatched.jobs = 2;
+  unbatched.report_batch = 1;
+  unbatched.jsonl = &unbatched_jsonl;
+  run_campaign_parallel(p, config, unbatched);
+
+  std::ostringstream batched_jsonl;
+  std::atomic<int> progress_calls{0};
+  int last_completed = 0;
+  ParallelCampaignOptions batched;
+  batched.jobs = 2;
+  batched.report_batch = 5;  // does not divide num_faults: partial flush
+  batched.jsonl = &batched_jsonl;
+  batched.progress = [&](const CampaignProgress& progress) {
+    ++progress_calls;
+    last_completed = progress.completed;
+  };
+  run_campaign_parallel(p, config, batched);
+
+  // Batching changes when records reach the sink, never what gets written:
+  // same record count, and sorted by fault index the records are identical
+  // byte-for-byte once the timing field is stripped.
+  const auto a = canonical_jsonl(unbatched_jsonl.str());
+  const auto b = canonical_jsonl(batched_jsonl.str());
+  ASSERT_EQ(a.size(), static_cast<std::size_t>(config.num_faults));
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "record " << i;
+  }
+
+  // Fewer progress calls than runs (that is the point of batching), but the
+  // final drain still reports everything completed.
+  EXPECT_GT(progress_calls.load(), 0);
+  EXPECT_LT(progress_calls.load(), config.num_faults);
+  EXPECT_EQ(last_completed, config.num_faults);
+}
+
+TEST(CampaignParallel, SharedShuffleTableWarmsAcrossRuns) {
+  // In blackjack mode the campaign workers share computed shuffle results.
+  // Sharing is pure memoization: hard_config()'s classifications are pinned
+  // against the unshared reference path by the tests above; here we pin that
+  // the table actually accumulates entries (the speedup is real, not a
+  // silently disconnected code path).
+  const Program p = campaign_program();
+  const CampaignConfig config = hard_config();
+  ASSERT_EQ(config.mode, Mode::kBlackjack);
+
+  SharedShuffleTable table;
+  EXPECT_EQ(table.size(), 0u);
+  std::vector<HardFault> faults;
+  std::vector<FaultInjector> injectors;
+  for (const HardFault& f :
+       generate_faults(config.params, 2, config.seed, config.sites)) {
+    faults.push_back(f);
+  }
+  // Two cores run back-to-back against the table: the second must start warm.
+  for (int i = 0; i < 2; ++i) {
+    FaultInjector injector(faults[static_cast<std::size_t>(i)]);
+    Core core(p, config.mode, config.params, &injector);
+    core.warm_start_shuffle(table.snapshot());
+    core.run(config.budget_commits, config.budget_commits * 64);
+    table.merge(core.shuffle_cache().local_entries());
+    if (i == 0) {
+      EXPECT_FALSE(core.stats().shuffle_cache_warm_hits > 0)
+          << "first run has an empty warm table";
+      EXPECT_GT(table.size(), 0u) << "first run must publish entries";
+    } else {
+      EXPECT_GT(core.stats().shuffle_cache_warm_hits, 0u)
+          << "second run should hit the warm table";
+    }
+  }
 }
 
 TEST(CampaignParallel, DiagnosisIsIdenticalAcrossJobCounts) {

@@ -1,0 +1,201 @@
+// Differential replay: the arena-pooled core vs. the reference campaign
+// implementation, across every SPEC2000 workload profile.
+//
+// The InstPool/SoA-regfile rewrite is a pure representation change, so the
+// strongest possible statement is differential: the same (program, config)
+// must produce byte-identical results through the pre-pool reference path
+// (run_campaign_reference replays the emulator per run), the serial engine
+// (jobs=1), and the parallel engine (jobs=4, which also exercises the shared
+// shuffle table and batched reporting). Classifications, detection events,
+// and JSONL records must all agree — including the soft-error and oracle
+// configurations, whose extra machinery rides the same pooled data path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/campaign.h"
+#include "pipeline/core.h"
+#include "workload/profile.h"
+
+namespace bj {
+namespace {
+
+std::vector<std::string> all_profile_names() {
+  std::vector<std::string> names;
+  for (const WorkloadProfile& p : spec2000_profiles()) names.push_back(p.name);
+  return names;
+}
+
+Program endless_program(const std::string& profile) {
+  WorkloadProfile p = profile_by_name(profile);
+  p.iterations = 0;  // endless; the commit budget bounds each run
+  return generate_workload(p);
+}
+
+// Small budgets keep the per-profile reference replay affordable: the point
+// is agreement, not statistical coverage (test_fault_injection owns that).
+CampaignConfig small_hard_config() {
+  CampaignConfig config;
+  config.mode = Mode::kBlackjack;
+  config.num_faults = 4;
+  config.seed = 424242;
+  config.budget_commits = 1500;
+  return config;
+}
+
+CampaignConfig small_soft_oracle_config() {
+  CampaignConfig config;
+  config.mode = Mode::kSrt;
+  config.num_faults = 4;
+  config.seed = 777;
+  config.budget_commits = 1500;
+  config.soft_errors = true;
+  config.oracle_check = true;
+  return config;
+}
+
+void expect_identical_runs(const CampaignResult& a, const CampaignResult& b,
+                           const std::string& what) {
+  ASSERT_EQ(a.runs.size(), b.runs.size()) << what;
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    const FaultRun& x = a.runs[i];
+    const FaultRun& y = b.runs[i];
+    EXPECT_EQ(x.outcome, y.outcome) << what << " run " << i;
+    EXPECT_EQ(x.activations, y.activations) << what << " run " << i;
+    EXPECT_EQ(x.detection_cycle, y.detection_cycle) << what << " run " << i;
+    EXPECT_EQ(x.detection_kind, y.detection_kind) << what << " run " << i;
+    EXPECT_EQ(x.corrupt_stores_released, y.corrupt_stores_released)
+        << what << " run " << i;
+    EXPECT_EQ(x.oracle_violated, y.oracle_violated) << what << " run " << i;
+  }
+}
+
+// JSONL stripped of the wall-clock "seconds" field and sorted by fault
+// index: the canonical form that must agree across jobs counts.
+std::vector<std::string> canonical_jsonl(const std::string& raw) {
+  std::vector<std::pair<long, std::string>> keyed;
+  std::istringstream in(raw);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto sec = line.find(",\"seconds\":");
+    if (sec != std::string::npos) {
+      line.erase(sec, line.find('}', sec) - sec);
+    }
+    const auto idx = line.find("\"index\":");
+    keyed.emplace_back(std::stol(line.substr(idx + 8)), line);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<std::string> lines;
+  for (auto& [index, text] : keyed) lines.push_back(std::move(text));
+  return lines;
+}
+
+void run_differential(const Program& program, const CampaignConfig& config,
+                      const std::string& what) {
+  const CampaignResult reference = run_campaign_reference(program, config);
+
+  std::ostringstream serial_jsonl;
+  ParallelCampaignOptions serial;
+  serial.jobs = 1;
+  serial.jsonl = &serial_jsonl;
+  const CampaignResult one = run_campaign_parallel(program, config, serial);
+
+  std::ostringstream parallel_jsonl;
+  ParallelCampaignOptions four;
+  four.jobs = 4;
+  four.jsonl = &parallel_jsonl;
+  const CampaignResult par = run_campaign_parallel(program, config, four);
+
+  expect_identical_runs(reference, one, what + " reference vs jobs=1");
+  expect_identical_runs(one, par, what + " jobs=1 vs jobs=4");
+
+  const auto a = canonical_jsonl(serial_jsonl.str());
+  const auto b = canonical_jsonl(parallel_jsonl.str());
+  ASSERT_EQ(a.size(), static_cast<std::size_t>(config.num_faults)) << what;
+  ASSERT_EQ(b.size(), a.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << what << " JSONL record " << i;
+  }
+}
+
+class DifferentialReplay : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DifferentialReplay, HardFaultCampaignMatchesReference) {
+  run_differential(endless_program(GetParam()), small_hard_config(),
+                   GetParam() + " hard");
+}
+
+TEST_P(DifferentialReplay, SoftErrorOracleCampaignMatchesReference) {
+  run_differential(endless_program(GetParam()), small_soft_oracle_config(),
+                   GetParam() + " soft+oracle");
+}
+
+// Full CoreStats agreement between a cold core and a warm-started core on a
+// fault-free run. The warm shuffle table is pure memoization, so every
+// simulated-behaviour counter must match exactly; only the cache's own
+// hit/miss bookkeeping may differ (a warm hit replaces a local miss).
+TEST_P(DifferentialReplay, WarmShuffleStartLeavesCoreStatsIdentical) {
+  const Program program = endless_program(GetParam());
+
+  Core cold(program, Mode::kBlackjack);
+  const RunOutcome cold_outcome = cold.run(4000, 2000000);
+
+  Core warm(program, Mode::kBlackjack);
+  warm.warm_start_shuffle(std::make_shared<const ShuffleCache::Map>(
+      cold.shuffle_cache().local_entries()));
+  const RunOutcome warm_outcome = warm.run(4000, 2000000);
+
+  const CoreStats& c = cold.stats();
+  const CoreStats& w = warm.stats();
+  EXPECT_EQ(c.cycles, w.cycles);
+  EXPECT_EQ(c.leading_commits, w.leading_commits);
+  EXPECT_EQ(c.trailing_commits, w.trailing_commits);
+  EXPECT_EQ(c.issue_cycles, w.issue_cycles);
+  EXPECT_EQ(c.single_context_issue_cycles, w.single_context_issue_cycles);
+  EXPECT_EQ(c.lt_interference_cycles, w.lt_interference_cycles);
+  EXPECT_EQ(c.tt_interference_cycles, w.tt_interference_cycles);
+  EXPECT_EQ(c.tt_sibling_cycles, w.tt_sibling_cycles);
+  EXPECT_EQ(c.other_diversity_loss_cycles, w.other_diversity_loss_cycles);
+  EXPECT_EQ(c.instructions_issued, w.instructions_issued);
+  EXPECT_EQ(c.packets_shuffled, w.packets_shuffled);
+  EXPECT_EQ(c.shuffle_nops, w.shuffle_nops);
+  EXPECT_EQ(c.packet_splits, w.packet_splits);
+  EXPECT_EQ(c.shuffle_forced_places, w.shuffle_forced_places);
+  EXPECT_EQ(c.packets_combined, w.packets_combined);
+  EXPECT_EQ(c.pool_high_water, w.pool_high_water);
+  EXPECT_EQ(c.payload_corrupted_leading, w.payload_corrupted_leading);
+  EXPECT_EQ(c.payload_corrupted_both, w.payload_corrupted_both);
+  EXPECT_EQ(c.branch_lookups, w.branch_lookups);
+  EXPECT_EQ(c.branch_mispredicts, w.branch_mispredicts);
+  EXPECT_EQ(c.coverage.pairs(), w.coverage.pairs());
+  EXPECT_EQ(c.coverage.frontend_coverage(), w.coverage.frontend_coverage());
+  EXPECT_EQ(c.coverage.backend_coverage(), w.coverage.backend_coverage());
+  EXPECT_EQ(c.events.all(), w.events.all());
+
+  // Detection events (none expected fault-free, but they must still agree).
+  ASSERT_EQ(cold_outcome.detections.size(), warm_outcome.detections.size());
+  for (std::size_t i = 0; i < cold_outcome.detections.size(); ++i) {
+    EXPECT_EQ(cold_outcome.detections[i].kind,
+              warm_outcome.detections[i].kind);
+    EXPECT_EQ(cold_outcome.detections[i].cycle,
+              warm_outcome.detections[i].cycle);
+    EXPECT_EQ(cold_outcome.detections[i].seq, warm_outcome.detections[i].seq);
+  }
+
+  // The warm start must actually have been exercised, not silently ignored.
+  if (c.shuffle_cache_misses > 0) {
+    EXPECT_GT(w.shuffle_cache_warm_hits, 0u) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, DifferentialReplay,
+                         ::testing::ValuesIn(all_profile_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace bj

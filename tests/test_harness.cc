@@ -88,13 +88,39 @@ TEST(Regfile, FreeListLifo) {
 }
 
 TEST(Regfile, SentinelReadsZeroAndIsAlwaysReady) {
-  PhysRegFile prf(8);
-  EXPECT_EQ(prf.value(kNoPhysReg), 0u);
-  EXPECT_EQ(prf.ready_at(kNoPhysReg), 0u);
-  prf.set_value(3, 42);
-  prf.set_ready_at(3, 100);
-  EXPECT_EQ(prf.value(3), 42u);
-  EXPECT_EQ(prf.ready_at(3), 100u);
+  PhysRegFile prf(8, 8);
+  EXPECT_EQ(prf.value(RegClass::kInt, kNoPhysReg), 0u);
+  EXPECT_EQ(prf.ready_at(RegClass::kInt, kNoPhysReg), 0u);
+  EXPECT_TRUE(prf.ready_now(RegClass::kInt, kNoPhysReg));
+  prf.set_value(RegClass::kInt, 3, 42);
+  prf.set_ready_at(RegClass::kInt, 3, 100);
+  EXPECT_EQ(prf.value(RegClass::kInt, 3), 42u);
+  EXPECT_EQ(prf.ready_at(RegClass::kInt, 3), 100u);
+}
+
+TEST(Regfile, SoaRowsKeepClassIndexSpacesDistinct) {
+  // One backing file, two per-class index spaces: writing int reg k must
+  // never alias fp reg k and vice versa.
+  PhysRegFile prf(4, 4);
+  prf.set_value(RegClass::kInt, 2, 11);
+  prf.set_value(RegClass::kFp, 2, 22);
+  EXPECT_EQ(prf.value(RegClass::kInt, 2), 11u);
+  EXPECT_EQ(prf.value(RegClass::kFp, 2), 22u);
+  EXPECT_EQ(prf.size(RegClass::kInt), 4);
+  EXPECT_EQ(prf.size(RegClass::kFp), 4);
+}
+
+TEST(Regfile, ReadyBitmapTracksBusyAndReady) {
+  PhysRegFile prf(70, 4);  // spans two 64-bit bitmap words
+  for (int r = 0; r < 70; ++r) {
+    EXPECT_TRUE(prf.ready_now(RegClass::kInt, r)) << r;
+  }
+  prf.mark_busy(RegClass::kInt, 65);
+  EXPECT_FALSE(prf.ready_now(RegClass::kInt, 65));
+  EXPECT_TRUE(prf.ready_now(RegClass::kInt, 64));
+  EXPECT_TRUE(prf.ready_now(RegClass::kFp, 1));
+  prf.mark_ready(RegClass::kInt, 65);
+  EXPECT_TRUE(prf.ready_now(RegClass::kInt, 65));
 }
 
 TEST(Regfile, RenameMapPerClass) {

@@ -9,9 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "blackjack/shuffle.h"
 #include "common/rng.h"
+#include "harness/worker_pool.h"
 #include "pipeline/params.h"
 
 namespace bj {
@@ -196,6 +200,173 @@ TEST(Shuffle, BackendRankHelperCountsSameClassOnly) {
   EXPECT_EQ(backend_way_in_packet(packet, 1), 0);  // first mem occupant
   EXPECT_EQ(backend_way_in_packet(packet, 2), 1);  // second int
   EXPECT_EQ(backend_way_in_packet(packet, 3), 1);  // second mem
+}
+
+// ---------------------------------------------------------------------------
+// Shared shuffle table (SharedShuffleTable + ShuffleCache warm start): the
+// read-mostly table campaign workers share. These tests are also the payload
+// of the tier-2 ThreadSanitizer run (tests/CMakeLists registers this binary
+// under -DBJ_SANITIZE=thread), so the concurrent test below doubles as the
+// race check for the copy-on-write merge.
+
+// Same weighted generator as PropertySweepRandomPackets, factored so the
+// warm-start tests draw from an identical packet population.
+std::vector<ShuffleInst> random_packet(Rng& rng, const CoreParams& params) {
+  const int n = 1 + static_cast<int>(rng.next_below(4));
+  std::vector<ShuffleInst> packet;
+  int used[kNumFuClasses] = {};
+  for (int i = 0; i < n; ++i) {
+    FuClass fu;
+    const double pick = rng.next_double();
+    if (pick < 0.45) {
+      fu = FuClass::kIntAlu;
+    } else if (pick < 0.70) {
+      fu = FuClass::kMem;
+    } else if (pick < 0.85) {
+      fu = FuClass::kFpAlu;
+    } else if (pick < 0.95) {
+      fu = FuClass::kFpMul;
+    } else {
+      fu = FuClass::kIntMul;
+    }
+    const int ways = params.fu_count(fu);
+    if (used[static_cast<int>(fu)] >= ways) {
+      fu = FuClass::kIntAlu;
+      if (used[static_cast<int>(FuClass::kIntAlu)] >= 4) break;
+    }
+    const int be = used[static_cast<int>(fu)]++;
+    const int fe = static_cast<int>(rng.next_below(kWidth));
+    packet.push_back(make(fu, fe, be));
+  }
+  return packet;
+}
+
+void expect_same_result(const ShuffleResult& a, const ShuffleResult& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.packets.size(), b.packets.size()) << context;
+  EXPECT_EQ(a.nops_inserted, b.nops_inserted) << context;
+  EXPECT_EQ(a.splits, b.splits) << context;
+  EXPECT_EQ(a.forced_places, b.forced_places) << context;
+  for (std::size_t p = 0; p < a.packets.size(); ++p) {
+    ASSERT_EQ(a.packets[p].size(), b.packets[p].size()) << context;
+    for (std::size_t s = 0; s < a.packets[p].size(); ++s) {
+      EXPECT_EQ(a.packets[p][s].is_nop, b.packets[p][s].is_nop) << context;
+      EXPECT_EQ(a.packets[p][s].input_index, b.packets[p][s].input_index)
+          << context;
+      EXPECT_EQ(a.packets[p][s].cls, b.packets[p][s].cls) << context;
+    }
+  }
+}
+
+TEST(SharedShuffle, WarmStartMatchesColdComputation) {
+  // ~1k random packets, fixed seed. A cold cache computes everything; a
+  // second cache warm-started from the first's published entries must return
+  // bit-identical results for the same stream while serving (almost) all of
+  // it from the warm table.
+  const CoreParams params;
+  Rng rng(0x5a4ed5EED);
+  std::vector<std::vector<ShuffleInst>> packets;
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<ShuffleInst> p = random_packet(rng, params);
+    if (!p.empty()) packets.push_back(std::move(p));
+  }
+
+  ShuffleCache cold;
+  std::vector<ShuffleResult> cold_results;
+  for (const auto& p : packets) {
+    bool hit = false;
+    cold_results.push_back(cold.shuffle(p, kWidth, &hit));
+  }
+
+  SharedShuffleTable table;
+  table.merge(cold.local_entries());
+  EXPECT_EQ(table.size(), cold.local_entries().size());
+
+  ShuffleCache warm;
+  warm.warm_start(table.snapshot());
+  EXPECT_TRUE(warm.has_warm_table());
+  std::size_t warm_hits = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    bool hit = false;
+    bool warm_hit = false;
+    const ShuffleResult& r = warm.shuffle(packets[i], kWidth, &hit, &warm_hit);
+    expect_same_result(cold_results[i], r, "packet " + std::to_string(i));
+    warm_hits += warm_hit;
+  }
+  // Every cacheable shape was published, so the warm cache never had to
+  // compute one locally.
+  EXPECT_EQ(warm.local_entries().size(), 0u);
+  EXPECT_EQ(warm_hits, packets.size());
+}
+
+TEST(SharedShuffle, MergeIsIdempotentAndMonotonic) {
+  const CoreParams params;
+  Rng rng(0xfeedbeef);
+  ShuffleCache cache;
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<ShuffleInst> p = random_packet(rng, params);
+    if (p.empty()) continue;
+    bool hit = false;
+    cache.shuffle(p, kWidth, &hit);
+  }
+  SharedShuffleTable table;
+  table.merge(cache.local_entries());
+  const std::size_t after_first = table.size();
+  EXPECT_EQ(after_first, cache.local_entries().size());
+  // Re-merging the same entries publishes nothing new — and crucially does
+  // not invalidate snapshots handed out earlier.
+  const auto snapshot = table.snapshot();
+  table.merge(cache.local_entries());
+  EXPECT_EQ(table.size(), after_first);
+  EXPECT_EQ(snapshot->size(), after_first);
+}
+
+TEST(SharedShuffle, ConcurrentMergeOnRetireIsRaceFree) {
+  // The campaign pattern under maximum contention: workers snapshot, compute
+  // a disjoint-ish local set, merge back, and read through old snapshots
+  // while other workers merge. Run under -DBJ_SANITIZE=thread (tier-2) this
+  // is the race check for the copy-on-write publish.
+  const CoreParams params;
+  SharedShuffleTable table;
+  constexpr int kWorkers = 4;
+  constexpr int kRounds = 25;
+  parallel_for(kWorkers, kWorkers, [&](std::size_t worker) {
+    Rng rng(0x900d5eed + worker);
+    for (int round = 0; round < kRounds; ++round) {
+      ShuffleCache cache;
+      cache.warm_start(table.snapshot());
+      std::size_t computed = 0;
+      for (int i = 0; i < 10; ++i) {
+        const std::vector<ShuffleInst> p = random_packet(rng, params);
+        if (p.empty()) continue;
+        bool hit = false;
+        const ShuffleResult& r = cache.shuffle(p, kWidth, &hit);
+        check_invariants(p, r, kWidth,
+                         "worker " + std::to_string(worker) + " round " +
+                             std::to_string(round));
+        computed += !hit;
+      }
+      EXPECT_EQ(cache.local_entries().size(), computed);
+      table.merge(cache.local_entries());
+    }
+  });
+  EXPECT_GT(table.size(), 0u);
+
+  // Post-merge, the table's results agree with direct computation: the
+  // concurrent publishes lost nothing and corrupted nothing.
+  ShuffleCache verify;
+  verify.warm_start(table.snapshot());
+  Rng rng(0x900d5eed);
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<ShuffleInst> p = random_packet(rng, params);
+    if (p.empty()) continue;
+    bool hit = false;
+    bool warm_hit = false;
+    const ShuffleResult& r = verify.shuffle(p, kWidth, &hit, &warm_hit);
+    expect_same_result(safe_shuffle(p, kWidth), r,
+                       "verify packet " + std::to_string(i));
+    EXPECT_TRUE(warm_hit) << "worker 0's first-round packets were merged";
+  }
 }
 
 }  // namespace

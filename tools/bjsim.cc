@@ -201,7 +201,9 @@ void report(const Core& core, std::uint64_t measured_cycles, bool csv) {
     row("packets combined", std::to_string(s.packets_combined));
     row("shuffle cache hits", std::to_string(s.shuffle_cache_hits));
     row("shuffle cache misses", std::to_string(s.shuffle_cache_misses));
+    row("shuffle cache warm hits", std::to_string(s.shuffle_cache_warm_hits));
   }
+  row("pool high water", std::to_string(s.pool_high_water));
   row("L1D hits", std::to_string(core.memory_hierarchy().l1d().hits()));
   row("L1D misses", std::to_string(core.memory_hierarchy().l1d().misses()));
   row("L2 misses", std::to_string(core.memory_hierarchy().l2().misses()));
