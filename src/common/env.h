@@ -7,6 +7,11 @@
 
 namespace bj {
 
+// Tool/artifact version stamped into campaign JSONL headers and metric
+// exports so downstream analysis can tell files from different builds
+// apart. Bump alongside user-visible output format changes.
+inline constexpr const char* kBjsimVersion = "0.4.0";
+
 // Reads an integer environment variable, returning `fallback` when the
 // variable is unset or unparsable.
 std::int64_t env_int(const char* name, std::int64_t fallback);

@@ -1,0 +1,252 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <ostream>
+
+namespace bj {
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+namespace {
+
+// JSON numbers must not be NaN/Inf; clamp to 0 (RunningStat on zero samples).
+void write_json_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  os << v;
+}
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. We map '.' and '-' to
+// '_' and drop anything else non-alphanumeric.
+std::string prometheus_name(std::string_view dotted) {
+  std::string out = "bj_";
+  for (char c : dotted) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '_') {
+      out += c;
+    } else if (c == '.' || c == '-' || c == '/') {
+      out += '_';
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry::Metric& MetricsRegistry::slot(std::string_view name) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    it = metrics_.emplace(std::string(name), Metric{}).first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::counter(std::string_view name, std::uint64_t value) {
+  Metric& m = slot(name);
+  m.kind = Kind::kCounter;
+  m.value = value;
+}
+
+void MetricsRegistry::gauge(std::string_view name, double value) {
+  Metric& m = slot(name);
+  m.kind = Kind::kGauge;
+  m.gauge = value;
+}
+
+void MetricsRegistry::ratio(std::string_view name, std::uint64_t hits,
+                            std::uint64_t total) {
+  Metric& m = slot(name);
+  m.kind = Kind::kRatio;
+  m.hits = hits;
+  m.total = total;
+}
+
+void MetricsRegistry::stat(std::string_view name, const RunningStat& s) {
+  Metric& m = slot(name);
+  m.kind = Kind::kStat;
+  m.stat = s;
+}
+
+void MetricsRegistry::histogram(std::string_view name, const Histogram& h) {
+  Metric& m = slot(name);
+  m.kind = Kind::kHistogram;
+  m.histogram = h;
+}
+
+void MetricsRegistry::text(std::string_view name, std::string_view value) {
+  Metric& m = slot(name);
+  m.kind = Kind::kText;
+  m.text = std::string(value);
+}
+
+bool MetricsRegistry::has(std::string_view name) const {
+  return metrics_.find(name) != metrics_.end();
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != Kind::kCounter) return 0;
+  return it->second.value;
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != Kind::kGauge) return 0.0;
+  return it->second.gauge;
+}
+
+std::string MetricsRegistry::text_value(std::string_view name) const {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != Kind::kText) return {};
+  return it->second.text;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\"schema_version\":" << kMetricsSchemaVersion << ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, m] : metrics_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  ";
+    write_json_string(os, name);
+    os << ":";
+    switch (m.kind) {
+      case Kind::kCounter:
+        os << m.value;
+        break;
+      case Kind::kGauge:
+        write_json_double(os, m.gauge);
+        break;
+      case Kind::kRatio: {
+        os << "{\"hits\":" << m.hits << ",\"total\":" << m.total
+           << ",\"fraction\":";
+        double frac = m.total ? static_cast<double>(m.hits) /
+                                    static_cast<double>(m.total)
+                              : 0.0;
+        write_json_double(os, frac);
+        os << "}";
+        break;
+      }
+      case Kind::kStat:
+        os << "{\"count\":" << m.stat.count() << ",\"mean\":";
+        write_json_double(os, m.stat.mean());
+        os << ",\"min\":";
+        write_json_double(os, m.stat.min());
+        os << ",\"max\":";
+        write_json_double(os, m.stat.max());
+        os << ",\"stddev\":";
+        write_json_double(os, m.stat.stddev());
+        os << "}";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = m.histogram;
+        os << "{\"count\":" << h.count() << ",\"sum\":" << h.sum()
+           << ",\"min\":" << h.min() << ",\"max\":" << h.max()
+           << ",\"mean\":";
+        write_json_double(os, h.mean());
+        os << ",\"buckets\":[";
+        // Emit only occupied buckets as [floor, count] pairs to keep the
+        // artifact small.
+        bool bfirst = true;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          if (h.bucket(i) == 0) continue;
+          if (!bfirst) os << ",";
+          bfirst = false;
+          os << "[" << Histogram::bucket_floor(i) << "," << h.bucket(i)
+             << "]";
+        }
+        os << "]}";
+        break;
+      }
+      case Kind::kText:
+        write_json_string(os, m.text);
+        break;
+    }
+  }
+  os << "\n}}\n";
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  for (const auto& [name, m] : metrics_) {
+    std::string pn = prometheus_name(name);
+    switch (m.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << pn << " counter\n";
+        os << pn << " " << m.value << "\n";
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << pn << " gauge\n";
+        os << pn << " " << (std::isfinite(m.gauge) ? m.gauge : 0.0) << "\n";
+        break;
+      case Kind::kRatio:
+        os << "# TYPE " << pn << "_hits counter\n";
+        os << pn << "_hits " << m.hits << "\n";
+        os << "# TYPE " << pn << "_total counter\n";
+        os << pn << "_total " << m.total << "\n";
+        break;
+      case Kind::kStat:
+        os << "# TYPE " << pn << " summary\n";
+        os << pn << "_count " << m.stat.count() << "\n";
+        os << pn << "_sum " << m.stat.sum() << "\n";
+        os << pn << "_min " << m.stat.min() << "\n";
+        os << pn << "_max " << m.stat.max() << "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = m.histogram;
+        os << "# TYPE " << pn << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          if (h.bucket(i) == 0) continue;
+          cumulative += h.bucket(i);
+          // Upper bound of bucket i (exclusive in our scheme, inclusive as
+          // a Prometheus `le` once shifted to the last contained value).
+          std::uint64_t le = (1ull << (i + 1)) - 2;
+          os << pn << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+        }
+        os << pn << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+        os << pn << "_sum " << h.sum() << "\n";
+        os << pn << "_count " << h.count() << "\n";
+        break;
+      }
+      case Kind::kText:
+        os << "# TYPE " << pn << "_info gauge\n";
+        os << pn << "_info{value=\"";
+        for (char c : m.text) {
+          if (c == '"' || c == '\\') os << '\\';
+          os << c;
+        }
+        os << "\"} 1\n";
+        break;
+    }
+  }
+}
+
+}  // namespace bj

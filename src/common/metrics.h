@@ -1,0 +1,154 @@
+// Unified metrics registry. Every component that used to hand-roll its own
+// report serialization (CoreStats tables, campaign JSONL summaries,
+// StageProfiler tables) registers its numbers here behind stable dotted
+// names ("core.cycles", "shuffle.cache.hits", "profiler.stage.fetch.ns"),
+// and one pair of writers handles exposition: pretty-printed JSON for
+// artifacts (BENCH_*.json style) and Prometheus text for scrape endpoints.
+//
+// The registry is a *snapshot* container, not a live instrumentation layer:
+// simulation code keeps its raw counters (CoreStats, StageProfiler, ...) and
+// exports them once at report time, so registering metrics costs the hot
+// path nothing.
+//
+// Naming scheme (documented in ARCHITECTURE.md "Observability"):
+//   <subsystem>.<group>.<metric>, lower-case, dot-separated, stable across
+//   releases. The JSON writer emits names verbatim; the Prometheus writer
+//   maps '.' and '-' to '_' and prefixes "bj_".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/stats.h"
+
+namespace bj {
+
+// Version stamp shared by every machine-readable observability artifact:
+// metrics JSON/Prometheus, --profile-json, campaign JSONL headers, and the
+// trace exporters. Bump when a field changes meaning or disappears.
+inline constexpr int kMetricsSchemaVersion = 1;
+
+// Power-of-two-bucket histogram for wide-dynamic-range cycle counts
+// (detection latency spans 1 to watchdog-timeout cycles). Bucket i counts
+// values v with 2^i <= v+1 < 2^(i+1), i.e. bucket 0 holds the value 0.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;  // 2^40 cycles ≫ any run length
+
+  void add(std::uint64_t value) {
+    ++buckets_[bucket_of(value)];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1 || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  void merge(const Histogram& other) {
+    for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+    if (other.count_ > 0) {
+      if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  std::uint64_t bucket(int i) const { return buckets_[i]; }
+  // Inclusive lower bound of bucket i's value range.
+  static std::uint64_t bucket_floor(int i) {
+    return i == 0 ? 0 : (1ull << i) - 1;
+  }
+  static int bucket_of(std::uint64_t value) {
+    int b = 0;
+    std::uint64_t v = value + 1;
+    while (v > 1 && b + 1 < kBuckets) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  enum class Kind : std::uint8_t {
+    kCounter,  // monotonic uint64
+    kGauge,    // instantaneous double
+    kRatio,    // hits / total
+    kStat,     // RunningStat summary
+    kHistogram,
+    kText,  // string-valued metadata (mode, workload, version)
+  };
+
+  // One registered metric. Scalar kinds use the matching field; the others
+  // are ignored. Stored by value so a registry snapshot owns its data.
+  struct Metric {
+    Kind kind = Kind::kCounter;
+    std::uint64_t value = 0;     // kCounter
+    double gauge = 0.0;          // kGauge
+    std::uint64_t hits = 0;      // kRatio
+    std::uint64_t total = 0;     // kRatio
+    RunningStat stat;            // kStat
+    Histogram histogram;         // kHistogram
+    std::string text;            // kText
+  };
+
+  void counter(std::string_view name, std::uint64_t value);
+  void gauge(std::string_view name, double value);
+  void ratio(std::string_view name, std::uint64_t hits, std::uint64_t total);
+  void ratio(std::string_view name, const Ratio& r) {
+    ratio(name, r.hits(), r.total());
+  }
+  void stat(std::string_view name, const RunningStat& s);
+  void histogram(std::string_view name, const Histogram& h);
+  void text(std::string_view name, std::string_view value);
+
+  bool has(std::string_view name) const;
+  // Lookup helpers (tests / assertions). Return 0 / empty when absent or of
+  // a different kind.
+  std::uint64_t counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+  std::string text_value(std::string_view name) const;
+
+  std::size_t size() const { return metrics_.size(); }
+  const std::map<std::string, Metric, std::less<>>& all() const {
+    return metrics_;
+  }
+
+  // {"schema_version":1,"metrics":{"core.cycles":123,
+  //  "shuffle.cache.hit_rate":{"hits":..,"total":..,"fraction":..}, ...}}
+  // Names sorted (std::map order), one metric per line: diffable artifacts.
+  void write_json(std::ostream& os) const;
+
+  // Prometheus text exposition format v0.0.4. Dotted names become
+  // bj_<name-with-underscores>; ratios expand to _hits/_total, stats to
+  // _count/_sum/_min/_max, histograms to cumulative le-labelled buckets.
+  void write_prometheus(std::ostream& os) const;
+
+ private:
+  Metric& slot(std::string_view name);
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+// Writes `s` as a JSON string literal (quotes + escapes) — shared by the
+// metrics writer, the trace exporters, and the campaign JSONL records.
+void write_json_string(std::ostream& os, std::string_view s);
+
+}  // namespace bj

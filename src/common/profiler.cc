@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/metrics.h"
 #include "common/table.h"
 
 namespace bj {
@@ -58,5 +59,37 @@ std::string StageProfiler::report() const {
 }
 
 void StageProfiler::print(std::ostream& os) const { os << report(); }
+
+std::string StageProfiler::report_json() const {
+  const std::uint64_t total = total_ns();
+  std::ostringstream os;
+  os << "{\"schema_version\":" << kMetricsSchemaVersion
+     << ",\"cycles\":" << cycles_ << ",\"total_ns\":" << total
+     << ",\"stages\":{";
+  for (int i = 0; i < kNumSimStages; ++i) {
+    if (i > 0) os << ",";
+    os << "\n  \"" << sim_stage_name(static_cast<SimStage>(i))
+       << "\":{\"ns\":" << ns_[i] << ",\"share\":"
+       << (total ? static_cast<double>(ns_[i]) / static_cast<double>(total)
+                 : 0.0)
+       << ",\"ns_per_cycle\":"
+       << (cycles_ ? static_cast<double>(ns_[i]) /
+                         static_cast<double>(cycles_)
+                   : 0.0)
+       << "}";
+  }
+  os << "\n}}\n";
+  return os.str();
+}
+
+void StageProfiler::export_metrics(MetricsRegistry& registry) const {
+  registry.counter("profiler.cycles", cycles_);
+  registry.counter("profiler.total_ns", total_ns());
+  for (int i = 0; i < kNumSimStages; ++i) {
+    registry.counter(std::string("profiler.stage.") +
+                         sim_stage_name(static_cast<SimStage>(i)) + ".ns",
+                     ns_[i]);
+  }
+}
 
 }  // namespace bj

@@ -15,6 +15,8 @@
 
 namespace bj {
 
+class MetricsRegistry;
+
 // One enumerator per Core stage, in tick order.
 enum class SimStage : std::uint8_t {
   kWriteback = 0,
@@ -51,6 +53,14 @@ class StageProfiler {
   // Aligned text table: stage, total ms, share of profiled time, ns/cycle.
   std::string report() const;
   void print(std::ostream& os) const;
+
+  // Machine-readable form of report(), stamped with kMetricsSchemaVersion:
+  // {"schema_version":N,"cycles":...,"total_ns":...,"stages":{...}}.
+  std::string report_json() const;
+
+  // Registers the buckets under "profiler.stage.<name>.ns" plus
+  // "profiler.cycles" / "profiler.total_ns".
+  void export_metrics(MetricsRegistry& registry) const;
 
  private:
   std::array<std::uint64_t, kNumSimStages> ns_{};

@@ -1,0 +1,245 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/metrics.h"
+
+namespace bj {
+
+const char* trace_end_kind_name(TraceEndKind kind) {
+  switch (kind) {
+    case TraceEndKind::kCommit: return "commit";
+    case TraceEndKind::kSquash: return "squash";
+    case TraceEndKind::kNopRetire: return "nop-retire";
+  }
+  return "?";
+}
+
+const char* squash_cause_name(SquashCause cause) {
+  switch (cause) {
+    case SquashCause::kNone: return "none";
+    case SquashCause::kBranchMispredict: return "branch-mispredict";
+  }
+  return "?";
+}
+
+PipelineTracer::PipelineTracer(std::size_t capacity,
+                               std::uint64_t cycle_window)
+    : capacity_(capacity == 0 ? 1 : capacity), cycle_window_(cycle_window) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1u << 16));
+}
+
+void PipelineTracer::record(const TraceRecord& rec) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(rec);
+  } else {
+    ring_[next_] = rec;
+    next_ = next_ + 1 == capacity_ ? 0 : next_ + 1;
+  }
+  ++total_;
+}
+
+std::vector<TraceRecord> PipelineTracer::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  // Oldest-first: the segment after the overwrite cursor precedes the
+  // segment before it once the ring has wrapped.
+  for (std::size_t i = next_; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  for (std::size_t i = 0; i < next_; ++i) out.push_back(ring_[i]);
+  if (cycle_window_ > 0 && !out.empty()) {
+    std::uint64_t newest = 0;
+    for (const TraceRecord& r : out) newest = std::max(newest, r.end_cycle);
+    const std::uint64_t floor =
+        newest > cycle_window_ ? newest - cycle_window_ : 0;
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [floor](const TraceRecord& r) {
+                               return r.end_cycle < floor;
+                             }),
+              out.end());
+  }
+  return out;
+}
+
+namespace {
+
+// A record's earliest known cycle (squashed instructions may have no
+// timestamps past fetch).
+std::uint64_t record_start(const TraceRecord& r) {
+  if (r.fetch_cycle != kNoCycle) return r.fetch_cycle;
+  if (r.dispatch_cycle != kNoCycle) return r.dispatch_cycle;
+  if (r.issue_cycle != kNoCycle) return r.issue_cycle;
+  if (r.complete_cycle != kNoCycle) return r.complete_cycle;
+  return r.end_cycle;
+}
+
+struct KonataEvent {
+  std::uint64_t cycle;
+  std::string text;
+};
+
+}  // namespace
+
+void PipelineTracer::write_konata(std::ostream& os) const {
+  std::vector<TraceRecord> recs = snapshot();
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return record_start(a) < record_start(b);
+                   });
+
+  // Generate each instruction's events in its own (nondecreasing) cycle
+  // order, then stable-sort the whole stream by cycle: Kanata consumers
+  // require cycle records to only ever advance.
+  std::vector<KonataEvent> events;
+  events.reserve(recs.size() * 6);
+  auto emit = [&](std::uint64_t cycle, std::string text) {
+    events.push_back(KonataEvent{cycle, std::move(text)});
+  };
+  for (std::size_t id = 0; id < recs.size(); ++id) {
+    const TraceRecord& r = recs[id];
+    const std::uint64_t start = record_start(r);
+    const std::string sid = std::to_string(id);
+    emit(start, "I\t" + sid + "\t" + std::to_string(r.seq) + "\t" +
+                    std::to_string(r.tid));
+    emit(start, "L\t" + sid + "\t0\t" + r.label);
+    std::string detail = "pc=" + std::to_string(r.pc) +
+                         " fe=" + std::to_string(r.frontend_way) +
+                         " be=" + std::to_string(r.backend_way);
+    if (r.packet_id != 0) detail += " pkt=" + std::to_string(r.packet_id);
+    if (r.end != TraceEndKind::kCommit) {
+      detail += std::string(" end=") + trace_end_kind_name(r.end);
+    }
+    if (r.cause != SquashCause::kNone) {
+      detail += std::string(" cause=") + squash_cause_name(r.cause);
+    }
+    emit(start, "L\t" + sid + "\t1\t" + detail);
+    // Stage starts; a later S in the same lane closes the previous stage,
+    // and R closes the final one.
+    std::uint64_t prev = start;
+    auto stage = [&](std::uint64_t cycle, const char* name) {
+      if (cycle == kNoCycle) return;
+      const std::uint64_t at = std::max(cycle, prev);
+      emit(at, "S\t" + sid + "\t0\t" + name);
+      prev = at;
+    };
+    stage(r.fetch_cycle, "F");
+    stage(r.dispatch_cycle, "Ds");
+    stage(r.issue_cycle, "Is");
+    stage(r.complete_cycle, "Cm");
+    const std::uint64_t end = std::max(r.end_cycle, prev);
+    emit(end, "R\t" + sid + "\t" + std::to_string(r.seq) + "\t" +
+                  (r.end == TraceEndKind::kSquash ? "1" : "0"));
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const KonataEvent& a, const KonataEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+
+  os << "Kanata\t0004\n";
+  if (events.empty()) return;
+  std::uint64_t cur = events.front().cycle;
+  os << "C=\t" << cur << "\n";
+  for (const KonataEvent& ev : events) {
+    if (ev.cycle > cur) {
+      os << "C\t" << (ev.cycle - cur) << "\n";
+      cur = ev.cycle;
+    }
+    os << ev.text << "\n";
+  }
+}
+
+namespace {
+
+void chrome_inst_event(std::ostream& os, const TraceRecord& r) {
+  const std::uint64_t start = record_start(r);
+  const std::uint64_t end = std::max(r.end_cycle, start);
+  os << "{\"name\":";
+  write_json_string(os, r.label[0] != '\0' ? r.label : "inst");
+  os << ",\"cat\":";
+  write_json_string(os, trace_end_kind_name(r.end));
+  os << ",\"ph\":\"X\",\"pid\":0,\"tid\":" << static_cast<int>(r.tid)
+     << ",\"ts\":" << start << ",\"dur\":" << (end - start)
+     << ",\"args\":{\"seq\":" << r.seq << ",\"pc\":" << r.pc
+     << ",\"packet\":" << r.packet_id
+     << ",\"fe_way\":" << static_cast<int>(r.frontend_way)
+     << ",\"be_way\":" << static_cast<int>(r.backend_way);
+  auto cycle_arg = [&](const char* key, std::uint64_t c) {
+    if (c != kNoCycle) os << ",\"" << key << "\":" << c;
+  };
+  cycle_arg("fetch", r.fetch_cycle);
+  cycle_arg("dispatch", r.dispatch_cycle);
+  cycle_arg("issue", r.issue_cycle);
+  cycle_arg("complete", r.complete_cycle);
+  os << ",\"end\":" << r.end_cycle << ",\"end_kind\":\""
+     << trace_end_kind_name(r.end) << "\"";
+  if (r.cause != SquashCause::kNone) {
+    os << ",\"squash_cause\":\"" << squash_cause_name(r.cause) << "\"";
+  }
+  os << "}}";
+}
+
+}  // namespace
+
+void PipelineTracer::write_chrome(std::ostream& os) const {
+  const std::vector<TraceRecord> recs = snapshot();
+  os << "{\"schema_version\":" << kMetricsSchemaVersion
+     << ",\"traceEvents\":[\n";
+  os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"leading\"}},\n";
+  os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+        "\"args\":{\"name\":\"trailing\"}}";
+  for (const TraceRecord& r : recs) {
+    os << ",\n";
+    chrome_inst_event(os, r);
+  }
+  os << "\n]}\n";
+}
+
+void CampaignTraceLog::add_span(std::string_view name, std::string_view cat,
+                                int lane, double ts_us, double dur_us,
+                                std::string args_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(Span{std::string(name), std::string(cat), lane, ts_us,
+                        dur_us, std::move(args_json)});
+}
+
+void CampaignTraceLog::set_lane_name(int lane, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lane_names_[lane] = std::string(name);
+}
+
+std::size_t CampaignTraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void CampaignTraceLog::write_chrome(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"schema_version\":" << kMetricsSchemaVersion
+     << ",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (const auto& [lane, name] : lane_names_) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << lane
+       << ",\"args\":{\"name\":";
+    write_json_string(os, name);
+    os << "}}";
+  }
+  for (const Span& s : spans_) {
+    sep();
+    os << "{\"name\":";
+    write_json_string(os, s.name);
+    os << ",\"cat\":";
+    write_json_string(os, s.cat);
+    os << ",\"ph\":\"X\",\"pid\":0,\"tid\":" << s.lane << ",\"ts\":" << s.ts_us
+       << ",\"dur\":" << s.dur_us << ",\"args\":{" << s.args_json << "}}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace bj

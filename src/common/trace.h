@@ -1,0 +1,144 @@
+// Opt-in pipeline tracing.
+//
+// PipelineTracer is a ring buffer of per-instruction lifecycle records. The
+// core appends one record per *ended* instruction — commit, squash, or
+// shuffle-NOP retirement — under an `if (tracer_)` check, so the disabled
+// path costs one predictable branch per end site and touches no memory. The
+// record carries every stage timestamp the DynInst already tracks
+// (fetch/dispatch/issue/complete) plus the end cycle, thread role, the
+// frontend/backend ways the instruction used, its DTQ packet identity, and
+// the squash cause; exporters replay the buffer into either Konata/Kanata
+// format (per-instruction pipeline visualization) or Chrome trace-event
+// JSON (chrome://tracing / Perfetto).
+//
+// CampaignTraceLog is the campaign-scale sibling: a mutex-guarded span list
+// where each worker lane is a Chrome "thread" and each fault run (or
+// golden-trace cache fill) is one complete event with provenance args.
+//
+// Both live in bj_common and know nothing about the ISA: the core fills the
+// record's fixed-size label with disassembly on the (already opt-in) traced
+// path.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bj {
+
+// Stage timestamp "never reached" sentinel (a squashed instruction may die
+// before dispatch; cycle 0 is a real cycle).
+inline constexpr std::uint64_t kNoCycle = ~0ull;
+
+enum class TraceEndKind : std::uint8_t {
+  kCommit,     // retired architecturally
+  kSquash,     // discarded on a pipeline flush
+  kNopRetire,  // shuffle NOP released at issue (occupied a way, no commit)
+};
+
+enum class SquashCause : std::uint8_t {
+  kNone,              // not squashed
+  kBranchMispredict,  // leading-thread branch resolution flushed it
+};
+
+const char* trace_end_kind_name(TraceEndKind kind);
+const char* squash_cause_name(SquashCause cause);
+
+struct TraceRecord {
+  std::uint64_t seq = 0;  // per-context program-order sequence
+  std::uint64_t pc = 0;
+  std::uint64_t packet_id = 0;  // trailing DTQ packet (0 = none)
+  std::uint64_t fetch_cycle = kNoCycle;
+  std::uint64_t dispatch_cycle = kNoCycle;
+  std::uint64_t issue_cycle = kNoCycle;
+  std::uint64_t complete_cycle = kNoCycle;
+  std::uint64_t end_cycle = 0;  // commit / squash / nop-retire cycle
+  std::uint8_t tid = 0;         // 0 leading, 1 trailing
+  std::int8_t frontend_way = -1;
+  std::int8_t backend_way = -1;
+  TraceEndKind end = TraceEndKind::kCommit;
+  SquashCause cause = SquashCause::kNone;
+  char label[48] = {};  // disassembly, truncated; filled by the core
+
+  void set_label(std::string_view text) {
+    const std::size_t n = text.size() < sizeof(label) - 1
+                              ? text.size()
+                              : sizeof(label) - 1;
+    std::memcpy(label, text.data(), n);
+    label[n] = '\0';
+  }
+};
+
+class PipelineTracer {
+ public:
+  // `capacity`: ring size in records (oldest evicted first). `cycle_window`:
+  // when non-zero, exporters drop records whose end cycle is more than this
+  // many cycles before the newest record's end cycle (--trace-cycles=N).
+  explicit PipelineTracer(std::size_t capacity = 1u << 18,
+                          std::uint64_t cycle_window = 0);
+
+  void record(const TraceRecord& rec);
+
+  std::size_t size() const {
+    return ring_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t total_recorded() const { return total_; }
+  std::uint64_t dropped() const { return total_ - ring_.size(); }
+
+  // Buffer contents oldest-first, with the cycle window applied.
+  std::vector<TraceRecord> snapshot() const;
+
+  // Kanata format v0004 (Konata). One lane, stages F/Ds/Is/Cm; retirement
+  // type distinguishes commit (0) from flush (1).
+  void write_konata(std::ostream& os) const;
+
+  // Chrome trace-event JSON: one complete ("ph":"X") event per instruction,
+  // tid = thread role, ts/dur in cycles, stage timestamps in args.
+  void write_chrome(std::ostream& os) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t cycle_window_;
+  std::vector<TraceRecord> ring_;
+  std::size_t next_ = 0;    // overwrite cursor once full
+  std::uint64_t total_ = 0; // records ever pushed
+};
+
+// Campaign-scale Chrome trace: worker lanes, one span per fault run, golden
+// trace cache fills, with free-form args carrying provenance. Thread-safe —
+// campaign workers append concurrently.
+class CampaignTraceLog {
+ public:
+  // Reserved lane for cross-worker infrastructure spans (cache fills).
+  static constexpr int kSharedLane = 1000;
+
+  // `args_json`: either empty or a comma-joined list of `"key":value` pairs
+  // (no surrounding braces) — spliced verbatim into the event's args object.
+  void add_span(std::string_view name, std::string_view cat, int lane,
+                double ts_us, double dur_us, std::string args_json = {});
+  void set_lane_name(int lane, std::string_view name);
+
+  std::size_t size() const;
+  void write_chrome(std::ostream& os) const;
+
+ private:
+  struct Span {
+    std::string name;
+    std::string cat;
+    int lane = 0;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    std::string args_json;
+  };
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::map<int, std::string> lane_names_;
+};
+
+}  // namespace bj

@@ -61,6 +61,29 @@ struct TransientFault {
   std::string describe() const;
 };
 
+// Provenance of one fault run: the injection -> first architectural
+// corruption -> detection chain, with cycle timestamps. The core stamps the
+// activation and detection legs while it runs (Core::set_provenance); the
+// campaign fills the corruption leg afterwards by dating the first released
+// store that disagrees with the golden trace. All fields are observational —
+// attaching a provenance record never changes simulated behaviour.
+struct FaultProvenance {
+  bool activated = false;
+  std::uint64_t first_activation_cycle = 0;
+  bool corrupted = false;
+  std::uint64_t first_corruption_cycle = 0;
+  bool detected = false;
+  std::uint64_t detection_cycle = 0;
+
+  // Cycles from the fault first biting to a check firing; 0 when the chain
+  // is incomplete (never activated, or never detected).
+  std::uint64_t detection_latency() const {
+    return activated && detected && detection_cycle >= first_activation_cycle
+               ? detection_cycle - first_activation_cycle
+               : 0;
+  }
+};
+
 // Injection hooks called from the pipeline. Activation counts increment only
 // when forcing the bit actually changed a value (the fault was exercised
 // in a way that matters).

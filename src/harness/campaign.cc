@@ -1,6 +1,7 @@
 #include "harness/campaign.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <iostream>
 #include <memory>
@@ -10,6 +11,7 @@
 
 #include "arch/emulator.h"
 #include "blackjack/shuffle.h"
+#include "common/env.h"
 #include "common/rng.h"
 #include "harness/golden_trace.h"
 #include "harness/worker_pool.h"
@@ -200,6 +202,13 @@ FaultRun execute_fault_run(
     SharedShuffleTable* shuffle_table = nullptr) {
   Core core(program, config.mode, config.params, &injector);
   core.set_oracle_check(config.oracle_check);
+  // Provenance is purely observational (the core only stamps cycle numbers
+  // into it), so every campaign run carries it: detection latency and the
+  // corruption chain are first-class campaign outputs, not a trace-only
+  // extra. The simulated behaviour — and thus every fingerprinted outcome —
+  // is unchanged.
+  FaultProvenance provenance;
+  core.set_provenance(&provenance);
   if (shuffle_table != nullptr) {
     // Warm-start the worker's shuffle cache from results computed by earlier
     // runs. Pure memoization: safe_shuffle is a pure function, so warm hits
@@ -220,15 +229,29 @@ FaultRun execute_fault_run(
   run.activations = injector.activations();
   run.oracle_violated = core.oracle_violated();
 
-  // Corruption analysis: did any wrong store reach memory?
+  // Corruption analysis: did any wrong store reach memory? The release-cycle
+  // vector the provenance hook filled dates the first architectural
+  // corruption.
   const auto& released = core.released_stores();
+  const auto& release_cycles = core.released_store_cycles();
   const auto golden = golden_prefix(released.size());
   for (std::size_t i = 0; i < released.size(); ++i) {
     const bool wrong = i >= golden.size() ||
                        released[i].addr != golden[i].first ||
                        released[i].data != golden[i].second;
-    if (wrong) ++run.corrupt_stores_released;
+    if (wrong) {
+      if (!provenance.corrupted && i < release_cycles.size()) {
+        provenance.corrupted = true;
+        provenance.first_corruption_cycle = release_cycles[i];
+      }
+      ++run.corrupt_stores_released;
+    }
   }
+  run.first_activation_cycle =
+      provenance.activated ? provenance.first_activation_cycle : 0;
+  run.first_corruption_cycle =
+      provenance.corrupted ? provenance.first_corruption_cycle : 0;
+  run.detection_latency = provenance.detection_latency();
 
   if (!outcome.detections.empty()) {
     const DetectionEvent& first = outcome.detections.front();
@@ -268,14 +291,105 @@ void write_jsonl_record(std::ostream& os, const CampaignResult& result,
   if (config.oracle_check) {
     os << ",\"oracle_violated\":" << (run.oracle_violated ? "true" : "false");
   }
+  if (run.activations > 0) {
+    os << ",\"first_activation_cycle\":" << run.first_activation_cycle;
+  }
+  if (run.corrupt_stores_released > 0) {
+    os << ",\"first_corruption_cycle\":" << run.first_corruption_cycle;
+  }
   if (run.outcome == FaultOutcome::kDetected ||
       run.outcome == FaultOutcome::kDetectedLate ||
       run.outcome == FaultOutcome::kWedged) {
     os << ",\"detection_kind\":\"" << detection_kind_name(run.detection_kind)
-       << "\",\"detection_cycle\":" << run.detection_cycle;
+       << "\",\"detection_cycle\":" << run.detection_cycle
+       << ",\"detection_latency\":" << run.detection_latency;
   }
   os << ",\"seconds\":" << run_seconds << "}\n";
 }
+
+// FNV-1a over the numeric fields that determine a campaign's records.
+struct ConfigDigest {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t campaign_config_digest(const CampaignConfig& config) {
+  ConfigDigest d;
+  d.mix(static_cast<std::uint64_t>(config.mode));
+  d.mix(static_cast<std::uint64_t>(config.num_faults));
+  d.mix(config.seed);
+  d.mix(config.budget_commits);
+  d.mix(config.soft_errors ? 1 : 0);
+  d.mix(config.oracle_check ? 1 : 0);
+  for (const FaultSite site : config.sites) {
+    d.mix(static_cast<std::uint64_t>(site));
+  }
+  const CoreParams& p = config.params;
+  const auto mi = [&](int v) { d.mix(static_cast<std::uint64_t>(v)); };
+  mi(p.fetch_width);
+  mi(p.issue_width);
+  mi(p.commit_width);
+  mi(p.active_list_entries);
+  mi(p.lsq_entries);
+  mi(p.issue_queue_entries);
+  mi(p.fetch_buffer_entries);
+  mi(p.int_alu_units);
+  mi(p.int_mul_units);
+  mi(p.fp_alu_units);
+  mi(p.fp_mul_units);
+  mi(p.mem_ports);
+  mi(p.frontend_stages);
+  mi(p.slack);
+  mi(p.dtq_entries);
+  mi(p.store_buffer_entries);
+  mi(p.lvq_entries);
+  mi(p.boq_entries);
+  mi(p.separate_payload_rams ? 1 : 0);
+  mi(p.one_packet_per_cycle ? 1 : 0);
+  mi(p.packet_serial_dispatch ? 1 : 0);
+  mi(p.combine_packets ? 1 : 0);
+  for (const std::uint32_t mask : p.disabled_backend_ways) d.mix(mask);
+  d.mix(p.watchdog_cycles);
+  return d.h;
+}
+
+void export_campaign_metrics(MetricsRegistry& registry,
+                             const CampaignResult& result,
+                             const CampaignStats* stats) {
+  registry.text("campaign.workload", result.workload);
+  registry.text("campaign.mode", mode_name(result.mode));
+  registry.counter("campaign.runs", result.runs.size());
+  for (const auto& [outcome, n] : result.totals()) {
+    registry.counter(std::string("campaign.outcome.") +
+                         fault_outcome_name(outcome),
+                     static_cast<std::uint64_t>(n));
+  }
+  registry.gauge("campaign.detection_rate_of_activated",
+                 result.detection_rate_of_activated());
+  registry.gauge("campaign.corruption_rate_of_activated",
+                 result.corruption_rate_of_activated());
+  registry.gauge("campaign.sdc_rate_of_activated",
+                 result.sdc_rate_of_activated());
+  if (stats != nullptr) {
+    registry.gauge("campaign.jobs", stats->jobs);
+    registry.gauge("campaign.wall_seconds", stats->wall_seconds);
+    registry.gauge("campaign.runs_per_second", stats->runs_per_second);
+    for (const auto& [outcome, hist] : stats->detection_latency) {
+      registry.histogram(std::string("campaign.detection_latency.") +
+                             fault_outcome_name(outcome),
+                         hist);
+    }
+  }
+}
+
+namespace {
 
 // Report records a worker has completed but not yet pushed to the shared
 // sinks. Workers accumulate into their private buffer and flush under the
@@ -294,6 +408,24 @@ int resolve_report_batch(const ParallelCampaignOptions& options) {
   // contract run_campaign's callers rely on); modest batches when parallel,
   // where per-run locking measurably serializes short runs.
   return resolve_jobs(options.jobs) <= 1 ? 1 : 16;
+}
+
+// First line of every campaign JSONL file: identifies the build, the
+// configuration, and the expected record count, so downstream analysis can
+// validate a file before parsing run records.
+void write_jsonl_header(std::ostream& os, const Program& program,
+                        const CampaignConfig& config) {
+  std::ostringstream digest;
+  digest << std::hex << campaign_config_digest(config);
+  os << "{\"record\":\"header\",\"schema_version\":" << kMetricsSchemaVersion
+     << ",\"bjsim_version\":\"" << kBjsimVersion << "\",\"workload\":\""
+     << program.name << "\",\"mode\":\"" << mode_name(config.mode)
+     << "\",\"seed\":" << config.seed
+     << ",\"num_faults\":" << config.num_faults
+     << ",\"budget_commits\":" << config.budget_commits
+     << ",\"soft_errors\":" << (config.soft_errors ? "true" : "false")
+     << ",\"oracle_check\":" << (config.oracle_check ? "true" : "false")
+     << ",\"config_digest\":\"" << digest.str() << "\"}\n";
 }
 
 }  // namespace
@@ -331,7 +463,12 @@ CampaignResult run_campaign_parallel(const Program& program,
   CampaignProgress progress;
   progress.total = static_cast<int>(injectors.size());
   double serial_estimate = 0.0;
+  // Runs finished simulating, including those still sitting in a worker's
+  // unflushed batch. Bumped lock-free right after each run so the ETA below
+  // tracks actual completion instead of lagging a whole batch behind.
+  std::atomic<int> finished{0};
   const auto campaign_start = Clock::now();
+  if (options.jsonl) write_jsonl_header(*options.jsonl, program, config);
 
   const int report_batch = resolve_report_batch(options);
   std::vector<WorkerReportBuffer> buffers(
@@ -350,17 +487,33 @@ CampaignResult run_campaign_parallel(const Program& program,
     }
     progress.elapsed_seconds =
         std::chrono::duration<double>(Clock::now() - campaign_start).count();
+    // ETA from `finished`, not `completed`: with report_batch > 1 each
+    // worker's last `batch − 1` runs are invisible to `completed` until the
+    // next flush, which under large batches made the ETA wildly pessimistic
+    // early in the campaign (few flushes, much elapsed time).
+    progress.finished = finished.load(std::memory_order_relaxed);
     progress.eta_seconds =
-        progress.completed > 0
-            ? progress.elapsed_seconds / progress.completed *
-                  (progress.total - progress.completed)
+        progress.finished > 0
+            ? progress.elapsed_seconds / progress.finished *
+                  (progress.total - progress.finished)
             : 0.0;
     if (options.jsonl) *options.jsonl << buf.jsonl.str();
     buf = WorkerReportBuffer{};
     if (options.progress) options.progress(progress);
   };
 
-  parallel_for_workers(
+  const auto micros_since_start = [&campaign_start](Clock::time_point t) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t -
+                                                              campaign_start)
+            .count());
+  };
+  if (options.trace != nullptr) {
+    options.trace->set_lane_name(CampaignTraceLog::kSharedLane,
+                                 "golden-trace-cache");
+  }
+
+  const std::size_t workers_used = parallel_for_workers(
       options.jobs, injectors.size(), [&](std::size_t worker, std::size_t i) {
         const auto run_start = Clock::now();
         // Each worker owns its injector copy and Core; the golden cache and
@@ -369,12 +522,44 @@ CampaignResult run_campaign_parallel(const Program& program,
         const FaultRun run = execute_fault_run(
             program, config, injectors[i], labels[i],
             [&](std::size_t min_count) {
-              return cache.prefix(min_count, step_cap);
+              if (options.trace == nullptr) {
+                return cache.prefix(min_count, step_cap);
+              }
+              // Date cache fills: a prefix() call that advanced the emulator
+              // becomes a span on the shared lane. Steps only grow, so a
+              // delta is a fill this call performed (or at least waited on).
+              const std::uint64_t steps_before = cache.steps();
+              const auto fill_start = Clock::now();
+              auto golden = cache.prefix(min_count, step_cap);
+              const std::uint64_t advanced = cache.steps() - steps_before;
+              if (advanced > 0) {
+                const auto fill_end = Clock::now();
+                const std::uint64_t ts = micros_since_start(fill_start);
+                options.trace->add_span(
+                    "golden-fill", "cache", CampaignTraceLog::kSharedLane, ts,
+                    micros_since_start(fill_end) - ts,
+                    "\"steps\":" + std::to_string(advanced) +
+                        ",\"stores\":" + std::to_string(golden.size()));
+              }
+              return golden;
             },
             shuffle_table.get());
+        finished.fetch_add(1, std::memory_order_relaxed);
+        const auto run_end = Clock::now();
         const double run_seconds =
-            std::chrono::duration<double>(Clock::now() - run_start).count();
+            std::chrono::duration<double>(run_end - run_start).count();
         result.runs[i] = run;
+        if (options.trace != nullptr) {
+          const std::uint64_t ts = micros_since_start(run_start);
+          options.trace->add_span(
+              "run " + std::to_string(i), fault_outcome_name(run.outcome),
+              static_cast<int>(worker), ts, micros_since_start(run_end) - ts,
+              "\"index\":" + std::to_string(i) + ",\"outcome\":\"" +
+                  fault_outcome_name(run.outcome) +
+                  "\",\"activations\":" + std::to_string(run.activations) +
+                  ",\"corrupt_stores\":" +
+                  std::to_string(run.corrupt_stores_released));
+        }
 
         WorkerReportBuffer& buf = buffers[worker];
         if (options.jsonl) {
@@ -388,6 +573,12 @@ CampaignResult run_campaign_parallel(const Program& program,
           flush_locked(buf);
         }
       });
+  if (options.trace != nullptr) {
+    for (std::size_t w = 0; w < workers_used; ++w) {
+      options.trace->set_lane_name(static_cast<int>(w),
+                                   "worker " + std::to_string(w));
+    }
+  }
 
   // Workers have joined; drain whatever partial batches remain, in worker
   // order, so the last progress snapshot reports completed == total.
@@ -405,6 +596,14 @@ CampaignResult run_campaign_parallel(const Program& program,
         stats->wall_seconds > 0.0
             ? static_cast<double>(result.runs.size()) / stats->wall_seconds
             : 0.0;
+    for (const FaultRun& run : result.runs) {
+      if (run.activations == 0) continue;
+      if (run.outcome == FaultOutcome::kDetected ||
+          run.outcome == FaultOutcome::kDetectedLate ||
+          run.outcome == FaultOutcome::kWedged) {
+        stats->detection_latency[run.outcome].add(run.detection_latency);
+      }
+    }
   }
   return result;
 }

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "fault/fault_model.h"
 #include "harness/driver.h"
 
@@ -68,6 +70,14 @@ struct FaultRun {
   std::uint64_t detection_cycle = 0;
   DetectionKind detection_kind = DetectionKind::kWatchdogTimeout;
   std::uint64_t corrupt_stores_released = 0;
+  // Provenance chain (injection -> corruption -> detection), stamped by the
+  // core's FaultProvenance hooks. first_activation_cycle is meaningful when
+  // activations > 0, first_corruption_cycle when corrupt_stores_released >
+  // 0, detection_latency (detection − first activation) for detected and
+  // wedged outcomes.
+  std::uint64_t first_activation_cycle = 0;
+  std::uint64_t first_corruption_cycle = 0;
+  std::uint64_t detection_latency = 0;
   // Whether the architectural oracle observed a divergence at some leading
   // commit (only ever true when CampaignConfig::oracle_check was set). Kept
   // separately from `outcome` because a detected run may *also* have
@@ -93,7 +103,12 @@ struct CampaignResult {
 
 // Snapshot handed to the progress callback after each completed run.
 struct CampaignProgress {
-  int completed = 0;
+  int completed = 0;  // runs whose records have been flushed to the sinks
+  // Runs that have finished simulating, including those still buffered in a
+  // worker's unflushed batch. Under report_batch > 1 this leads `completed`
+  // by up to jobs × batch runs; the ETA is computed from it so large batches
+  // don't report stale estimates.
+  int finished = 0;
   int total = 0;
   double elapsed_seconds = 0.0;
   double eta_seconds = 0.0;  // 0 when no estimate yet
@@ -108,6 +123,10 @@ struct CampaignStats {
   // have cost end-to-end on one worker.
   double serial_estimate_seconds = 0.0;
   double runs_per_second = 0.0;
+  // Per-outcome detection-latency distribution (cycles from the fault's
+  // first activation to the check firing). Populated for detected,
+  // detected-late, and wedged runs that activated.
+  std::map<FaultOutcome, Histogram> detection_latency;
   double speedup() const {
     return wall_seconds > 0.0 ? serial_estimate_seconds / wall_seconds : 0.0;
   }
@@ -130,7 +149,23 @@ struct ParallelCampaignOptions {
   // exactly one JSONL record carrying its fault index, and the final
   // progress snapshot always reports completed == total.
   int report_batch = 0;
+  // When set, the campaign records a Chrome trace-event span per fault run
+  // on its worker's lane, plus golden-trace cache fill spans on the shared
+  // lane. Null = no tracing (the default).
+  CampaignTraceLog* trace = nullptr;
 };
+
+// Order-independent FNV-1a digest of everything that determines a
+// campaign's records (mode, fault set parameters, budget, core parameters).
+// Stamped into the JSONL header so downstream analysis can detect files
+// mixing incompatible configurations.
+std::uint64_t campaign_config_digest(const CampaignConfig& config);
+
+// Registers campaign outcome counters, rates, throughput, and the
+// per-outcome detection-latency histograms under "campaign.*".
+void export_campaign_metrics(MetricsRegistry& registry,
+                             const CampaignResult& result,
+                             const CampaignStats* stats);
 
 // Generates a deterministic set of fault sites (shared across modes so SRT
 // and BlackJack face the *same* faults) and runs the campaign.

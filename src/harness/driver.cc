@@ -11,6 +11,7 @@ SimResult run_simulation(const Program& program, const SimRequest& request) {
   Core core(program, request.mode, request.params, &injector);
   core.set_oracle_check(request.oracle_check);
   core.set_profiler(request.profiler);
+  core.set_tracer(request.tracer);
 
   const std::uint64_t max_cycles =
       request.max_cycles != 0

@@ -27,6 +27,9 @@ struct SimRequest {
   // When set, the core charges each pipeline stage's wall time to this
   // profiler (warm-up included). Null keeps the timer-free fast path.
   StageProfiler* profiler = nullptr;
+  // When set, the core records a TraceRecord for every instruction that
+  // leaves the pipeline (warm-up included). Null keeps the untraced path.
+  PipelineTracer* tracer = nullptr;
 };
 
 struct SimResult {

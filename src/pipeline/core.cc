@@ -7,6 +7,8 @@
 #include <cassert>
 #include <ostream>
 
+#include "common/metrics.h"
+
 namespace bj {
 
 const char* mode_name(Mode mode) {
@@ -214,6 +216,15 @@ bool Core::tick() {
     run_stages_profiled();
   }
 
+  // Provenance: date the first cycle on which the injector observed an
+  // effective activation. One branch when detached; one extra flag check
+  // per cycle of a provenance-tracked (campaign) run.
+  if (provenance_ != nullptr && !provenance_->activated &&
+      injector_->activations() > 0) {
+    provenance_->activated = true;
+    provenance_->first_activation_cycle = cycle_;
+  }
+
   ++cycle_;
   ++stats_.cycles;
 
@@ -266,7 +277,54 @@ void Core::reset_event_cache() {
 void Core::record_detection(DetectionKind kind, std::uint64_t pc,
                             std::uint64_t seq) {
   detections_.push_back(DetectionEvent{kind, cycle_, pc, seq});
+  if (provenance_ != nullptr && !provenance_->detected) {
+    provenance_->detected = true;
+    provenance_->detection_cycle = cycle_;
+  }
   if (halt_on_detection_) detection_halt_ = true;
+}
+
+void Core::export_metrics(MetricsRegistry& registry) const {
+  registry.text("core.mode", mode_name(mode_));
+  registry.counter("core.cycles", stats_.cycles);
+  registry.counter("core.commits.leading", stats_.leading_commits);
+  registry.counter("core.commits.trailing", stats_.trailing_commits);
+  registry.gauge("core.ipc", stats_.ipc());
+  registry.counter("core.issue.cycles", stats_.issue_cycles);
+  registry.counter("core.issue.instructions", stats_.instructions_issued);
+  registry.gauge("core.issue.burstiness", stats_.burstiness());
+  registry.ratio("core.issue.lt_interference", stats_.lt_interference_cycles,
+                 stats_.issue_cycles);
+  registry.ratio("core.issue.tt_interference", stats_.tt_interference_cycles,
+                 stats_.issue_cycles);
+  registry.counter("core.issue.tt_sibling_cycles", stats_.tt_sibling_cycles);
+  registry.counter("core.issue.other_diversity_loss_cycles",
+                   stats_.other_diversity_loss_cycles);
+  registry.counter("core.branch.lookups", stats_.branch_lookups);
+  registry.ratio("core.branch.mispredict_rate", stats_.branch_mispredicts,
+                 stats_.branch_lookups);
+  registry.gauge("core.coverage.total", stats_.coverage.total_coverage());
+  registry.gauge("core.coverage.frontend",
+                 stats_.coverage.frontend_coverage());
+  registry.gauge("core.coverage.backend", stats_.coverage.backend_coverage());
+  registry.counter("core.coverage.pairs", stats_.coverage.pairs());
+  registry.counter("shuffle.packets", stats_.packets_shuffled);
+  registry.counter("shuffle.nops", stats_.shuffle_nops);
+  registry.counter("shuffle.splits", stats_.packet_splits);
+  registry.counter("shuffle.forced_places", stats_.shuffle_forced_places);
+  registry.counter("shuffle.packets_combined", stats_.packets_combined);
+  registry.ratio("shuffle.cache.hit_rate", stats_.shuffle_cache_hits,
+                 stats_.shuffle_cache_hits + stats_.shuffle_cache_misses);
+  registry.counter("shuffle.cache.warm_hits", stats_.shuffle_cache_warm_hits);
+  registry.counter("pool.high_water", stats_.pool_high_water);
+  registry.counter("fault.payload_corrupted.leading",
+                   stats_.payload_corrupted_leading);
+  registry.counter("fault.payload_corrupted.both",
+                   stats_.payload_corrupted_both);
+  registry.counter("core.detections", detections_.size());
+  for (const auto& [name, count] : stats_.events.all()) {
+    registry.counter("core.events." + name, count);
+  }
 }
 
 DynInst* Core::make_inst(ThreadId tid) {

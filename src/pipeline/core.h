@@ -29,6 +29,7 @@
 #include "common/profiler.h"
 #include "common/ring_deque.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "fault/coverage.h"
 #include "fault/fault_model.h"
 #include "mem/cache.h"
@@ -41,6 +42,8 @@
 #include "srt/store_buffer.h"
 
 namespace bj {
+
+class MetricsRegistry;
 
 // Aggregate statistics, resettable at the warm-up boundary.
 struct CoreStats {
@@ -188,6 +191,30 @@ class Core {
   // the unprofiled tick path pays nothing for the feature.
   void set_profiler(StageProfiler* profiler) { profiler_ = profiler; }
 
+  // Ring-buffered per-instruction lifecycle tracing: one TraceRecord per
+  // ended instruction (commit, squash, or shuffle-NOP retirement). Pass
+  // nullptr to disable (the default); every hook compiles to a branch on
+  // this pointer, so the untraced path stays off the golden fingerprints
+  // and the bench gate.
+  void set_tracer(PipelineTracer* tracer) { tracer_ = tracer; }
+
+  // Fault-propagation provenance: when attached, the core stamps the first
+  // injector-activation cycle and the first detection into `provenance`,
+  // and records the release cycle of every store (parallel to
+  // released_stores()) so the campaign can date the first architectural
+  // corruption. Null (the default) keeps the hot path untouched.
+  void set_provenance(FaultProvenance* provenance) {
+    provenance_ = provenance;
+  }
+  const std::vector<std::uint64_t>& released_store_cycles() const {
+    return released_store_cycles_;
+  }
+
+  // Registers this core's statistics (CoreStats scalars, derived rates,
+  // event counters, shuffle-cache and pool gauges) under the stable
+  // "core.*" / "shuffle.*" / "pool.*" metric names.
+  void export_metrics(MetricsRegistry& registry) const;
+
   // Shared shuffle-cache warm start (campaign workers): adopt an immutable
   // snapshot of previously computed shuffle results. Purely a memoization
   // hint — simulated behaviour is identical with or without it.
@@ -239,6 +266,9 @@ class Core {
   void record_detection(DetectionKind kind, std::uint64_t pc,
                         std::uint64_t seq);
   void trace_commit(const DynInst* inst, char tag);
+  // Appends the instruction's lifecycle record to the tracer. Call sites
+  // guard on `tracer_ != nullptr` so the disabled path is a single branch.
+  void trace_end(const DynInst* inst, TraceEndKind end, SquashCause cause);
   void note_commit_progress() { last_commit_cycle_ = cycle_; }
   DynInst* make_inst(ThreadId tid);
   void check_against_oracle(const DynInst* inst);
@@ -437,6 +467,11 @@ class Core {
   bool trailing_fetch_phase_ = false;
   std::ostream* trace_ = nullptr;
   StageProfiler* profiler_ = nullptr;
+  PipelineTracer* tracer_ = nullptr;
+  FaultProvenance* provenance_ = nullptr;
+  // Release cycle of released_stores_[i]; filled only while provenance is
+  // attached (same store_trace_limit_ bound).
+  std::vector<std::uint64_t> released_store_cycles_;
   // Memoizes safe_shuffle across repeated packet signatures (kBlackjack only).
   ShuffleCache shuffle_cache_;
   // Leading sequence numbers whose payload was corrupted by an IQ payload

@@ -24,6 +24,33 @@ void Core::trace_commit(const DynInst* inst, char tag) {
           << disassemble(inst->inst) << '\n';
 }
 
+void Core::trace_end(const DynInst* inst, TraceEndKind end,
+                     SquashCause cause) {
+  TraceRecord rec;
+  rec.seq = inst->seq;
+  rec.pc = inst->pc;
+  rec.packet_id = inst->packet_id;
+  rec.fetch_cycle = inst->fetch_cycle;
+  rec.dispatch_cycle = inst->dispatched ? inst->dispatch_cycle : kNoCycle;
+  rec.issue_cycle = inst->issued ? inst->issue_cycle : kNoCycle;
+  rec.complete_cycle = inst->completed ? inst->complete_cycle : kNoCycle;
+  rec.end_cycle = cycle_;
+  rec.tid = static_cast<std::uint8_t>(tid_index(inst->tid));
+  rec.frontend_way = static_cast<std::int8_t>(inst->frontend_way);
+  rec.backend_way = static_cast<std::int8_t>(inst->backend_way);
+  rec.end = end;
+  rec.cause = cause;
+  if (inst->is_shuffle_nop) {
+    rec.set_label("shuffle-nop");
+  } else {
+    // Squashed frontend work may not have decoded yet; the predecode is the
+    // fault-free decode of the same raw word.
+    rec.set_label(disassemble(inst->dispatched ? inst->inst
+                                               : inst->predecode));
+  }
+  tracer_->record(rec);
+}
+
 void Core::commit() {
   commit_leading(ctxs_[0]);
   if (!redundant()) return;
@@ -40,6 +67,9 @@ void Core::release_store(std::uint64_t ordinal, std::uint64_t addr,
   hierarchy_.store(addr);
   if (released_stores_.size() < store_trace_limit_) {
     released_stores_.push_back(StoreBufferEntry{ordinal, addr, data});
+    // Provenance keeps a parallel release-cycle vector so the campaign can
+    // date the first corrupt store it finds in released_stores_.
+    if (provenance_ != nullptr) released_store_cycles_.push_back(cycle_);
   }
 }
 
@@ -178,6 +208,9 @@ void Core::commit_leading(Context& ctx) {
 
     ctx.active_list.pop_front();
     trace_commit(head, 'L');
+    if (tracer_ != nullptr) {
+      trace_end(head, TraceEndKind::kCommit, SquashCause::kNone);
+    }
     ++total_commits_[0];
     ++stats_.leading_commits;
     note_commit_progress();
@@ -281,6 +314,9 @@ void Core::commit_trailing_srt(Context& ctx) {
 
     ctx.active_list.pop_front();
     trace_commit(head, 'T');
+    if (tracer_ != nullptr) {
+      trace_end(head, TraceEndKind::kCommit, SquashCause::kNone);
+    }
     ++total_commits_[1];
     ++stats_.trailing_commits;
     note_commit_progress();
@@ -375,6 +411,9 @@ void Core::commit_trailing_blackjack(Context& ctx) {
     }
 
     trace_commit(head, 'T');
+    if (tracer_ != nullptr) {
+      trace_end(head, TraceEndKind::kCommit, SquashCause::kNone);
+    }
     ++total_commits_[1];
     ++stats_.trailing_commits;
     note_commit_progress();

@@ -401,7 +401,12 @@ void Core::issue() {
   // Shuffle NOPs are referenced only by their (now freed) IQ slot: their
   // lifetime ends with issue, so their arena slots are recycled here.
   for (DynInst* inst : issued) {
-    if (inst->is_shuffle_nop) pool_.release(inst->self);
+    if (inst->is_shuffle_nop) {
+      if (tracer_ != nullptr) {
+        trace_end(inst, TraceEndKind::kNopRetire, SquashCause::kNone);
+      }
+      pool_.release(inst->self);
+    }
   }
   issued.clear();
 }
@@ -491,6 +496,9 @@ void Core::squash_leading_after(std::uint64_t branch_seq,
   for (std::size_t i = 0; i < ctx.frontend_q.size(); ++i) {
     DynInst& inst = pool_.get(ctx.frontend_q.at(i));
     inst.squashed = true;
+    if (tracer_ != nullptr) {
+      trace_end(&inst, TraceEndKind::kSquash, SquashCause::kBranchMispredict);
+    }
     pool_.release(inst.self);
   }
   ctx.frontend_q.clear();
@@ -514,6 +522,9 @@ void Core::squash_leading_after(std::uint64_t branch_seq,
     DynInst& inst = pool_.get(ref);
     ctx.active_list.pop_back();
     inst.squashed = true;
+    if (tracer_ != nullptr) {
+      trace_end(&inst, TraceEndKind::kSquash, SquashCause::kBranchMispredict);
+    }
     // Undo rename in reverse program order.
     if (inst.dst_phys != kNoPhysReg) {
       ctx.map.at(inst.inst.dst.cls, inst.inst.dst.idx) = inst.prev_dst_phys;

@@ -163,18 +163,28 @@ TEST(CampaignParallel, ObservabilityStreamsRecordsAndProgress) {
   EXPECT_EQ(last_completed, config.num_faults);
   EXPECT_EQ(result.runs.size(), static_cast<std::size_t>(config.num_faults));
 
-  // One JSON record per run, each with the core fields.
+  // One leading header record, then one JSON record per run, each with the
+  // core fields.
   int lines = 0;
+  int headers = 0;
   std::string line;
   std::istringstream in(jsonl.str());
   while (std::getline(in, line)) {
-    ++lines;
     EXPECT_EQ(line.front(), '{');
     EXPECT_EQ(line.back(), '}');
+    if (line.find("\"record\":\"header\"") != std::string::npos) {
+      ++headers;
+      EXPECT_EQ(lines + headers, 1) << "header must be the first record";
+      EXPECT_NE(line.find("\"schema_version\":"), std::string::npos);
+      EXPECT_NE(line.find("\"config_digest\":"), std::string::npos);
+      continue;
+    }
+    ++lines;
     EXPECT_NE(line.find("\"outcome\":"), std::string::npos);
     EXPECT_NE(line.find("\"index\":"), std::string::npos);
     EXPECT_NE(line.find("\"workload\":\"eon\""), std::string::npos);
   }
+  EXPECT_EQ(headers, 1);
   EXPECT_EQ(lines, config.num_faults);
 
   EXPECT_EQ(stats.jobs, 2);
@@ -191,6 +201,7 @@ std::vector<std::string> canonical_jsonl(const std::string& raw) {
   std::istringstream in(raw);
   std::string line;
   while (std::getline(in, line)) {
+    if (line.find("\"record\":\"header\"") != std::string::npos) continue;
     const auto sec = line.find(",\"seconds\":");
     if (sec != std::string::npos) {
       line.erase(sec, line.find('}', sec) - sec);

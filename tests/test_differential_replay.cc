@@ -82,6 +82,9 @@ std::vector<std::string> canonical_jsonl(const std::string& raw) {
   std::istringstream in(raw);
   std::string line;
   while (std::getline(in, line)) {
+    // The leading header record has no fault index; it is compared verbatim
+    // by the header-specific tests, not here.
+    if (line.find("\"record\":\"header\"") != std::string::npos) continue;
     const auto sec = line.find(",\"seconds\":");
     if (sec != std::string::npos) {
       line.erase(sec, line.find('}', sec) - sec);

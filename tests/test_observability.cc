@@ -1,0 +1,625 @@
+// Tests for the observability layer: the metrics registry and its two
+// writers, the pipeline tracer and its exporters, the stage profiler's
+// bucket accounting, CounterSet::slot() aliasing, fault-propagation
+// provenance in campaign records, and the batched-reporting ETA fix.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/profiler.h"
+#include "common/stats.h"
+#include "common/trace.h"
+#include "harness/campaign.h"
+#include "harness/driver.h"
+#include "workload/profile.h"
+
+namespace bj {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundariesAndSummary) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(100);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 103u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  // Bucket i holds v with 2^i <= v+1 < 2^(i+1): 0 -> bucket 0, 1..2 ->
+  // bucket 1, 100 -> bucket 6 (101 in [64,128)).
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(6), 1u);
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 1);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_floor(0), 0u);
+  EXPECT_EQ(Histogram::bucket_floor(1), 1u);
+  EXPECT_EQ(Histogram::bucket_floor(6), 63u);
+  // Every value lands in the bucket whose floor is <= value.
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 7ull, 63ull, 64ull, 1ull << 30}) {
+    const int b = Histogram::bucket_of(v);
+    EXPECT_LE(Histogram::bucket_floor(b), v) << v;
+    if (b + 1 < Histogram::kBuckets) {
+      EXPECT_GT(Histogram::bucket_floor(b + 1), v) << v;
+    }
+  }
+}
+
+TEST(Histogram, MergeCombinesCountsAndExtremes) {
+  Histogram a;
+  a.add(4);
+  a.add(8);
+  Histogram b;
+  b.add(1);
+  b.add(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 1013u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 1000u);
+  Histogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, JsonWriterEmitsEveryKind) {
+  MetricsRegistry reg;
+  reg.counter("core.cycles", 1234);
+  reg.gauge("core.ipc", 1.5);
+  reg.ratio("shuffle.cache.hit_rate", 3, 4);
+  RunningStat rs;
+  rs.add(1.0);
+  rs.add(3.0);
+  reg.stat("run.seconds", rs);
+  Histogram h;
+  h.add(7);
+  reg.histogram("campaign.latency", h);
+  reg.text("core.mode", "blackjack");
+  EXPECT_EQ(reg.size(), 6u);
+  EXPECT_TRUE(reg.has("core.cycles"));
+  EXPECT_EQ(reg.counter_value("core.cycles"), 1234u);
+  EXPECT_EQ(reg.gauge_value("core.ipc"), 1.5);
+  EXPECT_EQ(reg.text_value("core.mode"), "blackjack");
+
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"core.cycles\":1234"), std::string::npos);
+  EXPECT_NE(json.find("\"core.mode\":\"blackjack\""), std::string::npos);
+  EXPECT_NE(json.find("\"hits\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"fraction\":0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[[7,1]]"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\":2"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusWriterMapsNamesAndExpandsKinds) {
+  MetricsRegistry reg;
+  reg.counter("core.events.dtq-full", 9);
+  reg.ratio("branch.mispredict_rate", 1, 10);
+  Histogram h;
+  h.add(0);
+  h.add(5);
+  reg.histogram("campaign.latency", h);
+  reg.text("campaign.mode", "srt");
+
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("bj_core_events_dtq_full 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE bj_core_events_dtq_full counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("bj_branch_mispredict_rate_hits 1"), std::string::npos);
+  EXPECT_NE(text.find("bj_branch_mispredict_rate_total 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE bj_campaign_latency histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("bj_campaign_latency_sum 5"), std::string::npos);
+  EXPECT_NE(text.find("bj_campaign_mode_info{value=\"srt\"} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonStringsAreEscaped) {
+  MetricsRegistry reg;
+  reg.text("weird", "a\"b\\c\nd");
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_NE(os.str().find("\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// StageProfiler (satellite c: bucket accounting + reset)
+// ---------------------------------------------------------------------------
+
+TEST(StageProfiler, BucketsAccumulateIndependentlyAndReset) {
+  StageProfiler prof;
+  prof.add(SimStage::kFetch, 100);
+  prof.add(SimStage::kFetch, 50);
+  prof.add(SimStage::kCommit, 30);
+  prof.note_cycle();
+  prof.note_cycle();
+  EXPECT_EQ(prof.ns(SimStage::kFetch), 150u);
+  EXPECT_EQ(prof.ns(SimStage::kCommit), 30u);
+  EXPECT_EQ(prof.ns(SimStage::kIssue), 0u);
+  EXPECT_EQ(prof.total_ns(), 180u);
+  EXPECT_EQ(prof.cycles(), 2u);
+
+  prof.reset();
+  EXPECT_EQ(prof.total_ns(), 0u);
+  EXPECT_EQ(prof.cycles(), 0u);
+  for (int i = 0; i < kNumSimStages; ++i) {
+    EXPECT_EQ(prof.ns(static_cast<SimStage>(i)), 0u);
+  }
+}
+
+TEST(StageProfiler, JsonReportSharesMetricsSchema) {
+  StageProfiler prof;
+  prof.add(SimStage::kIssue, 500);
+  prof.note_cycle();
+  const std::string json = prof.report_json();
+  EXPECT_NE(json.find("\"schema_version\":" +
+                      std::to_string(kMetricsSchemaVersion)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"issue\":{\"ns\":500"), std::string::npos);
+  EXPECT_NE(json.find("\"cycles\":1"), std::string::npos);
+  // Every stage appears, even the zero ones.
+  for (int i = 0; i < kNumSimStages; ++i) {
+    EXPECT_NE(json.find(std::string("\"") +
+                        sim_stage_name(static_cast<SimStage>(i)) + "\":"),
+              std::string::npos);
+  }
+
+  MetricsRegistry reg;
+  prof.export_metrics(reg);
+  EXPECT_EQ(reg.counter_value("profiler.stage.issue.ns"), 500u);
+  EXPECT_EQ(reg.counter_value("profiler.cycles"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// CounterSet::slot() aliasing (satellite c)
+// ---------------------------------------------------------------------------
+
+TEST(CounterSet, SlotPointersStaySableAcrossGrowth) {
+  CounterSet counters;
+  std::uint64_t& first = counters.slot("first");
+  first = 7;
+  // Grow the map by two orders of magnitude; the node-based map must not
+  // move the slot.
+  std::vector<std::uint64_t*> slots;
+  for (int i = 0; i < 500; ++i) {
+    slots.push_back(&counters.slot("ctr" + std::to_string(i)));
+  }
+  EXPECT_EQ(counters.get("first"), 7u);
+  first += 1;
+  EXPECT_EQ(counters.get("first"), 8u);
+  for (int i = 0; i < 500; ++i) {
+    *slots[static_cast<std::size_t>(i)] += static_cast<std::uint64_t>(i);
+  }
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(counters.get("ctr" + std::to_string(i)),
+              static_cast<std::uint64_t>(i));
+    EXPECT_EQ(&counters.slot("ctr" + std::to_string(i)),
+              slots[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(CounterSet, SlotAndBumpAliasTheSameStorage) {
+  CounterSet counters;
+  counters.bump("x", 3);
+  std::uint64_t& slot = counters.slot("x");
+  EXPECT_EQ(slot, 3u);
+  counters.bump("x", 2);
+  EXPECT_EQ(slot, 5u);
+  slot += 5;
+  EXPECT_EQ(counters.get("x"), 10u);
+  // slot() on a fresh name creates it at zero, exactly like a first bump.
+  EXPECT_EQ(counters.slot("fresh"), 0u);
+  EXPECT_EQ(counters.all().count("fresh"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// PipelineTracer
+// ---------------------------------------------------------------------------
+
+TraceRecord make_record(std::uint64_t seq, std::uint64_t fetch,
+                        std::uint64_t end) {
+  TraceRecord r;
+  r.seq = seq;
+  r.pc = 4096 + seq * 4;
+  r.fetch_cycle = fetch;
+  r.dispatch_cycle = fetch + 2;
+  r.issue_cycle = fetch + 4;
+  r.complete_cycle = fetch + 5;
+  r.end_cycle = end;
+  r.set_label("add r1, r2, r3");
+  return r;
+}
+
+TEST(PipelineTracer, RingEvictsOldestAndCountsDrops) {
+  PipelineTracer tracer(4, 0);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    tracer.record(make_record(i, i * 10, i * 10 + 8));
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.capacity(), 4u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto snap = tracer.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Oldest-first: sequences 6..9 survive.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap[i].seq, 6 + i);
+  }
+}
+
+TEST(PipelineTracer, CycleWindowDropsStaleRecords) {
+  PipelineTracer tracer(64, 25);
+  tracer.record(make_record(0, 0, 10));     // newest(90) - 25 = 65: dropped
+  tracer.record(make_record(1, 50, 70));    // kept
+  tracer.record(make_record(2, 80, 90));    // kept
+  const auto snap = tracer.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].seq, 1u);
+  EXPECT_EQ(snap[1].seq, 2u);
+}
+
+TEST(PipelineTracer, KonataExportIsWellFormed) {
+  PipelineTracer tracer(64, 0);
+  tracer.record(make_record(0, 5, 12));
+  TraceRecord squashed = make_record(1, 6, 9);
+  squashed.dispatch_cycle = kNoCycle;
+  squashed.issue_cycle = kNoCycle;
+  squashed.complete_cycle = kNoCycle;
+  squashed.end = TraceEndKind::kSquash;
+  squashed.cause = SquashCause::kBranchMispredict;
+  tracer.record(squashed);
+
+  std::ostringstream os;
+  tracer.write_konata(os);
+  std::istringstream in(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "Kanata\t0004");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.substr(0, 3), "C=\t");
+  int opens = 0;
+  int closes = 0;
+  int flushes = 0;
+  std::uint64_t last_delta_ok = 1;
+  while (std::getline(in, line)) {
+    if (line.rfind("I\t", 0) == 0) ++opens;
+    if (line.rfind("R\t", 0) == 0) {
+      ++closes;
+      if (line.back() == '1') ++flushes;
+    }
+    if (line.rfind("C\t", 0) == 0) {
+      last_delta_ok = std::stoull(line.substr(2));
+      EXPECT_GE(last_delta_ok, 1u);
+    }
+  }
+  EXPECT_EQ(opens, 2);
+  EXPECT_EQ(closes, 2);
+  EXPECT_EQ(flushes, 1);
+  EXPECT_NE(os.str().find("cause=branch-mispredict"), std::string::npos);
+}
+
+TEST(PipelineTracer, ChromeExportCarriesStageArgs) {
+  PipelineTracer tracer(64, 0);
+  tracer.record(make_record(0, 5, 12));
+  std::ostringstream os;
+  tracer.write_chrome(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema_version\":" +
+                      std::to_string(kMetricsSchemaVersion)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"leading\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"fetch\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":7"), std::string::npos);
+}
+
+TEST(CampaignTraceLogTest, SpansAndLaneNamesRoundTrip) {
+  CampaignTraceLog log;
+  log.set_lane_name(0, "worker 0");
+  log.set_lane_name(CampaignTraceLog::kSharedLane, "golden-trace-cache");
+  log.add_span("run 3", "detected", 0, 10.0, 250.0, "\"index\":3");
+  log.add_span("golden-fill", "cache", CampaignTraceLog::kSharedLane, 12.0,
+               40.0);
+  EXPECT_EQ(log.size(), 2u);
+  std::ostringstream os;
+  log.write_chrome(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"name\":\"worker 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"run 3\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"index\":3}"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Traced simulation end-to-end: every leading commit produces a record.
+// ---------------------------------------------------------------------------
+
+TEST(TracedSimulation, RecordsFollowCommitsAndTracingIsInert) {
+  SimRequest request;
+  request.mode = Mode::kBlackjack;
+  request.warmup_commits = 200;
+  request.budget_commits = 1500;
+
+  const SimResult untraced = run_workload(profile_by_name("gcc"), request);
+
+  PipelineTracer tracer(1u << 16, 0);
+  request.tracer = &tracer;
+  const SimResult traced = run_workload(profile_by_name("gcc"), request);
+
+  // Tracing must not perturb the simulation.
+  EXPECT_EQ(traced.cycles, untraced.cycles);
+  EXPECT_EQ(traced.commits, untraced.commits);
+  EXPECT_EQ(traced.coverage_pairs, untraced.coverage_pairs);
+  EXPECT_EQ(traced.branch_mispredicts, untraced.branch_mispredicts);
+
+  // Both threads commit, so the tracer sees at least two records per leading
+  // commit (leading + trailing), plus squashes and shuffle NOPs.
+  EXPECT_GE(tracer.total_recorded(),
+            2 * (request.warmup_commits + request.budget_commits));
+  std::uint64_t commits = 0;
+  std::uint64_t nops = 0;
+  bool saw_trailing = false;
+  for (const TraceRecord& r : tracer.snapshot()) {
+    if (r.end == TraceEndKind::kCommit) ++commits;
+    if (r.end == TraceEndKind::kNopRetire) ++nops;
+    if (r.tid == 1) saw_trailing = true;
+    EXPECT_GE(r.end_cycle, r.fetch_cycle);
+  }
+  EXPECT_GT(commits, 0u);
+  EXPECT_TRUE(saw_trailing);
+  // BlackJack inserts shuffle NOPs on this workload.
+  EXPECT_GT(nops, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign provenance + JSONL header + batched ETA
+// ---------------------------------------------------------------------------
+
+Program campaign_program() {
+  WorkloadProfile p = profile_by_name("eon");
+  p.iterations = 0;  // endless; the commit budget bounds each run
+  return generate_workload(p);
+}
+
+TEST(CampaignProvenance, DetectedRunsCarryTheChain) {
+  const Program p = campaign_program();
+  CampaignConfig config;
+  config.mode = Mode::kBlackjack;
+  config.num_faults = 12;
+  config.seed = 90125;
+  config.budget_commits = 3000;
+  config.sites = {FaultSite::kFrontendDecoder, FaultSite::kBackendResult};
+
+  std::ostringstream jsonl;
+  ParallelCampaignOptions options;
+  options.jobs = 2;
+  options.jsonl = &jsonl;
+  CampaignStats stats;
+  const CampaignResult result =
+      run_campaign_parallel(p, config, options, &stats);
+
+  int detected = 0;
+  for (const FaultRun& run : result.runs) {
+    if (run.activations > 0) {
+      EXPECT_GT(run.first_activation_cycle, 0u) << run.fault.describe();
+    } else {
+      EXPECT_EQ(run.first_activation_cycle, 0u);
+      EXPECT_EQ(run.detection_latency, 0u);
+    }
+    if (run.corrupt_stores_released > 0) {
+      EXPECT_GT(run.first_corruption_cycle, 0u);
+    }
+    if ((run.outcome == FaultOutcome::kDetected ||
+         run.outcome == FaultOutcome::kDetectedLate) &&
+        run.activations > 0) {
+      ++detected;
+      // The chain is ordered: activation <= detection.
+      EXPECT_GE(run.detection_cycle, run.first_activation_cycle);
+      EXPECT_EQ(run.detection_latency,
+                run.detection_cycle - run.first_activation_cycle);
+    }
+  }
+  ASSERT_GT(detected, 0) << "campaign config no longer detects anything";
+
+  // The per-outcome latency histograms cover exactly the detected+wedged
+  // activated runs.
+  std::uint64_t hist_count = 0;
+  for (const auto& [outcome, hist] : stats.detection_latency) {
+    hist_count += hist.count();
+  }
+  std::uint64_t expect_count = 0;
+  for (const FaultRun& run : result.runs) {
+    if (run.activations == 0) continue;
+    if (run.outcome == FaultOutcome::kDetected ||
+        run.outcome == FaultOutcome::kDetectedLate ||
+        run.outcome == FaultOutcome::kWedged) {
+      ++expect_count;
+    }
+  }
+  EXPECT_EQ(hist_count, expect_count);
+
+  // JSONL: detected records carry the latency field.
+  EXPECT_NE(jsonl.str().find("\"detection_latency\":"), std::string::npos);
+  EXPECT_NE(jsonl.str().find("\"first_activation_cycle\":"),
+            std::string::npos);
+}
+
+TEST(CampaignProvenance, JsonlHeaderIdentifiesTheCampaign) {
+  const Program p = campaign_program();
+  CampaignConfig config;
+  config.mode = Mode::kSrt;
+  config.num_faults = 4;
+  config.seed = 7;
+  config.budget_commits = 1500;
+  config.soft_errors = true;
+
+  std::ostringstream jsonl;
+  ParallelCampaignOptions options;
+  options.jobs = 1;
+  options.jsonl = &jsonl;
+  run_campaign_parallel(p, config, options);
+
+  const std::string text = jsonl.str();
+  const std::string header = text.substr(0, text.find('\n'));
+  EXPECT_NE(header.find("\"record\":\"header\""), std::string::npos);
+  EXPECT_NE(header.find("\"schema_version\":" +
+                        std::to_string(kMetricsSchemaVersion)),
+            std::string::npos);
+  EXPECT_NE(header.find("\"bjsim_version\":\""), std::string::npos);
+  EXPECT_NE(header.find("\"mode\":\"srt\""), std::string::npos);
+  EXPECT_NE(header.find("\"seed\":7"), std::string::npos);
+  EXPECT_NE(header.find("\"num_faults\":4"), std::string::npos);
+  EXPECT_NE(header.find("\"soft_errors\":true"), std::string::npos);
+  EXPECT_NE(header.find("\"config_digest\":\""), std::string::npos);
+
+  // The digest moves when the configuration does.
+  CampaignConfig other = config;
+  other.seed = 8;
+  EXPECT_NE(campaign_config_digest(config), campaign_config_digest(other));
+  other = config;
+  other.params.slack += 1;
+  EXPECT_NE(campaign_config_digest(config), campaign_config_digest(other));
+  EXPECT_EQ(campaign_config_digest(config), campaign_config_digest(config));
+}
+
+TEST(CampaignProgressTest, BatchedEtaTracksFinishedRuns) {
+  const Program p = campaign_program();
+  CampaignConfig config;
+  config.mode = Mode::kSrt;
+  config.num_faults = 10;
+  config.seed = 11;
+  config.budget_commits = 1500;
+  config.soft_errors = true;
+
+  // Whether a flush observes runs finished ahead of the flushed count is
+  // scheduling-dependent (a worker can be starved), so retry a few times;
+  // the invariants inside the callback are checked on every attempt.
+  bool finished_led_completed = false;
+  for (int attempt = 0; attempt < 10 && !finished_led_completed; ++attempt) {
+    ParallelCampaignOptions options;
+    options.jobs = 2;
+    options.report_batch = 4;  // flushes lag completions
+    int last_finished = 0;
+    int last_completed = 0;
+    options.progress = [&](const CampaignProgress& progress) {
+      // `finished` counts runs done simulating; it must never trail the
+      // flushed count and is what the ETA is computed from.
+      EXPECT_GE(progress.finished, progress.completed);
+      EXPECT_LE(progress.finished, progress.total);
+      if (progress.finished > progress.completed) {
+        finished_led_completed = true;
+      }
+      if (progress.finished < progress.total) {
+        EXPECT_GT(progress.eta_seconds, 0.0);
+      } else {
+        // Everything has finished simulating: the ETA must say "no work
+        // left" even while records are still buffered — the exact staleness
+        // the completed-based estimate used to have.
+        EXPECT_EQ(progress.eta_seconds, 0.0);
+      }
+      last_finished = progress.finished;
+      last_completed = progress.completed;
+    };
+    run_campaign_parallel(p, config, options);
+    EXPECT_EQ(last_completed, config.num_faults);
+    EXPECT_EQ(last_finished, config.num_faults);
+  }
+  // With batch 4 over 10 runs on 2 workers, some flush should observe runs
+  // that finished ahead of the flushed count — the drain flush alone
+  // guarantees it whenever both workers got work.
+  EXPECT_TRUE(finished_led_completed);
+}
+
+TEST(CampaignMetrics, ExportCoversOutcomesAndLatency) {
+  const Program p = campaign_program();
+  CampaignConfig config;
+  config.mode = Mode::kBlackjack;
+  config.num_faults = 8;
+  config.seed = 90125;
+  config.budget_commits = 3000;
+  config.sites = {FaultSite::kBackendResult};
+
+  CampaignStats stats;
+  const CampaignResult result =
+      run_campaign_parallel(p, config, {}, &stats);
+
+  MetricsRegistry reg;
+  export_campaign_metrics(reg, result, &stats);
+  EXPECT_EQ(reg.text_value("campaign.mode"), "blackjack");
+  EXPECT_EQ(reg.counter_value("campaign.runs"), 8u);
+  EXPECT_TRUE(reg.has("campaign.detection_rate_of_activated"));
+  std::uint64_t outcome_total = 0;
+  for (const auto& [name, metric] : reg.all()) {
+    if (name.rfind("campaign.outcome.", 0) == 0) outcome_total += metric.value;
+  }
+  EXPECT_EQ(outcome_total, 8u);
+
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  EXPECT_NE(os.str().find("bj_campaign_runs 8"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Core metrics export
+// ---------------------------------------------------------------------------
+
+TEST(CoreMetrics, ExportMirrorsCoreStats) {
+  SimRequest request;
+  request.mode = Mode::kBlackjack;
+  request.warmup_commits = 200;
+  request.budget_commits = 1500;
+  const Program program = generate_workload(profile_by_name("gcc"));
+  FaultInjector injector;
+  Core core(program, request.mode, request.params, &injector);
+  core.run(request.budget_commits, request.budget_commits * 64 + 400000);
+
+  MetricsRegistry reg;
+  core.export_metrics(reg);
+  EXPECT_EQ(reg.text_value("core.mode"), "blackjack");
+  EXPECT_EQ(reg.counter_value("core.cycles"), core.cycle());
+  EXPECT_EQ(reg.counter_value("core.commits.leading"),
+            core.stats().leading_commits);
+  EXPECT_EQ(reg.counter_value("core.commits.trailing"),
+            core.stats().trailing_commits);
+  EXPECT_TRUE(reg.has("shuffle.cache.hit_rate"));
+  EXPECT_TRUE(reg.has("core.coverage.total"));
+  // Event counters ride along under core.events.*.
+  for (const auto& [name, value] : core.stats().events.all()) {
+    EXPECT_EQ(reg.counter_value("core.events." + name), value) << name;
+  }
+
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_NE(os.str().find("\"core.ipc\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bj

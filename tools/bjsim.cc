@@ -16,11 +16,14 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 
 #include "common/env.h"
 #include "common/flags.h"
+#include "common/metrics.h"
 #include "common/table.h"
+#include "common/trace.h"
 #include "harness/campaign.h"
 #include "harness/diagnosis.h"
 #include "isa/assembler.h"
@@ -47,7 +50,17 @@ int usage() {
                           (F: int-alu int-mul fp-alu fp-mul mem-port)
                         payload:entry=E,bit=B[,stuck=0|1]
                         transient:at=N,bit=B
-  --trace FILE          per-commit pipeline trace to FILE
+  --trace FILE          pipeline trace to FILE (see --trace-format); with
+                        --campaign, a Chrome trace of the campaign's workers
+  --trace-format F      text (per-commit log, the default) | konata (Konata/
+                        Kanata pipeline viewer) | chrome (chrome://tracing /
+                        Perfetto JSON)
+  --trace-cycles N      keep only instructions retiring within the last N
+                        cycles (0 = keep everything the ring buffer holds)
+  --metrics-out FILE    write the unified metrics registry to FILE after the
+                        run (single runs: core + profiler metrics; campaigns:
+                        outcome/latency metrics)
+  --metrics-format F    json (default) | prometheus
   --dump-state          dump machine state at the end of the run
   --diagnose            after a backend fault is detected, localize it by
                         deconfiguration and report the degraded-mode cost
@@ -63,6 +76,8 @@ int usage() {
                         outcome (slower; off by default)
   --profile             single runs only: time each pipeline stage and print
                         a cycle-attribution table after the report
+  --profile-json FILE   single runs only: write the stage profile as JSON
+                        (schema shared with --metrics-out) to FILE
   --seed S              campaign fault-set seed                  [1234]
   --jobs J              worker threads for --campaign / --diagnose
                         (0 = one per hardware thread)            [0]
@@ -152,6 +167,26 @@ Program select_program(const Flags& flags) {
     throw std::runtime_error("unknown kernel: " + k);
   }
   return generate_workload(profile_by_name(flags.get("workload", "gcc")));
+}
+
+// Opens --metrics-out eagerly (so a bad path fails before a long run) and
+// returns a writer honouring --metrics-format.
+std::function<void(const MetricsRegistry&)> metrics_writer(const Flags& flags) {
+  if (!flags.has("metrics-out")) return {};
+  auto out = std::make_shared<std::ofstream>(flags.get("metrics-out"));
+  if (!*out) throw std::runtime_error("cannot open metrics output file");
+  const std::string format = flags.get("metrics-format", "json");
+  if (format != "json" && format != "prometheus") {
+    throw std::runtime_error("unknown metrics format: " + format +
+                             " (try json or prometheus)");
+  }
+  return [out, format](const MetricsRegistry& registry) {
+    if (format == "json") {
+      registry.write_json(*out);
+    } else {
+      registry.write_prometheus(*out);
+    }
+  };
 }
 
 Mode parse_mode(const std::string& name) {
@@ -273,10 +308,24 @@ int main(int argc, char** argv) {
         options.jsonl = &jsonl;
       }
       options.progress = stderr_campaign_progress(program.name);
+      CampaignTraceLog trace_log;
+      std::ofstream trace_file;
+      if (flags.has("trace")) {
+        trace_file.open(flags.get("trace"));
+        if (!trace_file) throw std::runtime_error("cannot open trace file");
+        options.trace = &trace_log;
+      }
+      const auto write_metrics = metrics_writer(flags);
 
       CampaignStats stats;
       const CampaignResult result =
           run_campaign_parallel(program, config, options, &stats);
+      if (options.trace != nullptr) trace_log.write_chrome(trace_file);
+      if (write_metrics) {
+        MetricsRegistry registry;
+        export_campaign_metrics(registry, result, &stats);
+        write_metrics(registry);
+      }
 
       Table t({"outcome", "runs"});
       const auto totals = result.totals();
@@ -340,15 +389,36 @@ int main(int argc, char** argv) {
     if (flags.has("fault")) core.set_oracle_check(false);
 
     StageProfiler profiler;
-    if (flags.get_bool("profile")) core.set_profiler(&profiler);
+    std::ofstream profile_json;
+    if (flags.has("profile-json")) {
+      profile_json.open(flags.get("profile-json"));
+      if (!profile_json) {
+        throw std::runtime_error("cannot open profile JSON output file");
+      }
+    }
+    if (flags.get_bool("profile") || profile_json.is_open()) {
+      core.set_profiler(&profiler);
+    }
+    const auto write_metrics = metrics_writer(flags);
 
+    const std::string trace_format = flags.get("trace-format", "text");
+    PipelineTracer tracer(
+        std::size_t{1} << 18,
+        static_cast<std::uint64_t>(flags.get_int("trace-cycles", 0)));
     std::ofstream trace_file;
     if (flags.has("trace")) {
       trace_file.open(flags.get("trace"));
       if (!trace_file) {
         throw std::runtime_error("cannot open trace file");
       }
-      core.set_trace(&trace_file);
+      if (trace_format == "text") {
+        core.set_trace(&trace_file);
+      } else if (trace_format == "konata" || trace_format == "chrome") {
+        core.set_tracer(&tracer);
+      } else {
+        throw std::runtime_error("unknown trace format: " + trace_format +
+                                 " (try text, konata, or chrome)");
+      }
     }
 
     const auto warmup = static_cast<std::uint64_t>(
@@ -365,8 +435,24 @@ int main(int argc, char** argv) {
     const std::uint64_t before = core.cycle();
     core.run(budget, max_cycles);
 
+    if (trace_file.is_open() && trace_format != "text") {
+      if (trace_format == "konata") {
+        tracer.write_konata(trace_file);
+      } else {
+        tracer.write_chrome(trace_file);
+      }
+    }
     report(core, core.cycle() - before, flags.get_bool("csv"));
     if (flags.get_bool("profile")) profiler.print(std::cout);
+    if (profile_json.is_open()) profile_json << profiler.report_json();
+    if (write_metrics) {
+      MetricsRegistry registry;
+      core.export_metrics(registry);
+      if (flags.get_bool("profile") || profile_json.is_open()) {
+        profiler.export_metrics(registry);
+      }
+      write_metrics(registry);
+    }
     if (flags.get_bool("dump-state")) core.dump_state(std::cout);
     return core.oracle_violated() ? 1 : 0;
   } catch (const std::exception& e) {

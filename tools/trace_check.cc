@@ -1,0 +1,559 @@
+// trace_check — validating parser for bjsim's trace exporters.
+//
+// Konata/Kanata files are checked line-by-line against the subset of the
+// v0004 format bjsim emits: header first, cycle records that only advance,
+// and a well-formed I → (L/S)* → R lifecycle for every instruction lane.
+// Chrome trace-event files are parsed with a small strict JSON parser and
+// checked for the trace-event envelope (schema_version, traceEvents, and
+// per-event ph/pid/tid/ts/dur shape).
+//
+//   trace_check --format=konata FILE
+//   trace_check --format=chrome FILE
+//   trace_check --selftest
+//
+// --selftest round-trips both exporters in-process: a traced BlackJack
+// simulation through write_konata/write_chrome, and a traced fault-injection
+// campaign through CampaignTraceLog::write_chrome, all validated with the
+// same parsers used on files. This is what the tier2_trace ctest runs.
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/trace.h"
+#include "harness/campaign.h"
+#include "harness/driver.h"
+#include "workload/profile.h"
+
+using namespace bj;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Konata / Kanata v0004
+// ---------------------------------------------------------------------------
+
+struct KonataReport {
+  std::vector<std::string> errors;
+  std::size_t instructions = 0;
+  std::size_t retired = 0;
+  std::size_t flushed = 0;
+  std::size_t cycle_advances = 0;
+};
+
+void konata_error(KonataReport& rep, std::size_t line_no,
+                  const std::string& what) {
+  if (rep.errors.size() < 20) {
+    rep.errors.push_back("line " + std::to_string(line_no) + ": " + what);
+  }
+}
+
+KonataReport check_konata(std::istream& in) {
+  KonataReport rep;
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  bool saw_initial_cycle = false;
+  bool saw_any_event = false;
+  std::set<std::string> open;  // lanes with I but no R yet
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != "Kanata\t0004") {
+        konata_error(rep, line_no, "expected 'Kanata\\t0004' header");
+      }
+      saw_header = true;
+      continue;
+    }
+    std::vector<std::string> f = split(line, '\t');
+    const std::string& cmd = f[0];
+    auto want_fields = [&](std::size_t n) {
+      if (f.size() < n) {
+        konata_error(rep, line_no,
+                     cmd + " record needs " + std::to_string(n) + " fields");
+        return false;
+      }
+      return true;
+    };
+    auto is_number = [](const std::string& s) {
+      if (s.empty()) return false;
+      std::size_t i = s[0] == '-' ? 1 : 0;
+      if (i == s.size()) return false;
+      for (; i < s.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+      }
+      return true;
+    };
+    if (cmd == "C=") {
+      if (saw_initial_cycle || saw_any_event) {
+        konata_error(rep, line_no, "C= must appear once, before any event");
+      }
+      if (want_fields(2) && !is_number(f[1])) {
+        konata_error(rep, line_no, "C= cycle is not a number");
+      }
+      saw_initial_cycle = true;
+      continue;
+    }
+    if (cmd == "C") {
+      if (want_fields(2)) {
+        if (!is_number(f[1]) || std::stoll(f[1]) < 1) {
+          konata_error(rep, line_no, "C delta must be a positive number");
+        }
+      }
+      ++rep.cycle_advances;
+      continue;
+    }
+    saw_any_event = true;
+    if (cmd == "I") {
+      if (!want_fields(4)) continue;
+      if (!open.insert(f[1]).second) {
+        konata_error(rep, line_no, "instruction " + f[1] + " already open");
+      }
+      if (!is_number(f[2]) || !is_number(f[3])) {
+        konata_error(rep, line_no, "I insn/thread ids must be numbers");
+      }
+      ++rep.instructions;
+    } else if (cmd == "L") {
+      if (!want_fields(3)) continue;
+      if (open.find(f[1]) == open.end()) {
+        konata_error(rep, line_no, "L for unopened instruction " + f[1]);
+      }
+    } else if (cmd == "S" || cmd == "E") {
+      if (!want_fields(4)) continue;
+      if (open.find(f[1]) == open.end()) {
+        konata_error(rep, line_no,
+                     cmd + " for unopened instruction " + f[1]);
+      }
+      if (f[3].empty()) konata_error(rep, line_no, "empty stage name");
+    } else if (cmd == "R") {
+      if (!want_fields(4)) continue;
+      if (open.erase(f[1]) == 0) {
+        konata_error(rep, line_no, "R for unopened instruction " + f[1]);
+      }
+      if (f[3] == "0") {
+        ++rep.retired;
+      } else if (f[3] == "1") {
+        ++rep.flushed;
+      } else {
+        konata_error(rep, line_no, "R type must be 0 (retire) or 1 (flush)");
+      }
+    } else if (cmd == "W") {
+      if (!want_fields(4)) continue;  // dependency edges: accepted, unchecked
+    } else {
+      konata_error(rep, line_no, "unknown record '" + cmd + "'");
+    }
+  }
+  if (!saw_header) konata_error(rep, line_no, "empty file (no header)");
+  if (!open.empty()) {
+    konata_error(rep, line_no,
+                 std::to_string(open.size()) +
+                     " instruction(s) never retired (missing R)");
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON — strict recursive-descent parser, no duplication
+// of the emitting code's assumptions.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  double number = 0.0;
+  bool boolean = false;
+  std::string text;
+  std::vector<Json> items;
+  std::map<std::string, Json> fields;
+
+  const Json* find(const std::string& key) const {
+    const auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(Json* out, std::string* error) {
+    skip_ws();
+    if (!value(out)) {
+      *error = error_ + " at offset " + std::to_string(pos_);
+      return false;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      *error = "trailing data at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool fail(const std::string& what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+  bool value(Json* out) {
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out->kind = Json::kString;
+      return string(&out->text);
+    }
+    if (c == 't') {
+      out->kind = Json::kBool;
+      out->boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out->kind = Json::kBool;
+      return literal("false");
+    }
+    if (c == 'n') return literal("null");
+    return number(out);
+  }
+  bool string(std::string* out) {
+    if (s_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return fail("bad escape");
+        const char e = s_[pos_];
+        if (e == 'u') {
+          if (pos_ + 4 >= s_.size()) return fail("bad \\u escape");
+          pos_ += 4;
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return fail("bad escape character");
+        }
+        out->push_back(e);
+        ++pos_;
+      } else {
+        if (static_cast<unsigned char>(s_[pos_]) < 0x20) {
+          return fail("unescaped control character in string");
+        }
+        out->push_back(s_[pos_++]);
+      }
+    }
+    if (pos_ >= s_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number(Json* out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    try {
+      out->number = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      return fail("bad number");
+    }
+    out->kind = Json::kNumber;
+    return true;
+  }
+  bool array(Json* out) {
+    out->kind = Json::kArray;
+    ++pos_;  // [
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Json item;
+      if (!value(&item)) return false;
+      out->items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      if (s_[pos_] != ',') return fail("expected ',' in array");
+      ++pos_;
+      skip_ws();
+    }
+  }
+  bool object(Json* out) {
+    out->kind = Json::kObject;
+    ++pos_;  // {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      if (!string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      Json item;
+      if (!value(&item)) return false;
+      out->fields.emplace(std::move(key), std::move(item));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      if (s_[pos_] != ',') return fail("expected ',' in object");
+      ++pos_;
+      skip_ws();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+struct ChromeReport {
+  std::vector<std::string> errors;
+  std::size_t complete_events = 0;
+  std::size_t metadata_events = 0;
+};
+
+ChromeReport check_chrome(const std::string& text) {
+  ChromeReport rep;
+  Json root;
+  std::string error;
+  if (!JsonParser(text).parse(&root, &error)) {
+    rep.errors.push_back("JSON parse failed: " + error);
+    return rep;
+  }
+  if (root.kind != Json::kObject) {
+    rep.errors.push_back("top level is not an object");
+    return rep;
+  }
+  const Json* version = root.find("schema_version");
+  if (version == nullptr || version->kind != Json::kNumber) {
+    rep.errors.push_back("missing numeric schema_version");
+  } else if (static_cast<int>(version->number) != kMetricsSchemaVersion) {
+    rep.errors.push_back("schema_version mismatch: expected " +
+                         std::to_string(kMetricsSchemaVersion));
+  }
+  const Json* events = root.find("traceEvents");
+  if (events == nullptr || events->kind != Json::kArray) {
+    rep.errors.push_back("missing traceEvents array");
+    return rep;
+  }
+  for (std::size_t i = 0; i < events->items.size(); ++i) {
+    const Json& ev = events->items[i];
+    auto bad = [&](const std::string& what) {
+      if (rep.errors.size() < 20) {
+        rep.errors.push_back("event " + std::to_string(i) + ": " + what);
+      }
+    };
+    if (ev.kind != Json::kObject) {
+      bad("not an object");
+      continue;
+    }
+    const Json* name = ev.find("name");
+    if (name == nullptr || name->kind != Json::kString || name->text.empty()) {
+      bad("missing name");
+    }
+    const Json* ph = ev.find("ph");
+    if (ph == nullptr || ph->kind != Json::kString) {
+      bad("missing ph");
+      continue;
+    }
+    const Json* pid = ev.find("pid");
+    const Json* tid = ev.find("tid");
+    if (pid == nullptr || pid->kind != Json::kNumber || tid == nullptr ||
+        tid->kind != Json::kNumber) {
+      bad("missing numeric pid/tid");
+    }
+    if (ph->text == "M") {
+      ++rep.metadata_events;
+      continue;
+    }
+    if (ph->text != "X") {
+      bad("unexpected phase '" + ph->text + "'");
+      continue;
+    }
+    ++rep.complete_events;
+    const Json* ts = ev.find("ts");
+    const Json* dur = ev.find("dur");
+    if (ts == nullptr || ts->kind != Json::kNumber || ts->number < 0) {
+      bad("complete event needs nonnegative ts");
+    }
+    if (dur == nullptr || dur->kind != Json::kNumber || dur->number < 0) {
+      bad("complete event needs nonnegative dur");
+    }
+    const Json* args = ev.find("args");
+    if (args == nullptr || args->kind != Json::kObject) {
+      bad("complete event needs an args object");
+    }
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+int report_result(const std::string& what,
+                  const std::vector<std::string>& errors,
+                  const std::string& summary) {
+  if (errors.empty()) {
+    std::cout << "OK " << what << ": " << summary << "\n";
+    return 0;
+  }
+  std::cerr << "FAIL " << what << ":\n";
+  for (const std::string& e : errors) std::cerr << "  " << e << "\n";
+  return 1;
+}
+
+int check_konata_stream(const std::string& what, std::istream& in) {
+  const KonataReport rep = check_konata(in);
+  return report_result(
+      what, rep.errors,
+      std::to_string(rep.instructions) + " instructions (" +
+          std::to_string(rep.retired) + " retired, " +
+          std::to_string(rep.flushed) + " flushed), " +
+          std::to_string(rep.cycle_advances) + " cycle advances");
+}
+
+int check_chrome_text(const std::string& what, const std::string& text) {
+  const ChromeReport rep = check_chrome(text);
+  return report_result(what, rep.errors,
+                       std::to_string(rep.complete_events) +
+                           " complete events, " +
+                           std::to_string(rep.metadata_events) + " metadata");
+}
+
+int selftest() {
+  int failures = 0;
+
+  // 1. Traced BlackJack simulation, both exporters.
+  PipelineTracer tracer(1u << 16, 0);
+  SimRequest request;
+  request.mode = Mode::kBlackjack;
+  request.warmup_commits = 500;
+  request.budget_commits = 4000;
+  request.tracer = &tracer;
+  const SimResult sim =
+      run_workload(profile_by_name("gcc"), request);
+  if (!sim.finished && sim.cycles == 0) {
+    std::cerr << "FAIL selftest: traced simulation made no progress\n";
+    return 1;
+  }
+  if (tracer.total_recorded() == 0) {
+    std::cerr << "FAIL selftest: tracer recorded nothing\n";
+    return 1;
+  }
+  std::ostringstream konata;
+  tracer.write_konata(konata);
+  {
+    std::istringstream in(konata.str());
+    failures += check_konata_stream("selftest konata", in);
+  }
+  std::ostringstream chrome;
+  tracer.write_chrome(chrome);
+  failures += check_chrome_text("selftest chrome", chrome.str());
+
+  // 2. Traced campaign: worker lanes + run spans through the same chrome
+  // validator, plus the JSONL header record.
+  const Program program = generate_workload(profile_by_name("eon"));
+  CampaignConfig config;
+  config.mode = Mode::kBlackjack;
+  config.num_faults = 6;
+  config.budget_commits = 3000;
+  config.seed = 99;
+  CampaignTraceLog log;
+  std::ostringstream jsonl;
+  ParallelCampaignOptions options;
+  options.jobs = 2;
+  options.trace = &log;
+  options.jsonl = &jsonl;
+  run_campaign_parallel(program, config, options);
+  if (log.size() == 0) {
+    std::cerr << "FAIL selftest: campaign trace recorded no spans\n";
+    ++failures;
+  }
+  std::ostringstream campaign_chrome;
+  log.write_chrome(campaign_chrome);
+  failures += check_chrome_text("selftest campaign chrome",
+                                campaign_chrome.str());
+  const std::string first_line = jsonl.str().substr(0, jsonl.str().find('\n'));
+  if (first_line.find("\"record\":\"header\"") == std::string::npos ||
+      first_line.find("\"config_digest\":") == std::string::npos) {
+    std::cerr << "FAIL selftest: campaign JSONL does not start with a header "
+                 "record\n";
+    ++failures;
+  } else {
+    std::cout << "OK selftest jsonl header\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int usage() {
+  std::cout << "trace_check — validate bjsim trace files\n"
+               "  trace_check --format=konata FILE\n"
+               "  trace_check --format=chrome FILE\n"
+               "  trace_check --selftest\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.has("help") || flags.has("h")) return usage();
+  try {
+    if (flags.get_bool("selftest")) return selftest();
+    if (flags.positional().empty()) return usage();
+    const std::string path = flags.positional().front();
+    const std::string format = flags.get("format", "konata");
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "error: cannot open " << path << "\n";
+      return 1;
+    }
+    if (format == "konata") return check_konata_stream(path, in);
+    if (format == "chrome") {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      return check_chrome_text(path, buffer.str());
+    }
+    std::cerr << "error: unknown format " << format << "\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
