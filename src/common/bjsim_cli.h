@@ -1,0 +1,22 @@
+// Single source of truth for the bjsim command-line surface: the usage text
+// and the set of long options the driver actually consumes. tools/bjsim.cc
+// prints and parses against these, and tests/test_bjsim_cli.cc asserts the
+// two stay in sync (every accepted option is documented, and the usage text
+// never advertises an option the parser does not accept) — the doc/flag
+// drift this module exists to prevent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bj {
+
+// Every long option bjsim consumes, without the leading "--". "help" also
+// has the short alias "-h" (the only short option).
+const std::vector<std::string>& bjsim_accepted_options();
+
+// The --help text. Mentions every entry of bjsim_accepted_options() as
+// "--<name>" at least once.
+const char* bjsim_usage_text();
+
+}  // namespace bj

@@ -298,6 +298,8 @@ void Core::export_metrics(MetricsRegistry& registry) const {
   registry.ratio("core.issue.tt_interference", stats_.tt_interference_cycles,
                  stats_.issue_cycles);
   registry.counter("core.issue.tt_sibling_cycles", stats_.tt_sibling_cycles);
+  registry.counter("core.issue.wakeup_events", stats_.wakeup_events);
+  registry.counter("core.issue.select_pool_peak", stats_.select_pool_peak);
   registry.counter("core.issue.other_diversity_loss_cycles",
                    stats_.other_diversity_loss_cycles);
   registry.counter("core.branch.lookups", stats_.branch_lookups);
@@ -411,6 +413,12 @@ void Core::shuffle_stage() {
   entries.reserve(n);
   for (std::size_t i = 0; i < n; ++i) entries.push_back(dtq_.at(i));
   dtq_.pop_front(n);
+  if constexpr (kUseWakeupLists) {
+    // DTQ drained: leading instructions parked on DTQ-full re-check. The
+    // shuffle stage runs before issue, so they are selectable this cycle —
+    // matching when the legacy scan would see dtq_.full() clear.
+    wake_list(dtq_waiters_);
+  }
   ++stats_.packets_shuffled;
 
   const std::uint64_t origin = next_origin_id_++;
@@ -765,6 +773,13 @@ bool Core::rename_and_dispatch(Context& ctx, DynInst* inst) {
     if (trailing_packet_member) {
       ++iq_trailing_unissued_;
       iq_trailing_packet_id_ = inst->packet_id;
+    }
+    if constexpr (kUseWakeupLists) {
+      // Park the newcomer on its first blocking condition (or pool it if it
+      // is born ready). Dispatch runs after issue, so the earliest it can be
+      // selected is next cycle — the same cycle the legacy scan would first
+      // see it.
+      subscribe_waiter(inst);
     }
   };
 

@@ -45,6 +45,18 @@ namespace bj {
 
 class MetricsRegistry;
 
+// Issue-stage select strategy. The default build wakes issue-queue waiters
+// from producer events (writeback, producer issue, store address generation,
+// LVQ fill, DTQ drain) and selects from a ready pool; defining BJ_LEGACY_SCAN
+// at configure time (-DBJ_LEGACY_SCAN=ON) rebuilds the per-cycle full-IQ
+// readiness scan instead. Both paths are bit-identical — the tier-2 golden
+// fingerprints run under both configurations to prove it.
+#ifdef BJ_LEGACY_SCAN
+inline constexpr bool kUseWakeupLists = false;
+#else
+inline constexpr bool kUseWakeupLists = true;
+#endif
+
 // Aggregate statistics, resettable at the warm-up boundary.
 struct CoreStats {
   std::uint64_t cycles = 0;
@@ -59,6 +71,12 @@ struct CoreStats {
   std::uint64_t tt_sibling_cycles = 0;            // TT between split siblings
   std::uint64_t other_diversity_loss_cycles = 0;  // partial packet / FU busy
   std::uint64_t instructions_issued = 0;
+
+  // Wakeup-list select (kUseWakeupLists builds; both stay 0 under
+  // BJ_LEGACY_SCAN). Deliberately NOT part of the golden fingerprints: they
+  // describe the select implementation, not simulated behaviour.
+  std::uint64_t wakeup_events = 0;     // waiter entries moved into the pool
+  std::uint64_t select_pool_peak = 0;  // max ready-pool size seen at select
 
   // Safe-shuffle behaviour.
   std::uint64_t packets_shuffled = 0;
@@ -276,6 +294,26 @@ class Core {
                      std::uint64_t data);
   std::optional<std::uint64_t> leading_load_value(const DynInst* inst);
   bool lsq_older_stores_ready(Context& ctx, const DynInst* load);
+  // Re-clamp the monotone ready-prefix cache after ctx.lsq_stores shrinks.
+  // Called at every mutation site that removes entries (commit pop_front,
+  // squash pop_back), so the prefix can never point past the ring's end.
+  static void clamp_lsq_prefix(Context& ctx);
+
+  // --- wakeup-list select (kUseWakeupLists; see core_issue.cc) -------------
+  // Inserts an instruction into the per-cycle ready pool (deduped via
+  // DynInst::in_ready_pool).
+  void enqueue_ready(DynInst* inst);
+  // Fires a waiter list: live, unissued entries move to the ready pool;
+  // stale handles (squashed work) and already-issued stragglers are dropped.
+  // The list is emptied either way.
+  void wake_list(std::vector<InstRef>& list);
+  void wake_reg_waiters(RegClass cls, int reg);
+  // Parks an unissued IQ resident on the waiter list of the *first* blocking
+  // condition in ready_to_issue() order (or pools it if nothing blocks).
+  void subscribe_waiter(DynInst* inst);
+  // params_.check_issue_equivalence: compare the pool-derived candidate set
+  // against a fresh legacy scan; aborts on divergence.
+  void check_issue_sets(const std::vector<DynInst*>& pool_candidates);
 
   // --- configuration -------------------------------------------------------
   // Held by value: a Core must stay valid even when constructed from a
@@ -335,6 +373,19 @@ class Core {
   // Issue-stage scratch (reused across cycles to avoid per-cycle allocation).
   std::vector<DynInst*> issue_candidates_;
   std::vector<DynInst*> issue_issued_;
+  // Wakeup-list select state. ready_pool_ persists across cycles: it holds
+  // every IQ resident not currently parked on a waiter list (woken but not
+  // yet validated, or ready but structurally blocked — FU/width/DTQ/MSHR).
+  // Select drains it through ready_pool_scratch_, re-validates each entry
+  // with ready_to_issue(), and either issues it, re-pools it, or re-parks it
+  // on its new first blocking condition.
+  std::vector<InstRef> ready_pool_;
+  std::vector<InstRef> ready_pool_scratch_;
+  std::vector<DynInst*> check_scan_scratch_;  // differential-check scratch
+  // Non-register waiter lists: trailing loads waiting for their LVQ entry,
+  // and leading instructions waiting for a free DTQ slot.
+  std::vector<InstRef> lvq_waiters_;
+  std::vector<InstRef> dtq_waiters_;
   // Shuffle-stage scratch (one popped DTQ window + its shuffle signature).
   std::vector<DtqEntry> shuffle_entries_;
   std::vector<ShuffleInst> shuffle_input_;
@@ -405,6 +456,11 @@ class Core {
     // walks this ring backward instead of the whole LSQ.
     RingDeque<InstRef> lsq_stores;
     std::size_t lsq_stores_ready_prefix = 0;
+    // Loads in this context blocked on an older store's pending address
+    // (wakeup-list select). Fired when any of the context's stores computes
+    // its address; commit/squash never need to fire it (removing stores can
+    // only unblock loads that were already unblocked — see ARCHITECTURE.md).
+    std::vector<InstRef> lsq_addr_waiters;
     // Window storage is rounded up to a power of two so the virtual-index
     // mapping is a mask, not a division (two divisions per trailing commit
     // showed up in the flat profile). Any `entries` consecutive virtual

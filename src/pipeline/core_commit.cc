@@ -163,6 +163,12 @@ void Core::commit_leading(Context& ctx) {
     if (d.is_load() && redundant()) {
       lvq_.push(
           LvqEntry{ctx.committed_loads, head->mem_addr, head->load_value});
+      if constexpr (kUseWakeupLists) {
+        // LVQ fill: trailing loads parked on a missing entry re-check.
+        // Commit runs before issue, so they are selectable this same cycle —
+        // exactly when the legacy scan would first see the entry.
+        wake_list(lvq_waiters_);
+      }
     }
     if (mode_ == Mode::kSrt && head->predecode.valid &&
         head->predecode.is_control()) {
@@ -201,7 +207,11 @@ void Core::commit_leading(Context& ctx) {
       if (d.is_store()) {
         assert(!ctx.lsq_stores.empty() && ctx.lsq_stores.front() == head_ref);
         ctx.lsq_stores.pop_front();
+        // The committing store was address-ready (it completed), so it was
+        // inside the ready prefix; slide the prefix with the ring and
+        // re-clamp at the mutation site.
         if (ctx.lsq_stores_ready_prefix > 0) --ctx.lsq_stores_ready_prefix;
+        clamp_lsq_prefix(ctx);
       }
     }
     if (d.op == Opcode::kHalt) ctx.halted = true;
@@ -307,7 +317,10 @@ void Core::commit_trailing_srt(Context& ctx) {
       if (d.is_store()) {
         assert(!ctx.lsq_stores.empty() && ctx.lsq_stores.front() == head_ref);
         ctx.lsq_stores.pop_front();
+        // Same prefix maintenance as the leading commit path: slide, then
+        // re-clamp at the mutation site.
         if (ctx.lsq_stores_ready_prefix > 0) --ctx.lsq_stores_ready_prefix;
+        clamp_lsq_prefix(ctx);
       }
     }
     if (d.op == Opcode::kHalt) ctx.halted = true;

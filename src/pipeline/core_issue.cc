@@ -3,6 +3,7 @@
 // resolution and squash.
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "pipeline/core.h"
 
@@ -27,14 +28,24 @@ std::uint64_t Core::operand_value(RegClass cls, int phys) const {
   return regfile_.value(cls, phys);
 }
 
+void Core::clamp_lsq_prefix(Context& ctx) {
+  if (ctx.lsq_stores_ready_prefix > ctx.lsq_stores.size()) {
+    ctx.lsq_stores_ready_prefix = ctx.lsq_stores.size();
+  }
+}
+
 bool Core::lsq_older_stores_ready(Context& ctx, const DynInst* load) {
   // The oldest store whose address is still pending bounds every load in the
-  // context. Stores become address-ready monotonically (only a squash
-  // removes entries, and it clamps the prefix), so the ready prefix of
-  // lsq_stores only ever advances here.
+  // context. Stores become address-ready monotonically (only commit and
+  // squash remove entries, and every removal site re-clamps the prefix), so
+  // the ready prefix of lsq_stores only ever advances here.
   const RingDeque<InstRef>& stores = ctx.lsq_stores;
   std::size_t& prefix = ctx.lsq_stores_ready_prefix;
   const std::size_t n = stores.size();
+  // A prefix past the end would claim readiness for stores that no longer
+  // exist (reading recycled slots at best, skipping disambiguation at
+  // worst): a shrink site failed to clamp.
+  BJ_CHECK(prefix <= n, "lsq_stores_ready_prefix exceeds lsq_stores size");
   while (prefix < n && pool_.get(stores.at(prefix)).addr_ready) ++prefix;
   if (prefix >= n) return true;
   return pool_.get(stores.at(prefix)).seq >= load->seq;
@@ -76,6 +87,124 @@ bool Core::ready_to_issue(DynInst* inst) {
   if (uses_dtq() && !inst->is_trailing() && dtq_.full()) return false;
 
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Wakeup-list select machinery (kUseWakeupLists builds). An unissued IQ
+// resident is in exactly one place: parked on the waiter list of its first
+// blocking condition, or in the ready pool awaiting (re-)validation. Waiter
+// entries are generation-tagged handles, so a squash "unlinks" its victims
+// lazily — releasing the arena slot stales every handle, and wake_list /
+// the pool drain filter them out.
+// ---------------------------------------------------------------------------
+void Core::enqueue_ready(DynInst* inst) {
+  if (inst->in_ready_pool) return;
+  inst->in_ready_pool = true;
+  ready_pool_.push_back(inst->self);
+}
+
+void Core::wake_list(std::vector<InstRef>& list) {
+  if (list.empty()) return;
+  for (const InstRef ref : list) {
+    DynInst* inst = pool_.try_get(ref);
+    if (inst == nullptr || inst->issued || inst->squashed) continue;
+    ++stats_.wakeup_events;
+    enqueue_ready(inst);
+  }
+  list.clear();
+}
+
+void Core::wake_reg_waiters(RegClass cls, int reg) {
+  wake_list(regfile_.waiters(cls, reg));
+}
+
+void Core::subscribe_waiter(DynInst* inst) {
+  // Mirror ready_to_issue()'s check order and park on the *first* blocking
+  // condition. If a later condition also blocks, the wake just feeds the
+  // pool, re-validation fails, and the instruction re-parks here on the new
+  // first blocker — chained wakeup. Every condition except DTQ-full is
+  // monotone while the instruction waits, so a parked instruction can never
+  // miss the event that clears its blocker.
+  if (inst->is_shuffle_nop) {
+    enqueue_ready(inst);
+    return;
+  }
+  if (!operand_ready(inst->inst.src1.cls, inst->src1_phys)) {
+    regfile_.waiters(inst->inst.src1.cls, inst->src1_phys)
+        .push_back(inst->self);
+    return;
+  }
+  if (inst->inst.is_store()) {
+    // Store-data waiters key on the producer's *issue* event (the ~0ull
+    // ready_at sentinel clearing), not its writeback: execute_inst() fires
+    // the register's list from write_dst for exactly this case.
+    if (inst->src2_phys != kNoPhysReg &&
+        regfile_.ready_at(inst->inst.src2.cls, inst->src2_phys) == ~0ull) {
+      regfile_.waiters(inst->inst.src2.cls, inst->src2_phys)
+          .push_back(inst->self);
+      return;
+    }
+  } else if (!operand_ready(inst->inst.src2.cls, inst->src2_phys)) {
+    regfile_.waiters(inst->inst.src2.cls, inst->src2_phys)
+        .push_back(inst->self);
+    return;
+  }
+  if (inst->inst.is_load()) {
+    if (redundant() && inst->is_trailing()) {
+      if (!lvq_.lookup(inst->mem_ordinal).has_value()) {
+        lvq_waiters_.push_back(inst->self);
+        return;
+      }
+    } else {
+      Context& ctx = ctxs_[tid_index(inst->tid)];
+      if (!lsq_older_stores_ready(ctx, inst)) {
+        ctx.lsq_addr_waiters.push_back(inst->self);
+        return;
+      }
+    }
+  }
+  if (uses_dtq() && !inst->is_trailing() && dtq_.full()) {
+    dtq_waiters_.push_back(inst->self);
+    return;
+  }
+  enqueue_ready(inst);
+}
+
+void Core::check_issue_sets(const std::vector<DynInst*>& pool_candidates) {
+  // Differential mode: the legacy full-IQ scan must produce exactly the
+  // pool-derived candidate set. ready_to_issue() is safe to re-run (its only
+  // side effect is advancing the monotone lsq prefix cache, which the legacy
+  // build would advance identically). Both vectors are age-sorted; ages are
+  // unique, so element-wise equality is set equality.
+  std::vector<DynInst*>& scan = check_scan_scratch_;
+  scan.clear();
+  for (IqSlot& slot : iq_) {
+    if (slot.ptr != nullptr && ready_to_issue(slot.ptr)) {
+      scan.push_back(slot.ptr);
+    }
+  }
+  std::sort(scan.begin(), scan.end(),
+            [](const DynInst* a, const DynInst* b) { return a->age < b->age; });
+  if (scan == pool_candidates) return;
+  std::fprintf(stderr,
+               "issue-set divergence at cycle %llu: scan=%zu pool=%zu\n",
+               static_cast<unsigned long long>(cycle_), scan.size(),
+               pool_candidates.size());
+  auto dump = [](const char* label, const std::vector<DynInst*>& set) {
+    std::fprintf(stderr, "  %s:\n", label);
+    for (const DynInst* inst : set) {
+      std::fprintf(stderr,
+                   "    age=%llu tid=%d seq=%llu pc=%llu pooled=%d\n",
+                   static_cast<unsigned long long>(inst->age),
+                   static_cast<int>(inst->tid),
+                   static_cast<unsigned long long>(inst->seq),
+                   static_cast<unsigned long long>(inst->pc),
+                   inst->in_ready_pool ? 1 : 0);
+    }
+  };
+  dump("legacy scan", scan);
+  dump("ready pool", pool_candidates);
+  BJ_CHECK(false, "issue wakeup/scan divergence (see stderr)");
 }
 
 void Core::schedule_completion(DynInst* inst, std::uint64_t at_cycle) {
@@ -134,6 +263,14 @@ void Core::execute_inst(DynInst* inst) {
     // The ready *bit* stays clear until writeback drains the completion at
     // `ready_at` — consumers wake exactly when they used to.
     regfile_.set_ready_at(d.dst.cls, inst->dst_phys, ready_at);
+    if constexpr (kUseWakeupLists) {
+      // Producer-issue event: store-data waiters key on the ~0ull sentinel
+      // this write just cleared (waking them only at writeback would stall
+      // every store behind its data producer's full latency). Ordinary
+      // source waiters woken here see the ready bit still clear, fail
+      // re-validation, and re-park until writeback fires the list again.
+      wake_reg_waiters(d.dst.cls, inst->dst_phys);
+    }
   };
 
   if (d.is_load()) {
@@ -182,6 +319,11 @@ void Core::execute_inst(DynInst* inst) {
   if (d.is_store()) {
     inst->mem_addr = out.mem_addr;
     inst->addr_ready = true;
+    if constexpr (kUseWakeupLists) {
+      // Store address generated: loads in this context parked behind an
+      // unresolved older store re-check their disambiguation window.
+      wake_list(ctxs_[tid_index(inst->tid)].lsq_addr_waiters);
+    }
     inst->result = out.store_value;  // producer already issued, value final
     // Completion (data capture) waits for the data operand's ready time.
     const std::uint64_t data_ready =
@@ -259,8 +401,12 @@ std::optional<std::uint64_t> Core::leading_load_value(const DynInst* inst) {
 }
 
 // ---------------------------------------------------------------------------
-// Issue: oldest-first select over the unified issue queue, mapping each
-// selected instruction to the lowest-numbered free backend way of its type.
+// Issue: oldest-first select, mapping each selected instruction to the
+// lowest-numbered free backend way of its type. Candidates come from the
+// event-fed ready pool (kUseWakeupLists) or from a full scan of the unified
+// issue queue (BJ_LEGACY_SCAN); the two are bit-identical — the pool is a
+// superset of the scan's ready set by construction, and every pool entry is
+// re-validated with the same ready_to_issue() predicate the scan uses.
 // ---------------------------------------------------------------------------
 void Core::issue() {
   // Scratch vectors are members: no per-cycle allocation. Candidates are raw
@@ -268,16 +414,46 @@ void Core::issue() {
   // in-flight instruction mid-issue); shuffle NOPs live only in the IQ and
   // are released at the end of this stage.
   issue_candidates_.clear();
-  for (IqSlot& slot : iq_) {
-    // slot.ptr is the resolved arena slot, cached at install (IQ residents
-    // are live by construction, so no handle check per slot per cycle).
-    if (slot.ptr != nullptr && ready_to_issue(slot.ptr)) {
-      issue_candidates_.push_back(slot.ptr);
+  if constexpr (kUseWakeupLists) {
+    if (ready_pool_.size() > stats_.select_pool_peak) {
+      stats_.select_pool_peak = ready_pool_.size();
+    }
+    std::vector<InstRef>& drained = ready_pool_scratch_;
+    drained.clear();
+    drained.swap(ready_pool_);  // keeps both vectors' capacity warm
+    for (const InstRef ref : drained) {
+      DynInst* inst = pool_.try_get(ref);
+      if (inst == nullptr) continue;  // squashed since pooled: handle stale
+      if (inst->issued || inst->squashed) {
+        inst->in_ready_pool = false;
+        continue;
+      }
+      if (ready_to_issue(inst)) {
+        issue_candidates_.push_back(inst);
+      } else {
+        // Woken but still blocked (chained dependency, or DTQ-full came
+        // back — the one non-monotone condition): re-park on whatever
+        // blocks it now.
+        inst->in_ready_pool = false;
+        subscribe_waiter(inst);
+      }
+    }
+    drained.clear();
+  } else {
+    for (IqSlot& slot : iq_) {
+      // slot.ptr is the resolved arena slot, cached at install (IQ residents
+      // are live by construction, so no handle check per slot per cycle).
+      if (slot.ptr != nullptr && ready_to_issue(slot.ptr)) {
+        issue_candidates_.push_back(slot.ptr);
+      }
     }
   }
-  if (issue_candidates_.empty()) return;
   std::sort(issue_candidates_.begin(), issue_candidates_.end(),
             [](const DynInst* a, const DynInst* b) { return a->age < b->age; });
+  if constexpr (kUseWakeupLists) {
+    if (params_.check_issue_equivalence) check_issue_sets(issue_candidates_);
+  }
+  if (issue_candidates_.empty()) return;
 
   std::array<std::uint32_t, kNumFuClasses> ways_taken{};
   std::vector<DynInst*>& issued = issue_issued_;
@@ -333,6 +509,20 @@ void Core::issue() {
     // the active list / window / completion wheel still reference it).
     iq_[static_cast<std::size_t>(cand->iq_entry)] = IqSlot{};
     --iq_occupancy_;
+  }
+
+  if constexpr (kUseWakeupLists) {
+    // Candidates that did not make it out (issue width, FU/way conflicts,
+    // DTQ backpressure, MSHR-rejected loads) are still ready: back into the
+    // pool for next cycle's select, exactly when the legacy scan would
+    // reconsider them. Issued ones leave the pool for good.
+    for (DynInst* cand : issue_candidates_) {
+      if (cand->issued) {
+        cand->in_ready_pool = false;
+      } else {
+        ready_pool_.push_back(cand->self);  // in_ready_pool stays set
+      }
+    }
   }
 
   if (issued.empty()) return;
@@ -455,6 +645,12 @@ void Core::writeback() {
       // The producer's result is architecturally visible from this cycle on:
       // publish the wakeup bit the issue stage scans.
       regfile_.mark_ready(inst->inst.dst.cls, inst->dst_phys);
+      if constexpr (kUseWakeupLists) {
+        // Writeback event: consumers parked on this register move to the
+        // ready pool and are selectable this same cycle (writeback runs
+        // before issue), matching the legacy scan's visibility.
+        wake_reg_waiters(inst->inst.dst.cls, inst->dst_phys);
+      }
     }
     if (!inst->is_trailing() && inst->predecode.valid &&
         inst->predecode.is_control()) {
@@ -512,9 +708,7 @@ void Core::squash_leading_after(std::uint64_t branch_seq,
          pool_.get(ctx.lsq_stores.back()).seq > branch_seq) {
     ctx.lsq_stores.pop_back();
   }
-  if (ctx.lsq_stores_ready_prefix > ctx.lsq_stores.size()) {
-    ctx.lsq_stores_ready_prefix = ctx.lsq_stores.size();
-  }
+  clamp_lsq_prefix(ctx);
 
   while (!ctx.active_list.empty() &&
          pool_.get(ctx.active_list.back()).seq > branch_seq) {
@@ -538,7 +732,16 @@ void Core::squash_leading_after(std::uint64_t branch_seq,
     // Last reference gone (any completion-wheel entry goes stale with this).
     pool_.release(ref);
   }
-  if (uses_dtq()) dtq_.squash_younger_than(branch_seq);
+  if (uses_dtq()) {
+    dtq_.squash_younger_than(branch_seq);
+    if constexpr (kUseWakeupLists) {
+      // Dropping younger DTQ entries can clear DTQ-full for surviving
+      // leading instructions. (Squashed waiters need no unlinking: their
+      // arena slots were just released, so their handles are stale and the
+      // next fire or pool drain filters them.)
+      wake_list(dtq_waiters_);
+    }
+  }
 
   ctx.fetch_pc = new_pc;
   ctx.fetch_seq = branch_seq + 1;

@@ -116,6 +116,14 @@ struct CoreParams {
            1u;
   }
 
+  // Debug-only differential check: every cycle, re-run the legacy full-IQ
+  // readiness scan next to the wakeup-list ready pool and abort (BJ_CHECK)
+  // if the two select candidate sets ever differ. Behaviour-neutral when the
+  // sets agree (which is the invariant being checked), so it is deliberately
+  // excluded from campaign_config_digest(). No-op in BJ_LEGACY_SCAN builds,
+  // where the scan is the only select path.
+  bool check_issue_equivalence = false;
+
   // Substrate models.
   BranchPredictorParams branch;
   HierarchyParams memory;

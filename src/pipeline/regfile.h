@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "isa/opcode.h"
+#include "pipeline/types.h"
 
 namespace bj {
 
@@ -34,7 +35,8 @@ class PhysRegFile {
       : fp_base_(int_count),
         value_(static_cast<std::size_t>(int_count + fp_count), 0),
         ready_at_(static_cast<std::size_t>(int_count + fp_count), 0),
-        ready_bits_((value_.size() + 63) / 64, ~0ull) {}
+        ready_bits_((value_.size() + 63) / 64, ~0ull),
+        waiters_(value_.size()) {}
 
   int size(RegClass cls) const {
     return cls == RegClass::kInt ? fp_base_
@@ -69,11 +71,16 @@ class PhysRegFile {
   }
 
   // Rename allocated `reg` to a new producer: busy until writeback.
+  // Any waiter entries left over from the register's previous lifetime are
+  // provably stale (program-order freeing means every live consumer of the
+  // old value issued or was squashed before the register could be recycled),
+  // so the new lifetime starts with an empty list.
   void mark_busy(RegClass cls, int reg) {
     assert(reg != kNoPhysReg);
     const std::size_t r = row(cls, reg);
     ready_at_[r] = ~0ull;
     ready_bits_[r >> 6] &= ~(1ull << (r & 63));
+    waiters_[r].clear();
   }
 
   // The producer's completion reached writeback: consumers may issue.
@@ -81,6 +88,17 @@ class PhysRegFile {
     assert(reg != kNoPhysReg);
     const std::size_t r = row(cls, reg);
     ready_bits_[r >> 6] |= 1ull << (r & 63);
+  }
+
+  // Producer-indexed wakeup list: issue-queue residents blocked on this
+  // register, as generation-tagged handles (a squashed waiter's handle goes
+  // stale when the arena slot is released, so firing the list filters it out
+  // instead of needing an eager unlink). The Core drains the list when the
+  // register's readiness event fires — writeback (mark_ready) or producer
+  // issue (set_ready_at, for store-data waiters keyed on the ~0ull
+  // sentinel) — and mark_busy() clears it on recycling.
+  std::vector<InstRef>& waiters(RegClass cls, int reg) {
+    return waiters_[row(cls, reg)];
   }
 
  private:
@@ -94,6 +112,7 @@ class PhysRegFile {
   std::vector<std::uint64_t> value_;
   std::vector<std::uint64_t> ready_at_;
   std::vector<std::uint64_t> ready_bits_;
+  std::vector<std::vector<InstRef>> waiters_;  // one list per physical reg
 };
 
 class FreeList {

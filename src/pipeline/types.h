@@ -70,6 +70,10 @@ struct DynInst {
   int backend_way = -1;          // way index within the FU class; -1 pre-issue
   FuClass fu = FuClass::kIntAlu;
   int iq_entry = -1;
+  // True while this instruction has an entry in the issue stage's ready
+  // pool (wakeup-list select). Dedupes pool insertion: an instruction is
+  // either parked on exactly one waiter list or pooled, never both.
+  bool in_ready_pool = false;
 
   // Shuffle-NOPs are trailing micro-ops that occupy ways but have no
   // architectural effect and never commit.

@@ -1,0 +1,82 @@
+// Doc/flag drift guard for the bjsim driver: the usage text, the declared
+// option inventory (common/bjsim_cli.cc), and the flags the driver source
+// actually consumes must all describe the same command-line surface.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/bjsim_cli.h"
+
+namespace bj {
+namespace {
+
+std::set<std::string> accepted_set() {
+  const std::vector<std::string>& options = bjsim_accepted_options();
+  std::set<std::string> set(options.begin(), options.end());
+  EXPECT_EQ(set.size(), options.size()) << "duplicate accepted option";
+  return set;
+}
+
+// Long-option tokens ("--foo-bar") appearing anywhere in a text.
+std::set<std::string> long_options_in(const std::string& text) {
+  std::set<std::string> found;
+  static const std::regex option_re("--([a-z][a-z0-9-]*)");
+  for (std::sregex_iterator it(text.begin(), text.end(), option_re), end;
+       it != end; ++it) {
+    found.insert((*it)[1].str());
+  }
+  return found;
+}
+
+TEST(BjsimCli, UsageMentionsEveryAcceptedOption) {
+  const std::string usage = bjsim_usage_text();
+  for (const std::string& option : bjsim_accepted_options()) {
+    EXPECT_NE(usage.find("--" + option), std::string::npos)
+        << "--" << option << " is accepted but undocumented in --help";
+  }
+}
+
+TEST(BjsimCli, UsageAdvertisesOnlyAcceptedOptions) {
+  const std::set<std::string> accepted = accepted_set();
+  for (const std::string& option : long_options_in(bjsim_usage_text())) {
+    EXPECT_TRUE(accepted.count(option))
+        << "--" << option << " appears in --help but the parser ignores it";
+  }
+}
+
+TEST(BjsimCli, DriverConsumesExactlyTheAcceptedOptions) {
+  std::ifstream in(BJ_SOURCE_DIR "/tools/bjsim.cc");
+  ASSERT_TRUE(in) << "cannot open tools/bjsim.cc";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string source = buffer.str();
+
+  // Every flag name the driver passes to the Flags accessors.
+  std::set<std::string> consumed;
+  static const std::regex call_re(
+      "flags\\.(?:has|get|get_int|get_bool)\\(\\s*\"([^\"]+)\"");
+  for (std::sregex_iterator it(source.begin(), source.end(), call_re), end;
+       it != end; ++it) {
+    consumed.insert((*it)[1].str());
+  }
+  ASSERT_FALSE(consumed.empty());
+  consumed.erase("h");  // documented short alias of --help
+
+  const std::set<std::string> accepted = accepted_set();
+  for (const std::string& option : consumed) {
+    EXPECT_TRUE(accepted.count(option))
+        << "driver reads --" << option
+        << " but bjsim_accepted_options() does not declare it";
+  }
+  for (const std::string& option : accepted) {
+    EXPECT_TRUE(consumed.count(option))
+        << "--" << option << " is declared but the driver never reads it";
+  }
+}
+
+}  // namespace
+}  // namespace bj

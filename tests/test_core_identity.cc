@@ -34,10 +34,14 @@ struct Fnv {
 
 // 5000 warm-up commits, stats reset, 20000 measured commits, then a hash of
 // every scalar CoreStats field plus the full event-counter map (names and
-// counts). Must stay in lockstep with the goldens below.
-std::uint64_t stats_fingerprint(const char* workload, Mode mode) {
+// counts). Must stay in lockstep with the goldens below. Note the hash does
+// NOT include wakeup_events/select_pool_peak: those count implementation
+// events of the wakeup-list select and legitimately differ between the
+// default and BJ_LEGACY_SCAN builds, while everything hashed here must not.
+std::uint64_t stats_fingerprint(const char* workload, Mode mode,
+                                const CoreParams& params = CoreParams{}) {
   const Program program = generate_workload(profile_by_name(workload));
-  Core core(program, mode);
+  Core core(program, mode, params);
   core.set_oracle_check(true);
   core.run(5000, 4000000);
   core.reset_stats();
@@ -113,6 +117,62 @@ TEST(CoreIdentity, StatsFingerprintCrafty) {
                             {Mode::kSrt, 0xbda4df22ee27ceb1ull},
                             {Mode::kBlackjackNs, 0xc36d96c9498a4226ull},
                             {Mode::kBlackjack, 0x5118d729f2471700ull}});
+}
+
+// Differential mode: check_issue_equivalence re-runs the legacy full-IQ
+// readiness scan every cycle next to the wakeup-list select and aborts on
+// the first cycle where the two candidate sets differ (core_issue.cc,
+// check_issue_sets). Running the four golden workloads through the full
+// fingerprint recipe with the check enabled proves (a) the two selects agree
+// on every one of the ~25k-commit runs' cycles and (b) the check itself is a
+// pure observer — the fingerprints still equal the goldens above. Under
+// BJ_LEGACY_SCAN the flag is a no-op and this reduces to the plain golden
+// test.
+TEST(CoreIdentity, DifferentialScanVsWakeupMatchesGoldens) {
+  CoreParams params;
+  params.check_issue_equivalence = true;
+  const struct {
+    const char* workload;
+    std::uint64_t fingerprints[4];  // single, srt, blackjack-ns, blackjack
+  } kGoldens[] = {
+      {"gcc", {0x891b08e2335fb743ull, 0x05ac1c5f7f79a7e6ull,
+               0x6bd25b101af00a4eull, 0x285a1a3f92abbee0ull}},
+      {"gzip", {0x4aef996dfe7376f5ull, 0xab6b5dca57305e1aull,
+                0xac2e5fff8b53626full, 0xf9cd167fff1e6cf2ull}},
+      {"art", {0x1fa15e4c587be018ull, 0x3a823cdbfa6e3ef3ull,
+               0x94c41d1ac5f72487ull, 0x0362e0717e7f1a24ull}},
+      {"crafty", {0xba575ba16a62cee5ull, 0xbda4df22ee27ceb1ull,
+                  0xc36d96c9498a4226ull, 0x5118d729f2471700ull}},
+  };
+  const Mode kModes[] = {Mode::kSingle, Mode::kSrt, Mode::kBlackjackNs,
+                         Mode::kBlackjack};
+  for (const auto& g : kGoldens) {
+    for (int m = 0; m < 4; ++m) {
+      EXPECT_EQ(stats_fingerprint(g.workload, kModes[m], params),
+                g.fingerprints[m])
+          << g.workload << " / " << mode_name(kModes[m])
+          << " with check_issue_equivalence";
+    }
+  }
+}
+
+// The same side-by-side check across every one of the 16 SPEC2000 stand-in
+// profiles (shorter runs; the four above already get the full recipe), in
+// the mode with the most select-time machinery (BlackJack: two contexts,
+// LVQ, DTQ, shuffle nops). Any scan/wakeup divergence aborts via BJ_CHECK;
+// the assertions here pin that every profile actually makes progress.
+TEST(CoreIdentity, DifferentialScanVsWakeupAllProfiles) {
+  CoreParams params;
+  params.check_issue_equivalence = true;
+  for (const WorkloadProfile& profile : spec2000_profiles()) {
+    const Program program = generate_workload(profile);
+    Core core(program, Mode::kBlackjack, params);
+    core.set_oracle_check(true);
+    core.run(6000, 2000000);
+    EXPECT_GT(core.stats().leading_commits, 0u) << profile.name;
+    EXPECT_FALSE(core.oracle_violated())
+        << profile.name << ": " << core.oracle_violation_detail();
+  }
 }
 
 // Campaign outcomes (classification, activation counts, detection cycles and
@@ -239,6 +299,10 @@ TEST(CoreIdentity, ResetStatsCoversAllCounterFamilies) {
   EXPECT_GT(s.packets_shuffled, 0u);
   EXPECT_GT(s.shuffle_cache_hits + s.shuffle_cache_misses, 0u);
   EXPECT_GT(s.instructions_issued, 0u);
+  if constexpr (kUseWakeupLists) {
+    EXPECT_GT(s.wakeup_events, 0u);
+    EXPECT_GT(s.select_pool_peak, 0u);
+  }
   EXPECT_FALSE(s.events.all().empty());
 
   core.reset_stats();
@@ -255,6 +319,8 @@ TEST(CoreIdentity, ResetStatsCoversAllCounterFamilies) {
   EXPECT_EQ(s.packet_splits, 0u);
   EXPECT_EQ(s.shuffle_cache_hits, 0u);
   EXPECT_EQ(s.shuffle_cache_misses, 0u);
+  EXPECT_EQ(s.wakeup_events, 0u);
+  EXPECT_EQ(s.select_pool_peak, 0u);
   EXPECT_EQ(s.coverage.pairs(), 0u);
   EXPECT_TRUE(s.events.all().empty());
 

@@ -1,0 +1,146 @@
+// Regression tests for the producer-indexed wakeup-list select
+// (core_issue.cc): the store-data producer-issue event, waiter lifetime
+// across squashes that shrink the LSQ, and the legacy-scan differential
+// check. Every run here enables CoreParams::check_issue_equivalence, so a
+// single cycle where the ready pool and the legacy full-IQ scan disagree
+// aborts the process (BJ_CHECK) and fails the test.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "pipeline/core.h"
+#include "workload/profile.h"
+
+namespace bj {
+namespace {
+
+CoreParams checked_params() {
+  CoreParams params;
+  params.check_issue_equivalence = true;
+  return params;
+}
+
+void run_checked(const Program& p, Mode mode) {
+  Core core(p, mode, checked_params());
+  const RunOutcome outcome = core.run(~0ull / 2, 4000000);
+  EXPECT_TRUE(outcome.program_finished) << p.name << " did not finish";
+  EXPECT_FALSE(outcome.wedged) << p.name << " wedged";
+  EXPECT_FALSE(core.oracle_violated()) << core.oracle_violation_detail();
+  EXPECT_TRUE(core.detections().empty());
+}
+
+// Satellite bugfix regression: a store whose data producer issues many
+// cycles after the store dispatched. The store parks on the producer's
+// ready_at == ~0ull sentinel; only the producer's *issue* event (write_dst)
+// clears it. If wakeup lists keyed these waiters on writeback instead, the
+// store would issue a full unpipelined-divide latency late every iteration —
+// the per-cycle differential check catches the very first such cycle.
+TEST(IssueWakeup, StoreDataProducerIssuesManyCyclesLate) {
+  const Program p = assemble(R"(
+      li   r1, 0x1000
+      li   r2, 9973
+      li   r5, 7
+      li   r3, 0
+      li   r4, 40
+  loop:
+      div  r6, r2, r5      ; 20-cycle unpipelined
+      div  r6, r6, r5      ; chained: issues ~20 cycles into the iteration
+      div  r6, r6, r5      ; chained again: issues ~40 cycles in
+      st   r6, [r1]        ; dispatches immediately; data producer unissued
+      ld   r7, [r1]        ; forwards from the store once it resolves
+      add  r2, r2, r7
+      addi r2, r2, 13
+      addi r3, r3, 1
+      blt  r3, r4, loop
+      st   r2, [r1 + 8]
+      halt
+  )", "store-data-late");
+  run_checked(p, Mode::kSingle);
+  run_checked(p, Mode::kBlackjack);
+}
+
+// Converse lifetime case: the data producer issued, completed, and retired
+// long before the store even dispatches. The ready_at sentinel was cleared
+// ages ago, so the store must NOT park on the producer's register — there is
+// no future issue or writeback event on it, and an unconditional subscribe
+// would strand the store forever (wedge).
+TEST(IssueWakeup, StoreDataProducerRetiredLongBeforeStoreDispatches) {
+  const Program p = assemble(R"(
+      li   r1, 0x1000
+      li   r6, 4242        ; store data, final long before the store
+      li   r3, 0
+      li   r4, 200
+  warm:
+      addi r3, r3, 1       ; long busy loop between producer and store
+      blt  r3, r4, warm
+      st   r6, [r1]
+      ld   r7, [r1]
+      st   r7, [r1 + 8]
+      halt
+  )", "store-data-early");
+  run_checked(p, Mode::kSingle);
+  run_checked(p, Mode::kSrt);
+}
+
+// Satellite bugfix regression: squashes that shrink ctx.lsq_stores while
+// loads are parked on (or pooled from) the LSQ-address waiter list. The
+// branch condition and the guarded store's address both hang off 20-cycle
+// rem chains, so the branch resolves long after younger stores and loads
+// entered the machine: each mispredict pops stores mid-tick between the
+// wakeup phase (writeback/commit) and select (issue), and the ready-prefix
+// cache must be re-clamped at every such mutation. The BJ_CHECK inside
+// lsq_older_stores_ready() aborts on any prefix overrun; the differential
+// check aborts on any select divergence.
+TEST(IssueWakeup, SquashShrinksLsqBetweenWakeupAndSelect) {
+  const Program p = assemble(R"(
+      li   r1, 0x2000
+      li   r2, 7919        ; LCG state
+      li   r5, 75
+      li   r6, 8191
+      li   r7, 2
+      li   r3, 0
+      li   r4, 150
+      li   r11, 0
+  loop:
+      mul  r2, r2, r5
+      rem  r2, r2, r6      ; 20-cycle unpipelined; feeds branch and address
+      rem  r8, r2, r7      ; parity: data-dependent branch direction
+      add  r9, r1, r8      ; guarded store's address (slow chain)
+      bne  r8, r0, skip    ; frequently mispredicted
+      st   r2, [r9 + 8]    ; squashed on about half the mispredicts
+  skip:
+      st   r3, [r1]
+      ld   r10, [r1]       ; disambiguates against the slow older store
+      add  r11, r11, r10
+      addi r3, r3, 1
+      blt  r3, r4, loop
+      st   r11, [r1 + 16]
+      halt
+  )", "lsq-shrink");
+  run_checked(p, Mode::kSingle);
+  run_checked(p, Mode::kBlackjack);
+  run_checked(p, Mode::kSrt);
+}
+
+// The wakeup counters move in wakeup-list builds and stay zero under
+// BJ_LEGACY_SCAN (the legacy scan maintains no waiter lists), and
+// reset_stats() clears both.
+TEST(IssueWakeup, WakeupCountersTrackSelectImplementation) {
+  const Program program = generate_workload(profile_by_name("gzip"));
+  Core core(program, Mode::kBlackjack, checked_params());
+  core.run(8000, 2000000);  // workloads never halt; run a commit budget
+  EXPECT_FALSE(core.wedged());
+  EXPECT_FALSE(core.oracle_violated()) << core.oracle_violation_detail();
+  if constexpr (kUseWakeupLists) {
+    EXPECT_GT(core.stats().wakeup_events, 0u);
+    EXPECT_GT(core.stats().select_pool_peak, 0u);
+  } else {
+    EXPECT_EQ(core.stats().wakeup_events, 0u);
+    EXPECT_EQ(core.stats().select_pool_peak, 0u);
+  }
+  core.reset_stats();
+  EXPECT_EQ(core.stats().wakeup_events, 0u);
+  EXPECT_EQ(core.stats().select_pool_peak, 0u);
+}
+
+}  // namespace
+}  // namespace bj

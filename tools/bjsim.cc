@@ -7,8 +7,7 @@
 // Examples:
 //   bjsim --workload gcc --mode blackjack --instructions 50000
 //   bjsim --program my.s --mode srt --trace trace.txt
-//   bjsim --workload gzip --mode blackjack \
-//         --fault backend:fu=int-alu,way=2,bit=3
+//   bjsim --workload gzip --mode blackjack --fault backend:fu=int-alu,way=2,bit=3
 //   bjsim --kernel fib --mode blackjack --fault decoder:way=1,bit=16
 //   bjsim --workload gcc --mode blackjack --campaign 200 --jobs 8
 //         --json runs.jsonl
@@ -19,6 +18,7 @@
 #include <memory>
 #include <sstream>
 
+#include "common/bjsim_cli.h"
 #include "common/env.h"
 #include "common/flags.h"
 #include "common/metrics.h"
@@ -36,59 +36,9 @@ using namespace bj;
 namespace {
 
 int usage() {
-  std::cout << R"(bjsim — BlackJack SMT hard-error-detection simulator
-
-  --workload NAME       one of the 16 SPEC2000 stand-in kernels
-  --kernel NAME         microkernel: sum | fib | matmul | chase | memcopy |
-                        branchy | fpmix | quicksort
-  --program FILE.s      assemble and run FILE.s (must halt)
-  --mode M              single | srt | blackjack-ns | blackjack  [blackjack]
-  --instructions N      measured committed instructions          [150000]
-  --warmup N            warm-up commits excluded from stats      [20000]
-  --fault SPEC          decoder:way=W,bit=B[,stuck=0|1]
-                        backend:fu=F,way=W,bit=B[,stuck=0|1]
-                          (F: int-alu int-mul fp-alu fp-mul mem-port)
-                        payload:entry=E,bit=B[,stuck=0|1]
-                        transient:at=N,bit=B
-  --trace FILE          pipeline trace to FILE (see --trace-format); with
-                        --campaign, a Chrome trace of the campaign's workers
-  --trace-format F      text (per-commit log, the default) | konata (Konata/
-                        Kanata pipeline viewer) | chrome (chrome://tracing /
-                        Perfetto JSON)
-  --trace-cycles N      keep only instructions retiring within the last N
-                        cycles (0 = keep everything the ring buffer holds)
-  --metrics-out FILE    write the unified metrics registry to FILE after the
-                        run (single runs: core + profiler metrics; campaigns:
-                        outcome/latency metrics)
-  --metrics-format F    json (default) | prometheus
-  --dump-state          dump machine state at the end of the run
-  --diagnose            after a backend fault is detected, localize it by
-                        deconfiguration and report the degraded-mode cost
-  --campaign N          run an N-fault injection campaign on the selected
-                        program/mode (uses --instructions as the per-run
-                        commit budget, default 12000) and print the outcome
-                        summary with wall-clock/throughput stats
-  --soft-errors         campaign injects transient bit flips instead of
-                        stuck-at hard faults
-  --oracle              campaign runs the architectural oracle per leading
-                        commit and reports silent divergences that never
-                        reached memory as a distinct "oracle-divergence"
-                        outcome (slower; off by default)
-  --profile             single runs only: time each pipeline stage and print
-                        a cycle-attribution table after the report
-  --profile-json FILE   single runs only: write the stage profile as JSON
-                        (schema shared with --metrics-out) to FILE
-  --seed S              campaign fault-set seed                  [1234]
-  --jobs J              worker threads for --campaign / --diagnose
-                        (0 = one per hardware thread)            [0]
-  --json FILE           stream one JSONL record per campaign run to FILE
-  --combine-packets     enable the packet-combining extension
-  --no-serial-dispatch  disable the packet-serial trailing dispatch gate
-  --multi-packet-fetch  disable one-packet-per-cycle trailing fetch
-  --slack N             trailing slack target                    [256]
-  --csv                 emit the report as CSV
-  --list                list workloads and kernels
-)";
+  // The text (and the option inventory it must cover) lives in
+  // common/bjsim_cli.cc so test_bjsim_cli can hold it against the parser.
+  std::cout << bjsim_usage_text();
   return 2;
 }
 
