@@ -245,4 +245,115 @@ void SharedShuffleTable::merge(const ShuffleCache::Map& local) {
   table_ = std::move(next);
 }
 
+namespace {
+
+// Little-endian fixed-width primitives for the table's wire format. The
+// format is internal to the campaign store (whose entry container already
+// carries a version and checksum), so no per-field tags are needed.
+void put_u64(std::string* out, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) out->push_back(static_cast<char>(v >> (8 * b)));
+}
+
+void put_u32(std::string* out, std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) out->push_back(static_cast<char>(v >> (8 * b)));
+}
+
+struct ByteReader {
+  std::string_view bytes;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint64_t u64() { return read(8); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(read(4)); }
+  std::uint8_t u8() { return static_cast<std::uint8_t>(read(1)); }
+
+  std::uint64_t read(std::size_t n) {
+    if (!ok || bytes.size() - pos < n) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t b = 0; b < n; ++b) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes[pos + b]))
+           << (8 * b);
+    }
+    pos += n;
+    return v;
+  }
+};
+
+}  // namespace
+
+std::string serialize_shuffle_table(const ShuffleCache::Map& map) {
+  std::vector<const ShuffleCache::Map::value_type*> sorted;
+  sorted.reserve(map.size());
+  for (const auto& entry : map) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+    return a->first.hi != b->first.hi ? a->first.hi < b->first.hi
+                                      : a->first.lo < b->first.lo;
+  });
+
+  std::string out;
+  put_u64(&out, sorted.size());
+  for (const auto* entry : sorted) {
+    const ShuffleResult& r = entry->second;
+    put_u64(&out, entry->first.lo);
+    put_u64(&out, entry->first.hi);
+    put_u32(&out, static_cast<std::uint32_t>(r.nops_inserted));
+    put_u32(&out, static_cast<std::uint32_t>(r.splits));
+    put_u32(&out, static_cast<std::uint32_t>(r.forced_places));
+    put_u32(&out, static_cast<std::uint32_t>(r.packets.size()));
+    for (const ShuffledPacket& packet : r.packets) {
+      put_u32(&out, static_cast<std::uint32_t>(packet.size()));
+      for (const ShuffleSlot& slot : packet) {
+        out.push_back(slot.is_nop ? 1 : 0);
+        out.push_back(static_cast<char>(slot.cls));
+        put_u32(&out, static_cast<std::uint32_t>(slot.input_index));
+      }
+    }
+  }
+  return out;
+}
+
+bool deserialize_shuffle_table(std::string_view bytes,
+                               ShuffleCache::Map* out) {
+  out->clear();
+  ByteReader in{bytes};
+  const std::uint64_t count = in.u64();
+  // Cheap sanity bound before reserving: each entry is at least 28 bytes.
+  if (!in.ok || count > bytes.size() / 28 + 1) return false;
+  out->reserve(count);
+  for (std::uint64_t i = 0; i < count && in.ok; ++i) {
+    ShuffleCache::Key key;
+    key.lo = in.u64();
+    key.hi = in.u64();
+    ShuffleResult r;
+    r.nops_inserted = static_cast<int>(in.u32());
+    r.splits = static_cast<int>(in.u32());
+    r.forced_places = static_cast<int>(in.u32());
+    const std::uint32_t npackets = in.u32();
+    if (!in.ok || npackets > bytes.size()) return false;
+    r.packets.resize(npackets);
+    for (std::uint32_t p = 0; p < npackets && in.ok; ++p) {
+      const std::uint32_t nslots = in.u32();
+      if (!in.ok || nslots > bytes.size()) return false;
+      r.packets[p].resize(nslots);
+      for (std::uint32_t s = 0; s < nslots; ++s) {
+        ShuffleSlot& slot = r.packets[p][s];
+        slot.is_nop = in.u8() != 0;
+        slot.cls = static_cast<FuClass>(in.u8());
+        slot.input_index = static_cast<int>(in.u32());
+      }
+    }
+    if (!in.ok) break;
+    out->emplace(key, std::move(r));
+  }
+  if (!in.ok || in.pos != bytes.size()) {
+    out->clear();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace bj

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -147,5 +149,14 @@ class SharedShuffleTable {
   mutable std::mutex mu_;
   std::shared_ptr<const ShuffleCache::Map> table_;
 };
+
+// Byte-stable serialization of a shuffle-table snapshot for the campaign
+// store: entries are emitted sorted by key, so equal maps always produce
+// identical bytes regardless of hash-table iteration order (the store's
+// content checksums depend on this). deserialize_shuffle_table returns
+// false and leaves *out empty when the bytes are truncated or malformed.
+std::string serialize_shuffle_table(const ShuffleCache::Map& map);
+bool deserialize_shuffle_table(std::string_view bytes,
+                               ShuffleCache::Map* out);
 
 }  // namespace bj

@@ -13,7 +13,10 @@ const std::vector<std::string>& bjsim_accepted_options() {
       "oracle",        "profile",       "profile-json",
       "seed",          "jobs",          "json",
       "combine-packets", "no-serial-dispatch", "multi-packet-fetch",
-      "slack",         "csv",
+      "slack",         "csv",           "store",
+      "shard",         "merge",         "exhaustive",
+      "test-count",    "checkpoint-every", "metrics-port",
+      "store-verify",
   };
   return options;
 }
@@ -53,6 +56,28 @@ const char* bjsim_usage_text() {
                         summary with wall-clock/throughput stats
   --soft-errors         campaign injects transient bit flips instead of
                         stuck-at hard faults
+  --exhaustive          campaign enumerates the full hard-fault space (every
+                        site x way/unit/entry x bit x stuck value) instead of
+                        sampling --campaign N faults
+  --test-count F        with --exhaustive: draw F combinations from the space
+                        (seed-derived, identical across jobs and shards);
+                        0 = the whole space                      [0]
+  --store DIR           campaign persistence root: the run checkpoints its
+                        completed runs, golden store trace, and shuffle table
+                        under DIR keyed by the campaign's config digest, and
+                        a rerun resumes/warm-starts from whatever is there
+  --checkpoint-every N  completed runs between store checkpoints [64]
+  --shard I/N           run only the fault indices shard I of N owns (e.g.
+                        2/4); shard outputs recombine with --merge
+  --merge OUT           merge completed shard JSONL files (given as
+                        positional arguments, before this flag) into OUT,
+                        byte-identical to the unsharded campaign's canonical
+                        JSONL; no simulation is run
+  --store-verify DIR    fsck the campaign store at DIR (headers, digests,
+                        record ordering, artifact checksums) and exit
+  --metrics-port P      serve live campaign progress as Prometheus text on
+                        http://127.0.0.1:P/metrics while the campaign runs
+                        (0 = ephemeral port, printed on stderr)
   --oracle              campaign runs the architectural oracle per leading
                         commit and reports silent divergences that never
                         reached memory as a distinct "oracle-divergence"

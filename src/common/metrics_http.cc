@@ -1,0 +1,106 @@
+#include "common/metrics_http.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+namespace bj {
+
+namespace {
+
+// Writes the whole buffer, riding out short writes; gives up on error (the
+// scraper will just retry next interval).
+void write_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(int status, const char* reason,
+                          const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << ' ' << reason << "\r\n"
+     << "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(int port,
+                                     std::function<std::string()> producer)
+    : producer_(std::move(producer)) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { serve(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true);
+  // shutdown() wakes the blocked accept() with an error; the fd itself is
+  // closed only after the thread has joined, so serve() never races a
+  // recycled descriptor.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+}
+
+void MetricsHttpServer::serve() {
+  while (!stopping_.load()) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (stopping_.load()) break;
+      continue;
+    }
+    // One short request per connection; 4 KiB is generous for a scrape GET.
+    char buf[4096];
+    std::string request;
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < sizeof(buf)) {
+      const ssize_t n = ::read(client, buf, sizeof(buf));
+      if (n <= 0) break;
+      request.append(buf, static_cast<std::size_t>(n));
+    }
+    const bool is_get = request.rfind("GET ", 0) == 0;
+    std::string path;
+    if (is_get) {
+      const std::size_t end = request.find(' ', 4);
+      if (end != std::string::npos) path = request.substr(4, end - 4);
+    }
+    if (is_get && path == "/metrics") {
+      write_all(client, http_response(200, "OK", producer_()));
+    } else {
+      write_all(client,
+                http_response(404, "Not Found", "try GET /metrics\n"));
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace bj

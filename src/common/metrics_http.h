@@ -1,0 +1,43 @@
+// Minimal embedded HTTP listener for Prometheus scrapes of long-running
+// campaigns. One background thread accepts loopback connections and answers
+// GET /metrics with whatever text the producer callback returns at scrape
+// time — the producer snapshots live progress under its own lock, so the
+// server itself carries no metrics state and costs the simulation nothing
+// between scrapes.
+//
+// Scope is deliberately tiny: loopback only, one request per connection,
+// GET only. This is an observability tap, not a web server.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace bj {
+
+class MetricsHttpServer {
+ public:
+  // Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, reported by
+  // port()) and starts serving. On bind failure ok() is false and the
+  // server is inert.
+  MetricsHttpServer(int port, std::function<std::string()> producer);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  bool ok() const { return listen_fd_ >= 0; }
+  int port() const { return port_; }
+
+ private:
+  void serve();
+
+  std::function<std::string()> producer_;
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace bj

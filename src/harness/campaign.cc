@@ -8,9 +8,11 @@
 #include <mutex>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "arch/emulator.h"
 #include "blackjack/shuffle.h"
+#include "common/check.h"
 #include "common/env.h"
 #include "common/rng.h"
 #include "harness/golden_trace.h"
@@ -89,14 +91,123 @@ double CampaignResult::sdc_rate_of_activated() const {
   return rate(t.sdc, t.activated);
 }
 
+namespace {
+
+// The site pool an empty `sites` restriction stands for, shared by the
+// sampling generator and the exhaustive enumerator so both agree on what
+// "all sites" means.
+std::vector<FaultSite> site_pool(const std::vector<FaultSite>& sites) {
+  if (!sites.empty()) return sites;
+  return {FaultSite::kFrontendDecoder, FaultSite::kBackendResult,
+          FaultSite::kIqPayload};
+}
+
+// Bit ranges of the enumerable fault space per site, matching the ranges
+// generate_faults() samples from.
+constexpr std::uint64_t kDecoderBits = 32;   // 32-bit instruction word
+constexpr std::uint64_t kBackendBits = 64;   // 64-bit result path
+constexpr std::uint64_t kPayloadBits = 16;   // immediate payload slice
+constexpr std::uint64_t kStuckValues = 2;
+
+// Combinations contributed by one site of the pool.
+std::uint64_t site_space_size(const CoreParams& params, FaultSite site) {
+  switch (site) {
+    case FaultSite::kFrontendDecoder:
+      return static_cast<std::uint64_t>(params.fetch_width) * kDecoderBits *
+             kStuckValues;
+    case FaultSite::kBackendResult: {
+      std::uint64_t ways = 0;
+      for (int c = 0; c < kNumFuClasses; ++c) {
+        ways += static_cast<std::uint64_t>(
+            params.fu_count(static_cast<FuClass>(c)));
+      }
+      return ways * kBackendBits * kStuckValues;
+    }
+    case FaultSite::kIqPayload:
+      return static_cast<std::uint64_t>(params.issue_queue_entries) *
+             kPayloadBits * kStuckValues;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint64_t fault_space_size(const CoreParams& params,
+                               const std::vector<FaultSite>& sites) {
+  std::uint64_t total = 0;
+  for (const FaultSite site : site_pool(sites)) {
+    total += site_space_size(params, site);
+  }
+  return total;
+}
+
+HardFault fault_space_at(const CoreParams& params,
+                         const std::vector<FaultSite>& sites,
+                         std::uint64_t index) {
+  for (const FaultSite site : site_pool(sites)) {
+    const std::uint64_t space = site_space_size(params, site);
+    if (index >= space) {
+      index -= space;
+      continue;
+    }
+    HardFault f;
+    f.site = site;
+    f.stuck_value = (index % kStuckValues) != 0;
+    const std::uint64_t rest = index / kStuckValues;
+    switch (site) {
+      case FaultSite::kFrontendDecoder:
+        f.bit = static_cast<int>(rest % kDecoderBits);
+        f.frontend_way = static_cast<int>(rest / kDecoderBits);
+        break;
+      case FaultSite::kBackendResult: {
+        f.bit = static_cast<int>(rest % kBackendBits);
+        std::uint64_t way = rest / kBackendBits;
+        for (int c = 0; c < kNumFuClasses; ++c) {
+          const auto count = static_cast<std::uint64_t>(
+              params.fu_count(static_cast<FuClass>(c)));
+          if (way < count) {
+            f.fu = static_cast<FuClass>(c);
+            f.backend_way = static_cast<int>(way);
+            break;
+          }
+          way -= count;
+        }
+        break;
+      }
+      case FaultSite::kIqPayload:
+        f.bit = static_cast<int>(rest % kPayloadBits);
+        f.iq_entry = static_cast<int>(rest / kPayloadBits);
+        break;
+    }
+    return f;
+  }
+  BJ_CHECK(false, "fault_space_at index out of range");
+  return {};
+}
+
+ShardSpec parse_shard_spec(const std::string& spec) {
+  const std::size_t slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size()) {
+    throw std::runtime_error("malformed shard spec: " + spec +
+                             " (expected i/N, e.g. 2/4)");
+  }
+  ShardSpec shard;
+  try {
+    shard.index = std::stoi(spec.substr(0, slash));
+    shard.count = std::stoi(spec.substr(slash + 1));
+  } catch (const std::exception&) {
+    throw std::runtime_error("malformed shard spec: " + spec);
+  }
+  if (shard.count < 1 || shard.index < 1 || shard.index > shard.count) {
+    throw std::runtime_error("shard index out of range: " + spec);
+  }
+  return shard;
+}
+
 std::vector<HardFault> generate_faults(const CoreParams& params,
                                        int num_faults, std::uint64_t seed,
                                        const std::vector<FaultSite>& sites) {
-  std::vector<FaultSite> pool = sites;
-  if (pool.empty()) {
-    pool = {FaultSite::kFrontendDecoder, FaultSite::kBackendResult,
-            FaultSite::kIqPayload};
-  }
+  std::vector<FaultSite> pool = site_pool(sites);
   Rng rng(seed);
   std::vector<HardFault> faults;
   faults.reserve(static_cast<std::size_t>(num_faults));
@@ -155,6 +266,38 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> golden_stores(
 void build_injectors(const CampaignConfig& config,
                      std::vector<FaultInjector>* injectors,
                      std::vector<HardFault>* labels) {
+  if (config.exhaustive) {
+    if (config.soft_errors) {
+      throw std::runtime_error(
+          "--exhaustive enumerates the hard-fault space; the transient "
+          "space is unbounded (drop --soft-errors)");
+    }
+    const std::uint64_t space =
+        fault_space_size(config.params, config.sites);
+    const auto want = static_cast<std::uint64_t>(
+        config.test_count > 0 ? config.test_count : 0);
+    if (want == 0 || want >= space) {
+      // Full factorial: every combination, in enumeration order.
+      for (std::uint64_t i = 0; i < space; ++i) {
+        const HardFault f = fault_space_at(config.params, config.sites, i);
+        injectors->emplace_back(f);
+        labels->push_back(f);
+      }
+    } else {
+      // Sampled factorial (mat_ecc_ram's `test_count F`): each draw's RNG
+      // stream is derived from (campaign seed, draw index) alone, so the
+      // sample never depends on worker count, scheduling, or shard layout.
+      for (std::uint64_t i = 0; i < want; ++i) {
+        std::uint64_t stream = config.seed + 0x9e3779b97f4a7c15ull * (i + 1);
+        Rng rng(splitmix64(stream));
+        const HardFault f = fault_space_at(config.params, config.sites,
+                                           rng.next_below(space));
+        injectors->emplace_back(f);
+        labels->push_back(f);
+      }
+    }
+    return;
+  }
   if (config.soft_errors) {
     Rng rng(config.seed);
     // Executions roughly track commits, and redundant modes execute every
@@ -278,11 +421,15 @@ FaultRun execute_fault_run(
   return run;
 }
 
-void write_jsonl_record(std::ostream& os, const CampaignResult& result,
+// One run record. `run_seconds` is the only wall-clock-dependent field;
+// canonical records (checkpoints, shard outputs, merges) omit it by passing
+// null so files from different executions can be compared byte-for-byte.
+void write_jsonl_record(std::ostream& os, const std::string& workload,
                         std::size_t index, const FaultRun& run,
-                        const CampaignConfig& config, double run_seconds) {
-  os << "{\"index\":" << index << ",\"workload\":\"" << result.workload
-     << "\",\"mode\":\"" << mode_name(result.mode) << "\",\"fault\":\""
+                        const CampaignConfig& config,
+                        const double* run_seconds) {
+  os << "{\"index\":" << index << ",\"workload\":\"" << workload
+     << "\",\"mode\":\"" << mode_name(config.mode) << "\",\"fault\":\""
      << (config.soft_errors ? "transient bit " + std::to_string(run.fault.bit)
                             : run.fault.describe())
      << "\",\"outcome\":\"" << fault_outcome_name(run.outcome)
@@ -304,10 +451,16 @@ void write_jsonl_record(std::ostream& os, const CampaignResult& result,
        << "\",\"detection_cycle\":" << run.detection_cycle
        << ",\"detection_latency\":" << run.detection_latency;
   }
-  os << ",\"seconds\":" << run_seconds << "}\n";
+  if (run_seconds != nullptr) os << ",\"seconds\":" << *run_seconds;
+  os << "}\n";
 }
 
-// FNV-1a over the numeric fields that determine a campaign's records.
+// FNV-1a over the byte-serialized fields that determine a campaign's
+// records. Every variable-length sequence is length-prefixed: without the
+// prefix, two configurations that distribute the same values across a field
+// boundary differently (e.g. one trailing site vs a shifted parameter list)
+// hash the same byte stream — a real collision class once the digest keys
+// an on-disk store.
 struct ConfigDigest {
   std::uint64_t h = 1469598103934665603ull;
   void mix(std::uint64_t v) {
@@ -316,18 +469,42 @@ struct ConfigDigest {
       h *= 1099511628211ull;
     }
   }
+  void mix_bytes(const void* data, std::size_t size) {
+    mix(size);
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  }
 };
 
 }  // namespace
 
-std::uint64_t campaign_config_digest(const CampaignConfig& config) {
+std::uint64_t campaign_config_digest(const CampaignConfig& config,
+                                     const Program& program) {
   ConfigDigest d;
+  // Workload identity first: two workloads with identical campaign
+  // parameters must never share a store key. Name, code image, initial data,
+  // and entry point cover everything a Program is.
+  d.mix_bytes(program.name.data(), program.name.size());
+  d.mix(program.code.size());
+  for (const std::uint32_t word : program.code) d.mix(word);
+  d.mix(program.data.size());
+  for (const auto& [addr, value] : program.data) {
+    d.mix(addr);
+    d.mix(value);
+  }
+  d.mix(program.entry);
   d.mix(static_cast<std::uint64_t>(config.mode));
   d.mix(static_cast<std::uint64_t>(config.num_faults));
   d.mix(config.seed);
   d.mix(config.budget_commits);
   d.mix(config.soft_errors ? 1 : 0);
   d.mix(config.oracle_check ? 1 : 0);
+  d.mix(config.exhaustive ? 1 : 0);
+  d.mix(static_cast<std::uint64_t>(config.test_count));
+  d.mix(config.sites.size());
   for (const FaultSite site : config.sites) {
     d.mix(static_cast<std::uint64_t>(site));
   }
@@ -355,9 +532,25 @@ std::uint64_t campaign_config_digest(const CampaignConfig& config) {
   mi(p.one_packet_per_cycle ? 1 : 0);
   mi(p.packet_serial_dispatch ? 1 : 0);
   mi(p.combine_packets ? 1 : 0);
+  d.mix(p.disabled_backend_ways.size());
   for (const std::uint32_t mask : p.disabled_backend_ways) d.mix(mask);
   d.mix(p.watchdog_cycles);
   return d.h;
+}
+
+std::vector<HardFault> campaign_fault_labels(const CampaignConfig& config) {
+  std::vector<FaultInjector> injectors;
+  std::vector<HardFault> labels;
+  build_injectors(config, &injectors, &labels);
+  return labels;
+}
+
+std::string canonical_jsonl_record(const std::string& workload,
+                                   const CampaignConfig& config,
+                                   std::size_t index, const FaultRun& run) {
+  std::ostringstream os;
+  write_jsonl_record(os, workload, index, run, config, nullptr);
+  return os.str();
 }
 
 void export_campaign_metrics(MetricsRegistry& registry,
@@ -400,6 +593,9 @@ struct WorkerReportBuffer {
   int pending = 0;
   double seconds = 0.0;
   std::map<FaultOutcome, int> histogram;
+  // (fault index, run) pairs for the checkpoint hook; only collected when
+  // the campaign has an on_flush consumer.
+  std::vector<std::pair<std::size_t, FaultRun>> runs;
 };
 
 int resolve_report_batch(const ParallelCampaignOptions& options) {
@@ -410,13 +606,12 @@ int resolve_report_batch(const ParallelCampaignOptions& options) {
   return resolve_jobs(options.jobs) <= 1 ? 1 : 16;
 }
 
-// First line of every campaign JSONL file: identifies the build, the
-// configuration, and the expected record count, so downstream analysis can
-// validate a file before parsing run records.
-void write_jsonl_header(std::ostream& os, const Program& program,
-                        const CampaignConfig& config) {
+}  // namespace
+
+void write_campaign_jsonl_header(std::ostream& os, const Program& program,
+                                 const CampaignConfig& config) {
   std::ostringstream digest;
-  digest << std::hex << campaign_config_digest(config);
+  digest << std::hex << campaign_config_digest(config, program);
   os << "{\"record\":\"header\",\"schema_version\":" << kMetricsSchemaVersion
      << ",\"bjsim_version\":\"" << kBjsimVersion << "\",\"workload\":\""
      << program.name << "\",\"mode\":\"" << mode_name(config.mode)
@@ -427,8 +622,6 @@ void write_jsonl_header(std::ostream& os, const Program& program,
      << ",\"oracle_check\":" << (config.oracle_check ? "true" : "false")
      << ",\"config_digest\":\"" << digest.str() << "\"}\n";
 }
-
-}  // namespace
 
 CampaignResult run_campaign_parallel(const Program& program,
                                      const CampaignConfig& config,
@@ -443,38 +636,93 @@ CampaignResult run_campaign_parallel(const Program& program,
   std::vector<FaultInjector> injectors;
   std::vector<HardFault> labels;
   build_injectors(config, &injectors, &labels);
-  result.runs.resize(injectors.size());
+  const std::size_t total_runs = injectors.size();
+  result.runs.resize(total_runs);
 
-  GoldenTraceCache cache(program);
+  // The shard partition must be disjoint and exhaustive over the fault
+  // index space — a hole or an overlap would silently corrupt the merged
+  // study. Checked against the spec's own ownership predicate so a future
+  // partition-function change cannot drift past this guard.
+  const ShardSpec shard = options.shard;
+  BJ_CHECK(shard.count >= 1 && shard.index >= 1 && shard.index <= shard.count,
+           "campaign shard spec");
+  if (shard.active()) {
+    for (std::size_t i = 0; i < total_runs; ++i) {
+      int owners = 0;
+      for (int s = 1; s <= shard.count; ++s) {
+        owners += ShardSpec{s, shard.count}.owns(i) ? 1 : 0;
+      }
+      BJ_CHECK(owners == 1, "campaign shard partition disjoint+exhaustive");
+    }
+  }
+
+  // Adopt checkpointed runs, then collect what is left to simulate: the
+  // indices this shard owns minus the resumed ones.
+  int resumed = 0;
+  if (options.resume_mask != nullptr) {
+    BJ_CHECK(options.resume_runs != nullptr &&
+                 options.resume_mask->size() == total_runs &&
+                 options.resume_runs->size() == total_runs,
+             "campaign resume vectors sized to the run count");
+    for (std::size_t i = 0; i < total_runs; ++i) {
+      if (!(*options.resume_mask)[i]) continue;
+      result.runs[i] = (*options.resume_runs)[i];
+      ++resumed;
+    }
+  }
+  std::vector<std::size_t> exec_indices;
+  exec_indices.reserve(total_runs);
+  for (std::size_t i = 0; i < total_runs; ++i) {
+    if (!shard.owns(i)) continue;
+    if (options.resume_mask != nullptr && (*options.resume_mask)[i]) continue;
+    exec_indices.push_back(i);
+  }
+
+  GoldenTraceCache local_cache(program);
+  GoldenTraceCache& cache =
+      options.golden != nullptr ? *options.golden : local_cache;
+  const std::uint64_t golden_steps_before = cache.executed_steps();
   const std::uint64_t step_cap = golden_step_cap(config);
 
   // Safe-shuffle results are a pure function of packet shape, and every run
   // of a campaign simulates the same workload — so workers share one
   // read-mostly table instead of each recomputing the same shapes. Only the
-  // shuffling mode benefits; the other modes never call the shuffler.
-  std::unique_ptr<SharedShuffleTable> shuffle_table;
+  // shuffling mode benefits; the other modes never call the shuffler. An
+  // external (store-warmed) table takes precedence over a private one.
+  SharedShuffleTable* shuffle_table = nullptr;
+  std::unique_ptr<SharedShuffleTable> local_shuffle;
+  std::size_t shuffle_preloaded = 0;
   if (config.mode == Mode::kBlackjack) {
-    shuffle_table = std::make_unique<SharedShuffleTable>();
+    if (options.shuffle != nullptr) {
+      shuffle_table = options.shuffle;
+      shuffle_preloaded = shuffle_table->size();
+    } else {
+      local_shuffle = std::make_unique<SharedShuffleTable>();
+      shuffle_table = local_shuffle.get();
+    }
   }
 
   // Serializes everything that is not a worker-private simulation: the
-  // completed-run counter, histogram, JSONL sink, and progress callback.
+  // completed-run counter, histogram, JSONL sink, progress callback, and
+  // checkpoint hook.
   std::mutex report_mu;
   CampaignProgress progress;
-  progress.total = static_cast<int>(injectors.size());
+  progress.total = static_cast<int>(exec_indices.size());
   double serial_estimate = 0.0;
   // Runs finished simulating, including those still sitting in a worker's
   // unflushed batch. Bumped lock-free right after each run so the ETA below
   // tracks actual completion instead of lagging a whole batch behind.
   std::atomic<int> finished{0};
   const auto campaign_start = Clock::now();
-  if (options.jsonl) write_jsonl_header(*options.jsonl, program, config);
+  if (options.jsonl) {
+    write_campaign_jsonl_header(*options.jsonl, program, config);
+  }
 
   const int report_batch = resolve_report_batch(options);
   std::vector<WorkerReportBuffer> buffers(
       std::min<std::size_t>(static_cast<std::size_t>(
                                 std::max(1, resolve_jobs(options.jobs))),
-                            std::max<std::size_t>(1, injectors.size())));
+                            std::max<std::size_t>(1, exec_indices.size())));
 
   // Pushes one worker's buffered records to the shared sinks. Caller must
   // hold report_mu.
@@ -482,6 +730,7 @@ CampaignResult run_campaign_parallel(const Program& program,
     if (buf.pending == 0) return;
     serial_estimate += buf.seconds;
     progress.completed += buf.pending;
+    if (options.on_flush) options.on_flush(buf.runs);
     for (const auto& [outcome, n] : buf.histogram) {
       progress.histogram[outcome] += n;
     }
@@ -514,7 +763,9 @@ CampaignResult run_campaign_parallel(const Program& program,
   }
 
   const std::size_t workers_used = parallel_for_workers(
-      options.jobs, injectors.size(), [&](std::size_t worker, std::size_t i) {
+      options.jobs, exec_indices.size(),
+      [&](std::size_t worker, std::size_t item) {
+        const std::size_t i = exec_indices[item];
         const auto run_start = Clock::now();
         // Each worker owns its injector copy and Core; the golden cache and
         // shuffle table are the only cross-run state and synchronize
@@ -543,7 +794,7 @@ CampaignResult run_campaign_parallel(const Program& program,
               }
               return golden;
             },
-            shuffle_table.get());
+            shuffle_table);
         finished.fetch_add(1, std::memory_order_relaxed);
         const auto run_end = Clock::now();
         const double run_seconds =
@@ -563,8 +814,10 @@ CampaignResult run_campaign_parallel(const Program& program,
 
         WorkerReportBuffer& buf = buffers[worker];
         if (options.jsonl) {
-          write_jsonl_record(buf.jsonl, result, i, run, config, run_seconds);
+          write_jsonl_record(buf.jsonl, result.workload, i, run, config,
+                             &run_seconds);
         }
+        if (options.on_flush) buf.runs.emplace_back(i, run);
         buf.seconds += run_seconds;
         ++buf.pending;
         ++buf.histogram[run.outcome];
@@ -594,8 +847,13 @@ CampaignResult run_campaign_parallel(const Program& program,
     stats->serial_estimate_seconds = serial_estimate;
     stats->runs_per_second =
         stats->wall_seconds > 0.0
-            ? static_cast<double>(result.runs.size()) / stats->wall_seconds
+            ? static_cast<double>(exec_indices.size()) / stats->wall_seconds
             : 0.0;
+    stats->executed_runs = static_cast<int>(exec_indices.size());
+    stats->resumed_runs = resumed;
+    stats->golden_steps = cache.executed_steps() - golden_steps_before;
+    stats->golden_preloaded_stores = cache.preloaded_stores();
+    stats->shuffle_preloaded_entries = shuffle_preloaded;
     for (const FaultRun& run : result.runs) {
       if (run.activations == 0) continue;
       if (run.outcome == FaultOutcome::kDetected ||

@@ -19,6 +19,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -27,6 +28,9 @@
 #include "harness/driver.h"
 
 namespace bj {
+
+class GoldenTraceCache;
+class SharedShuffleTable;
 
 enum class FaultOutcome : std::uint8_t {
   kDetected,      // a check fired before any corrupt store reached memory
@@ -61,7 +65,49 @@ struct CampaignConfig {
   // costs an emulator step per leading commit, and classifications without
   // it stay bit-identical to historical campaigns.
   bool oracle_check = false;
+  // Full-factorial enumeration over the hard-fault space instead of random
+  // sampling (mat_ecc_ram-style exhaustive injection studies): every
+  // (site, way/unit/entry, bit, stuck-value) combination becomes one run and
+  // num_faults is ignored. Only meaningful for hard faults — the transient
+  // fault space is unbounded (any execution index), so soft-error campaigns
+  // reject it.
+  bool exhaustive = false;
+  // With `exhaustive`: 0 runs the whole space; F > 0 draws F combinations
+  // from it, each selected by an RNG stream derived from (campaign seed,
+  // draw index) alone — never from worker count or arrival order — so the
+  // sample is identical across jobs counts and shards.
+  int test_count = 0;
 };
+
+// Size of the full-factorial hard-fault space for `params` restricted to
+// `sites` (empty = the default three-site pool), and the fault at a given
+// lexicographic index within it. The enumeration order is fixed (it is part
+// of the campaign's deterministic identity): sites in pool order, then
+// way/unit/entry, then bit, then stuck value.
+std::uint64_t fault_space_size(const CoreParams& params,
+                               const std::vector<FaultSite>& sites);
+HardFault fault_space_at(const CoreParams& params,
+                         const std::vector<FaultSite>& sites,
+                         std::uint64_t index);
+
+// One shard of a campaign: runs whose fault index i satisfies
+// i % count == index - 1 (index is 1-based, as on the command line). The
+// partition is a pure function of the fault index, so N shard processes
+// produce disjoint, exhaustive, scheduling-independent subsets that merge
+// bit-identical to the unsharded run.
+struct ShardSpec {
+  int index = 1;  // 1-based shard number in [1, count]
+  int count = 1;  // total shards
+  bool active() const { return count > 1; }
+  bool owns(std::size_t run_index) const {
+    return static_cast<int>(run_index % static_cast<std::size_t>(count)) ==
+           index - 1;
+  }
+};
+
+// Parses "i/N" (e.g. "2/4"). Throws std::runtime_error on malformed specs,
+// i < 1, N < 1, or i > N.
+ShardSpec parse_shard_spec(const std::string& spec);
 
 struct FaultRun {
   HardFault fault;
@@ -123,6 +169,20 @@ struct CampaignStats {
   // have cost end-to-end on one worker.
   double serial_estimate_seconds = 0.0;
   double runs_per_second = 0.0;
+  // Runs actually simulated by this invocation vs adopted from a resume
+  // checkpoint. executed + resumed covers the indices this invocation's
+  // shard owns; the rest of `CampaignResult::runs` stays default-initialized
+  // when sharding.
+  int executed_runs = 0;
+  int resumed_runs = 0;
+  // Golden-trace cache accounting: emulator instructions executed during
+  // this invocation (0 when a warm-started store covered every request —
+  // the observable "skipped regeneration" signal) and stores adopted from a
+  // preloaded snapshot.
+  std::uint64_t golden_steps = 0;
+  std::uint64_t golden_preloaded_stores = 0;
+  // Shuffle-table entries adopted from a preloaded snapshot.
+  std::uint64_t shuffle_preloaded_entries = 0;
   // Per-outcome detection-latency distribution (cycles from the fault's
   // first activation to the check firing). Populated for detected,
   // detected-late, and wedged runs that activated.
@@ -153,13 +213,56 @@ struct ParallelCampaignOptions {
   // on its worker's lane, plus golden-trace cache fill spans on the shared
   // lane. Null = no tracing (the default).
   CampaignTraceLog* trace = nullptr;
+  // Shard to execute: only fault indices the spec owns are simulated; the
+  // rest of CampaignResult::runs stays default-initialized (activations 0,
+  // so rate helpers and latency histograms ignore them). The engine
+  // BJ_CHECKs that the spec partitions the index space disjointly and
+  // exhaustively before running.
+  ShardSpec shard;
+  // Resume support: runs whose mask entry is true are adopted verbatim from
+  // `resume_runs` instead of simulated (both vectors keyed by fault index,
+  // sized to the campaign's run count when set). Adopted runs count toward
+  // CampaignStats latency histograms exactly as if they had executed, so a
+  // resumed campaign's stats are bit-identical to an uninterrupted one.
+  const std::vector<bool>* resume_mask = nullptr;
+  const std::vector<FaultRun>* resume_runs = nullptr;
+  // External golden store-trace cache / shuffle table, for warm-starting
+  // from a persistent store and serializing back after the campaign. Null =
+  // the engine owns private instances (the historical behaviour).
+  GoldenTraceCache* golden = nullptr;
+  SharedShuffleTable* shuffle = nullptr;
+  // Called under the report lock whenever a worker batch is flushed, with
+  // the (fault index, run) pairs that just became durable-visible. This is
+  // the checkpoint hook: the campaign store appends canonical records and
+  // periodically writes an atomic checkpoint file from inside it.
+  std::function<void(
+      const std::vector<std::pair<std::size_t, FaultRun>>&)> on_flush;
 };
 
-// Order-independent FNV-1a digest of everything that determines a
-// campaign's records (mode, fault set parameters, budget, core parameters).
-// Stamped into the JSONL header so downstream analysis can detect files
-// mixing incompatible configurations.
-std::uint64_t campaign_config_digest(const CampaignConfig& config);
+// FNV-1a digest of everything that determines a campaign's records: the
+// workload identity (program name, code, and data image) and the full
+// configuration (mode, fault set parameters, budget, core parameters).
+// Variable-length sequences are length-prefixed so configurations that only
+// differ in where a field boundary falls can never collide — this digest
+// keys the on-disk campaign store, where a collision would silently
+// warm-start one study from another's state. Stamped into the JSONL header
+// so downstream analysis can detect files mixing incompatible
+// configurations.
+std::uint64_t campaign_config_digest(const CampaignConfig& config,
+                                     const Program& program);
+
+// First line of every campaign JSONL file (streamed or canonical):
+// identifies the build, the workload, the configuration, and its digest.
+void write_campaign_jsonl_header(std::ostream& os, const Program& program,
+                                 const CampaignConfig& config);
+
+// One canonical JSONL line for a completed run: identical to the streamed
+// record minus the wall-clock "seconds" field. Checkpoints, shard outputs,
+// and merges are built from canonical records so a resumed or merged
+// campaign's file is byte-identical to the uninterrupted run's.
+std::string canonical_jsonl_record(const std::string& workload,
+                                   const CampaignConfig& config,
+                                   std::size_t index, const FaultRun& run);
 
 // Registers campaign outcome counters, rates, throughput, and the
 // per-outcome detection-latency histograms under "campaign.*".
@@ -172,6 +275,13 @@ void export_campaign_metrics(MetricsRegistry& registry,
 std::vector<HardFault> generate_faults(const CoreParams& params,
                                        int num_faults, std::uint64_t seed,
                                        const std::vector<FaultSite>& sites);
+
+// The campaign's per-run fault labels in fault-index order — exactly the
+// list the engine builds internally, so the persistence layer can
+// reconstruct any run's label from its index instead of serializing labels.
+// size() is the campaign's total run count (num_faults, or the enumerated /
+// sampled space under `exhaustive`).
+std::vector<HardFault> campaign_fault_labels(const CampaignConfig& config);
 
 // The parallel campaign engine. Results are written into a pre-sized vector
 // keyed by fault index, so `CampaignResult` is bit-identical for every jobs

@@ -1,0 +1,714 @@
+#include "harness/campaign_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+#include "blackjack/shuffle.h"
+#include "common/check.h"
+#include "harness/golden_trace.h"
+
+namespace bj {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Checked binary container. Every binary artifact in the store (golden
+// trace, shuffle table) is wrapped in one: a fixed header binding the bytes
+// to this store format, the owning campaign's digest, and a checksum of the
+// payload. Validation failures quarantine the file instead of feeding
+// half-written or foreign bytes into a warm start.
+
+constexpr std::uint64_t kStoreMagic = 0x3145524F54534A42ull;  // "BJSTORE1"
+constexpr std::uint32_t kStoreSchema = 1;
+
+std::uint64_t fnv64(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void put_u64(std::string* out, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) out->push_back(static_cast<char>(v >> (8 * b)));
+}
+
+void put_u32(std::string* out, std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) out->push_back(static_cast<char>(v >> (8 * b)));
+}
+
+struct ByteReader {
+  std::string_view bytes;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint64_t u64() { return read(8); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(read(4)); }
+  std::uint8_t u8() { return static_cast<std::uint8_t>(read(1)); }
+
+  std::uint64_t read(std::size_t n) {
+    if (!ok || bytes.size() - pos < n) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t b = 0; b < n; ++b) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes[pos + b]))
+           << (8 * b);
+    }
+    pos += n;
+    return v;
+  }
+};
+
+std::string container_wrap(std::uint64_t digest, std::string_view payload) {
+  std::string out;
+  out.reserve(36 + payload.size());
+  put_u64(&out, kStoreMagic);
+  put_u32(&out, kStoreSchema);
+  put_u64(&out, digest);
+  put_u64(&out, payload.size());
+  put_u64(&out, fnv64(payload));
+  out.append(payload);
+  return out;
+}
+
+bool container_unwrap(std::string_view bytes, std::uint64_t digest,
+                      std::string_view* payload) {
+  ByteReader in{bytes};
+  const std::uint64_t magic = in.u64();
+  const std::uint32_t schema = in.u32();
+  const std::uint64_t owner = in.u64();
+  const std::uint64_t size = in.u64();
+  const std::uint64_t sum = in.u64();
+  if (!in.ok || magic != kStoreMagic || schema != kStoreSchema ||
+      owner != digest || bytes.size() - in.pos != size) {
+    return false;
+  }
+  *payload = bytes.substr(in.pos);
+  return fnv64(*payload) == sum;
+}
+
+// ---------------------------------------------------------------------------
+// File I/O. All writes go through temp + rename so a kill at any instant
+// leaves either the previous file or the new one, never a torn hybrid.
+
+bool read_file(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+void atomic_write(const fs::path& path, std::string_view bytes) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    BJ_CHECK(static_cast<bool>(out), "campaign store: cannot open temp file");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    BJ_CHECK(static_cast<bool>(out), "campaign store: short write");
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  BJ_CHECK(!ec, "campaign store: atomic rename failed");
+}
+
+// Moves a failed-validation artifact aside (never deletes: the bytes are
+// evidence) and reports whether anything was actually quarantined.
+bool quarantine(const fs::path& path) {
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return false;
+  const fs::path target = path.string() + ".corrupt";
+  fs::remove(target, ec);
+  fs::rename(path, target, ec);
+  return !ec;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical JSONL plumbing.
+
+std::string header_line(const Program& program, const CampaignConfig& config) {
+  std::ostringstream os;
+  write_campaign_jsonl_header(os, program, config);
+  return os.str();  // includes the trailing newline
+}
+
+std::string footer_line(std::size_t runs) {
+  std::ostringstream os;
+  os << "{\"record\":\"footer\",\"complete\":true,\"runs\":" << runs << "}\n";
+  return os.str();
+}
+
+bool is_footer(const std::string& line) {
+  return line.find("\"record\":\"footer\"") != std::string::npos;
+}
+
+// Flat-JSON field extraction. The records are machine-written single-line
+// objects with no nested braces or escaped strings, so a key search is
+// exact; parse_canonical_record's re-serialization check backstops any case
+// this simplicity would misread.
+bool find_uint_field(const std::string& line, const std::string& key,
+                     std::uint64_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t pos = at + needle.size();
+  if (pos >= line.size() || line[pos] < '0' || line[pos] > '9') return false;
+  std::uint64_t v = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(line[pos] - '0');
+    ++pos;
+  }
+  *out = v;
+  return true;
+}
+
+bool find_string_field(const std::string& line, const std::string& key,
+                       std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t start = at + needle.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+bool find_bool_field(const std::string& line, const std::string& key,
+                     bool* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *out = line.compare(at + needle.size(), 4, "true") == 0;
+  return true;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));  // truncated tail, no newline
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  std::ostringstream os;
+  os << std::hex << std::setfill('0') << std::setw(16) << digest;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Golden-trace snapshot payload: steps, halted flag, then the store pairs.
+
+std::string golden_payload(const GoldenTraceSnapshot& snapshot) {
+  std::string out;
+  out.reserve(17 + snapshot.stores.size() * 16 + 8);
+  put_u64(&out, snapshot.steps);
+  out.push_back(snapshot.halted ? 1 : 0);
+  put_u64(&out, snapshot.stores.size());
+  for (const auto& [addr, data] : snapshot.stores) {
+    put_u64(&out, addr);
+    put_u64(&out, data);
+  }
+  return out;
+}
+
+bool parse_golden_payload(std::string_view payload,
+                          GoldenTraceSnapshot* snapshot) {
+  ByteReader in{payload};
+  snapshot->steps = in.u64();
+  snapshot->halted = in.u8() != 0;
+  const std::uint64_t count = in.u64();
+  if (!in.ok || count > payload.size() / 16 + 1) return false;
+  snapshot->stores.clear();
+  snapshot->stores.reserve(count);
+  for (std::uint64_t i = 0; i < count && in.ok; ++i) {
+    const std::uint64_t addr = in.u64();
+    const std::uint64_t data = in.u64();
+    snapshot->stores.emplace_back(addr, data);
+  }
+  return in.ok && in.pos == payload.size();
+}
+
+// Loads one checked artifact; on validation failure the file is quarantined
+// and `*quarantined` bumped. Returns the payload when (and only when) the
+// container validated.
+bool load_artifact(const fs::path& path, std::uint64_t digest,
+                   std::string* payload_bytes, int* quarantined) {
+  std::string bytes;
+  if (!read_file(path, &bytes)) return false;
+  std::string_view payload;
+  if (!container_unwrap(bytes, digest, &payload)) {
+    if (quarantine(path)) ++*quarantined;
+    return false;
+  }
+  *payload_bytes = std::string(payload);
+  return true;
+}
+
+}  // namespace
+
+std::string campaign_store_dir(const std::string& root,
+                               const CampaignConfig& config,
+                               const Program& program,
+                               const ShardSpec& shard) {
+  std::string name = digest_hex(campaign_config_digest(config, program));
+  if (shard.active()) {
+    name += "-s" + std::to_string(shard.index) + "of" +
+            std::to_string(shard.count);
+  }
+  return (fs::path(root) / name).string();
+}
+
+bool parse_canonical_record(const std::string& line,
+                            const CampaignConfig& config,
+                            const std::vector<HardFault>& labels,
+                            const std::string& workload, std::size_t* index,
+                            FaultRun* run) {
+  std::uint64_t idx = 0;
+  if (!find_uint_field(line, "index", &idx) || idx >= labels.size()) {
+    return false;
+  }
+  FaultRun parsed;
+  parsed.fault = labels[idx];
+
+  std::string outcome;
+  if (!find_string_field(line, "outcome", &outcome)) return false;
+  bool outcome_known = false;
+  for (const FaultOutcome o :
+       {FaultOutcome::kDetected, FaultOutcome::kDetectedLate,
+        FaultOutcome::kWedged, FaultOutcome::kSdc, FaultOutcome::kBenign,
+        FaultOutcome::kOracleDivergence}) {
+    if (outcome == fault_outcome_name(o)) {
+      parsed.outcome = o;
+      outcome_known = true;
+      break;
+    }
+  }
+  if (!outcome_known) return false;
+
+  if (!find_uint_field(line, "activations", &parsed.activations)) return false;
+  if (!find_uint_field(line, "corrupt_stores",
+                       &parsed.corrupt_stores_released)) {
+    return false;
+  }
+  find_bool_field(line, "oracle_violated", &parsed.oracle_violated);
+  find_uint_field(line, "first_activation_cycle",
+                  &parsed.first_activation_cycle);
+  find_uint_field(line, "first_corruption_cycle",
+                  &parsed.first_corruption_cycle);
+  std::string kind;
+  if (find_string_field(line, "detection_kind", &kind)) {
+    bool kind_known = false;
+    for (int k = 0; k <= static_cast<int>(DetectionKind::kWatchdogTimeout);
+         ++k) {
+      if (kind == detection_kind_name(static_cast<DetectionKind>(k))) {
+        parsed.detection_kind = static_cast<DetectionKind>(k);
+        kind_known = true;
+        break;
+      }
+    }
+    if (!kind_known) return false;
+    find_uint_field(line, "detection_cycle", &parsed.detection_cycle);
+    find_uint_field(line, "detection_latency", &parsed.detection_latency);
+  }
+
+  // Self-verification: a record the reconstructed run does not re-serialize
+  // to byte-for-byte was corrupted, hand-edited, or written by a different
+  // configuration — reject it rather than adopt a wrong result.
+  std::string round = canonical_jsonl_record(workload, config, idx, parsed);
+  if (!round.empty() && round.back() == '\n') round.pop_back();
+  if (round != line) return false;
+
+  *index = idx;
+  *run = parsed;
+  return true;
+}
+
+CampaignServiceReport run_campaign_service(
+    const Program& program, const CampaignConfig& config,
+    const CampaignServiceOptions& options) {
+  CampaignServiceReport report;
+
+  ParallelCampaignOptions engine;
+  engine.jobs = options.jobs;
+  engine.shard = options.shard;
+  engine.jsonl = options.jsonl;
+  engine.progress = options.progress;
+  engine.trace = options.trace;
+
+  if (options.store_root.empty()) {
+    report.result =
+        run_campaign_parallel(program, config, engine, &report.stats);
+    return report;
+  }
+
+  const std::vector<HardFault> labels = campaign_fault_labels(config);
+  const std::size_t total = labels.size();
+  const std::uint64_t digest = campaign_config_digest(config, program);
+  const fs::path dir =
+      campaign_store_dir(options.store_root, config, program, options.shard);
+  report.store_dir = dir.string();
+  fs::create_directories(dir);
+
+  const fs::path runs_path = dir / "runs.jsonl";
+  const fs::path golden_path = dir / "golden.bin";
+  const fs::path shuffle_path = dir / "shuffle.bin";
+  const std::string header = header_line(program, config);
+
+  // --- Adopt checkpointed runs. The canonical file is a header, records in
+  // index order, and (when the campaign finished) one footer; a checkpoint
+  // is the same file without the footer. Adoption stops at the first line
+  // that fails the self-verifying parse — the valid prefix of a truncated
+  // checkpoint is still good data — and a file whose *header* does not
+  // match (different configuration, or corruption) is quarantined whole.
+  std::vector<bool> mask(total, false);
+  std::vector<FaultRun> adopted(total);
+  std::map<std::size_t, std::string> canonical;  // owned index -> record line
+  std::string previous;
+  if (read_file(runs_path, &previous)) {
+    const std::vector<std::string> lines = split_lines(previous);
+    if (lines.empty() || lines[0] + "\n" != header) {
+      if (quarantine(runs_path)) ++report.quarantined;
+    } else {
+      for (std::size_t li = 1; li < lines.size(); ++li) {
+        if (is_footer(lines[li])) break;
+        std::size_t idx = 0;
+        FaultRun run;
+        if (!parse_canonical_record(lines[li], config, labels, program.name,
+                                    &idx, &run) ||
+            !options.shard.owns(idx) || mask[idx]) {
+          break;
+        }
+        mask[idx] = true;
+        adopted[idx] = run;
+        canonical[idx] = lines[li] + "\n";
+      }
+    }
+  }
+
+  std::size_t owned = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (options.shard.owns(i)) ++owned;
+  }
+  report.complete_on_entry = canonical.size() == owned;
+
+  // --- Warm-start the golden trace cache and (BlackJack only) the shuffle
+  // table from the store's checked artifacts.
+  GoldenTraceCache cache(program);
+  std::string payload;
+  if (load_artifact(golden_path, digest, &payload, &report.quarantined)) {
+    GoldenTraceSnapshot snapshot;
+    if (parse_golden_payload(payload, &snapshot)) {
+      cache.preload(std::move(snapshot));
+    } else if (quarantine(golden_path)) {
+      ++report.quarantined;
+    }
+  }
+  SharedShuffleTable shuffle;
+  if (config.mode == Mode::kBlackjack &&
+      load_artifact(shuffle_path, digest, &payload, &report.quarantined)) {
+    ShuffleCache::Map map;
+    if (deserialize_shuffle_table(payload, &map)) {
+      shuffle.merge(map);
+    } else if (quarantine(shuffle_path)) {
+      ++report.quarantined;
+    }
+  }
+
+  engine.resume_mask = &mask;
+  engine.resume_runs = &adopted;
+  engine.golden = &cache;
+  if (config.mode == Mode::kBlackjack) engine.shuffle = &shuffle;
+
+  const auto write_runs = [&](bool complete) {
+    std::string out = header;
+    for (const auto& [i, line] : canonical) out += line;
+    if (complete) out += footer_line(canonical.size());
+    atomic_write(runs_path, out);
+  };
+  const auto write_artifacts = [&] {
+    atomic_write(golden_path,
+                 container_wrap(digest, golden_payload(cache.snapshot_state())));
+    if (config.mode == Mode::kBlackjack) {
+      atomic_write(shuffle_path,
+                   container_wrap(digest,
+                                  serialize_shuffle_table(*shuffle.snapshot())));
+    }
+  };
+
+  // --- Checkpoint hook: runs the engine flushes become canonical records
+  // immediately; every `checkpoint_every` of them the whole file (and the
+  // warm-start artifacts) are atomically rewritten. Called under the
+  // engine's report lock, so no extra synchronization is needed.
+  const int every =
+      options.checkpoint_every > 0 ? options.checkpoint_every : 64;
+  int since_checkpoint = 0;
+  engine.on_flush =
+      [&](const std::vector<std::pair<std::size_t, FaultRun>>& batch) {
+        for (const auto& [i, run] : batch) {
+          canonical[i] = canonical_jsonl_record(program.name, config, i, run);
+        }
+        since_checkpoint += static_cast<int>(batch.size());
+        if (since_checkpoint >= every) {
+          since_checkpoint = 0;
+          write_runs(/*complete=*/false);
+          write_artifacts();
+        }
+      };
+
+  report.result =
+      run_campaign_parallel(program, config, engine, &report.stats);
+
+  if (!report.complete_on_entry) {
+    BJ_CHECK(canonical.size() == owned,
+             "campaign service: all owned runs recorded");
+    write_runs(/*complete=*/true);
+    write_artifacts();
+  }
+  return report;
+}
+
+ShardMergeResult merge_campaign_shards(const std::vector<std::string>& paths) {
+  ShardMergeResult merged;
+  if (paths.empty()) {
+    merged.error = "no shard files given";
+    return merged;
+  }
+  std::string header;
+  std::map<std::uint64_t, std::string> records;  // index -> line (with \n)
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!read_file(path, &text)) {
+      merged.error = "cannot read " + path;
+      return merged;
+    }
+    const std::vector<std::string> lines = split_lines(text);
+    if (lines.empty() ||
+        lines[0].find("\"record\":\"header\"") == std::string::npos) {
+      merged.error = path + ": missing campaign header";
+      return merged;
+    }
+    if (header.empty()) {
+      header = lines[0] + "\n";
+    } else if (lines[0] + "\n" != header) {
+      merged.error = path + ": header differs from the first shard's " +
+                     "(different campaign configuration?)";
+      return merged;
+    }
+    bool complete = false;
+    std::size_t shard_records = 0;
+    for (std::size_t li = 1; li < lines.size(); ++li) {
+      const std::string& line = lines[li];
+      if (is_footer(line)) {
+        std::uint64_t runs = 0;
+        bool flag = false;
+        if (li + 1 != lines.size() || !find_bool_field(line, "complete", &flag) ||
+            !flag || !find_uint_field(line, "runs", &runs) ||
+            runs != shard_records) {
+          merged.error = path + ": malformed footer";
+          return merged;
+        }
+        complete = true;
+        break;
+      }
+      std::uint64_t index = 0;
+      std::string outcome;
+      std::uint64_t activations = 0;
+      if (!find_uint_field(line, "index", &index) ||
+          !find_string_field(line, "outcome", &outcome) ||
+          !find_uint_field(line, "activations", &activations)) {
+        merged.error = path + ": malformed record at line " +
+                       std::to_string(li + 1);
+        return merged;
+      }
+      if (records.count(index)) {
+        merged.error = path + ": duplicate fault index " +
+                       std::to_string(index);
+        return merged;
+      }
+      records[index] = line + "\n";
+      ++shard_records;
+
+      FaultOutcome parsed = FaultOutcome::kBenign;
+      bool outcome_known = false;
+      for (const FaultOutcome o :
+           {FaultOutcome::kDetected, FaultOutcome::kDetectedLate,
+            FaultOutcome::kWedged, FaultOutcome::kSdc, FaultOutcome::kBenign,
+            FaultOutcome::kOracleDivergence}) {
+        if (outcome == fault_outcome_name(o)) {
+          parsed = o;
+          outcome_known = true;
+          break;
+        }
+      }
+      if (!outcome_known) {
+        merged.error = path + ": unknown outcome \"" + outcome + "\"";
+        return merged;
+      }
+      ++merged.totals[parsed];
+      if (activations > 0 && (parsed == FaultOutcome::kDetected ||
+                              parsed == FaultOutcome::kDetectedLate ||
+                              parsed == FaultOutcome::kWedged)) {
+        std::uint64_t latency = 0;
+        find_uint_field(line, "detection_latency", &latency);
+        merged.detection_latency[parsed].add(latency);
+      }
+    }
+    if (!complete) {
+      merged.error = path + ": shard incomplete (no footer — still running, "
+                            "or killed before its final checkpoint)";
+      return merged;
+    }
+  }
+
+  // The shards must tile the fault index space exactly: indices 0..K-1, each
+  // once. A hole means a missing shard; the duplicate case was caught above.
+  std::uint64_t expect = 0;
+  for (const auto& [index, line] : records) {
+    if (index != expect) {
+      merged.error = "missing fault index " + std::to_string(expect) +
+                     " (shard file absent from the merge?)";
+      return merged;
+    }
+    ++expect;
+  }
+
+  merged.jsonl = header;
+  for (const auto& [index, line] : records) merged.jsonl += line;
+  merged.jsonl += footer_line(records.size());
+  merged.runs = records.size();
+  merged.ok = true;
+  return merged;
+}
+
+bool fsck_campaign_store(const std::string& root, std::ostream& report) {
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    report << "store root is not a directory: " << root << "\n";
+    return false;
+  }
+  bool ok = true;
+  std::vector<fs::path> dirs;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (entry.is_directory()) dirs.push_back(entry.path());
+  }
+  std::sort(dirs.begin(), dirs.end());
+  for (const fs::path& dir : dirs) {
+    const std::string name = dir.filename().string();
+    const std::string prefix = name.substr(0, 16);
+    std::uint64_t digest = 0;
+    bool digest_ok = prefix.size() == 16;
+    if (digest_ok) {
+      try {
+        digest = std::stoull(prefix, nullptr, 16);
+      } catch (const std::exception&) {
+        digest_ok = false;
+      }
+    }
+    if (!digest_ok) {
+      report << name << ": directory name is not a campaign digest\n";
+      ok = false;
+      continue;
+    }
+
+    std::string text;
+    if (!read_file(dir / "runs.jsonl", &text)) {
+      report << name << ": missing runs.jsonl\n";
+      ok = false;
+    } else {
+      const std::vector<std::string> lines = split_lines(text);
+      std::string stamped;
+      if (lines.empty() ||
+          lines[0].find("\"record\":\"header\"") == std::string::npos ||
+          !find_string_field(lines[0], "config_digest", &stamped)) {
+        report << name << ": runs.jsonl has no campaign header\n";
+        ok = false;
+      } else {
+        std::ostringstream expect;
+        expect << std::hex << digest;
+        if (stamped != expect.str()) {
+          report << name << ": header digest " << stamped
+                 << " does not match directory name\n";
+          ok = false;
+        }
+        std::uint64_t last_index = 0;
+        bool have_index = false;
+        std::size_t count = 0;
+        for (std::size_t li = 1; li < lines.size(); ++li) {
+          if (is_footer(lines[li])) {
+            std::uint64_t runs = 0;
+            bool complete = false;
+            if (li + 1 != lines.size() ||
+                !find_bool_field(lines[li], "complete", &complete) ||
+                !find_uint_field(lines[li], "runs", &runs) || runs != count) {
+              report << name << ": malformed or misplaced footer\n";
+              ok = false;
+            }
+            break;
+          }
+          std::uint64_t index = 0;
+          if (!find_uint_field(lines[li], "index", &index)) {
+            report << name << ": unparseable record at line " << (li + 1)
+                   << "\n";
+            ok = false;
+            break;
+          }
+          if (have_index && index <= last_index) {
+            report << name << ": record indices not strictly increasing at "
+                   << "line " << (li + 1) << "\n";
+            ok = false;
+            break;
+          }
+          last_index = index;
+          have_index = true;
+          ++count;
+        }
+      }
+    }
+
+    for (const char* artifact : {"golden.bin", "shuffle.bin"}) {
+      const fs::path path = dir / artifact;
+      std::string bytes;
+      if (!read_file(path, &bytes)) continue;  // optional artifacts
+      std::string_view payload;
+      if (!container_unwrap(bytes, digest, &payload)) {
+        report << name << ": " << artifact
+               << " fails container validation (magic/schema/digest/"
+                  "checksum)\n";
+        ok = false;
+      }
+    }
+
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (entry.path().extension() == ".corrupt") {
+        report << name << ": quarantined artifact "
+               << entry.path().filename().string() << " (informational)\n";
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace bj

@@ -1,0 +1,124 @@
+// Campaign persistence + distribution layer. run_campaign_parallel is a
+// pure in-memory engine; this layer wraps it with everything a long-running
+// injection study needs to survive the real world:
+//
+//   - a content-addressed on-disk store keyed by campaign_config_digest():
+//     each (program, configuration) pair owns one directory holding the
+//     golden store-trace snapshot, the safe-shuffle table, and the canonical
+//     completed-run JSONL, so repeating a study warm-starts instantly
+//     instead of re-running the emulator and the shuffle search;
+//   - checkpointed, resumable campaigns: the canonical JSONL doubles as the
+//     checkpoint (rewritten atomically every N completed runs), and a
+//     resumed campaign adopts the checkpointed runs, finishes the rest, and
+//     produces output byte-identical to an uninterrupted run;
+//   - deterministic sharding: `--shard i/N` runs the fault indices the spec
+//     owns into a shard-suffixed store directory, and
+//     merge_campaign_shards() recombines N shard files into a file
+//     bit-identical to the unsharded run's;
+//   - integrity: every binary artifact lives in a checked container (magic,
+//     schema, digest, length, payload checksum) written via temp+rename;
+//     anything that fails validation is quarantined (renamed *.corrupt) and
+//     the campaign falls back to recomputing it.
+//
+// Byte-identity is the design invariant: canonical records omit the only
+// wall-clock field ("seconds"), are keyed by fault index, and are emitted
+// index-sorted, so `cold == resumed == merged(shards)` holds at the byte
+// level and tests can enforce it with a string compare.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "harness/campaign.h"
+
+namespace bj {
+
+struct CampaignServiceOptions {
+  // Root directory of the campaign store (one subdirectory per campaign
+  // digest is created beneath it). Empty = no persistence: the service
+  // degenerates to a plain run_campaign_parallel call.
+  std::string store_root;
+  int jobs = 0;
+  ShardSpec shard;
+  // Completed runs between checkpoint rewrites of the store's runs.jsonl
+  // (and golden/shuffle snapshots). 0 = auto (64). Checkpoints are atomic
+  // whole-file replacements, so a kill at any instant leaves a valid,
+  // resumable store.
+  int checkpoint_every = 0;
+  // Live streaming JSONL (records carry the wall-clock "seconds" field);
+  // independent of the store's canonical file.
+  std::ostream* jsonl = nullptr;
+  std::function<void(const CampaignProgress&)> progress;
+  CampaignTraceLog* trace = nullptr;
+};
+
+struct CampaignServiceReport {
+  CampaignResult result;
+  CampaignStats stats;
+  // Resolved campaign directory ("" when no store was configured).
+  std::string store_dir;
+  // The store already held every owned run: nothing was simulated.
+  bool complete_on_entry = false;
+  // Store artifacts that failed validation and were quarantined (*.corrupt).
+  int quarantined = 0;
+};
+
+// Runs one campaign (or one shard of one) through the persistence layer:
+// load + validate store artifacts, adopt checkpointed runs, warm-start the
+// golden-trace cache and shuffle table, execute what is left, checkpoint
+// along the way, and leave the store complete and canonical on return.
+CampaignServiceReport run_campaign_service(const Program& program,
+                                           const CampaignConfig& config,
+                                           const CampaignServiceOptions& options);
+
+// The directory a campaign's artifacts live in: <root>/<16-hex-digest>, with
+// a "-s<i>of<N>" suffix when the shard is active so concurrent shard
+// processes never contend for one runs.jsonl.
+std::string campaign_store_dir(const std::string& root,
+                               const CampaignConfig& config,
+                               const Program& program, const ShardSpec& shard);
+
+// Parses one canonical JSONL record back into (index, FaultRun). The fault
+// label is reconstructed from `labels` (the record only stores its
+// description), and the parse is self-verifying: the reconstructed run must
+// re-serialize to exactly the input line, so any field this parser missed,
+// any hand-edited value, and any truncation is rejected rather than adopted.
+bool parse_canonical_record(const std::string& line,
+                            const CampaignConfig& config,
+                            const std::vector<HardFault>& labels,
+                            const std::string& workload, std::size_t* index,
+                            FaultRun* run);
+
+struct ShardMergeResult {
+  bool ok = false;
+  std::string error;  // first validation failure when !ok
+  // The merged canonical file: shared header, all records index-sorted, one
+  // footer — byte-identical to the unsharded campaign's runs.jsonl.
+  std::string jsonl;
+  std::size_t runs = 0;
+  // Outcome totals and detection-latency histograms recomputed from the
+  // merged records; bit-identical to the unsharded CampaignResult::totals()
+  // and CampaignStats::detection_latency.
+  std::map<FaultOutcome, int> totals;
+  std::map<FaultOutcome, Histogram> detection_latency;
+};
+
+// Recombines N canonical shard files (each complete, same header) into the
+// unsharded campaign's canonical file. Fails (ok = false) on header
+// mismatch, an incomplete shard, duplicate or missing fault indices, or a
+// malformed record.
+ShardMergeResult merge_campaign_shards(const std::vector<std::string>& paths);
+
+// Store fsck: walks every campaign directory under `root` and validates the
+// canonical JSONL (header shape, digest vs directory name, strictly
+// increasing indices, footer accounting) and the binary artifact containers
+// (magic, schema, digest, length, checksum). One line per finding on
+// `report`; returns true when the store is clean.
+bool fsck_campaign_store(const std::string& root, std::ostream& report);
+
+}  // namespace bj

@@ -1,24 +1,71 @@
 #include "harness/golden_trace.h"
 
+#include "common/check.h"
+
 namespace bj {
 
 std::vector<std::pair<std::uint64_t, std::uint64_t>> GoldenTraceCache::prefix(
     std::size_t min_count, std::uint64_t max_instructions) {
   std::lock_guard<std::mutex> lock(mu_);
-  while (stores_.size() < min_count && steps_ < max_instructions &&
-         !emu_.halted()) {
-    const auto rec = emu_.step();
-    if (!rec.has_value()) break;
-    ++steps_;
-    if (rec->store.has_value()) stores_.push_back(*rec->store);
+  if (stores_.size() < min_count && steps_ < max_instructions &&
+      !halted_hint_) {
+    // A preloaded snapshot may not cover this request: fast-forward the
+    // live emulator through the instructions the snapshot already covers
+    // (it has never executed them in this process), then grow normally.
+    // The emulator is deterministic, so the replayed prefix reproduces
+    // exactly the stores we already hold and is discarded.
+    while (emu_steps_ < steps_ && !emu_.halted()) {
+      const auto rec = emu_.step();
+      if (!rec.has_value()) break;
+      ++emu_steps_;
+    }
+    BJ_CHECK(emu_steps_ == steps_ || emu_.halted(),
+             "golden-trace fast-forward must reach the snapshot's coverage");
+    while (stores_.size() < min_count && steps_ < max_instructions &&
+           !emu_.halted()) {
+      const auto rec = emu_.step();
+      if (!rec.has_value()) break;
+      ++steps_;
+      ++emu_steps_;
+      if (rec->store.has_value()) stores_.push_back(*rec->store);
+    }
   }
   const std::size_t n = std::min(min_count, stores_.size());
   return {stores_.begin(), stores_.begin() + static_cast<std::ptrdiff_t>(n)};
 }
 
+void GoldenTraceCache::preload(GoldenTraceSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BJ_CHECK(stores_.empty() && steps_ == 0 && emu_steps_ == 0,
+           "golden-trace preload only into a fresh cache");
+  stores_ = std::move(snapshot.stores);
+  steps_ = snapshot.steps;
+  preloaded_ = stores_.size();
+  halted_hint_ = snapshot.halted;
+}
+
+GoldenTraceSnapshot GoldenTraceCache::snapshot_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  GoldenTraceSnapshot snapshot;
+  snapshot.stores = stores_;
+  snapshot.steps = steps_;
+  snapshot.halted = halted_hint_ || emu_.halted();
+  return snapshot;
+}
+
 std::uint64_t GoldenTraceCache::steps() const {
   std::lock_guard<std::mutex> lock(mu_);
   return steps_;
+}
+
+std::uint64_t GoldenTraceCache::executed_steps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emu_steps_;
+}
+
+std::uint64_t GoldenTraceCache::preloaded_stores() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return preloaded_;
 }
 
 }  // namespace bj

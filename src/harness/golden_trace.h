@@ -24,6 +24,17 @@
 
 namespace bj {
 
+// Persistable image of a cache's progress: the stores computed so far, how
+// many emulator instructions they cover, and whether the program halted
+// within them (in which case the trace is complete and can never grow).
+// This is what the campaign store serializes so repeated studies of the
+// same workload warm-start without re-running the emulator.
+struct GoldenTraceSnapshot {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> stores;
+  std::uint64_t steps = 0;
+  bool halted = false;
+};
+
 class GoldenTraceCache {
  public:
   explicit GoldenTraceCache(const Program& program) : emu_(program) {}
@@ -39,14 +50,37 @@ class GoldenTraceCache {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> prefix(
       std::size_t min_count, std::uint64_t max_instructions);
 
-  // Emulator instructions retired so far (for throughput reporting).
+  // Adopts a previously snapshotted trace. The emulator is deterministic, so
+  // the adopted prefix is byte-identical to what this cache would have
+  // computed itself; if a later request outgrows the snapshot (and the
+  // program had not halted), the live emulator fast-forwards through the
+  // covered prefix once and continues from there. Only valid before the
+  // first prefix() call.
+  void preload(GoldenTraceSnapshot snapshot);
+
+  // Current progress, for serialization into the campaign store.
+  GoldenTraceSnapshot snapshot_state() const;
+
+  // Emulator instructions covered by the cached trace so far (preloaded +
+  // executed; for throughput reporting and fill spans).
   std::uint64_t steps() const;
+
+  // Instructions the live emulator actually executed in this process — a
+  // warm-started campaign whose snapshot covered every request reports 0,
+  // which is how tests observe that regeneration was skipped.
+  std::uint64_t executed_steps() const;
+
+  // Stores adopted from preload() (0 for a cold cache).
+  std::uint64_t preloaded_stores() const;
 
  private:
   mutable std::mutex mu_;
   Emulator emu_;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> stores_;
-  std::uint64_t steps_ = 0;
+  std::uint64_t steps_ = 0;      // instructions covered by stores_
+  std::uint64_t emu_steps_ = 0;  // instructions emu_ has executed
+  std::uint64_t preloaded_ = 0;
+  bool halted_hint_ = false;  // snapshot said the program halted in-prefix
 };
 
 }  // namespace bj

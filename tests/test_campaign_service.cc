@@ -1,0 +1,680 @@
+// Campaign persistence + distribution layer tests: the config-digest
+// length-prefix collision regression, canonical record round-trips,
+// warm-start / kill-and-resume / shard-merge byte-identity, exhaustive
+// fault-space enumeration, store fsck, and the Prometheus HTTP tap.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "blackjack/shuffle.h"
+#include "common/metrics_http.h"
+#include "harness/campaign.h"
+#include "harness/campaign_store.h"
+#include "workload/microkernels.h"
+
+namespace bj {
+namespace {
+
+namespace fs = std::filesystem;
+
+Program service_program() { return kernels::pointer_chase(512, 30000); }
+
+CampaignConfig hard_config() {
+  CampaignConfig config;
+  config.mode = Mode::kSrt;
+  config.num_faults = 16;
+  config.seed = 77;
+  config.budget_commits = 4000;
+  return config;
+}
+
+CampaignConfig soft_oracle_config() {
+  CampaignConfig config;
+  config.mode = Mode::kSrt;
+  config.num_faults = 12;
+  config.seed = 99;
+  config.budget_commits = 2500;
+  config.soft_errors = true;
+  config.oracle_check = true;
+  return config;
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void expect_histograms_equal(const std::map<FaultOutcome, Histogram>& a,
+                             const std::map<FaultOutcome, Histogram>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [outcome, ha] : a) {
+    const auto it = b.find(outcome);
+    ASSERT_NE(it, b.end()) << fault_outcome_name(outcome);
+    const Histogram& hb = it->second;
+    EXPECT_EQ(ha.count(), hb.count());
+    EXPECT_EQ(ha.sum(), hb.sum());
+    EXPECT_EQ(ha.min(), hb.min());
+    EXPECT_EQ(ha.max(), hb.max());
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      EXPECT_EQ(ha.bucket(i), hb.bucket(i)) << "bucket " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Digest bugfix regression.
+
+// Replica of the digest as it mixed before variable-length sequences were
+// length-prefixed: config scalars, then the site values, the CoreParams
+// fields, the disabled-way masks, and the watchdog — with nothing marking
+// where `sites` ends and the parameter block begins.
+std::uint64_t unprefixed_digest_replica(const CampaignConfig& config) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(config.mode));
+  mix(static_cast<std::uint64_t>(config.num_faults));
+  mix(config.seed);
+  mix(config.budget_commits);
+  mix(config.soft_errors ? 1 : 0);
+  mix(config.oracle_check ? 1 : 0);
+  for (const FaultSite site : config.sites) {
+    mix(static_cast<std::uint64_t>(site));
+  }
+  const CoreParams& p = config.params;
+  const auto mi = [&](int v) { mix(static_cast<std::uint64_t>(v)); };
+  mi(p.fetch_width);
+  mi(p.issue_width);
+  mi(p.commit_width);
+  mi(p.active_list_entries);
+  mi(p.lsq_entries);
+  mi(p.issue_queue_entries);
+  mi(p.fetch_buffer_entries);
+  mi(p.int_alu_units);
+  mi(p.int_mul_units);
+  mi(p.fp_alu_units);
+  mi(p.fp_mul_units);
+  mi(p.mem_ports);
+  mi(p.frontend_stages);
+  mi(p.slack);
+  mi(p.dtq_entries);
+  mi(p.store_buffer_entries);
+  mi(p.lvq_entries);
+  mi(p.boq_entries);
+  mi(p.separate_payload_rams ? 1 : 0);
+  mi(p.one_packet_per_cycle ? 1 : 0);
+  mi(p.packet_serial_dispatch ? 1 : 0);
+  mi(p.combine_packets ? 1 : 0);
+  for (const std::uint32_t mask : p.disabled_backend_ways) mix(mask);
+  mix(p.watchdog_cycles);
+  return h;
+}
+
+// Replica of how workload identity would hash without length prefixes: the
+// name's bytes and the code words concatenate into one undelimited stream,
+// so nothing marks where the name ends and the code image begins.
+std::uint64_t unprefixed_program_replica(const Program& program) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  for (const char c : program.name) mix_byte(static_cast<unsigned char>(c));
+  for (const std::uint32_t word : program.code) {
+    const auto v = static_cast<std::uint64_t>(word);
+    for (int b = 0; b < 8; ++b) mix_byte((v >> (8 * b)) & 0xFF);
+  }
+  return h;
+}
+
+TEST(CampaignDigest, LengthPrefixBreaksSequenceBoundaryCollisions) {
+  // Slide the first code word across the unmarked name/code boundary: its
+  // eight little-endian stream bytes become trailing name characters.  The
+  // two programs are genuinely different, but their unprefixed streams are
+  // byte-for-byte identical — a real collision class for a digest that
+  // concatenates variable-length sequences without length markers.
+  Program p1 = service_program();
+  ASSERT_FALSE(p1.code.empty());
+  Program p2 = p1;
+  const auto word = static_cast<std::uint64_t>(p1.code.front());
+  p2.code.erase(p2.code.begin());
+  for (int b = 0; b < 8; ++b) {
+    p2.name.push_back(static_cast<char>((word >> (8 * b)) & 0xFF));
+  }
+  EXPECT_EQ(unprefixed_program_replica(p1), unprefixed_program_replica(p2));
+  // The fixed digest length-prefixes the name and the code image, so the
+  // same pair now keys two distinct store entries.
+  const CampaignConfig config = hard_config();
+  EXPECT_NE(campaign_config_digest(config, p1),
+            campaign_config_digest(config, p2));
+
+  // The old config layout also predates exhaustive mode: a sampled and an
+  // exhaustive campaign with identical scalars hash identically under the
+  // replica, and would have silently shared one store entry.
+  CampaignConfig sampled = hard_config();
+  CampaignConfig exhaustive = sampled;
+  exhaustive.exhaustive = true;
+  exhaustive.test_count = 5;
+  EXPECT_EQ(unprefixed_digest_replica(sampled),
+            unprefixed_digest_replica(exhaustive));
+  EXPECT_NE(campaign_config_digest(sampled, p1),
+            campaign_config_digest(exhaustive, p1));
+}
+
+TEST(CampaignDigest, WorkloadIdentityIsPartOfTheKey) {
+  const CampaignConfig config = hard_config();
+  const Program p1 = kernels::fibonacci(40);
+  Program p2 = p1;
+  p2.name = "fibonacci-renamed";
+  Program p3 = p1;
+  p3.code.push_back(0);
+  Program p4 = p1;
+  p4.entry += 4;
+  const std::uint64_t d1 = campaign_config_digest(config, p1);
+  EXPECT_NE(d1, campaign_config_digest(config, p2));
+  EXPECT_NE(d1, campaign_config_digest(config, p3));
+  EXPECT_NE(d1, campaign_config_digest(config, p4));
+  EXPECT_EQ(d1, campaign_config_digest(config, p1));
+}
+
+// ---------------------------------------------------------------------------
+// Canonical records.
+
+TEST(CanonicalRecords, RoundTripThroughTheSelfVerifyingParser) {
+  const Program program = service_program();
+  for (const CampaignConfig& config : {hard_config(), soft_oracle_config()}) {
+    const std::vector<HardFault> labels = campaign_fault_labels(config);
+    const CampaignResult result = run_campaign(program, config);
+    ASSERT_EQ(result.runs.size(), labels.size());
+    for (std::size_t i = 0; i < result.runs.size(); ++i) {
+      std::string line =
+          canonical_jsonl_record(program.name, config, i, result.runs[i]);
+      ASSERT_FALSE(line.empty());
+      line.pop_back();  // parser takes lines without the newline
+
+      std::size_t index = 0;
+      FaultRun run;
+      ASSERT_TRUE(parse_canonical_record(line, config, labels, program.name,
+                                         &index, &run))
+          << line;
+      EXPECT_EQ(index, i);
+      EXPECT_EQ(run.outcome, result.runs[i].outcome);
+      EXPECT_EQ(run.activations, result.runs[i].activations);
+      EXPECT_EQ(run.detection_latency, result.runs[i].detection_latency);
+      EXPECT_EQ(run.oracle_violated, result.runs[i].oracle_violated);
+      // Canonical records never carry wall-clock fields.
+      EXPECT_EQ(line.find("\"seconds\""), std::string::npos);
+    }
+  }
+}
+
+TEST(CanonicalRecords, ParserRejectsTamperedRecords) {
+  const Program program = service_program();
+  const CampaignConfig config = hard_config();
+  const std::vector<HardFault> labels = campaign_fault_labels(config);
+  const CampaignResult result = run_campaign(program, config);
+  std::string line =
+      canonical_jsonl_record(program.name, config, 0, result.runs[0]);
+  line.pop_back();
+
+  std::size_t index = 0;
+  FaultRun run;
+  // A flipped activation count, a truncation, and a foreign workload name
+  // must all fail the re-serialization check.
+  std::string tampered = line;
+  const std::size_t at = tampered.find("\"activations\":");
+  ASSERT_NE(at, std::string::npos);
+  tampered[at + 14] = tampered[at + 14] == '9' ? '8' : '9';
+  EXPECT_FALSE(parse_canonical_record(tampered, config, labels, program.name,
+                                      &index, &run));
+  EXPECT_FALSE(parse_canonical_record(line.substr(0, line.size() / 2), config,
+                                      labels, program.name, &index, &run));
+  EXPECT_FALSE(parse_canonical_record(line, config, labels, "other-workload",
+                                      &index, &run));
+}
+
+// ---------------------------------------------------------------------------
+// Warm starts and resume.
+
+TEST(CampaignService, ColdThenWarmAreIdenticalAndWarmSkipsRegeneration) {
+  // memcopy releases a store per copied word, so the cold run provably fills
+  // the golden store-trace cache and the warm run provably adopts it.
+  const Program program = kernels::memcopy(48);
+  const CampaignConfig config = hard_config();
+  const fs::path root = fresh_dir("warm_start_store");
+
+  CampaignServiceOptions options;
+  options.store_root = root.string();
+  options.jobs = 2;
+  const CampaignServiceReport cold =
+      run_campaign_service(program, config, options);
+  EXPECT_FALSE(cold.complete_on_entry);
+  EXPECT_EQ(cold.stats.executed_runs, config.num_faults);
+  EXPECT_GT(cold.stats.golden_steps, 0u) << "cold run must fill the cache";
+  const std::string cold_bytes = read_file(fs::path(cold.store_dir) /
+                                           "runs.jsonl");
+
+  const CampaignServiceReport warm =
+      run_campaign_service(program, config, options);
+  EXPECT_TRUE(warm.complete_on_entry);
+  EXPECT_EQ(warm.stats.executed_runs, 0);
+  EXPECT_EQ(warm.stats.resumed_runs, config.num_faults);
+  // The observable warm-start signal: the golden trace was adopted from the
+  // store and the live emulator never executed an instruction.
+  EXPECT_EQ(warm.stats.golden_steps, 0u);
+  EXPECT_GT(warm.stats.golden_preloaded_stores, 0u);
+
+  EXPECT_EQ(cold.result.totals(), warm.result.totals());
+  expect_histograms_equal(cold.stats.detection_latency,
+                          warm.stats.detection_latency);
+  EXPECT_EQ(cold_bytes, read_file(fs::path(warm.store_dir) / "runs.jsonl"));
+}
+
+TEST(CampaignService, BlackjackWarmStartAdoptsTheShuffleTable) {
+  const Program program = kernels::fibonacci(60);
+  CampaignConfig config;
+  config.mode = Mode::kBlackjack;
+  config.num_faults = 6;
+  config.seed = 5;
+  config.budget_commits = 1500;
+  const fs::path root = fresh_dir("shuffle_store");
+
+  CampaignServiceOptions options;
+  options.store_root = root.string();
+  options.jobs = 2;
+  const CampaignServiceReport cold =
+      run_campaign_service(program, config, options);
+  EXPECT_EQ(cold.stats.shuffle_preloaded_entries, 0u);
+  EXPECT_TRUE(fs::exists(fs::path(cold.store_dir) / "shuffle.bin"));
+
+  const CampaignServiceReport warm =
+      run_campaign_service(program, config, options);
+  EXPECT_GT(warm.stats.shuffle_preloaded_entries, 0u);
+  EXPECT_EQ(cold.result.totals(), warm.result.totals());
+}
+
+TEST(CampaignService, KillAndResumeProducesByteIdenticalOutput) {
+  const Program program = service_program();
+  const CampaignConfig config = hard_config();
+
+  CampaignServiceOptions options;
+  options.jobs = 2;
+  options.store_root = fresh_dir("uninterrupted_store").string();
+  const CampaignServiceReport full =
+      run_campaign_service(program, config, options);
+  const std::string full_bytes =
+      read_file(fs::path(full.store_dir) / "runs.jsonl");
+
+  // Simulate a kill: rewind the second store's runs.jsonl to a checkpoint
+  // holding only the first 5 records (header, no footer).
+  options.store_root = fresh_dir("killed_store").string();
+  const CampaignServiceReport first_pass =
+      run_campaign_service(program, config, options);
+  const fs::path killed = fs::path(first_pass.store_dir) / "runs.jsonl";
+  {
+    std::istringstream in(read_file(killed));
+    std::ostringstream checkpoint;
+    std::string line;
+    for (int kept = 0; std::getline(in, line) && kept < 6; ++kept) {
+      checkpoint << line << '\n';  // header + 5 records
+    }
+    std::ofstream out(killed, std::ios::binary | std::ios::trunc);
+    out << checkpoint.str();
+  }
+
+  const CampaignServiceReport resumed =
+      run_campaign_service(program, config, options);
+  EXPECT_FALSE(resumed.complete_on_entry);
+  EXPECT_EQ(resumed.stats.resumed_runs, 5);
+  EXPECT_EQ(resumed.stats.executed_runs, config.num_faults - 5);
+  EXPECT_EQ(full_bytes,
+            read_file(fs::path(resumed.store_dir) / "runs.jsonl"));
+  EXPECT_EQ(full.result.totals(), resumed.result.totals());
+  expect_histograms_equal(full.stats.detection_latency,
+                          resumed.stats.detection_latency);
+}
+
+TEST(CampaignService, ResumeQuarantinesAForeignConfigurationFile) {
+  const Program program = service_program();
+  const CampaignConfig config = hard_config();
+  CampaignServiceOptions options;
+  options.jobs = 2;
+  options.store_root = fresh_dir("foreign_store").string();
+  const CampaignServiceReport first =
+      run_campaign_service(program, config, options);
+
+  // Overwrite the canonical file with one whose header does not match (a
+  // different seed's campaign) — resume must quarantine it, not adopt it.
+  CampaignConfig other = config;
+  other.seed += 1;
+  const fs::path runs = fs::path(first.store_dir) / "runs.jsonl";
+  {
+    std::ofstream out(runs, std::ios::binary | std::ios::trunc);
+    write_campaign_jsonl_header(out, program, other);
+  }
+  const CampaignServiceReport second =
+      run_campaign_service(program, config, options);
+  EXPECT_GE(second.quarantined, 1);
+  EXPECT_EQ(second.stats.resumed_runs, 0);
+  EXPECT_EQ(second.result.totals(), first.result.totals());
+  EXPECT_TRUE(fs::exists(fs::path(first.store_dir) / "runs.jsonl.corrupt"));
+}
+
+// ---------------------------------------------------------------------------
+// Sharding and merge.
+
+void shard_merge_bit_identity(const CampaignConfig& config,
+                              const std::string& tag) {
+  const Program program = service_program();
+  const fs::path root = fresh_dir("shard_store_" + tag);
+
+  CampaignServiceOptions options;
+  options.store_root = root.string();
+  options.jobs = 2;
+  const CampaignServiceReport unsharded =
+      run_campaign_service(program, config, options);
+  const std::string unsharded_bytes =
+      read_file(fs::path(unsharded.store_dir) / "runs.jsonl");
+
+  std::vector<std::string> shard_files;
+  for (int i = 1; i <= 4; ++i) {
+    CampaignServiceOptions shard_options = options;
+    shard_options.shard = ShardSpec{i, 4};
+    const CampaignServiceReport shard =
+        run_campaign_service(program, config, shard_options);
+    shard_files.push_back((fs::path(shard.store_dir) / "runs.jsonl").string());
+  }
+
+  const ShardMergeResult merged = merge_campaign_shards(shard_files);
+  ASSERT_TRUE(merged.ok) << merged.error;
+  EXPECT_EQ(merged.runs, static_cast<std::size_t>(config.num_faults));
+  EXPECT_EQ(merged.jsonl, unsharded_bytes);
+  EXPECT_EQ(merged.totals, unsharded.result.totals());
+  expect_histograms_equal(merged.detection_latency,
+                          unsharded.stats.detection_latency);
+}
+
+TEST(CampaignShards, FourWayMergeIsBitIdenticalHardFaults) {
+  shard_merge_bit_identity(hard_config(), "hard");
+}
+
+TEST(CampaignShards, FourWayMergeIsBitIdenticalSoftOracle) {
+  shard_merge_bit_identity(soft_oracle_config(), "soft");
+}
+
+TEST(CampaignShards, MergeRejectsDuplicatesAndIncompleteShards) {
+  const Program program = service_program();
+  const CampaignConfig config = hard_config();
+  CampaignServiceOptions options;
+  options.store_root = fresh_dir("merge_reject_store").string();
+  options.jobs = 2;
+  options.shard = ShardSpec{1, 2};
+  const CampaignServiceReport s1 =
+      run_campaign_service(program, config, options);
+  const std::string f1 = (fs::path(s1.store_dir) / "runs.jsonl").string();
+
+  // The same shard twice: every index collides.
+  const ShardMergeResult dup = merge_campaign_shards({f1, f1});
+  EXPECT_FALSE(dup.ok);
+  EXPECT_NE(dup.error.find("duplicate"), std::string::npos);
+
+  // One shard alone: the index space has holes.
+  const ShardMergeResult holes = merge_campaign_shards({f1});
+  EXPECT_FALSE(holes.ok);
+  EXPECT_NE(holes.error.find("missing"), std::string::npos);
+
+  // A footer-less (still running / killed) shard is rejected outright.
+  std::string text = read_file(f1);
+  const std::size_t footer = text.rfind("{\"record\":\"footer\"");
+  ASSERT_NE(footer, std::string::npos);
+  const fs::path truncated =
+      fs::path(options.store_root) / "incomplete.jsonl";
+  {
+    std::ofstream out(truncated, std::ios::binary);
+    out << text.substr(0, footer);
+  }
+  const ShardMergeResult incomplete =
+      merge_campaign_shards({truncated.string()});
+  EXPECT_FALSE(incomplete.ok);
+  EXPECT_NE(incomplete.error.find("incomplete"), std::string::npos);
+}
+
+TEST(CampaignShards, SpecParsingAndPartition) {
+  const ShardSpec spec = parse_shard_spec("2/4");
+  EXPECT_EQ(spec.index, 2);
+  EXPECT_EQ(spec.count, 4);
+  EXPECT_TRUE(spec.active());
+  EXPECT_THROW(parse_shard_spec("0/4"), std::runtime_error);
+  EXPECT_THROW(parse_shard_spec("5/4"), std::runtime_error);
+  EXPECT_THROW(parse_shard_spec("nonsense"), std::runtime_error);
+  EXPECT_THROW(parse_shard_spec("3"), std::runtime_error);
+
+  // Disjoint + exhaustive over any index range, by construction.
+  for (std::size_t i = 0; i < 1000; ++i) {
+    int owners = 0;
+    for (int s = 1; s <= 4; ++s) {
+      owners += ShardSpec{s, 4}.owns(i) ? 1 : 0;
+    }
+    EXPECT_EQ(owners, 1) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive fault space.
+
+TEST(ExhaustiveCampaign, EnumerationCoversTheSpaceExactlyOnce) {
+  CampaignConfig config;
+  config.exhaustive = true;
+  CoreParams& p = config.params;
+
+  const std::uint64_t decoder = static_cast<std::uint64_t>(p.fetch_width) *
+                                32 * 2;
+  std::uint64_t backend_ways = 0;
+  for (int c = 0; c < kNumFuClasses; ++c) {
+    backend_ways += static_cast<std::uint64_t>(
+        p.fu_count(static_cast<FuClass>(c)));
+  }
+  const std::uint64_t backend = backend_ways * 64 * 2;
+  const std::uint64_t payload =
+      static_cast<std::uint64_t>(p.issue_queue_entries) * 16 * 2;
+  EXPECT_EQ(fault_space_size(p, config.sites), decoder + backend + payload);
+
+  const std::vector<HardFault> labels = campaign_fault_labels(config);
+  EXPECT_EQ(labels.size(), decoder + backend + payload);
+
+  // Every combination appears exactly once.
+  std::set<std::string> seen;
+  for (const HardFault& f : labels) {
+    EXPECT_TRUE(seen.insert(f.describe()).second) << f.describe();
+  }
+}
+
+TEST(ExhaustiveCampaign, SampledDrawsAreSeedDeterministic) {
+  CampaignConfig config;
+  config.exhaustive = true;
+  config.test_count = 25;
+  config.seed = 31;
+  const std::vector<HardFault> a = campaign_fault_labels(config);
+  const std::vector<HardFault> b = campaign_fault_labels(config);
+  ASSERT_EQ(a.size(), 25u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].describe(), b[i].describe()) << i;
+  }
+  config.seed = 32;
+  const std::vector<HardFault> c = campaign_fault_labels(config);
+  bool any_different = false;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    any_different |= a[i].describe() != c[i].describe();
+  }
+  EXPECT_TRUE(any_different) << "sample must depend on the seed";
+}
+
+TEST(ExhaustiveCampaign, RejectsSoftErrors) {
+  CampaignConfig config;
+  config.exhaustive = true;
+  config.soft_errors = true;
+  EXPECT_THROW(campaign_fault_labels(config), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Store integrity.
+
+TEST(CampaignStoreFsck, CleanStorePassesCorruptArtifactFails) {
+  const Program program = service_program();
+  const CampaignConfig config = hard_config();
+  CampaignServiceOptions options;
+  options.store_root = fresh_dir("fsck_store").string();
+  options.jobs = 2;
+  const CampaignServiceReport report =
+      run_campaign_service(program, config, options);
+
+  std::ostringstream clean;
+  EXPECT_TRUE(fsck_campaign_store(options.store_root, clean)) << clean.str();
+
+  // Flip one payload byte in golden.bin: the container checksum must catch
+  // it, and the next service run must quarantine + recompute, not adopt.
+  const fs::path golden = fs::path(report.store_dir) / "golden.bin";
+  {
+    std::fstream f(golden,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-1, std::ios::end);
+    const char flipped = '\x5a';
+    f.write(&flipped, 1);
+  }
+  std::ostringstream dirty;
+  EXPECT_FALSE(fsck_campaign_store(options.store_root, dirty));
+  EXPECT_NE(dirty.str().find("golden.bin"), std::string::npos);
+
+  const CampaignServiceReport recovered =
+      run_campaign_service(program, config, options);
+  EXPECT_GE(recovered.quarantined, 1);
+  EXPECT_EQ(recovered.result.totals(), report.result.totals());
+  EXPECT_TRUE(fs::exists(fs::path(report.store_dir) / "golden.bin.corrupt"));
+
+  // The recovery rewrote a valid artifact; only the informational
+  // quarantine file remains.
+  std::ostringstream after;
+  EXPECT_TRUE(fsck_campaign_store(options.store_root, after)) << after.str();
+  EXPECT_NE(after.str().find("quarantined"), std::string::npos);
+}
+
+TEST(ShuffleTableSerialization, ByteStableRoundTrip) {
+  // Compute a few real shuffle results through the cache, round-trip them.
+  ShuffleCache cache;
+  std::vector<ShuffleInst> packet(4);
+  for (int i = 0; i < 4; ++i) {
+    packet[i].fu = static_cast<FuClass>(i % kNumFuClasses);
+    packet[i].lead_frontend_way = i;
+    packet[i].lead_backend_way = 0;
+  }
+  bool hit = false;
+  cache.shuffle(packet, 4, &hit);
+  packet.resize(2);
+  cache.shuffle(packet, 4, &hit);
+  ASSERT_GE(cache.local_entries().size(), 2u);
+
+  const std::string bytes = serialize_shuffle_table(cache.local_entries());
+  ShuffleCache::Map decoded;
+  ASSERT_TRUE(deserialize_shuffle_table(bytes, &decoded));
+  ASSERT_EQ(decoded.size(), cache.local_entries().size());
+  for (const auto& [key, result] : cache.local_entries()) {
+    const auto it = decoded.find(key);
+    ASSERT_NE(it, decoded.end());
+    EXPECT_EQ(it->second.nops_inserted, result.nops_inserted);
+    EXPECT_EQ(it->second.splits, result.splits);
+    ASSERT_EQ(it->second.packets.size(), result.packets.size());
+    for (std::size_t pi = 0; pi < result.packets.size(); ++pi) {
+      ASSERT_EQ(it->second.packets[pi].size(), result.packets[pi].size());
+      for (std::size_t s = 0; s < result.packets[pi].size(); ++s) {
+        EXPECT_EQ(it->second.packets[pi][s].is_nop,
+                  result.packets[pi][s].is_nop);
+        EXPECT_EQ(it->second.packets[pi][s].cls, result.packets[pi][s].cls);
+        EXPECT_EQ(it->second.packets[pi][s].input_index,
+                  result.packets[pi][s].input_index);
+      }
+    }
+  }
+
+  // Serialization is byte-stable (sorted by key) and rejects truncation.
+  EXPECT_EQ(bytes, serialize_shuffle_table(decoded));
+  ShuffleCache::Map reject;
+  EXPECT_FALSE(
+      deserialize_shuffle_table(std::string_view(bytes).substr(
+                                    0, bytes.size() - 3),
+                                &reject));
+  EXPECT_TRUE(reject.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus HTTP tap.
+
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)::write(fd, request.data(), request.size());
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsHttp, ServesProducerTextOnMetricsPathOnly) {
+  MetricsHttpServer server(0, [] {
+    MetricsRegistry registry;
+    registry.counter("campaign.progress.completed", 7);
+    std::ostringstream os;
+    registry.write_prometheus(os);
+    return os.str();
+  });
+  ASSERT_TRUE(server.ok());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string ok = http_get(server.port(), "/metrics");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("bj_campaign_progress_completed 7"), std::string::npos);
+
+  const std::string missing = http_get(server.port(), "/other");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bj

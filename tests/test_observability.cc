@@ -500,14 +500,21 @@ TEST(CampaignProvenance, JsonlHeaderIdentifiesTheCampaign) {
   EXPECT_NE(header.find("\"soft_errors\":true"), std::string::npos);
   EXPECT_NE(header.find("\"config_digest\":\""), std::string::npos);
 
-  // The digest moves when the configuration does.
+  // The digest moves when the configuration (or the workload) does.
   CampaignConfig other = config;
   other.seed = 8;
-  EXPECT_NE(campaign_config_digest(config), campaign_config_digest(other));
+  EXPECT_NE(campaign_config_digest(config, p),
+            campaign_config_digest(other, p));
   other = config;
   other.params.slack += 1;
-  EXPECT_NE(campaign_config_digest(config), campaign_config_digest(other));
-  EXPECT_EQ(campaign_config_digest(config), campaign_config_digest(config));
+  EXPECT_NE(campaign_config_digest(config, p),
+            campaign_config_digest(other, p));
+  EXPECT_EQ(campaign_config_digest(config, p),
+            campaign_config_digest(config, p));
+  Program other_program = p;
+  other_program.name += "-variant";
+  EXPECT_NE(campaign_config_digest(config, p),
+            campaign_config_digest(config, other_program));
 }
 
 TEST(CampaignProgressTest, BatchedEtaTracksFinishedRuns) {

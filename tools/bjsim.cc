@@ -16,15 +16,18 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "common/bjsim_cli.h"
 #include "common/env.h"
 #include "common/flags.h"
 #include "common/metrics.h"
+#include "common/metrics_http.h"
 #include "common/table.h"
 #include "common/trace.h"
 #include "harness/campaign.h"
+#include "harness/campaign_store.h"
 #include "harness/diagnosis.h"
 #include "isa/assembler.h"
 #include "pipeline/core.h"
@@ -221,6 +224,33 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Store-maintenance commands that need no program or simulation.
+    if (flags.has("merge")) {
+      const std::string out_path = flags.get("merge");
+      const std::vector<std::string>& inputs = flags.positional();
+      if (out_path.empty() || inputs.empty()) {
+        throw std::runtime_error(
+            "--merge OUT needs completed shard JSONL files as positional "
+            "arguments (list them before --merge)");
+      }
+      const ShardMergeResult merged = merge_campaign_shards(inputs);
+      if (!merged.ok) throw std::runtime_error("merge failed: " + merged.error);
+      std::ofstream out(out_path, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot open " + out_path);
+      out << merged.jsonl;
+      std::cout << "merged " << inputs.size() << " shards (" << merged.runs
+                << " runs) into " << out_path << '\n';
+      for (const auto& [outcome, n] : merged.totals) {
+        std::cout << "  " << fault_outcome_name(outcome) << ": " << n << '\n';
+      }
+      return 0;
+    }
+    if (flags.has("store-verify")) {
+      const bool ok = fsck_campaign_store(flags.get("store-verify"), std::cout);
+      std::cout << (ok ? "store OK\n" : "store CORRUPT\n");
+      return ok ? 0 : 1;
+    }
+
     const Program program = select_program(flags);
     const Mode mode = parse_mode(flags.get("mode", "blackjack"));
 
@@ -248,9 +278,15 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(flags.get_int("instructions", 12000));
       config.soft_errors = flags.get_bool("soft-errors");
       config.oracle_check = flags.get_bool("oracle");
+      config.exhaustive = flags.get_bool("exhaustive");
+      config.test_count = static_cast<int>(flags.get_int("test-count", 0));
 
-      ParallelCampaignOptions options;
+      CampaignServiceOptions options;
       options.jobs = static_cast<int>(flags.get_int("jobs", 0));
+      options.store_root = flags.get("store", "");
+      options.shard = parse_shard_spec(flags.get("shard", "1/1"));
+      options.checkpoint_every =
+          static_cast<int>(flags.get_int("checkpoint-every", 0));
       std::ofstream jsonl;
       if (flags.has("json")) {
         jsonl.open(flags.get("json"));
@@ -267,9 +303,59 @@ int main(int argc, char** argv) {
       }
       const auto write_metrics = metrics_writer(flags);
 
-      CampaignStats stats;
-      const CampaignResult result =
-          run_campaign_parallel(program, config, options, &stats);
+      // Live Prometheus tap: the progress callback keeps the latest snapshot
+      // under a lock and each scrape serializes it on demand.
+      std::mutex progress_mu;
+      CampaignProgress latest;
+      std::unique_ptr<MetricsHttpServer> metrics_server;
+      if (flags.has("metrics-port")) {
+        const auto chained = options.progress;
+        options.progress = [&progress_mu, &latest,
+                            chained](const CampaignProgress& p) {
+          {
+            std::lock_guard<std::mutex> lock(progress_mu);
+            latest = p;
+          }
+          if (chained) chained(p);
+        };
+        metrics_server = std::make_unique<MetricsHttpServer>(
+            static_cast<int>(flags.get_int("metrics-port", 0)),
+            [&progress_mu, &latest] {
+              CampaignProgress p;
+              {
+                std::lock_guard<std::mutex> lock(progress_mu);
+                p = latest;
+              }
+              MetricsRegistry registry;
+              registry.counter("campaign.progress.completed",
+                               static_cast<std::uint64_t>(p.completed));
+              registry.counter("campaign.progress.finished",
+                               static_cast<std::uint64_t>(p.finished));
+              registry.counter("campaign.progress.total",
+                               static_cast<std::uint64_t>(p.total));
+              registry.gauge("campaign.progress.elapsed_seconds",
+                             p.elapsed_seconds);
+              registry.gauge("campaign.progress.eta_seconds", p.eta_seconds);
+              for (const auto& [outcome, n] : p.histogram) {
+                registry.counter(std::string("campaign.outcome.") +
+                                     fault_outcome_name(outcome),
+                                 static_cast<std::uint64_t>(n));
+              }
+              std::ostringstream os;
+              registry.write_prometheus(os);
+              return os.str();
+            });
+        if (!metrics_server->ok()) {
+          throw std::runtime_error("cannot bind --metrics-port");
+        }
+        std::cerr << "metrics: http://127.0.0.1:" << metrics_server->port()
+                  << "/metrics\n";
+      }
+
+      const CampaignServiceReport service_report =
+          run_campaign_service(program, config, options);
+      const CampaignResult& result = service_report.result;
+      const CampaignStats& stats = service_report.stats;
       if (options.trace != nullptr) trace_log.write_chrome(trace_file);
       if (write_metrics) {
         MetricsRegistry registry;
@@ -288,10 +374,12 @@ int main(int argc, char** argv) {
         const auto it = totals.find(outcome);
         t.add_int(it == totals.end() ? 0 : it->second);
       }
-      std::cout << "campaign: " << config.num_faults
+      std::cout << "campaign: " << result.runs.size()
                 << (config.soft_errors ? " transient" : " stuck-at")
-                << " faults on " << program.name << " / " << mode_name(mode)
-                << ", " << config.budget_commits << " commits per run\n"
+                << (config.exhaustive ? " faults (exhaustive) on "
+                                      : " faults on ")
+                << program.name << " / " << mode_name(mode) << ", "
+                << config.budget_commits << " commits per run\n"
                 << (flags.get_bool("csv") ? t.to_csv() : t.to_text());
       std::cout << "detection rate (activated): "
                 << 100.0 * result.detection_rate_of_activated() << "%\n"
@@ -301,6 +389,24 @@ int main(int argc, char** argv) {
                 << stats.jobs << " jobs (" << stats.runs_per_second
                 << " runs/s, est. serial " << stats.serial_estimate_seconds
                 << " s, speedup " << stats.speedup() << "x)\n";
+      if (!service_report.store_dir.empty()) {
+        std::cout << "store: " << service_report.store_dir << " ("
+                  << stats.resumed_runs << " resumed, " << stats.executed_runs
+                  << " executed, golden warm-start "
+                  << stats.golden_preloaded_stores << " stores / "
+                  << stats.golden_steps << " new emulator steps";
+        if (config.mode == Mode::kBlackjack) {
+          std::cout << ", shuffle warm-start "
+                    << stats.shuffle_preloaded_entries << " entries";
+        }
+        std::cout << (service_report.complete_on_entry
+                          ? ", complete on entry)\n"
+                          : ")\n");
+        if (service_report.quarantined > 0) {
+          std::cerr << "warning: quarantined " << service_report.quarantined
+                    << " corrupt store artifact(s) (*.corrupt)\n";
+        }
+      }
       return 0;
     }
 
