@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <sstream>
 #include <utility>
@@ -12,12 +13,17 @@ namespace bj {
 
 namespace {
 
-// Writes the whole buffer, riding out short writes; gives up on error (the
-// scraper will just retry next interval).
+// Writes the whole buffer, riding out short writes and EINTR; gives up on a
+// real error (the scraper will just retry next interval). MSG_NOSIGNAL keeps
+// a scraper that disconnected mid-response from killing the whole process
+// with SIGPIPE — the failed send returns EPIPE instead and the response is
+// simply dropped.
 void write_all(int fd, const std::string& bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return;
     sent += static_cast<std::size_t>(n);
   }
@@ -84,6 +90,7 @@ void MetricsHttpServer::serve() {
     while (request.find("\r\n\r\n") == std::string::npos &&
            request.size() < sizeof(buf)) {
       const ssize_t n = ::read(client, buf, sizeof(buf));
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;
       request.append(buf, static_cast<std::size_t>(n));
     }

@@ -390,10 +390,10 @@ FaultRun execute_fault_run(
       ++run.corrupt_stores_released;
     }
   }
-  run.first_activation_cycle =
-      provenance.activated ? provenance.first_activation_cycle : 0;
-  run.first_corruption_cycle =
-      provenance.corrupted ? provenance.first_corruption_cycle : 0;
+  run.activated = provenance.activated;
+  run.first_activation_cycle = provenance.first_activation_cycle;
+  run.corrupted = provenance.corrupted;
+  run.first_corruption_cycle = provenance.first_corruption_cycle;
   run.detection_latency = provenance.detection_latency();
 
   if (!outcome.detections.empty()) {
@@ -438,10 +438,13 @@ void write_jsonl_record(std::ostream& os, const std::string& workload,
   if (config.oracle_check) {
     os << ",\"oracle_violated\":" << (run.oracle_violated ? "true" : "false");
   }
-  if (run.activations > 0) {
+  // Presence of these fields encodes the provenance booleans: a fault that
+  // bit on cycle 0 still emits the field, and a record without it parses
+  // back as "never happened" — not as cycle 0.
+  if (run.activated) {
     os << ",\"first_activation_cycle\":" << run.first_activation_cycle;
   }
-  if (run.corrupt_stores_released > 0) {
+  if (run.corrupted) {
     os << ",\"first_corruption_cycle\":" << run.first_corruption_cycle;
   }
   if (run.outcome == FaultOutcome::kDetected ||

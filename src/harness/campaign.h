@@ -117,10 +117,15 @@ struct FaultRun {
   DetectionKind detection_kind = DetectionKind::kWatchdogTimeout;
   std::uint64_t corrupt_stores_released = 0;
   // Provenance chain (injection -> corruption -> detection), stamped by the
-  // core's FaultProvenance hooks. first_activation_cycle is meaningful when
-  // activations > 0, first_corruption_cycle when corrupt_stores_released >
-  // 0, detection_latency (detection − first activation) for detected and
-  // wedged outcomes.
+  // core's FaultProvenance hooks. The explicit booleans disambiguate a
+  // legitimate cycle-0 timestamp from "never happened" (both serialize the
+  // cycle as 0): first_activation_cycle is meaningful exactly when
+  // `activated`, first_corruption_cycle exactly when `corrupted`,
+  // detection_latency (detection − first activation) for detected and
+  // wedged outcomes. JSONL emission and parsing key on the booleans —
+  // field presence in a record IS the boolean.
+  bool activated = false;
+  bool corrupted = false;
   std::uint64_t first_activation_cycle = 0;
   std::uint64_t first_corruption_cycle = 0;
   std::uint64_t detection_latency = 0;

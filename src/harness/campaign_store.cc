@@ -314,10 +314,18 @@ bool parse_canonical_record(const std::string& line,
     return false;
   }
   find_bool_field(line, "oracle_violated", &parsed.oracle_violated);
-  find_uint_field(line, "first_activation_cycle",
-                  &parsed.first_activation_cycle);
-  find_uint_field(line, "first_corruption_cycle",
-                  &parsed.first_corruption_cycle);
+  // Field presence carries the provenance booleans: an absent field means
+  // the event never happened, a present field with value 0 means cycle 0.
+  parsed.activated = find_uint_field(line, "first_activation_cycle",
+                                     &parsed.first_activation_cycle);
+  parsed.corrupted = find_uint_field(line, "first_corruption_cycle",
+                                     &parsed.first_corruption_cycle);
+  // Canonical producers always attach provenance, so the booleans agree
+  // with the counters; a record where they disagree was tampered with (the
+  // re-serialization check below cannot see this because both the counter
+  // and the derived field presence round-trip individually).
+  if (parsed.activated != (parsed.activations > 0)) return false;
+  if (parsed.corrupted != (parsed.corrupt_stores_released > 0)) return false;
   std::string kind;
   if (find_string_field(line, "detection_kind", &kind)) {
     bool kind_known = false;

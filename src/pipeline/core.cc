@@ -52,6 +52,7 @@ Core::Core(const Program& program, Mode mode, const CoreParams& params,
       hierarchy_(params.memory),
       predictor_(params.branch),
       oracle_(program),
+      decode_table_(program_),
       regfile_(params.phys_int_regs, params.phys_fp_regs),
       int_free_(0, params.phys_int_regs),
       fp_free_(0, params.phys_fp_regs),
@@ -60,6 +61,18 @@ Core::Core(const Program& program, Mode mode, const CoreParams& params,
       lvq_(static_cast<std::size_t>(params.lvq_entries)),
       store_buffer_(static_cast<std::size_t>(params.store_buffer_entries)),
       dtq_(static_cast<std::size_t>(params.dtq_entries)) {
+  // Width contracts of the 128-byte hot DynInst slot (types.h): rename
+  // fields are int16, way indices int8, iq_entry int16. Checked once here so
+  // the per-instruction paths can narrow with plain casts.
+  BJ_CHECK(params_.phys_int_regs <= 32767 && params_.phys_fp_regs <= 32767,
+           "hot-slot rename fields are int16");
+  BJ_CHECK(params_.issue_queue_entries <= 32767,
+           "hot-slot iq_entry is int16");
+  BJ_CHECK(params_.fetch_width <= 127, "hot-slot way indices are int8");
+  for (int cls = 0; cls < kNumFuClasses; ++cls) {
+    BJ_CHECK(params_.fu_count(static_cast<FuClass>(cls)) <= 127,
+             "hot-slot way indices are int8");
+  }
   for (int cls = 0; cls < kNumFuClasses; ++cls) {
     fu_busy_until_[cls].assign(
         static_cast<std::size_t>(params_.fu_count(static_cast<FuClass>(cls))),
@@ -332,7 +345,7 @@ void Core::export_metrics(MetricsRegistry& registry) const {
 DynInst* Core::make_inst(ThreadId tid) {
   DynInst* inst = pool_.allocate();
   inst->tid = tid;
-  inst->fetch_cycle = cycle_;
+  cold(inst).fetch_cycle = cycle_;
   if (pool_.in_use() > stats_.pool_high_water) {
     stats_.pool_high_water = pool_.in_use();
   }
@@ -565,24 +578,27 @@ void Core::fetch_leading(Context& ctx) {
     inst->pc = ctx.fetch_pc;
     inst->seq = ctx.fetch_seq++;
     inst->raw = program_.fetch_raw(ctx.fetch_pc);
-    inst->predecode = decode(inst->raw);
+    inst->dec = decode_table_.predecode(ctx.fetch_pc);
     inst->frontend_way =
-        static_cast<int>(ctx.fetch_pc % static_cast<std::uint64_t>(
-                                            params_.fetch_width));
+        static_cast<std::int8_t>(ctx.fetch_pc % static_cast<std::uint64_t>(
+                                                    params_.fetch_width));
 
     bool redirect = false;
     std::uint64_t next_pc = ctx.fetch_pc + 1;
-    if (inst->predecode.valid && inst->predecode.is_control()) {
-      inst->prediction = predictor_.predict(ctx.fetch_pc, inst->predecode);
-      inst->pred_taken = inst->prediction.taken;
-      inst->pred_target = inst->prediction.target;
+    const DecodedInst& pre = *inst->dec;
+    if (pre.valid && pre.is_control()) {
+      inst->pre_ctrl = true;
+      BranchPrediction& prediction = cold(inst).prediction;
+      prediction = predictor_.predict(ctx.fetch_pc, pre);
+      inst->pred_taken = prediction.taken;
+      inst->pred_target = prediction.target;
       ++stats_.branch_lookups;
       if (inst->pred_taken) {
         next_pc = inst->pred_target;
         redirect = true;
       }
     }
-    if (inst->predecode.op == Opcode::kHalt) {
+    if (pre.op == Opcode::kHalt) {
       ctx.fetch_done = true;
     }
     ctx.frontend_q.push_back(inst->self);
@@ -618,14 +634,15 @@ void Core::fetch_trailing_srt(Context& ctx) {
     inst->pc = ctx.fetch_pc;
     inst->seq = ctx.fetch_seq;
     inst->raw = program_.fetch_raw(ctx.fetch_pc);
-    inst->predecode = decode(inst->raw);
+    inst->dec = decode_table_.predecode(ctx.fetch_pc);
     inst->frontend_way =
-        static_cast<int>(ctx.fetch_pc % static_cast<std::uint64_t>(
-                                            params_.fetch_width));
+        static_cast<std::int8_t>(ctx.fetch_pc % static_cast<std::uint64_t>(
+                                                    params_.fetch_width));
 
     bool redirect = false;
     std::uint64_t next_pc = ctx.fetch_pc + 1;
-    if (inst->predecode.valid && inst->predecode.is_control()) {
+    const DecodedInst& pre = *inst->dec;
+    if (pre.valid && pre.is_control()) {
       // Consume the leading thread's outcome as a perfect prediction.
       const std::size_t offset =
           static_cast<std::size_t>(ctx.fetched_ctrl - ctx.committed_ctrl);
@@ -634,18 +651,22 @@ void Core::fetch_trailing_srt(Context& ctx) {
         pool_.release(inst->self);  // fetch abandoned before enqueue
         break;                      // outcome not yet available
       }
+      inst->pre_ctrl = true;
       inst->pred_taken = outcome->taken;
       inst->pred_target = outcome->target;
-      inst->ctrl_ordinal = ctx.fetched_ctrl;
       ++ctx.fetched_ctrl;
       if (inst->pred_taken) {
         next_pc = inst->pred_target;
         redirect = true;
       }
     }
-    if (inst->predecode.is_load()) inst->mem_ordinal = ctx.fetched_loads++;
-    if (inst->predecode.is_store()) inst->mem_ordinal = ctx.fetched_stores++;
-    if (inst->predecode.op == Opcode::kHalt) ctx.fetch_done = true;
+    if (pre.is_load()) {
+      inst->mem_ordinal = narrow_u32(ctx.fetched_loads++, "mem_ordinal");
+    }
+    if (pre.is_store()) {
+      inst->mem_ordinal = narrow_u32(ctx.fetched_stores++, "mem_ordinal");
+    }
+    if (pre.op == Opcode::kHalt) ctx.fetch_done = true;
 
     ++ctx.fetch_seq;
     ctx.frontend_q.push_back(inst->self);
@@ -670,31 +691,31 @@ void Core::fetch_trailing_blackjack(Context& ctx) {
     for (std::size_t slot = 0; slot < pkt.slots.size(); ++slot) {
       const TrailSlot& ts = pkt.slots[slot];
       DynInst* inst = make_inst(ThreadId::kTrailing);
-      inst->packet_id = pkt.packet_id;
-      inst->origin_packet_id = pkt.origin_id;
-      inst->slot_in_packet = static_cast<int>(slot);
-      inst->frontend_way = static_cast<int>(slot);
+      inst->packet_id = narrow_u32(pkt.packet_id, "packet_id");
+      inst->origin_packet_id = narrow_u32(pkt.origin_id, "origin_packet_id");
+      inst->frontend_way = static_cast<std::int8_t>(slot);
       if (ts.is_nop) {
         inst->is_shuffle_nop = true;
         inst->fu = ts.nop_cls;
-        inst->inst = DecodedInst{.op = Opcode::kNop};
-        inst->predecode = inst->inst;
+        inst->dec = decode_table_.nop();
       } else {
         const DtqEntry& e = ts.entry;
         inst->pc = e.pc;
         inst->raw = e.raw;
-        inst->predecode = decode(e.raw);
-        inst->seq = e.virt_al_index;
-        inst->lead_seq = e.lead_seq;
-        inst->lead_frontend_way = e.lead_frontend_way;
-        inst->lead_backend_way = e.lead_backend_way;
-        inst->lead_src1_phys = e.lead_src1_phys;
-        inst->lead_src2_phys = e.lead_src2_phys;
-        inst->lead_dst_phys = e.lead_dst_phys;
-        inst->virt_al_index = e.virt_al_index;
-        inst->virt_lsq_index = e.virt_lsq_index;
+        // e.raw is the leading copy's fetch_raw(e.pc), so the pc-indexed
+        // predecode is exactly decode(e.raw).
+        inst->dec = decode_table_.predecode(e.pc);
+        inst->seq = e.virt_al_index;  // seq IS the virtual AL index here
+        inst->lead_frontend_way = static_cast<std::int8_t>(e.lead_frontend_way);
+        inst->lead_backend_way = static_cast<std::int8_t>(e.lead_backend_way);
+        inst->lead_src1_phys = static_cast<std::int16_t>(e.lead_src1_phys);
+        inst->lead_src2_phys = static_cast<std::int16_t>(e.lead_src2_phys);
+        inst->lead_dst_phys = static_cast<std::int16_t>(e.lead_dst_phys);
         inst->has_lsq_slot = e.has_lsq_slot;
-        inst->mem_ordinal = e.mem_ordinal;
+        inst->mem_ordinal = narrow_u32(e.mem_ordinal, "mem_ordinal");
+        DynInstCold& c = cold(inst);
+        c.lead_seq = e.lead_seq;
+        c.virt_lsq_index = e.virt_lsq_index;
         ctx.fetch_seq = e.virt_al_index + 1;  // backlog tracking
         ++insts_fetched;
       }
@@ -720,8 +741,8 @@ void Core::dispatch() {
     if (ctx.tid == ThreadId::kTrailing && !redundant()) continue;
     while (budget > 0 && !ctx.frontend_q.empty()) {
       DynInst* inst = &pool_.get(ctx.frontend_q.front());
-      if (inst->fetch_cycle + static_cast<std::uint64_t>(
-                                  params_.frontend_stages) > cycle_) {
+      if (cold(inst).fetch_cycle + static_cast<std::uint64_t>(
+                                       params_.frontend_stages) > cycle_) {
         bump_event(ev_dispatch_pipe_delay_, "dispatch.pipe_delay");
         break;
       }
@@ -763,13 +784,13 @@ bool Core::rename_and_dispatch(Context& ctx, DynInst* inst) {
   }
 
   auto install_iq = [&]() {
-    inst->iq_entry = iq_slot;
+    inst->iq_entry = static_cast<std::int16_t>(iq_slot);
     iq_[static_cast<std::size_t>(iq_slot)].inst = inst->self;
     iq_[static_cast<std::size_t>(iq_slot)].ptr = inst;
     ++iq_occupancy_;
     inst->age = dispatch_age_++;
     inst->dispatched = true;
-    inst->dispatch_cycle = cycle_;
+    cold(inst).dispatch_cycle = cycle_;
     if (trailing_packet_member) {
       ++iq_trailing_unissued_;
       iq_trailing_packet_id_ = inst->packet_id;
@@ -790,25 +811,32 @@ bool Core::rename_and_dispatch(Context& ctx, DynInst* inst) {
 
   // Decode stage: this is where the frontend-way decoder fault bites. The
   // decoded (possibly corrupted) form drives rename and execution. A clean
-  // decode lane reproduces the fetch-time predecode bit-for-bit, so the
-  // decoder only re-runs when the fault hook actually flipped something.
+  // decode lane keeps the fetch-time predecode entry, so the decoder only
+  // re-runs (via the intern table) when the fault hook actually flipped
+  // something.
   const std::uint32_t raw = injector_->on_decode(inst->raw, inst->frontend_way);
-  inst->inst = raw == inst->raw ? inst->predecode : decode(raw);
-  inst->fu = inst->inst.fu();
-  const bool is_mem = inst->inst.is_mem();
-  const bool writes = inst->inst.writes_reg();
+  if (raw != inst->raw) inst->dec = decode_table_.intern(raw);
+  const DecodedInst& d = inst->di();
+  inst->fu = d.fu();
+  const bool is_mem = d.is_mem();
+  const bool writes = d.writes_reg();
 
   const bool bj_trailing = uses_dtq() && inst->is_trailing();
+  // The leading LSQ order borrowed through the DTQ (cold sidecar; read once
+  // per dispatch attempt, used again at window insertion below).
+  std::uint64_t virt_lsq_index = 0;
   if (bj_trailing) {
+    if (inst->has_lsq_slot) virt_lsq_index = cold(inst).virt_lsq_index;
     // Virtual -> physical window translation (Section 4.3.1): the virtual
-    // index must fit within the window relative to the current head.
-    if (inst->virt_al_index >=
+    // index must fit within the window relative to the current head. The
+    // trailing seq IS the virtual active-list index.
+    if (inst->seq >=
         ctx.al_head_virt + static_cast<std::uint64_t>(
                                params_.active_list_entries)) {
       return false;
     }
     if (inst->has_lsq_slot &&
-        inst->virt_lsq_index >=
+        virt_lsq_index >=
             ctx.lsq_head_virt + static_cast<std::uint64_t>(
                                     params_.lsq_entries)) {
       return false;
@@ -825,54 +853,58 @@ bool Core::rename_and_dispatch(Context& ctx, DynInst* inst) {
       return false;
     }
   }
-  if (writes && free_list(inst->inst.dst.cls).empty()) return false;
+  if (writes && free_list(d.dst.cls).empty()) return false;
 
   // Rename.
   if (bj_trailing) {
     // Double rename: inputs are the leading thread's physical registers.
-    auto map_src = [&](const RegRef& src, int lead_phys) -> int {
+    auto map_src = [&](const RegRef& src, int lead_phys) -> std::int16_t {
       if (!src.valid()) return kNoPhysReg;
       if (src.cls == RegClass::kInt && src.idx == kZeroReg) return kNoPhysReg;
       if (lead_phys == kNoPhysReg) return kNoPhysReg;
-      return ctx.lead_phys_map->get(src.cls, lead_phys);
+      return static_cast<std::int16_t>(
+          ctx.lead_phys_map->get(src.cls, lead_phys));
     };
-    inst->src1_phys = map_src(inst->inst.src1, inst->lead_src1_phys);
-    inst->src2_phys = map_src(inst->inst.src2, inst->lead_src2_phys);
+    inst->src1_phys = map_src(d.src1, inst->lead_src1_phys);
+    inst->src2_phys = map_src(d.src2, inst->lead_src2_phys);
     if (writes) {
-      inst->dst_phys = free_list(inst->inst.dst.cls).allocate();
+      inst->dst_phys =
+          static_cast<std::int16_t>(free_list(d.dst.cls).allocate());
       // Not ready until the producer issues (clears any stale readiness from
       // the register's previous lifetime).
-      regfile_.mark_busy(inst->inst.dst.cls, inst->dst_phys);
+      regfile_.mark_busy(d.dst.cls, inst->dst_phys);
       // The previous trailing mapping is NOT freed here: freeing happens in
       // program order through the second rename table at trailing commit.
       if (inst->lead_dst_phys != kNoPhysReg) {
-        ctx.lead_phys_map->at(inst->inst.dst.cls, inst->lead_dst_phys) =
+        ctx.lead_phys_map->at(d.dst.cls, inst->lead_dst_phys) =
             inst->dst_phys;
       }
     }
   } else {
-    auto map_src = [&](const RegRef& src) -> int {
+    auto map_src = [&](const RegRef& src) -> std::int16_t {
       if (!src.valid()) return kNoPhysReg;
       if (src.cls == RegClass::kInt && src.idx == kZeroReg) return kNoPhysReg;
-      return ctx.map.get(src.cls, src.idx);
+      return static_cast<std::int16_t>(ctx.map.get(src.cls, src.idx));
     };
-    inst->src1_phys = map_src(inst->inst.src1);
-    inst->src2_phys = map_src(inst->inst.src2);
+    inst->src1_phys = map_src(d.src1);
+    inst->src2_phys = map_src(d.src2);
     if (writes) {
-      inst->prev_dst_phys = ctx.map.get(inst->inst.dst.cls, inst->inst.dst.idx);
-      inst->dst_phys = free_list(inst->inst.dst.cls).allocate();
-      regfile_.mark_busy(inst->inst.dst.cls, inst->dst_phys);
-      ctx.map.at(inst->inst.dst.cls, inst->inst.dst.idx) = inst->dst_phys;
+      inst->prev_dst_phys =
+          static_cast<std::int16_t>(ctx.map.get(d.dst.cls, d.dst.idx));
+      inst->dst_phys =
+          static_cast<std::int16_t>(free_list(d.dst.cls).allocate());
+      regfile_.mark_busy(d.dst.cls, inst->dst_phys);
+      ctx.map.at(d.dst.cls, d.dst.idx) = inst->dst_phys;
     }
   }
 
   // Window insertion.
   if (bj_trailing) {
-    ctx.al_window[static_cast<std::size_t>(inst->virt_al_index) &
+    ctx.al_window[static_cast<std::size_t>(inst->seq) &
                   ctx.al_window_mask] = inst->self;
     ++ctx.al_window_count;
     if (inst->has_lsq_slot) {
-      ctx.lsq_window[static_cast<std::size_t>(inst->virt_lsq_index) &
+      ctx.lsq_window[static_cast<std::size_t>(virt_lsq_index) &
                      ctx.lsq_window_mask] = inst->self;
       ++ctx.lsq_window_count;
     }
@@ -881,7 +913,7 @@ bool Core::rename_and_dispatch(Context& ctx, DynInst* inst) {
     if (is_mem) {
       ctx.lsq.push_back(inst->self);
       // Mirror stores into the store-only ring the load paths scan.
-      if (inst->inst.is_store()) ctx.lsq_stores.push_back(inst->self);
+      if (d.is_store()) ctx.lsq_stores.push_back(inst->self);
     }
   }
 
@@ -908,7 +940,7 @@ void Core::dump_state(std::ostream& os) const {
     if (!ctx.frontend_q.empty()) {
       const DynInst* h = &pool_.get(ctx.frontend_q.front());
       os << "  frontend head: seq=" << h->seq << " pc=" << h->pc << " "
-         << disassemble(h->predecode) << (h->is_shuffle_nop ? " [nop]" : "")
+         << disassemble(h->di()) << (h->is_shuffle_nop ? " [nop]" : "")
          << " packet=" << h->packet_id << "\n";
     }
     InstRef head;
@@ -921,7 +953,7 @@ void Core::dump_state(std::ostream& os) const {
     if (head) {
       const DynInst* h = &pool_.get(head);
       os << "  al head: seq=" << h->seq << " pc=" << h->pc << " "
-         << disassemble(h->inst) << " issued=" << h->issued
+         << disassemble(h->di()) << " issued=" << h->issued
          << " completed=" << h->completed << " iq=" << h->iq_entry << "\n";
     }
   }
@@ -932,7 +964,7 @@ void Core::dump_state(std::ostream& os) const {
     if (!iq_[i].inst) continue;
     const DynInst* in = &pool_.get(iq_[i].inst);
     os << "  iq[" << i << "] tid=" << tid_index(in->tid) << " seq=" << in->seq
-       << " pc=" << in->pc << " " << disassemble(in->inst)
+       << " pc=" << in->pc << " " << disassemble(in->di())
        << (in->is_shuffle_nop ? " [nop]" : "") << " packet=" << in->packet_id
        << " src1=" << in->src1_phys << " src2=" << in->src2_phys
        << " issued=" << in->issued << "\n";

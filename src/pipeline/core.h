@@ -33,6 +33,7 @@
 #include "fault/coverage.h"
 #include "fault/fault_model.h"
 #include "mem/cache.h"
+#include "pipeline/decode_table.h"
 #include "pipeline/inst_pool.h"
 #include "pipeline/params.h"
 #include "pipeline/regfile.h"
@@ -339,6 +340,11 @@ class Core {
   // Instruction arena: every in-flight DynInst lives here; queues hold
   // InstRefs. Declared before the queues so it outlives them on teardown.
   InstPool pool_;
+  // Shared interned decodes (DynInst::dec points in here); declared next to
+  // the pool so every holder of a dec pointer is outlived by the table.
+  DecodeTable decode_table_;
+  // Cold-sidecar access for an instruction known live (checked handle).
+  DynInstCold& cold(const DynInst* inst) { return pool_.cold(inst->self); }
   // Single SoA register file spanning both classes (int rows, then fp).
   PhysRegFile regfile_;
   FreeList int_free_;

@@ -15,38 +15,42 @@ namespace bj {
 
 void Core::trace_commit(const DynInst* inst, char tag) {
   if (trace_ == nullptr) return;
+  const DynInstCold& c = cold(inst);
   *trace_ << tag << " seq=" << inst->seq << " pc=" << inst->pc
-          << " fe=" << inst->frontend_way << " be=" << inst->backend_way
-          << " fetch=" << inst->fetch_cycle
-          << " dispatch=" << inst->dispatch_cycle
-          << " issue=" << inst->issue_cycle
-          << " done=" << inst->complete_cycle << " commit=" << cycle_ << "  "
-          << disassemble(inst->inst) << '\n';
+          << " fe=" << static_cast<int>(inst->frontend_way)
+          << " be=" << static_cast<int>(inst->backend_way)
+          << " fetch=" << c.fetch_cycle
+          << " dispatch=" << c.dispatch_cycle
+          << " issue=" << c.issue_cycle
+          << " done=" << c.complete_cycle << " commit=" << cycle_ << "  "
+          << disassemble(inst->di()) << '\n';
 }
 
 void Core::trace_end(const DynInst* inst, TraceEndKind end,
                      SquashCause cause) {
   TraceRecord rec;
+  const DynInstCold& c = cold(inst);
   rec.seq = inst->seq;
   rec.pc = inst->pc;
   rec.packet_id = inst->packet_id;
-  rec.fetch_cycle = inst->fetch_cycle;
-  rec.dispatch_cycle = inst->dispatched ? inst->dispatch_cycle : kNoCycle;
-  rec.issue_cycle = inst->issued ? inst->issue_cycle : kNoCycle;
-  rec.complete_cycle = inst->completed ? inst->complete_cycle : kNoCycle;
+  rec.fetch_cycle = c.fetch_cycle;
+  rec.dispatch_cycle = inst->dispatched ? c.dispatch_cycle : kNoCycle;
+  rec.issue_cycle = inst->issued ? c.issue_cycle : kNoCycle;
+  rec.complete_cycle = inst->completed ? c.complete_cycle : kNoCycle;
   rec.end_cycle = cycle_;
   rec.tid = static_cast<std::uint8_t>(tid_index(inst->tid));
-  rec.frontend_way = static_cast<std::int8_t>(inst->frontend_way);
-  rec.backend_way = static_cast<std::int8_t>(inst->backend_way);
+  rec.frontend_way = inst->frontend_way;
+  rec.backend_way = inst->backend_way;
   rec.end = end;
   rec.cause = cause;
   if (inst->is_shuffle_nop) {
     rec.set_label("shuffle-nop");
   } else {
-    // Squashed frontend work may not have decoded yet; the predecode is the
-    // fault-free decode of the same raw word.
-    rec.set_label(disassemble(inst->dispatched ? inst->inst
-                                               : inst->predecode));
+    // `dec` is the fetch-time predecode until dispatch repoints it to the
+    // effective decode, so this is the old dispatched?effective:predecode
+    // label in one read. (Squashed frontend work never decoded; its
+    // predecode is the fault-free decode of the same raw word.)
+    rec.set_label(disassemble(inst->di()));
   }
   tracer_->record(rec);
 }
@@ -82,23 +86,23 @@ void Core::check_against_oracle(const DynInst* inst) {
     oracle_violation_detail_ = detail.str();
     return;
   }
+  const DecodedInst& d = inst->di();
   bool ok = rec->pc == inst->pc;
   if (ok && rec->store.has_value()) {
-    ok = inst->inst.is_store() && rec->store->first == inst->mem_addr &&
+    ok = d.is_store() && rec->store->first == inst->mem_addr &&
          rec->store->second == inst->result;
   }
   if (ok && rec->load.has_value()) {
-    ok = inst->inst.is_load() && rec->load->first == inst->mem_addr &&
-         rec->load->second == inst->load_value;
+    ok = d.is_load() && rec->load->first == inst->mem_addr &&
+         rec->load->second == inst->result;
   }
   if (ok && rec->wrote_reg && !rec->inst.is_load()) {
     ok = inst->result == rec->dst_value;
   }
   if (ok && rec->inst.is_control()) {
-    const std::uint64_t next =
-        (inst->inst.valid && inst->inst.is_control() && inst->taken)
-            ? inst->target
-            : inst->pc + 1;
+    const std::uint64_t next = (d.valid && d.is_control() && inst->taken)
+                                   ? inst->target
+                                   : inst->pc + 1;
     ok = next == rec->next_pc;
   }
   if (!ok) {
@@ -125,12 +129,12 @@ void Core::commit_leading(Context& ctx) {
           // Per-mnemonic stall attribution: the key is built (and looked up)
           // once per opcode; later stall cycles bump through the cached slot.
           std::uint64_t*& op_slot =
-              ev_commit_stall_op_[static_cast<std::size_t>(head->inst.op)];
+              ev_commit_stall_op_[static_cast<std::size_t>(head->di().op)];
           if (op_slot == nullptr) {
             char key[48];
             const int len =
                 std::snprintf(key, sizeof key, "commit.head_not_issued.%s",
-                              traits(head->inst.op).mnemonic);
+                              traits(head->di().op).mnemonic);
             op_slot = &stats_.events.slot(
                 std::string_view(key, static_cast<std::size_t>(len)));
           }
@@ -140,14 +144,11 @@ void Core::commit_leading(Context& ctx) {
       break;
     }
 
-    const DecodedInst& d = head->inst;
+    const DecodedInst& d = head->di();
     if (redundant()) {
       if (d.is_store() && store_buffer_.full()) break;
       if (d.is_load() && lvq_.full()) break;
-      if (mode_ == Mode::kSrt && head->predecode.valid &&
-          head->predecode.is_control() && boq_.full()) {
-        break;
-      }
+      if (mode_ == Mode::kSrt && head->pre_ctrl && boq_.full()) break;
     }
 
     if (oracle_check_) check_against_oracle(head);
@@ -161,8 +162,7 @@ void Core::commit_leading(Context& ctx) {
       }
     }
     if (d.is_load() && redundant()) {
-      lvq_.push(
-          LvqEntry{ctx.committed_loads, head->mem_addr, head->load_value});
+      lvq_.push(LvqEntry{ctx.committed_loads, head->mem_addr, head->result});
       if constexpr (kUseWakeupLists) {
         // LVQ fill: trailing loads parked on a missing entry re-check.
         // Commit runs before issue, so they are selectable this same cycle —
@@ -170,8 +170,7 @@ void Core::commit_leading(Context& ctx) {
         wake_list(lvq_waiters_);
       }
     }
-    if (mode_ == Mode::kSrt && head->predecode.valid &&
-        head->predecode.is_control()) {
+    if (mode_ == Mode::kSrt && head->pre_ctrl) {
       const bool taken = d.valid && d.is_control() && head->taken;
       boq_.push(BranchOutcome{head->pc, ctx.committed_ctrl, taken,
                               taken ? head->target : head->pc + 1});
@@ -195,9 +194,7 @@ void Core::commit_leading(Context& ctx) {
     }
 
     ++ctx.committed;
-    if (head->predecode.valid && head->predecode.is_control()) {
-      ++ctx.committed_ctrl;
-    }
+    if (head->pre_ctrl) ++ctx.committed_ctrl;
     if (d.is_load()) ++ctx.committed_loads;
     if (d.is_store()) ++ctx.committed_stores;
     if (d.is_mem()) {
@@ -235,7 +232,7 @@ void Core::commit_trailing_srt(Context& ctx) {
     DynInst* head = &pool_.get(head_ref);
     if (!head->completed) break;
 
-    const DecodedInst& d = head->inst;
+    const DecodedInst& d = head->di();
 
     if (d.is_store()) {
       StoreBufferEntry released;
@@ -273,7 +270,7 @@ void Core::commit_trailing_srt(Context& ctx) {
         return;
       }
     }
-    if (head->predecode.valid && head->predecode.is_control()) {
+    if (head->pre_ctrl) {
       if (boq_.empty()) {
         record_detection(DetectionKind::kBranchOutcomeMismatch, head->pc,
                          head->seq);
@@ -305,9 +302,7 @@ void Core::commit_trailing_srt(Context& ctx) {
     }
 
     ++ctx.committed;
-    if (head->predecode.valid && head->predecode.is_control()) {
-      ++ctx.committed_ctrl;
-    }
+    if (head->pre_ctrl) ++ctx.committed_ctrl;
     if (d.is_load()) ++ctx.committed_loads;
     if (d.is_store()) ++ctx.committed_stores;
     if (d.is_mem()) {
@@ -347,7 +342,7 @@ void Core::commit_trailing_blackjack(Context& ctx) {
     DynInst* head = &pool_.get(head_ref);
     if (!head->completed) break;
 
-    const DecodedInst& d = head->inst;
+    const DecodedInst& d = head->di();
 
     // Dependence check through the second rename table (Section 4.4).
     const DependenceCheckResult dep = second_rename_.commit(

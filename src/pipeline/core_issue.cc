@@ -54,22 +54,23 @@ bool Core::lsq_older_stores_ready(Context& ctx, const DynInst* load) {
 bool Core::ready_to_issue(DynInst* inst) {
   if (inst->issued || inst->squashed) return false;
   if (inst->is_shuffle_nop) return true;
+  const DecodedInst& d = inst->di();
 
-  if (!operand_ready(inst->inst.src1.cls, inst->src1_phys)) return false;
-  if (inst->inst.is_store()) {
+  if (!operand_ready(d.src1.cls, inst->src1_phys)) return false;
+  if (d.is_store()) {
     // Stores issue for address generation as soon as the base register is
     // ready; the data operand only needs its producer to have *issued*
     // (value captured at completion, which waits for the data's ready time).
     // This keeps younger loads from serializing behind store dataflow.
     if (inst->src2_phys != kNoPhysReg &&
-        regfile_.ready_at(inst->inst.src2.cls, inst->src2_phys) == ~0ull) {
+        regfile_.ready_at(d.src2.cls, inst->src2_phys) == ~0ull) {
       return false;
     }
-  } else if (!operand_ready(inst->inst.src2.cls, inst->src2_phys)) {
+  } else if (!operand_ready(d.src2.cls, inst->src2_phys)) {
     return false;
   }
 
-  if (inst->inst.is_load()) {
+  if (d.is_load()) {
     if (redundant() && inst->is_trailing()) {
       // Trailing loads read the LVQ; the entry must exist (it does once the
       // leading copy committed, which gates trailing fetch — but a faulty
@@ -129,27 +130,25 @@ void Core::subscribe_waiter(DynInst* inst) {
     enqueue_ready(inst);
     return;
   }
-  if (!operand_ready(inst->inst.src1.cls, inst->src1_phys)) {
-    regfile_.waiters(inst->inst.src1.cls, inst->src1_phys)
-        .push_back(inst->self);
+  const DecodedInst& d = inst->di();
+  if (!operand_ready(d.src1.cls, inst->src1_phys)) {
+    regfile_.waiters(d.src1.cls, inst->src1_phys).push_back(inst->self);
     return;
   }
-  if (inst->inst.is_store()) {
+  if (d.is_store()) {
     // Store-data waiters key on the producer's *issue* event (the ~0ull
     // ready_at sentinel clearing), not its writeback: execute_inst() fires
     // the register's list from write_dst for exactly this case.
     if (inst->src2_phys != kNoPhysReg &&
-        regfile_.ready_at(inst->inst.src2.cls, inst->src2_phys) == ~0ull) {
-      regfile_.waiters(inst->inst.src2.cls, inst->src2_phys)
-          .push_back(inst->self);
+        regfile_.ready_at(d.src2.cls, inst->src2_phys) == ~0ull) {
+      regfile_.waiters(d.src2.cls, inst->src2_phys).push_back(inst->self);
       return;
     }
-  } else if (!operand_ready(inst->inst.src2.cls, inst->src2_phys)) {
-    regfile_.waiters(inst->inst.src2.cls, inst->src2_phys)
-        .push_back(inst->self);
+  } else if (!operand_ready(d.src2.cls, inst->src2_phys)) {
+    regfile_.waiters(d.src2.cls, inst->src2_phys).push_back(inst->self);
     return;
   }
-  if (inst->inst.is_load()) {
+  if (d.is_load()) {
     if (redundant() && inst->is_trailing()) {
       if (!lvq_.lookup(inst->mem_ordinal).has_value()) {
         lvq_waiters_.push_back(inst->self);
@@ -224,7 +223,7 @@ void Core::schedule_completion(DynInst* inst, std::uint64_t at_cycle) {
 // Returns false only for leading loads that could not get an MSHR.
 void Core::execute_inst(DynInst* inst) {
   inst->issued = true;
-  inst->issue_cycle = cycle_;
+  cold(inst).issue_cycle = cycle_;
   ++stats_.instructions_issued;
 
   if (inst->is_shuffle_nop) return;  // occupies the way; nothing else
@@ -232,11 +231,18 @@ void Core::execute_inst(DynInst* inst) {
   // Issue-queue payload RAM fault: the immediate payload is read out of the
   // entry the instruction occupied. With separate per-thread payload RAMs
   // (the paper's fix) the injected fault lives in the leading thread's RAM.
+  // A mutated immediate is cloned into the instruction's private cold-side
+  // decode — the shared DecodeTable entry is never written. (Self-assignment
+  // on an MSHR re-issue whose first attempt already cloned is benign.)
   if (injector_->armed() &&
       (!params_.separate_payload_rams || !inst->is_trailing())) {
-    const std::int64_t before = inst->inst.imm;
-    inst->inst.imm = injector_->on_payload(inst->inst.imm, inst->iq_entry);
-    if (inst->inst.imm != before) {
+    const std::int64_t before = inst->di().imm;
+    const std::int64_t after = injector_->on_payload(before, inst->iq_entry);
+    if (after != before) {
+      DynInstCold& c = cold(inst);
+      c.faulted_decode = inst->di();
+      c.faulted_decode.imm = after;
+      inst->dec = &c.faulted_decode;
       // Track whether both copies of the same dynamic instruction read the
       // corrupted entry — the Section 4.5 vulnerability that makes the
       // corruption invisible to every check.
@@ -244,19 +250,18 @@ void Core::execute_inst(DynInst* inst) {
         ++stats_.payload_corrupted_leading;
         payload_corrupted_lead_seqs_.insert(inst->seq);
       } else if (uses_dtq() &&
-                 payload_corrupted_lead_seqs_.count(inst->lead_seq) > 0) {
+                 payload_corrupted_lead_seqs_.count(cold(inst).lead_seq) > 0) {
         ++stats_.payload_corrupted_both;
       }
     }
   }
 
-  inst->src1_val = operand_value(inst->inst.src1.cls, inst->src1_phys);
-  inst->src2_val = operand_value(inst->inst.src2.cls, inst->src2_phys);
+  const DecodedInst& d = inst->di();
+  inst->src1_val = operand_value(d.src1.cls, inst->src1_phys);
+  inst->src2_val = operand_value(d.src2.cls, inst->src2_phys);
 
-  ExecOutcome out = eval(inst->inst, inst->src1_val, inst->src2_val, inst->pc);
-  injector_->on_execute(out, inst->inst, inst->fu, inst->backend_way);
-
-  const DecodedInst& d = inst->inst;
+  ExecOutcome out = eval(d, inst->src1_val, inst->src2_val, inst->pc);
+  injector_->on_execute(out, d, inst->fu, inst->backend_way);
   auto write_dst = [&](std::uint64_t value, std::uint64_t ready_at) {
     if (inst->dst_phys == kNoPhysReg) return;
     regfile_.set_value(d.dst.cls, inst->dst_phys, value);
@@ -284,7 +289,7 @@ void Core::execute_inst(DynInst* inst) {
         record_detection(DetectionKind::kLoadAddressMismatch, inst->pc,
                          inst->seq);
       }
-      inst->load_value = entry->value;
+      inst->result = entry->value;
       // The LVQ is a small dedicated RAM, not the cache hierarchy: single-
       // cycle access. This is what lets the trailing thread drain packets as
       // fast as they arrive instead of backing up in the issue queue.
@@ -292,8 +297,8 @@ void Core::execute_inst(DynInst* inst) {
     } else {
       const std::optional<std::uint64_t> value = leading_load_value(inst);
       if (value.has_value()) {
-        inst->load_value = *value;
-        inst->load_forwarded = true;
+        inst->result = *value;
+        cold(inst).load_forwarded = true;
         latency = 1;
       } else {
         const std::uint64_t done = hierarchy_.load(inst->mem_addr, cycle_);
@@ -306,12 +311,11 @@ void Core::execute_inst(DynInst* inst) {
           --stats_.instructions_issued;
           return;
         }
-        inst->load_value = data_mem_.load(inst->mem_addr);
+        inst->result = data_mem_.load(inst->mem_addr);
         latency = done - cycle_;
       }
     }
-    inst->result = inst->load_value;
-    write_dst(inst->load_value, cycle_ + latency);
+    write_dst(inst->result, cycle_ + latency);
     schedule_completion(inst, cycle_ + latency);
     return;
   }
@@ -640,20 +644,19 @@ void Core::writeback() {
     DynInst* inst = pool_.try_get(ref);
     if (inst == nullptr || inst->squashed) continue;
     inst->completed = true;
-    inst->complete_cycle = cycle_;
+    cold(inst).complete_cycle = cycle_;
     if (inst->dst_phys != kNoPhysReg) {
       // The producer's result is architecturally visible from this cycle on:
       // publish the wakeup bit the issue stage scans.
-      regfile_.mark_ready(inst->inst.dst.cls, inst->dst_phys);
+      regfile_.mark_ready(inst->di().dst.cls, inst->dst_phys);
       if constexpr (kUseWakeupLists) {
         // Writeback event: consumers parked on this register move to the
         // ready pool and are selectable this same cycle (writeback runs
         // before issue), matching the legacy scan's visibility.
-        wake_reg_waiters(inst->inst.dst.cls, inst->dst_phys);
+        wake_reg_waiters(inst->di().dst.cls, inst->dst_phys);
       }
     }
-    if (!inst->is_trailing() && inst->predecode.valid &&
-        inst->predecode.is_control()) {
+    if (!inst->is_trailing() && inst->pre_ctrl) {
       resolve_leading_branch(inst);
     }
   }
@@ -664,12 +667,17 @@ void Core::resolve_leading_branch(DynInst* inst) {
   // Effective behaviour: the executed (possibly fault-corrupted) decode
   // decides direction and target; a corrupted non-control decode falls
   // through.
-  const bool is_ctrl = inst->inst.valid && inst->inst.is_control();
+  const DecodedInst& d = inst->di();
+  const bool is_ctrl = d.valid && d.is_control();
   const bool taken = is_ctrl && inst->taken;
   const std::uint64_t target = taken ? inst->target : inst->pc + 1;
 
-  predictor_.resolve(inst->pc, inst->predecode, inst->prediction, taken,
-                     target);
+  // The predictor trained on the fetch-time predecode of this pc, which the
+  // table reproduces exactly (dec may since have been repointed by the
+  // decode/payload fault hooks).
+  const DecodedInst& pre = *decode_table_.predecode(inst->pc);
+  const DynInstCold& c = cold(inst);
+  predictor_.resolve(inst->pc, pre, c.prediction, taken, target);
 
   const bool mispredicted =
       taken != inst->pred_taken || (taken && target != inst->pred_target);
@@ -677,8 +685,8 @@ void Core::resolve_leading_branch(DynInst* inst) {
 
   inst->mispredicted = true;
   ++stats_.branch_mispredicts;
-  if (inst->predecode.is_branch()) {
-    predictor_.restore_history(inst->prediction.ghr_snapshot, taken);
+  if (pre.is_branch()) {
+    predictor_.restore_history(c.prediction.ghr_snapshot, taken);
   }
   squash_leading_after(inst->seq, target);
 }
@@ -721,8 +729,9 @@ void Core::squash_leading_after(std::uint64_t branch_seq,
     }
     // Undo rename in reverse program order.
     if (inst.dst_phys != kNoPhysReg) {
-      ctx.map.at(inst.inst.dst.cls, inst.inst.dst.idx) = inst.prev_dst_phys;
-      free_list(inst.inst.dst.cls).release(inst.dst_phys);
+      const DecodedInst& d = inst.di();
+      ctx.map.at(d.dst.cls, d.dst.idx) = inst.prev_dst_phys;
+      free_list(d.dst.cls).release(inst.dst_phys);
     }
     if (inst.iq_entry >= 0 &&
         iq_[static_cast<std::size_t>(inst.iq_entry)].inst == ref) {

@@ -1,0 +1,75 @@
+// Per-Core shared decode table: one immutable DecodedInst per distinct raw
+// word, replacing the two inline DecodedInst copies every DynInst used to
+// carry (~48 of its ~350 bytes). Both threads' fetch paths resolve a pc to
+// the predecoded entry with one vector load; the dispatch-stage decode-lane
+// fault hook interns the corrupted word on the rare path where it actually
+// flips bits (decode() is a pure function, so corrupted decodes are as
+// shareable as clean ones).
+//
+// Entries live in a deque so their addresses are stable across growth —
+// DynInst::dec pointers stay valid for the lifetime of the Core. Entries
+// are never mutated after creation: a payload fault that needs a private
+// immediate clones into DynInstCold::faulted_decode instead (types.h).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "isa/program.h"
+
+namespace bj {
+
+class DecodeTable {
+ public:
+  explicit DecodeTable(const Program& program) {
+    nop_ = add(DecodedInst{.op = Opcode::kNop});
+    by_pc_.reserve(program.code.size());
+    for (const std::uint32_t word : program.code) {
+      by_pc_.push_back(intern(word));
+    }
+    // Program::fetch_raw() yields an encoded halt for out-of-range pcs
+    // (reachable through fault-corrupted jump targets).
+    oor_ = intern(encode(DecodedInst{.op = Opcode::kHalt}));
+  }
+
+  DecodeTable(const DecodeTable&) = delete;
+  DecodeTable& operator=(const DecodeTable&) = delete;
+
+  // Predecode of the word Program::fetch_raw(pc) returns — bit-identical to
+  // decode(fetch_raw(pc)), without re-running the decoder per fetch.
+  const DecodedInst* predecode(std::uint64_t pc) const {
+    return pc < by_pc_.size() ? by_pc_[pc] : oor_;
+  }
+
+  // Decoded entry for an arbitrary raw word (fault-corrupted encodings).
+  // Program words always hit; a genuinely new word decodes once.
+  const DecodedInst* intern(std::uint32_t raw) {
+    auto [it, inserted] = by_raw_.try_emplace(raw, nullptr);
+    if (inserted) it->second = add(decode(raw));
+    return it->second;
+  }
+
+  // Dedicated shuffle-NOP entry: constructed directly (not via decode) so it
+  // is bit-identical to the DecodedInst{.op = kNop} the trailing fetch used
+  // to materialize inline.
+  const DecodedInst* nop() const { return nop_; }
+
+  std::size_t distinct_entries() const { return entries_.size(); }
+
+ private:
+  const DecodedInst* add(const DecodedInst& d) {
+    entries_.push_back(d);
+    return &entries_.back();
+  }
+
+  std::deque<DecodedInst> entries_;  // stable storage
+  std::unordered_map<std::uint32_t, const DecodedInst*> by_raw_;
+  std::vector<const DecodedInst*> by_pc_;  // O(1) fetch-path lookup
+  const DecodedInst* nop_ = nullptr;
+  const DecodedInst* oor_ = nullptr;
+};
+
+}  // namespace bj

@@ -12,6 +12,12 @@
 //     (completion wheel entries for squashed work) goes stale instead of
 //     aliasing the recycled slot. get() BJ_CHECKs liveness; try_get() returns
 //     nullptr for stale refs so the writeback drain can skip them.
+//   * Each hot slot has a parallel DynInstCold at the same index (cold()).
+//     Cold slots are deliberately NOT reset on allocate — the reset memset
+//     was the top arena cost — so every cold field must be written before it
+//     is read; the per-field guards are documented on DynInstCold. cold()
+//     BJ_CHECKs the handle exactly like get(): a stale ref aborts rather
+//     than silently reading a recycled instruction's provenance.
 #pragma once
 
 #include <cstddef>
@@ -63,6 +69,17 @@ class InstPool {
     return *const_cast<InstPool*>(this)->checked_slot(ref);
   }
 
+  // Cold sidecar of the same slot. The liveness check is identical to
+  // get()'s: trace/provenance reads through a stale handle abort instead of
+  // aliasing the recycled slot's cold state.
+  DynInstCold& cold(InstRef ref) {
+    checked_slot(ref);
+    return cold_base_[ref.index >> kChunkShift][ref.index & kChunkMask];
+  }
+  const DynInstCold& cold(InstRef ref) const {
+    return const_cast<InstPool*>(this)->cold(ref);
+  }
+
   // nullptr for stale/never-valid refs (squashed work drained later from the
   // completion wheel resolves through here).
   DynInst* try_get(InstRef ref) {
@@ -96,8 +113,10 @@ class InstPool {
 
   void grow() {
     chunks_.push_back(std::make_unique<DynInst[]>(kChunkSize));
+    cold_chunks_.push_back(std::make_unique<DynInstCold[]>(kChunkSize));
     DynInst* base = chunks_.back().get();
     chunk_base_.push_back(base);
+    cold_base_.push_back(cold_chunks_.back().get());
     const std::uint32_t first = size_;
     size_ += kChunkSize;
     // Push in reverse so the lowest index comes off the LIFO free list first.
@@ -108,9 +127,12 @@ class InstPool {
   }
 
   // Chunked slabs keep slot addresses stable across growth; chunk_base_
-  // keeps the hot deref to one small-vector load plus an offset add.
+  // keeps the hot deref to one small-vector load plus an offset add. The
+  // cold chunks are parallel arrays at the same indices.
   std::vector<std::unique_ptr<DynInst[]>> chunks_;
+  std::vector<std::unique_ptr<DynInstCold[]>> cold_chunks_;
   std::vector<DynInst*> chunk_base_;
+  std::vector<DynInstCold*> cold_base_;
   std::vector<std::uint32_t> free_;
   std::uint32_t size_ = 0;
   std::size_t in_use_ = 0;

@@ -1,10 +1,20 @@
 // In-flight instruction record and supporting pipeline types.
+//
+// DynInst is split hot/cold: the 128-byte, two-cache-line DynInst below
+// carries everything the wakeup/select/execute/commit loops read, and a
+// parallel DynInstCold sidecar (same InstPool index) holds trace- and
+// provenance-only state. The decoded form is not stored inline: `dec`
+// points into the per-Core DecodeTable (decode_table.h), which interns one
+// immutable DecodedInst per distinct raw word. A fault that mutates the
+// decoded payload clones the entry into the instruction's private
+// `DynInstCold::faulted_decode` before repointing `dec` — shared table
+// entries are never written after creation.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "branch/predictor.h"
+#include "common/check.h"
 #include "isa/instruction.h"
 
 namespace bj {
@@ -49,92 +59,135 @@ struct InstRef {
   bool operator==(const InstRef&) const = default;
 };
 
-// One in-flight dynamic instruction. Lives in the per-Core InstPool slab and
-// is referenced simultaneously from the active list, issue queue, LSQ, and
-// function-unit pipelines via its `self` handle.
-struct DynInst {
+// Guards for counters stored narrowed in the 128-byte hot slot. Ordinals and
+// packet ids are unbounded u64 counters architecturally; 2^32 of either is
+// far beyond any configured run, and the check turns a silent wrap into an
+// abort.
+inline std::uint32_t narrow_u32(std::uint64_t v, const char* what) {
+  BJ_CHECK(v <= 0xffffffffull, what);
+  return static_cast<std::uint32_t>(v);
+}
+
+// One in-flight dynamic instruction — the HOT slot. Exactly two cache
+// lines, alignas(64) so an InstPool slot never straddles a third line:
+//   line 0: identity, decode pointer, rename state, wakeup flags — what
+//           dispatch/wakeup/select touch every cycle.
+//   line 1: values and control outcomes — what execute/writeback/commit
+//           touch once per instruction.
+// Everything read at most once per instruction and only by tracing,
+// branch-resolve, or provenance lives in DynInstCold.
+//
+// Field-width contracts (checked at Core construction or at the assignment
+// site): physical registers fit int16 (phys_*_regs <= 32767), way indices
+// fit int8 (fetch_width and per-class FU counts <= 127), iq_entry fits
+// int16, and mem_ordinal/packet ids fit u32 (narrow_u32 at the fetch
+// sites).
+struct alignas(64) DynInst {
+  // --- line 0: dispatch/wakeup/select ------------------------------------
   // Arena identity — set by InstPool::allocate(), never by pipeline code.
   InstRef self;
-
-  // Identity / ordering.
-  ThreadId tid = ThreadId::kLeading;
-  std::uint64_t seq = 0;         // per-context program-order sequence
-  std::uint64_t age = 0;         // global dispatch order (issue priority)
-  std::uint64_t pc = 0;
-  std::uint32_t raw = 0;         // undecoded word
-  DecodedInst inst;              // post-decode (fault hooks applied)
-  DecodedInst predecode;         // fault-free decode used by fetch steering
-
-  // Pipeline resource usage.
-  int frontend_way = -1;
-  int backend_way = -1;          // way index within the FU class; -1 pre-issue
-  FuClass fu = FuClass::kIntAlu;
-  int iq_entry = -1;
+  // Effective decoded form. At fetch this is the DecodeTable's predecode of
+  // `raw`; dispatch repoints it to the interned decode of the (possibly
+  // fault-corrupted) post-decode-hook word; a payload fault repoints it to
+  // the private cold-sidecar clone. Never null after fetch.
+  const DecodedInst* dec = nullptr;
+  std::uint64_t seq = 0;  // per-context program order; for the BlackJack
+                          // trailing thread this IS the virtual active-list
+                          // index borrowed through the DTQ
+  std::uint64_t age = 0;  // global dispatch order (issue priority)
+  // Rename (int16, see width contract above).
+  std::int16_t src1_phys = -1;
+  std::int16_t src2_phys = -1;
+  std::int16_t dst_phys = -1;
+  std::int16_t prev_dst_phys = -1;  // leading/SRT: freed at commit
+  // BlackJack double rename inputs (leading physical registers).
+  std::int16_t lead_src1_phys = -1;
+  std::int16_t lead_src2_phys = -1;
+  std::int16_t lead_dst_phys = -1;
+  std::int16_t iq_entry = -1;
+  std::uint32_t raw = 0;          // undecoded word
+  std::uint32_t mem_ordinal = 0;  // n-th load or n-th store of the thread
+                                  // (trailing only; hot: the LVQ lookup in
+                                  // ready_to_issue keys on it)
+  // Status flags.
+  bool dispatched : 1 = false;
+  bool issued : 1 = false;
+  bool completed : 1 = false;
+  bool squashed : 1 = false;
   // True while this instruction has an entry in the issue stage's ready
   // pool (wakeup-list select). Dedupes pool insertion: an instruction is
   // either parked on exactly one waiter list or pooled, never both.
-  bool in_ready_pool = false;
-
+  bool in_ready_pool : 1 = false;
   // Shuffle-NOPs are trailing micro-ops that occupy ways but have no
   // architectural effect and never commit.
-  bool is_shuffle_nop = false;
+  bool is_shuffle_nop : 1 = false;
+  bool addr_ready : 1 = false;
+  bool has_lsq_slot : 1 = false;
+  bool pred_taken : 1 = false;
+  bool taken : 1 = false;
+  bool mispredicted : 1 = false;
+  // Predecode was valid && is_control() — the fetch-steering view, cached
+  // as a flag so writeback/commit never re-derive the predecode.
+  bool pre_ctrl : 1 = false;
+  ThreadId tid = ThreadId::kLeading;
+  FuClass fu = FuClass::kIntAlu;
+  // Way indices (int8; -1 = not assigned yet).
+  std::int8_t frontend_way = -1;
+  std::int8_t backend_way = -1;
+  std::int8_t lead_frontend_way = -1;
+  std::int8_t lead_backend_way = -1;
 
-  // Rename.
-  int src1_phys = -1;
-  int src2_phys = -1;
-  int dst_phys = -1;
-  int prev_dst_phys = -1;        // leading/SRT: previous mapping, freed at commit
-
-  // Values (bit patterns).
+  // --- line 1: execute/writeback/commit -----------------------------------
+  std::uint64_t pc = 0;
   std::uint64_t src1_val = 0;
   std::uint64_t src2_val = 0;
-  std::uint64_t result = 0;
+  std::uint64_t result = 0;  // ALU value / store data / loaded value
+  std::uint64_t mem_addr = 0;
+  std::uint64_t pred_target = 0;
+  std::uint64_t target = 0;
+  // Trailing packet identity (u32, see width contract above).
+  std::uint32_t packet_id = 0;
+  std::uint32_t origin_packet_id = 0;  // split siblings share an origin
 
-  // Status.
-  bool dispatched = false;
-  bool issued = false;
-  bool completed = false;
-  bool squashed = false;
+  const DecodedInst& di() const { return *dec; }
+  bool is_trailing() const { return tid == ThreadId::kTrailing; }
+};
 
-  // Timing.
+// The hot slot must stay within two cache lines — the whole point of the
+// hot/cold split. Grow DynInstCold instead.
+using DynInstHot = DynInst;
+static_assert(sizeof(DynInstHot) <= 128,
+              "DynInst hot slot exceeds two cache lines; move the new field "
+              "into DynInstCold");
+static_assert(alignof(DynInstHot) >= 8, "hot slot alignment");
+
+// Cold sidecar, indexed by the same InstPool slot as the hot DynInst.
+// NOT reset on allocate (that memset was the top arena cost): every field
+// is written before it can be read, guarded by a hot-slot flag or path —
+//   * fetch_cycle: written unconditionally in make_inst().
+//   * dispatch/issue/complete_cycle: read only under the dispatched /
+//     issued / completed flags, which are set at the same site that writes
+//     the cycle.
+//   * prediction: written at leading fetch of a pre_ctrl instruction; read
+//     only at leading-branch resolve, which is gated on pre_ctrl.
+//   * lead_seq, virt_lsq_index: written at BlackJack trailing fetch; read
+//     only on BlackJack trailing paths.
+//   * faulted_decode: written before `dec` is repointed at it.
+//   * load_forwarded: provenance-only, written on the forward path.
+struct DynInstCold {
+  // Timing (pipeline trace / tracer only).
   std::uint64_t fetch_cycle = 0;
   std::uint64_t dispatch_cycle = 0;
   std::uint64_t issue_cycle = 0;
   std::uint64_t complete_cycle = 0;
-
-  // Memory.
-  std::uint64_t mem_addr = 0;
-  bool addr_ready = false;
-  std::uint64_t mem_ordinal = 0;   // n-th load or n-th store of the thread
-  std::uint64_t load_value = 0;
+  // Trailing bookkeeping read at most once per instruction.
+  std::uint64_t lead_seq = 0;        // the leading copy's sequence number
+  std::uint64_t virt_lsq_index = 0;  // leading LSQ order through the DTQ
+  BranchPrediction prediction;       // leading control only
+  // Private decoded entry, populated only when a payload fault actually
+  // mutates the immediate (the shared DecodeTable entry stays pristine).
+  DecodedInst faulted_decode;
   bool load_forwarded = false;
-
-  // Control.
-  bool pred_taken = false;
-  std::uint64_t pred_target = 0;
-  BranchPrediction prediction;     // leading only
-  bool taken = false;
-  std::uint64_t target = 0;
-  bool mispredicted = false;
-  std::uint64_t ctrl_ordinal = 0;  // n-th control instruction (BOQ pairing)
-
-  // Trailing bookkeeping: packet identity and the leading copy's resources.
-  std::uint64_t packet_id = 0;
-  std::uint64_t origin_packet_id = 0;
-  std::uint64_t lead_seq = 0;  // the leading copy's sequence number
-  int slot_in_packet = -1;
-  int lead_frontend_way = -1;
-  int lead_backend_way = -1;
-  // BlackJack double rename inputs (leading physical registers).
-  int lead_src1_phys = -1;
-  int lead_src2_phys = -1;
-  int lead_dst_phys = -1;
-  // Leading program order borrowed through the DTQ.
-  std::uint64_t virt_al_index = 0;
-  std::uint64_t virt_lsq_index = 0;
-  bool has_lsq_slot = false;
-
-  bool is_trailing() const { return tid == ThreadId::kTrailing; }
 };
 
 }  // namespace bj

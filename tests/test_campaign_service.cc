@@ -257,6 +257,52 @@ TEST(CanonicalRecords, ParserRejectsTamperedRecords) {
                                       &index, &run));
 }
 
+TEST(CanonicalRecords, CycleZeroProvenanceIsNotNeverHappened) {
+  // A fault that bit on the very first cycle serializes its timestamps as 0.
+  // The record must still parse back as activated/corrupted — the field's
+  // presence, not its value, carries the boolean — and a genuinely
+  // never-activated record must stay distinguishable from it.
+  const Program program = service_program();
+  const CampaignConfig config = hard_config();
+  const std::vector<HardFault> labels = campaign_fault_labels(config);
+
+  FaultRun zero;
+  zero.fault = labels[0];
+  zero.outcome = FaultOutcome::kSdc;
+  zero.activations = 2;
+  zero.corrupt_stores_released = 1;
+  zero.activated = true;
+  zero.first_activation_cycle = 0;  // legitimate cycle-0 activation
+  zero.corrupted = true;
+  zero.first_corruption_cycle = 0;
+  std::string line = canonical_jsonl_record(program.name, config, 0, zero);
+  line.pop_back();
+  EXPECT_NE(line.find("\"first_activation_cycle\":0"), std::string::npos);
+  EXPECT_NE(line.find("\"first_corruption_cycle\":0"), std::string::npos);
+
+  std::size_t index = 0;
+  FaultRun parsed;
+  ASSERT_TRUE(parse_canonical_record(line, config, labels, program.name,
+                                     &index, &parsed))
+      << line;
+  EXPECT_TRUE(parsed.activated);
+  EXPECT_EQ(parsed.first_activation_cycle, 0u);
+  EXPECT_TRUE(parsed.corrupted);
+  EXPECT_EQ(parsed.first_corruption_cycle, 0u);
+
+  FaultRun never;
+  never.fault = labels[0];
+  never.outcome = FaultOutcome::kBenign;
+  std::string benign = canonical_jsonl_record(program.name, config, 0, never);
+  benign.pop_back();
+  EXPECT_EQ(benign.find("first_activation_cycle"), std::string::npos);
+  EXPECT_EQ(benign.find("first_corruption_cycle"), std::string::npos);
+  ASSERT_TRUE(parse_canonical_record(benign, config, labels, program.name,
+                                     &index, &parsed));
+  EXPECT_FALSE(parsed.activated);
+  EXPECT_FALSE(parsed.corrupted);
+}
+
 // ---------------------------------------------------------------------------
 // Warm starts and resume.
 
@@ -674,6 +720,40 @@ TEST(MetricsHttp, ServesProducerTextOnMetricsPathOnly) {
 
   const std::string missing = http_get(server.port(), "/other");
   EXPECT_NE(missing.find("404"), std::string::npos);
+}
+
+TEST(MetricsHttp, SurvivesMidScrapeDisconnect) {
+  // A scraper that vanishes mid-response must not take the process down
+  // (write_all used to ::write() without MSG_NOSIGNAL, so the second write
+  // into a reset connection raised SIGPIPE) and must not wedge the serve
+  // loop. The body is several MB so the response cannot fit in the socket
+  // buffers: write_all is still mid-send when the client resets.
+  const std::string big(4u << 20, 'x');
+  MetricsHttpServer server(0, [&big] { return big; });
+  ASSERT_TRUE(server.ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  const std::string request = "GET /metrics HTTP/1.1\r\nHost: l\r\n\r\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  // Abortive close: SO_LINGER(0) sends RST, so the server's in-flight sends
+  // fail immediately instead of draining into a dead connection.
+  const linger reset{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &reset, sizeof(reset));
+  ::close(fd);
+
+  // The follow-up scrape proves the serve loop survived and still answers.
+  const std::string ok = http_get(server.port(), "/metrics");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_NE(ok.find(big), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,89 @@
+// Layout-regression tests for the hot/cold DynInst split (types.h).
+//
+// The tentpole invariant is structural, not behavioural: the hot slot must
+// stay within two 64-byte cache lines, hot slots in an InstPool chunk must
+// tile lines exactly (no slot straddles a third line), and line 1 must start
+// exactly at the second line so the dispatch/wakeup fields of line 0 never
+// share a line with the execute/commit values. types.h static_asserts the
+// size cap at compile time; these tests pin the rest and print the numbers
+// so a future field addition shows up as a reviewed diff, not silent bloat.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <iostream>
+
+#include "pipeline/inst_pool.h"
+#include "pipeline/types.h"
+
+namespace bj {
+namespace {
+
+constexpr std::size_t kLine = 64;
+
+TEST(DynInstLayout, HotSlotIsExactlyTwoAlignedCacheLines) {
+  // Printed (not just asserted) so the size budget is visible in test logs.
+  std::cout << "DynInst (hot):  sizeof=" << sizeof(DynInst)
+            << " alignof=" << alignof(DynInst) << "\n"
+            << "DynInstCold:    sizeof=" << sizeof(DynInstCold)
+            << " alignof=" << alignof(DynInstCold) << "\n";
+  EXPECT_LE(sizeof(DynInstHot), 2 * kLine);
+  // alignas(64) + whole-line size: an array of slots tiles cache lines with
+  // zero waste and no slot ever straddles into a neighbour's line.
+  EXPECT_EQ(alignof(DynInst), kLine);
+  EXPECT_EQ(sizeof(DynInst) % kLine, 0u);
+
+  // Line 0 = dispatch/wakeup/select, line 1 = execute/writeback/commit. The
+  // boundary field is pc; everything the wakeup loop reads sits below it.
+  EXPECT_EQ(offsetof(DynInst, pc), kLine);
+  EXPECT_LT(offsetof(DynInst, dec), kLine);
+  EXPECT_LT(offsetof(DynInst, seq), kLine);
+  EXPECT_LT(offsetof(DynInst, src1_phys), kLine);
+  EXPECT_LT(offsetof(DynInst, mem_ordinal), kLine);
+  EXPECT_GE(offsetof(DynInst, result), kLine);
+  EXPECT_GE(offsetof(DynInst, packet_id), kLine);
+}
+
+TEST(DynInstLayout, InstPoolChunksTileLinesWithoutStraddling) {
+  // Walk more than one chunk so chunk-boundary allocation is covered too.
+  InstPool pool;
+  constexpr std::uint32_t kSlots = InstPool::kChunkSize + 8;
+  std::uintptr_t prev = 0;
+  std::size_t lines_per_slot = sizeof(DynInst) / kLine;
+  for (std::uint32_t i = 0; i < kSlots; ++i) {
+    const DynInst* slot = pool.allocate();
+    const auto addr = reinterpret_cast<std::uintptr_t>(slot);
+    // Every slot starts on a line boundary; combined with the whole-line
+    // size this is the no-straddle guarantee.
+    ASSERT_EQ(addr % kLine, 0u) << "slot " << i;
+    // Within a chunk, slots are densely packed (index math in slot_ptr
+    // depends on this).
+    if (i % InstPool::kChunkSize != 0) {
+      ASSERT_EQ(addr - prev, sizeof(DynInst)) << "slot " << i;
+    }
+    prev = addr;
+  }
+  std::cout << "InstPool chunk: " << InstPool::kChunkSize << " slots x "
+            << sizeof(DynInst) << " B = "
+            << InstPool::kChunkSize * sizeof(DynInst) / 1024 << " KiB hot, "
+            << lines_per_slot << " lines/slot, "
+            << InstPool::kChunkSize * sizeof(DynInstCold) / 1024
+            << " KiB cold sidecar\n";
+}
+
+TEST(DynInstLayout, PerLineOccupancyIsAccountedFor) {
+  // Occupancy report: how much of each line the current fields actually
+  // use. Failing this means a field moved across the line boundary or dead
+  // padding grew past a line's worth — re-audit types.h before bumping.
+  const std::size_t line0_used = offsetof(DynInst, lead_backend_way) + 1;
+  const std::size_t line1_used =
+      offsetof(DynInst, origin_packet_id) + sizeof(std::uint32_t) - kLine;
+  std::cout << "line 0: " << line0_used << "/" << kLine << " bytes used\n"
+            << "line 1: " << line1_used << "/" << kLine << " bytes used\n";
+  EXPECT_LE(line0_used, kLine);
+  EXPECT_LE(line1_used, kLine);
+  EXPECT_GT(line1_used, 0u);
+}
+
+}  // namespace
+}  // namespace bj

@@ -119,6 +119,53 @@ TEST(InstPool, LifoRecyclingKeepsHotSlots) {
   EXPECT_FALSE(pool.live(first));
 }
 
+TEST(InstPool, ColdSidecarFollowsTheSlotThroughRecycling) {
+  // Every hot slot has a parallel DynInstCold at the same index. The sidecar
+  // is deliberately not reset on allocate, so the property to defend is
+  // addressing, not freshness: cold(ref) must resolve to the same sidecar as
+  // the hot slot across growth and recycling, and values written through one
+  // live handle must never show up under a different slot's handle.
+  InstPool pool;
+  Rng rng(0xC01DCAFE);
+  std::vector<InstRef> live;
+  for (int step = 0; step < 20000; ++step) {
+    const bool do_release = !live.empty() && rng.chance(0.48);
+    if (do_release) {
+      const std::size_t victim = rng.next_below(live.size());
+      // The sentinel written at allocation must still be intact: no other
+      // slot's cold writes aliased this sidecar.
+      const DynInstCold& c = pool.cold(live[victim]);
+      EXPECT_EQ(c.fetch_cycle, live[victim].index);
+      EXPECT_EQ(c.lead_seq, live[victim].gen);
+      pool.release(live[victim]);
+      live[victim] = live.back();
+      live.pop_back();
+    } else {
+      const InstRef ref = pool.allocate()->self;
+      DynInstCold& c = pool.cold(ref);
+      c.fetch_cycle = ref.index;  // slot-unique sentinel pair
+      c.lead_seq = ref.gen;
+      live.push_back(ref);
+    }
+  }
+  for (const InstRef& ref : live) {
+    EXPECT_EQ(pool.cold(ref).fetch_cycle, ref.index);
+    EXPECT_EQ(pool.cold(ref).lead_seq, ref.gen);
+  }
+}
+
+TEST(InstPoolDeathTest, ColdAccessCatchesStaleHandle) {
+  // Trace/provenance reads go through the same liveness gate as get(): a
+  // recycled slot's cold state is unreachable through an old handle.
+  InstPool pool;
+  const InstRef ref = pool.allocate()->self;
+  pool.cold(ref).fetch_cycle = 7;
+  pool.release(ref);
+  EXPECT_DEATH((void)pool.cold(ref), "BJ_CHECK failed.*stale InstRef");
+  pool.allocate();  // recycles the slot under a newer generation
+  EXPECT_DEATH((void)pool.cold(ref), "BJ_CHECK failed.*stale InstRef");
+}
+
 TEST(InstPoolDeathTest, GetCatchesStaleHandle) {
   InstPool pool;
   const InstRef ref = pool.allocate()->self;
