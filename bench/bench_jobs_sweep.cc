@@ -1,0 +1,144 @@
+// Jobs-sweep bench for the lock-free campaign distribution path: runs the
+// same fault-injection campaign at jobs ∈ {1,2,4,8,16}, checks the canonical
+// JSONL is byte-identical at every point (exit 1 if not — determinism is the
+// contract, scaling is the measurement), and emits a machine-readable
+// artifact with items/s and scaling efficiency per jobs count.
+//
+//   bench_jobs_sweep [--out <path>] [--determinism-only]
+//
+// --determinism-only is for the 1-CPU CI VM: it shrinks the campaign and
+// marks the artifact's timings unreliable, so the target always runs and
+// always asserts determinism even where scaling cannot be measured. Without
+// the flag the full-size sweep is intended for a real multicore box
+// (ROADMAP item 1's 16–64-job scaling study).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "harness/campaign.h"
+#include "workload/profile.h"
+
+namespace {
+
+// Wall-clock-free record lines sorted by fault index — the same canonical
+// form the differential-replay tests compare.
+std::vector<std::string> canonical_jsonl(const std::string& raw) {
+  std::vector<std::pair<long, std::string>> keyed;
+  std::istringstream in(raw);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"record\":\"header\"") != std::string::npos) continue;
+    const auto sec = line.find(",\"seconds\":");
+    if (sec != std::string::npos) {
+      line.erase(sec, line.find('}', sec) - sec);
+    }
+    const auto idx = line.find("\"index\":");
+    if (idx == std::string::npos) continue;
+    keyed.emplace_back(std::stol(line.substr(idx + 8)), line);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<std::string> lines;
+  lines.reserve(keyed.size());
+  for (auto& [index, text] : keyed) lines.push_back(std::move(text));
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_jobs_sweep.json";
+  bool determinism_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--determinism-only") == 0) {
+      determinism_only = true;
+    } else {
+      std::cerr << "usage: bench_jobs_sweep [--out <path>]"
+                   " [--determinism-only]\n";
+      return 2;
+    }
+  }
+
+  bj::WorkloadProfile profile = bj::profile_by_name("eon");
+  profile.iterations = 0;
+  const bj::Program program = bj::generate_workload(profile);
+
+  bj::CampaignConfig config;
+  config.mode = bj::Mode::kBlackjack;
+  config.seed = 20260808;
+  config.num_faults = determinism_only ? 16 : 64;
+  config.budget_commits = determinism_only ? 1000 : 3000;
+
+  const std::vector<int> sweep = {1, 2, 4, 8, 16};
+  std::vector<double> wall(sweep.size(), 0.0);
+  std::vector<double> items_per_s(sweep.size(), 0.0);
+  std::vector<std::string> jsonl(sweep.size());
+
+  for (std::size_t s = 0; s < sweep.size(); ++s) {
+    std::ostringstream sink;
+    bj::ParallelCampaignOptions options;
+    options.jobs = sweep[s];
+    options.jsonl = &sink;
+    bj::CampaignStats stats;
+    bj::run_campaign_parallel(program, config, options, &stats);
+    wall[s] = stats.wall_seconds;
+    items_per_s[s] = stats.runs_per_second;
+    jsonl[s] = sink.str();
+    std::fprintf(stderr, "jobs=%-2d  %7.3fs  %8.1f runs/s\n", sweep[s],
+                 wall[s], items_per_s[s]);
+  }
+
+  // Determinism assertion: every jobs count must produce the same canonical
+  // records as jobs=1. This is the part that gates on any machine.
+  const std::vector<std::string> base = canonical_jsonl(jsonl[0]);
+  bool deterministic = base.size() == static_cast<std::size_t>(config.num_faults);
+  for (std::size_t s = 1; s < sweep.size() && deterministic; ++s) {
+    deterministic = canonical_jsonl(jsonl[s]) == base;
+    if (!deterministic) {
+      std::cerr << "FAIL: jobs=" << sweep[s]
+                << " canonical JSONL differs from jobs=1\n";
+    }
+  }
+  if (!deterministic) return 1;
+  std::cerr << "determinism: OK (" << base.size() << " records identical at "
+            << sweep.size() << " jobs counts)\n";
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"jobs_sweep\",\n"
+      << "  \"workload\": \"" << profile.name << "\",\n"
+      << "  \"mode\": \"blackjack\",\n"
+      << "  \"num_faults\": " << config.num_faults << ",\n"
+      << "  \"budget_commits\": " << config.budget_commits << ",\n"
+      << "  \"hardware_concurrency\": " << hw << ",\n"
+      // Timings from a sweep the machine cannot physically parallelize are
+      // determinism evidence, not scaling evidence.
+      << "  \"timings_reliable\": "
+      << (!determinism_only && hw >= 16 ? "true" : "false") << ",\n"
+      << "  \"deterministic\": true,\n"
+      << "  \"points\": [\n";
+  for (std::size_t s = 0; s < sweep.size(); ++s) {
+    const double speedup = wall[s] > 0.0 ? wall[0] / wall[s] : 0.0;
+    out << "    {\"jobs\": " << sweep[s] << ", \"wall_seconds\": " << wall[s]
+        << ", \"items_per_second\": " << items_per_s[s]
+        << ", \"speedup\": " << speedup
+        << ", \"efficiency\": " << speedup / sweep[s] << "}"
+        << (s + 1 < sweep.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}

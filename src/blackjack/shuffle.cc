@@ -203,7 +203,7 @@ const ShuffleResult& ShuffleCache::shuffle(
     uncached_ = safe_shuffle(packet, width);
     return uncached_;
   }
-  if (warm_ != nullptr) {
+  if (warm_) {
     auto wit = warm_->find(key);
     if (wit != warm_->end()) {
       *hit = true;
@@ -227,22 +227,103 @@ const ShuffleResult& ShuffleCache::shuffle(
   return entries_.emplace(key, safe_shuffle(packet, width)).first->second;
 }
 
+void ShuffleSnapshot::release() {
+  if (slot_ != nullptr) {
+    // Un-advertise before freeing the slot for reuse. Release ordering is
+    // enough: a reclaimer that still reads the old pointer merely keeps the
+    // map alive one round longer (conservative, never unsafe).
+    slot_->map.store(nullptr, std::memory_order_release);
+    slot_->in_use.store(false, std::memory_order_release);
+    slot_ = nullptr;
+  }
+  owned_.reset();
+  map_ = nullptr;
+}
+
+ShuffleSnapshot SharedShuffleTable::snapshot() const {
+  for (std::size_t i = 0; i < kHazardSlots; ++i) {
+    ShuffleHazardSlot& slot = slots_[i];
+    bool expected = false;
+    if (!slot.in_use.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+      continue;  // slot busy; try the next one
+    }
+    // Pin loop: advertise the pointer, then confirm it is still current.
+    // Every operation here and in merge() is seq_cst, so in the single
+    // total order either (a) our validating reload precedes the writer's
+    // publish — then our hazard store precedes the writer's reclamation
+    // scan and the scan sees the pin — or (b) the publish precedes our
+    // reload, the reload returns the new map, and we retry on it. Either
+    // way the map we return cannot be freed while the slot stays pinned.
+    const ShuffleMap* current = table_.load(std::memory_order_seq_cst);
+    for (;;) {
+      slot.map.store(current, std::memory_order_seq_cst);
+      const ShuffleMap* again = table_.load(std::memory_order_seq_cst);
+      if (again == current) break;
+      current = again;
+    }
+    ShuffleSnapshot snap;
+    snap.map_ = current;
+    snap.slot_ = &slot;
+    return snap;
+  }
+  // Every slot pinned at once: fall back to a deep copy under the merge
+  // lock (which also blocks reclamation, so *table_ cannot be freed while
+  // we copy it). Not wait-free — counted so tests and ops can see it.
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  copy_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  return ShuffleSnapshot(*table_.load(std::memory_order_relaxed));
+}
+
 void SharedShuffleTable::merge(const ShuffleCache::Map& local) {
   if (local.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  // Copy-on-write: snapshots handed out earlier stay valid (and readers stay
-  // lock-free) because the published map is never mutated in place.
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  // merge_mu_ serializes writers, so a plain load sees the latest version.
+  const ShuffleMap* current = table_.load(std::memory_order_relaxed);
   bool any_new = false;
   for (const auto& [key, result] : local) {
-    if (table_->find(key) == table_->end()) {
+    if (current->find(key) == current->end()) {
       any_new = true;
       break;
     }
   }
+  // No-op merges skip the publish entirely: pointer identity is preserved,
+  // pinned readers need no revalidation, and nothing is retired.
   if (!any_new) return;
-  auto next = std::make_shared<ShuffleCache::Map>(*table_);
+  // Copy-on-write: the published map is never mutated in place, so pinned
+  // snapshots of the old version stay valid until reclamation frees it.
+  auto* next = new ShuffleMap(*current);
   for (const auto& [key, result] : local) next->emplace(key, result);
-  table_ = std::move(next);
+  table_.store(next, std::memory_order_seq_cst);
+  retired_.push_back(current);
+  retired_count_.fetch_add(1, std::memory_order_relaxed);
+  reclaim_locked();
+}
+
+void SharedShuffleTable::reclaim_locked() {
+  // Free every retired version no hazard slot advertises. The seq_cst scan
+  // pairs with the seq_cst pin loop in snapshot(); see the comment there.
+  std::size_t kept = 0;
+  for (const ShuffleMap* candidate : retired_) {
+    bool pinned = false;
+    for (std::size_t i = 0; i < kHazardSlots && !pinned; ++i) {
+      pinned = slots_[i].map.load(std::memory_order_seq_cst) == candidate;
+    }
+    if (pinned) {
+      retired_[kept++] = candidate;
+    } else {
+      delete candidate;
+      reclaimed_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  retired_.resize(kept);
+}
+
+SharedShuffleTable::~SharedShuffleTable() {
+  // No snapshots may outlive the table; by then nothing is pinned.
+  delete table_.load(std::memory_order_relaxed);
+  for (const ShuffleMap* r : retired_) delete r;
 }
 
 namespace {

@@ -12,6 +12,7 @@
 //   - NOPs only occupy slots and carry the type class whose way they consume.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -62,6 +63,84 @@ ShuffleResult safe_shuffle(const std::vector<ShuffleInst>& packet, int width);
 // same-class occupants (instructions and typed NOPs) in lower slots.
 int backend_way_in_packet(const ShuffledPacket& packet, std::size_t slot);
 
+// Packed 128-bit signature of a (packet, width) shuffle query. Namespace
+// scope (rather than nested in ShuffleCache) so the shared-table machinery
+// below can name it without dragging in the cache.
+struct ShuffleKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool operator==(const ShuffleKey&) const = default;
+};
+struct ShuffleKeyHash {
+  std::size_t operator()(const ShuffleKey& k) const {
+    // splitmix64-style mix of both halves.
+    std::uint64_t x = k.lo + 0x9e3779b97f4a7c15ull * (k.hi + 1);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+using ShuffleMap =
+    std::unordered_map<ShuffleKey, ShuffleResult, ShuffleKeyHash>;
+
+// One pin slot of SharedShuffleTable's hazard-pointer protocol
+// (implementation detail; readers hold these through ShuffleSnapshot).
+struct ShuffleHazardSlot {
+  alignas(64) std::atomic<const ShuffleMap*> map{nullptr};
+  std::atomic<bool> in_use{false};
+};
+
+// A pinned, immutable view of a shared shuffle table. While any snapshot of
+// a map version is alive, SharedShuffleTable::merge will not free that
+// version — either because the snapshot holds a hazard slot advertising the
+// pointer to the table's reclamation scan, or because it owns a private
+// deep copy (the all-slots-busy fallback, and the unit-test path that wraps
+// a standalone map). Move-only; releasing the snapshot un-pins the slot.
+class ShuffleSnapshot {
+ public:
+  ShuffleSnapshot() = default;
+  // Owning snapshot over a standalone map (no shared table involved).
+  explicit ShuffleSnapshot(ShuffleMap map)
+      : owned_(std::make_unique<const ShuffleMap>(std::move(map))),
+        map_(owned_.get()) {}
+
+  ShuffleSnapshot(ShuffleSnapshot&& other) noexcept { *this = std::move(other); }
+  ShuffleSnapshot& operator=(ShuffleSnapshot&& other) noexcept {
+    if (this != &other) {
+      release();
+      owned_ = std::move(other.owned_);
+      map_ = other.map_;
+      slot_ = other.slot_;
+      other.map_ = nullptr;
+      other.slot_ = nullptr;
+    }
+    return *this;
+  }
+  ShuffleSnapshot(const ShuffleSnapshot&) = delete;
+  ShuffleSnapshot& operator=(const ShuffleSnapshot&) = delete;
+  ~ShuffleSnapshot() { release(); }
+
+  const ShuffleMap& operator*() const { return *map_; }
+  const ShuffleMap* operator->() const { return map_; }
+  const ShuffleMap* get() const { return map_; }
+  explicit operator bool() const { return map_ != nullptr; }
+
+  // True when this snapshot pins a hazard slot (as opposed to owning a
+  // private copy or being empty). Exposed for the concurrency tests.
+  bool pinned() const { return slot_ != nullptr; }
+
+ private:
+  friend class SharedShuffleTable;
+  void release();
+
+  std::unique_ptr<const ShuffleMap> owned_;
+  const ShuffleMap* map_ = nullptr;
+  ShuffleHazardSlot* slot_ = nullptr;
+};
+
 // Memoization cache for safe_shuffle. The shuffle is a pure function of the
 // packet's (fu, lead_frontend_way, lead_backend_way) signature and the
 // machine width, and real workloads repeat a small set of packet shapes
@@ -71,26 +150,11 @@ int backend_way_in_packet(const ShuffledPacket& packet, std::size_t slot);
 // ranges fall back to a direct safe_shuffle and always count as misses.
 class ShuffleCache {
  public:
-  // Key/Map are public so campaign workers can share computed results
-  // through a SharedShuffleTable (see below).
-  struct Key {
-    std::uint64_t lo = 0;
-    std::uint64_t hi = 0;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const {
-      // splitmix64-style mix of both halves.
-      std::uint64_t x = k.lo + 0x9e3779b97f4a7c15ull * (k.hi + 1);
-      x ^= x >> 30;
-      x *= 0xbf58476d1ce4e5b9ull;
-      x ^= x >> 27;
-      x *= 0x94d049bb133111ebull;
-      x ^= x >> 31;
-      return static_cast<std::size_t>(x);
-    }
-  };
-  using Map = std::unordered_map<Key, ShuffleResult, KeyHash>;
+  // Compatibility aliases; the real types live at namespace scope so the
+  // shared table and serializers can use them directly.
+  using Key = ShuffleKey;
+  using KeyHash = ShuffleKeyHash;
+  using Map = ShuffleMap;
 
   explicit ShuffleCache(std::size_t max_entries = 1 << 16)
       : max_entries_(max_entries) {}
@@ -105,10 +169,11 @@ class ShuffleCache {
 
   // Adopt an immutable snapshot of shuffle results computed elsewhere.
   // Lookup order is warm table first, then local entries; the local cap
-  // applies only to locally computed entries.
-  void warm_start(std::shared_ptr<const Map> warm) { warm_ = std::move(warm); }
+  // applies only to locally computed entries. The snapshot stays pinned for
+  // the cache's lifetime (or until replaced).
+  void warm_start(ShuffleSnapshot warm) { warm_ = std::move(warm); }
   const Map& local_entries() const { return entries_; }
-  bool has_warm_table() const { return warm_ != nullptr; }
+  bool has_warm_table() const { return static_cast<bool>(warm_); }
 
   std::size_t size() const { return entries_.size(); }
   std::size_t max_entries() const { return max_entries_; }
@@ -118,7 +183,7 @@ class ShuffleCache {
   static bool make_key(const std::vector<ShuffleInst>& packet, int width,
                        Key* key);
 
-  std::shared_ptr<const Map> warm_;  // read-mostly shared snapshot
+  ShuffleSnapshot warm_;  // pinned read-only shared snapshot
   Map entries_;
   ShuffleResult uncached_;  // holds results that bypass the cache
   std::size_t max_entries_;
@@ -126,28 +191,65 @@ class ShuffleCache {
 
 // Read-mostly shuffle table shared by campaign workers: each worker
 // warm-starts its Core's ShuffleCache from snapshot() and merges its locally
-// computed entries back after the run (merge-on-retire). Snapshots are
-// immutable shared_ptrs, so readers never race the copy-on-write merge.
+// computed entries back after the run (merge-on-retire).
+//
+// The reader side is wait-free via hazard pointers: snapshot() claims one of
+// kHazardSlots pin slots, advertises the current map pointer in it, and
+// validates the pointer did not change underneath (the store/reload pair and
+// the writer's publish/scan pair are all seq_cst, so a reader whose validate
+// saw the old map is guaranteed visible to the writer's reclamation scan —
+// see shuffle.cc for the full interleaving argument). Readers never take a
+// lock and never block on a merge in progress, no matter how long it runs.
+// Only if every slot is simultaneously pinned (>kHazardSlots concurrent
+// snapshots — far beyond any sane jobs count) does snapshot() fall back to a
+// locked deep copy; that safety valve is counted, not hidden.
+//
+// The writer side (merge) serializes on merge_mu_, copies the map, publishes
+// the new version with a single atomic pointer store, and retires the old
+// version to a list that is freed only once no hazard slot advertises it.
+// Merges that add nothing skip the publish entirely, preserving pointer
+// identity for snapshot-equality checks and sparing readers a revalidation.
 class SharedShuffleTable {
  public:
-  SharedShuffleTable()
-      : table_(std::make_shared<const ShuffleCache::Map>()) {}
+  // 128 slots = max concurrent pinned snapshots before the deep-copy
+  // fallback; comfortably above the harness's 64-job ceiling.
+  static constexpr std::size_t kHazardSlots = 128;
 
-  std::shared_ptr<const ShuffleCache::Map> snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return table_;
-  }
+  SharedShuffleTable() : table_(new ShuffleMap()) {}
+  ~SharedShuffleTable();
+  SharedShuffleTable(const SharedShuffleTable&) = delete;
+  SharedShuffleTable& operator=(const SharedShuffleTable&) = delete;
+
+  // Wait-free pinned view of the current map (see class comment for the
+  // all-slots-busy fallback). Never blocks on a concurrent merge.
+  ShuffleSnapshot snapshot() const;
 
   void merge(const ShuffleCache::Map& local);
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return table_->size();
+  std::size_t size() const { return snapshot()->size(); }
+
+  // Observability for the concurrency tests: map versions retired by
+  // merges, versions actually freed so far, and deep-copy fallbacks taken.
+  std::size_t retired() const {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
+  std::size_t reclaimed() const {
+    return reclaimed_count_.load(std::memory_order_relaxed);
+  }
+  std::size_t copy_fallbacks() const {
+    return copy_fallbacks_.load(std::memory_order_relaxed);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const ShuffleCache::Map> table_;
+  void reclaim_locked();
+
+  mutable std::mutex merge_mu_;  // serializes merges + the copy fallback
+  std::atomic<const ShuffleMap*> table_;  // current version; seq_cst publish
+  mutable ShuffleHazardSlot slots_[kHazardSlots];
+  std::vector<const ShuffleMap*> retired_;  // guarded by merge_mu_
+  std::atomic<std::size_t> retired_count_{0};
+  std::atomic<std::size_t> reclaimed_count_{0};
+  mutable std::atomic<std::size_t> copy_fallbacks_{0};
 };
 
 // Byte-stable serialization of a shuffle-table snapshot for the campaign

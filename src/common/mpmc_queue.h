@@ -1,0 +1,308 @@
+// Lock-free multi-producer/multi-consumer queue for harness work
+// distribution (ROADMAP item 1): a chain of bounded Vyukov-style rings —
+// power-of-two slot arrays with per-slot sequence counters and cmpxchg
+// claim/publish — that grows by sealing the full ring and epoch-publishing a
+// larger successor. No operation ever takes a mutex; the only blocking is
+// the bounded spin a consumer performs while a producer finishes publishing
+// an already-claimed slot.
+//
+// Ring protocol (per ring, the classic bounded MPMC queue):
+//   - slot `i` carries an atomic sequence number, initialised to `i`.
+//   - push: claim position `pos` by cmpxchg on `tail` when
+//     `slots[pos & mask].seq == pos` (slot free for this lap), write the
+//     value, then publish with `seq = pos + 1`.
+//   - pop: claim position `pos` by cmpxchg on `head` when
+//     `slots[pos & mask].seq == pos + 1` (value published), read the value,
+//     then release the slot for the next lap with `seq = pos + mask + 1`.
+//
+// Growth protocol (the auto-grow the mutex pool never needed):
+//   - a producer that finds the ring full links a successor ring of twice
+//     the capacity into `next` (cmpxchg, losers delete their allocation),
+//     and only THEN seals the ring by setting kSealedBit in `tail` with
+//     fetch_or — so a consumer that drains a sealed ring always has a
+//     successor to advance to.
+//   - the seal bit makes every in-flight push cmpxchg on the old ring fail
+//     (the expected `tail` value changed), so no claim can land in a ring
+//     after a consumer has concluded it is drained. Claims that won the
+//     cmpxchg before the seal are below the sealed boundary and are drained
+//     normally.
+//   - consumers advance `pop_ring_` past a ring only when it is sealed AND
+//     drained (head == sealed tail); producers walk `next` links from the
+//     `push_ring_` hint to the newest ring. Retired rings are never freed
+//     until the queue is destroyed (the chain is the epoch retire list —
+//     at most O(log capacity) rings ever exist), so a straggler holding a
+//     stale ring pointer can always safely read its atomics.
+//
+// Memory-order contract (the load-bearing pairs):
+//   - slot publish `seq.store(release)` / slot claim-check
+//     `seq.load(acquire)`: makes the value write visible to the popper (and
+//     the pop's value read visible to the next-lap pusher).
+//   - `next.compare_exchange(acq_rel)` / `next.load(acquire)`: a consumer
+//     or producer that follows the link sees the successor ring fully
+//     constructed.
+//   - `tail.fetch_or(kSealedBit, acq_rel)` / `tail.load(acquire)`: a
+//     consumer that observes the seal also observes the `next` link that was
+//     published before it (and the sealed boundary it must drain to).
+//   - `closed_.store(release)` / `closed_.load(acquire)`: a consumer that
+//     observes the close sees every push that happened-before close(); this
+//     is what lets a blocking pop() conclude "drained" safely.
+//   - `push_ring_` / `pop_ring_` hint updates publish with release (CAS) and
+//     every load that will dereference the pointer is acquire, so a thread
+//     adopting a hint sees the Ring fully constructed.
+//   - tail/head claim cmpxchg use relaxed success ordering: the claim
+//     itself transfers no data — the slot sequence does — and RMWs on one
+//     location are totally ordered regardless.
+//
+// Caveats (documented, not defended): values pushed concurrently with
+// close() may or may not be observed by a draining pop(); callers must
+// ensure every push() happens-before close() (the worker pool pushes all
+// indices, closes, and only then lets workers drain). T must be
+// default-constructible and movable.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+#include "common/check.h"
+
+namespace bj {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t min_capacity = 64) {
+    std::size_t cap = 4;
+    while (cap < min_capacity) cap <<= 1;
+    first_ = new Ring(cap, 0);
+    push_ring_.store(first_, std::memory_order_relaxed);
+    pop_ring_.store(first_, std::memory_order_relaxed);
+  }
+
+  ~MpmcQueue() {
+    Ring* r = first_;
+    while (r != nullptr) {
+      Ring* next = r->next.load(std::memory_order_relaxed);
+      delete r;
+      r = next;
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  // Enqueues `value`. Never fails while the queue is open (a full ring
+  // grows); returns false iff close() has been called.
+  bool push(T value) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    Ring* r = push_ring_.load(std::memory_order_acquire);
+    for (;;) {
+      while (Ring* n = r->next.load(std::memory_order_acquire)) r = n;
+      std::size_t pos = r->tail.load(std::memory_order_relaxed);
+      for (;;) {
+        if (pos & kSealedBit) break;  // sealed underneath us; re-walk chain
+        Slot& slot = r->slots[pos & r->mask];
+        const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+        const auto dif = static_cast<std::ptrdiff_t>(seq) -
+                         static_cast<std::ptrdiff_t>(pos);
+        if (dif == 0) {
+          if (r->tail.compare_exchange_weak(pos, pos + 1,
+                                            std::memory_order_relaxed)) {
+            slot.value = std::move(value);
+            slot.seq.store(pos + 1, std::memory_order_release);
+            advance_push_hint(r);
+            return true;
+          }
+          // cmpxchg failure reloaded `pos`; retry against the new claim
+          // boundary (which may now carry the seal bit).
+        } else if (dif < 0) {
+          // Ring full for this lap: link a larger successor, seal, move on.
+          grow(r);
+          break;
+        } else {
+          // Stale `pos` from before another producer's claim; reload.
+          pos = r->tail.load(std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  // Non-blocking dequeue. Returns false when no published value is
+  // available right now — including the instant a producer has claimed a
+  // slot but not yet published it (blocking pop() spins through that).
+  bool try_pop(T* out) {
+    Ring* r = pop_ring_.load(std::memory_order_acquire);
+    for (;;) {
+      std::size_t pos = r->head.load(std::memory_order_relaxed);
+      for (;;) {
+        Slot& slot = r->slots[pos & r->mask];
+        const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+        const auto dif = static_cast<std::ptrdiff_t>(seq) -
+                         static_cast<std::ptrdiff_t>(pos + 1);
+        if (dif == 0) {
+          if (r->head.compare_exchange_weak(pos, pos + 1,
+                                            std::memory_order_relaxed)) {
+            *out = std::move(slot.value);
+            slot.seq.store(pos + r->mask + 1, std::memory_order_release);
+            return true;
+          }
+          // cmpxchg failure reloaded `pos`; retry the freshly claimed head.
+        } else if (dif < 0) {
+          // Nothing published at head. Empty, an in-flight publish, or a
+          // drained sealed ring whose successor holds the live items.
+          const std::size_t tail = r->tail.load(std::memory_order_acquire);
+          if (pos < (tail & ~kSealedBit)) return false;  // publish in flight
+          if (!(tail & kSealedBit)) return false;        // genuinely empty
+          Ring* next = r->next.load(std::memory_order_acquire);
+          BJ_CHECK(next != nullptr, "sealed mpmc ring has a successor");
+          Ring* expected = r;
+          if (pop_ring_.compare_exchange_strong(expected, next,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+            r = next;
+          } else {
+            r = expected;  // another consumer advanced (possibly further)
+          }
+          break;  // restart on the successor ring
+        } else {
+          pos = r->head.load(std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  // Blocking dequeue: spins (with yields) until a value arrives or the
+  // queue is closed and drained. Returns false only in the latter case.
+  bool pop(T* out) {
+    int spins = 0;
+    for (;;) {
+      if (try_pop(out)) return true;
+      if (closed_.load(std::memory_order_acquire) && drained()) {
+        // One final attempt closes the window between the failed try_pop
+        // and the drained() walk (a pre-close publish may have landed).
+        return try_pop(out);
+      }
+      if (++spins < 64) {
+        // brief spin: an in-flight publish resolves in nanoseconds
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  // After close(), push() fails and pop() returns false once the queue is
+  // drained. Idempotent. See the header comment for the close/push race
+  // contract.
+  void close() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  // True when every claimed slot in every ring has been consumed. Racy by
+  // nature (new pushes may land immediately after), but exact once the
+  // queue is closed and all pushes happened-before the close.
+  bool drained() const {
+    const Ring* r = pop_ring_.load(std::memory_order_acquire);
+    while (r != nullptr) {
+      const std::size_t tail = r->tail.load(std::memory_order_acquire);
+      if (r->head.load(std::memory_order_acquire) != (tail & ~kSealedBit)) {
+        return false;
+      }
+      r = r->next.load(std::memory_order_acquire);
+    }
+    return true;
+  }
+
+  // Capacity of the newest (push-side) ring.
+  std::size_t capacity() const {
+    const Ring* r = push_ring_.load(std::memory_order_acquire);
+    while (const Ring* n = r->next.load(std::memory_order_acquire)) r = n;
+    return r->mask + 1;
+  }
+
+  // Number of times a full ring grew into a larger successor.
+  std::size_t grows() const {
+    return grows_.load(std::memory_order_relaxed);
+  }
+
+  // Claimed-but-unconsumed item count, summed across live rings.
+  // Approximate under concurrency; exact when quiescent.
+  std::size_t approx_size() const {
+    std::size_t total = 0;
+    const Ring* r = pop_ring_.load(std::memory_order_acquire);
+    while (r != nullptr) {
+      const std::size_t tail =
+          r->tail.load(std::memory_order_acquire) & ~kSealedBit;
+      const std::size_t head = r->head.load(std::memory_order_acquire);
+      if (tail > head) total += tail - head;
+      r = r->next.load(std::memory_order_acquire);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kSealedBit =
+      static_cast<std::size_t>(1) << (sizeof(std::size_t) * 8 - 1);
+
+  struct Slot {
+    std::atomic<std::size_t> seq;
+    T value;
+  };
+
+  struct Ring {
+    Ring(std::size_t capacity, std::size_t level)
+        : mask(capacity - 1), level(level), slots(new Slot[capacity]) {
+      BJ_CHECK((capacity & mask) == 0 && capacity >= 2,
+               "mpmc ring capacity is a power of two");
+      for (std::size_t i = 0; i < capacity; ++i) {
+        slots[i].seq.store(i, std::memory_order_relaxed);
+      }
+    }
+    ~Ring() { delete[] slots; }
+
+    const std::size_t mask;
+    const std::size_t level;  // position in the growth chain (hint ordering)
+    Slot* const slots;
+    alignas(64) std::atomic<std::size_t> tail{0};  // claim pos | kSealedBit
+    alignas(64) std::atomic<std::size_t> head{0};
+    alignas(64) std::atomic<Ring*> next{nullptr};
+  };
+
+  void grow(Ring* r) {
+    if (r->next.load(std::memory_order_acquire) == nullptr) {
+      Ring* fresh = new Ring((r->mask + 1) * 2, r->level + 1);
+      Ring* expected = nullptr;
+      if (r->next.compare_exchange_strong(expected, fresh,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        grows_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        delete fresh;  // another producer linked the successor first
+      }
+    }
+    // Seal strictly after a successor exists: a consumer that observes the
+    // seal bit (and a drained ring) always has somewhere to advance to.
+    r->tail.fetch_or(kSealedBit, std::memory_order_acq_rel);
+  }
+
+  // Best-effort: move the producers' starting ring forward, never backward
+  // (`level` orders the chain). Loads of `push_ring_` here must be acquire:
+  // the hint is dereferenced (`hint->level`), and the Ring's construction is
+  // only visible through the acquire edge pairing with the release publish —
+  // a relaxed load races with the constructor of a just-linked successor.
+  void advance_push_hint(Ring* r) {
+    Ring* hint = push_ring_.load(std::memory_order_acquire);
+    while (hint->level < r->level &&
+           !push_ring_.compare_exchange_weak(hint, r,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+    }
+  }
+
+  Ring* first_;  // anchor of the ring chain; owns every ring ever grown
+  alignas(64) std::atomic<Ring*> push_ring_;
+  alignas(64) std::atomic<Ring*> pop_ring_;
+  alignas(64) std::atomic<bool> closed_{false};
+  std::atomic<std::size_t> grows_{0};
+};
+
+}  // namespace bj

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -706,8 +707,10 @@ CampaignResult run_campaign_parallel(const Program& program,
   }
 
   // Serializes everything that is not a worker-private simulation: the
-  // completed-run counter, histogram, JSONL sink, progress callback, and
-  // checkpoint hook.
+  // completed-run counter, histogram, JSONL sink, checkpoint hook, and the
+  // queue of progress snapshots awaiting delivery. The progress callback
+  // itself runs OUTSIDE this mutex (see deliver_progress below) so a slow
+  // observer cannot stall workers flushing their batches.
   std::mutex report_mu;
   CampaignProgress progress;
   progress.total = static_cast<int>(exec_indices.size());
@@ -727,8 +730,14 @@ CampaignResult run_campaign_parallel(const Program& program,
                                 std::max(1, resolve_jobs(options.jobs))),
                             std::max<std::size_t>(1, exec_indices.size())));
 
+  // Progress snapshots queued by flush_locked (under report_mu) and
+  // delivered by deliver_progress (outside it). progress_mu serializes
+  // delivery so callbacks stay single-threaded and in flush order.
+  std::deque<CampaignProgress> pending_progress;
+  std::mutex progress_mu;
+
   // Pushes one worker's buffered records to the shared sinks. Caller must
-  // hold report_mu.
+  // hold report_mu — and must call deliver_progress() after releasing it.
   auto flush_locked = [&](WorkerReportBuffer& buf) {
     if (buf.pending == 0) return;
     serial_estimate += buf.seconds;
@@ -751,7 +760,41 @@ CampaignResult run_campaign_parallel(const Program& program,
             : 0.0;
     if (options.jsonl) *options.jsonl << buf.jsonl.str();
     buf = WorkerReportBuffer{};
-    if (options.progress) options.progress(progress);
+    // Queue the snapshot; the caller delivers it after dropping report_mu.
+    if (options.progress) pending_progress.push_back(progress);
+  };
+
+  // Delivers queued progress snapshots outside any lock, combiner-style:
+  // whichever thread wins the progress_mu try-lock drains the queue in
+  // order; losers return immediately, knowing the holder delivers their
+  // snapshot too. Callbacks therefore stay serialized and in flush order —
+  // exactly the old under-the-lock semantics — but a slow callback now only
+  // delays other *callbacks*, never a worker's flush or drain.
+  // std::unique_lock (not a bare try_lock) so a throwing callback unwinds
+  // the lock cleanly and the exception propagates through parallel_for's
+  // usual first-error path.
+  auto deliver_progress = [&]() {
+    if (!options.progress) return;
+    for (;;) {
+      std::unique_lock<std::mutex> delivery(progress_mu, std::try_to_lock);
+      if (!delivery.owns_lock()) return;  // current holder delivers for us
+      for (;;) {
+        CampaignProgress snap;
+        {
+          std::lock_guard<std::mutex> lock(report_mu);
+          if (pending_progress.empty()) break;
+          snap = std::move(pending_progress.front());
+          pending_progress.pop_front();
+        }
+        options.progress(snap);
+      }
+      delivery.unlock();
+      // Close the missed-wakeup window: a snapshot enqueued between the
+      // empty-check above and the unlock saw us as holder and returned, so
+      // re-check and go around again if anything slipped in.
+      std::lock_guard<std::mutex> lock(report_mu);
+      if (pending_progress.empty()) return;
+    }
   };
 
   const auto micros_since_start = [&campaign_start](Clock::time_point t) {
@@ -825,8 +868,11 @@ CampaignResult run_campaign_parallel(const Program& program,
         ++buf.pending;
         ++buf.histogram[run.outcome];
         if (buf.pending >= report_batch) {
-          std::lock_guard<std::mutex> lock(report_mu);
-          flush_locked(buf);
+          {
+            std::lock_guard<std::mutex> lock(report_mu);
+            flush_locked(buf);
+          }
+          deliver_progress();
         }
       });
   if (options.trace != nullptr) {
@@ -842,6 +888,7 @@ CampaignResult run_campaign_parallel(const Program& program,
     std::lock_guard<std::mutex> lock(report_mu);
     for (WorkerReportBuffer& buf : buffers) flush_locked(buf);
   }
+  deliver_progress();
 
   if (stats) {
     stats->jobs = resolve_jobs(options.jobs);

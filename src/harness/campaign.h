@@ -203,8 +203,10 @@ struct ParallelCampaignOptions {
   // are serialized by the engine; completion order is scheduling-dependent,
   // so records carry their fault index.
   std::ostream* jsonl = nullptr;
-  // Called (serialized) after a flush of completed runs — every run when
-  // `report_batch` is 1, otherwise once per batch.
+  // Called (serialized, in flush order) after a flush of completed runs —
+  // every run when `report_batch` is 1, otherwise once per batch. Invoked
+  // OUTSIDE the report lock: a slow callback delays later callbacks, but
+  // never a worker flushing its batch or the checkpoint hook.
   std::function<void(const CampaignProgress&)> progress;
   // How many completed runs a worker accumulates before taking the report
   // lock to flush its JSONL records and progress update. 0 = auto: 1 when

@@ -1,10 +1,13 @@
 #include "harness/worker_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mpmc_queue.h"
 
 namespace bj {
 
@@ -30,23 +33,33 @@ std::size_t parallel_for_workers(
     return 1;
   }
 
-  std::mutex queue_mu;
-  std::size_t next = 0;
+  // All indices are enqueued before any worker starts draining, and the
+  // queue is closed before the threads spawn — so every push happens-before
+  // close() as the queue's contract requires, and workers exit via
+  // closed-and-drained rather than a sentinel per thread. Sizing the queue
+  // to `count` up front means the steady-state path never grows.
+  MpmcQueue<std::size_t> queue(count);
+  for (std::size_t i = 0; i < count; ++i) queue.push(i);
+  queue.close();
+
+  // `stop` short-circuits remaining work after the first exception, exactly
+  // like the old mutex pool's first_error check at claim time; the mutex
+  // only guards the exception_ptr slot, never the work hand-off.
+  std::atomic<bool> stop{false};
+  std::mutex error_mu;
   std::exception_ptr first_error;
 
   auto worker = [&](std::size_t w) {
-    for (;;) {
-      std::size_t i;
-      {
-        std::lock_guard<std::mutex> lock(queue_mu);
-        if (next >= count || first_error) return;
-        i = next++;
-      }
+    std::size_t i;
+    while (!stop.load(std::memory_order_acquire) && queue.pop(&i)) {
       try {
         fn(w, i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(queue_mu);
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        stop.store(true, std::memory_order_release);
         return;
       }
     }

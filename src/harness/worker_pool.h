@@ -1,8 +1,9 @@
 // Fixed-size worker pool for the harness layer. Campaigns, deconfiguration
 // sweeps, and workload sweeps all consist of fully independent simulations
 // (each worker builds its own Core and FaultInjector), so the only shared
-// state is the work queue itself — a mutex-guarded index counter — plus
-// whatever the caller synchronizes in its own callback.
+// state is the work queue itself — a lock-free MPMC ring queue
+// (common/mpmc_queue.h) pre-filled with every index and closed before the
+// workers spawn — plus whatever the caller synchronizes in its own callback.
 //
 // Determinism contract: `parallel_for` partitions work dynamically, so the
 // *order* in which items execute depends on scheduling; callers that need

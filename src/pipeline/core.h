@@ -234,10 +234,10 @@ class Core {
   // "core.*" / "shuffle.*" / "pool.*" metric names.
   void export_metrics(MetricsRegistry& registry) const;
 
-  // Shared shuffle-cache warm start (campaign workers): adopt an immutable
-  // snapshot of previously computed shuffle results. Purely a memoization
-  // hint — simulated behaviour is identical with or without it.
-  void warm_start_shuffle(std::shared_ptr<const ShuffleCache::Map> warm) {
+  // Shared shuffle-cache warm start (campaign workers): adopt a pinned,
+  // immutable snapshot of previously computed shuffle results. Purely a
+  // memoization hint — simulated behaviour is identical with or without it.
+  void warm_start_shuffle(ShuffleSnapshot warm) {
     shuffle_cache_.warm_start(std::move(warm));
   }
   const ShuffleCache& shuffle_cache() const { return shuffle_cache_; }

@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -256,6 +258,47 @@ TEST(CampaignParallel, BatchedReportingPreservesRecordsAndOrder) {
   EXPECT_GT(progress_calls.load(), 0);
   EXPECT_LT(progress_calls.load(), config.num_faults);
   EXPECT_EQ(last_completed, config.num_faults);
+}
+
+TEST(CampaignParallel, SlowProgressCallbackDoesNotStallWorkerFlushes) {
+  // Regression for the flush-under-lock bug: the progress callback used to
+  // run while holding the report mutex, so one slow observer serialized
+  // every worker's flush (and the checkpoint hook) behind it. Now the
+  // callback runs outside the lock; the witness is an on_flush invocation
+  // (which always holds the report lock) landing while a callback is
+  // mid-sleep — an interleaving the old code made impossible.
+  const Program p = campaign_program();
+  const CampaignConfig config = hard_config();
+
+  std::atomic<bool> in_callback{false};
+  std::atomic<bool> flushed_during_callback{false};
+  std::atomic<int> calls{0};
+  std::atomic<bool> reentered{false};
+  int last_completed = 0;
+
+  ParallelCampaignOptions options;
+  options.jobs = 4;
+  options.report_batch = 1;  // flush (and deliver) after every run
+  options.progress = [&](const CampaignProgress& progress) {
+    if (in_callback.exchange(true)) reentered.store(true);
+    ++calls;
+    last_completed = progress.completed;  // still serialized, still in order
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    in_callback.store(false);
+  };
+  options.on_flush =
+      [&](const std::vector<std::pair<std::size_t, FaultRun>>&) {
+        if (in_callback.load()) flushed_during_callback.store(true);
+      };
+  const CampaignResult result = run_campaign_parallel(p, config, options);
+
+  EXPECT_EQ(result.runs.size(), static_cast<std::size_t>(config.num_faults));
+  EXPECT_EQ(calls.load(), config.num_faults);
+  EXPECT_EQ(last_completed, config.num_faults);
+  EXPECT_FALSE(reentered.load()) << "callbacks must stay serialized";
+  EXPECT_TRUE(flushed_during_callback.load())
+      << "a worker must be able to flush while a callback sleeps — the "
+         "callback is being invoked under the report lock again";
 }
 
 TEST(CampaignParallel, SharedShuffleTableWarmsAcrossRuns) {

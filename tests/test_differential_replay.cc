@@ -5,20 +5,28 @@
 // strongest possible statement is differential: the same (program, config)
 // must produce byte-identical results through the pre-pool reference path
 // (run_campaign_reference replays the emulator per run), the serial engine
-// (jobs=1), and the parallel engine (jobs=4, which also exercises the shared
-// shuffle table and batched reporting). Classifications, detection events,
-// and JSONL records must all agree — including the soft-error and oracle
-// configurations, whose extra machinery rides the same pooled data path.
+// (jobs=1), and the parallel engine at jobs=4 and jobs=16 — both of which
+// exercise the lock-free work queue, the shared shuffle table, and batched
+// reporting (jobs=16 oversubscribes the CI VM's cores, maximizing
+// interleavings). Classifications, detection events, deterministic
+// CampaignStats, and JSONL records must all agree — including the
+// soft-error and oracle configurations, whose extra machinery rides the
+// same pooled data path. A kill-and-resume test drives the same contract
+// through the campaign store's checkpoint while the queue is mid-drain.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "harness/campaign.h"
+#include "harness/campaign_store.h"
 #include "pipeline/core.h"
 #include "workload/profile.h"
 
@@ -98,6 +106,28 @@ std::vector<std::string> canonical_jsonl(const std::string& raw) {
   return lines;
 }
 
+// The scheduling-independent CampaignStats fields must agree across jobs
+// counts; the wall-clock ones (wall_seconds, runs_per_second, ...) are
+// excluded by construction.
+void expect_deterministic_stats_equal(const CampaignStats& a,
+                                      const CampaignStats& b,
+                                      const std::string& what) {
+  EXPECT_EQ(a.executed_runs, b.executed_runs) << what;
+  EXPECT_EQ(a.resumed_runs, b.resumed_runs) << what;
+  EXPECT_EQ(a.golden_steps, b.golden_steps) << what;
+  EXPECT_EQ(a.golden_preloaded_stores, b.golden_preloaded_stores) << what;
+  EXPECT_EQ(a.shuffle_preloaded_entries, b.shuffle_preloaded_entries) << what;
+  ASSERT_EQ(a.detection_latency.size(), b.detection_latency.size()) << what;
+  for (const auto& [outcome, ha] : a.detection_latency) {
+    const auto it = b.detection_latency.find(outcome);
+    ASSERT_NE(it, b.detection_latency.end()) << what;
+    EXPECT_EQ(ha.count(), it->second.count()) << what;
+    EXPECT_EQ(ha.sum(), it->second.sum()) << what;
+    EXPECT_EQ(ha.min(), it->second.min()) << what;
+    EXPECT_EQ(ha.max(), it->second.max()) << what;
+  }
+}
+
 void run_differential(const Program& program, const CampaignConfig& config,
                       const std::string& what) {
   const CampaignResult reference = run_campaign_reference(program, config);
@@ -106,23 +136,46 @@ void run_differential(const Program& program, const CampaignConfig& config,
   ParallelCampaignOptions serial;
   serial.jobs = 1;
   serial.jsonl = &serial_jsonl;
-  const CampaignResult one = run_campaign_parallel(program, config, serial);
+  CampaignStats serial_stats;
+  const CampaignResult one =
+      run_campaign_parallel(program, config, serial, &serial_stats);
 
-  std::ostringstream parallel_jsonl;
+  std::ostringstream four_jsonl;
   ParallelCampaignOptions four;
   four.jobs = 4;
-  four.jsonl = &parallel_jsonl;
-  const CampaignResult par = run_campaign_parallel(program, config, four);
+  four.jsonl = &four_jsonl;
+  CampaignStats four_stats;
+  const CampaignResult par4 =
+      run_campaign_parallel(program, config, four, &four_stats);
+
+  // jobs=16 on the 1–4-core CI VM oversubscribes hard: 16 threads racing a
+  // 4-item-deep queue per worker is the adversarial schedule for the
+  // lock-free distribution path.
+  std::ostringstream sixteen_jsonl;
+  ParallelCampaignOptions sixteen;
+  sixteen.jobs = 16;
+  sixteen.jsonl = &sixteen_jsonl;
+  CampaignStats sixteen_stats;
+  const CampaignResult par16 =
+      run_campaign_parallel(program, config, sixteen, &sixteen_stats);
 
   expect_identical_runs(reference, one, what + " reference vs jobs=1");
-  expect_identical_runs(one, par, what + " jobs=1 vs jobs=4");
+  expect_identical_runs(one, par4, what + " jobs=1 vs jobs=4");
+  expect_identical_runs(one, par16, what + " jobs=1 vs jobs=16");
+  expect_deterministic_stats_equal(serial_stats, four_stats,
+                                   what + " stats jobs=1 vs jobs=4");
+  expect_deterministic_stats_equal(serial_stats, sixteen_stats,
+                                   what + " stats jobs=1 vs jobs=16");
 
   const auto a = canonical_jsonl(serial_jsonl.str());
-  const auto b = canonical_jsonl(parallel_jsonl.str());
+  const auto b = canonical_jsonl(four_jsonl.str());
+  const auto c = canonical_jsonl(sixteen_jsonl.str());
   ASSERT_EQ(a.size(), static_cast<std::size_t>(config.num_faults)) << what;
   ASSERT_EQ(b.size(), a.size()) << what;
+  ASSERT_EQ(c.size(), a.size()) << what;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i], b[i]) << what << " JSONL record " << i;
+    EXPECT_EQ(a[i], b[i]) << what << " JSONL record " << i << " (jobs=4)";
+    EXPECT_EQ(a[i], c[i]) << what << " JSONL record " << i << " (jobs=16)";
   }
 }
 
@@ -149,8 +202,8 @@ TEST_P(DifferentialReplay, WarmShuffleStartLeavesCoreStatsIdentical) {
   const RunOutcome cold_outcome = cold.run(4000, 2000000);
 
   Core warm(program, Mode::kBlackjack);
-  warm.warm_start_shuffle(std::make_shared<const ShuffleCache::Map>(
-      cold.shuffle_cache().local_entries()));
+  warm.warm_start_shuffle(
+      ShuffleSnapshot(cold.shuffle_cache().local_entries()));
   const RunOutcome warm_outcome = warm.run(4000, 2000000);
 
   const CoreStats& c = cold.stats();
@@ -199,6 +252,93 @@ TEST_P(DifferentialReplay, WarmShuffleStartLeavesCoreStatsIdentical) {
 INSTANTIATE_TEST_SUITE_P(AllProfiles, DifferentialReplay,
                          ::testing::ValuesIn(all_profile_names()),
                          [](const auto& info) { return info.param; });
+
+// Kill-and-resume while the work queue is mid-drain: a progress callback
+// that throws aborts the campaign through the pool's first-error path with
+// unexecuted fault indices still queued; the store's checkpoint (written by
+// on_flush before the poisoned delivery) must then resume to output
+// byte-identical to an uninterrupted campaign. This is the end-to-end
+// pairing of the queue's exception contract with the store's atomic
+// checkpoints — one run per flushed record (checkpoint_every=1) makes the
+// kill land between checkpoints, never inside one.
+TEST(DifferentialReplayResume, KilledMidQueueCampaignResumesByteIdentical) {
+  namespace fs = std::filesystem;
+  const Program program = endless_program("eon");
+  CampaignConfig config;
+  config.mode = Mode::kBlackjack;
+  config.num_faults = 40;  // > 2 workers x 16-run batches: a kill at the
+                           // first flush always leaves indices queued
+  config.seed = 161616;
+  config.budget_commits = 800;
+
+  const auto fresh_dir = [](const std::string& name) {
+    const fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+  };
+  const auto read_file = [](const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+
+  // Uninterrupted baseline through the same store machinery.
+  CampaignServiceOptions options;
+  options.jobs = 2;
+  options.checkpoint_every = 1;
+  options.store_root = fresh_dir("diff_uninterrupted").string();
+  const CampaignServiceReport full =
+      run_campaign_service(program, config, options);
+  const std::string full_bytes =
+      read_file(fs::path(full.store_dir) / "runs.jsonl");
+
+  // Killed pass: the first progress delivery throws. Flushes happen at
+  // 16-run batches under jobs=2, so the abort fires with ~24 of the 40
+  // indices still in (or abandoned from) the queue.
+  options.store_root = fresh_dir("diff_killed").string();
+  options.progress = [](const CampaignProgress&) {
+    throw std::runtime_error("simulated kill");
+  };
+  EXPECT_THROW(run_campaign_service(program, config, options),
+               std::runtime_error);
+  options.progress = nullptr;
+
+  // The checkpoint must exist, hold a strict subset of the records (the
+  // kill was genuinely mid-queue), and carry no completion footer.
+  const fs::path killed_dir =
+      campaign_store_dir(options.store_root, config, program, options.shard);
+  const std::string killed_bytes = read_file(killed_dir / "runs.jsonl");
+  const long killed_records =
+      std::count(killed_bytes.begin(), killed_bytes.end(), '\n') - 1;
+  EXPECT_GT(killed_records, 0) << "at least one batch must have checkpointed";
+  EXPECT_LT(killed_records, config.num_faults)
+      << "the kill must leave work unexecuted";
+  EXPECT_EQ(killed_bytes.find("\"record\":\"footer\""), std::string::npos);
+
+  // Resume completes the remainder and reproduces the baseline exactly.
+  const CampaignServiceReport resumed =
+      run_campaign_service(program, config, options);
+  EXPECT_FALSE(resumed.complete_on_entry);
+  EXPECT_EQ(resumed.stats.resumed_runs, static_cast<int>(killed_records));
+  EXPECT_EQ(resumed.stats.executed_runs,
+            config.num_faults - static_cast<int>(killed_records));
+  EXPECT_EQ(full_bytes, read_file(killed_dir / "runs.jsonl"));
+  EXPECT_EQ(full.result.totals(), resumed.result.totals());
+  // Latency distributions span adopted + re-executed runs alike, so they
+  // must match the uninterrupted campaign's exactly (executed/resumed run
+  // counts intentionally differ — that's what resuming means).
+  ASSERT_EQ(full.stats.detection_latency.size(),
+            resumed.stats.detection_latency.size());
+  for (const auto& [outcome, ha] : full.stats.detection_latency) {
+    const auto it = resumed.stats.detection_latency.find(outcome);
+    ASSERT_NE(it, resumed.stats.detection_latency.end());
+    EXPECT_EQ(ha.count(), it->second.count());
+    EXPECT_EQ(ha.sum(), it->second.sum());
+  }
+}
 
 }  // namespace
 }  // namespace bj

@@ -1,0 +1,246 @@
+// Unit and property tests for the lock-free MPMC ring queue that backs the
+// harness worker pool (common/mpmc_queue.h): single-thread degenerate paths,
+// wrap-around at capacity, auto-grow, concurrent push/pop storms with
+// per-producer FIFO checks, drain-after-close, and exception-propagation
+// parity between the queue-backed pool and the old mutex pool's contract.
+#include "common/mpmc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "harness/worker_pool.h"
+
+namespace bj {
+namespace {
+
+TEST(MpmcQueue, SingleThreadFifoAndEmptiness) {
+  MpmcQueue<int> q(8);
+  int out = -1;
+  EXPECT_FALSE(q.try_pop(&out));
+  EXPECT_EQ(q.approx_size(), 0u);
+
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.approx_size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.try_pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(&out));
+  EXPECT_EQ(q.grows(), 0u);
+}
+
+// Push/pop far more items than the ring holds, interleaved so the occupancy
+// never exceeds capacity: the sequence counters must recycle slots across
+// many laps without corrupting FIFO order or growing.
+TEST(MpmcQueue, WrapAroundAtCapacityPreservesFifo) {
+  MpmcQueue<int> q(4);
+  const std::size_t cap = q.capacity();
+  int next_push = 0;
+  int next_pop = 0;
+  for (int lap = 0; lap < 100; ++lap) {
+    for (std::size_t i = 0; i < cap; ++i) EXPECT_TRUE(q.push(next_push++));
+    for (std::size_t i = 0; i < cap; ++i) {
+      int out = -1;
+      ASSERT_TRUE(q.try_pop(&out));
+      EXPECT_EQ(out, next_pop++);
+    }
+  }
+  EXPECT_EQ(q.grows(), 0u) << "interleaved laps never fill past capacity";
+}
+
+// Filling past capacity without popping must grow (possibly repeatedly) and
+// keep every item, still in FIFO order for the single producer.
+TEST(MpmcQueue, GrowsWhenFullAndKeepsOrder) {
+  MpmcQueue<int> q(4);
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_GE(q.grows(), 1u);
+  EXPECT_EQ(q.approx_size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    int out = -1;
+    ASSERT_TRUE(q.try_pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(q.try_pop(&out));
+  EXPECT_TRUE(q.drained());
+}
+
+TEST(MpmcQueue, DrainAfterCloseDeliversEverythingThenStops) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(q.push(i));
+  q.close();
+  EXPECT_FALSE(q.push(99)) << "push after close must fail";
+  int out = -1;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(q.pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.pop(&out)) << "closed and drained";
+  EXPECT_TRUE(q.drained());
+}
+
+TEST(MpmcQueue, CloseOnEmptyUnblocksPop) {
+  MpmcQueue<int> q(4);
+  std::thread closer([&q] { q.close(); });
+  int out = -1;
+  EXPECT_FALSE(q.pop(&out));
+  closer.join();
+}
+
+// Multi-producer/multi-consumer storm through a deliberately tiny initial
+// ring, so growth happens mid-run. Checks: every value delivered exactly
+// once, and per-producer FIFO (values from one producer arrive at any given
+// consumer in increasing sequence — the queue never reorders one producer's
+// pushes, though it interleaves producers freely).
+TEST(MpmcQueue, ConcurrentStormDeliversExactlyOnceInProducerOrder) {
+  const int producers = 4;
+  const int consumers = 4;
+  const int per_producer = 5000;
+  MpmcQueue<std::uint64_t> q(4);  // tiny: forces growth under load
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < per_producer; ++i) {
+        ASSERT_TRUE(q.push((static_cast<std::uint64_t>(p) << 32) |
+                           static_cast<std::uint64_t>(i)));
+      }
+    });
+  }
+
+  std::vector<std::vector<std::uint64_t>> consumed(consumers);
+  std::atomic<int> remaining{producers * per_producer};
+  for (int c = 0; c < consumers; ++c) {
+    threads.emplace_back([&q, &consumed, &remaining, c] {
+      std::uint64_t v;
+      while (remaining.load(std::memory_order_relaxed) > 0) {
+        if (q.try_pop(&v)) {
+          consumed[c].push_back(v);
+          remaining.fetch_sub(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Per-producer FIFO within each consumer's stream.
+  for (int c = 0; c < consumers; ++c) {
+    std::vector<std::int64_t> last_seq(producers, -1);
+    for (const std::uint64_t v : consumed[c]) {
+      const int p = static_cast<int>(v >> 32);
+      const auto seq = static_cast<std::int64_t>(v & 0xffffffffu);
+      EXPECT_GT(seq, last_seq[p]) << "producer " << p << " reordered";
+      last_seq[p] = seq;
+    }
+  }
+  // Exactly-once delivery across all consumers.
+  std::vector<std::uint64_t> all;
+  for (const auto& chunk : consumed) {
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  ASSERT_EQ(all.size(),
+            static_cast<std::size_t>(producers) * per_producer);
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end())
+      << "duplicate delivery";
+  EXPECT_GE(q.grows(), 1u) << "storm through a 4-slot ring must have grown";
+  EXPECT_TRUE(q.drained());
+}
+
+// Blocking-pop variant of the storm: consumers use pop() and exit on the
+// closed-and-drained signal, mirroring how the worker pool drains.
+TEST(MpmcQueue, BlockingPopsDrainClosedQueueUnderContention) {
+  const int producers = 3;
+  const int consumers = 5;
+  const int per_producer = 3000;
+  MpmcQueue<std::uint64_t> q(8);
+
+  std::vector<std::thread> prod;
+  for (int p = 0; p < producers; ++p) {
+    prod.emplace_back([&q, p] {
+      for (int i = 0; i < per_producer; ++i) {
+        ASSERT_TRUE(q.push((static_cast<std::uint64_t>(p) << 32) |
+                           static_cast<std::uint64_t>(i)));
+      }
+    });
+  }
+  for (std::thread& t : prod) t.join();
+  q.close();  // every push happens-before close, per the queue contract
+
+  std::atomic<std::size_t> popped{0};
+  std::vector<std::thread> cons;
+  for (int c = 0; c < consumers; ++c) {
+    cons.emplace_back([&q, &popped] {
+      std::uint64_t v;
+      while (q.pop(&v)) popped.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : cons) t.join();
+  EXPECT_EQ(popped.load(),
+            static_cast<std::size_t>(producers) * per_producer);
+  EXPECT_TRUE(q.drained());
+}
+
+// The queue-backed worker pool must keep the old mutex pool's exception
+// contract: the first exception is rethrown on the calling thread after all
+// workers have joined cleanly, and remaining work is abandoned (not run to
+// completion) once a worker has failed.
+TEST(MpmcQueue, WorkerPoolPropagatesFirstExceptionAndJoins) {
+  const std::size_t count = 257;
+  std::vector<std::atomic<int>> seen(count);
+  for (auto& s : seen) s.store(0);
+
+  EXPECT_THROW(
+      parallel_for(4, count,
+                   [&seen](std::size_t i) {
+                     if (i == 40) throw std::runtime_error("boom");
+                     seen[i].fetch_add(1);
+                   }),
+      std::runtime_error);
+
+  std::size_t ran = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    ASSERT_LE(seen[i].load(), 1) << "index " << i << " ran twice";
+    ran += static_cast<std::size_t>(seen[i].load());
+  }
+  EXPECT_LT(ran, count) << "a failed run must abandon remaining work";
+}
+
+// Degenerate paths of the pool itself: zero items spawn nothing; one worker
+// runs inline with exceptions surfacing directly.
+TEST(MpmcQueue, WorkerPoolDegeneratePaths) {
+  int calls = 0;
+  EXPECT_EQ(parallel_for_workers(
+                8, 0, [&](std::size_t, std::size_t) { ++calls; }),
+            0u);
+  EXPECT_EQ(calls, 0);
+
+  std::vector<std::size_t> order;
+  EXPECT_EQ(parallel_for_workers(1, 5,
+                                 [&](std::size_t worker, std::size_t i) {
+                                   EXPECT_EQ(worker, 0u);
+                                   order.push_back(i);
+                                 }),
+            1u);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}))
+      << "serial path runs inline and in order";
+
+  EXPECT_THROW(parallel_for(1, 3,
+                            [](std::size_t i) {
+                              if (i == 1) throw std::logic_error("inline");
+                            }),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace bj

@@ -8,8 +8,10 @@
 //   P5 the result is deterministic.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -367,6 +369,143 @@ TEST(SharedShuffle, ConcurrentMergeOnRetireIsRaceFree) {
                        "verify packet " + std::to_string(i));
     EXPECT_TRUE(warm_hit) << "worker 0's first-round packets were merged";
   }
+}
+
+TEST(SharedShuffle, PinnedReadersSurviveMergeRetireStorm) {
+  // The hazard-pointer protocol's worst case: readers hold snapshots PINNED
+  // ACROSS many merges (not the campaign's snapshot-then-release pattern),
+  // while a writer thread publishes new versions and retires old ones.
+  // Every pinned snapshot must keep reading its exact map version — same
+  // address, same size, same entries — no matter how many versions retire
+  // behind it; and once the pins drop, reclamation must actually free the
+  // backlog. Under -DBJ_SANITIZE=thread this is tier2_tsan_shuffle_merge.
+  const CoreParams params;
+  SharedShuffleTable table;
+
+  // Seed one version so the first snapshots pin something non-empty.
+  {
+    Rng rng(0x12345);
+    ShuffleCache seed;
+    for (int i = 0; i < 20; ++i) {
+      const std::vector<ShuffleInst> p = random_packet(rng, params);
+      if (p.empty()) continue;
+      bool hit = false;
+      seed.shuffle(p, kWidth, &hit);
+    }
+    table.merge(seed.local_entries());
+  }
+
+  constexpr int kReaders = 3;
+  constexpr int kMerges = 40;
+  std::atomic<bool> writer_done{false};
+
+  std::vector<std::thread> threads;
+  // Writer: keeps merging fresh entry sets, retiring a version each time.
+  threads.emplace_back([&] {
+    Rng rng(0xabcdef);
+    for (int m = 0; m < kMerges; ++m) {
+      ShuffleCache cache;
+      for (int i = 0; i < 6; ++i) {
+        const std::vector<ShuffleInst> p = random_packet(rng, params);
+        if (p.empty()) continue;
+        bool hit = false;
+        cache.shuffle(p, kWidth, &hit);
+      }
+      table.merge(cache.local_entries());
+      std::this_thread::yield();
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  for (int rdr = 0; rdr < kReaders; ++rdr) {
+    threads.emplace_back([&, rdr] {
+      Rng rng(0x5eed + rdr);
+      while (!writer_done.load(std::memory_order_acquire)) {
+        // Pin a snapshot, remember its identity, and hold it across a few
+        // merge opportunities; the view must be frozen the whole time.
+        ShuffleSnapshot snap = table.snapshot();
+        EXPECT_TRUE(snap.pinned()) << "slots must not be exhausted here";
+        const ShuffleMap* addr = snap.get();
+        const std::size_t size_at_pin = snap->size();
+        for (int hold = 0; hold < 5; ++hold) {
+          std::this_thread::yield();
+          EXPECT_EQ(snap.get(), addr) << "snapshot address changed mid-pin";
+          EXPECT_EQ(snap->size(), size_at_pin)
+              << "pinned map mutated by a concurrent merge";
+          for (const auto& [key, result] : *snap) {
+            EXPECT_GE(result.packets.size(), 1u);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // The writer retired versions while readers were pinned; reclamation must
+  // have freed everything not pinned at scan time, and a final merge (all
+  // pins now released) clears any remainder.
+  EXPECT_GT(table.retired(), 0u) << "storm must have retired versions";
+  {
+    Rng rng(0xf1a1);
+    ShuffleCache last;
+    for (int i = 0; i < 30; ++i) {
+      const std::vector<ShuffleInst> p = random_packet(rng, params);
+      if (p.empty()) continue;
+      bool hit = false;
+      last.shuffle(p, kWidth, &hit);
+    }
+    table.merge(last.local_entries());
+  }
+  EXPECT_EQ(table.reclaimed(), table.retired())
+      << "with no pins left, every retired version must be freed";
+  EXPECT_EQ(table.copy_fallbacks(), 0u)
+      << "3 readers can never exhaust 128 hazard slots";
+
+  // And the surviving table still agrees with direct computation.
+  ShuffleCache verify;
+  verify.warm_start(table.snapshot());
+  Rng rng(0xabcdef);
+  for (int i = 0; i < 6; ++i) {
+    const std::vector<ShuffleInst> p = random_packet(rng, params);
+    if (p.empty()) continue;
+    bool hit = false;
+    const ShuffleResult& r = verify.shuffle(p, kWidth, &hit);
+    expect_same_result(safe_shuffle(p, kWidth), r,
+                       "post-storm packet " + std::to_string(i));
+  }
+}
+
+TEST(SharedShuffle, SnapshotFallsBackToCopyWhenAllSlotsPinned) {
+  // Pin every hazard slot, then take one more snapshot: it must come back
+  // as a private deep copy (not pinned), still readable, and counted.
+  SharedShuffleTable table;
+  {
+    ShuffleCache seed;
+    Rng rng(0x777);
+    const CoreParams params;
+    for (int i = 0; i < 10; ++i) {
+      const std::vector<ShuffleInst> p = random_packet(rng, params);
+      if (p.empty()) continue;
+      bool hit = false;
+      seed.shuffle(p, kWidth, &hit);
+    }
+    table.merge(seed.local_entries());
+  }
+  const std::size_t expected_size = table.size();
+
+  std::vector<ShuffleSnapshot> pins;
+  pins.reserve(SharedShuffleTable::kHazardSlots);
+  for (std::size_t i = 0; i < SharedShuffleTable::kHazardSlots; ++i) {
+    pins.push_back(table.snapshot());
+    ASSERT_TRUE(pins.back().pinned());
+  }
+  const ShuffleSnapshot overflow = table.snapshot();
+  EXPECT_FALSE(overflow.pinned());
+  EXPECT_EQ(overflow->size(), expected_size);
+  EXPECT_EQ(table.copy_fallbacks(), 1u);
+
+  pins.clear();  // release every pin; the next snapshot pins again
+  EXPECT_TRUE(table.snapshot().pinned());
 }
 
 }  // namespace
