@@ -16,7 +16,7 @@ const std::vector<std::string>& bjsim_accepted_options() {
       "slack",         "csv",           "store",
       "shard",         "merge",         "exhaustive",
       "test-count",    "checkpoint-every", "metrics-port",
-      "store-verify",
+      "store-verify",  "autopsy",       "flight-recorder",
   };
   return options;
 }
@@ -78,6 +78,19 @@ const char* bjsim_usage_text() {
   --metrics-port P      serve live campaign progress as Prometheus text on
                         http://127.0.0.1:P/metrics while the campaign runs
                         (0 = ephemeral port, printed on stderr)
+  --autopsy[=SELECT]    forensic lockstep replay. With --campaign: autopsy
+                        every stored run SELECT picks (escapes = sdc +
+                        detected-late + oracle-divergence, the default;
+                        detected; all = every non-benign run) and, with
+                        --store, write canonical autopsy.jsonl next to
+                        runs.jsonl. Single runs: re-run the hard --fault
+                        against the lockstep oracle and print the first
+                        divergence, propagation chain, and detection site
+  --flight-recorder N   single runs: keep the last N cycles of pipeline
+                        history in a ring and auto-dump it (--trace-format
+                        chrome for Chrome JSON, Konata otherwise; files
+                        flight-<reason>.*) when a check fires, the oracle
+                        diverges, or a BJ_CHECK aborts
   --oracle              campaign runs the architectural oracle per leading
                         commit and reports silent divergences that never
                         reached memory as a distinct "oracle-divergence"

@@ -13,15 +13,41 @@
 
 namespace bj::detail {
 
+// Last-gasp callback slot invoked after the failure message but before
+// abort(). The flight recorder registers here so a structural-invariant
+// abort still leaves the last-N-cycles pipeline trace on disk. Function-
+// local static so the header stays include-order safe.
+inline void (*&check_abort_hook())() {
+  static void (*hook)() = nullptr;
+  return hook;
+}
+
 [[noreturn]] inline void check_failed(const char* cond, const char* what,
                                       const char* file, int line) {
   std::fprintf(stderr, "BJ_CHECK failed: %s [%s] at %s:%d\n", cond, what, file,
                line);
   std::fflush(stderr);
+  if (check_abort_hook() != nullptr) {
+    // Disarm before running: a BJ_CHECK tripped inside the hook itself must
+    // fall straight through to abort instead of recursing.
+    void (*hook)() = check_abort_hook();
+    check_abort_hook() = nullptr;
+    hook();
+  }
   std::abort();
 }
 
 }  // namespace bj::detail
+
+namespace bj {
+
+// Registers (or with nullptr, clears) the pre-abort hook. At most one is
+// live at a time; the caller owns any state the hook reaches.
+inline void set_check_abort_hook(void (*hook)()) {
+  detail::check_abort_hook() = hook;
+}
+
+}  // namespace bj
 
 // `what` names the structure or invariant (e.g. the queue's name) so the
 // abort message identifies which modeled resource overflowed.

@@ -64,6 +64,37 @@ class Histogram {
                   : 0.0;
   }
   std::uint64_t bucket(int i) const { return buckets_[i]; }
+  // Quantile estimate from the log2 buckets: walk the cumulative counts to
+  // the bucket holding rank q*count, then interpolate linearly inside it.
+  // Exact only when the bucket is one value wide; otherwise the error is
+  // bounded by the bucket span, which is the resolution this histogram
+  // promises. Clamped to [min, max] so p0/p100 are exact.
+  double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    if (q <= 0.0) return static_cast<double>(min());
+    if (q >= 1.0) return static_cast<double>(max_);
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      if (buckets_[i] == 0) continue;
+      const auto before = static_cast<double>(cumulative);
+      cumulative += buckets_[i];
+      if (static_cast<double>(cumulative) < target) continue;
+      const double lo = static_cast<double>(bucket_floor(i));
+      const double hi = i + 1 < kBuckets
+                            ? static_cast<double>(bucket_floor(i + 1))
+                            : static_cast<double>(max_);
+      const double within =
+          (target - before) / static_cast<double>(buckets_[i]);
+      double value = lo + (hi - lo) * within;
+      const auto floor_v = static_cast<double>(min());
+      const auto ceil_v = static_cast<double>(max_);
+      if (value < floor_v) value = floor_v;
+      if (value > ceil_v) value = ceil_v;
+      return value;
+    }
+    return static_cast<double>(max_);
+  }
   // Inclusive lower bound of bucket i's value range.
   static std::uint64_t bucket_floor(int i) {
     return i == 0 ? 0 : (1ull << i) - 1;

@@ -102,9 +102,15 @@ void MetricsHttpServer::serve() {
     }
     if (is_get && path == "/metrics") {
       write_all(client, http_response(200, "OK", producer_()));
+    } else if (is_get && path == "/healthz") {
+      // Liveness probe: answers as long as the serve loop is running,
+      // without invoking the producer (a wedged producer should fail the
+      // scrape, not the liveness check).
+      write_all(client, http_response(200, "OK", "ok\n"));
     } else {
       write_all(client,
-                http_response(404, "Not Found", "try GET /metrics\n"));
+                http_response(404, "Not Found",
+                              "try GET /metrics or GET /healthz\n"));
     }
     ::close(client);
   }

@@ -1,8 +1,10 @@
 #include "common/trace.h"
 
 #include <algorithm>
+#include <fstream>
 #include <ostream>
 
+#include "common/check.h"
 #include "common/metrics.h"
 
 namespace bj {
@@ -193,6 +195,65 @@ void PipelineTracer::write_chrome(std::ostream& os) const {
     chrome_inst_event(os, r);
   }
   os << "\n]}\n";
+}
+
+namespace {
+
+// Ring capacity per window cycle: the widest machine ends well under eight
+// instructions per cycle, so 8 records/cycle can never age out an
+// instruction that is still inside the window. Bounded so a huge window
+// cannot ask for an unbounded ring.
+std::size_t flight_capacity(std::uint64_t window) {
+  const std::uint64_t want = window * 8;
+  const std::uint64_t lo = 1u << 12;
+  const std::uint64_t hi = 1u << 20;
+  return static_cast<std::size_t>(want < lo ? lo : (want > hi ? hi : want));
+}
+
+FlightRecorder*& armed_flight_recorder() {
+  static FlightRecorder* armed = nullptr;
+  return armed;
+}
+
+void flight_check_abort_trampoline() {
+  if (armed_flight_recorder() != nullptr) {
+    armed_flight_recorder()->dump("check-abort");
+  }
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::uint64_t last_cycles,
+                               std::string path_prefix, Format format)
+    : tracer_(flight_capacity(last_cycles == 0 ? 1 : last_cycles),
+              last_cycles == 0 ? 1 : last_cycles),
+      window_(last_cycles == 0 ? 1 : last_cycles),
+      prefix_(std::move(path_prefix)),
+      format_(format) {}
+
+std::string FlightRecorder::dump(std::string_view reason) {
+  for (const std::string& done : dumped_) {
+    if (done == reason) return {};
+  }
+  const std::string path = prefix_ + "-" + std::string(reason) +
+                           (format_ == Format::kKonata ? ".kanata" : ".json");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return {};
+  if (format_ == Format::kKonata) {
+    tracer_.write_konata(out);
+  } else {
+    tracer_.write_chrome(out);
+  }
+  out.flush();
+  if (!out) return {};
+  dumped_.push_back(std::string(reason));
+  return path;
+}
+
+void FlightRecorder::arm_on_check_abort(FlightRecorder* recorder) {
+  armed_flight_recorder() = recorder;
+  set_check_abort_hook(recorder != nullptr ? &flight_check_abort_trampoline
+                                           : nullptr);
 }
 
 void CampaignTraceLog::add_span(std::string_view name, std::string_view cat,

@@ -110,6 +110,52 @@ class PipelineTracer {
   std::uint64_t total_ = 0; // records ever pushed
 };
 
+// Crash/detection flight recorder: a last-N-cycles PipelineTracer ring that
+// stays armed for the whole run and is dumped to disk only when something
+// goes wrong — a redundancy-check detection, an oracle divergence, or a
+// BJ_CHECK abort. Arming it only swings the core's existing `if (tracer_)`
+// branches, so an armed-but-never-dumping recorder leaves CoreStats
+// bit-identical to an untraced run.
+//
+// Dump files are named `<prefix>-<reason>.<ext>` (ext from the format); each
+// reason dumps at most once per recorder so a detection storm cannot write
+// the same ring a thousand times.
+class FlightRecorder {
+ public:
+  enum class Format : std::uint8_t { kKonata, kChrome };
+
+  // `last_cycles`: the ring's cycle window (--flight-recorder=N). The record
+  // capacity is sized generously relative to the window; the window is the
+  // contract.
+  FlightRecorder(std::uint64_t last_cycles, std::string path_prefix,
+                 Format format = Format::kKonata);
+
+  // The ring the core records into (wire with Core::set_flight_recorder).
+  PipelineTracer& tracer() { return tracer_; }
+  const PipelineTracer& tracer() const { return tracer_; }
+
+  // Writes the ring as `<prefix>-<reason>.<ext>`. Returns the path written,
+  // or empty if this reason already dumped or the file cannot be opened.
+  std::string dump(std::string_view reason);
+
+  int dumps() const { return static_cast<int>(dumped_.size()); }
+  std::uint64_t window_cycles() const { return window_; }
+  const std::string& prefix() const { return prefix_; }
+
+  // Registers `recorder` (or nullptr to disarm) as the process-wide
+  // BJ_CHECK abort target: a failed structural invariant dumps the ring as
+  // `<prefix>-check-abort.<ext>` before aborting. At most one recorder is
+  // armed at a time; the caller must disarm before the recorder dies.
+  static void arm_on_check_abort(FlightRecorder* recorder);
+
+ private:
+  PipelineTracer tracer_;
+  std::uint64_t window_;
+  std::string prefix_;
+  Format format_;
+  std::vector<std::string> dumped_;  // reasons already written
+};
+
 // Campaign-scale Chrome trace: worker lanes, one span per fault run, golden
 // trace cache fills, with free-form args carrying provenance. Thread-safe —
 // campaign workers append concurrently.

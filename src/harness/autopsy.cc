@@ -1,0 +1,470 @@
+#include "harness/autopsy.h"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "arch/emulator.h"
+#include "common/check.h"
+#include "harness/golden_trace.h"
+#include "harness/worker_pool.h"
+#include "pipeline/core.h"
+
+namespace bj {
+
+const char* autopsy_select_name(AutopsySelect select) {
+  switch (select) {
+    case AutopsySelect::kEscapes: return "escapes";
+    case AutopsySelect::kDetected: return "detected";
+    case AutopsySelect::kAll: return "all";
+  }
+  return "?";
+}
+
+bool parse_autopsy_select(std::string_view name, AutopsySelect* out) {
+  for (const AutopsySelect candidate :
+       {AutopsySelect::kEscapes, AutopsySelect::kDetected,
+        AutopsySelect::kAll}) {
+    if (name == autopsy_select_name(candidate)) {
+      *out = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool autopsy_selects(AutopsySelect select, FaultOutcome outcome) {
+  switch (select) {
+    case AutopsySelect::kEscapes:
+      return outcome == FaultOutcome::kSdc ||
+             outcome == FaultOutcome::kDetectedLate ||
+             outcome == FaultOutcome::kOracleDivergence;
+    case AutopsySelect::kDetected:
+      return outcome == FaultOutcome::kDetected ||
+             outcome == FaultOutcome::kDetectedLate ||
+             outcome == FaultOutcome::kWedged;
+    case AutopsySelect::kAll:
+      return outcome != FaultOutcome::kBenign;
+  }
+  return false;
+}
+
+const char* divergence_kind_name(DivergenceKind kind) {
+  switch (kind) {
+    case DivergenceKind::kPcStream: return "pc-stream";
+    case DivergenceKind::kStoreAddress: return "store-address";
+    case DivergenceKind::kStoreData: return "store-data";
+    case DivergenceKind::kLoadAddress: return "load-address";
+    case DivergenceKind::kLoadValue: return "load-value";
+    case DivergenceKind::kRegValue: return "reg-value";
+    case DivergenceKind::kNextPc: return "next-pc";
+    case DivergenceKind::kOracleHalted: return "oracle-halted";
+  }
+  return "?";
+}
+
+namespace {
+
+// Lockstep comparator: its own architectural emulator advanced once per
+// committed leading instruction, mirroring Core::check_against_oracle's
+// comparison — but recording structured events instead of a single boolean.
+// The aspect order (pc, store, load, register, control target) matches the
+// oracle check, so "what diverged first" means the same thing in both.
+class LockstepObserver : public CommitObserver {
+ public:
+  explicit LockstepObserver(const Program& program) : oracle_(program) {}
+
+  void on_leading_commit(const DynInst& inst, std::uint64_t cycle) override {
+    DivergenceEvent ev;
+    ev.seq = inst.seq;
+    ev.cycle = cycle;
+    ev.pc = inst.pc;
+
+    const std::optional<RetireRecord> rec = oracle_.step();
+    bool diverged = false;
+    if (!rec.has_value()) {
+      diverged = true;
+      ev.kind = DivergenceKind::kOracleHalted;
+      ev.actual = inst.pc;
+    } else {
+      const DecodedInst& d = inst.di();
+      const bool want_store = rec->store.has_value();
+      const bool want_load = rec->load.has_value();
+      if (rec->pc != inst.pc) {
+        diverged = true;
+        ev.kind = DivergenceKind::kPcStream;
+        ev.expected = rec->pc;
+        ev.actual = inst.pc;
+      } else if (want_store != d.is_store() ||
+                 (want_store && rec->store->first != inst.mem_addr)) {
+        // A phantom or missing store (decode fault flipped the opcode class)
+        // is an address divergence with the absent side reading 0.
+        diverged = true;
+        ev.kind = DivergenceKind::kStoreAddress;
+        ev.expected = want_store ? rec->store->first : 0;
+        ev.actual = d.is_store() ? inst.mem_addr : 0;
+      } else if (want_store && rec->store->second != inst.result) {
+        diverged = true;
+        ev.kind = DivergenceKind::kStoreData;
+        ev.expected = rec->store->second;
+        ev.actual = inst.result;
+      } else if (want_load != d.is_load() ||
+                 (want_load && rec->load->first != inst.mem_addr)) {
+        diverged = true;
+        ev.kind = DivergenceKind::kLoadAddress;
+        ev.expected = want_load ? rec->load->first : 0;
+        ev.actual = d.is_load() ? inst.mem_addr : 0;
+      } else if (want_load && rec->load->second != inst.result) {
+        diverged = true;
+        ev.kind = DivergenceKind::kLoadValue;
+        ev.expected = rec->load->second;
+        ev.actual = inst.result;
+      } else if (rec->wrote_reg && !rec->inst.is_load() &&
+                 inst.result != rec->dst_value) {
+        diverged = true;
+        ev.kind = DivergenceKind::kRegValue;
+        ev.expected = rec->dst_value;
+        ev.actual = inst.result;
+      } else if (rec->inst.is_control()) {
+        const std::uint64_t next = (d.valid && d.is_control() && inst.taken)
+                                       ? inst.target
+                                       : inst.pc + 1;
+        if (next != rec->next_pc) {
+          diverged = true;
+          ev.kind = DivergenceKind::kNextPc;
+          ev.expected = rec->next_pc;
+          ev.actual = next;
+        }
+      }
+    }
+    if (!diverged) return;
+    ++divergent_commits_;
+    if (!has_first_) {
+      has_first_ = true;
+      first_ = ev;
+      return;
+    }
+    if (chain_.size() < kAutopsyChainCap) {
+      chain_.push_back(ev);
+    } else {
+      chain_truncated_ = true;
+    }
+  }
+
+  bool diverged() const { return has_first_; }
+  const DivergenceEvent& first() const { return first_; }
+  std::vector<DivergenceEvent>&& take_chain() { return std::move(chain_); }
+  bool chain_truncated() const { return chain_truncated_; }
+  std::uint64_t divergent_commits() const { return divergent_commits_; }
+
+ private:
+  Emulator oracle_;
+  bool has_first_ = false;
+  DivergenceEvent first_;
+  std::vector<DivergenceEvent> chain_;
+  bool chain_truncated_ = false;
+  std::uint64_t divergent_commits_ = 0;
+};
+
+// The campaign engine's classification step cap and cycle budget, replicated
+// verbatim (campaign.cc keeps them internal): the autopsy replay must ask
+// the golden cache for exactly the prefix the campaign's classifier saw, or
+// the re-derived outcome could disagree at the cap boundary.
+std::uint64_t autopsy_golden_step_cap(const CampaignConfig& config) {
+  return config.budget_commits * 4 + 1000000;
+}
+std::uint64_t autopsy_max_cycles(const CampaignConfig& config) {
+  return config.budget_commits * 64 + config.params.watchdog_cycles * 4;
+}
+
+// One lockstep re-run. Mirrors campaign.cc's execute_fault_run exactly —
+// same injector, oracle setting, provenance attachment, budget, and golden
+// prefix — with the observer riding along (pure observation, so the
+// simulated behaviour and therefore the re-derived outcome are identical to
+// the campaign's run for this index).
+AutopsyRecord autopsy_one(const Program& program, const CampaignConfig& config,
+                          std::size_t index, FaultInjector injector,
+                          const HardFault& label, GoldenTraceCache& golden) {
+  Core core(program, config.mode, config.params, &injector);
+  core.set_oracle_check(config.oracle_check);
+  FaultProvenance provenance;
+  core.set_provenance(&provenance);
+  LockstepObserver observer(program);
+  core.set_commit_observer(&observer);
+  const RunOutcome outcome =
+      core.run(config.budget_commits, autopsy_max_cycles(config));
+
+  AutopsyRecord rec;
+  rec.index = index;
+  rec.fault = label;
+  rec.diverged = observer.diverged();
+  rec.first = observer.first();
+  rec.chain = observer.take_chain();
+  rec.chain_truncated = observer.chain_truncated();
+  rec.divergent_commits = observer.divergent_commits();
+
+  // Corrupt-store analysis, identical to the campaign classifier.
+  const auto& released = core.released_stores();
+  const auto& release_cycles = core.released_store_cycles();
+  const auto golden_prefix =
+      golden.prefix(released.size(), autopsy_golden_step_cap(config));
+  std::uint64_t corrupt_stores = 0;
+  for (std::size_t i = 0; i < released.size(); ++i) {
+    const bool wrong = i >= golden_prefix.size() ||
+                       released[i].addr != golden_prefix[i].first ||
+                       released[i].data != golden_prefix[i].second;
+    if (!wrong) continue;
+    if (corrupt_stores == 0 && i < release_cycles.size()) {
+      rec.corrupt_store_released = true;
+      rec.first_corrupt_store_ordinal = released[i].ordinal;
+      rec.first_corrupt_store_addr = released[i].addr;
+      rec.first_corrupt_store_data = released[i].data;
+      rec.first_corrupt_store_cycle = release_cycles[i];
+      if (!provenance.corrupted) {
+        provenance.corrupted = true;
+        provenance.first_corruption_cycle = release_cycles[i];
+      }
+    }
+    ++corrupt_stores;
+  }
+  rec.activated = provenance.activated;
+  rec.first_activation_cycle = provenance.first_activation_cycle;
+
+  if (!outcome.detections.empty()) {
+    const DetectionEvent& first = outcome.detections.front();
+    rec.detected = true;
+    rec.detection_kind = first.kind;
+    rec.detection_cycle = first.cycle;
+    rec.detection_pc = first.pc;
+    rec.detection_seq = first.seq;
+    rec.detection_latency = provenance.detection_latency();
+    if (first.kind == DetectionKind::kWatchdogTimeout) {
+      rec.outcome = FaultOutcome::kWedged;
+    } else {
+      rec.outcome = corrupt_stores == 0 ? FaultOutcome::kDetected
+                                        : FaultOutcome::kDetectedLate;
+    }
+  } else if (corrupt_stores > 0) {
+    rec.outcome = FaultOutcome::kSdc;
+  } else if (core.oracle_violated()) {
+    rec.outcome = FaultOutcome::kOracleDivergence;
+  } else {
+    rec.outcome = FaultOutcome::kBenign;
+  }
+
+  // The chain explains propagation *up to* the terminal event — the first
+  // corrupt store's release or the detecting check. Later divergent commits
+  // (possible when the watchdog let the machine run on) stay in
+  // divergent_commits but out of the chain.
+  std::uint64_t window_end = ~0ull;
+  if (rec.corrupt_store_released) {
+    window_end = rec.first_corrupt_store_cycle;
+  }
+  if (rec.detected && rec.detection_cycle < window_end) {
+    window_end = rec.detection_cycle;
+  }
+  if (window_end != ~0ull) {
+    const auto past = std::remove_if(
+        rec.chain.begin(), rec.chain.end(),
+        [window_end](const DivergenceEvent& e) { return e.cycle > window_end; });
+    if (past != rec.chain.end()) {
+      rec.chain.erase(past, rec.chain.end());
+      rec.chain_truncated = true;
+    }
+  }
+  return rec;
+}
+
+void write_divergence_event(std::ostream& os, const DivergenceEvent& ev) {
+  os << "{\"seq\":" << ev.seq << ",\"cycle\":" << ev.cycle << ",\"pc\":"
+     << ev.pc << ",\"kind\":\"" << divergence_kind_name(ev.kind)
+     << "\",\"expected\":" << ev.expected << ",\"actual\":" << ev.actual
+     << "}";
+}
+
+}  // namespace
+
+AutopsyRecord autopsy_single_run(const Program& program,
+                                 const CampaignConfig& config,
+                                 const FaultInjector& injector,
+                                 const HardFault& label) {
+  GoldenTraceCache golden(program);
+  return autopsy_one(program, config, 0, injector, label, golden);
+}
+
+AutopsyRecord autopsy_fault_run(const Program& program,
+                                const CampaignConfig& config,
+                                std::size_t index, GoldenTraceCache* golden) {
+  const std::vector<FaultInjector> injectors =
+      campaign_fault_injectors(config);
+  const std::vector<HardFault> labels = campaign_fault_labels(config);
+  if (index >= injectors.size()) {
+    throw std::runtime_error("autopsy: fault index out of range");
+  }
+  GoldenTraceCache local(program);
+  return autopsy_one(program, config, index, injectors[index], labels[index],
+                     golden != nullptr ? *golden : local);
+}
+
+AutopsyResult run_campaign_autopsy(const Program& program,
+                                   const CampaignConfig& config,
+                                   const CampaignResult& result,
+                                   const AutopsyOptions& options) {
+  const std::vector<FaultInjector> injectors =
+      campaign_fault_injectors(config);
+  const std::vector<HardFault> labels = campaign_fault_labels(config);
+  if (result.runs.size() != injectors.size()) {
+    throw std::runtime_error(
+        "autopsy: campaign result does not match the configuration's fault "
+        "space");
+  }
+
+  std::vector<std::size_t> selected;
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    if (autopsy_selects(options.select, result.runs[i].outcome)) {
+      selected.push_back(i);
+    }
+  }
+
+  AutopsyResult out;
+  out.select = options.select;
+  out.records.resize(selected.size());
+
+  GoldenTraceCache local(program);
+  GoldenTraceCache& golden =
+      options.golden != nullptr ? *options.golden : local;
+
+  // Worker threads only write their own index-keyed slot; mismatches are
+  // collected under the mutex and thrown after the pool joins.
+  std::mutex mu;
+  std::size_t done = 0;
+  std::string mismatch;
+  parallel_for_workers(
+      options.jobs, selected.size(), [&](std::size_t, std::size_t k) {
+        const std::size_t index = selected[k];
+        AutopsyRecord rec = autopsy_one(program, config, index,
+                                        injectors[index], labels[index],
+                                        golden);
+        const FaultOutcome stored = result.runs[index].outcome;
+        out.records[k] = std::move(rec);
+        std::lock_guard<std::mutex> lock(mu);
+        if (out.records[k].outcome != stored && mismatch.empty()) {
+          mismatch = std::string("autopsy replay of fault ") +
+                     std::to_string(index) + " re-derived outcome " +
+                     fault_outcome_name(out.records[k].outcome) +
+                     " but the campaign recorded " +
+                     fault_outcome_name(stored);
+        }
+        ++done;
+        if (options.progress) options.progress(done, selected.size());
+      });
+  if (!mismatch.empty()) throw std::runtime_error(mismatch);
+  return out;
+}
+
+std::string canonical_autopsy_record(const std::string& workload,
+                                     const CampaignConfig& config,
+                                     const AutopsyRecord& record) {
+  std::ostringstream os;
+  os << "{\"record\":\"autopsy\",\"index\":" << record.index
+     << ",\"workload\":\"" << workload << "\",\"mode\":\""
+     << mode_name(config.mode) << "\",\"fault\":\""
+     << (config.soft_errors
+             ? "transient bit " + std::to_string(record.fault.bit)
+             : record.fault.describe())
+     << "\",\"outcome\":\"" << fault_outcome_name(record.outcome) << "\"";
+  // Field presence encodes the booleans, exactly as in runs.jsonl records.
+  if (record.activated) {
+    os << ",\"first_activation_cycle\":" << record.first_activation_cycle;
+  }
+  os << ",\"divergent_commits\":" << record.divergent_commits;
+  if (record.diverged) {
+    os << ",\"divergence\":";
+    write_divergence_event(os, record.first);
+  }
+  if (!record.chain.empty()) {
+    os << ",\"chain\":[";
+    for (std::size_t i = 0; i < record.chain.size(); ++i) {
+      if (i > 0) os << ",";
+      write_divergence_event(os, record.chain[i]);
+    }
+    os << "]";
+  }
+  if (record.chain_truncated) os << ",\"chain_truncated\":true";
+  if (record.corrupt_store_released) {
+    os << ",\"first_corrupt_store\":{\"ordinal\":"
+       << record.first_corrupt_store_ordinal << ",\"addr\":"
+       << record.first_corrupt_store_addr << ",\"data\":"
+       << record.first_corrupt_store_data << ",\"cycle\":"
+       << record.first_corrupt_store_cycle << "}";
+  }
+  if (record.detected) {
+    os << ",\"detection\":{\"kind\":\""
+       << detection_kind_name(record.detection_kind) << "\",\"cycle\":"
+       << record.detection_cycle << ",\"pc\":" << record.detection_pc
+       << ",\"seq\":" << record.detection_seq << "},\"detection_latency\":"
+       << record.detection_latency;
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string autopsy_jsonl(const Program& program, const CampaignConfig& config,
+                          const AutopsyResult& result) {
+  std::ostringstream os;
+  write_campaign_jsonl_header(os, program, config);
+  for (const AutopsyRecord& record : result.records) {
+    os << canonical_autopsy_record(program.name, config, record);
+  }
+  os << "{\"record\":\"footer\",\"complete\":true,\"select\":\""
+     << autopsy_select_name(result.select) << "\",\"autopsies\":"
+     << result.records.size() << "}\n";
+  return os.str();
+}
+
+void export_autopsy_metrics(MetricsRegistry& registry,
+                            const CampaignConfig& config,
+                            const AutopsyResult& result) {
+  registry.text("campaign.autopsy.select",
+                autopsy_select_name(result.select));
+  registry.counter("campaign.autopsy.records", result.records.size());
+
+  std::map<std::string, std::uint64_t> by_kind;
+  std::map<std::string, std::uint64_t> escapes_by_site;
+  Histogram divergence_to_detection;
+  for (const AutopsyRecord& record : result.records) {
+    if (record.diverged) {
+      ++by_kind[divergence_kind_name(record.first.kind)];
+    }
+    if (autopsy_selects(AutopsySelect::kEscapes, record.outcome)) {
+      const std::string site = config.soft_errors
+                                   ? "transient"
+                                   : fault_site_name(record.fault.site);
+      ++escapes_by_site[site];
+    }
+    if (record.detected && record.diverged &&
+        record.detection_cycle >= record.first.cycle) {
+      divergence_to_detection.add(record.detection_cycle -
+                                  record.first.cycle);
+    }
+  }
+  for (const auto& [kind, n] : by_kind) {
+    registry.counter("campaign.autopsy.divergence." + kind, n);
+  }
+  for (const auto& [site, n] : escapes_by_site) {
+    registry.counter("campaign.autopsy.escapes.site." + site, n);
+  }
+  if (divergence_to_detection.count() > 0) {
+    registry.histogram("campaign.autopsy.divergence_to_detection",
+                       divergence_to_detection);
+    registry.gauge("campaign.autopsy.divergence_to_detection.p50",
+                   divergence_to_detection.quantile(0.50));
+    registry.gauge("campaign.autopsy.divergence_to_detection.p90",
+                   divergence_to_detection.quantile(0.90));
+    registry.gauge("campaign.autopsy.divergence_to_detection.p99",
+                   divergence_to_detection.quantile(0.99));
+  }
+}
+
+}  // namespace bj

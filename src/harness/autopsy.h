@@ -1,0 +1,174 @@
+// Fault autopsy engine: divergence forensics for non-benign campaign runs.
+//
+// A campaign classifies each fault run by terminal outcome only (detected /
+// sdc / wedged / ...). The autopsy engine explains *how*: it re-runs the
+// faulty core deterministically with a lockstep architectural emulator
+// attached at the leading commit point (CommitObserver) and reconstructs
+//   * the first architectural divergence — the earliest committed
+//     instruction whose pc, register value, memory address/data, or
+//     control-flow target disagrees with the fault-free execution,
+//   * the propagation chain of divergent commits from that point down to
+//     the first released corrupt store or the detecting check (capped at
+//     kAutopsyChainCap events; the total divergent-commit count is exact),
+//   * the first corrupt store that escaped to memory, and
+//   * the detection site (kind, cycle, pc, seq) when a check fired.
+//
+// Everything is derived from a deterministic replay, so autopsy records are
+// wall-clock free and byte-identical across jobs counts, shards, and
+// kill-and-resume — the same canonical-record contract runs.jsonl keeps.
+// This is the per-fault evidence base the ROADMAP item-1 mode shoot-out
+// needs (RepTFD-style replay localization + propagation-chain analysis).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/campaign.h"
+
+namespace bj {
+
+class MetricsRegistry;
+
+// Which stored outcomes deserve an autopsy.
+//   kEscapes:  runs where corruption got past the checks — sdc,
+//              detected-late, oracle-divergence. The default: these are the
+//              runs a detection architecture has to answer for.
+//   kDetected: runs a check caught — detected, detected-late, wedged.
+//   kAll:      every non-benign run (union of the above).
+enum class AutopsySelect : std::uint8_t { kEscapes, kDetected, kAll };
+
+const char* autopsy_select_name(AutopsySelect select);
+bool parse_autopsy_select(std::string_view name, AutopsySelect* out);
+// Whether a run with this outcome is selected. Benign runs never are.
+bool autopsy_selects(AutopsySelect select, FaultOutcome outcome);
+
+// What disagreed first at a divergent commit, in the comparison order the
+// oracle check uses (pc, store, load, register value, control target).
+enum class DivergenceKind : std::uint8_t {
+  kPcStream,      // committed a different instruction address
+  kStoreAddress,  // store to the wrong address (or a phantom/missing store)
+  kStoreData,     // right store address, wrong data
+  kLoadAddress,   // load from the wrong address (or phantom/missing load)
+  kLoadValue,     // right load address, wrong value
+  kRegValue,      // wrong register result
+  kNextPc,        // wrong control-flow target
+  kOracleHalted,  // the fault-free execution had already halted
+};
+
+const char* divergence_kind_name(DivergenceKind kind);
+
+// One divergent leading commit: where the faulty machine and the fault-free
+// execution disagreed, and on what.
+struct DivergenceEvent {
+  std::uint64_t seq = 0;    // leading program-order sequence number
+  std::uint64_t cycle = 0;  // commit cycle
+  std::uint64_t pc = 0;     // committed pc (the faulty machine's view)
+  DivergenceKind kind = DivergenceKind::kRegValue;
+  std::uint64_t expected = 0;  // fault-free value for `kind`
+  std::uint64_t actual = 0;    // faulty machine's value
+};
+
+inline constexpr std::size_t kAutopsyChainCap = 16;
+
+// Structured post-mortem of one fault run.
+struct AutopsyRecord {
+  std::size_t index = 0;  // fault index within the campaign
+  HardFault fault;        // campaign bookkeeping label for this index
+  // Re-derived outcome; run_campaign_autopsy verifies it matches the stored
+  // run before emitting (a mismatch means the replay was not deterministic
+  // and the autopsy would be fiction).
+  FaultOutcome outcome = FaultOutcome::kBenign;
+  bool activated = false;
+  std::uint64_t first_activation_cycle = 0;
+
+  bool diverged = false;       // any divergent leading commit observed
+  DivergenceEvent first;       // valid when `diverged`
+  // Divergent commits after `first`, truncated to kAutopsyChainCap events
+  // and to events at or before the first corrupt store release / the
+  // detection (the propagation window the record explains).
+  std::vector<DivergenceEvent> chain;
+  bool chain_truncated = false;
+  std::uint64_t divergent_commits = 0;  // exact total, uncapped
+
+  bool corrupt_store_released = false;
+  std::uint64_t first_corrupt_store_ordinal = 0;
+  std::uint64_t first_corrupt_store_addr = 0;
+  std::uint64_t first_corrupt_store_data = 0;
+  std::uint64_t first_corrupt_store_cycle = 0;
+
+  bool detected = false;  // a check (or the watchdog) fired
+  DetectionKind detection_kind = DetectionKind::kWatchdogTimeout;
+  std::uint64_t detection_cycle = 0;
+  std::uint64_t detection_pc = 0;
+  std::uint64_t detection_seq = 0;
+  std::uint64_t detection_latency = 0;  // detection − first activation
+};
+
+struct AutopsyOptions {
+  AutopsySelect select = AutopsySelect::kEscapes;
+  int jobs = 0;  // worker threads; 0 = one per hardware thread
+  // Shared golden store-trace cache (campaign service warm start). Null =
+  // the engine owns a private cache.
+  GoldenTraceCache* golden = nullptr;
+  // Called (serialized) after each completed autopsy re-run.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+struct AutopsyResult {
+  AutopsySelect select = AutopsySelect::kEscapes;
+  // Records for every selected run, in ascending fault-index order.
+  std::vector<AutopsyRecord> records;
+};
+
+// Re-runs fault `index` of the campaign with the lockstep observer attached
+// and returns its post-mortem. The re-run replicates the campaign engine's
+// execution exactly (same injector, budget, cycle cap, oracle setting), so
+// the re-derived outcome equals the campaign's for the same index.
+AutopsyRecord autopsy_fault_run(const Program& program,
+                                const CampaignConfig& config,
+                                std::size_t index,
+                                GoldenTraceCache* golden = nullptr);
+
+// Lockstep post-mortem of one arbitrary injected run — the single-run
+// `bjsim --fault ... --autopsy` path, where the hard fault comes from the
+// command line instead of a campaign index. Uses config for the mode, core
+// parameters, budget, and oracle setting; `label` is the fault being
+// injected (also what the record reports).
+AutopsyRecord autopsy_single_run(const Program& program,
+                                 const CampaignConfig& config,
+                                 const FaultInjector& injector,
+                                 const HardFault& label);
+
+// Autopsies every run of `result` selected by `options.select`, fanned out
+// over the worker pool. Records land in a pre-sized, index-keyed vector, so
+// the result is bit-identical for every jobs count. Throws
+// std::runtime_error if a re-derived outcome disagrees with the stored run.
+AutopsyResult run_campaign_autopsy(const Program& program,
+                                   const CampaignConfig& config,
+                                   const CampaignResult& result,
+                                   const AutopsyOptions& options = {});
+
+// One canonical JSONL line for an autopsy record (no trailing state, no
+// wall-clock fields) — the autopsy.jsonl sibling of canonical_jsonl_record.
+std::string canonical_autopsy_record(const std::string& workload,
+                                     const CampaignConfig& config,
+                                     const AutopsyRecord& record);
+
+// The complete canonical autopsy.jsonl image: the campaign's JSONL header
+// (same line as runs.jsonl), one record per selected run in index order, and
+// a footer `{"record":"footer","complete":true,"select":...,"autopsies":N}`.
+std::string autopsy_jsonl(const Program& program, const CampaignConfig& config,
+                          const AutopsyResult& result);
+
+// Registers autopsy aggregates under "campaign.autopsy.*": record counts,
+// escape counts by fault site, divergence-kind counts, and
+// divergence-to-detection latency quantiles.
+void export_autopsy_metrics(MetricsRegistry& registry,
+                            const CampaignConfig& config,
+                            const AutopsyResult& result);
+
+}  // namespace bj

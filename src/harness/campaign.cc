@@ -33,6 +33,19 @@ const char* fault_outcome_name(FaultOutcome outcome) {
   return "?";
 }
 
+bool parse_fault_outcome(std::string_view name, FaultOutcome* out) {
+  for (const FaultOutcome candidate :
+       {FaultOutcome::kDetected, FaultOutcome::kDetectedLate,
+        FaultOutcome::kWedged, FaultOutcome::kSdc, FaultOutcome::kBenign,
+        FaultOutcome::kOracleDivergence}) {
+    if (name == fault_outcome_name(candidate)) {
+      *out = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::map<FaultOutcome, int> CampaignResult::totals() const {
   std::map<FaultOutcome, int> t;
   for (const FaultRun& run : runs) ++t[run.outcome];
@@ -549,6 +562,14 @@ std::vector<HardFault> campaign_fault_labels(const CampaignConfig& config) {
   return labels;
 }
 
+std::vector<FaultInjector> campaign_fault_injectors(
+    const CampaignConfig& config) {
+  std::vector<FaultInjector> injectors;
+  std::vector<HardFault> labels;
+  build_injectors(config, &injectors, &labels);
+  return injectors;
+}
+
 std::string canonical_jsonl_record(const std::string& workload,
                                    const CampaignConfig& config,
                                    std::size_t index, const FaultRun& run) {
@@ -579,9 +600,17 @@ void export_campaign_metrics(MetricsRegistry& registry,
     registry.gauge("campaign.wall_seconds", stats->wall_seconds);
     registry.gauge("campaign.runs_per_second", stats->runs_per_second);
     for (const auto& [outcome, hist] : stats->detection_latency) {
-      registry.histogram(std::string("campaign.detection_latency.") +
-                             fault_outcome_name(outcome),
-                         hist);
+      const std::string base = std::string("campaign.detection_latency.") +
+                               fault_outcome_name(outcome);
+      registry.histogram(base, hist);
+      // Scrape-friendly per-outcome quantiles: Prometheus can derive these
+      // from the bucket series, but --metrics-out JSON consumers and quick
+      // dashboards want them precomputed.
+      if (hist.count() > 0) {
+        registry.gauge(base + ".p50", hist.quantile(0.50));
+        registry.gauge(base + ".p90", hist.quantile(0.90));
+        registry.gauge(base + ".p99", hist.quantile(0.99));
+      }
     }
   }
 }

@@ -19,6 +19,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -46,6 +47,11 @@ enum class FaultOutcome : std::uint8_t {
 };
 
 const char* fault_outcome_name(FaultOutcome outcome);
+
+// Inverse of fault_outcome_name. Returns false (leaving *out untouched) for
+// a string naming no enumerator — JSONL parsers treat that as tampering,
+// exactly like a record that fails re-serialization.
+bool parse_fault_outcome(std::string_view name, FaultOutcome* out);
 
 struct CampaignConfig {
   Mode mode = Mode::kSrt;
@@ -289,6 +295,13 @@ std::vector<HardFault> generate_faults(const CoreParams& params,
 // size() is the campaign's total run count (num_faults, or the enumerated /
 // sampled space under `exhaustive`).
 std::vector<HardFault> campaign_fault_labels(const CampaignConfig& config);
+
+// The campaign's per-run armed injectors in fault-index order (parallel to
+// campaign_fault_labels). The autopsy engine re-runs individual indices
+// outside the campaign engine and must inject exactly what the campaign
+// injected.
+std::vector<FaultInjector> campaign_fault_injectors(
+    const CampaignConfig& config);
 
 // The parallel campaign engine. Results are written into a pre-sized vector
 // keyed by fault index, so `CampaignResult` is bit-identical for every jobs

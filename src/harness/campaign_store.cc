@@ -281,6 +281,34 @@ std::string campaign_store_dir(const std::string& root,
   return (fs::path(root) / name).string();
 }
 
+bool validate_campaign_jsonl_header(const std::string& line,
+                                    std::string* error) {
+  std::string trimmed = line;
+  while (!trimmed.empty() &&
+         (trimmed.back() == '\n' || trimmed.back() == '\r')) {
+    trimmed.pop_back();
+  }
+  std::string record;
+  if (!find_string_field(trimmed, "record", &record) || record != "header") {
+    if (error != nullptr) *error = "first line is not a campaign header";
+    return false;
+  }
+  std::uint64_t schema = 0;
+  if (!find_uint_field(trimmed, "schema_version", &schema)) {
+    if (error != nullptr) *error = "campaign header has no schema_version";
+    return false;
+  }
+  if (schema != static_cast<std::uint64_t>(kMetricsSchemaVersion)) {
+    if (error != nullptr) {
+      *error = "campaign header schema_version " + std::to_string(schema) +
+               " does not match this build's " +
+               std::to_string(kMetricsSchemaVersion);
+    }
+    return false;
+  }
+  return true;
+}
+
 bool parse_canonical_record(const std::string& line,
                             const CampaignConfig& config,
                             const std::vector<HardFault>& labels,
@@ -295,18 +323,7 @@ bool parse_canonical_record(const std::string& line,
 
   std::string outcome;
   if (!find_string_field(line, "outcome", &outcome)) return false;
-  bool outcome_known = false;
-  for (const FaultOutcome o :
-       {FaultOutcome::kDetected, FaultOutcome::kDetectedLate,
-        FaultOutcome::kWedged, FaultOutcome::kSdc, FaultOutcome::kBenign,
-        FaultOutcome::kOracleDivergence}) {
-    if (outcome == fault_outcome_name(o)) {
-      parsed.outcome = o;
-      outcome_known = true;
-      break;
-    }
-  }
-  if (!outcome_known) return false;
+  if (!parse_fault_outcome(outcome, &parsed.outcome)) return false;
 
   if (!find_uint_field(line, "activations", &parsed.activations)) return false;
   if (!find_uint_field(line, "corrupt_stores",
@@ -369,6 +386,14 @@ CampaignServiceReport run_campaign_service(
   if (options.store_root.empty()) {
     report.result =
         run_campaign_parallel(program, config, engine, &report.stats);
+    if (options.autopsy) {
+      AutopsyOptions autopsy_options;
+      autopsy_options.select = options.autopsy_select;
+      autopsy_options.jobs = options.jobs;
+      report.autopsy =
+          run_campaign_autopsy(program, config, report.result, autopsy_options);
+      report.autopsy_records = report.autopsy.records.size();
+    }
     return report;
   }
 
@@ -495,6 +520,49 @@ CampaignServiceReport run_campaign_service(
     write_runs(/*complete=*/true);
     write_artifacts();
   }
+
+  // --- Autopsy pass. Replays are deterministic, so regeneration always
+  // produces the same bytes; an existing autopsy.jsonl whose header matches
+  // ours, whose footer is complete, and whose select matches is adopted
+  // without re-running the replays (the store directory is content-addressed
+  // by the campaign digest, and the header byte-equality binds this file to
+  // this exact configuration). Anything else is quarantined and regenerated.
+  if (options.autopsy) {
+    const fs::path autopsy_path = dir / "autopsy.jsonl";
+    report.autopsy_path = autopsy_path.string();
+    std::string existing;
+    bool adopt = false;
+    if (read_file(autopsy_path, &existing)) {
+      const std::vector<std::string> lines = split_lines(existing);
+      if (lines.size() >= 2 && lines[0] + "\n" == header &&
+          is_footer(lines.back())) {
+        bool complete = false;
+        std::string select;
+        std::uint64_t autopsies = 0;
+        if (find_bool_field(lines.back(), "complete", &complete) && complete &&
+            find_string_field(lines.back(), "select", &select) &&
+            select == autopsy_select_name(options.autopsy_select) &&
+            find_uint_field(lines.back(), "autopsies", &autopsies) &&
+            autopsies + 2 == lines.size()) {
+          adopt = true;
+          report.autopsy_adopted = true;
+          report.autopsy_records = autopsies;
+        }
+      }
+      if (!adopt && quarantine(autopsy_path)) ++report.quarantined;
+    }
+    if (!adopt) {
+      AutopsyOptions autopsy_options;
+      autopsy_options.select = options.autopsy_select;
+      autopsy_options.jobs = options.jobs;
+      autopsy_options.golden = &cache;
+      report.autopsy =
+          run_campaign_autopsy(program, config, report.result, autopsy_options);
+      report.autopsy_records = report.autopsy.records.size();
+      atomic_write(autopsy_path,
+                   autopsy_jsonl(program, config, report.autopsy));
+    }
+  }
   return report;
 }
 
@@ -560,18 +628,7 @@ ShardMergeResult merge_campaign_shards(const std::vector<std::string>& paths) {
       ++shard_records;
 
       FaultOutcome parsed = FaultOutcome::kBenign;
-      bool outcome_known = false;
-      for (const FaultOutcome o :
-           {FaultOutcome::kDetected, FaultOutcome::kDetectedLate,
-            FaultOutcome::kWedged, FaultOutcome::kSdc, FaultOutcome::kBenign,
-            FaultOutcome::kOracleDivergence}) {
-        if (outcome == fault_outcome_name(o)) {
-          parsed = o;
-          outcome_known = true;
-          break;
-        }
-      }
-      if (!outcome_known) {
+      if (!parse_fault_outcome(outcome, &parsed)) {
         merged.error = path + ": unknown outcome \"" + outcome + "\"";
         return merged;
       }

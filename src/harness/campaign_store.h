@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "harness/autopsy.h"
 #include "harness/campaign.h"
 
 namespace bj {
@@ -55,6 +56,15 @@ struct CampaignServiceOptions {
   std::ostream* jsonl = nullptr;
   std::function<void(const CampaignProgress&)> progress;
   CampaignTraceLog* trace = nullptr;
+  // Run the fault autopsy engine over the finished campaign and persist the
+  // canonical autopsy.jsonl next to runs.jsonl (store-backed campaigns) or
+  // keep the records in the report (store-less). Autopsy replays are
+  // deterministic, so the file is byte-identical across jobs counts, shards,
+  // and kill-and-resume. A store whose existing autopsy.jsonl carries the
+  // same header, a complete footer, and the same select is adopted as-is
+  // instead of re-running the replays.
+  bool autopsy = false;
+  AutopsySelect autopsy_select = AutopsySelect::kEscapes;
 };
 
 struct CampaignServiceReport {
@@ -66,6 +76,14 @@ struct CampaignServiceReport {
   bool complete_on_entry = false;
   // Store artifacts that failed validation and were quarantined (*.corrupt).
   int quarantined = 0;
+  // Autopsy output (when CampaignServiceOptions::autopsy was set).
+  // `autopsy.records` is populated when the replays actually ran;
+  // `autopsy_adopted` means a complete, matching autopsy.jsonl was already
+  // in the store and the replays were skipped.
+  AutopsyResult autopsy;
+  std::string autopsy_path;  // "" when no store was configured
+  bool autopsy_adopted = false;
+  std::size_t autopsy_records = 0;
 };
 
 // Runs one campaign (or one shard of one) through the persistence layer:
@@ -88,6 +106,14 @@ std::string campaign_store_dir(const std::string& root,
 // description), and the parse is self-verifying: the reconstructed run must
 // re-serialize to exactly the input line, so any field this parser missed,
 // any hand-edited value, and any truncation is rejected rather than adopted.
+// Validates a campaign JSONL header line: it must be a "header" record and
+// its "schema_version" field must equal kMetricsSchemaVersion. Returns false
+// with a one-line explanation in *error for a non-header line, a missing
+// schema field, or a schema mismatch — consumers reject such files loudly instead
+// of skipping them as if they held no data.
+bool validate_campaign_jsonl_header(const std::string& line,
+                                    std::string* error);
+
 bool parse_canonical_record(const std::string& line,
                             const CampaignConfig& config,
                             const std::vector<HardFault>& labels,

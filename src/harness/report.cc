@@ -1,0 +1,741 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harness/campaign_store.h"
+
+namespace bj {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Flat-JSON field extraction, mirroring the campaign store's reader: the
+// inputs are machine-written single-line objects whose strings never contain
+// escapes, so a key search is exact. Nested objects (autopsy divergence /
+// detection) are cut out as substrings first so their "cycle"/"kind" keys
+// can't shadow the top level.
+
+bool find_uint_field(const std::string& line, const std::string& key,
+                     std::uint64_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t pos = at + needle.size();
+  if (pos >= line.size() || line[pos] < '0' || line[pos] > '9') return false;
+  std::uint64_t v = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(line[pos] - '0');
+    ++pos;
+  }
+  *out = v;
+  return true;
+}
+
+bool find_string_field(const std::string& line, const std::string& key,
+                       std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t start = at + needle.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+bool find_bool_field(const std::string& line, const std::string& key,
+                     bool* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *out = line.compare(at + needle.size(), 4, "true") == 0;
+  return true;
+}
+
+// Cuts out `"key":{...}`. The autopsy objects contain no nested braces.
+bool find_object_field(const std::string& line, const std::string& key,
+                       std::string* out) {
+  const std::string needle = "\"" + key + "\":{";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t start = at + needle.size() - 1;
+  const std::size_t end = line.find('}', start);
+  if (end == std::string::npos) return false;
+  *out = line.substr(start, end - start + 1);
+  return true;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string site_of(const std::string& fault) {
+  const std::size_t space = fault.find(' ');
+  return space == std::string::npos ? fault : fault.substr(0, space);
+}
+
+std::string run_key(const std::string& workload, const std::string& mode,
+                    std::uint64_t index) {
+  return workload + "|" + mode + "|" + std::to_string(index);
+}
+
+// Staged parse of one file: validated completely before anything is
+// committed to the report, so a rejected file contributes nothing.
+
+struct ParsedRun {
+  std::uint64_t index = 0;
+  std::string workload;
+  std::string mode;
+  std::string fault;
+  FaultOutcome outcome = FaultOutcome::kBenign;
+  std::uint64_t activations = 0;
+  std::uint64_t corrupt_stores = 0;
+  bool has_first_corruption = false;
+  std::uint64_t first_corruption_cycle = 0;
+  std::uint64_t detection_latency = 0;
+};
+
+struct ParsedAutopsy {
+  std::uint64_t index = 0;
+  std::string workload;
+  std::string mode;
+  bool diverged = false;
+  std::string divergence_kind;
+  std::uint64_t divergence_cycle = 0;
+  std::uint64_t divergence_pc = 0;
+  std::uint64_t divergent_commits = 0;
+  bool detected = false;
+  std::uint64_t detection_cycle = 0;
+};
+
+bool detectedish(FaultOutcome o) {
+  return o == FaultOutcome::kDetected || o == FaultOutcome::kDetectedLate ||
+         o == FaultOutcome::kWedged;
+}
+
+bool escapeish(FaultOutcome o) {
+  return o == FaultOutcome::kSdc || o == FaultOutcome::kDetectedLate ||
+         o == FaultOutcome::kOracleDivergence;
+}
+
+void commit_run(const ParsedRun& run, CampaignReport* report) {
+  CoverageCell& cell =
+      report->coverage[{run.workload, run.mode, site_of(run.fault)}];
+  ++cell.runs;
+  ++cell.outcomes[fault_outcome_name(run.outcome)];
+  if (run.activations > 0) {
+    ++cell.activated;
+    if (detectedish(run.outcome)) ++cell.detected_of_activated;
+    if (run.outcome == FaultOutcome::kDetectedLate ||
+        run.outcome == FaultOutcome::kSdc) {
+      ++cell.corrupt_of_activated;
+    }
+    if (run.outcome == FaultOutcome::kSdc) ++cell.sdc_of_activated;
+    if (detectedish(run.outcome)) {
+      report->detection_latency[fault_outcome_name(run.outcome)].add(
+          run.detection_latency);
+    }
+  }
+  if (escapeish(run.outcome)) {
+    EscapeRow row;
+    row.index = run.index;
+    row.workload = run.workload;
+    row.mode = run.mode;
+    row.site = site_of(run.fault);
+    row.fault = run.fault;
+    row.outcome = fault_outcome_name(run.outcome);
+    row.activations = run.activations;
+    row.corrupt_stores = run.corrupt_stores;
+    row.has_first_corruption = run.has_first_corruption;
+    row.first_corruption_cycle = run.first_corruption_cycle;
+    report->escapes.push_back(std::move(row));
+  }
+  ++report->runs;
+}
+
+void commit_autopsy(const ParsedAutopsy& record, CampaignReport* report) {
+  if (record.diverged) {
+    ++report->divergence_kinds[record.divergence_kind];
+    if (record.detected && record.detection_cycle >= record.divergence_cycle) {
+      report->divergence_to_detection.add(record.detection_cycle -
+                                          record.divergence_cycle);
+    }
+  }
+  AutopsyLite& lite =
+      report->autopsy_by_run[run_key(record.workload, record.mode,
+                                     record.index)];
+  lite.diverged = record.diverged;
+  lite.divergence_kind = record.divergence_kind;
+  lite.divergence_cycle = record.divergence_cycle;
+  lite.divergence_pc = record.divergence_pc;
+  lite.divergent_commits = record.divergent_commits;
+  ++report->autopsies;
+}
+
+// Deterministic double formatting for the JSON renderer.
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void write_histogram_json(std::ostream& os, const Histogram& hist) {
+  os << "{\"count\":" << hist.count() << ",\"min\":" << hist.min()
+     << ",\"max\":" << hist.max() << ",\"p50\":" << json_double(hist.quantile(0.50))
+     << ",\"p90\":" << json_double(hist.quantile(0.90))
+     << ",\"p99\":" << json_double(hist.quantile(0.99)) << "}";
+}
+
+std::string html_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Heatmap cell color: red (coverage 0) through amber to green (coverage 1).
+std::string coverage_color(double coverage) {
+  const double c = std::min(1.0, std::max(0.0, coverage));
+  const int r = static_cast<int>(220 - 120 * c);
+  const int g = static_cast<int>(80 + 140 * c);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "rgb(%d,%d,72)", r, g);
+  return buf;
+}
+
+}  // namespace
+
+void report_ingest_content(const std::string& name, const std::string& content,
+                           CampaignReport* report) {
+  const std::vector<std::string> lines = split_lines(content);
+  if (lines.empty()) {
+    report->errors.push_back(name + ": empty file");
+    return;
+  }
+  std::string header_error;
+  if (!validate_campaign_jsonl_header(lines[0], &header_error)) {
+    report->errors.push_back(name + ": " + header_error);
+    return;
+  }
+
+  std::vector<ParsedRun> runs;
+  std::vector<ParsedAutopsy> autopsies;
+  bool footer_seen = false;
+  for (std::size_t li = 1; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    if (line.empty()) continue;
+    std::string record_kind;
+    find_string_field(line, "record", &record_kind);
+    if (record_kind == "footer") {
+      bool complete = false;
+      std::uint64_t count = 0;
+      const bool counts_runs = find_uint_field(line, "runs", &count);
+      const bool counts_autopsies =
+          !counts_runs && find_uint_field(line, "autopsies", &count);
+      if (li + 1 != lines.size() ||
+          !find_bool_field(line, "complete", &complete) || !complete ||
+          (!counts_runs && !counts_autopsies) ||
+          (counts_runs && count != runs.size()) ||
+          (counts_autopsies && count != autopsies.size())) {
+        report->errors.push_back(name + ": malformed or misplaced footer");
+        return;
+      }
+      footer_seen = true;
+      break;
+    }
+    if (record_kind == "autopsy") {
+      ParsedAutopsy parsed;
+      std::string outcome;
+      FaultOutcome parsed_outcome = FaultOutcome::kBenign;
+      if (!find_uint_field(line, "index", &parsed.index) ||
+          !find_string_field(line, "workload", &parsed.workload) ||
+          !find_string_field(line, "mode", &parsed.mode) ||
+          !find_string_field(line, "outcome", &outcome) ||
+          !parse_fault_outcome(outcome, &parsed_outcome) ||
+          !find_uint_field(line, "divergent_commits",
+                           &parsed.divergent_commits)) {
+        report->errors.push_back(name + ": malformed autopsy record at line " +
+                                 std::to_string(li + 1));
+        return;
+      }
+      std::string object;
+      if (find_object_field(line, "divergence", &object)) {
+        parsed.diverged = true;
+        find_string_field(object, "kind", &parsed.divergence_kind);
+        find_uint_field(object, "cycle", &parsed.divergence_cycle);
+        find_uint_field(object, "pc", &parsed.divergence_pc);
+      }
+      if (find_object_field(line, "detection", &object)) {
+        parsed.detected = true;
+        find_uint_field(object, "cycle", &parsed.detection_cycle);
+      }
+      autopsies.push_back(std::move(parsed));
+      continue;
+    }
+    if (!record_kind.empty()) {
+      report->errors.push_back(name + ": unknown record kind \"" +
+                               record_kind + "\" at line " +
+                               std::to_string(li + 1));
+      return;
+    }
+    ParsedRun parsed;
+    std::string outcome;
+    if (!find_uint_field(line, "index", &parsed.index) ||
+        !find_string_field(line, "workload", &parsed.workload) ||
+        !find_string_field(line, "mode", &parsed.mode) ||
+        !find_string_field(line, "fault", &parsed.fault) ||
+        !find_string_field(line, "outcome", &outcome) ||
+        !find_uint_field(line, "activations", &parsed.activations) ||
+        !find_uint_field(line, "corrupt_stores", &parsed.corrupt_stores)) {
+      report->errors.push_back(name + ": malformed run record at line " +
+                               std::to_string(li + 1));
+      return;
+    }
+    if (!parse_fault_outcome(outcome, &parsed.outcome)) {
+      report->errors.push_back(name + ": unknown outcome \"" + outcome +
+                               "\" at line " + std::to_string(li + 1));
+      return;
+    }
+    parsed.has_first_corruption = find_uint_field(
+        line, "first_corruption_cycle", &parsed.first_corruption_cycle);
+    find_uint_field(line, "detection_latency", &parsed.detection_latency);
+    runs.push_back(std::move(parsed));
+  }
+  if (!footer_seen) {
+    report->errors.push_back(name +
+                             ": no footer (file incomplete or truncated)");
+    return;
+  }
+
+  for (const ParsedRun& run : runs) commit_run(run, report);
+  for (const ParsedAutopsy& record : autopsies) commit_autopsy(record, report);
+  ++report->files;
+}
+
+void report_ingest_path(const std::string& path, CampaignReport* report) {
+  const auto ingest_file = [&](const fs::path& file) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      report->errors.push_back(file.string() + ": cannot read");
+      return;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    report_ingest_content(file.string(), buffer.str(), report);
+  };
+  const auto ingest_store_dir = [&](const fs::path& dir) {
+    ingest_file(dir / "runs.jsonl");
+    std::error_code ec;
+    if (fs::exists(dir / "autopsy.jsonl", ec)) {
+      ingest_file(dir / "autopsy.jsonl");
+    }
+  };
+
+  std::error_code ec;
+  if (!fs::is_directory(path, ec)) {
+    ingest_file(path);
+    return;
+  }
+  if (fs::exists(fs::path(path) / "runs.jsonl", ec)) {
+    ingest_store_dir(path);
+    return;
+  }
+  // A store root: every subdirectory holding a runs.jsonl is one campaign
+  // (shard directories included), ingested in sorted order so the report is
+  // path-order independent.
+  std::vector<fs::path> dirs;
+  for (const auto& entry : fs::directory_iterator(path, ec)) {
+    if (entry.is_directory() &&
+        fs::exists(entry.path() / "runs.jsonl", ec)) {
+      dirs.push_back(entry.path());
+    }
+  }
+  if (dirs.empty()) {
+    report->errors.push_back(path + ": no runs.jsonl found here or in any "
+                                    "subdirectory");
+    return;
+  }
+  std::sort(dirs.begin(), dirs.end());
+  for (const fs::path& dir : dirs) ingest_store_dir(dir);
+}
+
+void finalize_campaign_report(CampaignReport* report) {
+  std::sort(report->escapes.begin(), report->escapes.end(),
+            [](const EscapeRow& a, const EscapeRow& b) {
+              if (a.workload != b.workload) return a.workload < b.workload;
+              if (a.mode != b.mode) return a.mode < b.mode;
+              return a.index < b.index;
+            });
+  for (EscapeRow& row : report->escapes) {
+    const auto it = report->autopsy_by_run.find(
+        run_key(row.workload, row.mode, row.index));
+    if (it == report->autopsy_by_run.end()) continue;
+    row.has_autopsy = true;
+    row.divergence_kind = it->second.divergence_kind;
+    row.divergence_cycle = it->second.divergence_cycle;
+    row.divergence_pc = it->second.divergence_pc;
+    row.divergent_commits = it->second.divergent_commits;
+  }
+}
+
+CampaignReport build_campaign_report(const std::vector<std::string>& paths) {
+  CampaignReport report;
+  for (const std::string& path : paths) report_ingest_path(path, &report);
+  finalize_campaign_report(&report);
+  return report;
+}
+
+CampaignReport report_from_result(const CampaignResult& result,
+                                  const CampaignConfig& config,
+                                  const AutopsyResult* autopsy) {
+  CampaignReport report;
+  const std::string mode = mode_name(result.mode);
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    const FaultRun& run = result.runs[i];
+    ParsedRun parsed;
+    parsed.index = i;
+    parsed.workload = result.workload;
+    parsed.mode = mode;
+    parsed.fault = config.soft_errors
+                       ? "transient bit " + std::to_string(run.fault.bit)
+                       : run.fault.describe();
+    parsed.outcome = run.outcome;
+    parsed.activations = run.activations;
+    parsed.corrupt_stores = run.corrupt_stores_released;
+    parsed.has_first_corruption = run.corrupted;
+    parsed.first_corruption_cycle = run.first_corruption_cycle;
+    parsed.detection_latency = run.detection_latency;
+    commit_run(parsed, &report);
+  }
+  if (autopsy != nullptr) {
+    for (const AutopsyRecord& record : autopsy->records) {
+      ParsedAutopsy parsed;
+      parsed.index = record.index;
+      parsed.workload = result.workload;
+      parsed.mode = mode;
+      parsed.diverged = record.diverged;
+      if (record.diverged) {
+        parsed.divergence_kind = divergence_kind_name(record.first.kind);
+        parsed.divergence_cycle = record.first.cycle;
+        parsed.divergence_pc = record.first.pc;
+      }
+      parsed.divergent_commits = record.divergent_commits;
+      parsed.detected = record.detected;
+      parsed.detection_cycle = record.detection_cycle;
+      commit_autopsy(parsed, &report);
+    }
+  }
+  finalize_campaign_report(&report);
+  return report;
+}
+
+std::string campaign_report_json(const CampaignReport& report) {
+  std::ostringstream os;
+  os << "{\"schema_version\":" << kMetricsSchemaVersion
+     << ",\"record\":\"bj_report\",\"files\":" << report.files
+     << ",\"runs\":" << report.runs << ",\"autopsies\":" << report.autopsies;
+  os << ",\"errors\":[";
+  for (std::size_t i = 0; i < report.errors.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << report.errors[i] << "\"";
+  }
+  os << "]";
+  os << ",\"coverage\":[";
+  bool first = true;
+  for (const auto& [key, cell] : report.coverage) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"workload\":\"" << key.workload << "\",\"mode\":\"" << key.mode
+       << "\",\"site\":\"" << key.site << "\",\"runs\":" << cell.runs
+       << ",\"activated\":" << cell.activated
+       << ",\"detected_of_activated\":" << cell.detected_of_activated
+       << ",\"corrupt_of_activated\":" << cell.corrupt_of_activated
+       << ",\"sdc_of_activated\":" << cell.sdc_of_activated
+       << ",\"detection_coverage\":" << json_double(cell.detection_coverage())
+       << ",\"sdc_rate\":" << json_double(cell.sdc_rate()) << ",\"outcomes\":{";
+    bool first_outcome = true;
+    for (const auto& [outcome, n] : cell.outcomes) {
+      if (!first_outcome) os << ",";
+      first_outcome = false;
+      os << "\"" << outcome << "\":" << n;
+    }
+    os << "}}";
+  }
+  os << "]";
+  os << ",\"detection_latency\":{";
+  first = true;
+  for (const auto& [outcome, hist] : report.detection_latency) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << outcome << "\":";
+    write_histogram_json(os, hist);
+  }
+  os << "}";
+  os << ",\"escapes\":[";
+  for (std::size_t i = 0; i < report.escapes.size(); ++i) {
+    const EscapeRow& row = report.escapes[i];
+    if (i > 0) os << ",";
+    os << "{\"index\":" << row.index << ",\"workload\":\"" << row.workload
+       << "\",\"mode\":\"" << row.mode << "\",\"site\":\"" << row.site
+       << "\",\"fault\":\"" << row.fault << "\",\"outcome\":\"" << row.outcome
+       << "\",\"activations\":" << row.activations
+       << ",\"corrupt_stores\":" << row.corrupt_stores;
+    if (row.has_first_corruption) {
+      os << ",\"first_corruption_cycle\":" << row.first_corruption_cycle;
+    }
+    if (row.has_autopsy) {
+      os << ",\"autopsy\":{\"kind\":\"" << row.divergence_kind
+         << "\",\"cycle\":" << row.divergence_cycle << ",\"pc\":"
+         << row.divergence_pc << ",\"divergent_commits\":"
+         << row.divergent_commits << "}";
+    }
+    os << "}";
+  }
+  os << "]";
+  os << ",\"divergence_kinds\":{";
+  first = true;
+  for (const auto& [kind, n] : report.divergence_kinds) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << kind << "\":" << n;
+  }
+  os << "},\"divergence_to_detection\":";
+  write_histogram_json(os, report.divergence_to_detection);
+  os << "}\n";
+  return os.str();
+}
+
+std::string campaign_report_html(const CampaignReport& report) {
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n"
+     << "<title>bjsim campaign report</title>\n<style>\n"
+     << "body{font-family:sans-serif;margin:2em;background:#fafafa;}\n"
+     << "table{border-collapse:collapse;margin-bottom:2em;}\n"
+     << "th,td{border:1px solid #999;padding:4px 10px;text-align:right;}\n"
+     << "th{background:#e8e8e8;}\n"
+     << "td.l,th.l{text-align:left;}\n"
+     << "td.cov{color:#fff;font-weight:bold;}\n"
+     << "</style>\n</head>\n<body>\n<h1>bjsim campaign report</h1>\n"
+     << "<p>" << report.files << " file(s), " << report.runs << " run(s), "
+     << report.autopsies << " autops" << (report.autopsies == 1 ? "y" : "ies")
+     << ".</p>\n";
+  if (!report.errors.empty()) {
+    os << "<h2>Errors</h2>\n<ul>\n";
+    for (const std::string& error : report.errors) {
+      os << "<li>" << html_escape(error) << "</li>\n";
+    }
+    os << "</ul>\n";
+  }
+
+  os << "<h2>Coverage heatmap (workload &times; mode &times; site)</h2>\n"
+     << "<table>\n<tr><th class=\"l\">workload</th><th class=\"l\">mode</th>"
+     << "<th class=\"l\">site</th><th>runs</th><th>activated</th>"
+     << "<th>detection coverage</th><th>SDC rate</th></tr>\n";
+  for (const auto& [key, cell] : report.coverage) {
+    char cov[32];
+    char sdc[32];
+    std::snprintf(cov, sizeof cov, "%.1f%%", 100.0 * cell.detection_coverage());
+    std::snprintf(sdc, sizeof sdc, "%.1f%%", 100.0 * cell.sdc_rate());
+    os << "<tr><td class=\"l\">" << html_escape(key.workload)
+       << "</td><td class=\"l\">" << html_escape(key.mode)
+       << "</td><td class=\"l\">" << html_escape(key.site) << "</td><td>"
+       << cell.runs << "</td><td>" << cell.activated
+       << "</td><td class=\"cov\" style=\"background:"
+       << coverage_color(cell.detection_coverage()) << "\">" << cov
+       << "</td><td>" << sdc << "</td></tr>\n";
+  }
+  os << "</table>\n";
+
+  os << "<h2>Detection latency (cycles)</h2>\n<table>\n"
+     << "<tr><th class=\"l\">outcome</th><th>count</th><th>p50</th>"
+     << "<th>p90</th><th>p99</th><th>max</th></tr>\n";
+  for (const auto& [outcome, hist] : report.detection_latency) {
+    os << "<tr><td class=\"l\">" << html_escape(outcome) << "</td><td>"
+       << hist.count() << "</td><td>" << json_double(hist.quantile(0.50))
+       << "</td><td>" << json_double(hist.quantile(0.90)) << "</td><td>"
+       << json_double(hist.quantile(0.99)) << "</td><td>" << hist.max()
+       << "</td></tr>\n";
+  }
+  os << "</table>\n";
+
+  os << "<h2>Escapes (" << report.escapes.size() << ")</h2>\n<table>\n"
+     << "<tr><th>index</th><th class=\"l\">workload</th>"
+     << "<th class=\"l\">mode</th><th class=\"l\">fault</th>"
+     << "<th class=\"l\">outcome</th><th>corrupt stores</th>"
+     << "<th class=\"l\">first divergence</th></tr>\n";
+  for (const EscapeRow& row : report.escapes) {
+    os << "<tr><td>" << row.index << "</td><td class=\"l\">"
+       << html_escape(row.workload) << "</td><td class=\"l\">"
+       << html_escape(row.mode) << "</td><td class=\"l\">"
+       << html_escape(row.fault) << "</td><td class=\"l\">"
+       << html_escape(row.outcome) << "</td><td>" << row.corrupt_stores
+       << "</td><td class=\"l\">";
+    if (row.has_autopsy && !row.divergence_kind.empty()) {
+      os << html_escape(row.divergence_kind) << " @ cycle "
+         << row.divergence_cycle << " (" << row.divergent_commits
+         << " divergent commits)";
+    } else {
+      os << "&mdash;";
+    }
+    os << "</td></tr>\n";
+  }
+  os << "</table>\n";
+
+  if (!report.divergence_kinds.empty()) {
+    os << "<h2>First-divergence kinds</h2>\n<table>\n"
+       << "<tr><th class=\"l\">kind</th><th>count</th></tr>\n";
+    for (const auto& [kind, n] : report.divergence_kinds) {
+      os << "<tr><td class=\"l\">" << html_escape(kind) << "</td><td>" << n
+         << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+  os << "</body>\n</html>\n";
+  return os.str();
+}
+
+bool report_selftest() {
+  const auto fail = [](const char* what) {
+    std::fprintf(stderr, "bj_report selftest: %s\n", what);
+    return false;
+  };
+
+  const std::string header =
+      "{\"record\":\"header\",\"schema_version\":" +
+      std::to_string(kMetricsSchemaVersion) +
+      ",\"bjsim_version\":\"selftest\",\"workload\":\"w\",\"mode\":\"srt\","
+      "\"seed\":1,\"num_faults\":3,\"budget_commits\":100,"
+      "\"soft_errors\":false,\"oracle_check\":false,"
+      "\"config_digest\":\"0\"}\n";
+  const std::string detected = fault_outcome_name(FaultOutcome::kDetected);
+  const std::string sdc = fault_outcome_name(FaultOutcome::kSdc);
+  const std::string benign = fault_outcome_name(FaultOutcome::kBenign);
+
+  std::string runs = header;
+  runs += "{\"index\":0,\"workload\":\"w\",\"mode\":\"srt\","
+          "\"fault\":\"frontend-decoder way 0 bit 1 stuck-at-1\","
+          "\"outcome\":\"" + detected + "\",\"activations\":3,"
+          "\"corrupt_stores\":0,\"first_activation_cycle\":5,"
+          "\"detection_latency\":10}\n";
+  runs += "{\"index\":1,\"workload\":\"w\",\"mode\":\"srt\","
+          "\"fault\":\"frontend-decoder way 1 bit 2 stuck-at-0\","
+          "\"outcome\":\"" + sdc + "\",\"activations\":2,"
+          "\"corrupt_stores\":1,\"first_activation_cycle\":4,"
+          "\"first_corruption_cycle\":12}\n";
+  runs += "{\"index\":2,\"workload\":\"w\",\"mode\":\"srt\","
+          "\"fault\":\"backend-result alu way 0 bit 3 stuck-at-1\","
+          "\"outcome\":\"" + benign + "\",\"activations\":0,"
+          "\"corrupt_stores\":0}\n";
+  runs += "{\"record\":\"footer\",\"complete\":true,\"runs\":3}\n";
+
+  std::string autopsy = header;
+  autopsy += "{\"record\":\"autopsy\",\"index\":1,\"workload\":\"w\","
+             "\"mode\":\"srt\",\"fault\":\"frontend-decoder way 1 bit 2 "
+             "stuck-at-0\",\"outcome\":\"" + sdc + "\","
+             "\"first_activation_cycle\":4,\"divergent_commits\":4,"
+             "\"divergence\":{\"seq\":7,\"cycle\":9,\"pc\":64,"
+             "\"kind\":\"reg-value\",\"expected\":1,\"actual\":2},"
+             "\"first_corrupt_store\":{\"ordinal\":3,\"addr\":8,\"data\":1,"
+             "\"cycle\":12}}\n";
+  autopsy += "{\"record\":\"footer\",\"complete\":true,\"select\":"
+             "\"escapes\",\"autopsies\":1}\n";
+
+  CampaignReport report;
+  report_ingest_content("runs", runs, &report);
+  report_ingest_content("autopsy", autopsy, &report);
+  finalize_campaign_report(&report);
+
+  if (!report.ok()) return fail("clean inputs were rejected");
+  if (report.files != 2 || report.runs != 3 || report.autopsies != 1) {
+    return fail("ingest counts wrong");
+  }
+  const auto frontend = report.coverage.find({"w", "srt", "frontend-decoder"});
+  if (frontend == report.coverage.end()) {
+    return fail("frontend coverage cell missing");
+  }
+  if (frontend->second.runs != 2 || frontend->second.activated != 2 ||
+      frontend->second.detected_of_activated != 1 ||
+      frontend->second.sdc_of_activated != 1) {
+    return fail("frontend coverage cell miscounted");
+  }
+  if (report.coverage.count({"w", "srt", "backend-result"}) != 1) {
+    return fail("backend coverage cell missing");
+  }
+  const auto latency = report.detection_latency.find(detected);
+  if (latency == report.detection_latency.end() ||
+      latency->second.count() != 1) {
+    return fail("detection latency histogram miscounted");
+  }
+  if (report.escapes.size() != 1 || !report.escapes[0].has_autopsy ||
+      report.escapes[0].divergence_kind != "reg-value" ||
+      report.escapes[0].divergence_cycle != 9 ||
+      report.escapes[0].divergent_commits != 4) {
+    return fail("escape row missing its autopsy join");
+  }
+  if (report.divergence_kinds["reg-value"] != 1) {
+    return fail("divergence kind counter wrong");
+  }
+
+  const std::string json = campaign_report_json(report);
+  if (json.find("\"detection_coverage\":0.5") == std::string::npos ||
+      json.find("\"record\":\"bj_report\"") == std::string::npos) {
+    return fail("JSON renderer output unexpected");
+  }
+  const std::string html = campaign_report_html(report);
+  if (html.find("<!DOCTYPE html>") != 0 ||
+      html.find("frontend-decoder") == std::string::npos ||
+      html.find("reg-value") == std::string::npos) {
+    return fail("HTML renderer output unexpected");
+  }
+
+  // A header whose schema_version disagrees with this build must reject the
+  // whole file — loudly, not by skipping records.
+  std::string tampered = runs;
+  const std::string schema_key = "\"schema_version\":";
+  tampered.replace(tampered.find(schema_key) + schema_key.size(), 1, "9");
+  CampaignReport rejected;
+  report_ingest_content("tampered", tampered, &rejected);
+  if (rejected.errors.size() != 1 || rejected.runs != 0 ||
+      rejected.errors[0].find("schema_version") == std::string::npos) {
+    return fail("schema-tampered header was not rejected");
+  }
+
+  // Unknown outcome strings are tampering, not data.
+  std::string unknown = runs;
+  const std::string outcome_key = "\"outcome\":\"" + detected + "\"";
+  unknown.replace(unknown.find(outcome_key), outcome_key.size(),
+                  "\"outcome\":\"mystery\"");
+  CampaignReport rejected2;
+  report_ingest_content("unknown-outcome", unknown, &rejected2);
+  if (rejected2.errors.size() != 1 || rejected2.runs != 0 ||
+      rejected2.errors[0].find("mystery") == std::string::npos) {
+    return fail("unknown outcome was not rejected");
+  }
+
+  return true;
+}
+
+}  // namespace bj

@@ -1,0 +1,156 @@
+// Offline campaign report builder: the library behind tools/bj_report.
+//
+// Consumes stored campaign JSONL — runs.jsonl and its autopsy.jsonl sibling,
+// loose files or whole store directories (shard directories included) — and
+// aggregates the paper-shaped summaries without re-simulating anything:
+//
+//   * per-(workload, mode, fault-site) coverage matrix (Figure 4/5 shape:
+//     detection coverage of activated faults, SDC rate, outcome counts),
+//   * the SDC-escape table (every sdc / detected-late / oracle-divergence
+//     run, enriched with its autopsy's first-divergence forensics when an
+//     autopsy.jsonl covered it),
+//   * detection-latency percentiles per outcome (Figure 7 shape), rebuilt
+//     from the stored per-run latencies into the same log2 Histogram the
+//     live campaign uses, and
+//   * autopsy aggregates (first-divergence kind counts, divergence-to-
+//     detection latency).
+//
+// Ingestion is all-or-nothing per file: the header must validate
+// (validate_campaign_jsonl_header — schema mismatches are loud errors, not
+// silent skips), every record must parse, and the footer must account for
+// the records, or the file contributes nothing and lands in `errors`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "harness/autopsy.h"
+#include "harness/campaign.h"
+
+namespace bj {
+
+// Aggregation key of the coverage matrix.
+struct CoverageKey {
+  std::string workload;
+  std::string mode;
+  std::string site;  // first token of the fault description ("transient"
+                     // for soft-error campaigns)
+  bool operator<(const CoverageKey& other) const {
+    if (workload != other.workload) return workload < other.workload;
+    if (mode != other.mode) return mode < other.mode;
+    return site < other.site;
+  }
+};
+
+struct CoverageCell {
+  std::uint64_t runs = 0;
+  std::uint64_t activated = 0;
+  // Outcome-name -> count over all runs in the cell.
+  std::map<std::string, std::uint64_t> outcomes;
+  // Of the activated runs: how many any check (or the watchdog) caught, how
+  // many released corrupt data (detected-late + sdc), how many were silent.
+  std::uint64_t detected_of_activated = 0;
+  std::uint64_t corrupt_of_activated = 0;
+  std::uint64_t sdc_of_activated = 0;
+
+  double detection_coverage() const {
+    return activated > 0 ? static_cast<double>(detected_of_activated) /
+                               static_cast<double>(activated)
+                         : 0.0;
+  }
+  double sdc_rate() const {
+    return activated > 0 ? static_cast<double>(sdc_of_activated) /
+                               static_cast<double>(activated)
+                         : 0.0;
+  }
+};
+
+// One row of the SDC-escape table.
+struct EscapeRow {
+  std::uint64_t index = 0;
+  std::string workload;
+  std::string mode;
+  std::string site;
+  std::string fault;    // full fault description
+  std::string outcome;  // sdc / detected-late / oracle-divergence
+  std::uint64_t activations = 0;
+  std::uint64_t corrupt_stores = 0;
+  bool has_first_corruption = false;
+  std::uint64_t first_corruption_cycle = 0;
+  // Autopsy enrichment (when an ingested autopsy.jsonl covered this run).
+  bool has_autopsy = false;
+  std::string divergence_kind;
+  std::uint64_t divergence_cycle = 0;
+  std::uint64_t divergence_pc = 0;
+  std::uint64_t divergent_commits = 0;
+};
+
+// Autopsy forensics kept per run for escape-row enrichment.
+struct AutopsyLite {
+  bool diverged = false;
+  std::string divergence_kind;
+  std::uint64_t divergence_cycle = 0;
+  std::uint64_t divergence_pc = 0;
+  std::uint64_t divergent_commits = 0;
+};
+
+struct CampaignReport {
+  std::size_t files = 0;       // files ingested successfully
+  std::size_t runs = 0;        // run records aggregated
+  std::size_t autopsies = 0;   // autopsy records aggregated
+  std::vector<std::string> errors;  // one per rejected file
+
+  std::map<CoverageKey, CoverageCell> coverage;
+  // Outcome-name -> latency histogram, rebuilt from stored per-run
+  // detection_latency fields exactly as CampaignStats builds it live.
+  std::map<std::string, Histogram> detection_latency;
+  std::vector<EscapeRow> escapes;  // index-sorted within each source file
+  // "workload|mode|index" -> forensics, for escape enrichment + join tests.
+  std::map<std::string, AutopsyLite> autopsy_by_run;
+  std::map<std::string, std::uint64_t> divergence_kinds;
+  Histogram divergence_to_detection;
+
+  bool ok() const { return errors.empty(); }
+};
+
+// Ingests one JSONL image (runs.jsonl or autopsy.jsonl; record kinds are
+// distinguished per line) given as a string. `name` labels errors. The file
+// contributes all-or-nothing.
+void report_ingest_content(const std::string& name, const std::string& content,
+                           CampaignReport* report);
+
+// Ingests a path: a JSONL file, a campaign store directory (runs.jsonl +
+// optional autopsy.jsonl inside), or a store root (every subdirectory
+// holding a runs.jsonl — so shard roots aggregate in one call).
+void report_ingest_path(const std::string& path, CampaignReport* report);
+
+// Joins escape rows with their autopsy forensics. Called by
+// build_campaign_report; call manually after a bare ingest sequence.
+void finalize_campaign_report(CampaignReport* report);
+
+// Ingest every path, then finalize.
+CampaignReport build_campaign_report(const std::vector<std::string>& paths);
+
+// The same aggregation computed from an in-memory campaign, bypassing JSONL
+// entirely. Anchor for the regeneration tests: a report built from a stored
+// campaign's files must equal the report built from the CampaignResult the
+// store was written from.
+CampaignReport report_from_result(const CampaignResult& result,
+                                  const CampaignConfig& config,
+                                  const AutopsyResult* autopsy = nullptr);
+
+// Renderers. JSON is machine-readable (schema_version-stamped); HTML is a
+// self-contained heatmap page (inline CSS, no scripts, no external fetches).
+std::string campaign_report_json(const CampaignReport& report);
+std::string campaign_report_html(const CampaignReport& report);
+
+// Hermetic self-check of the parser, aggregation, join, and renderers over
+// synthetic JSONL (including a schema-tampered header and an unknown
+// outcome, both of which must be rejected). Returns true on success; details
+// of any failure go to stderr. Wired as `bj_report --selftest` in tier 2.
+bool report_selftest();
+
+}  // namespace bj

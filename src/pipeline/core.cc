@@ -294,6 +294,7 @@ void Core::record_detection(DetectionKind kind, std::uint64_t pc,
     provenance_->detected = true;
     provenance_->detection_cycle = cycle_;
   }
+  if (flight_ != nullptr) flight_->dump("detection");
   if (halt_on_detection_) detection_halt_ = true;
 }
 

@@ -134,6 +134,19 @@ struct CoreStats {
   }
 };
 
+// Observational tap on the leading thread's commit stream. Invoked once per
+// architecturally retired leading instruction, at the same pipeline point
+// the oracle check runs (before the store is released to the memory
+// system), so an observer can replay its own architectural model in
+// lockstep with the faulty machine. Pure observation: implementations must
+// not mutate the instruction or the core. Null (the default) costs the
+// commit path one predicted-untaken branch.
+class CommitObserver {
+ public:
+  virtual ~CommitObserver() = default;
+  virtual void on_leading_commit(const DynInst& inst, std::uint64_t cycle) = 0;
+};
+
 struct RunOutcome {
   std::uint64_t cycles = 0;
   std::uint64_t leading_commits = 0;
@@ -216,6 +229,24 @@ class Core {
   // this pointer, so the untraced path stays off the golden fingerprints
   // and the bench gate.
   void set_tracer(PipelineTracer* tracer) { tracer_ = tracer; }
+
+  // Lockstep commit tap (autopsy engine). Pass nullptr to disable (the
+  // default). The observer fires for every committed leading instruction,
+  // immediately after the oracle check point and before the instruction's
+  // stores reach the memory system.
+  void set_commit_observer(CommitObserver* observer) {
+    commit_observer_ = observer;
+  }
+
+  // Crash/detection flight recorder. Arming installs the recorder's ring as
+  // this core's tracer (replacing any set_tracer target) and auto-dumps it
+  // on the first redundancy-check detection and on the first oracle
+  // divergence; BJ_CHECK aborts are covered by
+  // FlightRecorder::arm_on_check_abort. Pass nullptr to disarm.
+  void set_flight_recorder(FlightRecorder* recorder) {
+    flight_ = recorder;
+    tracer_ = recorder != nullptr ? &recorder->tracer() : nullptr;
+  }
 
   // Fault-propagation provenance: when attached, the core stamps the first
   // injector-activation cycle and the first detection into `provenance`,
@@ -530,6 +561,8 @@ class Core {
   std::ostream* trace_ = nullptr;
   StageProfiler* profiler_ = nullptr;
   PipelineTracer* tracer_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
+  CommitObserver* commit_observer_ = nullptr;
   FaultProvenance* provenance_ = nullptr;
   // Release cycle of released_stores_[i]; filled only while provenance is
   // attached (same store_trace_limit_ bound).

@@ -84,6 +84,7 @@ void Core::check_against_oracle(const DynInst* inst) {
     detail << "oracle already halted at leading commit pc=" << inst->pc;
     oracle_violation_ = true;
     oracle_violation_detail_ = detail.str();
+    if (flight_ != nullptr) flight_->dump("oracle-divergence");
     return;
   }
   const DecodedInst& d = inst->di();
@@ -112,6 +113,7 @@ void Core::check_against_oracle(const DynInst* inst) {
            << rec->dst_value;
     oracle_violation_ = true;
     oracle_violation_detail_ = detail.str();
+    if (flight_ != nullptr) flight_->dump("oracle-divergence");
   }
 }
 
@@ -152,6 +154,12 @@ void Core::commit_leading(Context& ctx) {
     }
 
     if (oracle_check_) check_against_oracle(head);
+    // The autopsy lockstep tap runs at the oracle-check point: the
+    // instruction is architecturally final but its store has not yet
+    // reached the memory system.
+    if (commit_observer_ != nullptr) {
+      commit_observer_->on_leading_commit(*head, cycle_);
+    }
 
     if (d.is_store()) {
       if (redundant()) {

@@ -1,0 +1,532 @@
+// Fault autopsy engine tests: lockstep-replay forensics must agree with the
+// campaign's own classification (the autopsy explains the stored run, it
+// never contradicts it), the divergence/corruption/detection timeline must
+// be internally consistent with the provenance chain the campaign already
+// records, the service's autopsy.jsonl must follow the store's
+// adopt-or-quarantine contract, and the offline report builder must
+// regenerate the same coverage aggregates from the stored files that the
+// in-memory campaign produces — the "no re-simulation" promise bj_report is
+// built on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "harness/autopsy.h"
+#include "harness/campaign.h"
+#include "harness/campaign_store.h"
+#include "harness/report.h"
+#include "pipeline/params.h"
+#include "workload/microkernels.h"
+
+namespace bj {
+namespace {
+
+namespace fs = std::filesystem;
+
+Program autopsy_program() { return kernels::pointer_chase(512, 30000); }
+
+CampaignConfig autopsy_config(Mode mode) {
+  CampaignConfig config;
+  config.mode = mode;
+  config.num_faults = 24;
+  config.seed = 4242;
+  config.budget_commits = 3000;
+  return config;
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+constexpr FaultOutcome kAllOutcomes[] = {
+    FaultOutcome::kDetected, FaultOutcome::kDetectedLate,
+    FaultOutcome::kWedged,   FaultOutcome::kSdc,
+    FaultOutcome::kBenign,   FaultOutcome::kOracleDivergence,
+};
+
+TEST(AutopsySelect, NamesRoundTripAndRejectUnknown) {
+  for (const AutopsySelect select :
+       {AutopsySelect::kEscapes, AutopsySelect::kDetected,
+        AutopsySelect::kAll}) {
+    AutopsySelect parsed = AutopsySelect::kAll;
+    ASSERT_TRUE(parse_autopsy_select(autopsy_select_name(select), &parsed))
+        << autopsy_select_name(select);
+    EXPECT_EQ(parsed, select);
+  }
+  AutopsySelect parsed = AutopsySelect::kDetected;
+  EXPECT_FALSE(parse_autopsy_select("everything", &parsed));
+  EXPECT_EQ(parsed, AutopsySelect::kDetected) << "*out must stay untouched";
+}
+
+TEST(AutopsySelect, FilterTruthTable) {
+  // Benign runs are never autopsied; escapes = corruption past the checks;
+  // detected = a check (or watchdog) fired; all = their union.
+  for (const FaultOutcome outcome : kAllOutcomes) {
+    const bool escape = outcome == FaultOutcome::kSdc ||
+                        outcome == FaultOutcome::kDetectedLate ||
+                        outcome == FaultOutcome::kOracleDivergence;
+    const bool caught = outcome == FaultOutcome::kDetected ||
+                        outcome == FaultOutcome::kDetectedLate ||
+                        outcome == FaultOutcome::kWedged;
+    EXPECT_EQ(autopsy_selects(AutopsySelect::kEscapes, outcome), escape)
+        << fault_outcome_name(outcome);
+    EXPECT_EQ(autopsy_selects(AutopsySelect::kDetected, outcome), caught)
+        << fault_outcome_name(outcome);
+    EXPECT_EQ(autopsy_selects(AutopsySelect::kAll, outcome), escape || caught)
+        << fault_outcome_name(outcome);
+  }
+}
+
+// The core contract: every autopsy re-derives its run's classification, and
+// its forensic timeline is consistent with the provenance fields the
+// campaign recorded for the same index.
+TEST(AutopsyEngine, RecordsAgreeWithTheCampaignTimeline) {
+  const Program program = autopsy_program();
+  const CampaignConfig config = autopsy_config(Mode::kBlackjack);
+  const CampaignResult result = run_campaign(program, config);
+
+  AutopsyOptions options;
+  options.select = AutopsySelect::kAll;
+  options.jobs = 2;
+  const AutopsyResult autopsy =
+      run_campaign_autopsy(program, config, result, options);
+  EXPECT_EQ(autopsy.select, AutopsySelect::kAll);
+
+  // Exactly the selected indices, in ascending order.
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    if (autopsy_selects(AutopsySelect::kAll, result.runs[i].outcome)) {
+      expected.push_back(i);
+    }
+  }
+  ASSERT_FALSE(expected.empty())
+      << "the campaign must produce non-benign runs for this test to bite";
+  ASSERT_EQ(autopsy.records.size(), expected.size());
+
+  for (std::size_t r = 0; r < autopsy.records.size(); ++r) {
+    const AutopsyRecord& rec = autopsy.records[r];
+    ASSERT_EQ(rec.index, expected[r]);
+    const FaultRun& run = result.runs[rec.index];
+    SCOPED_TRACE("fault index " + std::to_string(rec.index));
+
+    // Replay agreement with the stored run.
+    EXPECT_EQ(rec.outcome, run.outcome);
+    EXPECT_EQ(rec.activated, run.activated);
+    if (run.activated) {
+      EXPECT_EQ(rec.first_activation_cycle, run.first_activation_cycle);
+    }
+    EXPECT_EQ(rec.corrupt_store_released, run.corrupted);
+    if (run.corrupted) {
+      EXPECT_EQ(rec.first_corrupt_store_cycle, run.first_corruption_cycle);
+    }
+    const bool run_detected = run.outcome == FaultOutcome::kDetected ||
+                              run.outcome == FaultOutcome::kDetectedLate ||
+                              run.outcome == FaultOutcome::kWedged;
+    EXPECT_EQ(rec.detected, run_detected);
+    if (run_detected) {
+      EXPECT_EQ(rec.detection_cycle, run.detection_cycle);
+      EXPECT_EQ(rec.detection_kind, run.detection_kind);
+      EXPECT_EQ(rec.detection_latency, run.detection_latency);
+    }
+
+    // Internal timeline consistency: nothing diverges before the fault
+    // first activates, the chain stays inside the propagation window, and
+    // the exact divergent-commit count accounts for the capped chain.
+    if (rec.diverged) {
+      EXPECT_TRUE(rec.activated);
+      EXPECT_GE(rec.first.cycle, rec.first_activation_cycle);
+      EXPECT_GE(rec.divergent_commits, 1u + rec.chain.size());
+      EXPECT_LE(rec.chain.size(), kAutopsyChainCap);
+      if (rec.chain_truncated) {
+        EXPECT_GT(rec.divergent_commits, 1u + rec.chain.size());
+      }
+      std::uint64_t window_end = ~0ull;
+      if (rec.corrupt_store_released) {
+        window_end = std::min(window_end, rec.first_corrupt_store_cycle);
+      }
+      if (rec.detected) {
+        window_end = std::min(window_end, rec.detection_cycle);
+      }
+      std::uint64_t prev_seq = rec.first.seq;
+      for (const DivergenceEvent& event : rec.chain) {
+        EXPECT_GT(event.seq, prev_seq);
+        prev_seq = event.seq;
+        EXPECT_GE(event.cycle, rec.first.cycle);
+        EXPECT_LE(event.cycle, window_end);
+      }
+    } else {
+      EXPECT_TRUE(rec.chain.empty());
+      EXPECT_EQ(rec.divergent_commits, 0u);
+    }
+  }
+}
+
+TEST(AutopsyEngine, SelectsPartitionConsistently) {
+  const Program program = autopsy_program();
+  const CampaignConfig config = autopsy_config(Mode::kSrt);
+  const CampaignResult result = run_campaign(program, config);
+
+  for (const AutopsySelect select :
+       {AutopsySelect::kEscapes, AutopsySelect::kDetected,
+        AutopsySelect::kAll}) {
+    AutopsyOptions options;
+    options.select = select;
+    options.jobs = 1;
+    const AutopsyResult autopsy =
+        run_campaign_autopsy(program, config, result, options);
+    std::size_t expected = 0;
+    for (const FaultRun& run : result.runs) {
+      if (autopsy_selects(select, run.outcome)) ++expected;
+    }
+    EXPECT_EQ(autopsy.records.size(), expected)
+        << autopsy_select_name(select);
+    for (const AutopsyRecord& rec : autopsy.records) {
+      EXPECT_TRUE(autopsy_selects(select, rec.outcome))
+          << autopsy_select_name(select) << " picked a "
+          << fault_outcome_name(rec.outcome) << " run";
+    }
+  }
+}
+
+// The single-run entry point (bjsim --fault ... --autopsy) must produce the
+// same post-mortem as the campaign path when handed the campaign's own
+// injector for that index — it is the same replay with a different caller.
+TEST(AutopsyEngine, SingleRunMatchesTheCampaignPath) {
+  const Program program = autopsy_program();
+  const CampaignConfig config = autopsy_config(Mode::kBlackjack);
+  const CampaignResult result = run_campaign(program, config);
+
+  const std::vector<HardFault> labels = campaign_fault_labels(config);
+  const std::vector<FaultInjector> injectors =
+      campaign_fault_injectors(config);
+  ASSERT_EQ(labels.size(), result.runs.size());
+  ASSERT_EQ(injectors.size(), result.runs.size());
+
+  std::size_t index = result.runs.size();
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    if (result.runs[i].outcome != FaultOutcome::kBenign) {
+      index = i;
+      break;
+    }
+  }
+  ASSERT_LT(index, result.runs.size()) << "need one non-benign run";
+
+  const AutopsyRecord via_campaign =
+      autopsy_fault_run(program, config, index);
+  const AutopsyRecord via_single =
+      autopsy_single_run(program, config, injectors[index], labels[index]);
+
+  EXPECT_EQ(via_single.outcome, via_campaign.outcome);
+  EXPECT_EQ(via_single.activated, via_campaign.activated);
+  EXPECT_EQ(via_single.first_activation_cycle,
+            via_campaign.first_activation_cycle);
+  EXPECT_EQ(via_single.diverged, via_campaign.diverged);
+  if (via_campaign.diverged) {
+    EXPECT_EQ(via_single.first.seq, via_campaign.first.seq);
+    EXPECT_EQ(via_single.first.cycle, via_campaign.first.cycle);
+    EXPECT_EQ(via_single.first.kind, via_campaign.first.kind);
+    EXPECT_EQ(via_single.first.expected, via_campaign.first.expected);
+    EXPECT_EQ(via_single.first.actual, via_campaign.first.actual);
+  }
+  EXPECT_EQ(via_single.divergent_commits, via_campaign.divergent_commits);
+  EXPECT_EQ(via_single.detected, via_campaign.detected);
+  EXPECT_EQ(via_single.detection_cycle, via_campaign.detection_cycle);
+  // Only the caller-assigned index may differ (single runs are index 0).
+  EXPECT_EQ(via_single.index, 0u);
+  EXPECT_EQ(via_campaign.index, index);
+}
+
+TEST(AutopsyJsonl, ImageSharesTheCampaignHeaderAndFootsItsRecords) {
+  const Program program = autopsy_program();
+  const CampaignConfig config = autopsy_config(Mode::kBlackjack);
+  const CampaignResult result = run_campaign(program, config);
+  AutopsyOptions options;
+  options.select = AutopsySelect::kEscapes;
+  const AutopsyResult autopsy =
+      run_campaign_autopsy(program, config, result, options);
+
+  const std::string image = autopsy_jsonl(program, config, autopsy);
+  std::vector<std::string> lines;
+  std::istringstream in(image);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_GE(lines.size(), 2u);
+
+  // First line: byte-identical to the runs.jsonl header — one parser serves
+  // both files, and the digest ties the autopsy to its campaign.
+  std::ostringstream header;
+  write_campaign_jsonl_header(header, program, config);
+  EXPECT_EQ(lines.front() + "\n", header.str());
+  std::string error;
+  EXPECT_TRUE(validate_campaign_jsonl_header(lines.front(), &error)) << error;
+
+  // Footer accounts for every record line between header and footer.
+  EXPECT_NE(lines.back().find("\"record\":\"footer\""), std::string::npos);
+  EXPECT_NE(lines.back().find("\"complete\":true"), std::string::npos);
+  EXPECT_NE(lines.back().find("\"select\":\"escapes\""), std::string::npos);
+  EXPECT_NE(lines.back().find(
+                "\"autopsies\":" + std::to_string(autopsy.records.size())),
+            std::string::npos);
+  EXPECT_EQ(lines.size(), autopsy.records.size() + 2);
+  for (std::size_t i = 0; i < autopsy.records.size(); ++i) {
+    EXPECT_NE(lines[i + 1].find("\"record\":\"autopsy\""), std::string::npos);
+    EXPECT_EQ(lines[i + 1],
+              canonical_autopsy_record(result.workload, config,
+                                       autopsy.records[i]));
+  }
+}
+
+TEST(AutopsyMetrics, ExportRegistersAggregates) {
+  const Program program = autopsy_program();
+  const CampaignConfig config = autopsy_config(Mode::kBlackjack);
+  const CampaignResult result = run_campaign(program, config);
+  AutopsyOptions options;
+  options.select = AutopsySelect::kAll;
+  const AutopsyResult autopsy =
+      run_campaign_autopsy(program, config, result, options);
+  ASSERT_FALSE(autopsy.records.empty());
+
+  MetricsRegistry registry;
+  export_autopsy_metrics(registry, config, autopsy);
+  std::ostringstream os;
+  registry.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("campaign.autopsy.select"), std::string::npos);
+  EXPECT_NE(json.find("campaign.autopsy.records"), std::string::npos);
+  // At least one divergence-kind counter must have materialized (a
+  // non-benign replay that never diverges architecturally would mean the
+  // lockstep observer is blind).
+  EXPECT_NE(json.find("campaign.autopsy.divergence."), std::string::npos);
+}
+
+// Store contract: the service writes autopsy.jsonl next to runs.jsonl, a
+// rerun adopts the complete file without replaying, and a file that fails
+// adoption (here: a different select) is quarantined and regenerated.
+TEST(AutopsyService, WritesAdoptsAndQuarantines) {
+  const Program program = autopsy_program();
+  const CampaignConfig config = autopsy_config(Mode::kBlackjack);
+
+  CampaignServiceOptions options;
+  options.jobs = 2;
+  options.store_root = fresh_dir("autopsy_service").string();
+  options.autopsy = true;
+  options.autopsy_select = AutopsySelect::kAll;
+
+  const CampaignServiceReport first =
+      run_campaign_service(program, config, options);
+  ASSERT_FALSE(first.autopsy_path.empty());
+  const fs::path path = first.autopsy_path;
+  ASSERT_TRUE(fs::exists(path));
+  EXPECT_FALSE(first.autopsy_adopted);
+  EXPECT_GT(first.autopsy_records, 0u);
+  EXPECT_EQ(first.autopsy.records.size(), first.autopsy_records);
+  const std::string bytes = read_file(path);
+
+  // Rerun: the campaign resumes complete and the autopsy is adopted as-is.
+  const CampaignServiceReport second =
+      run_campaign_service(program, config, options);
+  EXPECT_TRUE(second.complete_on_entry);
+  EXPECT_TRUE(second.autopsy_adopted);
+  EXPECT_EQ(second.autopsy_records, first.autopsy_records);
+  EXPECT_TRUE(second.autopsy.records.empty())
+      << "adoption must skip the replays";
+  EXPECT_EQ(read_file(path), bytes);
+
+  // A matching-header file with the wrong select is stale output from a
+  // different invocation: quarantine it and regenerate.
+  options.autopsy_select = AutopsySelect::kEscapes;
+  const CampaignServiceReport third =
+      run_campaign_service(program, config, options);
+  EXPECT_FALSE(third.autopsy_adopted);
+  EXPECT_GE(third.quarantined, 1);
+  EXPECT_TRUE(fs::exists(path.string() + ".corrupt"));
+  const std::string escapes_bytes = read_file(path);
+  EXPECT_NE(escapes_bytes, bytes);
+  EXPECT_NE(escapes_bytes.find("\"select\":\"escapes\""), std::string::npos);
+
+  // Truncation (no footer) must also fail adoption on the next pass.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const std::size_t cut = escapes_bytes.rfind("{\"record\":\"footer\"");
+    ASSERT_NE(cut, std::string::npos);
+    out << escapes_bytes.substr(0, cut);
+  }
+  const CampaignServiceReport fourth =
+      run_campaign_service(program, config, options);
+  EXPECT_FALSE(fourth.autopsy_adopted);
+  EXPECT_EQ(read_file(path), escapes_bytes);
+}
+
+void expect_reports_agree(const CampaignReport& from_files,
+                          const CampaignReport& from_memory) {
+  EXPECT_TRUE(from_files.ok())
+      << (from_files.errors.empty() ? "" : from_files.errors.front());
+  EXPECT_EQ(from_files.runs, from_memory.runs);
+  EXPECT_EQ(from_files.autopsies, from_memory.autopsies);
+
+  ASSERT_EQ(from_files.coverage.size(), from_memory.coverage.size());
+  for (const auto& [key, cell] : from_memory.coverage) {
+    const auto it = from_files.coverage.find(key);
+    ASSERT_NE(it, from_files.coverage.end())
+        << key.workload << "/" << key.mode << "/" << key.site;
+    EXPECT_EQ(it->second.runs, cell.runs);
+    EXPECT_EQ(it->second.activated, cell.activated);
+    EXPECT_EQ(it->second.detected_of_activated, cell.detected_of_activated);
+    EXPECT_EQ(it->second.corrupt_of_activated, cell.corrupt_of_activated);
+    EXPECT_EQ(it->second.sdc_of_activated, cell.sdc_of_activated);
+    EXPECT_EQ(it->second.outcomes, cell.outcomes);
+  }
+
+  ASSERT_EQ(from_files.detection_latency.size(),
+            from_memory.detection_latency.size());
+  for (const auto& [name, hist] : from_memory.detection_latency) {
+    const auto it = from_files.detection_latency.find(name);
+    ASSERT_NE(it, from_files.detection_latency.end()) << name;
+    EXPECT_EQ(it->second.count(), hist.count()) << name;
+    EXPECT_EQ(it->second.sum(), hist.sum()) << name;
+    EXPECT_EQ(it->second.min(), hist.min()) << name;
+    EXPECT_EQ(it->second.max(), hist.max()) << name;
+  }
+
+  ASSERT_EQ(from_files.escapes.size(), from_memory.escapes.size());
+  for (std::size_t i = 0; i < from_memory.escapes.size(); ++i) {
+    const EscapeRow& a = from_files.escapes[i];
+    const EscapeRow& b = from_memory.escapes[i];
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.mode, b.mode);
+    EXPECT_EQ(a.site, b.site);
+    EXPECT_EQ(a.fault, b.fault);
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.activations, b.activations);
+    EXPECT_EQ(a.corrupt_stores, b.corrupt_stores);
+    EXPECT_EQ(a.has_first_corruption, b.has_first_corruption);
+    EXPECT_EQ(a.first_corruption_cycle, b.first_corruption_cycle);
+    EXPECT_EQ(a.has_autopsy, b.has_autopsy);
+    EXPECT_EQ(a.divergence_kind, b.divergence_kind);
+    EXPECT_EQ(a.divergence_cycle, b.divergence_cycle);
+    EXPECT_EQ(a.divergent_commits, b.divergent_commits);
+  }
+
+  EXPECT_EQ(from_files.divergence_kinds, from_memory.divergence_kinds);
+  EXPECT_EQ(from_files.divergence_to_detection.count(),
+            from_memory.divergence_to_detection.count());
+  EXPECT_EQ(from_files.divergence_to_detection.sum(),
+            from_memory.divergence_to_detection.sum());
+}
+
+// The regeneration promise: bj_report over the stored files must equal the
+// aggregation computed directly from the in-memory CampaignResult the store
+// was written from — byte round-tripping through JSONL loses nothing the
+// report uses, and nothing is re-simulated to get it back.
+TEST(AutopsyReport, StoredFilesRegenerateTheInMemoryAggregates) {
+  const Program program = autopsy_program();
+  const CampaignConfig config = autopsy_config(Mode::kBlackjack);
+
+  CampaignServiceOptions options;
+  options.jobs = 2;
+  options.store_root = fresh_dir("autopsy_report").string();
+  options.autopsy = true;
+  options.autopsy_select = AutopsySelect::kAll;
+  const CampaignServiceReport service =
+      run_campaign_service(program, config, options);
+  ASSERT_GT(service.autopsy_records, 0u);
+
+  const CampaignReport from_files = build_campaign_report({service.store_dir});
+  EXPECT_EQ(from_files.files, 2u) << "runs.jsonl + autopsy.jsonl";
+  const CampaignReport from_memory =
+      report_from_result(service.result, config, &service.autopsy);
+  expect_reports_agree(from_files, from_memory);
+
+  // Ingesting via the store ROOT (parent of the digest directory) must find
+  // the same campaign — the shard-aggregation path.
+  const CampaignReport from_root = build_campaign_report({options.store_root});
+  expect_reports_agree(from_root, from_memory);
+
+  // Renderers accept the result.
+  const std::string json = campaign_report_json(from_files);
+  EXPECT_NE(json.find("\"record\":\"bj_report\""), std::string::npos);
+  EXPECT_NE(json.find("\"coverage\":["), std::string::npos);
+  const std::string html = campaign_report_html(from_files);
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+}
+
+// Figure-4 shape from storage alone: an exhaustive frontend-decoder
+// mini-campaign run under SRT and under BlackJack, reported offline from
+// the two stores. BlackJack's space shuffling forces decoder-way diversity
+// between the redundant threads, so its detection coverage of activated
+// frontend faults must beat SRT's, whose threads can sail through the same
+// broken decoder lane — the paper's central Figure-4 contrast, recovered
+// without re-simulating anything.
+TEST(AutopsyReport, StoredExhaustiveCampaignShowsTheFigure4Contrast) {
+  const Program program = autopsy_program();
+  const fs::path root = fresh_dir("autopsy_fig4");
+
+  CampaignConfig config;
+  config.seed = 99;
+  config.budget_commits = 2500;
+  config.sites = {FaultSite::kFrontendDecoder};
+  config.exhaustive = true;
+  const std::uint64_t space = fault_space_size(config.params, config.sites);
+  ASSERT_GT(space, 0u);
+  // Cap the sampled draw so the test stays cheap on wide decoders; the draw
+  // is seed-deterministic and identical for both modes, so the contrast is
+  // still like-for-like.
+  config.test_count = space > 48 ? 48 : 0;
+
+  std::map<Mode, CampaignResult> results;
+  for (const Mode mode : {Mode::kSrt, Mode::kBlackjack}) {
+    config.mode = mode;
+    CampaignServiceOptions options;
+    options.jobs = 2;
+    options.store_root = root.string();
+    options.autopsy = true;
+    options.autopsy_select = AutopsySelect::kAll;
+    results[mode] = run_campaign_service(program, config, options).result;
+  }
+
+  const CampaignReport report = build_campaign_report({root.string()});
+  ASSERT_TRUE(report.ok()) << report.errors.front();
+  EXPECT_EQ(report.runs, results[Mode::kSrt].runs.size() +
+                             results[Mode::kBlackjack].runs.size());
+
+  const auto cell = [&](Mode mode) {
+    const CoverageKey key{program.name, mode_name(mode), "frontend-decoder"};
+    const auto it = report.coverage.find(key);
+    EXPECT_NE(it, report.coverage.end()) << mode_name(mode);
+    return it != report.coverage.end() ? it->second : CoverageCell{};
+  };
+  const CoverageCell srt = cell(Mode::kSrt);
+  const CoverageCell bj = cell(Mode::kBlackjack);
+  ASSERT_GT(srt.activated, 0u);
+  ASSERT_GT(bj.activated, 0u);
+
+  // The offline cells must agree with the in-memory campaign rates...
+  EXPECT_DOUBLE_EQ(srt.detection_coverage(),
+                   results[Mode::kSrt].detection_rate_of_activated());
+  EXPECT_DOUBLE_EQ(bj.detection_coverage(),
+                   results[Mode::kBlackjack].detection_rate_of_activated());
+  // ...and reproduce the paper's contrast: BlackJack catches activated
+  // frontend hard faults that SRT cannot.
+  EXPECT_GT(bj.detection_coverage(), srt.detection_coverage());
+}
+
+}  // namespace
+}  // namespace bj

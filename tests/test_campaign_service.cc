@@ -232,6 +232,64 @@ TEST(CanonicalRecords, RoundTripThroughTheSelfVerifyingParser) {
   }
 }
 
+TEST(FaultOutcomeNames, RoundTripThroughTheParserAndRejectUnknown) {
+  // Every enumerator must survive name -> parse; the parser is how stored
+  // JSONL is read back, so a missing case silently reclassifies runs.
+  const FaultOutcome all[] = {
+      FaultOutcome::kDetected, FaultOutcome::kDetectedLate,
+      FaultOutcome::kWedged,   FaultOutcome::kSdc,
+      FaultOutcome::kBenign,   FaultOutcome::kOracleDivergence,
+  };
+  for (const FaultOutcome outcome : all) {
+    FaultOutcome parsed = FaultOutcome::kBenign;
+    ASSERT_TRUE(parse_fault_outcome(fault_outcome_name(outcome), &parsed))
+        << fault_outcome_name(outcome);
+    EXPECT_EQ(parsed, outcome) << fault_outcome_name(outcome);
+  }
+  // Unknown strings are tampering: rejected, *out untouched. Case and
+  // whitespace variants of real names are just as unknown.
+  for (const char* bogus :
+       {"", "mystery", "Detected", "detected ", "detected-later", "sdc2"}) {
+    FaultOutcome parsed = FaultOutcome::kWedged;
+    EXPECT_FALSE(parse_fault_outcome(bogus, &parsed)) << '"' << bogus << '"';
+    EXPECT_EQ(parsed, FaultOutcome::kWedged) << '"' << bogus << '"';
+  }
+}
+
+TEST(CampaignJsonlHeader, ValidatorAcceptsRealHeadersRejectsTampering) {
+  const Program program = service_program();
+  const CampaignConfig config = hard_config();
+  std::ostringstream os;
+  write_campaign_jsonl_header(os, program, config);
+  std::string header = os.str();
+  ASSERT_FALSE(header.empty());
+
+  std::string error;
+  EXPECT_TRUE(validate_campaign_jsonl_header(header, &error)) << error;
+
+  // A schema_version from a different build generation must be rejected
+  // loudly, naming the field — never skipped as an unknown line.
+  const std::size_t pos = header.find("\"schema_version\":");
+  ASSERT_NE(pos, std::string::npos);
+  std::string tampered = header;
+  tampered[pos + std::string("\"schema_version\":").size()] = '9';
+  error.clear();
+  EXPECT_FALSE(validate_campaign_jsonl_header(tampered, &error));
+  EXPECT_NE(error.find("schema_version"), std::string::npos) << error;
+
+  // A header with the version field stripped is equally invalid.
+  std::string stripped = header;
+  const std::size_t comma = stripped.find(',', pos);
+  ASSERT_NE(comma, std::string::npos);
+  stripped.erase(pos, comma - pos + 1);
+  EXPECT_FALSE(validate_campaign_jsonl_header(stripped, nullptr));
+
+  // A run record is not a header, however well-formed.
+  const std::string record = canonical_jsonl_record(
+      program.name, config, 0, FaultRun{});
+  EXPECT_FALSE(validate_campaign_jsonl_header(record, nullptr));
+}
+
 TEST(CanonicalRecords, ParserRejectsTamperedRecords) {
   const Program program = service_program();
   const CampaignConfig config = hard_config();
@@ -703,6 +761,21 @@ std::string http_get(int port, const std::string& path) {
   return response;
 }
 
+// Splits an HTTP/1.1 response and checks the Content-Length header against
+// the actual body size — the framing contract every response must keep so
+// keep-alive-less scrapers and probes can trust what they read.
+void expect_framed(const std::string& response, const std::string& what) {
+  const std::size_t split = response.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos) << what;
+  const std::string head = response.substr(0, split);
+  const std::string body = response.substr(split + 4);
+  const std::size_t cl = head.find("Content-Length: ");
+  ASSERT_NE(cl, std::string::npos) << what << " has no Content-Length";
+  EXPECT_EQ(std::stoul(head.substr(cl + std::string("Content-Length: ").size())),
+            body.size())
+      << what;
+}
+
 TEST(MetricsHttp, ServesProducerTextOnMetricsPathOnly) {
   MetricsHttpServer server(0, [] {
     MetricsRegistry registry;
@@ -720,6 +793,33 @@ TEST(MetricsHttp, ServesProducerTextOnMetricsPathOnly) {
 
   const std::string missing = http_get(server.port(), "/other");
   EXPECT_NE(missing.find("404"), std::string::npos);
+
+  // Every response — hit or miss — carries an accurate Content-Length.
+  expect_framed(ok, "/metrics");
+  expect_framed(missing, "/other (404)");
+}
+
+TEST(MetricsHttp, HealthzAnswersLivenessWithoutTheProducer) {
+  // /healthz is the liveness probe: it must answer while the serve loop is
+  // up, WITHOUT invoking the producer — a wedged campaign callback should
+  // fail the scrape, never the liveness check that decides restarts.
+  int producer_calls = 0;
+  MetricsHttpServer server(0, [&producer_calls] {
+    ++producer_calls;
+    return std::string("metrics\n");
+  });
+  ASSERT_TRUE(server.ok());
+
+  const std::string health = http_get(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok\n"), std::string::npos);
+  EXPECT_EQ(producer_calls, 0);
+  expect_framed(health, "/healthz");
+
+  // The scrape path still works and does call the producer.
+  const std::string ok = http_get(server.port(), "/metrics");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_EQ(producer_calls, 1);
 }
 
 TEST(MetricsHttp, SurvivesMidScrapeDisconnect) {
@@ -750,10 +850,16 @@ TEST(MetricsHttp, SurvivesMidScrapeDisconnect) {
   ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &reset, sizeof(reset));
   ::close(fd);
 
-  // The follow-up scrape proves the serve loop survived and still answers.
+  // The follow-up scrape proves the serve loop survived and still answers,
+  // with intact framing even for the multi-MB body; the liveness probe must
+  // keep answering through the same episode.
   const std::string ok = http_get(server.port(), "/metrics");
   EXPECT_NE(ok.find("200 OK"), std::string::npos);
   EXPECT_NE(ok.find(big), std::string::npos);
+  expect_framed(ok, "/metrics after abortive close");
+  const std::string health = http_get(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  expect_framed(health, "/healthz after abortive close");
 }
 
 }  // namespace

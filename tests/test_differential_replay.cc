@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "harness/autopsy.h"
 #include "harness/campaign.h"
 #include "harness/campaign_store.h"
 #include "pipeline/core.h"
@@ -253,6 +254,33 @@ INSTANTIATE_TEST_SUITE_P(AllProfiles, DifferentialReplay,
                          ::testing::ValuesIn(all_profile_names()),
                          [](const auto& info) { return info.param; });
 
+// Autopsy replays fan out over the same worker pool as the campaign, so
+// they get the same determinism statement: the canonical autopsy.jsonl
+// image must be byte-identical for every jobs count. Oversubscription
+// (jobs=16 on the CI VM) again maximizes scheduling interleavings.
+TEST(DifferentialReplayAutopsy, AutopsyJsonlIsByteIdenticalAcrossJobs) {
+  const Program program = endless_program("gzip");
+  CampaignConfig config = small_hard_config();
+  config.num_faults = 12;
+  const CampaignResult result = run_campaign(program, config);
+
+  std::string images[3];
+  const int jobs[3] = {1, 4, 16};
+  for (int i = 0; i < 3; ++i) {
+    AutopsyOptions options;
+    options.select = AutopsySelect::kAll;
+    options.jobs = jobs[i];
+    const AutopsyResult autopsy =
+        run_campaign_autopsy(program, config, result, options);
+    images[i] = autopsy_jsonl(program, config, autopsy);
+  }
+  ASSERT_FALSE(images[0].empty());
+  EXPECT_GT(std::count(images[0].begin(), images[0].end(), '\n'), 2)
+      << "campaign must yield autopsied runs for the identity to bite";
+  EXPECT_EQ(images[0], images[1]) << "jobs=1 vs jobs=4";
+  EXPECT_EQ(images[0], images[2]) << "jobs=1 vs jobs=16";
+}
+
 // Kill-and-resume while the work queue is mid-drain: a progress callback
 // that throws aborts the campaign through the pool's first-error path with
 // unexecuted fault indices still queued; the store's checkpoint (written by
@@ -285,15 +313,21 @@ TEST(DifferentialReplayResume, KilledMidQueueCampaignResumesByteIdentical) {
     return buffer.str();
   };
 
-  // Uninterrupted baseline through the same store machinery.
+  // Uninterrupted baseline through the same store machinery; the autopsy
+  // rides along so its byte-identity is proven through the same kill.
   CampaignServiceOptions options;
   options.jobs = 2;
   options.checkpoint_every = 1;
+  options.autopsy = true;
+  options.autopsy_select = AutopsySelect::kAll;
   options.store_root = fresh_dir("diff_uninterrupted").string();
   const CampaignServiceReport full =
       run_campaign_service(program, config, options);
   const std::string full_bytes =
       read_file(fs::path(full.store_dir) / "runs.jsonl");
+  const std::string full_autopsy =
+      read_file(fs::path(full.store_dir) / "autopsy.jsonl");
+  ASSERT_GT(full.autopsy_records, 0u);
 
   // Killed pass: the first progress delivery throws. Flushes happen at
   // 16-run batches under jobs=2, so the abort fires with ~24 of the 40
@@ -317,6 +351,9 @@ TEST(DifferentialReplayResume, KilledMidQueueCampaignResumesByteIdentical) {
   EXPECT_LT(killed_records, config.num_faults)
       << "the kill must leave work unexecuted";
   EXPECT_EQ(killed_bytes.find("\"record\":\"footer\""), std::string::npos);
+  // The autopsy only runs over a *finished* campaign, so the kill must not
+  // have left a partial autopsy.jsonl behind.
+  EXPECT_FALSE(fs::exists(killed_dir / "autopsy.jsonl"));
 
   // Resume completes the remainder and reproduces the baseline exactly.
   const CampaignServiceReport resumed =
@@ -326,6 +363,10 @@ TEST(DifferentialReplayResume, KilledMidQueueCampaignResumesByteIdentical) {
   EXPECT_EQ(resumed.stats.executed_runs,
             config.num_faults - static_cast<int>(killed_records));
   EXPECT_EQ(full_bytes, read_file(killed_dir / "runs.jsonl"));
+  // The resumed campaign's forensics are regenerated from scratch and must
+  // land byte-identical to the uninterrupted campaign's autopsy.jsonl.
+  EXPECT_FALSE(resumed.autopsy_adopted);
+  EXPECT_EQ(full_autopsy, read_file(killed_dir / "autopsy.jsonl"));
   EXPECT_EQ(full.result.totals(), resumed.result.totals());
   // Latency distributions span adopted + re-executed runs alike, so they
   // must match the uninterrupted campaign's exactly (executed/resumed run

@@ -5,16 +5,20 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/metrics.h"
 #include "common/profiler.h"
 #include "common/stats.h"
 #include "common/trace.h"
 #include "harness/campaign.h"
 #include "harness/driver.h"
+#include "pipeline/core.h"
 #include "workload/profile.h"
 
 namespace bj {
@@ -626,6 +630,205 @@ TEST(CoreMetrics, ExportMirrorsCoreStats) {
   std::ostringstream os;
   reg.write_json(os);
   EXPECT_NE(os.str().find("\"core.ipc\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantiles + the campaign latency quantile gauges
+// ---------------------------------------------------------------------------
+
+TEST(HistogramQuantile, InterpolatesWithinBucketsAndClamps) {
+  Histogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  // A single repeated value: every quantile clamps to it exactly.
+  Histogram point;
+  for (int i = 0; i < 10; ++i) point.add(100);
+  EXPECT_EQ(point.quantile(0.0), 100.0);
+  EXPECT_EQ(point.quantile(0.5), 100.0);
+  EXPECT_EQ(point.quantile(0.99), 100.0);
+
+  // Uniform 1..1000: the estimate's error is bounded by the log2 bucket
+  // span, the extremes are exact, and quantiles are monotone in q.
+  Histogram uniform;
+  for (std::uint64_t v = 1; v <= 1000; ++v) uniform.add(v);
+  EXPECT_EQ(uniform.quantile(0.0), 1.0);
+  EXPECT_EQ(uniform.quantile(1.0), 1000.0);
+  const double p50 = uniform.quantile(0.50);
+  const double p90 = uniform.quantile(0.90);
+  const double p99 = uniform.quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 1000.0);
+  // Rank 500 lands in the [256, 512) bucket; one bucket span of error.
+  EXPECT_NEAR(p50, 500.0, 256.0);
+  EXPECT_NEAR(p90, 900.0, 512.0);
+}
+
+TEST(CampaignMetrics, LatencyQuantileGaugesRideEveryPopulatedHistogram) {
+  const Program p = campaign_program();
+  CampaignConfig config;
+  config.mode = Mode::kBlackjack;
+  config.num_faults = 12;
+  config.seed = 90125;
+  config.budget_commits = 3000;
+  config.sites = {FaultSite::kBackendResult};
+
+  CampaignStats stats;
+  const CampaignResult result = run_campaign_parallel(p, config, {}, &stats);
+
+  MetricsRegistry reg;
+  export_campaign_metrics(reg, result, &stats);
+
+  std::size_t populated = 0;
+  for (const auto& [outcome, hist] : stats.detection_latency) {
+    const std::string base = std::string("campaign.detection_latency.") +
+                             fault_outcome_name(outcome);
+    if (hist.count() == 0) {
+      EXPECT_FALSE(reg.has(base + ".p50")) << base;
+      continue;
+    }
+    ++populated;
+    ASSERT_TRUE(reg.has(base + ".p50")) << base;
+    ASSERT_TRUE(reg.has(base + ".p90")) << base;
+    ASSERT_TRUE(reg.has(base + ".p99")) << base;
+    const double p50 = reg.gauge_value(base + ".p50");
+    const double p90 = reg.gauge_value(base + ".p90");
+    const double p99 = reg.gauge_value(base + ".p99");
+    EXPECT_LE(p50, p90) << base;
+    EXPECT_LE(p90, p99) << base;
+    EXPECT_GE(p50, static_cast<double>(hist.min())) << base;
+    EXPECT_LE(p99, static_cast<double>(hist.max())) << base;
+  }
+  ASSERT_GT(populated, 0u) << "campaign config no longer detects anything";
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+Program flight_program() {
+  WorkloadProfile p = profile_by_name("eon");
+  p.iterations = 400;
+  return generate_workload(p);
+}
+
+HardFault flight_fault() {
+  HardFault f;
+  f.site = FaultSite::kBackendResult;
+  f.fu = FuClass::kIntAlu;
+  f.backend_way = 0;
+  f.bit = 3;
+  f.stuck_value = true;
+  return f;
+}
+
+std::string flight_prefix(const std::string& name) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return (dir / "flight").string();
+}
+
+// The acceptance bar for arming: a recorder that never dumps must leave the
+// simulation bit-identical to an untraced run — it only swings the core's
+// existing `if (tracer_)` branches.
+TEST(FlightRecorderTest, ArmedButNeverDumpingLeavesCoreStatsIdentical) {
+  namespace fs = std::filesystem;
+  const Program program = flight_program();
+
+  Core plain(program, Mode::kBlackjack);
+  const RunOutcome plain_outcome = plain.run(3000, 2000000);
+
+  const std::string prefix = flight_prefix("flight_inert");
+  FlightRecorder recorder(512, prefix);
+  Core armed(program, Mode::kBlackjack);
+  armed.set_flight_recorder(&recorder);
+  const RunOutcome armed_outcome = armed.run(3000, 2000000);
+
+  EXPECT_EQ(recorder.dumps(), 0);
+  EXPECT_FALSE(fs::exists(prefix + "-detection.kanata"));
+
+  const CoreStats& a = plain.stats();
+  const CoreStats& b = armed.stats();
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.leading_commits, b.leading_commits);
+  EXPECT_EQ(a.trailing_commits, b.trailing_commits);
+  EXPECT_EQ(a.issue_cycles, b.issue_cycles);
+  EXPECT_EQ(a.instructions_issued, b.instructions_issued);
+  EXPECT_EQ(a.packets_shuffled, b.packets_shuffled);
+  EXPECT_EQ(a.shuffle_nops, b.shuffle_nops);
+  EXPECT_EQ(a.branch_mispredicts, b.branch_mispredicts);
+  EXPECT_EQ(a.coverage.pairs(), b.coverage.pairs());
+  EXPECT_EQ(a.events.all(), b.events.all());
+  EXPECT_EQ(plain_outcome.detections.size(), armed_outcome.detections.size());
+  // The ring must actually have been recording all along.
+  EXPECT_GT(recorder.tracer().total_recorded(), 0u);
+}
+
+TEST(FlightRecorderTest, DetectionDumpsTheRingExactlyOnce) {
+  namespace fs = std::filesystem;
+  const Program program = flight_program();
+  const std::string prefix = flight_prefix("flight_detect");
+
+  FaultInjector injector(flight_fault());
+  Core core(program, Mode::kBlackjack, CoreParams{}, &injector);
+  core.set_oracle_check(false);  // isolate the detection dump reason
+  FlightRecorder recorder(2000, prefix);
+  core.set_flight_recorder(&recorder);
+  const RunOutcome outcome = core.run(~0ull / 2, 8000000);
+
+  ASSERT_FALSE(outcome.detections.empty())
+      << "the injected fault must be detected for this test to bite";
+  // One dump per reason, regardless of how many checks fired after the
+  // first: a detection storm must not rewrite the ring file.
+  EXPECT_EQ(recorder.dumps(), 1);
+  const std::string path = prefix + "-detection.kanata";
+  ASSERT_TRUE(fs::exists(path));
+  std::ifstream in(path);
+  std::string first_line;
+  ASSERT_TRUE(std::getline(in, first_line));
+  EXPECT_EQ(first_line.rfind("Kanata", 0), 0u) << first_line;
+  // Re-dumping the same reason is refused.
+  EXPECT_TRUE(recorder.dump("detection").empty());
+}
+
+TEST(FlightRecorderTest, ChromeFormatAndOracleDivergenceDumpSeparately) {
+  namespace fs = std::filesystem;
+  const Program program = flight_program();
+  const std::string prefix = flight_prefix("flight_chrome");
+
+  // Oracle check left ON: with this fault the architectural oracle observes
+  // the divergence as well, so "detection" and "oracle-divergence" each get
+  // their own dump — distinct reasons are not deduplicated against each
+  // other.
+  FaultInjector injector(flight_fault());
+  Core core(program, Mode::kBlackjack, CoreParams{}, &injector);
+  FlightRecorder recorder(2000, prefix, FlightRecorder::Format::kChrome);
+  core.set_flight_recorder(&recorder);
+  const RunOutcome outcome = core.run(~0ull / 2, 8000000);
+  ASSERT_FALSE(outcome.detections.empty());
+  EXPECT_EQ(recorder.dumps(), 2);
+  EXPECT_TRUE(fs::exists(prefix + "-detection.json"));
+  EXPECT_TRUE(fs::exists(prefix + "-oracle-divergence.json"));
+}
+
+TEST(FlightRecorderDeath, CheckAbortDumpsTheRingBeforeAborting) {
+  namespace fs = std::filesystem;
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string prefix = flight_prefix("flight_abort");
+  const std::string dump_path = prefix + "-check-abort.kanata";
+
+  EXPECT_DEATH(
+      {
+        FlightRecorder recorder(128, prefix);
+        FlightRecorder::arm_on_check_abort(&recorder);
+        BJ_CHECK(false, "flight-recorder-death-test");
+      },
+      "BJ_CHECK failed");
+  // The child dumped the ring on its way down; the file outlives it.
+  EXPECT_TRUE(fs::exists(dump_path));
 }
 
 }  // namespace

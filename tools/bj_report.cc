@@ -1,0 +1,89 @@
+// bj_report — offline campaign coverage reports from stored JSONL.
+//
+// Consumes the campaign store's runs.jsonl / autopsy.jsonl (loose files,
+// campaign directories, shard directories, or a whole store root) and emits
+// the paper-shaped aggregates without re-simulating anything: the
+// per-(workload, mode, fault-site) coverage matrix (Figure 4/5 shape), the
+// SDC-escape table enriched with autopsy forensics, and detection-latency
+// percentiles (Figure 7 shape).
+//
+//   bj_report PATH...                  JSON report on stdout
+//   bj_report --out report.json PATH...
+//   bj_report --html report.html PATH...   self-contained heatmap page
+//   bj_report --selftest               hermetic parser/aggregation check
+//
+// Schema-tampered headers, unknown outcomes, and truncated files reject the
+// whole offending file: it lands in the report's "errors" array and the exit
+// status is nonzero.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "harness/report.h"
+
+using namespace bj;
+
+namespace {
+
+int usage() {
+  std::cout << "bj_report — offline campaign coverage reports\n"
+               "  bj_report PATH...                 JSON report on stdout\n"
+               "  bj_report --out FILE PATH...      JSON report to FILE\n"
+               "  bj_report --html FILE PATH...     self-contained HTML "
+               "heatmap to FILE\n"
+               "  bj_report --selftest              hermetic self-check\n"
+               "PATH is a runs.jsonl / autopsy.jsonl file, a campaign store\n"
+               "directory, or a store root (all campaigns under it).\n";
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.has("help") || flags.has("h")) return usage();
+  try {
+    if (flags.get_bool("selftest")) {
+      if (!report_selftest()) return 1;
+      std::cout << "OK bj_report selftest\n";
+      return 0;
+    }
+    if (flags.positional().empty()) return usage();
+
+    const CampaignReport report = build_campaign_report(flags.positional());
+    const std::string json = campaign_report_json(report);
+    const std::string out = flags.get("out", "");
+    if (out.empty()) {
+      std::cout << json;
+    } else if (!write_file(out, json)) {
+      std::cerr << "error: cannot write " << out << "\n";
+      return 1;
+    }
+    const std::string html = flags.get("html", "");
+    if (!html.empty() && !write_file(html, campaign_report_html(report))) {
+      std::cerr << "error: cannot write " << html << "\n";
+      return 1;
+    }
+
+    for (const std::string& error : report.errors) {
+      std::cerr << "error: " << error << "\n";
+    }
+    if (report.ok() && report.files == 0) {
+      std::cerr << "error: nothing ingested\n";
+      return 1;
+    }
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

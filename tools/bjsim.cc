@@ -26,6 +26,7 @@
 #include "common/metrics_http.h"
 #include "common/table.h"
 #include "common/trace.h"
+#include "harness/autopsy.h"
 #include "harness/campaign.h"
 #include "harness/campaign_store.h"
 #include "harness/diagnosis.h"
@@ -287,6 +288,17 @@ int main(int argc, char** argv) {
       options.shard = parse_shard_spec(flags.get("shard", "1/1"));
       options.checkpoint_every =
           static_cast<int>(flags.get_int("checkpoint-every", 0));
+      options.autopsy = flags.has("autopsy");
+      if (options.autopsy) {
+        // A bare `--autopsy` parses as the value "true": both spellings mean
+        // the default select (escapes).
+        std::string select = flags.get("autopsy", "escapes");
+        if (select.empty() || select == "true") select = "escapes";
+        if (!parse_autopsy_select(select, &options.autopsy_select)) {
+          throw std::runtime_error("unknown --autopsy select: " + select +
+                                   " (try escapes, detected, or all)");
+        }
+      }
       std::ofstream jsonl;
       if (flags.has("json")) {
         jsonl.open(flags.get("json"));
@@ -307,6 +319,9 @@ int main(int argc, char** argv) {
       // under a lock and each scrape serializes it on demand.
       std::mutex progress_mu;
       CampaignProgress latest;
+      // Filled after the autopsy pass completes; scrapes append it to the
+      // live progress exposition.
+      std::string autopsy_prom;
       std::unique_ptr<MetricsHttpServer> metrics_server;
       if (flags.has("metrics-port")) {
         const auto chained = options.progress;
@@ -320,11 +335,13 @@ int main(int argc, char** argv) {
         };
         metrics_server = std::make_unique<MetricsHttpServer>(
             static_cast<int>(flags.get_int("metrics-port", 0)),
-            [&progress_mu, &latest] {
+            [&progress_mu, &latest, &autopsy_prom] {
               CampaignProgress p;
+              std::string autopsy_tail;
               {
                 std::lock_guard<std::mutex> lock(progress_mu);
                 p = latest;
+                autopsy_tail = autopsy_prom;
               }
               MetricsRegistry registry;
               registry.counter("campaign.progress.completed",
@@ -343,7 +360,7 @@ int main(int argc, char** argv) {
               }
               std::ostringstream os;
               registry.write_prometheus(os);
-              return os.str();
+              return os.str() + autopsy_tail;
             });
         if (!metrics_server->ok()) {
           throw std::runtime_error("cannot bind --metrics-port");
@@ -357,9 +374,21 @@ int main(int argc, char** argv) {
       const CampaignResult& result = service_report.result;
       const CampaignStats& stats = service_report.stats;
       if (options.trace != nullptr) trace_log.write_chrome(trace_file);
+      if (options.autopsy && !service_report.autopsy_adopted &&
+          metrics_server != nullptr) {
+        MetricsRegistry registry;
+        export_autopsy_metrics(registry, config, service_report.autopsy);
+        std::ostringstream os;
+        registry.write_prometheus(os);
+        std::lock_guard<std::mutex> lock(progress_mu);
+        autopsy_prom = os.str();
+      }
       if (write_metrics) {
         MetricsRegistry registry;
         export_campaign_metrics(registry, result, &stats);
+        if (options.autopsy && !service_report.autopsy_adopted) {
+          export_autopsy_metrics(registry, config, service_report.autopsy);
+        }
         write_metrics(registry);
       }
 
@@ -407,6 +436,17 @@ int main(int argc, char** argv) {
                     << " corrupt store artifact(s) (*.corrupt)\n";
         }
       }
+      if (options.autopsy) {
+        std::cout << "autopsy ("
+                  << autopsy_select_name(options.autopsy_select) << "): "
+                  << service_report.autopsy_records << " record(s)";
+        if (!service_report.autopsy_path.empty()) {
+          std::cout << (service_report.autopsy_adopted ? ", adopted from "
+                                                       : ", written to ")
+                    << service_report.autopsy_path;
+        }
+        std::cout << "\n";
+      }
       return 0;
     }
 
@@ -438,6 +478,47 @@ int main(int argc, char** argv) {
         std::cout << "no unique backend suspect (frontend fault, or "
                      "ambiguous within this budget)\n";
       }
+      return 0;
+    }
+
+    if (flags.has("autopsy")) {
+      // Single-run forensics: deterministically re-run this fault against
+      // the lockstep oracle and emit one canonical autopsy record.
+      if (!injector.fault().has_value()) {
+        throw std::runtime_error(
+            "single-run --autopsy needs a hard --fault; transient faults are "
+            "autopsied through --campaign N --soft-errors --autopsy");
+      }
+      CampaignConfig config;
+      config.mode = mode;
+      config.params = params;
+      config.budget_commits = static_cast<std::uint64_t>(
+          flags.get_int("instructions", 12000));
+      config.oracle_check = flags.get_bool("oracle");
+      const AutopsyRecord rec =
+          autopsy_single_run(program, config, injector, *injector.fault());
+      std::cout << "autopsy: " << injector.fault()->describe() << " -> "
+                << fault_outcome_name(rec.outcome) << "\n";
+      if (rec.diverged) {
+        std::cout << "  first divergence: " << divergence_kind_name(rec.first.kind)
+                  << " at seq " << rec.first.seq << ", cycle " << rec.first.cycle
+                  << ", pc " << rec.first.pc << " (expected " << rec.first.expected
+                  << ", actual " << rec.first.actual << "); "
+                  << rec.divergent_commits << " divergent commit(s)\n";
+      }
+      if (rec.corrupt_store_released) {
+        std::cout << "  first corrupt store: addr "
+                  << rec.first_corrupt_store_addr << " data "
+                  << rec.first_corrupt_store_data << " released at cycle "
+                  << rec.first_corrupt_store_cycle << "\n";
+      }
+      if (rec.detected) {
+        std::cout << "  detection: " << detection_kind_name(rec.detection_kind)
+                  << " at cycle " << rec.detection_cycle << " (pc "
+                  << rec.detection_pc << ", seq " << rec.detection_seq
+                  << "), latency " << rec.detection_latency << "\n";
+      }
+      std::cout << canonical_autopsy_record(program.name, config, rec);
       return 0;
     }
 
@@ -477,6 +558,25 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Flight recorder: a last-N-cycles ring that auto-dumps on a detection,
+    // an oracle divergence, or a BJ_CHECK abort. Mutually exclusive with a
+    // konata/chrome --trace (both own the pipeline tracer hook).
+    std::unique_ptr<FlightRecorder> flight;
+    if (flags.has("flight-recorder")) {
+      if (trace_file.is_open() && trace_format != "text") {
+        throw std::runtime_error(
+            "--flight-recorder and --trace-format konata/chrome both need "
+            "the pipeline tracer; pick one");
+      }
+      flight = std::make_unique<FlightRecorder>(
+          static_cast<std::uint64_t>(flags.get_int("flight-recorder", 4096)),
+          "flight",
+          trace_format == "chrome" ? FlightRecorder::Format::kChrome
+                                   : FlightRecorder::Format::kKonata);
+      core.set_flight_recorder(flight.get());
+      FlightRecorder::arm_on_check_abort(flight.get());
+    }
+
     const auto warmup = static_cast<std::uint64_t>(
         flags.get_int("warmup", sim_warmup_budget()));
     const auto budget = static_cast<std::uint64_t>(
@@ -491,6 +591,14 @@ int main(int argc, char** argv) {
     const std::uint64_t before = core.cycle();
     core.run(budget, max_cycles);
 
+    if (flight != nullptr) {
+      FlightRecorder::arm_on_check_abort(nullptr);
+      if (flight->dumps() > 0) {
+        std::cout << "flight recorder: " << flight->dumps()
+                  << " dump(s) written (prefix " << flight->prefix()
+                  << "-)\n";
+      }
+    }
     if (trace_file.is_open() && trace_format != "text") {
       if (trace_format == "konata") {
         tracer.write_konata(trace_file);

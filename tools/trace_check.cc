@@ -9,12 +9,20 @@
 //
 //   trace_check --format=konata FILE
 //   trace_check --format=chrome FILE
+//   trace_check --format=jsonl FILE
 //   trace_check --selftest
+//
+// --format=jsonl validates a campaign JSONL file (streamed or canonical):
+// the header must carry this build's schema_version — a mismatch is a
+// loud failure, never a silent skip — and every record must parse with a
+// known outcome.
 //
 // --selftest round-trips both exporters in-process: a traced BlackJack
 // simulation through write_konata/write_chrome, and a traced fault-injection
 // campaign through CampaignTraceLog::write_chrome, all validated with the
-// same parsers used on files. This is what the tier2_trace ctest runs.
+// same parsers used on files, plus the campaign JSONL validator against the
+// streamed campaign output and schema-tampered copies of it. This is what
+// the tier2_trace ctest runs.
 #include <cctype>
 #include <fstream>
 #include <iostream>
@@ -28,6 +36,7 @@
 #include "common/flags.h"
 #include "common/trace.h"
 #include "harness/campaign.h"
+#include "harness/campaign_store.h"
 #include "harness/driver.h"
 #include "workload/profile.h"
 
@@ -423,6 +432,77 @@ ChromeReport check_chrome(const std::string& text) {
 }
 
 // ---------------------------------------------------------------------------
+// Campaign JSONL — header schema validation plus per-record shape checks.
+// ---------------------------------------------------------------------------
+
+struct JsonlReport {
+  std::vector<std::string> errors;
+  std::size_t runs = 0;
+  std::size_t autopsies = 0;
+};
+
+std::string extract_string_field(const std::string& line,
+                                 const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  const std::size_t end = line.find('"', start);
+  return end == std::string::npos ? "" : line.substr(start, end - start);
+}
+
+JsonlReport check_campaign_jsonl(std::istream& in) {
+  JsonlReport rep;
+  auto bad = [&](std::size_t line_no, const std::string& what) {
+    if (rep.errors.size() < 20) {
+      rep.errors.push_back("line " + std::to_string(line_no) + ": " + what);
+    }
+  };
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      // The header is load-bearing: a schema_version this build does not
+      // understand means every record that follows may be misread, so the
+      // whole file is rejected here rather than skipped record-by-record.
+      std::string error;
+      if (!validate_campaign_jsonl_header(line, &error)) {
+        bad(line_no, error);
+        return rep;
+      }
+      saw_header = true;
+      continue;
+    }
+    const std::string kind = extract_string_field(line, "record");
+    if (kind == "footer") continue;
+    if (kind == "autopsy") {
+      ++rep.autopsies;
+      continue;
+    }
+    if (!kind.empty()) {
+      bad(line_no, "unknown record kind '" + kind + "'");
+      continue;
+    }
+    const std::string outcome = extract_string_field(line, "outcome");
+    FaultOutcome parsed = FaultOutcome::kBenign;
+    if (outcome.empty() || !parse_fault_outcome(outcome, &parsed)) {
+      bad(line_no, "run record with unknown outcome '" + outcome + "'");
+      continue;
+    }
+    if (line.find("\"index\":") == std::string::npos) {
+      bad(line_no, "run record without a fault index");
+      continue;
+    }
+    ++rep.runs;
+  }
+  if (!saw_header) bad(line_no, "empty file (no campaign header)");
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
 // Entry points
 // ---------------------------------------------------------------------------
 
@@ -454,6 +534,14 @@ int check_chrome_text(const std::string& what, const std::string& text) {
                        std::to_string(rep.complete_events) +
                            " complete events, " +
                            std::to_string(rep.metadata_events) + " metadata");
+}
+
+int check_jsonl_text(const std::string& what, const std::string& text) {
+  std::istringstream in(text);
+  const JsonlReport rep = check_campaign_jsonl(in);
+  return report_result(what, rep.errors,
+                       std::to_string(rep.runs) + " run records, " +
+                           std::to_string(rep.autopsies) + " autopsies");
 }
 
 int selftest() {
@@ -518,6 +606,40 @@ int selftest() {
   } else {
     std::cout << "OK selftest jsonl header\n";
   }
+
+  // 3. Campaign JSONL validator: the streamed output must pass, and a copy
+  // whose header schema_version was tampered with must FAIL — silently
+  // skipping a schema mismatch would let analysis quietly misread records.
+  const std::string streamed = jsonl.str();
+  failures += check_jsonl_text("selftest campaign jsonl", streamed);
+  const std::string schema_key = "\"schema_version\":";
+  std::string tampered = streamed;
+  tampered.replace(tampered.find(schema_key) + schema_key.size(), 1, "9");
+  {
+    std::istringstream in(tampered);
+    const JsonlReport rep = check_campaign_jsonl(in);
+    if (rep.errors.empty() ||
+        rep.errors[0].find("schema_version") == std::string::npos) {
+      std::cerr << "FAIL selftest: schema-tampered JSONL header was not "
+                   "rejected\n";
+      ++failures;
+    } else {
+      std::cout << "OK selftest jsonl schema tamper rejected\n";
+    }
+  }
+  {
+    // An unknown outcome string is tampering too.
+    std::istringstream in(streamed.substr(0, streamed.find("\"outcome\":\"") +
+                                                 11) +
+                          "mystery\"}\n");
+    const JsonlReport rep = check_campaign_jsonl(in);
+    if (rep.errors.empty()) {
+      std::cerr << "FAIL selftest: unknown-outcome record was not rejected\n";
+      ++failures;
+    } else {
+      std::cout << "OK selftest jsonl unknown outcome rejected\n";
+    }
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -525,6 +647,7 @@ int usage() {
   std::cout << "trace_check — validate bjsim trace files\n"
                "  trace_check --format=konata FILE\n"
                "  trace_check --format=chrome FILE\n"
+               "  trace_check --format=jsonl FILE\n"
                "  trace_check --selftest\n";
   return 2;
 }
@@ -545,10 +668,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (format == "konata") return check_konata_stream(path, in);
-    if (format == "chrome") {
+    if (format == "chrome" || format == "jsonl") {
       std::stringstream buffer;
       buffer << in.rdbuf();
-      return check_chrome_text(path, buffer.str());
+      return format == "chrome" ? check_chrome_text(path, buffer.str())
+                                : check_jsonl_text(path, buffer.str());
     }
     std::cerr << "error: unknown format " << format << "\n";
     return usage();
