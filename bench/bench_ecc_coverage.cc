@@ -1,0 +1,214 @@
+// ECC-vs-BlackJack-vs-combined coverage matrix for the storage-array fault
+// sites: for each (workload, mode, array, codec) cell, run a seed-derived
+// sample of the array's exhaustive single-bit stuck-at space and tally the
+// outcome histogram plus the ECC layer's correct/detect activity. The
+// interesting comparison per array:
+//
+//   mode=single|srt, codec=none   — the bare array (the exposure baseline)
+//   mode=single|srt, codec=C      — ECC alone
+//   mode=blackjack,  codec=none   — BlackJack redundancy alone
+//   mode=blackjack,  codec=C      — combined
+//
+// The artifact doubles as a gate: any single-bit storage fault that ends in
+// SDC (or detected-late) under a SEC codec is a correctness bug — SEC repairs
+// every single-bit error at the read port, so nothing corrupt can propagate.
+// The bench exits 1 if a protected cell shows sdc/detected-late.
+//
+//   bench_ecc_coverage [--out <path>] [--quick]
+//
+// --quick shrinks the sample and workload list for CI smoke runs.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/ecc.h"
+#include "harness/campaign.h"
+#include "workload/profile.h"
+
+namespace {
+
+struct Cell {
+  std::string workload;
+  bj::Mode mode = bj::Mode::kSingle;
+  bj::FaultSite site = bj::FaultSite::kIqPayload;
+  bj::EccCodec codec = bj::EccCodec::kNone;
+
+  int runs = 0;
+  int activated = 0;
+  std::map<bj::FaultOutcome, int> outcomes;
+  int ecc_corrected_runs = 0;
+  int ecc_detected_runs = 0;
+};
+
+const char* array_name(bj::FaultSite site) {
+  switch (site) {
+    case bj::FaultSite::kIqPayload: return "payload";
+    case bj::FaultSite::kRegfileEntry: return "regfile";
+    case bj::FaultSite::kLvqSlot: return "lvq";
+    case bj::FaultSite::kDtqSlot: return "dtq";
+    default: return "?";
+  }
+}
+
+void configure_codec(bj::CoreParams& params, bj::FaultSite site,
+                     bj::EccCodec codec) {
+  switch (site) {
+    case bj::FaultSite::kIqPayload: params.payload_ecc = codec; break;
+    case bj::FaultSite::kRegfileEntry: params.regfile_ecc = codec; break;
+    case bj::FaultSite::kLvqSlot: params.lvq_ecc = codec; break;
+    case bj::FaultSite::kDtqSlot: params.dtq_ecc = codec; break;
+    default: break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_ecc_coverage.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::cerr << "usage: bench_ecc_coverage [--out <path>] [--quick]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<std::string> workloads =
+      quick ? std::vector<std::string>{"gcc"}
+            : std::vector<std::string>{"gcc", "eon"};
+  const int test_count = quick ? 16 : 32;
+  const std::uint64_t budget = quick ? 1500 : 3000;
+  // Checker-side queue corruption (LVQ/DTQ) only surfaces when the poisoned
+  // trailing value reaches a comparison point (a trailing store, a
+  // dependence check); within a 3000-commit window most runs end first and
+  // the bare cell reads as all-benign. Give those arrays a longer window so
+  // the bare column shows the detections ECC then suppresses.
+  const std::uint64_t queue_budget = quick ? 6000 : 20000;
+
+  // Which modes exercise which array: the LVQ only exists in redundant
+  // modes, the DTQ only in blackjack. The non-redundant (or less redundant)
+  // mode in each pair is the "ECC alone" column.
+  struct ArrayModes {
+    bj::FaultSite site;
+    std::vector<bj::Mode> modes;
+  };
+  const std::vector<ArrayModes> arrays = {
+      {bj::FaultSite::kIqPayload, {bj::Mode::kSingle, bj::Mode::kBlackjack}},
+      {bj::FaultSite::kRegfileEntry,
+       {bj::Mode::kSingle, bj::Mode::kBlackjack}},
+      {bj::FaultSite::kLvqSlot, {bj::Mode::kSrt, bj::Mode::kBlackjack}},
+      {bj::FaultSite::kDtqSlot, {bj::Mode::kBlackjack}},
+  };
+  const std::vector<bj::EccCodec> codecs = {
+      bj::EccCodec::kNone, bj::EccCodec::kHamming, bj::EccCodec::kHsiao};
+
+  std::vector<Cell> cells;
+  bool protected_cells_clean = true;
+
+  for (const std::string& workload : workloads) {
+    const bj::Program program =
+        bj::generate_workload(bj::profile_by_name(workload));
+    for (const ArrayModes& array : arrays) {
+      for (bj::Mode mode : array.modes) {
+        for (bj::EccCodec codec : codecs) {
+          bj::CampaignConfig config;
+          config.mode = mode;
+          config.sites = {array.site};
+          config.exhaustive = true;
+          // The physical register file is by far the largest array (2560
+          // rows), and a short run's rename stream only touches its low
+          // rows, so uniform draws mostly land in cold cells. Oversample it
+          // so the live-row faults that ECC actually repairs show up.
+          config.test_count =
+              array.site == bj::FaultSite::kRegfileEntry ? test_count * 4
+                                                         : test_count;
+          config.seed = 20260808;
+          config.budget_commits = (array.site == bj::FaultSite::kLvqSlot ||
+                                   array.site == bj::FaultSite::kDtqSlot)
+                                      ? queue_budget
+                                      : budget;
+          configure_codec(config.params, array.site, codec);
+
+          bj::ParallelCampaignOptions options;
+          options.jobs = 0;  // one worker per hardware thread
+          const bj::CampaignResult result =
+              bj::run_campaign_parallel(program, config, options);
+
+          Cell cell;
+          cell.workload = workload;
+          cell.mode = mode;
+          cell.site = array.site;
+          cell.codec = codec;
+          cell.runs = static_cast<int>(result.runs.size());
+          for (const bj::FaultRun& run : result.runs) {
+            if (run.activations > 0 || run.ecc_corrected > 0) {
+              ++cell.activated;
+            }
+            ++cell.outcomes[run.outcome];
+            if (run.ecc_corrected > 0) ++cell.ecc_corrected_runs;
+            if (run.ecc_detected > 0) ++cell.ecc_detected_runs;
+          }
+          const int sdc = cell.outcomes[bj::FaultOutcome::kSdc];
+          const int late = cell.outcomes[bj::FaultOutcome::kDetectedLate];
+          if (codec != bj::EccCodec::kNone && (sdc > 0 || late > 0)) {
+            protected_cells_clean = false;
+            std::cerr << "FAIL: " << workload << "/" << bj::mode_name(mode)
+                      << "/" << array_name(array.site) << "/"
+                      << bj::ecc_codec_name(codec) << ": " << sdc << " sdc, "
+                      << late << " detected-late under SEC\n";
+          }
+          std::fprintf(
+              stderr, "%-4s %-12s %-8s %-8s  sdc=%-2d benign=%-2d ecc=%d\n",
+              workload.c_str(), bj::mode_name(mode), array_name(array.site),
+              bj::ecc_codec_name(codec), sdc,
+              cell.outcomes[bj::FaultOutcome::kBenign],
+              cell.ecc_corrected_runs);
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"ecc_coverage\",\n"
+      << "  \"test_count\": " << test_count << ",\n"
+      << "  \"budget_commits\": " << budget << ",\n"
+      << "  \"queue_budget_commits\": " << queue_budget << ",\n"
+      << "  \"protected_cells_sdc_free\": "
+      << (protected_cells_clean ? "true" : "false") << ",\n"
+      << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "    {\"workload\": \"" << c.workload << "\", \"mode\": \""
+        << bj::mode_name(c.mode) << "\", \"array\": \"" << array_name(c.site)
+        << "\", \"codec\": \"" << bj::ecc_codec_name(c.codec)
+        << "\", \"runs\": " << c.runs << ", \"activated\": " << c.activated
+        << ", \"ecc_corrected_runs\": " << c.ecc_corrected_runs
+        << ", \"ecc_detected_runs\": " << c.ecc_detected_runs
+        << ", \"outcomes\": {";
+    bool first = true;
+    for (const auto& [outcome, n] : c.outcomes) {
+      if (n == 0) continue;
+      out << (first ? "" : ", ") << '"' << bj::fault_outcome_name(outcome)
+          << "\": " << n;
+      first = false;
+    }
+    out << "}}" << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::cerr << "wrote " << out_path << "\n";
+  return protected_cells_clean ? 0 : 1;
+}

@@ -43,6 +43,11 @@ struct DtqEntry {
   std::uint64_t mem_ordinal = 0;  // n-th load or n-th store, per kind
 
   bool committed = false;  // filled at leading commit
+
+  // Physical RAM row backing this entry (allocation order mod capacity) —
+  // the fault-site coordinate for kDtqSlot faults. The deque models the
+  // queue's ordering; `slot` models which storage cells the entry occupies.
+  int slot = 0;
 };
 
 // The DTQ models a fixed-capacity hardware queue but is implemented on a
@@ -57,8 +62,15 @@ class DependenceTraceQueue {
   bool full() const { return entries_.size() >= capacity_; }
   bool empty() const { return entries_.empty(); }
 
-  // Leading issue: appends an entry (issue order). Caller checks full().
-  void allocate(const DtqEntry& entry) { entries_.push_back(entry); }
+  // Leading issue: appends an entry (issue order), assigning it the next
+  // physical RAM row. Returns the row so the caller can run its storage
+  // write hook. Caller checks full().
+  int allocate(DtqEntry entry) {
+    const int slot = static_cast<int>(alloc_cursor_++ % capacity_);
+    entry.slot = slot;
+    entries_.push_back(entry);
+    return slot;
+  }
 
   // Leading squash: drops all entries of instructions younger than
   // `squash_after_seq` (exclusive) that have not committed.
@@ -119,6 +131,11 @@ class DependenceTraceQueue {
 
  private:
   std::size_t capacity_;
+  // Monotonic allocation counter; row = counter mod capacity. Squashed
+  // entries' rows are not reused out of order — a real circular RAM would
+  // reclaim them with the surrounding region, and for fault purposes only
+  // the entry→row mapping matters, not allocator cleverness.
+  std::uint64_t alloc_cursor_ = 0;
   std::deque<DtqEntry> entries_;
 };
 

@@ -17,6 +17,7 @@ const std::vector<std::string>& bjsim_accepted_options() {
       "shard",         "merge",         "exhaustive",
       "test-count",    "checkpoint-every", "metrics-port",
       "store-verify",  "autopsy",       "flight-recorder",
+      "fault-site",    "ecc",           "no-oracle",
   };
   return options;
 }
@@ -35,7 +36,22 @@ const char* bjsim_usage_text() {
                         backend:fu=F,way=W,bit=B[,stuck=0|1]
                           (F: int-alu int-mul fp-alu fp-mul mem-port)
                         payload:entry=E,bit=B[,stuck=0|1]
-                        transient:at=N,bit=B
+                        regfile:row=R,bit=B[,stuck=0|1]
+                        lvq:slot=S,bit=B[,stuck=0|1]
+                        dtq:slot=S,bit=B[,stuck=0|1]
+                        transient:at=N,bit=B[,site=S]
+                          (S: backend-result iq-payload regfile-entry
+                           lvq-slot dtq-slot; default backend-result.
+                           Storage sites flip the stored word at write #N
+                           and the flip persists until overwritten)
+  --fault-site LIST     restrict --campaign injection to these sites
+                        (comma-separated site names as for transient:site=,
+                        plus frontend-decoder; default: the historical
+                        decoder/backend/payload pool)
+  --ecc SPEC            ECC on the storage arrays: a single codec (none |
+                        hamming | hsiao) protects payload+regfile+lvq+dtq,
+                        or per-array pairs, e.g.
+                        --ecc payload=hsiao,regfile=hamming
   --trace FILE          pipeline trace to FILE (see --trace-format); with
                         --campaign, a Chrome trace of the campaign's workers
   --trace-format F      text (per-commit log, the default) | konata (Konata/
@@ -55,7 +71,9 @@ const char* bjsim_usage_text() {
                         commit budget, default 12000) and print the outcome
                         summary with wall-clock/throughput stats
   --soft-errors         campaign injects transient bit flips instead of
-                        stuck-at hard faults
+                        stuck-at hard faults; implies --oracle (a transient
+                        that corrupts state without reaching memory is
+                        invisible otherwise) unless --no-oracle is given
   --exhaustive          campaign enumerates the full hard-fault space (every
                         site x way/unit/entry x bit x stuck value) instead of
                         sampling --campaign N faults
@@ -94,7 +112,11 @@ const char* bjsim_usage_text() {
   --oracle              campaign runs the architectural oracle per leading
                         commit and reports silent divergences that never
                         reached memory as a distinct "oracle-divergence"
-                        outcome (slower; off by default)
+                        outcome (slower; off by default for hard-fault
+                        campaigns, on by default with --soft-errors); with
+                        --diagnose, oracle-check each trial too
+  --no-oracle           opt out of the oracle check a --soft-errors
+                        campaign implies
   --profile             single runs only: time each pipeline stage and print
                         a cycle-attribution table after the report
   --profile-json FILE   single runs only: write the stage profile as JSON
@@ -111,6 +133,11 @@ const char* bjsim_usage_text() {
   --list                list workloads and kernels
   --help, -h            print this message
 )";
+}
+
+bool bjsim_campaign_oracle(bool oracle_flag, bool soft_errors,
+                           bool no_oracle_flag) {
+  return oracle_flag || (soft_errors && !no_oracle_flag);
 }
 
 }  // namespace bj

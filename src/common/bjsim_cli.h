@@ -19,4 +19,13 @@ const std::vector<std::string>& bjsim_accepted_options();
 // "--<name>" at least once.
 const char* bjsim_usage_text();
 
+// The campaign's effective oracle setting: --soft-errors implies the oracle
+// (a transient that corrupts state without reaching memory is otherwise
+// invisible, so oracle-free soft-error campaigns under-report divergence)
+// unless --no-oracle opts out; an explicit --oracle forces it on for any
+// campaign. Pinned by test_bjsim_cli so the implication cannot silently
+// regress to the old always-opt-in behaviour.
+bool bjsim_campaign_oracle(bool oracle_flag, bool soft_errors,
+                           bool no_oracle_flag);
+
 }  // namespace bj

@@ -1,0 +1,204 @@
+#include "fault/ecc.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace bj {
+namespace {
+
+int popcount8(std::uint32_t v) {
+  int n = 0;
+  for (; v; v &= v - 1) ++n;
+  return n;
+}
+
+// --- Hamming(71,64) SEC ----------------------------------------------------
+// Code positions 1..71; check bits live at the seven power-of-two positions,
+// data bits fill the 64 remaining positions in increasing order. A data bit's
+// syndrome contribution is simply its position index, so encode is an XOR of
+// position indices over set bits and decode is a table lookup on the
+// syndrome.
+struct HammingTables {
+  std::array<std::uint32_t, 64> position;  // data bit -> code position
+  std::array<int, 72> data_at;             // code position -> data bit or -1
+  HammingTables() {
+    data_at.fill(-1);
+    int i = 0;
+    for (std::uint32_t pos = 1; pos <= 71; ++pos) {
+      if ((pos & (pos - 1)) == 0) continue;  // power of two: check bit
+      position[i] = pos;
+      data_at[pos] = i;
+      ++i;
+    }
+    BJ_CHECK(i == 64, "hamming table must cover 64 data positions");
+  }
+};
+
+const HammingTables& hamming_tables() {
+  static const HammingTables tables;
+  return tables;
+}
+
+std::uint32_t hamming_encode(std::uint64_t data) {
+  const HammingTables& t = hamming_tables();
+  std::uint32_t check = 0;
+  for (std::uint64_t rest = data; rest;) {
+    const int bit = __builtin_ctzll(rest);
+    rest &= rest - 1;
+    check ^= t.position[bit];
+  }
+  return check;
+}
+
+EccDecode hamming_decode(std::uint64_t data, std::uint32_t check) {
+  const HammingTables& t = hamming_tables();
+  EccDecode out;
+  out.data = data;
+  const std::uint32_t syndrome = (hamming_encode(data) ^ check) & 0x7fu;
+  if (syndrome == 0) return out;
+  if ((syndrome & (syndrome - 1)) == 0) {
+    // Error in a stored check bit; the data word itself is intact.
+    out.corrected = true;
+    return out;
+  }
+  if (syndrome <= 71 && t.data_at[syndrome] >= 0) {
+    out.data = data ^ (1ull << t.data_at[syndrome]);
+    out.corrected = true;
+    return out;
+  }
+  // Syndrome points outside the code (only multi-bit errors land here —
+  // most double errors alias to a valid position and miscorrect instead;
+  // that blindness is why Hsiao exists).
+  out.uncorrectable = true;
+  return out;
+}
+
+// --- Hsiao(72,64) SEC-DED --------------------------------------------------
+// Odd-weight-column code: the 64 data columns are the 56 weight-3 bytes in
+// increasing order followed by the first 8 weight-5 bytes; check columns are
+// the unit vectors. Any two distinct odd columns XOR to a nonzero even-weight
+// syndrome, which matches no column — so every double-bit error is flagged
+// uncorrectable rather than miscorrected.
+struct HsiaoTables {
+  std::array<std::uint32_t, 64> column;    // data bit -> 8-bit column
+  std::array<int, 256> data_at;            // syndrome -> data bit or -1
+  HsiaoTables() {
+    data_at.fill(-1);
+    int i = 0;
+    for (std::uint32_t v = 0; v < 256 && i < 64; ++v) {
+      if (popcount8(v) != 3) continue;
+      column[i] = v;
+      data_at[v] = i;
+      ++i;
+    }
+    BJ_CHECK(i == 56, "hsiao table expects 56 weight-3 columns");
+    for (std::uint32_t v = 0; v < 256 && i < 64; ++v) {
+      if (popcount8(v) != 5) continue;
+      column[i] = v;
+      data_at[v] = i;
+      ++i;
+    }
+    BJ_CHECK(i == 64, "hsiao table must cover 64 data columns");
+  }
+};
+
+const HsiaoTables& hsiao_tables() {
+  static const HsiaoTables tables;
+  return tables;
+}
+
+std::uint32_t hsiao_encode(std::uint64_t data) {
+  const HsiaoTables& t = hsiao_tables();
+  std::uint32_t check = 0;
+  for (std::uint64_t rest = data; rest;) {
+    const int bit = __builtin_ctzll(rest);
+    rest &= rest - 1;
+    check ^= t.column[bit];
+  }
+  return check;
+}
+
+EccDecode hsiao_decode(std::uint64_t data, std::uint32_t check) {
+  const HsiaoTables& t = hsiao_tables();
+  EccDecode out;
+  out.data = data;
+  const std::uint32_t syndrome = (hsiao_encode(data) ^ check) & 0xffu;
+  if (syndrome == 0) return out;
+  if (popcount8(syndrome) == 1) {
+    // Unit syndrome: a stored check bit flipped; data is intact.
+    out.corrected = true;
+    return out;
+  }
+  if (t.data_at[syndrome] >= 0) {
+    out.data = data ^ (1ull << t.data_at[syndrome]);
+    out.corrected = true;
+    return out;
+  }
+  out.uncorrectable = true;
+  return out;
+}
+
+}  // namespace
+
+const char* ecc_codec_name(EccCodec codec) {
+  switch (codec) {
+    case EccCodec::kNone: return "none";
+    case EccCodec::kHamming: return "hamming";
+    case EccCodec::kHsiao: return "hsiao";
+  }
+  return "none";
+}
+
+bool parse_ecc_codec(std::string_view name, EccCodec* out) {
+  if (name == "none") { *out = EccCodec::kNone; return true; }
+  if (name == "hamming") { *out = EccCodec::kHamming; return true; }
+  if (name == "hsiao") { *out = EccCodec::kHsiao; return true; }
+  return false;
+}
+
+int ecc_check_bits(EccCodec codec) {
+  switch (codec) {
+    case EccCodec::kNone: return 0;
+    case EccCodec::kHamming: return 7;
+    case EccCodec::kHsiao: return 8;
+  }
+  return 0;
+}
+
+std::uint32_t ecc_encode(EccCodec codec, std::uint64_t data) {
+  switch (codec) {
+    case EccCodec::kNone: return 0;
+    case EccCodec::kHamming: return hamming_encode(data);
+    case EccCodec::kHsiao: return hsiao_encode(data);
+  }
+  return 0;
+}
+
+EccDecode ecc_decode(EccCodec codec, std::uint64_t data, std::uint32_t check) {
+  switch (codec) {
+    case EccCodec::kNone: {
+      EccDecode out;
+      out.data = data;
+      return out;
+    }
+    case EccCodec::kHamming: return hamming_decode(data, check);
+    case EccCodec::kHsiao: return hsiao_decode(data, check);
+  }
+  EccDecode out;
+  out.data = data;
+  return out;
+}
+
+std::uint64_t ecc_protected_read(EccCodec codec, std::uint64_t stored,
+                                 std::uint64_t clean,
+                                 std::uint64_t* corrected,
+                                 std::uint64_t* uncorrectable) {
+  if (codec == EccCodec::kNone || stored == clean) return stored;
+  const EccDecode decode = ecc_decode(codec, stored, ecc_encode(codec, clean));
+  if (decode.corrected) ++*corrected;
+  if (decode.uncorrectable) ++*uncorrectable;
+  return decode.data;
+}
+
+}  // namespace bj

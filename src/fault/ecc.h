@@ -1,0 +1,66 @@
+// ECC layer for the storage arrays (IQ payload RAM, physical register file,
+// LVQ, DTQ). Each array can be configured with one of two real codecs over
+// its stored 64-bit data word (narrower arrays use a shortened code — the
+// unused high data columns are constant zero on both sides and drop out of
+// every syndrome):
+//
+//   kHamming — Hamming(71,64) SEC: 7 check bits, corrects any single-bit
+//       error. Double-bit errors alias onto single-bit syndromes and
+//       miscorrect — the classic SEC weakness.
+//   kHsiao   — Hsiao(72,64) SEC-DED: 8 check bits, odd-weight-column parity
+//       check matrix (56 weight-3 + 8 weight-5 data columns). Corrects any
+//       single-bit error and *flags* every double-bit error (even-weight
+//       syndrome matches no column), instead of miscorrecting it.
+//
+// The simulator's arrays always hold clean words (fault injection corrupts
+// at the read port), so the check bits an array "stored" are recomputed from
+// the clean word at the read point — equivalent to fault-free check-bit
+// storage, which is the standard single-fault assumption for data-bit fault
+// spaces.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bj {
+
+enum class EccCodec : std::uint8_t {
+  kNone,     // unprotected array (the historical fault model)
+  kHamming,  // SEC: corrects 1-bit errors, blind to 2-bit errors
+  kHsiao,    // SEC-DED: corrects 1-bit errors, detects all 2-bit errors
+};
+
+const char* ecc_codec_name(EccCodec codec);
+// Inverse of ecc_codec_name ("none" | "hamming" | "hsiao"). Returns false
+// (leaving *out untouched) for anything else.
+bool parse_ecc_codec(std::string_view name, EccCodec* out);
+
+// Check bits the codec stores per 64-bit data word (0 / 7 / 8) — the area
+// denominator for ECC-vs-redundant-threads comparisons.
+int ecc_check_bits(EccCodec codec);
+
+struct EccDecode {
+  std::uint64_t data = 0;
+  bool corrected = false;      // a single-bit error was repaired
+  bool uncorrectable = false;  // error detected but not repairable (Hsiao
+                               // double-bit); `data` passes through raw
+};
+
+// Check bits for a clean data word. kNone returns 0.
+std::uint32_t ecc_encode(EccCodec codec, std::uint64_t data);
+
+// Decodes a possibly corrupted data word against stored check bits. kNone
+// passes the word through untouched.
+EccDecode ecc_decode(EccCodec codec, std::uint64_t data, std::uint32_t check);
+
+// Models one read of an ECC-protected array cell: `stored` is the word the
+// read port delivered (possibly fault-corrupted), `clean` the word the cell
+// was written with (whose check bits the array holds). Bumps *corrected /
+// *uncorrectable as the decoder classifies the error and returns the word
+// the pipeline consumes.
+std::uint64_t ecc_protected_read(EccCodec codec, std::uint64_t stored,
+                                 std::uint64_t clean,
+                                 std::uint64_t* corrected,
+                                 std::uint64_t* uncorrectable);
+
+}  // namespace bj

@@ -9,8 +9,23 @@ const char* fault_site_name(FaultSite site) {
     case FaultSite::kFrontendDecoder: return "frontend-decoder";
     case FaultSite::kBackendResult: return "backend-result";
     case FaultSite::kIqPayload: return "iq-payload";
+    case FaultSite::kRegfileEntry: return "regfile-entry";
+    case FaultSite::kLvqSlot: return "lvq-slot";
+    case FaultSite::kDtqSlot: return "dtq-slot";
   }
   return "?";
+}
+
+bool parse_fault_site(std::string_view name, FaultSite* out) {
+  for (FaultSite site : {FaultSite::kFrontendDecoder, FaultSite::kBackendResult,
+                         FaultSite::kIqPayload, FaultSite::kRegfileEntry,
+                         FaultSite::kLvqSlot, FaultSite::kDtqSlot}) {
+    if (name == fault_site_name(site)) {
+      *out = site;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string HardFault::describe() const {
@@ -25,6 +40,13 @@ std::string HardFault::describe() const {
       break;
     case FaultSite::kIqPayload:
       os << " entry " << iq_entry;
+      break;
+    case FaultSite::kRegfileEntry:
+      os << " row " << storage_index;
+      break;
+    case FaultSite::kLvqSlot:
+    case FaultSite::kDtqSlot:
+      os << " slot " << storage_index;
       break;
   }
   os << " bit " << bit << " stuck-at-" << (stuck_value ? 1 : 0);
@@ -49,8 +71,13 @@ std::uint32_t FaultInjector::on_decode(std::uint32_t raw, int frontend_way) {
 
 std::string TransientFault::describe() const {
   std::ostringstream os;
-  os << "transient bit-flip: execution #" << trigger_execution << " bit "
-     << bit;
+  if (site == FaultSite::kBackendResult) {
+    os << "transient bit-flip: execution #" << trigger_execution << " bit "
+       << bit;
+  } else {
+    os << "transient bit-flip: " << fault_site_name(site) << " write #"
+       << trigger_execution << " bit " << bit;
+  }
   return os.str();
 }
 
@@ -81,7 +108,9 @@ void FaultInjector::refund_execution() {
 
 void FaultInjector::on_execute(ExecOutcome& out, const DecodedInst& inst,
                                FuClass fu, int backend_way) {
-  if (transient_.has_value()) apply_transient(out, inst);
+  if (transient_.has_value() && transient_->site == FaultSite::kBackendResult) {
+    apply_transient(out, inst);
+  }
   if (!fault_ || fault_->site != FaultSite::kBackendResult) return;
   if (fault_->fu != fu || fault_->backend_way != backend_way) return;
   const int bit = fault_->bit & 63;
@@ -100,6 +129,36 @@ void FaultInjector::on_execute(ExecOutcome& out, const DecodedInst& inst,
     out.mem_addr = force_bit(out.mem_addr, bit, fault_->stuck_value) & ~7ull;
   } else {
     out.value = force_bit(out.value, bit, fault_->stuck_value);
+  }
+}
+
+std::uint64_t FaultInjector::on_storage_read(std::uint64_t word,
+                                             FaultSite site, int slot,
+                                             int bits) {
+  if (fault_ && fault_->site == site && fault_->storage_index == slot &&
+      site != FaultSite::kIqPayload) {
+    word = force_bit(word, fault_->bit % bits, fault_->stuck_value);
+  }
+  if (transient_ && transient_->site == site && storage_flip_live_ &&
+      storage_flip_slot_ == slot) {
+    // A deposited flip corrupts every read until the slot is rewritten.
+    word ^= 1ull << (transient_->bit % bits);
+    ++activations_;
+  }
+  return word;
+}
+
+void FaultInjector::on_storage_write(FaultSite site, int slot) {
+  if (!transient_ || transient_->site != site) return;
+  if (storage_flip_live_ && storage_flip_slot_ == slot) {
+    // Overwriting the upset cell scrubs the flip.
+    storage_flip_live_ = false;
+  }
+  const std::uint64_t n = storage_writes_++;
+  if (n == transient_->trigger_execution && !transient_fired_) {
+    transient_fired_ = true;
+    storage_flip_live_ = true;
+    storage_flip_slot_ = slot;
   }
 }
 

@@ -14,11 +14,25 @@
 //       instruction's immediate payload is forced while the instruction
 //       occupies that entry. The paper notes this RAM must be duplicated
 //       per thread to be coverable; the pipeline has a switch for that.
+//
+// Storage-array sites (stored words, corrupted at the array read port — the
+// error class real designs protect with ECC, configurable per array via
+// CoreParams::*_ecc):
+//
+//   kRegfileEntry    — one physical register file row (int rows first, then
+//       fp rows at storage_index >= phys_int_regs): a bit of the stored
+//       64-bit value is forced on every operand read of that row.
+//   kLvqSlot         — one load value queue slot: a bit of the stored load
+//       value is forced when the trailing thread consumes that slot.
+//   kDtqSlot         — one decoded trace queue slot: a bit of the stored
+//       32-bit instruction word is forced when the shuffle stage reads the
+//       slot to build the trailing stream.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "isa/exec.h"
 #include "isa/opcode.h"
@@ -29,9 +43,25 @@ enum class FaultSite : std::uint8_t {
   kFrontendDecoder,
   kBackendResult,
   kIqPayload,
+  kRegfileEntry,
+  kLvqSlot,
+  kDtqSlot,
 };
 
 const char* fault_site_name(FaultSite site);
+// Inverse of fault_site_name. Returns false (leaving *out untouched) for an
+// unknown name.
+bool parse_fault_site(std::string_view name, FaultSite* out);
+
+// Sites whose faults live on stored words and flow through the
+// on_storage_read/on_storage_write hooks (and thus under any configured ECC
+// layer). kIqPayload qualifies: hard stuck-ats on it use the historical
+// on_payload hook, but transient flips and ECC decode go through the storage
+// path like the other arrays.
+inline bool fault_site_is_storage(FaultSite site) {
+  return site == FaultSite::kIqPayload || site == FaultSite::kRegfileEntry ||
+         site == FaultSite::kLvqSlot || site == FaultSite::kDtqSlot;
+}
 
 struct HardFault {
   FaultSite site = FaultSite::kBackendResult;
@@ -42,6 +72,8 @@ struct HardFault {
   int backend_way = 0;
   // kIqPayload: which entry.
   int iq_entry = 0;
+  // kRegfileEntry / kLvqSlot / kDtqSlot: which array row.
+  int storage_index = 0;
   // The stuck bit.
   int bit = 0;
   bool stuck_value = true;
@@ -55,8 +87,13 @@ struct HardFault {
 // redundancy alone suffices to expose it, which is why SRT detects soft
 // errors without spatial diversity (Section 1).
 struct TransientFault {
-  std::uint64_t trigger_execution = 0;  // flip on the Nth executed instruction
+  // kBackendResult (the default): flip on the Nth executed instruction.
+  // Storage sites: deposit the flip into the slot written by the Nth write
+  // to that array; the flip persists (an upset stored cell) until the slot
+  // is overwritten, corrupting every read in between.
+  std::uint64_t trigger_execution = 0;
   int bit = 0;
+  FaultSite site = FaultSite::kBackendResult;
 
   std::string describe() const;
 };
@@ -90,10 +127,20 @@ struct FaultProvenance {
 class FaultInjector {
  public:
   FaultInjector() = default;
-  explicit FaultInjector(const HardFault& fault) : fault_(fault) {}
-  explicit FaultInjector(const TransientFault& fault) : transient_(fault) {}
+  explicit FaultInjector(const HardFault& fault) : fault_(fault) {
+    storage_armed_ = fault_site_is_storage(fault.site) &&
+                     fault.site != FaultSite::kIqPayload;
+  }
+  explicit FaultInjector(const TransientFault& fault) : transient_(fault) {
+    storage_armed_ = fault_site_is_storage(fault.site);
+  }
 
   bool armed() const { return fault_.has_value() || transient_.has_value(); }
+  // True when a storage-array site is targeted, i.e. the
+  // on_storage_read/on_storage_write hooks can do anything. (A hard
+  // kIqPayload stuck-at corrupts through the historical on_payload hook
+  // instead, so it does not arm the storage path.)
+  bool storage_armed() const { return storage_armed_; }
   const std::optional<HardFault>& fault() const { return fault_; }
   const std::optional<TransientFault>& transient() const { return transient_; }
   std::uint64_t activations() const { return activations_; }
@@ -110,6 +157,20 @@ class FaultInjector {
   // an instruction occupying `iq_entry`.
   std::int64_t on_payload(std::int64_t imm, int iq_entry);
 
+  // Storage-array read hook: returns the (possibly corrupted) stored word a
+  // read of `slot` in the array backing `site` delivers. `bits` is the
+  // array's word width (the stuck/flipped bit index is reduced mod it).
+  // Applies hard stuck-ats tied to (site, slot) and any live transient flip
+  // deposited there. Callers gate on storage_armed().
+  std::uint64_t on_storage_read(std::uint64_t word, FaultSite site, int slot,
+                                int bits);
+
+  // Storage-array write hook: advances the array-write counter that triggers
+  // storage transients (depositing the flip into `slot`), and models the
+  // overwrite of a slot repairing a previously deposited flip. Callers gate
+  // on storage_armed().
+  void on_storage_write(FaultSite site, int slot);
+
   // The pipeline calls this when an execution attempt is discarded (an
   // MSHR-rejected load that will retry): the attempt must not consume a
   // transient trigger, and a flip applied to it evaporated, so re-arm.
@@ -124,6 +185,13 @@ class FaultInjector {
   std::uint64_t executions_ = 0;
   bool transient_fired_ = false;
   std::uint64_t activations_ = 0;
+  // Storage-path state: writes to the targeted array (the transient trigger
+  // stream), and the live deposited flip, cleared when its slot is
+  // overwritten.
+  bool storage_armed_ = false;
+  std::uint64_t storage_writes_ = 0;
+  bool storage_flip_live_ = false;
+  int storage_flip_slot_ = 0;
 };
 
 }  // namespace bj

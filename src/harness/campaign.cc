@@ -121,7 +121,21 @@ std::vector<FaultSite> site_pool(const std::vector<FaultSite>& sites) {
 constexpr std::uint64_t kDecoderBits = 32;   // 32-bit instruction word
 constexpr std::uint64_t kBackendBits = 64;   // 64-bit result path
 constexpr std::uint64_t kPayloadBits = 16;   // immediate payload slice
+constexpr std::uint64_t kRegfileBits = 64;   // stored register value
+constexpr std::uint64_t kLvqBits = 64;       // stored load value
+constexpr std::uint64_t kDtqBits = 32;       // stored instruction word
 constexpr std::uint64_t kStuckValues = 2;
+// Mem-port faults hit the address path, and the injector re-aligns the
+// forced address to 8 bytes (`& ~7ull`) — so stuck-ats on bits 0–2 are
+// guaranteed no-ops. They must not be enumerated: counting them both wastes
+// exhaustive-campaign runs and inflates every coverage denominator computed
+// from the space size. Only bits [3, 64) are real mem-way faults.
+constexpr std::uint64_t kMemAddrAlignedBits = 3;
+constexpr std::uint64_t kMemBackendBits = kBackendBits - kMemAddrAlignedBits;
+
+std::uint64_t backend_bits_for(FuClass cls) {
+  return cls == FuClass::kMem ? kMemBackendBits : kBackendBits;
+}
 
 // Combinations contributed by one site of the pool.
 std::uint64_t site_space_size(const CoreParams& params, FaultSite site) {
@@ -130,16 +144,27 @@ std::uint64_t site_space_size(const CoreParams& params, FaultSite site) {
       return static_cast<std::uint64_t>(params.fetch_width) * kDecoderBits *
              kStuckValues;
     case FaultSite::kBackendResult: {
-      std::uint64_t ways = 0;
+      std::uint64_t total = 0;
       for (int c = 0; c < kNumFuClasses; ++c) {
-        ways += static_cast<std::uint64_t>(
-            params.fu_count(static_cast<FuClass>(c)));
+        const auto cls = static_cast<FuClass>(c);
+        total += static_cast<std::uint64_t>(params.fu_count(cls)) *
+                 backend_bits_for(cls) * kStuckValues;
       }
-      return ways * kBackendBits * kStuckValues;
+      return total;
     }
     case FaultSite::kIqPayload:
       return static_cast<std::uint64_t>(params.issue_queue_entries) *
              kPayloadBits * kStuckValues;
+    case FaultSite::kRegfileEntry:
+      return static_cast<std::uint64_t>(params.phys_int_regs +
+                                        params.phys_fp_regs) *
+             kRegfileBits * kStuckValues;
+    case FaultSite::kLvqSlot:
+      return static_cast<std::uint64_t>(params.lvq_entries) * kLvqBits *
+             kStuckValues;
+    case FaultSite::kDtqSlot:
+      return static_cast<std::uint64_t>(params.dtq_entries) * kDtqBits *
+             kStuckValues;
   }
   return 0;
 }
@@ -174,23 +199,47 @@ HardFault fault_space_at(const CoreParams& params,
         f.frontend_way = static_cast<int>(rest / kDecoderBits);
         break;
       case FaultSite::kBackendResult: {
-        f.bit = static_cast<int>(rest % kBackendBits);
-        std::uint64_t way = rest / kBackendBits;
+        // Per-class blocks (in FuClass order) because the mem ports
+        // enumerate fewer bits than the computation units: the injector's
+        // 8-byte re-alignment erases address bits 0–2, so those are not
+        // part of the space. kMem is the last class, which keeps every
+        // non-mem index decoding exactly as it did when all classes used
+        // kBackendBits — the sampled-campaign RNG mapping is pinned by the
+        // campaign fingerprint.
+        std::uint64_t r = rest;
         for (int c = 0; c < kNumFuClasses; ++c) {
-          const auto count = static_cast<std::uint64_t>(
-              params.fu_count(static_cast<FuClass>(c)));
-          if (way < count) {
-            f.fu = static_cast<FuClass>(c);
-            f.backend_way = static_cast<int>(way);
+          const auto cls = static_cast<FuClass>(c);
+          const std::uint64_t bits = backend_bits_for(cls);
+          const std::uint64_t block =
+              static_cast<std::uint64_t>(params.fu_count(cls)) * bits;
+          if (r < block) {
+            f.fu = cls;
+            f.bit = static_cast<int>(r % bits);
+            if (cls == FuClass::kMem) {
+              f.bit += static_cast<int>(kMemAddrAlignedBits);
+            }
+            f.backend_way = static_cast<int>(r / bits);
             break;
           }
-          way -= count;
+          r -= block;
         }
         break;
       }
       case FaultSite::kIqPayload:
         f.bit = static_cast<int>(rest % kPayloadBits);
         f.iq_entry = static_cast<int>(rest / kPayloadBits);
+        break;
+      case FaultSite::kRegfileEntry:
+        f.bit = static_cast<int>(rest % kRegfileBits);
+        f.storage_index = static_cast<int>(rest / kRegfileBits);
+        break;
+      case FaultSite::kLvqSlot:
+        f.bit = static_cast<int>(rest % kLvqBits);
+        f.storage_index = static_cast<int>(rest / kLvqBits);
+        break;
+      case FaultSite::kDtqSlot:
+        f.bit = static_cast<int>(rest % kDtqBits);
+        f.storage_index = static_cast<int>(rest / kDtqBits);
         break;
     }
     return f;
@@ -248,6 +297,27 @@ std::vector<HardFault> generate_faults(const CoreParams& params,
         f.iq_entry = static_cast<int>(rng.next_below(
             static_cast<std::uint64_t>(params.issue_queue_entries)));
         f.bit = static_cast<int>(rng.next_below(16));
+        break;
+      // Storage-array sites are never in the default pool (the historical
+      // three-site RNG stream is pinned by the campaign fingerprint); they
+      // are drawn only when the caller restricts --fault-site to them.
+      case FaultSite::kRegfileEntry:
+        f.storage_index = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(params.phys_int_regs +
+                                       params.phys_fp_regs)));
+        // Same low-bit bias as the backend result path: low bits of a stored
+        // value are far more often architecturally live in a short run.
+        f.bit = static_cast<int>(rng.next_below(rng.chance(0.5) ? 16 : 64));
+        break;
+      case FaultSite::kLvqSlot:
+        f.storage_index = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(params.lvq_entries)));
+        f.bit = static_cast<int>(rng.next_below(rng.chance(0.5) ? 16 : 64));
+        break;
+      case FaultSite::kDtqSlot:
+        f.storage_index = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(params.dtq_entries)));
+        f.bit = static_cast<int>(rng.next_below(32));
         break;
     }
     faults.push_back(f);
@@ -324,12 +394,43 @@ void build_injectors(const CampaignConfig& config,
     // Skip the kernel's warm-up prologue (whose values are mostly dead) but
     // stay clamped inside the run even when the budget is small.
     const std::uint64_t warmup = std::min<std::uint64_t>(10000, exec_budget / 4);
+    // With an explicit --fault-site restriction, soft errors are drawn over
+    // that pool: storage sites become deposited flips (upset stored cells,
+    // triggered by the Nth write to the array) instead of execution-indexed
+    // result flips. The default (empty) pool keeps the historical
+    // backend-only stream bit-for-bit — it is pinned by the campaign
+    // fingerprint.
+    const std::vector<FaultSite> soft_pool =
+        config.sites.empty()
+            ? std::vector<FaultSite>{FaultSite::kBackendResult}
+            : config.sites;
     for (int i = 0; i < config.num_faults; ++i) {
       TransientFault t;
+      t.site = soft_pool.size() == 1 ? soft_pool[0]
+                                     : soft_pool[rng.next_below(soft_pool.size())];
       t.trigger_execution = warmup + rng.next_below(exec_budget - warmup);
-      t.bit = 3 + static_cast<int>(rng.next_below(40));
+      switch (t.site) {
+        case FaultSite::kIqPayload:
+          t.bit = static_cast<int>(rng.next_below(16));
+          break;
+        case FaultSite::kDtqSlot:
+          t.bit = static_cast<int>(rng.next_below(32));
+          break;
+        case FaultSite::kRegfileEntry:
+        case FaultSite::kLvqSlot:
+          t.bit = 3 + static_cast<int>(rng.next_below(40));
+          break;
+        case FaultSite::kFrontendDecoder:
+        case FaultSite::kBackendResult:
+          // Decoder lanes have no stored word; a "transient" there is just a
+          // result flip on the backend path (the historical model).
+          t.site = FaultSite::kBackendResult;
+          t.bit = 3 + static_cast<int>(rng.next_below(40));
+          break;
+      }
       injectors->emplace_back(t);
       HardFault label;  // campaign bookkeeping reuses the HardFault slot
+      label.site = t.site;
       label.bit = t.bit;
       labels->push_back(label);
     }
@@ -385,6 +486,8 @@ FaultRun execute_fault_run(
   run.fault = label;
   run.activations = injector.activations();
   run.oracle_violated = core.oracle_violated();
+  run.ecc_corrected = core.stats().ecc_corrected_total();
+  run.ecc_detected = core.stats().ecc_detected_total();
 
   // Corruption analysis: did any wrong store reach memory? The release-cycle
   // vector the provenance hook filled dates the first architectural
@@ -442,16 +545,27 @@ void write_jsonl_record(std::ostream& os, const std::string& workload,
                         std::size_t index, const FaultRun& run,
                         const CampaignConfig& config,
                         const double* run_seconds) {
+  // Soft-error labels historically read "transient bit N" (backend result
+  // flips); storage-site transients name the array so records from a
+  // restricted-pool campaign stay distinguishable.
+  const std::string fault_text =
+      !config.soft_errors ? run.fault.describe()
+      : run.fault.site == FaultSite::kBackendResult
+          ? "transient bit " + std::to_string(run.fault.bit)
+          : "transient " + std::string(fault_site_name(run.fault.site)) +
+                " bit " + std::to_string(run.fault.bit);
   os << "{\"index\":" << index << ",\"workload\":\"" << workload
      << "\",\"mode\":\"" << mode_name(config.mode) << "\",\"fault\":\""
-     << (config.soft_errors ? "transient bit " + std::to_string(run.fault.bit)
-                            : run.fault.describe())
-     << "\",\"outcome\":\"" << fault_outcome_name(run.outcome)
+     << fault_text << "\",\"outcome\":\"" << fault_outcome_name(run.outcome)
      << "\",\"activations\":" << run.activations
      << ",\"corrupt_stores\":" << run.corrupt_stores_released;
   if (config.oracle_check) {
     os << ",\"oracle_violated\":" << (run.oracle_violated ? "true" : "false");
   }
+  // ECC activity rides along only when nonzero: default campaigns (no codec,
+  // no storage fault) stay byte-identical to the historical record format.
+  if (run.ecc_corrected > 0) os << ",\"ecc_corrected\":" << run.ecc_corrected;
+  if (run.ecc_detected > 0) os << ",\"ecc_detected\":" << run.ecc_detected;
   // Presence of these fields encodes the provenance booleans: a fault that
   // bit on cycle 0 still emits the field, and a record without it parses
   // back as "never happened" — not as cycle 0.
@@ -552,6 +666,27 @@ std::uint64_t campaign_config_digest(const CampaignConfig& config,
   d.mix(p.disabled_backend_ways.size());
   for (const std::uint32_t mask : p.disabled_backend_ways) d.mix(mask);
   d.mix(p.watchdog_cycles);
+  // Storage-array extension block. Mixed only when a codec is configured or
+  // a storage-array site is targeted, so every historical configuration
+  // keeps its digest (the on-disk store stays warm across this change).
+  // The physical register counts join here because the kRegfileEntry space
+  // depends on them and they were never part of the base digest.
+  bool storage_active = p.any_ecc();
+  for (const FaultSite site : config.sites) {
+    if (site == FaultSite::kRegfileEntry || site == FaultSite::kLvqSlot ||
+        site == FaultSite::kDtqSlot) {
+      storage_active = true;
+    }
+  }
+  if (storage_active) {
+    d.mix(0x5ec5ed51ull);  // block tag
+    d.mix(static_cast<std::uint64_t>(p.payload_ecc));
+    d.mix(static_cast<std::uint64_t>(p.regfile_ecc));
+    d.mix(static_cast<std::uint64_t>(p.lvq_ecc));
+    d.mix(static_cast<std::uint64_t>(p.dtq_ecc));
+    d.mix(static_cast<std::uint64_t>(p.phys_int_regs));
+    d.mix(static_cast<std::uint64_t>(p.phys_fp_regs));
+  }
   return d.h;
 }
 

@@ -140,6 +140,13 @@ struct FaultRun {
   // separately from `outcome` because a detected run may *also* have
   // diverged before the check fired.
   bool oracle_violated = false;
+  // ECC layer activity during the run (sums of the per-array CoreStats
+  // counters): protected reads repaired / flagged uncorrectable. Both stay 0
+  // unless CoreParams configures a codec and a storage fault was armed, so
+  // historical records are unchanged (JSONL emits the fields only when
+  // nonzero).
+  std::uint64_t ecc_corrected = 0;
+  std::uint64_t ecc_detected = 0;
 };
 
 struct CampaignResult {

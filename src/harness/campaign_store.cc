@@ -331,6 +331,10 @@ bool parse_canonical_record(const std::string& line,
     return false;
   }
   find_bool_field(line, "oracle_violated", &parsed.oracle_violated);
+  // ECC counters ride along only when nonzero (field presence keeps default
+  // campaigns byte-identical to the pre-ECC format).
+  find_uint_field(line, "ecc_corrected", &parsed.ecc_corrected);
+  find_uint_field(line, "ecc_detected", &parsed.ecc_detected);
   // Field presence carries the provenance booleans: an absent field means
   // the event never happened, a present field with value 0 means cycle 0.
   parsed.activated = find_uint_field(line, "first_activation_cycle",
@@ -346,7 +350,7 @@ bool parse_canonical_record(const std::string& line,
   std::string kind;
   if (find_string_field(line, "detection_kind", &kind)) {
     bool kind_known = false;
-    for (int k = 0; k <= static_cast<int>(DetectionKind::kWatchdogTimeout);
+    for (int k = 0; k <= static_cast<int>(DetectionKind::kEccUncorrectable);
          ++k) {
       if (kind == detection_kind_name(static_cast<DetectionKind>(k))) {
         parsed.detection_kind = static_cast<DetectionKind>(k);

@@ -20,13 +20,19 @@ enum class TrialOutcome {
 // computed once per diagnosis and shared by every trial through the cache.
 TrialOutcome run_trial(const Program& program, Mode mode,
                        const CoreParams& params, const HardFault& fault,
-                       std::uint64_t budget, GoldenTraceCache& golden_cache) {
+                       std::uint64_t budget, GoldenTraceCache& golden_cache,
+                       bool oracle_check) {
   FaultInjector injector(fault);
   Core core(program, mode, params, &injector);
-  core.set_oracle_check(false);
+  core.set_oracle_check(oracle_check);
   const std::uint64_t max_cycles = budget * 64 + params.watchdog_cycles * 4;
   const RunOutcome outcome = core.run(budget, max_cycles);
   if (outcome.detected) return TrialOutcome::kDetected;
+  // Latent state corruption the store trace never sees: the deconfigured
+  // machine is still faulty even though nothing corrupt was released yet.
+  if (oracle_check && core.oracle_violated()) {
+    return TrialOutcome::kSilentCorrupt;
+  }
 
   const auto& released = core.released_stores();
   const auto golden =
@@ -41,9 +47,10 @@ TrialOutcome run_trial(const Program& program, Mode mode,
 }
 
 std::uint64_t run_cycles(const Program& program, Mode mode,
-                         const CoreParams& params, std::uint64_t budget) {
+                         const CoreParams& params, std::uint64_t budget,
+                         bool oracle_check) {
   Core core(program, mode, params);
-  core.set_oracle_check(false);
+  core.set_oracle_check(oracle_check);
   const std::uint64_t max_cycles = budget * 64 + params.watchdog_cycles * 4;
   core.run(budget, max_cycles);
   return core.cycle();
@@ -55,12 +62,12 @@ DiagnosisResult diagnose_backend_fault(const Program& program, Mode mode,
                                        const CoreParams& params,
                                        const HardFault& fault,
                                        std::uint64_t budget_commits,
-                                       int jobs) {
+                                       int jobs, bool oracle_check) {
   DiagnosisResult result;
   GoldenTraceCache golden_cache(program);
   result.baseline_detected =
-      run_trial(program, mode, params, fault, budget_commits, golden_cache) !=
-      TrialOutcome::kClean;
+      run_trial(program, mode, params, fault, budget_commits, golden_cache,
+                oracle_check) != TrialOutcome::kClean;
   if (!result.baseline_detected) return result;  // nothing to localize
 
   // Enumerate the deconfigurable ways up front so the trials can fan out
@@ -85,8 +92,9 @@ DiagnosisResult diagnose_backend_fault(const Program& program, Mode mode,
     CoreParams trial_params = params;
     trial_params.disabled_backend_ways[static_cast<std::size_t>(trial.fu)] |=
         1u << static_cast<unsigned>(trial.way);
-    const TrialOutcome outcome = run_trial(program, mode, trial_params, fault,
-                                           budget_commits, golden_cache);
+    const TrialOutcome outcome =
+        run_trial(program, mode, trial_params, fault, budget_commits,
+                  golden_cache, oracle_check);
     trial.detected = outcome != TrialOutcome::kClean;
   });
 
@@ -103,9 +111,9 @@ DiagnosisResult diagnose_backend_fault(const Program& program, Mode mode,
     degraded.disabled_backend_ways[static_cast<std::size_t>(
         fixed.front().first)] |= 1u << static_cast<unsigned>(fixed.front().second);
     const std::uint64_t healthy =
-        run_cycles(program, mode, params, budget_commits);
+        run_cycles(program, mode, params, budget_commits, oracle_check);
     const std::uint64_t fenced =
-        run_cycles(program, mode, degraded, budget_commits);
+        run_cycles(program, mode, degraded, budget_commits, oracle_check);
     result.degraded_performance =
         fenced ? static_cast<double>(healthy) / static_cast<double>(fenced)
                : 0.0;

@@ -48,10 +48,16 @@ struct DiagnosisResult {
 // 1 = serial). The known-answer store trace is shared through one
 // GoldenTraceCache, and trials land in `DiagnosisResult::trials` by index,
 // so the result is identical for every jobs count.
+//
+// `oracle_check` threads the campaign's oracle setting into every trial
+// (instead of the historical hard-coded off): with it on, a trial whose
+// deconfigured core silently diverges from the architectural oracle counts
+// as still-faulty even if no corrupt store was released within the budget.
 DiagnosisResult diagnose_backend_fault(const Program& program, Mode mode,
                                        const CoreParams& params,
                                        const HardFault& fault,
                                        std::uint64_t budget_commits,
-                                       int jobs = 1);
+                                       int jobs = 1,
+                                       bool oracle_check = false);
 
 }  // namespace bj

@@ -87,7 +87,21 @@ std::vector<std::string> split_lines(const std::string& text) {
 
 std::string site_of(const std::string& fault) {
   const std::size_t space = fault.find(' ');
-  return space == std::string::npos ? fault : fault.substr(0, space);
+  if (space == std::string::npos) return fault;
+  const std::string head = fault.substr(0, space);
+  // Storage-site transients read "transient <site> bit N"; keep the array in
+  // the cell key so a restricted-pool soft campaign doesn't collapse into
+  // the historical backend-flip "transient" cell (whose records read
+  // "transient bit N" — second token "bit" — and are unaffected here).
+  if (head == "transient") {
+    const std::size_t site_end = fault.find(' ', space + 1);
+    const std::string second = fault.substr(
+        space + 1,
+        site_end == std::string::npos ? std::string::npos
+                                      : site_end - space - 1);
+    if (second != "bit") return head + "-" + second;
+  }
+  return head;
 }
 
 std::string run_key(const std::string& workload, const std::string& mode,
@@ -109,6 +123,9 @@ struct ParsedRun {
   bool has_first_corruption = false;
   std::uint64_t first_corruption_cycle = 0;
   std::uint64_t detection_latency = 0;
+  // ECC layer activity (absent from historical records; parses as 0).
+  std::uint64_t ecc_corrected = 0;
+  std::uint64_t ecc_detected = 0;
 };
 
 struct ParsedAutopsy {
@@ -139,6 +156,8 @@ void commit_run(const ParsedRun& run, CampaignReport* report) {
       report->coverage[{run.workload, run.mode, site_of(run.fault)}];
   ++cell.runs;
   ++cell.outcomes[fault_outcome_name(run.outcome)];
+  if (run.ecc_corrected > 0) ++cell.ecc_corrected_runs;
+  if (run.ecc_detected > 0) ++cell.ecc_detected_runs;
   if (run.activations > 0) {
     ++cell.activated;
     if (detectedish(run.outcome)) ++cell.detected_of_activated;
@@ -322,6 +341,8 @@ void report_ingest_content(const std::string& name, const std::string& content,
     parsed.has_first_corruption = find_uint_field(
         line, "first_corruption_cycle", &parsed.first_corruption_cycle);
     find_uint_field(line, "detection_latency", &parsed.detection_latency);
+    find_uint_field(line, "ecc_corrected", &parsed.ecc_corrected);
+    find_uint_field(line, "ecc_detected", &parsed.ecc_detected);
     runs.push_back(std::move(parsed));
   }
   if (!footer_seen) {
@@ -419,15 +440,22 @@ CampaignReport report_from_result(const CampaignResult& result,
     parsed.index = i;
     parsed.workload = result.workload;
     parsed.mode = mode;
-    parsed.fault = config.soft_errors
-                       ? "transient bit " + std::to_string(run.fault.bit)
-                       : run.fault.describe();
+    // Mirrors canonical_jsonl_record's fault text exactly — the
+    // regeneration anchor depends on it.
+    parsed.fault =
+        !config.soft_errors ? run.fault.describe()
+        : run.fault.site == FaultSite::kBackendResult
+            ? "transient bit " + std::to_string(run.fault.bit)
+            : "transient " + std::string(fault_site_name(run.fault.site)) +
+                  " bit " + std::to_string(run.fault.bit);
     parsed.outcome = run.outcome;
     parsed.activations = run.activations;
     parsed.corrupt_stores = run.corrupt_stores_released;
     parsed.has_first_corruption = run.corrupted;
     parsed.first_corruption_cycle = run.first_corruption_cycle;
     parsed.detection_latency = run.detection_latency;
+    parsed.ecc_corrected = run.ecc_corrected;
+    parsed.ecc_detected = run.ecc_detected;
     commit_run(parsed, &report);
   }
   if (autopsy != nullptr) {
@@ -474,6 +502,8 @@ std::string campaign_report_json(const CampaignReport& report) {
        << ",\"detected_of_activated\":" << cell.detected_of_activated
        << ",\"corrupt_of_activated\":" << cell.corrupt_of_activated
        << ",\"sdc_of_activated\":" << cell.sdc_of_activated
+       << ",\"ecc_corrected_runs\":" << cell.ecc_corrected_runs
+       << ",\"ecc_detected_runs\":" << cell.ecc_detected_runs
        << ",\"detection_coverage\":" << json_double(cell.detection_coverage())
        << ",\"sdc_rate\":" << json_double(cell.sdc_rate()) << ",\"outcomes\":{";
     bool first_outcome = true;

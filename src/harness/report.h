@@ -55,6 +55,10 @@ struct CoverageCell {
   std::uint64_t detected_of_activated = 0;
   std::uint64_t corrupt_of_activated = 0;
   std::uint64_t sdc_of_activated = 0;
+  // Runs in which the storage-array ECC layer repaired / flagged at least
+  // one read (0 for all historical records, which carry no ecc fields).
+  std::uint64_t ecc_corrected_runs = 0;
+  std::uint64_t ecc_detected_runs = 0;
 
   double detection_coverage() const {
     return activated > 0 ? static_cast<double>(detected_of_activated) /

@@ -39,6 +39,7 @@ const char* detection_kind_name(DetectionKind kind) {
       return "dependence-check-mismatch";
     case DetectionKind::kPcChainMismatch: return "pc-chain-mismatch";
     case DetectionKind::kWatchdogTimeout: return "watchdog-timeout";
+    case DetectionKind::kEccUncorrectable: return "ecc-uncorrectable";
   }
   return "?";
 }
@@ -298,6 +299,22 @@ void Core::record_detection(DetectionKind kind, std::uint64_t pc,
   if (halt_on_detection_) detection_halt_ = true;
 }
 
+std::uint64_t Core::storage_read(std::uint64_t clean, FaultSite site, int slot,
+                                 int bits, EccCodec codec,
+                                 std::uint64_t* corrected,
+                                 std::uint64_t* detected, std::uint64_t pc,
+                                 std::uint64_t seq) {
+  const std::uint64_t stored =
+      injector_->on_storage_read(clean, site, slot, bits);
+  const std::uint64_t before = *detected;
+  const std::uint64_t word =
+      ecc_protected_read(codec, stored, clean, corrected, detected);
+  if (*detected != before) {
+    record_detection(DetectionKind::kEccUncorrectable, pc, seq);
+  }
+  return word;
+}
+
 void Core::export_metrics(MetricsRegistry& registry) const {
   registry.text("core.mode", mode_name(mode_));
   registry.counter("core.cycles", stats_.cycles);
@@ -337,6 +354,14 @@ void Core::export_metrics(MetricsRegistry& registry) const {
                    stats_.payload_corrupted_leading);
   registry.counter("fault.payload_corrupted.both",
                    stats_.payload_corrupted_both);
+  registry.counter("fault.ecc.payload.corrected", stats_.ecc_payload_corrected);
+  registry.counter("fault.ecc.payload.detected", stats_.ecc_payload_detected);
+  registry.counter("fault.ecc.regfile.corrected", stats_.ecc_regfile_corrected);
+  registry.counter("fault.ecc.regfile.detected", stats_.ecc_regfile_detected);
+  registry.counter("fault.ecc.lvq.corrected", stats_.ecc_lvq_corrected);
+  registry.counter("fault.ecc.lvq.detected", stats_.ecc_lvq_detected);
+  registry.counter("fault.ecc.dtq.corrected", stats_.ecc_dtq_corrected);
+  registry.counter("fault.ecc.dtq.detected", stats_.ecc_dtq_detected);
   registry.counter("core.detections", detections_.size());
   for (const auto& [name, count] : stats_.events.all()) {
     registry.counter("core.events." + name, count);
@@ -427,6 +452,20 @@ void Core::shuffle_stage() {
   entries.reserve(n);
   for (std::size_t i = 0; i < n; ++i) entries.push_back(dtq_.at(i));
   dtq_.pop_front(n);
+  if (injector_->storage_armed()) [[unlikely]] {
+    // DTQ RAM read port: the trailing stream is rebuilt from the stored
+    // instruction words, so a stuck or upset DTQ cell feeds the trailing
+    // thread a different instruction than the leading copy ran — exactly
+    // what the redundancy checks (or the DTQ's ECC) must catch. The
+    // packet-combining peeks above read only rename-map metadata and are
+    // left fault-free: the modeled fault site is the 32-bit raw-word RAM.
+    for (DtqEntry& e : entries) {
+      e.raw = static_cast<std::uint32_t>(storage_read(
+          e.raw, FaultSite::kDtqSlot, e.slot, 32, params_.dtq_ecc,
+          &stats_.ecc_dtq_corrected, &stats_.ecc_dtq_detected, e.pc,
+          e.lead_seq));
+    }
+  }
   if constexpr (kUseWakeupLists) {
     // DTQ drained: leading instructions parked on DTQ-full re-check. The
     // shuffle stage runs before issue, so they are selectable this cycle —
@@ -704,8 +743,13 @@ void Core::fetch_trailing_blackjack(Context& ctx) {
         inst->pc = e.pc;
         inst->raw = e.raw;
         // e.raw is the leading copy's fetch_raw(e.pc), so the pc-indexed
-        // predecode is exactly decode(e.raw).
-        inst->dec = decode_table_.predecode(e.pc);
+        // predecode is exactly decode(e.raw) — unless a DTQ storage fault
+        // upset the stored word, in which case the trailing copy must
+        // re-decode the corrupted word (interning dedups back to the
+        // predecode entry whenever the word is actually clean).
+        inst->dec = injector_->storage_armed()
+                        ? decode_table_.intern(e.raw)
+                        : decode_table_.predecode(e.pc);
         inst->seq = e.virt_al_index;  // seq IS the virtual AL index here
         inst->lead_frontend_way = static_cast<std::int8_t>(e.lead_frontend_way);
         inst->lead_backend_way = static_cast<std::int8_t>(e.lead_backend_way);
@@ -795,6 +839,13 @@ bool Core::rename_and_dispatch(Context& ctx, DynInst* inst) {
     if (trailing_packet_member) {
       ++iq_trailing_unissued_;
       iq_trailing_packet_id_ = inst->packet_id;
+    }
+    if (injector_->storage_armed() && !inst->is_shuffle_nop &&
+        (!params_.separate_payload_rams || !inst->is_trailing())) [[unlikely]] {
+      // Payload RAM write port: installing the instruction writes its
+      // immediate into the entry (the faulted RAM is the leading thread's
+      // when payload RAMs are split, so only its writers count).
+      injector_->on_storage_write(FaultSite::kIqPayload, iq_slot);
     }
     if constexpr (kUseWakeupLists) {
       // Park the newcomer on its first blocking condition (or pool it if it

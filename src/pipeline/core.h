@@ -102,6 +102,27 @@ struct CoreStats {
   std::uint64_t payload_corrupted_leading = 0;
   std::uint64_t payload_corrupted_both = 0;
 
+  // ECC layer (CoreParams::*_ecc): per-array counts of protected reads whose
+  // decode repaired a single-bit error / flagged an uncorrectable one. All
+  // zero when ECC is off or no storage fault is armed.
+  std::uint64_t ecc_payload_corrected = 0;
+  std::uint64_t ecc_payload_detected = 0;
+  std::uint64_t ecc_regfile_corrected = 0;
+  std::uint64_t ecc_regfile_detected = 0;
+  std::uint64_t ecc_lvq_corrected = 0;
+  std::uint64_t ecc_lvq_detected = 0;
+  std::uint64_t ecc_dtq_corrected = 0;
+  std::uint64_t ecc_dtq_detected = 0;
+
+  std::uint64_t ecc_corrected_total() const {
+    return ecc_payload_corrected + ecc_regfile_corrected + ecc_lvq_corrected +
+           ecc_dtq_corrected;
+  }
+  std::uint64_t ecc_detected_total() const {
+    return ecc_payload_detected + ecc_regfile_detected + ecc_lvq_detected +
+           ecc_dtq_detected;
+  }
+
   // Branch prediction (leading).
   std::uint64_t branch_lookups = 0;
   std::uint64_t branch_mispredicts = 0;
@@ -315,6 +336,17 @@ class Core {
   int find_free_iq_slot() const;
   void record_detection(DetectionKind kind, std::uint64_t pc,
                         std::uint64_t seq);
+  // One read of an ECC-protectable storage array: runs the injector's
+  // storage hook on the clean stored word, then the array's codec over the
+  // result, bumping the per-array corrected/detected counters. An
+  // uncorrectable decode additionally raises a kEccUncorrectable detection
+  // at (pc, seq) — a machine-check, the ECC analogue of a redundancy check
+  // firing. Call sites gate on injector_->storage_armed() so the fault-free
+  // path never pays for it.
+  std::uint64_t storage_read(std::uint64_t clean, FaultSite site, int slot,
+                             int bits, EccCodec codec,
+                             std::uint64_t* corrected, std::uint64_t* detected,
+                             std::uint64_t pc, std::uint64_t seq);
   void trace_commit(const DynInst* inst, char tag);
   // Appends the instruction's lifecycle record to the tracer. Call sites
   // guard on `tracer_ != nullptr` so the disabled path is a single branch.

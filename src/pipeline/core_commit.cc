@@ -171,6 +171,13 @@ void Core::commit_leading(Context& ctx) {
     }
     if (d.is_load() && redundant()) {
       lvq_.push(LvqEntry{ctx.committed_loads, head->mem_addr, head->result});
+      if (injector_->storage_armed()) [[unlikely]] {
+        // LVQ RAM write port: slot = ordinal mod capacity (circular RAM).
+        injector_->on_storage_write(
+            FaultSite::kLvqSlot,
+            static_cast<int>(ctx.committed_loads %
+                             static_cast<std::uint64_t>(params_.lvq_entries)));
+      }
       if constexpr (kUseWakeupLists) {
         // LVQ fill: trailing loads parked on a missing entry re-check.
         // Commit runs before issue, so they are selectable this same cycle —

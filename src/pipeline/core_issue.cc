@@ -237,7 +237,27 @@ void Core::execute_inst(DynInst* inst) {
   if (injector_->armed() &&
       (!params_.separate_payload_rams || !inst->is_trailing())) {
     const std::int64_t before = inst->di().imm;
-    const std::int64_t after = injector_->on_payload(before, inst->iq_entry);
+    std::int64_t after = injector_->on_payload(before, inst->iq_entry);
+    if (injector_->storage_armed()) {
+      // Transient (deposited) payload flips ride the storage path; hard
+      // payload stuck-ats already applied above via on_payload.
+      after = static_cast<std::int64_t>(injector_->on_storage_read(
+          static_cast<std::uint64_t>(after), FaultSite::kIqPayload,
+          inst->iq_entry, 16));
+    }
+    if (params_.payload_ecc != EccCodec::kNone && after != before) {
+      // Payload RAM ECC: decode the read-out immediate against the clean
+      // word's check bits before the instruction consumes it.
+      const std::uint64_t detected_before = stats_.ecc_payload_detected;
+      after = static_cast<std::int64_t>(ecc_protected_read(
+          params_.payload_ecc, static_cast<std::uint64_t>(after),
+          static_cast<std::uint64_t>(before), &stats_.ecc_payload_corrected,
+          &stats_.ecc_payload_detected));
+      if (stats_.ecc_payload_detected != detected_before) {
+        record_detection(DetectionKind::kEccUncorrectable, inst->pc,
+                         inst->seq);
+      }
+    }
     if (after != before) {
       DynInstCold& c = cold(inst);
       c.faulted_decode = inst->di();
@@ -259,12 +279,42 @@ void Core::execute_inst(DynInst* inst) {
   const DecodedInst& d = inst->di();
   inst->src1_val = operand_value(d.src1.cls, inst->src1_phys);
   inst->src2_val = operand_value(d.src2.cls, inst->src2_phys);
+  if (injector_->storage_armed()) [[unlikely]] {
+    // Physical register file read ports (flat row space: int rows first,
+    // then fp — the kRegfileEntry fault-site coordinate). kNoPhysReg reads
+    // the constant-zero operand, not a RAM row.
+    auto regfile_row = [&](RegClass cls, int phys) {
+      return phys + (cls == RegClass::kFp ? params_.phys_int_regs : 0);
+    };
+    if (inst->src1_phys != kNoPhysReg) {
+      inst->src1_val = storage_read(
+          inst->src1_val, FaultSite::kRegfileEntry,
+          regfile_row(d.src1.cls, inst->src1_phys), 64, params_.regfile_ecc,
+          &stats_.ecc_regfile_corrected, &stats_.ecc_regfile_detected,
+          inst->pc, inst->seq);
+    }
+    if (inst->src2_phys != kNoPhysReg) {
+      inst->src2_val = storage_read(
+          inst->src2_val, FaultSite::kRegfileEntry,
+          regfile_row(d.src2.cls, inst->src2_phys), 64, params_.regfile_ecc,
+          &stats_.ecc_regfile_corrected, &stats_.ecc_regfile_detected,
+          inst->pc, inst->seq);
+    }
+  }
 
   ExecOutcome out = eval(d, inst->src1_val, inst->src2_val, inst->pc);
   injector_->on_execute(out, d, inst->fu, inst->backend_way);
   auto write_dst = [&](std::uint64_t value, std::uint64_t ready_at) {
     if (inst->dst_phys == kNoPhysReg) return;
     regfile_.set_value(d.dst.cls, inst->dst_phys, value);
+    if (injector_->storage_armed()) [[unlikely]] {
+      // Regfile write port: advances the storage-transient trigger stream
+      // and scrubs any deposited flip in the overwritten row.
+      injector_->on_storage_write(
+          FaultSite::kRegfileEntry,
+          inst->dst_phys +
+              (d.dst.cls == RegClass::kFp ? params_.phys_int_regs : 0));
+    }
     // The ready *bit* stays clear until writeback drains the completion at
     // `ready_at` — consumers wake exactly when they used to.
     regfile_.set_ready_at(d.dst.cls, inst->dst_phys, ready_at);
@@ -289,7 +339,19 @@ void Core::execute_inst(DynInst* inst) {
         record_detection(DetectionKind::kLoadAddressMismatch, inst->pc,
                          inst->seq);
       }
-      inst->result = entry->value;
+      std::uint64_t lvq_value = entry->value;
+      if (injector_->storage_armed()) [[unlikely]] {
+        // LVQ value-RAM read port: the trailing load consumes the stored
+        // leading load value, so a faulty slot silently substitutes data —
+        // the kLvqSlot site. Slot = ordinal mod capacity (circular RAM).
+        lvq_value = storage_read(
+            lvq_value, FaultSite::kLvqSlot,
+            static_cast<int>(inst->mem_ordinal %
+                             static_cast<std::uint64_t>(params_.lvq_entries)),
+            64, params_.lvq_ecc, &stats_.ecc_lvq_corrected,
+            &stats_.ecc_lvq_detected, inst->pc, inst->seq);
+      }
+      inst->result = lvq_value;
       // The LVQ is a small dedicated RAM, not the cache hierarchy: single-
       // cycle access. This is what lets the trailing thread drain packets as
       // fast as they arrive instead of backing up in the issue queue.
@@ -548,7 +610,11 @@ void Core::issue() {
       entry.lead_src1_phys = inst->src1_phys;
       entry.lead_src2_phys = inst->src2_phys;
       entry.lead_dst_phys = inst->dst_phys;
-      dtq_.allocate(entry);
+      const int dtq_slot = dtq_.allocate(entry);
+      if (injector_->storage_armed()) [[unlikely]] {
+        // DTQ RAM write port (kDtqSlot transient trigger stream).
+        injector_->on_storage_write(FaultSite::kDtqSlot, dtq_slot);
+      }
     }
   }
 

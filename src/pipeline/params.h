@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "branch/predictor.h"
+#include "fault/ecc.h"
 #include "isa/opcode.h"
 #include "mem/cache.h"
 
@@ -81,6 +82,22 @@ struct CoreParams {
   // payload RAMs per thread. When false, both threads share entries and an
   // injected payload fault can escape detection (ablation).
   bool separate_payload_rams = true;
+
+  // ECC protection per storage array (ROADMAP item 2: ECC vs BlackJack vs
+  // combined). The codec decodes every protected read before the word
+  // reaches the pipeline: single-bit storage faults are corrected (counted
+  // in CoreStats::ecc_*_corrected), Hsiao-uncorrectable errors are flagged
+  // as a detection event. kNone (the default) is byte-identical to the
+  // historical unprotected model.
+  EccCodec payload_ecc = EccCodec::kNone;
+  EccCodec regfile_ecc = EccCodec::kNone;
+  EccCodec lvq_ecc = EccCodec::kNone;
+  EccCodec dtq_ecc = EccCodec::kNone;
+
+  bool any_ecc() const {
+    return payload_ecc != EccCodec::kNone || regfile_ecc != EccCodec::kNone ||
+           lvq_ecc != EccCodec::kNone || dtq_ecc != EccCodec::kNone;
+  }
 
   // One-packet-per-cycle trailing fetch (Section 4.3.1). Disabling it is an
   // ablation that shows trailing-trailing interference growing.

@@ -34,6 +34,10 @@ enum class DetectionKind : std::uint8_t {
   kDependenceCheckMismatch,
   kPcChainMismatch,
   kWatchdogTimeout,
+  // ECC layer flagged an uncorrectable storage error (Hsiao double-bit or
+  // invalid syndrome) on an array read. Keep as the last enumerator or
+  // update the parser loops that use it as the bound.
+  kEccUncorrectable,
 };
 
 const char* detection_kind_name(DetectionKind kind);

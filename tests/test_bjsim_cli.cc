@@ -78,5 +78,20 @@ TEST(BjsimCli, DriverConsumesExactlyTheAcceptedOptions) {
   }
 }
 
+// Satellite regression: --soft-errors implies --oracle. A soft-error
+// campaign without the oracle systematically under-reports divergence (a
+// transient that corrupts state but never reaches memory classifies as
+// benign), so the default must be oracle-on with --no-oracle as the
+// explicit opt-out.
+TEST(BjsimCli, SoftErrorsImplyTheOracle) {
+  // (oracle_flag, soft_errors, no_oracle) -> effective oracle_check
+  EXPECT_FALSE(bjsim_campaign_oracle(false, false, false));  // hard default
+  EXPECT_TRUE(bjsim_campaign_oracle(true, false, false));    // explicit on
+  EXPECT_TRUE(bjsim_campaign_oracle(false, true, false));    // the implication
+  EXPECT_FALSE(bjsim_campaign_oracle(false, true, true));    // explicit opt-out
+  EXPECT_TRUE(bjsim_campaign_oracle(true, true, true));      // --oracle wins
+  EXPECT_FALSE(bjsim_campaign_oracle(false, false, true));   // no-op opt-out
+}
+
 }  // namespace
 }  // namespace bj

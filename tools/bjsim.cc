@@ -78,6 +78,15 @@ FaultInjector parse_fault(const std::string& spec) {
     TransientFault t;
     t.trigger_execution = static_cast<std::uint64_t>(kv_int("at", 30000));
     t.bit = static_cast<int>(kv_int("bit", 4));
+    if (kv.count("site")) {
+      if (!parse_fault_site(kv.at("site"), &t.site) ||
+          (t.site != FaultSite::kBackendResult &&
+           !fault_site_is_storage(t.site))) {
+        throw std::runtime_error(
+            "transient site must be backend-result or a storage array "
+            "(iq-payload/regfile-entry/lvq-slot/dtq-slot): " + kv.at("site"));
+      }
+    }
     return FaultInjector(t);
   }
   HardFault f;
@@ -93,10 +102,70 @@ FaultInjector parse_fault(const std::string& spec) {
   } else if (kind == "payload") {
     f.site = FaultSite::kIqPayload;
     f.iq_entry = static_cast<int>(kv_int("entry", 0));
+  } else if (kind == "regfile") {
+    f.site = FaultSite::kRegfileEntry;
+    f.storage_index = static_cast<int>(kv_int("row", 0));
+  } else if (kind == "lvq") {
+    f.site = FaultSite::kLvqSlot;
+    f.storage_index = static_cast<int>(kv_int("slot", 0));
+  } else if (kind == "dtq") {
+    f.site = FaultSite::kDtqSlot;
+    f.storage_index = static_cast<int>(kv_int("slot", 0));
   } else {
     throw std::runtime_error("unknown fault kind: " + kind);
   }
   return FaultInjector(f);
+}
+
+// --ecc SPEC: a bare codec name protects every storage array; "array=codec"
+// pairs configure arrays individually.
+void apply_ecc(CoreParams& params, const std::string& spec) {
+  auto parse = [](const std::string& name) {
+    EccCodec codec = EccCodec::kNone;
+    if (!parse_ecc_codec(name, &codec)) {
+      throw std::runtime_error("unknown ECC codec: " + name +
+                               " (try none, hamming, or hsiao)");
+    }
+    return codec;
+  };
+  if (spec.find('=') == std::string::npos) {
+    const EccCodec codec = parse(spec);
+    params.payload_ecc = codec;
+    params.regfile_ecc = codec;
+    params.lvq_ecc = codec;
+    params.dtq_ecc = codec;
+    return;
+  }
+  for (const auto& [array, name] : parse_kv(spec)) {
+    const EccCodec codec = parse(name);
+    if (array == "payload") {
+      params.payload_ecc = codec;
+    } else if (array == "regfile") {
+      params.regfile_ecc = codec;
+    } else if (array == "lvq") {
+      params.lvq_ecc = codec;
+    } else if (array == "dtq") {
+      params.dtq_ecc = codec;
+    } else {
+      throw std::runtime_error("unknown ECC array: " + array +
+                               " (try payload/regfile/lvq/dtq)");
+    }
+  }
+}
+
+std::vector<FaultSite> parse_fault_sites(const std::string& list) {
+  std::vector<FaultSite> sites;
+  for (const std::string& name : split(list, ',')) {
+    FaultSite site = FaultSite::kBackendResult;
+    if (!parse_fault_site(name, &site)) {
+      throw std::runtime_error(
+          "unknown fault site: " + name +
+          " (try frontend-decoder/backend-result/iq-payload/regfile-entry/"
+          "lvq-slot/dtq-slot)");
+    }
+    sites.push_back(site);
+  }
+  return sites;
 }
 
 Program select_program(const Flags& flags) {
@@ -197,6 +266,18 @@ void report(const Core& core, std::uint64_t measured_cycles, bool csv) {
   row("L1D misses", std::to_string(core.memory_hierarchy().l1d().misses()));
   row("L2 misses", std::to_string(core.memory_hierarchy().l2().misses()));
   row("detections", std::to_string(core.detections().size()));
+  // ECC activity only appears when a codec actually fired — the table stays
+  // byte-stable for every unprotected (or clean) run.
+  const std::uint64_t ecc_corrected =
+      s.ecc_payload_corrected + s.ecc_regfile_corrected + s.ecc_lvq_corrected +
+      s.ecc_dtq_corrected;
+  const std::uint64_t ecc_detected =
+      s.ecc_payload_detected + s.ecc_regfile_detected + s.ecc_lvq_detected +
+      s.ecc_dtq_detected;
+  if (ecc_corrected > 0) row("ECC corrected", std::to_string(ecc_corrected));
+  if (ecc_detected > 0) {
+    row("ECC detected (uncorrectable)", std::to_string(ecc_detected));
+  }
   std::cout << (csv ? t.to_csv() : t.to_text());
 
   for (const DetectionEvent& d : core.detections()) {
@@ -264,6 +345,7 @@ int main(int argc, char** argv) {
     if (flags.get_bool("multi-packet-fetch")) {
       params.one_packet_per_cycle = false;
     }
+    if (flags.has("ecc")) apply_ecc(params, flags.get("ecc"));
 
     FaultInjector injector;
     if (flags.has("fault")) injector = parse_fault(flags.get("fault"));
@@ -278,9 +360,17 @@ int main(int argc, char** argv) {
       config.budget_commits =
           static_cast<std::uint64_t>(flags.get_int("instructions", 12000));
       config.soft_errors = flags.get_bool("soft-errors");
-      config.oracle_check = flags.get_bool("oracle");
+      // Soft errors imply the oracle (see bjsim_campaign_oracle); the
+      // implied setting feeds the config digest and JSONL header like any
+      // explicit one, so stored campaigns stay honest about what ran.
+      config.oracle_check = bjsim_campaign_oracle(flags.get_bool("oracle"),
+                                                  config.soft_errors,
+                                                  flags.get_bool("no-oracle"));
       config.exhaustive = flags.get_bool("exhaustive");
       config.test_count = static_cast<int>(flags.get_int("test-count", 0));
+      if (flags.has("fault-site")) {
+        config.sites = parse_fault_sites(flags.get("fault-site"));
+      }
 
       CampaignServiceOptions options;
       options.jobs = static_cast<int>(flags.get_int("jobs", 0));
@@ -459,7 +549,8 @@ int main(int argc, char** argv) {
       std::cout << "diagnosing: " << injector.fault()->describe() << "\n";
       const DiagnosisResult r = diagnose_backend_fault(
           program, mode, params, *injector.fault(), budget,
-          static_cast<int>(flags.get_int("jobs", 0)));
+          static_cast<int>(flags.get_int("jobs", 0)),
+          flags.get_bool("oracle"));
       if (!r.baseline_detected) {
         std::cout << "fault never detected on this workload — nothing to "
                      "localize\n";

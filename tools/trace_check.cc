@@ -492,6 +492,17 @@ JsonlReport check_campaign_jsonl(std::istream& in) {
       bad(line_no, "run record with unknown outcome '" + outcome + "'");
       continue;
     }
+    // The fault description's first token is the site vocabulary: a
+    // hard-fault site name (frontend-decoder, backend-result, iq-payload,
+    // regfile-entry, lvq-slot, dtq-slot) or "transient" for soft errors.
+    // Anything else is a record this build cannot attribute to a site.
+    const std::string fault = extract_string_field(line, "fault");
+    const std::string site_token = fault.substr(0, fault.find(' '));
+    FaultSite site = FaultSite::kBackendResult;
+    if (site_token != "transient" && !parse_fault_site(site_token, &site)) {
+      bad(line_no, "run record with unknown fault site '" + site_token + "'");
+      continue;
+    }
     if (line.find("\"index\":") == std::string::npos) {
       bad(line_no, "run record without a fault index");
       continue;
